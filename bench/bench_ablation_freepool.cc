@@ -1,0 +1,90 @@
+// Ablation A2: the free-block pool bounds (Fmin, Fmax) of Table 1.
+//
+// The pool exists for secrecy (a snapshot-differencing intruder cannot tell
+// data blocks from pool blocks), but it costs space (held-free blocks) and
+// write traffic (scrub + header churn). This bench quantifies both so the
+// default (0, 10) can be judged.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "blockdev/sim_disk.h"
+#include "cache/buffer_cache.h"
+#include "core/hidden_object.h"
+#include "fs/bitmap.h"
+#include "util/random.h"
+
+using namespace stegfs;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation A2: Free-Pool Bounds vs Space and Write Amplification",
+      "grow/shrink workload on one hidden file, 64 MB volume, 1 KB blocks");
+
+  struct Bounds {
+    uint32_t min, max;
+  };
+  const Bounds kBounds[] = {{0, 0},  {0, 10}, {2, 10},
+                            {0, 40}, {8, 40}, {0, 96}};
+
+  std::printf("%-12s %14s %16s %18s\n", "(min,max)", "held blocks",
+              "device writes", "write amplification");
+
+  for (const Bounds& b : kBounds) {
+    Layout layout = Layout::Compute(1024, 65536, 1024);
+    auto sim = std::make_unique<SimDisk>(
+        std::make_unique<MemBlockDevice>(layout.block_size,
+                                         layout.num_blocks),
+        DiskModelConfig{});
+    BufferCache cache(sim.get(), 512, WritePolicy::kWriteThrough);
+    BlockBitmap bitmap(layout);
+    Xoshiro rng(11);
+
+    HiddenVolume vol;
+    vol.cache = &cache;
+    vol.bitmap = &bitmap;
+    vol.layout = layout;
+    vol.params.free_pool_min = b.min;
+    vol.params.free_pool_max = b.max;
+    vol.rng = &rng;
+    vol.probe_limit = 10000;
+
+    auto obj = HiddenObject::Create(vol, "pool-bench", "k", HiddenType::kFile);
+    if (!obj.ok()) return 1;
+
+    // Grow/shrink churn: the pattern that exercises pool top-up/release.
+    Xoshiro wl(3);
+    uint64_t logical_bytes = 0;
+    uint64_t size = 0;
+    for (int round = 0; round < 60; ++round) {
+      if (wl.Bernoulli(0.65) || size < 65536) {
+        std::string chunk(wl.UniformRange(16 << 10, 256 << 10), '\0');
+        wl.FillBytes(reinterpret_cast<uint8_t*>(chunk.data()), chunk.size());
+        if (!(*obj)->Write(size, chunk).ok()) break;
+        size += chunk.size();
+        logical_bytes += chunk.size();
+      } else {
+        size /= 2;
+        if (!(*obj)->Truncate(size).ok()) break;
+      }
+      (void)(*obj)->Sync();
+    }
+
+    uint64_t logical_blocks = logical_bytes / layout.block_size;
+    double amp = logical_blocks == 0
+                     ? 0
+                     : static_cast<double>(sim->stats().blocks_written) /
+                           logical_blocks;
+    std::printf("(%2u,%3u)     %14u %16llu %17.3fx\n", b.min, b.max,
+                (*obj)->pool_size(),
+                static_cast<unsigned long long>(sim->stats().blocks_written),
+                amp);
+  }
+
+  std::printf("\nReading: larger pools hold more dead space and scrub more "
+              "noise blocks; the\npaper default (0,10) keeps amplification "
+              "close to 1 while still masking\nallocation order from "
+              "snapshot differencing.\n");
+  bench::PrintFooter();
+  return 0;
+}

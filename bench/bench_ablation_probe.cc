@@ -1,0 +1,81 @@
+// Ablation A3: cost of keyed header location vs volume fill.
+//
+// The locator probes pseudorandom candidates until it finds a free block
+// (create) or the matching signature (open). Expected probes follow a
+// geometric distribution with success probability (1 - fill): at 50% fill
+// ~2 probes, at 90% ~10, at 99% ~100. This bounds the overhead StegFS pays
+// for having no central index — negligible against whole-file I/O.
+#include <algorithm>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "cache/buffer_cache.h"
+#include "core/hidden_object.h"
+#include "fs/bitmap.h"
+#include "util/random.h"
+
+using namespace stegfs;
+
+int main() {
+  bench::PrintHeader(
+      "Ablation A3: Header Locator Probe Counts vs Volume Fill",
+      "probes to create+reopen a hidden object at increasing occupancy");
+
+  Layout layout = Layout::Compute(1024, 65536, 1024);  // 64 MB volume
+  std::printf("%-10s %10s %10s %10s %12s\n", "fill", "mean", "p50", "p99",
+              "max probes");
+
+  for (double fill : {0.0, 0.25, 0.50, 0.75, 0.90, 0.95, 0.99}) {
+    MemBlockDevice dev(layout.block_size, layout.num_blocks);
+    BufferCache cache(&dev, 512);
+    BlockBitmap bitmap(layout);
+    Xoshiro rng(7);
+
+    // Pre-fill the data region to the target occupancy.
+    uint64_t target =
+        static_cast<uint64_t>(layout.data_blocks() * fill);
+    for (uint64_t i = 0; i < target; ++i) {
+      auto b = bitmap.AllocateByPolicy(AllocPolicy::kRandom, &rng);
+      if (!b.ok()) break;
+    }
+
+    HiddenVolume vol;
+    vol.cache = &cache;
+    vol.bitmap = &bitmap;
+    vol.layout = layout;
+    vol.params = StegParams{};
+    vol.params.free_pool_max = 0;  // isolate the locator cost
+    vol.rng = &rng;
+    vol.probe_limit = 100000;
+
+    std::vector<uint32_t> probes;
+    const int kObjects = 200;
+    for (int i = 0; i < kObjects; ++i) {
+      std::string name = "probe-obj-" + std::to_string(i);
+      std::string key = "probe-key-" + std::to_string(i);
+      auto obj = HiddenObject::Create(vol, name, key, HiddenType::kFile);
+      if (!obj.ok()) break;
+      probes.push_back((*obj)->last_probe_count());
+      (void)(*obj)->Sync();
+      // Reopen: same probe distribution applies to lookups.
+      auto reopened = HiddenObject::Open(vol, name, key);
+      if (reopened.ok()) probes.push_back((*reopened)->last_probe_count());
+    }
+    if (probes.empty()) continue;
+    std::sort(probes.begin(), probes.end());
+    double mean = 0;
+    for (uint32_t p : probes) mean += p;
+    mean /= probes.size();
+    std::printf("%-10.2f %10.2f %10u %10u %12u\n", fill, mean,
+                probes[probes.size() / 2], probes[probes.size() * 99 / 100],
+                probes.back());
+  }
+
+  std::printf("\nGeometric-law check: mean ~ 1/(1-fill); even at 99%% fill "
+              "the locator costs\n~100 block probes, a fraction of one file's "
+              "I/O.\n");
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Extension experiment: Rabin IDA vs plain replication for the
+// random-placement scheme (the paper's section 2 discussion of Hand &
+// Roscoe's Mnemosyne, which "replaced simple replication with the
+// information dispersal algorithm ... at the expense of higher storage and
+// read/write overheads").
+//
+// At equal storage blow-up, an (m, n) code with n/m = r tolerates the loss
+// of any n-m fragments PER STRIPE, whereas replication r tolerates r-1
+// losses per block but wastes r-1 full copies. This bench quantifies how
+// much effective space utilization IDA buys over replication on the same
+// volume — and what the paper's StegFS achieves with no redundancy at all.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/space.h"
+
+using namespace stegfs;
+
+int main() {
+  bench::PrintHeader(
+      "Extension: IDA (Mnemosyne) vs replication for random placement",
+      "effective space utilization, 1 GB volume, 1 KB blocks, files (1,2] MB");
+
+  std::printf("%-26s %10s %14s\n", "scheme", "blow-up", "utilization");
+
+  for (uint32_t r : {2u, 4u, 8u}) {
+    sim::StegRandSpaceConfig cfg;
+    cfg.replication = r;
+    cfg.trials = 3;
+    double util = sim::StegRandSpaceUtilization(cfg);
+    std::printf("replication r=%-12u %9ux %13.2f%%\n", r, r, util * 100);
+  }
+
+  struct MN {
+    int m, n;
+  };
+  for (MN mn : {MN{4, 8}, MN{8, 16}, MN{4, 16}, MN{8, 12}, MN{16, 24}}) {
+    sim::StegRandIdaSpaceConfig cfg;
+    cfg.ida_m = mn.m;
+    cfg.ida_n = mn.n;
+    cfg.trials = 3;
+    double util = sim::StegRandIdaSpaceUtilization(cfg);
+    std::printf("IDA (m=%2d, n=%2d)          %8.1fx %13.2f%%\n", mn.m, mn.n,
+                static_cast<double>(mn.n) / mn.m, util * 100);
+  }
+
+  sim::StegFsSpaceConfig fs_cfg;
+  std::printf("%-26s %10s %13.2f%%\n", "StegFS (paper's answer)", "1x",
+              sim::StegFsSpaceUtilization(fs_cfg) * 100);
+
+  std::printf(
+      "\nReading: at the same 2x blow-up, IDA(8,16) sustains several times\n"
+      "replication-2's utilization because a stripe dies only after 9 of 16\n"
+      "fragments are lost. But both remain an order of magnitude below\n"
+      "StegFS, which avoids collisions entirely via the block bitmap —\n"
+      "the paper's core argument in one table.\n");
+  bench::PrintFooter();
+  return 0;
+}

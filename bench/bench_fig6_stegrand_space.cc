@@ -1,0 +1,51 @@
+// Figure 6: StegRand effective space utilization vs replication factor,
+// one series per block size.
+//
+// Reproduces the paper's loading experiment: a 1 GB volume is filled with
+// (1, 2] MB files, each block of each replica written to a pseudorandom
+// absolute address, until the first file loses all replicas of any block.
+// Expected shape: utilization rises with replication (resilience), peaks in
+// the 8-16 window, then falls (replication overhead dominates); smaller
+// blocks yield uniformly lower utilization.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "sim/space.h"
+
+using namespace stegfs;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 6: StegRand Space Utilization",
+      "effective space utilization vs replication factor, per block size");
+
+  const uint32_t kBlockSizes[] = {512,   1024,  2048,  4096,
+                                  8192,  16384, 32768, 65536};
+  const uint32_t kReplications[] = {1, 2, 4, 8, 16, 32, 64};
+
+  std::printf("%-12s", "repl\\bs");
+  for (uint32_t bs : kBlockSizes) {
+    std::printf("%7.1fKB", bs / 1024.0);
+  }
+  std::printf("\n");
+
+  for (uint32_t r : kReplications) {
+    std::printf("%-12u", r);
+    for (uint32_t bs : kBlockSizes) {
+      sim::StegRandSpaceConfig cfg;
+      cfg.volume_bytes = 1ULL << 30;  // paper: 1 GB
+      cfg.block_size = bs;
+      cfg.replication = r;
+      cfg.trials = 3;
+      double util = sim::StegRandSpaceUtilization(cfg);
+      std::printf("%8.4f ", util);
+    }
+    std::printf("\n");
+  }
+
+  std::printf(
+      "\nPaper shape check: peak in the 8-16 replication window; ~5%% at\n"
+      "1 KB blocks; smaller blocks strictly worse.\n");
+  bench::PrintFooter();
+  return 0;
+}

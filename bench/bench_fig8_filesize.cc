@@ -1,0 +1,75 @@
+// Figure 8: normalized access time (seconds per KB) vs file size, reads (a)
+// and writes (b), at 16 concurrent users.
+//
+// The paper's point: "the relative trade-offs between the various schemes
+// are independent of the file size" — each scheme's normalized curve is
+// roughly flat and the ranking never changes.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+#include "bench/perf_common.h"
+
+using namespace stegfs;
+
+int main() {
+  bench::PrintHeader(
+      "Figure 8: Sensitivity to File Size",
+      "normalized access time (sec/KB) vs file size; 16 users, 1 KB blocks");
+
+  const int kUsers = 16;
+  const int kTraceCount = 32;
+  const uint64_t kSizesKb[] = {200, 400, 600, 800, 1000,
+                               1200, 1400, 1600, 1800, 2000};
+
+  // pools[size][scheme]
+  std::vector<std::vector<bench::SchemePools>> all_pools;
+  for (uint64_t size_kb : kSizesKb) {
+    sim::WorkloadConfig workload;
+    workload.num_files = 50;  // fewer files, same density profile
+    workload.file_size_min = size_kb * 1024;  // fixed size
+    workload.file_size_max = size_kb * 1024;
+    std::vector<bench::SchemePools> row;
+    for (SchemeKind kind : bench::AllSchemes()) {
+      std::fprintf(stderr, "[fig8] %llu KB, %s...\n",
+                   static_cast<unsigned long long>(size_kb),
+                   SchemeName(kind));
+      FileStoreOptions store_opts;
+      auto pools =
+          bench::PreparePools(kind, workload, store_opts, kTraceCount);
+      if (!pools.ok()) {
+        std::fprintf(stderr, "[fig8] %s failed: %s\n", SchemeName(kind),
+                     pools.status().ToString().c_str());
+        return 1;
+      }
+      row.push_back(std::move(pools).value());
+    }
+    all_pools.push_back(std::move(row));
+  }
+
+  std::printf("\n(a) Read: normalized access time (sec/KB)\n");
+  bench::PrintSeriesHeader("size(KB)");
+  for (size_t s = 0; s < std::size(kSizesKb); ++s) {
+    std::printf("%-10llu", static_cast<unsigned long long>(kSizesKb[s]));
+    for (const auto& pools : all_pools[s]) {
+      double t = bench::MeanAccessTime(pools.reads, kUsers, 1024);
+      std::printf("%12.5f", t < 0 ? -1.0 : t / kSizesKb[s]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\n(b) Write: normalized access time (sec/KB)\n");
+  bench::PrintSeriesHeader("size(KB)");
+  for (size_t s = 0; s < std::size(kSizesKb); ++s) {
+    std::printf("%-10llu", static_cast<unsigned long long>(kSizesKb[s]));
+    for (const auto& pools : all_pools[s]) {
+      double t = bench::MeanAccessTime(pools.writes, kUsers, 1024);
+      std::printf("%12.5f", t < 0 ? -1.0 : t / kSizesKb[s]);
+    }
+    std::printf("\n");
+  }
+
+  std::printf("\nPaper shape check: per-scheme curves are ~flat (ranking "
+              "independent of file size).\n");
+  bench::PrintFooter();
+  return 0;
+}

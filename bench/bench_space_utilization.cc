@@ -1,0 +1,100 @@
+// Section 5.2 headline numbers: effective space utilization of the three
+// steganographic schemes on a 1 GB volume with (1, 2] MB files.
+//
+//   StegCover ~ 75%      (analytic: E[file]/cover, one file per cover)
+//   StegRand  ~ 5%       (Monte-Carlo at 1 KB blocks, replication sweep max)
+//   StegFS    > 80%      (measured: real volume loaded until NoSpace)
+//
+// The paper's conclusion: StegFS is at least 10x more space-efficient than
+// StegRand and beats StegCover without needing file packing/spanning.
+#include <cstdio>
+
+#include "baselines/file_store.h"
+#include "bench/bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "sim/space.h"
+#include "sim/workload.h"
+
+using namespace stegfs;
+
+namespace {
+
+// Loads files into a real StegFS volume until allocation fails; returns
+// unique-data bytes / volume bytes.
+double MeasureStegFs(uint64_t volume_bytes, uint32_t block_size) {
+  MemBlockDevice dev(block_size, volume_bytes / block_size);
+  FileStoreOptions opts;
+  auto store = CreateFileStore(SchemeKind::kStegFs, &dev, opts);
+  if (!store.ok()) return -1;
+
+  sim::WorkloadConfig wl;
+  wl.volume_bytes = volume_bytes;
+  wl.block_size = block_size;
+  wl.num_files = 100000;  // effectively unbounded: load until full
+  Xoshiro rng(42);
+  uint64_t loaded = 0;
+  for (uint32_t i = 0;; ++i) {
+    uint64_t size = rng.UniformRange(wl.file_size_min, wl.file_size_max);
+    sim::WorkloadFile f;
+    f.name = "file-" + std::to_string(i);
+    f.key = "key-" + std::to_string(i);
+    f.size = size;
+    Status s =
+        (*store)->WriteFile(f.name, f.key, sim::FileContent(f, wl.seed));
+    if (!s.ok()) break;
+    loaded += size;
+  }
+  return static_cast<double>(loaded) / volume_bytes;
+}
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Section 5.2: Effective Space Utilization",
+      "1 GB volume, 1 KB blocks, files uniform (1, 2] MB, Table 1 defaults");
+
+  double cover = sim::StegCoverSpaceUtilization((1 << 20) + 1, 2 << 20,
+                                                2 << 20);
+
+  sim::StegRandSpaceConfig rand_cfg;
+  rand_cfg.block_size = 1024;
+  rand_cfg.trials = 3;
+  double rand_best = 0;
+  uint32_t rand_best_r = 1;
+  for (uint32_t r : {1u, 2u, 4u, 8u, 16u, 32u, 64u}) {
+    rand_cfg.replication = r;
+    double u = sim::StegRandSpaceUtilization(rand_cfg);
+    if (u > rand_best) {
+      rand_best = u;
+      rand_best_r = r;
+    }
+  }
+
+  // Measured on a real (smaller) volume plus the analytic model at 1 GB;
+  // the measurement uses 256 MB to keep the bench fast — utilization is
+  // scale-free for StegFS (overheads are proportional).
+  double stegfs_measured = MeasureStegFs(256ULL << 20, 1024);
+  sim::StegFsSpaceConfig fs_cfg;
+  double stegfs_analytic = sim::StegFsSpaceUtilization(fs_cfg);
+
+  std::printf("%-12s %-14s %s\n", "scheme", "utilization", "method");
+  std::printf("%-12s %8.1f%%      %s\n", "StegCover", cover * 100,
+              "analytic (E[file]/cover, paper 5.2)");
+  std::printf("%-12s %8.1f%%      %s\n", "StegRand", rand_best * 100,
+              ("Monte-Carlo, best replication=" + std::to_string(rand_best_r))
+                  .c_str());
+  std::printf("%-12s %8.1f%%      %s\n", "StegFS", stegfs_measured * 100,
+              "measured: real 256 MB volume loaded to NoSpace");
+  std::printf("%-12s %8.1f%%      %s\n", "StegFS", stegfs_analytic * 100,
+              "analytic overhead model at 1 GB");
+
+  std::printf("\nPaper check: StegCover ~75%%; StegRand ~5%% at 1 KB blocks; "
+              "StegFS >80%%\n(>=10x more space-efficient than StegRand).\n");
+  if (rand_best > 0) {
+    std::printf("StegFS / StegRand space advantage: %.1fx\n",
+                stegfs_measured / rand_best);
+  }
+  bench::PrintFooter();
+  return 0;
+}

@@ -1,0 +1,27 @@
+// Shared output helpers for the figure/table reproduction binaries. Every
+// bench prints (a) a header identifying the paper artifact it regenerates,
+// (b) a plain-text table of the same series the paper plots, readable by a
+// human and trivially parseable (tab-separated).
+#ifndef STEGFS_BENCH_BENCH_UTIL_H_
+#define STEGFS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+
+namespace stegfs {
+namespace bench {
+
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& description) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("==============================================================\n");
+}
+
+inline void PrintFooter() { std::printf("\n"); }
+
+}  // namespace bench
+}  // namespace stegfs
+
+#endif  // STEGFS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,81 @@
+// Shared plumbing for the performance-figure benches (figures 7, 8, 9):
+// build a loaded volume per scheme, capture whole-file read/write operation
+// traces, replay them through the disk model at various concurrency levels.
+#ifndef STEGFS_BENCH_PERF_COMMON_H_
+#define STEGFS_BENCH_PERF_COMMON_H_
+
+#include <cstdio>
+#include <memory>
+#include <vector>
+
+#include "baselines/file_store.h"
+#include "sim/experiment.h"
+#include "sim/interleaver.h"
+#include "sim/workload.h"
+
+namespace stegfs {
+namespace bench {
+
+inline const std::vector<SchemeKind>& AllSchemes() {
+  static const std::vector<SchemeKind> kSchemes = {
+      SchemeKind::kCleanDisk, SchemeKind::kFragDisk, SchemeKind::kStegCover,
+      SchemeKind::kStegRand, SchemeKind::kStegFs};
+  return kSchemes;
+}
+
+struct SchemePools {
+  SchemeKind kind;
+  std::vector<IoTrace> reads;
+  std::vector<IoTrace> writes;
+  uint64_t read_failures = 0;
+  uint64_t write_failures = 0;
+  uint64_t load_failures = 0;
+};
+
+// Builds the volume, loads the population, captures `trace_count` read and
+// write op traces, then discards the (memory-heavy) volume.
+inline StatusOr<SchemePools> PreparePools(SchemeKind kind,
+                                          const sim::WorkloadConfig& workload,
+                                          const FileStoreOptions& store_opts,
+                                          int trace_count) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<sim::BenchEnv> env,
+                          sim::BuildLoadedEnv(kind, workload, store_opts));
+  SchemePools pools;
+  pools.kind = kind;
+  pools.load_failures = env->load_failures;
+  auto reads = sim::CaptureReadOps(env.get(), trace_count, workload.seed + 1);
+  pools.reads = std::move(reads.traces);
+  pools.read_failures = reads.failures;
+  auto writes =
+      sim::CaptureWriteOps(env.get(), trace_count, workload.seed + 2);
+  pools.writes = std::move(writes.traces);
+  pools.write_failures = writes.failures;
+  return pools;
+}
+
+// Mean per-operation access time when `users` users replay ops from `pool`
+// concurrently. Each user receives distinct traces whenever the pool is
+// large enough — two users replaying the same trace in lockstep would share
+// drive-cache streams and understate contention.
+inline double MeanAccessTime(const std::vector<IoTrace>& pool, int users,
+                             uint32_t block_size) {
+  if (pool.empty()) return -1;
+  int ops_per_user =
+      std::max<int>(1, static_cast<int>(pool.size()) / users);
+  auto streams = sim::AssignOps(pool, users, ops_per_user);
+  auto result = sim::ReplayInterleaved(streams, DiskModelConfig{}, block_size);
+  return result.mean_latency;
+}
+
+inline void PrintSeriesHeader(const char* xlabel) {
+  std::printf("%-10s", xlabel);
+  for (SchemeKind kind : AllSchemes()) {
+    std::printf("%12s", SchemeName(kind));
+  }
+  std::printf("\n");
+}
+
+}  // namespace bench
+}  // namespace stegfs
+
+#endif  // STEGFS_BENCH_PERF_COMMON_H_

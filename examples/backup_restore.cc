@@ -1,0 +1,100 @@
+// Backup & recovery walkthrough (paper section 3.3, APIs 8-9).
+//
+// Shows the asymmetric backup strategy: plain files are saved logically
+// while hidden/abandoned/dummy blocks are imaged raw and restored to their
+// ORIGINAL addresses — the administrator backs up data they cannot even
+// enumerate, and hidden files survive a total volume loss.
+#include <cstdio>
+
+#include "blockdev/mem_block_device.h"
+#include "core/backup.h"
+#include "core/stegfs.h"
+#include "util/random.h"
+
+using namespace stegfs;
+
+namespace {
+#define CHECK_OK(expr)                                              \
+  do {                                                              \
+    ::stegfs::Status _s = (expr);                                   \
+    if (!_s.ok()) {                                                 \
+      std::fprintf(stderr, "FATAL: %s -> %s\n", #expr,              \
+                   _s.ToString().c_str());                          \
+      return 1;                                                     \
+    }                                                               \
+  } while (0)
+}  // namespace
+
+int main() {
+  std::printf("=== StegFS backup & recovery walkthrough ===\n\n");
+
+  MemBlockDevice dev(1024, 65536);  // 64 MB production volume
+  StegFormatOptions format;
+  format.params.dummy_file_count = 4;
+  format.params.dummy_file_avg_bytes = 256 << 10;
+  format.entropy = "backup-demo";
+  CHECK_OK(StegFs::Format(&dev, format));
+  auto mounted = StegFs::Mount(&dev, StegFsOptions{});
+  if (!mounted.ok()) return 1;
+  StegFs* fs = mounted->get();
+
+  // Populate: plain tree + a user's hidden vault.
+  CHECK_OK(fs->plain()->MkDir("/srv"));
+  CHECK_OK(fs->plain()->WriteFile("/srv/index.html", "<h1>hello</h1>"));
+  Xoshiro rng(21);
+  std::string db(2 << 20, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(db.data()), db.size());
+  CHECK_OK(fs->plain()->WriteFile("/srv/data.db", db));
+
+  std::string vault(900 << 10, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(vault.data()), vault.size());
+  CHECK_OK(fs->StegCreate("carol", "vault", "carol-uak", HiddenType::kFile));
+  CHECK_OK(fs->StegConnect("carol", "vault", "carol-uak"));
+  CHECK_OK(fs->HiddenWriteAll("carol", "vault", vault));
+  CHECK_OK(fs->DisconnectAll("carol"));
+  std::printf("Volume populated: 2 plain files + carol's 900 KB hidden "
+              "vault\n");
+
+  // The administrator runs steg_backup, knowing nothing of carol's vault.
+  BackupStats stats;
+  auto image = StegBackup(fs, &stats);
+  if (!image.ok()) return 1;
+  std::printf("\nsteg_backup image: %.2f MB total\n",
+              stats.image_bytes / 1048576.0);
+  std::printf("  raw-imaged blocks (hidden+abandoned+dummy): %llu (%.2f "
+              "MB)\n",
+              static_cast<unsigned long long>(stats.imaged_blocks),
+              stats.imaged_blocks * 1024 / 1048576.0);
+  std::printf("  plain files saved logically: %llu files, %llu dirs\n",
+              static_cast<unsigned long long>(stats.plain_files),
+              static_cast<unsigned long long>(stats.plain_dirs));
+  std::printf("  (a full device image would be 64 MB)\n");
+
+  // Catastrophe: the volume is lost. Recover onto a fresh device.
+  std::printf("\n*** disk failure: original volume destroyed ***\n");
+  MemBlockDevice fresh(1024, 65536);
+  CHECK_OK(StegRecover(&fresh, image.value()));
+  std::printf("steg_recovery completed onto a fresh device\n");
+
+  auto recovered = StegFs::Mount(&fresh, StegFsOptions{});
+  if (!recovered.ok()) return 1;
+
+  auto html = (*recovered)->plain()->ReadFile("/srv/index.html");
+  auto db_back = (*recovered)->plain()->ReadFile("/srv/data.db");
+  if (!html.ok() || !db_back.ok()) return 1;
+  std::printf("\nplain files restored: index.html %s, data.db %s\n",
+              html.value() == "<h1>hello</h1>" ? "OK" : "MISMATCH",
+              db_back.value() == db ? "OK" : "MISMATCH");
+
+  CHECK_OK((*recovered)->StegConnect("carol", "vault", "carol-uak"));
+  auto vault_back = (*recovered)->HiddenReadAll("carol", "vault");
+  if (!vault_back.ok()) return 1;
+  std::printf("carol's hidden vault: %s (%zu bytes, original addresses)\n",
+              vault_back.value() == vault ? "OK" : "MISMATCH",
+              vault_back->size());
+
+  std::printf("\nNote the paper's caveat: hidden files restore together or "
+              "not at all —\ntheir inode tables cannot be relocated by a "
+              "process that cannot read them.\n\nbackup_restore: OK\n");
+  return 0;
+}

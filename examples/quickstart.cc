@@ -1,0 +1,118 @@
+// Quickstart: format a StegFS volume, hide a file, prove it survives a
+// remount and that the wrong key finds nothing.
+//
+//   ./quickstart [volume-path]
+//
+// With a path, the volume persists on the host file system (re-run to see
+// the hidden file come back); without, an in-memory volume is used.
+#include <cstdio>
+#include <memory>
+
+#include "blockdev/file_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "core/stegfs.h"
+
+using namespace stegfs;
+
+namespace {
+
+void Die(const Status& s, const char* where) {
+  std::fprintf(stderr, "FATAL at %s: %s\n", where, s.ToString().c_str());
+  std::exit(1);
+}
+
+#define CHECK_OK(expr)                       \
+  do {                                       \
+    ::stegfs::Status _s = (expr);            \
+    if (!_s.ok()) Die(_s, #expr);            \
+  } while (0)
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // 1. A 64 MB volume with 1 KB blocks.
+  std::unique_ptr<BlockDevice> device;
+  bool fresh = true;
+  if (argc > 1) {
+    auto opened = FileBlockDevice::Open(argv[1], 1024);
+    if (opened.ok()) {
+      device = std::move(opened).value();
+      fresh = false;
+      std::printf("Reopened existing volume %s\n", argv[1]);
+    } else {
+      auto created = FileBlockDevice::Create(argv[1], 1024, 65536);
+      if (!created.ok()) Die(created.status(), "create volume");
+      device = std::move(created).value();
+      std::printf("Created volume file %s (64 MB)\n", argv[1]);
+    }
+  } else {
+    device = std::make_unique<MemBlockDevice>(1024, 65536);
+    std::printf("Using an in-memory 64 MB volume\n");
+  }
+
+  // 2. Format (random-fill + abandoned blocks + dummy files), then mount.
+  if (fresh) {
+    StegFormatOptions format;
+    format.params.dummy_file_count = 4;          // small demo volume
+    format.params.dummy_file_avg_bytes = 256 << 10;
+    format.entropy = "quickstart-demo";
+    CHECK_OK(StegFs::Format(device.get(), format));
+    std::printf("Formatted: every block random-filled, %u dummy files, "
+                "%.0f%% abandoned blocks\n",
+                format.params.dummy_file_count,
+                format.params.abandoned_fraction * 100);
+  }
+  auto fs = StegFs::Mount(device.get(), StegFsOptions{});
+  if (!fs.ok()) Die(fs.status(), "mount");
+
+  // 3. Ordinary files work as usual — and provide plausible cover.
+  CHECK_OK((*fs)->plain()->WriteFile("/shopping-list.txt",
+                                     "eggs, milk, bread"));
+  std::printf("\nPlain file /shopping-list.txt written (visible to anyone)\n");
+
+  // 4. Hide a document under user 'alice' with her user access key.
+  const std::string uid = "alice";
+  const std::string uak = "alice-secret-uak";
+  if (fresh) {
+    CHECK_OK((*fs)->StegCreate(uid, "budget.xls", uak, HiddenType::kFile));
+    CHECK_OK((*fs)->StegConnect(uid, "budget.xls", uak));
+    CHECK_OK((*fs)->HiddenWriteAll(uid, "budget.xls",
+                                   "Q3 acquisition budget: $4.2M"));
+    CHECK_OK((*fs)->DisconnectAll(uid));
+    std::printf("Hidden file 'budget.xls' created and disconnected\n");
+  }
+
+  // 5. Remount: nothing about the hidden file is visible...
+  CHECK_OK((*fs)->Flush());
+  fs->reset();
+  fs = StegFs::Mount(device.get(), StegFsOptions{});
+  if (!fs.ok()) Die(fs.status(), "remount");
+  auto listing = (*fs)->plain()->List("/");
+  std::printf("\nAfter remount, central directory lists %zu entr%s:\n",
+              listing->size(), listing->size() == 1 ? "y" : "ies");
+  for (const auto& e : *listing) {
+    std::printf("  /%s\n", e.name.c_str());
+  }
+
+  // 6. ...the wrong key finds nothing...
+  Status wrong = (*fs)->StegConnect(uid, "budget.xls", "wrong-key");
+  std::printf("\nConnect with wrong key: %s\n", wrong.ToString().c_str());
+
+  // 7. ...but the right key recovers the document.
+  CHECK_OK((*fs)->StegConnect(uid, "budget.xls", uak));
+  auto content = (*fs)->HiddenReadAll(uid, "budget.xls");
+  if (!content.ok()) Die(content.status(), "hidden read");
+  std::printf("Connect with correct key: \"%s\"\n", content->c_str());
+
+  SpaceReport r = (*fs)->ReportSpace();
+  std::printf("\nVolume: %llu/%llu blocks allocated (plain bytes: %llu)\n",
+              static_cast<unsigned long long>(r.allocated_blocks),
+              static_cast<unsigned long long>(r.total_blocks),
+              static_cast<unsigned long long>(r.plain_file_bytes));
+  std::printf("An observer cannot tell which unlisted blocks are abandoned, "
+              "dummy, or alice's.\n");
+  CHECK_OK((*fs)->DisconnectAll(uid));
+  CHECK_OK((*fs)->Flush());
+  std::printf("\nquickstart: OK\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+#include "baselines/file_store.h"
+
+#include "baselines/native_fs.h"
+#include "baselines/steg_cover.h"
+#include "baselines/steg_rand.h"
+#include "baselines/steg_rand_ida.h"
+#include "baselines/stegfs_store.h"
+
+namespace stegfs {
+
+const char* SchemeName(SchemeKind kind) {
+  switch (kind) {
+    case SchemeKind::kCleanDisk:
+      return "CleanDisk";
+    case SchemeKind::kFragDisk:
+      return "FragDisk";
+    case SchemeKind::kStegCover:
+      return "StegCover";
+    case SchemeKind::kStegRand:
+      return "StegRand";
+    case SchemeKind::kStegFs:
+      return "StegFS";
+    case SchemeKind::kStegRandIda:
+      return "StegRandIDA";
+  }
+  return "Unknown";
+}
+
+StatusOr<std::unique_ptr<FileStore>> CreateFileStore(
+    SchemeKind kind, BlockDevice* device, const FileStoreOptions& options) {
+  switch (kind) {
+    case SchemeKind::kCleanDisk: {
+      STEGFS_ASSIGN_OR_RETURN(
+          std::unique_ptr<NativeStore> store,
+          NativeStore::Create(device, options, /*fragmented=*/false));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+    case SchemeKind::kFragDisk: {
+      STEGFS_ASSIGN_OR_RETURN(
+          std::unique_ptr<NativeStore> store,
+          NativeStore::Create(device, options, /*fragmented=*/true));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+    case SchemeKind::kStegCover: {
+      STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<StegCoverStore> store,
+                              StegCoverStore::Create(device, options));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+    case SchemeKind::kStegRand: {
+      STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<StegRandStore> store,
+                              StegRandStore::Create(device, options));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+    case SchemeKind::kStegFs: {
+      STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<StegFsStore> store,
+                              StegFsStore::Create(device, options));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+    case SchemeKind::kStegRandIda: {
+      STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<StegRandIdaStore> store,
+                              StegRandIdaStore::Create(device, options));
+      return std::unique_ptr<FileStore>(std::move(store));
+    }
+  }
+  return Status::InvalidArgument("unknown scheme kind");
+}
+
+}  // namespace stegfs

@@ -1,0 +1,85 @@
+// FileStore: the uniform facade over the five comparison systems of the
+// paper's Table 4, so the workload simulator and benchmarks can drive any
+// of them interchangeably:
+//
+//   kCleanDisk  - native FS, freshly defragmented (contiguous allocation)
+//   kFragDisk   - native FS, well-used (8-block fragments)
+//   kStegCover  - Anderson/Needham/Shamir scheme 1: XOR of 16 cover files
+//   kStegRand   - Anderson scheme 2: pseudorandom absolute addresses with
+//                 replication (the McDonald/Kuhn StegFS lineage)
+//   kStegFs     - this paper's scheme
+#ifndef STEGFS_BASELINES_FILE_STORE_H_
+#define STEGFS_BASELINES_FILE_STORE_H_
+
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+enum class SchemeKind {
+  kCleanDisk,
+  kFragDisk,
+  kStegCover,
+  kStegRand,
+  kStegFs,
+  // Extension (paper section 2, Hand & Roscoe): random placement with
+  // Rabin IDA instead of replication. Not part of Table 4's five systems.
+  kStegRandIda,
+};
+
+const char* SchemeName(SchemeKind kind);
+
+struct FileStoreOptions {
+  // Buffer cache blocks (kept small in benchmarks so device traces are
+  // complete; the drive-level cache lives in DiskModel).
+  size_t cache_blocks = 256;
+  // StegCover: number of cover files XORed per hidden file ("16 cover
+  // files as recommended by the authors").
+  uint32_t cover_count = 16;
+  uint64_t cover_size_bytes = 2 << 20;  // covers must fit the largest file
+  // StegRand: replication factor ("a replication factor of 4 is used ...
+  // according to the authors' recommendation").
+  uint32_t replication = 4;
+  // StegRandIda: any ida_m of ida_n coded fragments reconstruct a stripe.
+  int ida_m = 4;
+  int ida_n = 8;
+  // Deterministic seeds.
+  uint64_t rng_seed = 0x46535452;
+};
+
+class FileStore {
+ public:
+  virtual ~FileStore() = default;
+
+  virtual SchemeKind kind() const = 0;
+
+  // Stores `data` under (name, key), replacing any previous content.
+  virtual Status WriteFile(const std::string& name, const std::string& key,
+                           const std::string& data) = 0;
+  virtual StatusOr<std::string> ReadFile(const std::string& name,
+                                         const std::string& key) = 0;
+  virtual Status DeleteFile(const std::string& name, const std::string& key) {
+    (void)name;
+    (void)key;
+    return Status::NotSupported("delete not supported by this scheme");
+  }
+  virtual Status Flush() = 0;
+
+  // Bytes of unique user data this store can hold (scheme-dependent; used
+  // by the space-utilization experiments).
+  virtual uint64_t CapacityBytes() const = 0;
+};
+
+// Builds a store of the given kind over `device`. For kCleanDisk/kFragDisk/
+// kStegFs the device is formatted first; kStegCover/kStegRand use the raw
+// device directly (those schemes have no file-system metadata at all).
+StatusOr<std::unique_ptr<FileStore>> CreateFileStore(
+    SchemeKind kind, BlockDevice* device, const FileStoreOptions& options);
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_FILE_STORE_H_

@@ -1,0 +1,39 @@
+#include "baselines/native_fs.h"
+
+namespace stegfs {
+
+StatusOr<std::unique_ptr<NativeStore>> NativeStore::Create(
+    BlockDevice* device, const FileStoreOptions& options, bool fragmented) {
+  FormatOptions fo;
+  STEGFS_RETURN_IF_ERROR(PlainFs::Format(device, fo));
+  MountOptions mo;
+  mo.policy =
+      fragmented ? AllocPolicy::kFragmented8 : AllocPolicy::kContiguous;
+  mo.cache_blocks = options.cache_blocks;
+  mo.write_policy = WritePolicy::kWriteThrough;
+  mo.rng_seed = options.rng_seed;
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<PlainFs> fs,
+                          PlainFs::Mount(device, mo));
+  return std::unique_ptr<NativeStore>(
+      new NativeStore(std::move(fs), fragmented));
+}
+
+Status NativeStore::WriteFile(const std::string& name, const std::string& key,
+                              const std::string& data) {
+  (void)key;  // the native FS offers no protection — that is the point
+  return fs_->WriteFile(PathFor(name), data);
+}
+
+StatusOr<std::string> NativeStore::ReadFile(const std::string& name,
+                                            const std::string& key) {
+  (void)key;
+  return fs_->ReadFile(PathFor(name));
+}
+
+Status NativeStore::DeleteFile(const std::string& name,
+                               const std::string& key) {
+  (void)key;
+  return fs_->Unlink(PathFor(name));
+}
+
+}  // namespace stegfs

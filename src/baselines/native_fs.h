@@ -1,0 +1,55 @@
+// Native-FS comparison points (paper Table 4):
+//   CleanDisk - "freshly defragmented Linux file system": PlainFs with
+//               contiguous allocation, files laid out in runs.
+//   FragDisk  - "well-used Linux file system with fragmentation ...
+//               simulated by breaking each file into fragments of 8
+//               blocks": PlainFs with the 8-block-fragment allocator.
+// These bound what any protection scheme can achieve (no hiding, no
+// crypto); the paper's claim is that StegFS converges to them under
+// multi-user load.
+#ifndef STEGFS_BASELINES_NATIVE_FS_H_
+#define STEGFS_BASELINES_NATIVE_FS_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/file_store.h"
+#include "fs/plain_fs.h"
+
+namespace stegfs {
+
+class NativeStore : public FileStore {
+ public:
+  // `fragmented` selects FragDisk; otherwise CleanDisk.
+  static StatusOr<std::unique_ptr<NativeStore>> Create(
+      BlockDevice* device, const FileStoreOptions& options, bool fragmented);
+
+  SchemeKind kind() const override {
+    return fragmented_ ? SchemeKind::kFragDisk : SchemeKind::kCleanDisk;
+  }
+  Status WriteFile(const std::string& name, const std::string& key,
+                   const std::string& data) override;
+  StatusOr<std::string> ReadFile(const std::string& name,
+                                 const std::string& key) override;
+  Status DeleteFile(const std::string& name, const std::string& key) override;
+  Status Flush() override { return fs_->Flush(); }
+
+  uint64_t CapacityBytes() const override {
+    return fs_->layout().data_blocks() * fs_->layout().block_size;
+  }
+
+  PlainFs* fs() { return fs_.get(); }
+
+ private:
+  NativeStore(std::unique_ptr<PlainFs> fs, bool fragmented)
+      : fs_(std::move(fs)), fragmented_(fragmented) {}
+
+  static std::string PathFor(const std::string& name) { return "/" + name; }
+
+  std::unique_ptr<PlainFs> fs_;
+  bool fragmented_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_NATIVE_FS_H_

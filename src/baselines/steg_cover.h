@@ -1,0 +1,86 @@
+// StegCover: Anderson, Needham & Shamir's first steganographic file system
+// construction (paper [7], benchmarked as "StegCover" in section 5).
+//
+// The volume is divided into fixed-size cover files initialized with random
+// noise. A hidden file is the XOR of a password-selected subset of covers
+// (16 here, per the authors' recommendation). Reading XORs the subset's
+// covers block-round-robin; writing re-satisfies the subset's XOR
+// constraint by flipping a solved combination of the group's covers.
+//
+// The scheme's intrinsic hazard — a naive carrier rewrite corrupts any
+// co-resident file whose subset contains that cover — is handled with
+// Anderson's own linear-algebra construction at cover-GROUP granularity:
+// writes solve a small GF(2) system so the delta lands only on cover
+// combinations orthogonal to every other registered file's constraint.
+// Correct for all co-residents, Anderson-capacity (n files per n covers),
+// and the write cost (~reads of the group + ~half its covers rewritten)
+// shows up in the benchmarks honestly.
+#ifndef STEGFS_BASELINES_STEG_COVER_H_
+#define STEGFS_BASELINES_STEG_COVER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "baselines/file_store.h"
+#include "cache/buffer_cache.h"
+
+namespace stegfs {
+
+class StegCoverStore : public FileStore {
+ public:
+  static StatusOr<std::unique_ptr<StegCoverStore>> Create(
+      BlockDevice* device, const FileStoreOptions& options);
+
+  SchemeKind kind() const override { return SchemeKind::kStegCover; }
+  Status WriteFile(const std::string& name, const std::string& key,
+                   const std::string& data) override;
+  StatusOr<std::string> ReadFile(const std::string& name,
+                                 const std::string& key) override;
+  Status Flush() override { return cache_->Flush(); }
+
+  // One file per cover on average ("it can accommodate as many objects as
+  // there are cover files"); utilization bound = avg file / cover size.
+  uint64_t CapacityBytes() const override {
+    return num_covers_ * cover_bytes_;
+  }
+
+  uint64_t num_covers() const { return num_covers_; }
+  // Password-derived cover subset (exposed for tests).
+  std::vector<uint32_t> SubsetFor(const std::string& name,
+                                  const std::string& key) const;
+
+ private:
+  StegCoverStore(BlockDevice* device, const FileStoreOptions& options);
+
+  struct Registered {
+    std::vector<uint32_t> subset;
+    uint32_t length_bytes;  // stored payload length (with size prefix)
+  };
+
+  // Reads/writes whole covers block-by-block.
+  Status ReadCover(uint32_t cover, std::vector<uint8_t>* out);
+  Status WriteCover(uint32_t cover, const std::vector<uint8_t>& data);
+  // XOR of the covers in `subset`, round-robin by block (bounded memory in
+  // a real system; here it also produces the seek-heavy access pattern the
+  // paper measured).
+  Status XorSubset(const std::vector<uint32_t>& subset,
+                   std::vector<uint8_t>* out);
+
+  // Payload codec: [u32 length][data][zero pad to cover size].
+  StatusOr<std::string> DecodePayload(const std::vector<uint8_t>& cover_image);
+
+  BlockDevice* device_;
+  std::unique_ptr<BufferCache> cache_;
+  uint32_t block_size_;
+  uint64_t cover_bytes_;
+  uint32_t blocks_per_cover_;
+  uint64_t num_covers_;
+  uint32_t cover_count_;  // covers per file subset (16)
+  std::map<std::string, Registered> registry_;  // physical name -> info
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_STEG_COVER_H_

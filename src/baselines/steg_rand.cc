@@ -1,0 +1,181 @@
+#include "baselines/steg_rand.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/block_crypter.h"
+#include "crypto/hmac.h"
+#include "crypto/keys.h"
+#include "crypto/prng.h"
+#include "util/coding.h"
+
+namespace stegfs {
+
+namespace {
+constexpr uint32_t kMacBytes = 32;
+constexpr uint32_t kOverheadBytes = kMacBytes + 8;  // MAC + sequence stamp
+
+crypto::Sha256Digest ChainSeed(const std::string& name,
+                               const std::string& key, uint32_t replica) {
+  crypto::Sha256 h;
+  h.Update("stegrand-chain\0", 15);
+  h.Update(name);
+  h.Update("\0", 1);
+  h.Update(key);
+  uint8_t r[4] = {static_cast<uint8_t>(replica),
+                  static_cast<uint8_t>(replica >> 8),
+                  static_cast<uint8_t>(replica >> 16),
+                  static_cast<uint8_t>(replica >> 24)};
+  h.Update(r, 4);
+  return h.Finish();
+}
+
+crypto::Sha256Digest BlockMac(const std::string& key, uint32_t replica,
+                              uint64_t index, const uint8_t* cipher,
+                              size_t n) {
+  std::string msg;
+  PutFixed32(&msg, replica);
+  PutFixed64(&msg, index);
+  msg.append(reinterpret_cast<const char*>(cipher), n);
+  return crypto::HmacSha256("stegrand-mac:" + key, msg);
+}
+
+}  // namespace
+
+StegRandStore::StegRandStore(BlockDevice* device,
+                             const FileStoreOptions& options)
+    : device_(device),
+      cache_(std::make_unique<BufferCache>(device, options.cache_blocks,
+                                           WritePolicy::kWriteThrough)),
+      block_size_(device->block_size()),
+      payload_bytes_(block_size_ - kOverheadBytes),
+      replication_(options.replication) {}
+
+StatusOr<std::unique_ptr<StegRandStore>> StegRandStore::Create(
+    BlockDevice* device, const FileStoreOptions& options) {
+  if (options.replication == 0) {
+    return Status::InvalidArgument("replication factor must be >= 1");
+  }
+  if (device->block_size() <= kOverheadBytes + 16) {
+    return Status::InvalidArgument("block size too small for StegRand");
+  }
+  return std::unique_ptr<StegRandStore>(
+      new StegRandStore(device, options));
+}
+
+uint64_t StegRandStore::AddressOf(const std::string& name,
+                                  const std::string& key, uint32_t replica,
+                                  uint64_t index) const {
+  crypto::HashChainPrng prng(ChainSeed(name, key, replica),
+                             device_->num_blocks());
+  uint64_t addr = 0;
+  for (uint64_t i = 0; i <= index; ++i) addr = prng.Next();
+  return addr;
+}
+
+Status StegRandStore::WriteFile(const std::string& name,
+                                const std::string& key,
+                                const std::string& data) {
+  // Stream = [u64 length][data], chunked into payload-sized pieces.
+  std::string stream;
+  PutFixed64(&stream, data.size());
+  stream += data;
+  uint64_t nblocks = (stream.size() + payload_bytes_ - 1) / payload_bytes_;
+
+  // One address chain per replica, advanced in lockstep.
+  std::vector<crypto::HashChainPrng> chains;
+  chains.reserve(replication_);
+  for (uint32_t r = 0; r < replication_; ++r) {
+    chains.emplace_back(ChainSeed(name, key, r), device_->num_blocks());
+  }
+
+  crypto::BlockCrypter crypter("stegrand:" + key);
+  std::vector<uint8_t> block(block_size_);
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    // Payload chunk, zero-padded.
+    std::vector<uint8_t> payload(payload_bytes_, 0);
+    size_t off = i * payload_bytes_;
+    size_t take = std::min<size_t>(payload_bytes_, stream.size() - off);
+    std::memcpy(payload.data(), stream.data() + off, take);
+
+    for (uint32_t r = 0; r < replication_; ++r) {
+      uint64_t addr = chains[r].Next();
+      // Encrypt with a (replica, index)-unique tweak so replicas don't
+      // produce identical ciphertext at different addresses.
+      std::vector<uint8_t> cipher = payload;
+      // Pad the cipher region to a 16-byte multiple inside the block.
+      size_t cipher_len = payload_bytes_ / 16 * 16;
+      crypter.EncryptBlock((static_cast<uint64_t>(r) << 40) | i,
+                           cipher.data(), cipher_len);
+      std::memcpy(block.data(), cipher.data(), payload_bytes_);
+      EncodeFixed64(block.data() + payload_bytes_, i);
+      crypto::Sha256Digest mac =
+          BlockMac(key, r, i, cipher.data(), payload_bytes_);
+      std::memcpy(block.data() + payload_bytes_ + 8, mac.data(), mac.size());
+      STEGFS_RETURN_IF_ERROR(cache_->Write(addr, block.data()));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> StegRandStore::ReadFile(const std::string& name,
+                                              const std::string& key) {
+  std::vector<crypto::HashChainPrng> chains;
+  chains.reserve(replication_);
+  for (uint32_t r = 0; r < replication_; ++r) {
+    chains.emplace_back(ChainSeed(name, key, r), device_->num_blocks());
+  }
+
+  crypto::BlockCrypter crypter("stegrand:" + key);
+  std::vector<uint8_t> block(block_size_);
+  std::string stream;
+  uint64_t expected_len = 0;
+  bool have_len = false;
+  uint64_t nblocks = UINT64_MAX;
+
+  for (uint64_t i = 0; i < nblocks; ++i) {
+    bool recovered = false;
+    for (uint32_t r = 0; r < replication_; ++r) {
+      uint64_t addr = chains[r].Next();
+      if (recovered) continue;  // keep chains in lockstep
+      STEGFS_RETURN_IF_ERROR(cache_->Read(addr, block.data()));
+      crypto::Sha256Digest mac =
+          BlockMac(key, r, i, block.data(), payload_bytes_);
+      if (std::memcmp(mac.data(), block.data() + payload_bytes_ + 8,
+                      mac.size()) != 0) {
+        continue;  // overwritten or foreign: hunt the next replica
+      }
+      std::vector<uint8_t> payload(block.data(),
+                                   block.data() + payload_bytes_);
+      size_t cipher_len = payload_bytes_ / 16 * 16;
+      crypter.DecryptBlock((static_cast<uint64_t>(r) << 40) | i,
+                           payload.data(), cipher_len);
+      stream.append(reinterpret_cast<const char*>(payload.data()),
+                    payload.size());
+      recovered = true;
+    }
+    if (!recovered) {
+      if (i == 0) {
+        return Status::NotFound(
+            "no intact first block: file absent or destroyed");
+      }
+      return Status::DataLoss("all replicas of block " + std::to_string(i) +
+                              " were overwritten");
+    }
+    if (!have_len) {
+      Decoder dec(reinterpret_cast<const uint8_t*>(stream.data()),
+                  stream.size());
+      if (!dec.GetFixed64(&expected_len)) {
+        return Status::Corruption("short first block");
+      }
+      have_len = true;
+      if (expected_len > device_->capacity_bytes()) {
+        return Status::NotFound("implausible length: wrong key?");
+      }
+      nblocks = (8 + expected_len + payload_bytes_ - 1) / payload_bytes_;
+    }
+  }
+  return stream.substr(8, expected_len);
+}
+
+}  // namespace stegfs

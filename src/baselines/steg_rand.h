@@ -1,0 +1,71 @@
+// StegRand: Anderson, Needham & Shamir's second construction (paper [7]),
+// the scheme behind McDonald & Kuhn's 1999 Linux StegFS [13], benchmarked
+// as "StegRand" in section 5.
+//
+// A hidden file's blocks are written to ABSOLUTE device addresses produced
+// by a keyed pseudorandom sequence — no bitmap, no metadata, nothing to
+// observe. The fatal flaw the paper exploits: different files (and even
+// replicas of the same file) can map to the same addresses and silently
+// overwrite each other. Resilience comes only from writing R replicas of
+// every block and hoping one survives; reads hunt through replicas until a
+// MAC verifies.
+//
+// Each stored block is laid out as
+//   [payload (block_size - 40)][u64 sequence stamp][HMAC-SHA256/32]
+// with payload encrypted under the file key and the MAC binding
+// (file, replica, block index), so overwritten or foreign blocks are
+// detected with overwhelming probability.
+#ifndef STEGFS_BASELINES_STEG_RAND_H_
+#define STEGFS_BASELINES_STEG_RAND_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/file_store.h"
+#include "cache/buffer_cache.h"
+
+namespace stegfs {
+
+class StegRandStore : public FileStore {
+ public:
+  static StatusOr<std::unique_ptr<StegRandStore>> Create(
+      BlockDevice* device, const FileStoreOptions& options);
+
+  SchemeKind kind() const override { return SchemeKind::kStegRand; }
+  Status WriteFile(const std::string& name, const std::string& key,
+                   const std::string& data) override;
+  // Hunts for an intact replica of every block; DataLoss if any block has
+  // lost all replicas.
+  StatusOr<std::string> ReadFile(const std::string& name,
+                                 const std::string& key) override;
+  Status Flush() override { return cache_->Flush(); }
+
+  uint64_t CapacityBytes() const override {
+    return device_->capacity_bytes();
+  }
+
+  uint32_t payload_bytes() const { return payload_bytes_; }
+  uint32_t replication() const { return replication_; }
+
+  // Device address of replica r of block index i of (name, key). Exposed
+  // for tests and the figure-6 space simulation.
+  uint64_t AddressOf(const std::string& name, const std::string& key,
+                     uint32_t replica, uint64_t index) const;
+
+  // Discards the buffer cache (models a remount; tests use it after
+  // corrupting the raw device underneath).
+  void DropCaches() { cache_->DropAll(); }
+
+ private:
+  StegRandStore(BlockDevice* device, const FileStoreOptions& options);
+
+  BlockDevice* device_;
+  std::unique_ptr<BufferCache> cache_;
+  uint32_t block_size_;
+  uint32_t payload_bytes_;
+  uint32_t replication_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_STEG_RAND_H_

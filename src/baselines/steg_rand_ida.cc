@@ -1,0 +1,196 @@
+#include "baselines/steg_rand_ida.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/block_crypter.h"
+#include "crypto/gf256.h"
+#include "crypto/hmac.h"
+#include "crypto/prng.h"
+#include "util/coding.h"
+
+namespace stegfs {
+
+namespace {
+constexpr uint32_t kMacBytes = 32;
+constexpr uint32_t kOverheadBytes = kMacBytes + 8;  // MAC + stripe stamp
+
+crypto::Sha256Digest ChainSeed(const std::string& name,
+                               const std::string& key, int share) {
+  crypto::Sha256 h;
+  h.Update("stegrand-ida-chain\0", 19);
+  h.Update(name);
+  h.Update("\0", 1);
+  h.Update(key);
+  uint8_t s[4] = {static_cast<uint8_t>(share),
+                  static_cast<uint8_t>(share >> 8),
+                  static_cast<uint8_t>(share >> 16),
+                  static_cast<uint8_t>(share >> 24)};
+  h.Update(s, 4);
+  return h.Finish();
+}
+
+crypto::Sha256Digest FragmentMac(const std::string& key, int share,
+                                 uint64_t stripe, const uint8_t* cipher,
+                                 size_t len) {
+  std::string msg;
+  PutFixed32(&msg, static_cast<uint32_t>(share));
+  PutFixed64(&msg, stripe);
+  msg.append(reinterpret_cast<const char*>(cipher), len);
+  return crypto::HmacSha256("stegrand-ida-mac:" + key, msg);
+}
+
+}  // namespace
+
+StegRandIdaStore::StegRandIdaStore(BlockDevice* device,
+                                   const FileStoreOptions& options)
+    : device_(device),
+      cache_(std::make_unique<BufferCache>(device, options.cache_blocks,
+                                           WritePolicy::kWriteThrough)),
+      block_size_(device->block_size()),
+      payload_bytes_(block_size_ - kOverheadBytes),
+      m_(options.ida_m),
+      n_(options.ida_n) {}
+
+StatusOr<std::unique_ptr<StegRandIdaStore>> StegRandIdaStore::Create(
+    BlockDevice* device, const FileStoreOptions& options) {
+  if (options.ida_m < 1 || options.ida_n < options.ida_m ||
+      options.ida_n > 255) {
+    return Status::InvalidArgument("need 1 <= m <= n <= 255");
+  }
+  if (device->block_size() <= kOverheadBytes + 16) {
+    return Status::InvalidArgument("block size too small for StegRandIda");
+  }
+  return std::unique_ptr<StegRandIdaStore>(
+      new StegRandIdaStore(device, options));
+}
+
+uint64_t StegRandIdaStore::AddressOf(const std::string& name,
+                                     const std::string& key, int share,
+                                     uint64_t stripe) const {
+  crypto::HashChainPrng prng(ChainSeed(name, key, share),
+                             device_->num_blocks());
+  uint64_t addr = 0;
+  for (uint64_t i = 0; i <= stripe; ++i) addr = prng.Next();
+  return addr;
+}
+
+Status StegRandIdaStore::WriteFile(const std::string& name,
+                                   const std::string& key,
+                                   const std::string& data) {
+  std::string stream;
+  PutFixed64(&stream, data.size());
+  stream += data;
+  uint64_t payload_blocks =
+      (stream.size() + payload_bytes_ - 1) / payload_bytes_;
+  uint64_t stripes = (payload_blocks + m_ - 1) / m_;
+
+  std::vector<crypto::HashChainPrng> chains;
+  chains.reserve(n_);
+  for (int f = 0; f < n_; ++f) {
+    chains.emplace_back(ChainSeed(name, key, f), device_->num_blocks());
+  }
+
+  crypto::BlockCrypter crypter("stegrand-ida:" + key);
+  std::vector<uint8_t> device_block(block_size_);
+  const size_t cipher_len = payload_bytes_ / 16 * 16;
+
+  for (uint64_t s = 0; s < stripes; ++s) {
+    // Gather the stripe's m payload blocks (zero-padded past the end).
+    std::vector<std::vector<uint8_t>> blocks(
+        m_, std::vector<uint8_t>(payload_bytes_, 0));
+    for (int j = 0; j < m_; ++j) {
+      uint64_t idx = s * m_ + j;
+      size_t off = idx * payload_bytes_;
+      if (off < stream.size()) {
+        size_t take =
+            std::min<size_t>(payload_bytes_, stream.size() - off);
+        std::memcpy(blocks[j].data(), stream.data() + off, take);
+      }
+    }
+    std::vector<std::vector<uint8_t>> shares =
+        crypto::IdaEncodeStripe(blocks, n_);
+    for (int f = 0; f < n_; ++f) {
+      uint64_t addr = chains[f].Next();
+      // Encrypt with a (share, stripe)-unique tweak, then MAC.
+      crypter.EncryptBlock((static_cast<uint64_t>(f) << 40) | s,
+                           shares[f].data(), cipher_len);
+      std::memcpy(device_block.data(), shares[f].data(), payload_bytes_);
+      EncodeFixed64(device_block.data() + payload_bytes_, s);
+      crypto::Sha256Digest mac =
+          FragmentMac(key, f, s, shares[f].data(), payload_bytes_);
+      std::memcpy(device_block.data() + payload_bytes_ + 8, mac.data(),
+                  mac.size());
+      STEGFS_RETURN_IF_ERROR(cache_->Write(addr, device_block.data()));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::string> StegRandIdaStore::ReadFile(const std::string& name,
+                                                 const std::string& key) {
+  std::vector<crypto::HashChainPrng> chains;
+  chains.reserve(n_);
+  for (int f = 0; f < n_; ++f) {
+    chains.emplace_back(ChainSeed(name, key, f), device_->num_blocks());
+  }
+
+  crypto::BlockCrypter crypter("stegrand-ida:" + key);
+  std::vector<uint8_t> device_block(block_size_);
+  const size_t cipher_len = payload_bytes_ / 16 * 16;
+  std::string stream;
+  uint64_t expected_len = 0;
+  bool have_len = false;
+  uint64_t stripes = UINT64_MAX;
+
+  for (uint64_t s = 0; s < stripes; ++s) {
+    std::vector<std::pair<uint8_t, std::vector<uint8_t>>> intact;
+    for (int f = 0; f < n_; ++f) {
+      uint64_t addr = chains[f].Next();
+      if (static_cast<int>(intact.size()) >= m_) continue;  // lockstep
+      STEGFS_RETURN_IF_ERROR(cache_->Read(addr, device_block.data()));
+      crypto::Sha256Digest mac =
+          FragmentMac(key, f, s, device_block.data(), payload_bytes_);
+      if (std::memcmp(mac.data(),
+                      device_block.data() + payload_bytes_ + 8,
+                      mac.size()) != 0) {
+        continue;  // overwritten or foreign
+      }
+      std::vector<uint8_t> fragment(device_block.data(),
+                                    device_block.data() + payload_bytes_);
+      crypter.DecryptBlock((static_cast<uint64_t>(f) << 40) | s,
+                           fragment.data(), cipher_len);
+      intact.emplace_back(static_cast<uint8_t>(f), std::move(fragment));
+    }
+    if (static_cast<int>(intact.size()) < m_) {
+      if (s == 0) {
+        return Status::NotFound(
+            "no reconstructible first stripe: file absent or destroyed");
+      }
+      return Status::DataLoss("stripe " + std::to_string(s) +
+                              " has fewer than m intact fragments");
+    }
+    STEGFS_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> blocks,
+                            crypto::IdaDecodeStripe(intact, m_));
+    for (const auto& b : blocks) {
+      stream.append(reinterpret_cast<const char*>(b.data()), b.size());
+    }
+    if (!have_len) {
+      Decoder dec(reinterpret_cast<const uint8_t*>(stream.data()),
+                  stream.size());
+      if (!dec.GetFixed64(&expected_len)) {
+        return Status::Corruption("short first stripe");
+      }
+      have_len = true;
+      if (expected_len > device_->capacity_bytes()) {
+        return Status::NotFound("implausible length: wrong key?");
+      }
+      uint64_t payload_blocks =
+          (8 + expected_len + payload_bytes_ - 1) / payload_bytes_;
+      stripes = (payload_blocks + m_ - 1) / m_;
+    }
+  }
+  return stream.substr(8, expected_len);
+}
+
+}  // namespace stegfs

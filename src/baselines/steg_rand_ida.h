@@ -1,0 +1,69 @@
+// StegRandIda: the random-placement scheme with Rabin's Information
+// Dispersal Algorithm instead of replication — Hand & Roscoe's Mnemosyne
+// refinement discussed in the paper's related work (section 2):
+//
+//   "by replacing simple replication with the information dispersal
+//    algorithm (IDA) ... a file owner chooses two numbers m <= n and
+//    encodes the hidden file into n cipher-blocks such that any m of them
+//    suffice to reconstruct the hidden file. However, this is achieved at
+//    the expense of higher storage and read/write overheads, and there is
+//    still the possibility of data loss."
+//
+// Placement is identical to StegRand (keyed pseudorandom absolute
+// addresses, no metadata); resilience differs: every stripe of m payload
+// blocks becomes n coded blocks, and the stripe survives as long as any m
+// of them do. Storage blow-up is n/m; reads hunt for m intact (MAC-valid)
+// fragments per stripe; data loss occurs only when n-m+1 fragments of one
+// stripe are overwritten.
+#ifndef STEGFS_BASELINES_STEG_RAND_IDA_H_
+#define STEGFS_BASELINES_STEG_RAND_IDA_H_
+
+#include <memory>
+#include <string>
+
+#include "baselines/file_store.h"
+#include "cache/buffer_cache.h"
+
+namespace stegfs {
+
+class StegRandIdaStore : public FileStore {
+ public:
+  // Uses options.ida_m / options.ida_n.
+  static StatusOr<std::unique_ptr<StegRandIdaStore>> Create(
+      BlockDevice* device, const FileStoreOptions& options);
+
+  SchemeKind kind() const override { return SchemeKind::kStegRandIda; }
+  Status WriteFile(const std::string& name, const std::string& key,
+                   const std::string& data) override;
+  StatusOr<std::string> ReadFile(const std::string& name,
+                                 const std::string& key) override;
+  Status Flush() override { return cache_->Flush(); }
+  uint64_t CapacityBytes() const override {
+    return device_->capacity_bytes();
+  }
+
+  int m() const { return m_; }
+  int n() const { return n_; }
+  uint32_t payload_bytes() const { return payload_bytes_; }
+
+  // Device address of fragment `share` of stripe `stripe` (for tests).
+  uint64_t AddressOf(const std::string& name, const std::string& key,
+                     int share, uint64_t stripe) const;
+
+  // Drops the buffer cache (tests corrupt the raw device underneath).
+  void DropCaches() { cache_->DropAll(); }
+
+ private:
+  StegRandIdaStore(BlockDevice* device, const FileStoreOptions& options);
+
+  BlockDevice* device_;
+  std::unique_ptr<BufferCache> cache_;
+  uint32_t block_size_;
+  uint32_t payload_bytes_;
+  int m_;
+  int n_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_STEG_RAND_IDA_H_

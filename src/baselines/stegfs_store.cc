@@ -1,0 +1,72 @@
+#include "baselines/stegfs_store.h"
+
+namespace stegfs {
+
+StatusOr<std::unique_ptr<StegFsStore>> StegFsStore::Create(
+    BlockDevice* device, const FileStoreOptions& options) {
+  StegFormatOptions fo;
+  fo.entropy = "stegfs-store:" + std::to_string(options.rng_seed);
+  STEGFS_RETURN_IF_ERROR(StegFs::Format(device, fo));
+  StegFsOptions so;
+  so.mount.cache_blocks = options.cache_blocks;
+  so.mount.write_policy = WritePolicy::kWriteThrough;
+  so.steg_rng_seed = options.rng_seed;
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<StegFs> fs,
+                          StegFs::Mount(device, so));
+  return std::unique_ptr<StegFsStore>(new StegFsStore(std::move(fs)));
+}
+
+StatusOr<HiddenObject*> StegFsStore::GetOrOpen(const std::string& name,
+                                               const std::string& key) {
+  auto it = handles_.find({name, key});
+  if (it != handles_.end()) return it->second.get();
+  auto opened = HiddenObject::Open(fs_->VolumeCtx(), name, key);
+  if (!opened.ok()) return opened.status();
+  HiddenObject* raw = opened->get();
+  handles_[{name, key}] = std::move(opened).value();
+  return raw;
+}
+
+Status StegFsStore::WriteFile(const std::string& name, const std::string& key,
+                              const std::string& data) {
+  auto existing = GetOrOpen(name, key);
+  HiddenObject* obj = nullptr;
+  if (existing.ok()) {
+    obj = existing.value();
+  } else if (existing.status().IsNotFound()) {
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> created,
+        HiddenObject::Create(fs_->VolumeCtx(), name, key, HiddenType::kFile));
+    obj = created.get();
+    handles_[{name, key}] = std::move(created);
+  } else {
+    return existing.status();
+  }
+  STEGFS_RETURN_IF_ERROR(obj->WriteAll(data));
+  STEGFS_RETURN_IF_ERROR(obj->Sync());
+  return fs_->plain()->PersistMeta();
+}
+
+StatusOr<std::string> StegFsStore::ReadFile(const std::string& name,
+                                            const std::string& key) {
+  STEGFS_ASSIGN_OR_RETURN(HiddenObject * obj, GetOrOpen(name, key));
+  return obj->ReadAll();
+}
+
+Status StegFsStore::DeleteFile(const std::string& name,
+                               const std::string& key) {
+  STEGFS_ASSIGN_OR_RETURN(HiddenObject * obj, GetOrOpen(name, key));
+  Status s = obj->Remove();
+  handles_.erase({name, key});
+  STEGFS_RETURN_IF_ERROR(s);
+  return fs_->plain()->PersistMeta();
+}
+
+Status StegFsStore::Flush() {
+  for (auto& [k, obj] : handles_) {
+    STEGFS_RETURN_IF_ERROR(obj->Sync());
+  }
+  return fs_->Flush();
+}
+
+}  // namespace stegfs

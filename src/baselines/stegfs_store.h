@@ -1,0 +1,57 @@
+// StegFsStore: the paper's scheme behind the common FileStore interface.
+//
+// For benchmark parity with the other stores this adapter drives
+// HiddenObject directly with the caller's key as the FAK — the measured
+// I/O is the hidden-file mechanism itself (keyed header probing, random
+// block placement, free-pool churn, encrypted blocks), matching what the
+// paper's "StegFS" curves measure. The UAK-directory bookkeeping layer
+// (StegFs facade) sits above this and costs one extra hidden-file update
+// per create/share, not per read/write.
+#ifndef STEGFS_BASELINES_STEGFS_STORE_H_
+#define STEGFS_BASELINES_STEGFS_STORE_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "baselines/file_store.h"
+#include "core/stegfs.h"
+
+namespace stegfs {
+
+class StegFsStore : public FileStore {
+ public:
+  static StatusOr<std::unique_ptr<StegFsStore>> Create(
+      BlockDevice* device, const FileStoreOptions& options);
+
+  SchemeKind kind() const override { return SchemeKind::kStegFs; }
+  Status WriteFile(const std::string& name, const std::string& key,
+                   const std::string& data) override;
+  StatusOr<std::string> ReadFile(const std::string& name,
+                                 const std::string& key) override;
+  Status DeleteFile(const std::string& name, const std::string& key) override;
+  Status Flush() override;
+
+  uint64_t CapacityBytes() const override {
+    const Layout& l = fs_->plain()->layout();
+    return l.data_blocks() * l.block_size;
+  }
+
+  StegFs* fs() { return fs_.get(); }
+
+ private:
+  explicit StegFsStore(std::unique_ptr<StegFs> fs) : fs_(std::move(fs)) {}
+
+  StatusOr<HiddenObject*> GetOrOpen(const std::string& name,
+                                    const std::string& key);
+
+  std::unique_ptr<StegFs> fs_;
+  // Open handles, keyed by (name, key): repeated ops skip re-probing, like
+  // a connected session would.
+  std::map<std::pair<std::string, std::string>, std::unique_ptr<HiddenObject>>
+      handles_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BASELINES_STEGFS_STORE_H_

@@ -1,0 +1,42 @@
+// BlockDevice: the storage abstraction every file system in this repo sits
+// on (RocksDB's Env idiom, narrowed to fixed-size block I/O).
+//
+// Implementations:
+//   MemBlockDevice  - RAM-backed, for tests and simulation
+//   FileBlockDevice - host-file-backed, for persistent example volumes
+//   SimDisk         - wraps another device, charges a DiskModel for every
+//                     request and records I/O traces (blockdev/sim_disk.h)
+#ifndef STEGFS_BLOCKDEV_BLOCK_DEVICE_H_
+#define STEGFS_BLOCKDEV_BLOCK_DEVICE_H_
+
+#include <cstdint>
+
+#include "util/status.h"
+
+namespace stegfs {
+
+class BlockDevice {
+ public:
+  virtual ~BlockDevice() = default;
+
+  // Fixed block size in bytes. Power of two, >= 512.
+  virtual uint32_t block_size() const = 0;
+  // Total number of blocks on the device.
+  virtual uint64_t num_blocks() const = 0;
+
+  // Reads/writes exactly one block. `buf` must hold block_size() bytes.
+  // Fails with InvalidArgument on out-of-range block numbers.
+  virtual Status ReadBlock(uint64_t block, uint8_t* buf) = 0;
+  virtual Status WriteBlock(uint64_t block, const uint8_t* buf) = 0;
+
+  // Durably persists all completed writes.
+  virtual Status Flush() = 0;
+
+  uint64_t capacity_bytes() const {
+    return static_cast<uint64_t>(block_size()) * num_blocks();
+  }
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_BLOCK_DEVICE_H_

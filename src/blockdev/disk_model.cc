@@ -1,0 +1,78 @@
+#include "blockdev/disk_model.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stegfs {
+
+DiskModel::DiskModel(const DiskModelConfig& config, uint32_t block_size)
+    : config_(config), block_size_(block_size) {
+  total_blocks_ = std::max<uint64_t>(1, config_.capacity_bytes / block_size_);
+}
+
+void DiskModel::Reset() {
+  head_lba_ = 0;
+  read_streams_.clear();
+  write_streams_.clear();
+  stats_.Clear();
+}
+
+double DiskModel::SeekSeconds(uint64_t from_lba, uint64_t to_lba) const {
+  if (from_lba == to_lba) return 0.0;
+  uint64_t dist = from_lba > to_lba ? from_lba - to_lba : to_lba - from_lba;
+  double frac = static_cast<double>(dist) / static_cast<double>(total_blocks_);
+  frac = std::min(frac, 1.0);
+  // Square-root seek curve between track-to-track and full stroke.
+  double ms = config_.track_to_track_seek_ms +
+              (config_.full_stroke_seek_ms - config_.track_to_track_seek_ms) *
+                  std::sqrt(frac);
+  return ms / 1000.0;
+}
+
+double DiskModel::TransferSeconds(uint32_t nblocks) const {
+  double bytes = static_cast<double>(nblocks) * block_size_;
+  return bytes / (config_.media_transfer_mb_s * 1e6);
+}
+
+double DiskModel::AccessSeconds(const IoRequest& req) {
+  auto& streams = req.is_write ? write_streams_ : read_streams_;
+  const int capacity =
+      req.is_write ? config_.write_segments : config_.read_segments;
+
+  if (req.is_write) {
+    stats_.writes++;
+    stats_.blocks_written += req.nblocks;
+  } else {
+    stats_.reads++;
+    stats_.blocks_read += req.nblocks;
+  }
+
+  double cost = config_.controller_overhead_ms / 1000.0;
+  cost += TransferSeconds(req.nblocks);
+
+  // A request that continues a tracked sequential stream avoids the
+  // mechanical penalty (the drive prefetched it / buffers the write).
+  auto it = std::find(streams.begin(), streams.end(), req.lba);
+  if (it != streams.end()) {
+    stats_.cache_hits++;
+    streams.erase(it);
+    streams.push_front(req.lba + req.nblocks);
+    return cost;
+  }
+
+  // Mechanical access: seek from the current head position plus average
+  // rotational latency.
+  stats_.seeks++;
+  cost += SeekSeconds(head_lba_, req.lba);
+  cost += config_.AvgRotationalLatencyMs() / 1000.0;
+  head_lba_ = req.lba + req.nblocks;
+
+  // Start tracking this stream, evicting the least recently used segment.
+  streams.push_front(req.lba + req.nblocks);
+  while (static_cast<int>(streams.size()) > capacity) {
+    streams.pop_back();
+  }
+  return cost;
+}
+
+}  // namespace stegfs

@@ -1,0 +1,84 @@
+#include "blockdev/file_block_device.h"
+
+#include <sys/stat.h>
+
+#include <vector>
+
+namespace stegfs {
+
+StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
+    const std::string& path, uint32_t block_size, uint64_t num_blocks) {
+  if (block_size < 512 || (block_size & (block_size - 1)) != 0) {
+    return Status::InvalidArgument("block size must be a power of two >= 512");
+  }
+  std::FILE* f = std::fopen(path.c_str(), "wb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot create volume file: " + path);
+  }
+  // Extend to full size so reads of untouched blocks succeed.
+  if (std::fseek(f, static_cast<long>(block_size * num_blocks) - 1,
+                 SEEK_SET) != 0 ||
+      std::fputc(0, f) == EOF) {
+    std::fclose(f);
+    return Status::IOError("cannot size volume file: " + path);
+  }
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(f, block_size, num_blocks));
+}
+
+StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
+    const std::string& path, uint32_t block_size) {
+  std::FILE* f = std::fopen(path.c_str(), "rb+");
+  if (f == nullptr) {
+    return Status::IOError("cannot open volume file: " + path);
+  }
+  struct stat st;
+  if (stat(path.c_str(), &st) != 0) {
+    std::fclose(f);
+    return Status::IOError("cannot stat volume file: " + path);
+  }
+  if (st.st_size % block_size != 0) {
+    std::fclose(f);
+    return Status::InvalidArgument("volume size not a multiple of block size");
+  }
+  uint64_t num_blocks = static_cast<uint64_t>(st.st_size) / block_size;
+  return std::unique_ptr<FileBlockDevice>(
+      new FileBlockDevice(f, block_size, num_blocks));
+}
+
+FileBlockDevice::~FileBlockDevice() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status FileBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
+  if (block >= num_blocks_) {
+    return Status::InvalidArgument("read past end of device");
+  }
+  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
+          0 ||
+      std::fread(buf, 1, block_size_, file_) != block_size_) {
+    return Status::IOError("short read from volume file");
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
+  if (block >= num_blocks_) {
+    return Status::InvalidArgument("write past end of device");
+  }
+  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
+          0 ||
+      std::fwrite(buf, 1, block_size_, file_) != block_size_) {
+    return Status::IOError("short write to volume file");
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::Flush() {
+  if (std::fflush(file_) != 0) {
+    return Status::IOError("fflush failed");
+  }
+  return Status::OK();
+}
+
+}  // namespace stegfs

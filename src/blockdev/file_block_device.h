@@ -1,0 +1,45 @@
+// Host-file-backed block device, used by the runnable examples so a StegFS
+// volume persists across process runs (and so `steg_backup` has a real file
+// to image).
+#ifndef STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
+#define STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <memory>
+#include <string>
+
+#include "blockdev/block_device.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+class FileBlockDevice : public BlockDevice {
+ public:
+  // Creates (or truncates) a volume file of the given geometry.
+  static StatusOr<std::unique_ptr<FileBlockDevice>> Create(
+      const std::string& path, uint32_t block_size, uint64_t num_blocks);
+  // Opens an existing volume file; geometry must match the file size.
+  static StatusOr<std::unique_ptr<FileBlockDevice>> Open(
+      const std::string& path, uint32_t block_size);
+
+  ~FileBlockDevice() override;
+
+  uint32_t block_size() const override { return block_size_; }
+  uint64_t num_blocks() const override { return num_blocks_; }
+  Status ReadBlock(uint64_t block, uint8_t* buf) override;
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override;
+  Status Flush() override;
+
+ private:
+  FileBlockDevice(std::FILE* f, uint32_t block_size, uint64_t num_blocks)
+      : file_(f), block_size_(block_size), num_blocks_(num_blocks) {}
+
+  std::FILE* file_;
+  uint32_t block_size_;
+  uint64_t num_blocks_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_

@@ -1,0 +1,35 @@
+// I/O request records. A trace is the sequence of device-level requests one
+// logical file operation produced; the multi-user simulator (sim/) replays
+// several traces round-robin through a DiskModel to obtain the interleaved
+// access times of the paper's figures 7 and 8.
+#ifndef STEGFS_BLOCKDEV_IO_TRACE_H_
+#define STEGFS_BLOCKDEV_IO_TRACE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stegfs {
+
+struct IoRequest {
+  uint64_t lba = 0;      // first block of the request
+  uint32_t nblocks = 1;  // request length in blocks
+  bool is_write = false;
+};
+
+using IoTrace = std::vector<IoRequest>;
+
+// Cumulative device counters.
+struct IoStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  uint64_t seeks = 0;          // requests that paid a mechanical seek
+  uint64_t cache_hits = 0;     // requests served from a drive cache segment
+
+  void Clear() { *this = IoStats(); }
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_IO_TRACE_H_

@@ -1,0 +1,99 @@
+#include "cache/buffer_cache.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace stegfs {
+
+BufferCache::BufferCache(BlockDevice* device, size_t capacity_blocks,
+                         WritePolicy policy)
+    : device_(device), capacity_(capacity_blocks), policy_(policy) {
+  assert(capacity_ >= 1);
+}
+
+BufferCache::~BufferCache() {
+  // Best-effort writeback; errors cannot be reported from a destructor, so
+  // correctness-sensitive callers must Flush() explicitly first.
+  (void)Flush();
+}
+
+BufferCache::Entry& BufferCache::Touch(EntryList::iterator it) {
+  lru_.splice(lru_.begin(), lru_, it);
+  return *lru_.begin();
+}
+
+Status BufferCache::EnsureRoom() {
+  while (map_.size() >= capacity_) {
+    Entry& victim = lru_.back();
+    if (victim.dirty) {
+      STEGFS_RETURN_IF_ERROR(
+          device_->WriteBlock(victim.block, victim.data.data()));
+      stats_.writebacks++;
+    }
+    map_.erase(victim.block);
+    lru_.pop_back();
+    stats_.evictions++;
+  }
+  return Status::OK();
+}
+
+Status BufferCache::Read(uint64_t block, uint8_t* out) {
+  auto found = map_.find(block);
+  if (found != map_.end()) {
+    stats_.hits++;
+    Entry& e = Touch(found->second);
+    std::memcpy(out, e.data.data(), e.data.size());
+    return Status::OK();
+  }
+  stats_.misses++;
+  STEGFS_RETURN_IF_ERROR(EnsureRoom());
+  Entry e;
+  e.block = block;
+  e.data.resize(device_->block_size());
+  STEGFS_RETURN_IF_ERROR(device_->ReadBlock(block, e.data.data()));
+  std::memcpy(out, e.data.data(), e.data.size());
+  lru_.push_front(std::move(e));
+  map_[block] = lru_.begin();
+  return Status::OK();
+}
+
+Status BufferCache::Write(uint64_t block, const uint8_t* data) {
+  if (policy_ == WritePolicy::kWriteThrough) {
+    STEGFS_RETURN_IF_ERROR(device_->WriteBlock(block, data));
+  }
+  auto found = map_.find(block);
+  if (found != map_.end()) {
+    stats_.hits++;
+    Entry& e = Touch(found->second);
+    std::memcpy(e.data.data(), data, e.data.size());
+    e.dirty = (policy_ == WritePolicy::kWriteBack);
+    return Status::OK();
+  }
+  stats_.misses++;
+  STEGFS_RETURN_IF_ERROR(EnsureRoom());
+  Entry e;
+  e.block = block;
+  e.data.assign(data, data + device_->block_size());
+  e.dirty = (policy_ == WritePolicy::kWriteBack);
+  lru_.push_front(std::move(e));
+  map_[block] = lru_.begin();
+  return Status::OK();
+}
+
+Status BufferCache::Flush() {
+  for (Entry& e : lru_) {
+    if (e.dirty) {
+      STEGFS_RETURN_IF_ERROR(device_->WriteBlock(e.block, e.data.data()));
+      e.dirty = false;
+      stats_.writebacks++;
+    }
+  }
+  return device_->Flush();
+}
+
+void BufferCache::DropAll() {
+  lru_.clear();
+  map_.clear();
+}
+
+}  // namespace stegfs

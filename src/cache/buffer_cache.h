@@ -1,0 +1,90 @@
+// BufferCache: an LRU block cache between the file-system drivers and the
+// block device — the user-space stand-in for the Linux buffer cache layer in
+// the paper's figure 5 architecture.
+//
+// Write policy is configurable:
+//   kWriteBack    - dirty blocks written on eviction / Flush (default; what
+//                   a kernel buffer cache does)
+//   kWriteThrough - every Write goes straight to the device (used by the
+//                   benchmarks so each logical operation's trace contains
+//                   its own writes, making interleaved replay attribution
+//                   exact)
+#ifndef STEGFS_CACHE_BUFFER_CACHE_H_
+#define STEGFS_CACHE_BUFFER_CACHE_H_
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "util/status.h"
+
+namespace stegfs {
+
+enum class WritePolicy { kWriteBack, kWriteThrough };
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t writebacks = 0;
+
+  double HitRate() const {
+    uint64_t total = hits + misses;
+    return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+  }
+};
+
+class BufferCache {
+ public:
+  // `device` must outlive the cache. capacity_blocks >= 1.
+  BufferCache(BlockDevice* device, size_t capacity_blocks,
+              WritePolicy policy = WritePolicy::kWriteBack);
+  ~BufferCache();
+
+  BufferCache(const BufferCache&) = delete;
+  BufferCache& operator=(const BufferCache&) = delete;
+
+  uint32_t block_size() const { return device_->block_size(); }
+  uint64_t num_blocks() const { return device_->num_blocks(); }
+
+  // Reads a whole block through the cache. `out` holds block_size() bytes.
+  Status Read(uint64_t block, uint8_t* out);
+  // Writes a whole block through the cache.
+  Status Write(uint64_t block, const uint8_t* data);
+
+  // Writes back all dirty blocks and flushes the device.
+  Status Flush();
+  // Discards every cached block (dirty contents are LOST — recovery paths
+  // use this after rewriting the device underneath the cache).
+  void DropAll();
+
+  const CacheStats& stats() const { return stats_; }
+  size_t size() const { return map_.size(); }
+  size_t capacity() const { return capacity_; }
+
+ private:
+  struct Entry {
+    uint64_t block;
+    std::vector<uint8_t> data;
+    bool dirty = false;
+  };
+  using EntryList = std::list<Entry>;
+
+  // Moves `it` to MRU position and returns the (stable) entry reference.
+  Entry& Touch(EntryList::iterator it);
+  // Evicts LRU entries until there is room for one more.
+  Status EnsureRoom();
+
+  BlockDevice* device_;
+  size_t capacity_;
+  WritePolicy policy_;
+  EntryList lru_;  // front = most recently used
+  std::unordered_map<uint64_t, EntryList::iterator> map_;
+  CacheStats stats_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CACHE_BUFFER_CACHE_H_

@@ -1,0 +1,261 @@
+#include "capi/steg_api.h"
+
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "blockdev/file_block_device.h"
+#include "core/backup.h"
+#include "core/stegfs.h"
+#include "crypto/rsa.h"
+
+using stegfs::Status;
+using stegfs::StatusCode;
+
+struct stegfs_volume {
+  std::unique_ptr<stegfs::BlockDevice> device;
+  std::unique_ptr<stegfs::StegFs> fs;
+  std::string last_error;
+};
+
+namespace {
+
+int CodeOf(const Status& s) {
+  switch (s.code()) {
+    case StatusCode::kOk:
+      return STEG_OK;
+    case StatusCode::kNotFound:
+      return STEG_ERR_NOT_FOUND;
+    case StatusCode::kCorruption:
+      return STEG_ERR_CORRUPTION;
+    case StatusCode::kInvalidArgument:
+      return STEG_ERR_INVALID;
+    case StatusCode::kIOError:
+      return STEG_ERR_IO;
+    case StatusCode::kAlreadyExists:
+      return STEG_ERR_EXISTS;
+    case StatusCode::kNoSpace:
+      return STEG_ERR_NOSPACE;
+    case StatusCode::kPermissionDenied:
+      return STEG_ERR_DENIED;
+    case StatusCode::kDataLoss:
+      return STEG_ERR_DATALOSS;
+    case StatusCode::kNotSupported:
+      return STEG_ERR_UNSUPPORTED;
+    case StatusCode::kFailedPrecondition:
+      return STEG_ERR_PRECONDITION;
+  }
+  return STEG_ERR_INVALID;
+}
+
+int Fail(stegfs_volume* vol, const Status& s) {
+  if (vol != nullptr) vol->last_error = s.ToString();
+  return CodeOf(s);
+}
+
+// Reads/writes whole host files (for backup images).
+Status ReadHostFile(const char* path, std::string* out) {
+  std::FILE* f = std::fopen(path, "rb");
+  if (f == nullptr) return Status::IOError("cannot open host file");
+  char buf[1 << 16];
+  size_t n;
+  out->clear();
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out->append(buf, n);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Status WriteHostFile(const char* path, const std::string& data) {
+  std::FILE* f = std::fopen(path, "wb");
+  if (f == nullptr) return Status::IOError("cannot create host file");
+  size_t n = std::fwrite(data.data(), 1, data.size(), f);
+  std::fclose(f);
+  if (n != data.size()) return Status::IOError("short write to host file");
+  return Status::OK();
+}
+
+}  // namespace
+
+extern "C" {
+
+int steg_mkfs(const char* image_path, uint32_t block_size,
+              uint64_t num_blocks) {
+  auto device =
+      stegfs::FileBlockDevice::Create(image_path, block_size, num_blocks);
+  if (!device.ok()) return CodeOf(device.status());
+  stegfs::StegFormatOptions options;
+  options.entropy = std::string("capi:") + image_path;
+  Status s = stegfs::StegFs::Format(device->get(), options);
+  return CodeOf(s);
+}
+
+int steg_mount(const char* image_path, uint32_t block_size,
+               stegfs_volume** out) {
+  if (out == nullptr) return STEG_ERR_INVALID;
+  auto device = stegfs::FileBlockDevice::Open(image_path, block_size);
+  if (!device.ok()) return CodeOf(device.status());
+  auto vol = std::make_unique<stegfs_volume>();
+  vol->device = std::move(device).value();
+  auto fs = stegfs::StegFs::Mount(vol->device.get(), stegfs::StegFsOptions{});
+  if (!fs.ok()) return CodeOf(fs.status());
+  vol->fs = std::move(fs).value();
+  *out = vol.release();
+  return STEG_OK;
+}
+
+int steg_unmount(stegfs_volume* vol) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  Status s = vol->fs->Flush();
+  // fs must die before the device it points into.
+  vol->fs.reset();
+  vol->device.reset();
+  delete vol;
+  return CodeOf(s);
+}
+
+const char* steg_strerror(stegfs_volume* vol) {
+  return vol == nullptr ? "" : vol->last_error.c_str();
+}
+
+int steg_create(stegfs_volume* vol, const char* uid, const char* objname,
+                const char* uak, char objtype) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  stegfs::HiddenType type;
+  if (objtype == STEG_TYPE_FILE) {
+    type = stegfs::HiddenType::kFile;
+  } else if (objtype == STEG_TYPE_DIR) {
+    type = stegfs::HiddenType::kDirectory;
+  } else {
+    return Fail(vol, Status::InvalidArgument("objtype must be 'f' or 'd'"));
+  }
+  return Fail(vol, vol->fs->StegCreate(uid, objname, uak, type));
+}
+
+int steg_hide(stegfs_volume* vol, const char* uid, const char* pathname,
+              const char* objname, const char* uak) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol, vol->fs->StegHide(uid, pathname, objname, uak));
+}
+
+int steg_unhide(stegfs_volume* vol, const char* uid, const char* pathname,
+                const char* objname, const char* uak) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol, vol->fs->StegUnhide(uid, pathname, objname, uak));
+}
+
+int steg_connect(stegfs_volume* vol, const char* uid, const char* objname,
+                 const char* uak) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol, vol->fs->StegConnect(uid, objname, uak));
+}
+
+int steg_disconnect(stegfs_volume* vol, const char* uid,
+                    const char* objname) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol, vol->fs->StegDisconnect(uid, objname));
+}
+
+int steg_getentry(stegfs_volume* vol, const char* uid, const char* objname,
+                  const char* uak, const char* entryfile,
+                  const uint8_t* pubkey, size_t pubkey_len) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  auto key = stegfs::crypto::RsaPublicKey::Deserialize(
+      std::string(reinterpret_cast<const char*>(pubkey), pubkey_len));
+  if (!key.ok()) return Fail(vol, key.status());
+  return Fail(vol, vol->fs->StegGetEntry(uid, objname, uak, entryfile,
+                                         key.value(),
+                                         std::string("capi-share:") + uid +
+                                             ":" + objname));
+}
+
+int steg_addentry(stegfs_volume* vol, const char* uid,
+                  const char* entryfile, const uint8_t* privkey,
+                  size_t privkey_len, const char* uak) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  auto key = stegfs::crypto::RsaPrivateKey::Deserialize(
+      std::string(reinterpret_cast<const char*>(privkey), privkey_len));
+  if (!key.ok()) return Fail(vol, key.status());
+  return Fail(vol, vol->fs->StegAddEntry(uid, entryfile, key.value(), uak));
+}
+
+int steg_backup(stegfs_volume* vol, const char* backupfile) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  auto image = stegfs::StegBackup(vol->fs.get());
+  if (!image.ok()) return Fail(vol, image.status());
+  return Fail(vol, WriteHostFile(backupfile, image.value()));
+}
+
+int steg_recovery(const char* image_path, uint32_t block_size,
+                  uint64_t num_blocks, const char* backupfile) {
+  std::string image;
+  Status s = ReadHostFile(backupfile, &image);
+  if (!s.ok()) return CodeOf(s);
+  auto device =
+      stegfs::FileBlockDevice::Create(image_path, block_size, num_blocks);
+  if (!device.ok()) return CodeOf(device.status());
+  return CodeOf(stegfs::StegRecover(device->get(), image));
+}
+
+int steg_hidden_write(stegfs_volume* vol, const char* uid,
+                      const char* objname, const void* data, size_t len) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol,
+              vol->fs->HiddenWriteAll(
+                  uid, objname,
+                  std::string(static_cast<const char*>(data), len)));
+}
+
+int steg_hidden_read(stegfs_volume* vol, const char* uid,
+                     const char* objname, void* buf, size_t cap,
+                     size_t* out_len) {
+  if (vol == nullptr || out_len == nullptr) return STEG_ERR_INVALID;
+  auto data = vol->fs->HiddenReadAll(uid, objname);
+  if (!data.ok()) return Fail(vol, data.status());
+  size_t n = std::min(cap, data->size());
+  std::memcpy(buf, data->data(), n);
+  *out_len = n;
+  return STEG_OK;
+}
+
+int steg_plain_write(stegfs_volume* vol, const char* path, const void* data,
+                     size_t len) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  return Fail(vol,
+              vol->fs->plain()->WriteFile(
+                  path, std::string(static_cast<const char*>(data), len)));
+}
+
+int steg_plain_read(stegfs_volume* vol, const char* path, void* buf,
+                    size_t cap, size_t* out_len) {
+  if (vol == nullptr || out_len == nullptr) return STEG_ERR_INVALID;
+  auto data = vol->fs->plain()->ReadFile(path);
+  if (!data.ok()) return Fail(vol, data.status());
+  size_t n = std::min(cap, data->size());
+  std::memcpy(buf, data->data(), n);
+  *out_len = n;
+  return STEG_OK;
+}
+
+int steg_rsa_keygen(uint32_t bits, const char* seed, uint8_t* pub,
+                    size_t* pub_len, uint8_t* priv, size_t* priv_len) {
+  if (pub_len == nullptr || priv_len == nullptr) return STEG_ERR_INVALID;
+  auto pair = stegfs::crypto::RsaGenerateKeyPair(bits, seed);
+  if (!pair.ok()) return CodeOf(pair.status());
+  std::string pub_blob = pair->public_key.Serialize();
+  std::string priv_blob = pair->private_key.Serialize();
+  if (pub_blob.size() > *pub_len || priv_blob.size() > *priv_len) {
+    *pub_len = pub_blob.size();
+    *priv_len = priv_blob.size();
+    return STEG_ERR_NOSPACE;
+  }
+  std::memcpy(pub, pub_blob.data(), pub_blob.size());
+  std::memcpy(priv, priv_blob.data(), priv_blob.size());
+  *pub_len = pub_blob.size();
+  *priv_len = priv_blob.size();
+  return STEG_OK;
+}
+
+}  // extern "C"

@@ -1,0 +1,106 @@
+// C-compatible binding of the paper's section 4 API, function-for-function:
+//
+//   steg_create, steg_hide, steg_unhide, steg_connect, steg_disconnect,
+//   steg_getentry, steg_addentry, steg_backup, steg_recovery
+//
+// plus the volume/session plumbing a C caller needs (mkfs/mount/unmount,
+// read/write on connected objects). All functions return 0 on success or a
+// negative errno-style code; steg_strerror() yields the detailed message of
+// the most recent failure on the handle.
+//
+// Thread-compatibility: a stegfs_volume handle must be used from one thread
+// at a time (same contract as the C++ classes underneath).
+#ifndef STEGFS_CAPI_STEG_API_H_
+#define STEGFS_CAPI_STEG_API_H_
+
+#include <stddef.h>
+#include <stdint.h>
+
+#ifdef __cplusplus
+extern "C" {
+#endif
+
+typedef struct stegfs_volume stegfs_volume;
+
+/* Error codes (negated StatusCode values). */
+#define STEG_OK 0
+#define STEG_ERR_NOT_FOUND -1
+#define STEG_ERR_CORRUPTION -2
+#define STEG_ERR_INVALID -3
+#define STEG_ERR_IO -4
+#define STEG_ERR_EXISTS -5
+#define STEG_ERR_NOSPACE -6
+#define STEG_ERR_DENIED -7
+#define STEG_ERR_DATALOSS -8
+#define STEG_ERR_UNSUPPORTED -9
+#define STEG_ERR_PRECONDITION -10
+
+/* Object types, as in the paper ('f' regular file, 'd' directory). */
+#define STEG_TYPE_FILE 'f'
+#define STEG_TYPE_DIR 'd'
+
+/* --- volume lifecycle ------------------------------------------------- */
+
+/* Creates + formats a volume backed by the host file `image_path`. */
+int steg_mkfs(const char* image_path, uint32_t block_size,
+              uint64_t num_blocks);
+
+/* Mounts an existing volume; *out receives the handle. */
+int steg_mount(const char* image_path, uint32_t block_size,
+               stegfs_volume** out);
+
+/* Flushes and releases the handle (disconnects all sessions). */
+int steg_unmount(stegfs_volume* vol);
+
+/* Detailed message of the handle's most recent error ("" if none). */
+const char* steg_strerror(stegfs_volume* vol);
+
+/* --- the paper's nine calls ------------------------------------------- */
+
+int steg_create(stegfs_volume* vol, const char* uid, const char* objname,
+                const char* uak, char objtype);
+int steg_hide(stegfs_volume* vol, const char* uid, const char* pathname,
+              const char* objname, const char* uak);
+int steg_unhide(stegfs_volume* vol, const char* uid, const char* pathname,
+                const char* objname, const char* uak);
+int steg_connect(stegfs_volume* vol, const char* uid, const char* objname,
+                 const char* uak);
+int steg_disconnect(stegfs_volume* vol, const char* uid,
+                    const char* objname);
+/* Serialized RSA public/private keys (crypto::Rsa*Key::Serialize bytes). */
+int steg_getentry(stegfs_volume* vol, const char* uid, const char* objname,
+                  const char* uak, const char* entryfile,
+                  const uint8_t* pubkey, size_t pubkey_len);
+int steg_addentry(stegfs_volume* vol, const char* uid,
+                  const char* entryfile, const uint8_t* privkey,
+                  size_t privkey_len, const char* uak);
+/* Writes the backup image to the HOST file `backupfile`. */
+int steg_backup(stegfs_volume* vol, const char* backupfile);
+/* Recovers the HOST image file onto `image_path` (fresh volume file). */
+int steg_recovery(const char* image_path, uint32_t block_size,
+                  uint64_t num_blocks, const char* backupfile);
+
+/* --- I/O on connected hidden objects + plain files --------------------- */
+
+int steg_hidden_write(stegfs_volume* vol, const char* uid,
+                      const char* objname, const void* data, size_t len);
+/* Reads up to `cap` bytes; *out_len receives the byte count. */
+int steg_hidden_read(stegfs_volume* vol, const char* uid,
+                     const char* objname, void* buf, size_t cap,
+                     size_t* out_len);
+int steg_plain_write(stegfs_volume* vol, const char* path, const void* data,
+                     size_t len);
+int steg_plain_read(stegfs_volume* vol, const char* path, void* buf,
+                    size_t cap, size_t* out_len);
+
+/* RSA helper so pure-C callers can make key pairs for sharing. Buffers
+ * receive serialized keys; *pub_len / *priv_len are in/out (capacity in,
+ * size out). */
+int steg_rsa_keygen(uint32_t bits, const char* seed, uint8_t* pub,
+                    size_t* pub_len, uint8_t* priv, size_t* priv_len);
+
+#ifdef __cplusplus
+}  /* extern "C" */
+#endif
+
+#endif  /* STEGFS_CAPI_STEG_API_H_ */

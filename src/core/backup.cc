@@ -1,0 +1,189 @@
+#include "core/backup.h"
+
+#include <algorithm>
+#include <functional>
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+namespace {
+constexpr uint32_t kBackupMagic = 0x5342414b;  // "SBAK"
+
+// Plain tree entry kinds in the image.
+constexpr uint8_t kPlainDir = 1;
+constexpr uint8_t kPlainFile = 2;
+}  // namespace
+
+StatusOr<std::string> StegBackup(StegFs* fs, BackupStats* stats) {
+  PlainFs* plain = fs->plain();
+  const Layout& layout = plain->layout();
+
+  // Make the device image current before reading raw blocks.
+  STEGFS_RETURN_IF_ERROR(fs->Flush());
+
+  std::vector<uint8_t> referenced;
+  STEGFS_RETURN_IF_ERROR(plain->CollectReferencedBlocks(&referenced));
+
+  std::string out;
+  PutFixed32(&out, kBackupMagic);
+  PutFixed32(&out, layout.block_size);
+  PutFixed64(&out, layout.num_blocks);
+
+  // Superblock raw copy (geometry + StegParams + dummy seed).
+  std::vector<uint8_t> buf(layout.block_size);
+  BufferCache* cache = plain->cache();
+  STEGFS_RETURN_IF_ERROR(cache->Read(0, buf.data()));
+  out.append(reinterpret_cast<const char*>(buf.data()), buf.size());
+
+  // Image of allocated-but-unreferenced blocks: hidden objects, their free
+  // pools, dummies, abandoned blocks.
+  uint64_t imaged = 0;
+  std::string blocks_section;
+  for (uint64_t b = layout.data_start; b < layout.num_blocks; ++b) {
+    if (!plain->bitmap()->IsAllocated(b) || referenced[b]) continue;
+    STEGFS_RETURN_IF_ERROR(cache->Read(b, buf.data()));
+    PutFixed64(&blocks_section, b);
+    blocks_section.append(reinterpret_cast<const char*>(buf.data()),
+                          buf.size());
+    ++imaged;
+  }
+  PutFixed64(&out, imaged);
+  out += blocks_section;
+
+  // Plain tree, depth-first so parents precede children.
+  uint64_t files = 0, dirs = 0;
+  std::string plain_section;
+  uint32_t plain_count = 0;
+  std::function<Status(const std::string&)> walk =
+      [&](const std::string& path) -> Status {
+    STEGFS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries, plain->List(path));
+    for (const DirEntry& e : entries) {
+      std::string child = path == "/" ? "/" + e.name : path + "/" + e.name;
+      STEGFS_ASSIGN_OR_RETURN(FileInfo info, plain->Stat(child));
+      if (info.type == InodeType::kDirectory) {
+        plain_section.push_back(static_cast<char>(kPlainDir));
+        PutLengthPrefixed(&plain_section, child);
+        PutLengthPrefixed(&plain_section, "");
+        ++plain_count;
+        ++dirs;
+        STEGFS_RETURN_IF_ERROR(walk(child));
+      } else {
+        STEGFS_ASSIGN_OR_RETURN(std::string content, plain->ReadFile(child));
+        plain_section.push_back(static_cast<char>(kPlainFile));
+        PutLengthPrefixed(&plain_section, child);
+        PutLengthPrefixed(&plain_section, content);
+        ++plain_count;
+        ++files;
+      }
+    }
+    return Status::OK();
+  };
+  STEGFS_RETURN_IF_ERROR(walk("/"));
+  PutFixed32(&out, plain_count);
+  out += plain_section;
+
+  if (stats != nullptr) {
+    stats->imaged_blocks = imaged;
+    stats->plain_files = files;
+    stats->plain_dirs = dirs;
+    stats->image_bytes = out.size();
+  }
+  return out;
+}
+
+Status StegRecover(BlockDevice* device, const std::string& image) {
+  Decoder dec(image);
+  uint32_t magic, block_size;
+  uint64_t num_blocks;
+  if (!dec.GetFixed32(&magic) || magic != kBackupMagic) {
+    return Status::Corruption("not a StegFS backup image");
+  }
+  if (!dec.GetFixed32(&block_size) || !dec.GetFixed64(&num_blocks)) {
+    return Status::Corruption("backup image truncated (geometry)");
+  }
+  if (device->block_size() != block_size ||
+      device->num_blocks() < num_blocks) {
+    return Status::InvalidArgument(
+        "target device geometry does not fit the backup image");
+  }
+
+  // 1. Superblock back at block 0.
+  std::vector<uint8_t> buf(block_size);
+  if (!dec.GetBytes(buf.data(), block_size)) {
+    return Status::Corruption("backup image truncated (superblock)");
+  }
+  STEGFS_ASSIGN_OR_RETURN(Superblock sb,
+                          Superblock::DecodeFrom(buf.data(), buf.size()));
+  Layout layout = sb.ComputeLayout();
+  STEGFS_RETURN_IF_ERROR(device->WriteBlock(0, buf.data()));
+
+  // 2. Refill every data block with fresh noise so blocks that used to hold
+  //    plain files (now restored elsewhere) don't leak stale plaintext, and
+  //    free space remains indistinguishable from hidden data.
+  {
+    Xoshiro fill(0x5245434f56455259ULL);  // recovery fill seed
+    for (uint64_t b = layout.data_start; b < num_blocks; ++b) {
+      fill.FillBytes(buf.data(), buf.size());
+      STEGFS_RETURN_IF_ERROR(device->WriteBlock(b, buf.data()));
+    }
+  }
+
+  // 3. Hidden/abandoned blocks restored to their ORIGINAL addresses, marked
+  //    in a fresh bitmap.
+  BufferCache cache(device, 1024, WritePolicy::kWriteBack);
+  BlockBitmap bitmap(layout);
+  uint64_t imaged;
+  if (!dec.GetFixed64(&imaged)) {
+    return Status::Corruption("backup image truncated (block count)");
+  }
+  for (uint64_t i = 0; i < imaged; ++i) {
+    uint64_t blockno;
+    if (!dec.GetFixed64(&blockno) || !dec.GetBytes(buf.data(), block_size)) {
+      return Status::Corruption("backup image truncated (hidden block)");
+    }
+    if (blockno < layout.data_start || blockno >= num_blocks) {
+      return Status::Corruption("hidden block address out of range");
+    }
+    STEGFS_RETURN_IF_ERROR(device->WriteBlock(blockno, buf.data()));
+    STEGFS_RETURN_IF_ERROR(bitmap.Allocate(blockno));
+  }
+
+  // 4. Fresh central directory with a root inode, persisted with the
+  //    restored bitmap.
+  InodeTable inodes(&cache, layout);
+  inodes.InitEmpty();
+  auto root = inodes.Allocate(InodeType::kDirectory);
+  if (!root.ok()) return root.status();
+  STEGFS_RETURN_IF_ERROR(bitmap.Store(&cache));
+  STEGFS_RETURN_IF_ERROR(inodes.PersistAll());
+  STEGFS_RETURN_IF_ERROR(cache.Flush());
+
+  // 5. Plain files recreated through normal allocation ("possibly at new
+  //    addresses" — the bitmap steers them around restored hidden blocks).
+  MountOptions mo;
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<PlainFs> plain,
+                          PlainFs::Mount(device, mo));
+  uint32_t plain_count;
+  if (!dec.GetFixed32(&plain_count)) {
+    return Status::Corruption("backup image truncated (plain count)");
+  }
+  for (uint32_t i = 0; i < plain_count; ++i) {
+    uint8_t kind;
+    std::string path, content;
+    if (!dec.GetBytes(&kind, 1) || !dec.GetLengthPrefixed(&path) ||
+        !dec.GetLengthPrefixed(&content)) {
+      return Status::Corruption("backup image truncated (plain entry)");
+    }
+    if (kind == kPlainDir) {
+      STEGFS_RETURN_IF_ERROR(plain->MkDir(path));
+    } else if (kind == kPlainFile) {
+      STEGFS_RETURN_IF_ERROR(plain->WriteFile(path, content));
+    } else {
+      return Status::Corruption("unknown plain entry kind");
+    }
+  }
+  return plain->Flush();
+}
+
+}  // namespace stegfs

@@ -1,0 +1,43 @@
+// Backup and recovery (paper section 3.3, APIs 8 and 9).
+//
+// Hidden files cannot be backed up by copying (the administrator cannot see
+// them), and imaging the whole device is too expensive. StegFS instead
+// images ONLY the blocks that are allocated in the bitmap but belong to no
+// plain file — i.e. hidden objects, their free pools, dummy files, and the
+// abandoned blocks. Plain files are saved logically (path + content).
+//
+// Recovery restores the imaged blocks to their ORIGINAL addresses (hidden
+// inode tables cannot be relocated — nobody can rewrite pointers they
+// cannot see), re-fills every remaining data block with fresh noise, and
+// recreates plain files through normal allocation, possibly at new
+// addresses.
+#ifndef STEGFS_CORE_BACKUP_H_
+#define STEGFS_CORE_BACKUP_H_
+
+#include <string>
+
+#include "blockdev/block_device.h"
+#include "core/stegfs.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+struct BackupStats {
+  uint64_t imaged_blocks = 0;   // hidden + abandoned + dummy blocks
+  uint64_t plain_files = 0;
+  uint64_t plain_dirs = 0;
+  uint64_t image_bytes = 0;     // total serialized size
+};
+
+// API 8: steg_backup. Serializes the volume snapshot; `stats` optional.
+StatusOr<std::string> StegBackup(StegFs* fs, BackupStats* stats = nullptr);
+
+// API 9: steg_recovery. Rebuilds a volume from `image` onto `device`
+// (typically a fresh device of the same geometry). After this returns, the
+// device mounts as a StegFs volume with all hidden data intact.
+Status StegRecover(BlockDevice* device, const std::string& image);
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CORE_BACKUP_H_

@@ -1,0 +1,183 @@
+#include "core/escrow.h"
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+KeyEscrow::KeyEscrow(StegFs* fs, std::string escrow_path)
+    : fs_(fs), escrow_path_(std::move(escrow_path)) {}
+
+// Creates every missing ancestor directory of `path`.
+Status KeyEscrow::EnsureParents(const std::string& path) {
+  for (size_t pos = path.find('/', 1); pos != std::string::npos;
+       pos = path.find('/', pos + 1)) {
+    std::string dir = path.substr(0, pos);
+    if (!fs_->plain()->Exists(dir)) {
+      STEGFS_RETURN_IF_ERROR(fs_->plain()->MkDir(dir));
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::string>> KeyEscrow::LoadEnvelopes() {
+  if (!fs_->plain()->Exists(escrow_path_)) {
+    return std::vector<std::string>{};
+  }
+  STEGFS_ASSIGN_OR_RETURN(std::string blob,
+                          fs_->plain()->ReadFile(escrow_path_));
+  Decoder dec(blob);
+  uint32_t count;
+  if (!dec.GetFixed32(&count)) {
+    return Status::Corruption("escrow file truncated");
+  }
+  std::vector<std::string> envelopes;
+  envelopes.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    std::string envelope;
+    if (!dec.GetLengthPrefixed(&envelope)) {
+      return Status::Corruption("escrow record truncated");
+    }
+    envelopes.push_back(std::move(envelope));
+  }
+  return envelopes;
+}
+
+Status KeyEscrow::StoreEnvelopes(const std::vector<std::string>& envelopes) {
+  std::string blob;
+  PutFixed32(&blob, static_cast<uint32_t>(envelopes.size()));
+  for (const std::string& e : envelopes) {
+    PutLengthPrefixed(&blob, e);
+  }
+  return fs_->plain()->WriteFile(escrow_path_, blob);
+}
+
+Status KeyEscrow::Deposit(const std::string& uid, const std::string& objname,
+                          const std::string& uak,
+                          const crypto::RsaPublicKey& admin_key,
+                          const std::string& entropy) {
+  // Reuse the sharing machinery: steg_getentry produces exactly the
+  // RSA-encrypted (name, type, FAK) record we need — with the uid prepended
+  // inside the plaintext so the administrator knows whose object it is.
+  STEGFS_RETURN_IF_ERROR(EnsureParents(escrow_path_));
+  std::string tmp = escrow_path_ + ".deposit.tmp";
+  STEGFS_RETURN_IF_ERROR(
+      fs_->StegGetEntry(uid, objname, uak, tmp, admin_key, entropy));
+  STEGFS_ASSIGN_OR_RETURN(std::string envelope, fs_->plain()->ReadFile(tmp));
+  STEGFS_RETURN_IF_ERROR(fs_->plain()->Unlink(tmp));
+
+  // Escrow entry = LP(uid) + LP(envelope); the uid stays in the clear
+  // (the administrator must be able to group records by account).
+  std::string record;
+  PutLengthPrefixed(&record, uid);
+  PutLengthPrefixed(&record, envelope);
+
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> envelopes,
+                          LoadEnvelopes());
+  envelopes.push_back(std::move(record));
+  return StoreEnvelopes(envelopes);
+}
+
+StatusOr<EscrowRecord> KeyEscrow::DecryptRecord(
+    const crypto::RsaPrivateKey& admin_key, const std::string& raw) {
+  Decoder dec(raw);
+  EscrowRecord record;
+  std::string envelope;
+  if (!dec.GetLengthPrefixed(&record.uid) ||
+      !dec.GetLengthPrefixed(&envelope)) {
+    return Status::Corruption("malformed escrow record");
+  }
+  STEGFS_ASSIGN_OR_RETURN(std::string plaintext,
+                          crypto::RsaDecrypt(admin_key, envelope));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          DecodeHiddenDir(plaintext));
+  if (entries.size() != 1) {
+    return Status::Corruption("escrow envelope holds unexpected records");
+  }
+  record.entry = std::move(entries[0]);
+  return record;
+}
+
+StatusOr<std::vector<EscrowRecord>> KeyEscrow::List(
+    const crypto::RsaPrivateKey& admin_key) {
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> envelopes,
+                          LoadEnvelopes());
+  std::vector<EscrowRecord> records;
+  records.reserve(envelopes.size());
+  for (const std::string& raw : envelopes) {
+    STEGFS_ASSIGN_OR_RETURN(EscrowRecord record,
+                            DecryptRecord(admin_key, raw));
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+StatusOr<int> KeyEscrow::PurgeUser(const crypto::RsaPrivateKey& admin_key,
+                                   const std::string& uid) {
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> envelopes,
+                          LoadEnvelopes());
+  std::vector<std::string> kept;
+  int removed = 0;
+  for (const std::string& raw : envelopes) {
+    STEGFS_ASSIGN_OR_RETURN(EscrowRecord record,
+                            DecryptRecord(admin_key, raw));
+    if (record.uid != uid) {
+      kept.push_back(raw);
+      continue;
+    }
+    // Remove the object tree (directories recursively).
+    std::vector<HiddenDirEntry> frontier = {record.entry};
+    while (!frontier.empty()) {
+      HiddenDirEntry entry = std::move(frontier.back());
+      frontier.pop_back();
+      auto obj = HiddenObject::Open(fs_->VolumeCtx(),
+                                    StegFs::PhysicalName(uid, entry.name),
+                                    entry.fak);
+      if (!obj.ok()) continue;  // already gone: purge is idempotent
+      if ((*obj)->type() == HiddenType::kDirectory) {
+        auto children = HiddenDirView::Load(obj->get());
+        if (children.ok()) {
+          for (HiddenDirEntry& child : *children) {
+            frontier.push_back(std::move(child));
+          }
+        }
+      }
+      STEGFS_RETURN_IF_ERROR((*obj)->Remove());
+      ++removed;
+    }
+  }
+  STEGFS_RETURN_IF_ERROR(fs_->plain()->PersistMeta());
+  STEGFS_RETURN_IF_ERROR(StoreEnvelopes(kept));
+  return removed;
+}
+
+Status KeyEscrow::Defragment(const crypto::RsaPrivateKey& admin_key,
+                             const std::string& uid,
+                             const std::string& objname) {
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> envelopes,
+                          LoadEnvelopes());
+  for (const std::string& raw : envelopes) {
+    STEGFS_ASSIGN_OR_RETURN(EscrowRecord record,
+                            DecryptRecord(admin_key, raw));
+    if (record.uid != uid || record.entry.name != objname) continue;
+
+    std::string physical = StegFs::PhysicalName(uid, objname);
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> obj,
+        HiddenObject::Open(fs_->VolumeCtx(), physical, record.entry.fak));
+    STEGFS_ASSIGN_OR_RETURN(std::string content, obj->ReadAll());
+    HiddenType type = obj->type();
+    STEGFS_RETURN_IF_ERROR(obj->Remove());
+    // Recreate under the SAME (name, FAK): the owner's directory entries
+    // remain valid, but every block is freshly drawn.
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> fresh,
+        HiddenObject::Create(fs_->VolumeCtx(), physical, record.entry.fak,
+                             type));
+    STEGFS_RETURN_IF_ERROR(fresh->WriteAll(content));
+    STEGFS_RETURN_IF_ERROR(fresh->Sync());
+    return fs_->plain()->PersistMeta();
+  }
+  return Status::NotFound("no escrowed record for " + uid + "/" + objname);
+}
+
+}  // namespace stegfs

@@ -1,0 +1,83 @@
+// FAK escrow: the paper's workaround for the section 3.4 limitations.
+//
+// Because hidden files are invisible even to the administrator, the file
+// system "is unable to defragment hidden files ... [or] remove hidden files
+// belonging to expired user accounts without cooperation from the users who
+// possess the file access keys. A solution is to offer users the option of
+// depositing a copy of the FAKs with the system administrator."
+//
+// KeyEscrow implements that deposit box: users append RSA envelopes (each
+// holding uid + the object's (name, type, FAK) record, encrypted under the
+// ADMINISTRATOR's public key) to a plain escrow file. Only the holder of
+// the private key can open them. With the private key the administrator can
+//   - enumerate escrowed objects,
+//   - purge every escrowed object of an expired account, and
+//   - "defragment" an object: rewrite it in place so its blocks are
+//     re-placed and its free pool re-drawn (the closest meaningful
+//     operation under randomized placement).
+//
+// Depositing is a deliberate secrecy trade-off: the administrator learns
+// that THESE objects exist (not the user's other objects, and no UAK). The
+// paper makes the same concession.
+#ifndef STEGFS_CORE_ESCROW_H_
+#define STEGFS_CORE_ESCROW_H_
+
+#include <string>
+#include <vector>
+
+#include "core/stegfs.h"
+#include "crypto/rsa.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+struct EscrowRecord {
+  std::string uid;
+  HiddenDirEntry entry;  // (objname, type, FAK)
+};
+
+class KeyEscrow {
+ public:
+  // `escrow_path` is a plain file on the same volume (created on first
+  // deposit). `fs` must outlive the escrow.
+  KeyEscrow(StegFs* fs, std::string escrow_path);
+
+  // User side: resolves `objname` through the UAK and appends its record,
+  // encrypted under the administrator's public key.
+  Status Deposit(const std::string& uid, const std::string& objname,
+                 const std::string& uak,
+                 const crypto::RsaPublicKey& admin_key,
+                 const std::string& entropy);
+
+  // Administrator side (requires the private key).
+  StatusOr<std::vector<EscrowRecord>> List(
+      const crypto::RsaPrivateKey& admin_key);
+
+  // Deletes every escrowed object belonging to `uid` and drops the records
+  // from the escrow file. The user's UAK directory is NOT touched (the
+  // administrator has no UAK); a later connect of a purged object reports
+  // NotFound. Returns the number of objects removed.
+  StatusOr<int> PurgeUser(const crypto::RsaPrivateKey& admin_key,
+                          const std::string& uid);
+
+  // Rewrites the object so its data blocks and free pool are freshly
+  // placed. (name, FAK) are preserved, so the owner's directory entries
+  // stay valid. Directories are rewritten shallowly (their entry table).
+  Status Defragment(const crypto::RsaPrivateKey& admin_key,
+                    const std::string& uid, const std::string& objname);
+
+ private:
+  Status EnsureParents(const std::string& path);
+  StatusOr<std::vector<std::string>> LoadEnvelopes();
+  Status StoreEnvelopes(const std::vector<std::string>& envelopes);
+  StatusOr<EscrowRecord> DecryptRecord(
+      const crypto::RsaPrivateKey& admin_key, const std::string& envelope);
+
+  StegFs* fs_;
+  std::string escrow_path_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CORE_ESCROW_H_

@@ -1,0 +1,88 @@
+#include "core/hidden_directory.h"
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+std::string EncodeHiddenDir(const std::vector<HiddenDirEntry>& entries) {
+  std::string out;
+  PutFixed32(&out, static_cast<uint32_t>(entries.size()));
+  for (const HiddenDirEntry& e : entries) {
+    PutLengthPrefixed(&out, e.name);
+    out.push_back(static_cast<char>(e.type));
+    PutLengthPrefixed(&out, e.fak);
+  }
+  return out;
+}
+
+StatusOr<std::vector<HiddenDirEntry>> DecodeHiddenDir(
+    const std::string& blob) {
+  Decoder dec(blob);
+  uint32_t count;
+  if (!dec.GetFixed32(&count)) {
+    return Status::Corruption("hidden directory truncated (count)");
+  }
+  std::vector<HiddenDirEntry> entries;
+  entries.reserve(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    HiddenDirEntry e;
+    uint8_t type_byte;
+    if (!dec.GetLengthPrefixed(&e.name) || !dec.GetBytes(&type_byte, 1) ||
+        !dec.GetLengthPrefixed(&e.fak)) {
+      return Status::Corruption("hidden directory truncated (entry)");
+    }
+    if (type_byte != static_cast<uint8_t>(HiddenType::kFile) &&
+        type_byte != static_cast<uint8_t>(HiddenType::kDirectory)) {
+      return Status::Corruption("hidden directory entry has bad type");
+    }
+    e.type = static_cast<HiddenType>(type_byte);
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+StatusOr<std::vector<HiddenDirEntry>> HiddenDirView::Load(HiddenObject* dir) {
+  if (dir->type() != HiddenType::kDirectory) {
+    return Status::InvalidArgument("hidden object is not a directory");
+  }
+  if (dir->size() == 0) return std::vector<HiddenDirEntry>{};
+  STEGFS_ASSIGN_OR_RETURN(std::string blob, dir->ReadAll());
+  return DecodeHiddenDir(blob);
+}
+
+Status HiddenDirView::Store(HiddenObject* dir,
+                            const std::vector<HiddenDirEntry>& entries) {
+  if (dir->type() != HiddenType::kDirectory) {
+    return Status::InvalidArgument("hidden object is not a directory");
+  }
+  STEGFS_RETURN_IF_ERROR(dir->WriteAll(EncodeHiddenDir(entries)));
+  return dir->Sync();
+}
+
+int HiddenDirView::Find(const std::vector<HiddenDirEntry>& entries,
+                        const std::string& name) {
+  for (size_t i = 0; i < entries.size(); ++i) {
+    if (entries[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+void HiddenDirView::Upsert(std::vector<HiddenDirEntry>* entries,
+                           HiddenDirEntry entry) {
+  int idx = Find(*entries, entry.name);
+  if (idx >= 0) {
+    (*entries)[idx] = std::move(entry);
+  } else {
+    entries->push_back(std::move(entry));
+  }
+}
+
+bool HiddenDirView::Erase(std::vector<HiddenDirEntry>* entries,
+                          const std::string& name) {
+  int idx = Find(*entries, name);
+  if (idx < 0) return false;
+  entries->erase(entries->begin() + idx);
+  return true;
+}
+
+}  // namespace stegfs

@@ -1,0 +1,54 @@
+// Hidden directory content: a serialized table of (name, type, FAK)
+// entries. Two uses (paper section 3.2):
+//
+//   1. UAK directories — per User Access Key, the directory of all hidden
+//      objects reachable with that UAK ("StegFS maintains a directory of
+//      file name and FAK pairs... encrypted with the UAK and stored as a
+//      hidden file").
+//   2. User-created hidden directories — steg_create(..., 'd') objects
+//      whose entries are their hidden children; connecting the directory
+//      reveals all offspring, each with its own FAK.
+#ifndef STEGFS_CORE_HIDDEN_DIRECTORY_H_
+#define STEGFS_CORE_HIDDEN_DIRECTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "core/hidden_object.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+struct HiddenDirEntry {
+  std::string name;  // object name as the user knows it
+  HiddenType type = HiddenType::kFile;
+  std::string fak;  // the object's File Access Key
+};
+
+// Content codec.
+std::string EncodeHiddenDir(const std::vector<HiddenDirEntry>& entries);
+StatusOr<std::vector<HiddenDirEntry>> DecodeHiddenDir(
+    const std::string& blob);
+
+// Load/modify/store helpers over an open HiddenObject of directory type.
+class HiddenDirView {
+ public:
+  static StatusOr<std::vector<HiddenDirEntry>> Load(HiddenObject* dir);
+  static Status Store(HiddenObject* dir,
+                      const std::vector<HiddenDirEntry>& entries);
+
+  // Returns the entry index for `name`, or -1.
+  static int Find(const std::vector<HiddenDirEntry>& entries,
+                  const std::string& name);
+  // Inserts or replaces by name.
+  static void Upsert(std::vector<HiddenDirEntry>* entries,
+                     HiddenDirEntry entry);
+  // Removes by name; returns false if absent.
+  static bool Erase(std::vector<HiddenDirEntry>* entries,
+                    const std::string& name);
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CORE_HIDDEN_DIRECTORY_H_

@@ -1,0 +1,95 @@
+#include "core/hidden_header.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+namespace {
+// Fixed prefix: signature(32) + type(1) + pad(7) + size(8) + mtime(8) +
+// inode pointers (12 * 4) + pool count (4).
+constexpr size_t kFixedBytes = 32 + 1 + 7 + 8 + 8 + 48 + 4;
+}  // namespace
+
+Status HiddenHeader::EncodeTo(uint8_t* buf, size_t buf_size) const {
+  if (buf_size < kFixedBytes + free_pool.size() * 4) {
+    return Status::InvalidArgument("header block too small for free pool");
+  }
+  if (free_pool.size() > kMaxFreePool) {
+    return Status::InvalidArgument("free pool exceeds header capacity");
+  }
+  std::memset(buf, 0, buf_size);
+  uint8_t* p = buf;
+  std::memcpy(p, signature.data(), 32);
+  p += 32;
+  *p = static_cast<uint8_t>(type);
+  p += 8;  // 1 byte type + 7 pad
+  EncodeFixed64(p, this->size);
+  p += 8;
+  EncodeFixed64(p, mtime);
+  p += 8;
+  for (uint32_t i = 0; i < kDirectPointers; ++i) {
+    EncodeFixed32(p, inode.direct[i]);
+    p += 4;
+  }
+  EncodeFixed32(p, inode.single_indirect);
+  p += 4;
+  EncodeFixed32(p, inode.double_indirect);
+  p += 4;
+  EncodeFixed32(p, static_cast<uint32_t>(free_pool.size()));
+  p += 4;
+  for (uint32_t b : free_pool) {
+    EncodeFixed32(p, b);
+    p += 4;
+  }
+  return Status::OK();
+}
+
+StatusOr<HiddenHeader> HiddenHeader::DecodeFrom(const uint8_t* buf,
+                                                size_t size) {
+  if (size < kFixedBytes) {
+    return Status::Corruption("header block too small");
+  }
+  HiddenHeader h;
+  const uint8_t* p = buf;
+  std::memcpy(h.signature.data(), p, 32);
+  p += 32;
+  uint8_t type_byte = *p;
+  p += 8;
+  if (type_byte != static_cast<uint8_t>(HiddenType::kFile) &&
+      type_byte != static_cast<uint8_t>(HiddenType::kDirectory)) {
+    return Status::Corruption("hidden header has invalid type");
+  }
+  h.type = static_cast<HiddenType>(type_byte);
+  h.size = DecodeFixed64(p);
+  p += 8;
+  h.mtime = DecodeFixed64(p);
+  p += 8;
+  h.inode.type = h.type == HiddenType::kDirectory ? InodeType::kDirectory
+                                                  : InodeType::kFile;
+  h.inode.size = h.size;
+  h.inode.mtime = h.mtime;
+  for (uint32_t i = 0; i < kDirectPointers; ++i) {
+    h.inode.direct[i] = DecodeFixed32(p);
+    p += 4;
+  }
+  h.inode.single_indirect = DecodeFixed32(p);
+  p += 4;
+  h.inode.double_indirect = DecodeFixed32(p);
+  p += 4;
+  uint32_t pool_count = DecodeFixed32(p);
+  p += 4;
+  if (pool_count > kMaxFreePool ||
+      kFixedBytes + pool_count * 4 > size) {
+    return Status::Corruption("hidden header pool count invalid");
+  }
+  h.free_pool.resize(pool_count);
+  for (uint32_t i = 0; i < pool_count; ++i) {
+    h.free_pool[i] = DecodeFixed32(p);
+    p += 4;
+  }
+  return h;
+}
+
+}  // namespace stegfs

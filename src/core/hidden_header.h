@@ -1,0 +1,52 @@
+// The hidden-object header (paper figure 2). One device block, encrypted
+// with the object's File Access Key, holding:
+//   - the signature that "uniquely identifies the file"
+//     (SHA-256 of physical name || FAK; verified after decrypting a
+//     locator candidate),
+//   - the object's inode (the "link to an inode table that indexes all the
+//     data blocks"),
+//   - the internal free-block pool (the "linked list of pointers to free
+//     blocks held by the file"; stored inline — equivalent content, single
+//     block — see DESIGN.md),
+//   - size / mtime / type metadata that a plain file would keep in the
+//     central directory.
+#ifndef STEGFS_CORE_HIDDEN_HEADER_H_
+#define STEGFS_CORE_HIDDEN_HEADER_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "fs/inode.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+// Upper bound on pool entries representable in one 512-byte header block.
+inline constexpr uint32_t kMaxFreePool = 96;
+
+enum class HiddenType : uint8_t {
+  kFile = 1,       // 'f' in the paper's API
+  kDirectory = 2,  // 'd'
+};
+
+struct HiddenHeader {
+  std::array<uint8_t, 32> signature = {};
+  HiddenType type = HiddenType::kFile;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  Inode inode;  // only the pointer fields are meaningful here
+  std::vector<uint32_t> free_pool;
+
+  // Serializes into a block-size buffer; bytes past the structure are filled
+  // from `filler` (must look random — the whole block is then encrypted, so
+  // zeros would be fine cryptographically, but random filler also keeps the
+  // *plaintext* header indistinguishable from noise in memory dumps).
+  Status EncodeTo(uint8_t* buf, size_t buf_size) const;
+  static StatusOr<HiddenHeader> DecodeFrom(const uint8_t* buf, size_t size);
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CORE_HIDDEN_HEADER_H_

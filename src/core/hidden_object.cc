@@ -1,0 +1,226 @@
+#include "core/hidden_object.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/keys.h"
+
+namespace stegfs {
+
+HiddenObject::HiddenObject(const HiddenVolume& vol,
+                           const std::string& physical_name,
+                           const std::string& access_key)
+    : vol_(vol),
+      physical_name_(physical_name),
+      access_key_(access_key),
+      crypter_(access_key),
+      store_(vol.cache, &crypter_),
+      io_(vol.layout.block_size),
+      allocator_(this) {}
+
+uint32_t HiddenObject::EffectivePoolMax() const {
+  return std::min(vol_.params.free_pool_max, kMaxFreePool);
+}
+
+StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Create(
+    const HiddenVolume& vol, const std::string& physical_name,
+    const std::string& access_key, HiddenType type) {
+  std::unique_ptr<HiddenObject> obj(
+      new HiddenObject(vol, physical_name, access_key));
+
+  // Refuse to create a second object under the same (name, key): its header
+  // would shadow or be shadowed by the existing one.
+  HeaderLocator locator(vol.cache, vol.bitmap, vol.layout, vol.probe_limit);
+  auto existing = locator.FindHeader(physical_name, access_key,
+                                     obj->crypter_);
+  if (existing.ok()) {
+    return Status::AlreadyExists("hidden object already exists: " +
+                                 physical_name);
+  }
+  if (!existing.status().IsNotFound()) return existing.status();
+
+  STEGFS_ASSIGN_OR_RETURN(LocateResult claim,
+                          locator.ClaimHeaderBlock(physical_name, access_key));
+  obj->header_block_ = claim.header_block;
+  obj->last_probes_ = claim.probes;
+
+  obj->header_.signature = crypto::FileSignature(physical_name, access_key);
+  obj->header_.type = type;
+  obj->header_.inode.type =
+      type == HiddenType::kDirectory ? InodeType::kDirectory
+                                     : InodeType::kFile;
+  obj->header_dirty_ = true;
+
+  // Allocate the initial pool "straightaway" (paper 3.1).
+  STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
+  STEGFS_RETURN_IF_ERROR(obj->Sync());
+  return obj;
+}
+
+StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Open(
+    const HiddenVolume& vol, const std::string& physical_name,
+    const std::string& access_key) {
+  std::unique_ptr<HiddenObject> obj(
+      new HiddenObject(vol, physical_name, access_key));
+  HeaderLocator locator(vol.cache, vol.bitmap, vol.layout, vol.probe_limit);
+  STEGFS_ASSIGN_OR_RETURN(
+      LocateResult found,
+      locator.FindHeader(physical_name, access_key, obj->crypter_));
+  obj->header_block_ = found.header_block;
+  obj->last_probes_ = found.probes;
+
+  std::vector<uint8_t> buf(vol.layout.block_size);
+  STEGFS_RETURN_IF_ERROR(
+      obj->store_.ReadBlock(found.header_block, buf.data()));
+  STEGFS_ASSIGN_OR_RETURN(obj->header_,
+                          HiddenHeader::DecodeFrom(buf.data(), buf.size()));
+  obj->header_.inode.size = obj->header_.size;
+  return obj;
+}
+
+HiddenObject::~HiddenObject() {
+  if (!removed_) (void)Sync();
+}
+
+Status HiddenObject::TopUpPool() {
+  const uint32_t target = EffectivePoolMax();
+  while (header_.free_pool.size() < target) {
+    STEGFS_ASSIGN_OR_RETURN(
+        uint64_t b,
+        vol_.bitmap->AllocateByPolicy(AllocPolicy::kRandom, vol_.rng));
+    header_.free_pool.push_back(static_cast<uint32_t>(b));
+    unscrubbed_.insert(static_cast<uint32_t>(b));
+    header_dirty_ = true;
+  }
+  return Status::OK();
+}
+
+Status HiddenObject::ReleaseExcess() {
+  const uint32_t target = EffectivePoolMax();
+  while (header_.free_pool.size() > target) {
+    size_t idx = vol_.rng->Uniform(header_.free_pool.size());
+    uint64_t b = header_.free_pool[idx];
+    header_.free_pool[idx] = header_.free_pool.back();
+    header_.free_pool.pop_back();
+    // The block leaves our custody: it must NOT be scrubbed later — by the
+    // time Sync runs it may belong to someone else (e.g. a plain file).
+    unscrubbed_.erase(static_cast<uint32_t>(b));
+    STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    header_dirty_ = true;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> HiddenObject::PoolAllocator::AllocateBlock() {
+  HiddenObject* obj = obj_;
+  if (obj->EffectivePoolMax() == 0) {
+    // Pool disabled: degrade to direct random allocation.
+    return obj->vol_.bitmap->AllocateByPolicy(AllocPolicy::kRandom,
+                                              obj->vol_.rng);
+  }
+  if (obj->header_.free_pool.empty()) {
+    STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
+    if (obj->header_.free_pool.empty()) {
+      return Status::NoSpace("volume full (hidden pool refill failed)");
+    }
+  }
+  // "Blocks are taken off the linked list randomly" (paper 3.1).
+  size_t idx = obj->vol_.rng->Uniform(obj->header_.free_pool.size());
+  uint64_t b = obj->header_.free_pool[idx];
+  obj->header_.free_pool[idx] = obj->header_.free_pool.back();
+  obj->header_.free_pool.pop_back();
+  // The caller is about to write the block: no scrub needed.
+  obj->unscrubbed_.erase(static_cast<uint32_t>(b));
+  obj->header_dirty_ = true;
+  // Top up when the pool drains below the lower bound.
+  if (obj->header_.free_pool.size() < obj->vol_.params.free_pool_min) {
+    STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
+  }
+  return b;
+}
+
+Status HiddenObject::PoolAllocator::FreeBlock(uint64_t block) {
+  HiddenObject* obj = obj_;
+  obj->header_.free_pool.push_back(static_cast<uint32_t>(block));
+  obj->header_dirty_ = true;
+  return obj->ReleaseExcess();
+}
+
+Status HiddenObject::Read(uint64_t offset, uint64_t n, std::string* out) {
+  if (removed_) return Status::FailedPrecondition("object was removed");
+  return io_.Read(header_.inode, offset, n, &store_, out);
+}
+
+StatusOr<std::string> HiddenObject::ReadAll() {
+  std::string out;
+  STEGFS_RETURN_IF_ERROR(Read(0, size(), &out));
+  return out;
+}
+
+Status HiddenObject::Write(uint64_t offset, std::string_view data) {
+  if (removed_) return Status::FailedPrecondition("object was removed");
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      io_.Write(&header_.inode, offset, data, &store_, &allocator_, &dirty));
+  if (dirty) header_dirty_ = true;
+  return Status::OK();
+}
+
+Status HiddenObject::WriteAll(std::string_view data) {
+  STEGFS_RETURN_IF_ERROR(Truncate(0));
+  return Write(0, data);
+}
+
+Status HiddenObject::Truncate(uint64_t new_size) {
+  if (removed_) return Status::FailedPrecondition("object was removed");
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(io_.Truncate(&header_.inode, new_size, &store_,
+                                      &allocator_, &dirty));
+  if (dirty) header_dirty_ = true;
+  return Status::OK();
+}
+
+Status HiddenObject::Sync() {
+  if (removed_) return Status::FailedPrecondition("object was removed");
+  // Scrub pool blocks that still hold pre-acquisition content, so nothing
+  // inside this object's footprint is distinguishable from noise.
+  if (!unscrubbed_.empty()) {
+    std::vector<uint8_t> noise(vol_.layout.block_size);
+    for (uint32_t b : unscrubbed_) {
+      vol_.rng->FillBytes(noise.data(), noise.size());
+      STEGFS_RETURN_IF_ERROR(vol_.cache->Write(b, noise.data()));
+    }
+    unscrubbed_.clear();
+  }
+  if (!header_dirty_) return Status::OK();
+  header_.size = header_.inode.size;
+  header_.mtime = header_.inode.mtime;
+  std::vector<uint8_t> buf(vol_.layout.block_size);
+  STEGFS_RETURN_IF_ERROR(header_.EncodeTo(buf.data(), buf.size()));
+  STEGFS_RETURN_IF_ERROR(store_.WriteBlock(header_block_, buf.data()));
+  header_dirty_ = false;
+  return Status::OK();
+}
+
+Status HiddenObject::Remove() {
+  if (removed_) return Status::FailedPrecondition("object already removed");
+  // Free data + indirect blocks into the pool, then drain the entire pool
+  // back to the file system.
+  STEGFS_RETURN_IF_ERROR(
+      io_.mapper()->FreeFrom(&header_.inode, 0, &store_, &allocator_));
+  for (uint32_t b : header_.free_pool) {
+    STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+  }
+  header_.free_pool.clear();
+  unscrubbed_.clear();  // released blocks are no longer ours to scrub
+  // Obliterate the header so the signature can never be located again, then
+  // release its block.
+  std::vector<uint8_t> noise(vol_.layout.block_size);
+  vol_.rng->FillBytes(noise.data(), noise.size());
+  STEGFS_RETURN_IF_ERROR(vol_.cache->Write(header_block_, noise.data()));
+  STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(header_block_));
+  removed_ = true;
+  return Status::OK();
+}
+
+}  // namespace stegfs

@@ -1,0 +1,136 @@
+// HiddenObject: one hidden file or hidden directory (paper section 3.1).
+//
+// Everything about the object — header, inode pointers, data, indirect
+// blocks, and its internal pool of free blocks — lives in bitmap-allocated
+// blocks that are encrypted under the object's access key (FAK) and listed
+// in no central structure. Without the (name, key) pair the object's blocks
+// are indistinguishable from abandoned blocks and dummy files.
+//
+// Block allocation goes through the internal free pool:
+//   - the pool is topped up to `free_pool_max` with uniformly random free
+//     blocks whenever it drains below `free_pool_min`,
+//   - extension pops a *random* pool entry (so even an intruder who diffs
+//     bitmap snapshots cannot tell data blocks from pool blocks, nor their
+//     order),
+//   - truncation pushes freed blocks back into the pool; beyond
+//     `free_pool_max` the excess returns to the file system.
+#ifndef STEGFS_CORE_HIDDEN_OBJECT_H_
+#define STEGFS_CORE_HIDDEN_OBJECT_H_
+
+#include <memory>
+#include <set>
+#include <string>
+#include <string_view>
+
+#include "cache/buffer_cache.h"
+#include "core/hidden_header.h"
+#include "core/locator.h"
+#include "crypto/block_crypter.h"
+#include "fs/bitmap.h"
+#include "fs/block_store.h"
+#include "fs/file_io.h"
+#include "fs/layout.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+// Shared volume context handed to hidden objects by the StegFs facade. All
+// pointers are non-owning and must outlive the object.
+struct HiddenVolume {
+  BufferCache* cache = nullptr;
+  BlockBitmap* bitmap = nullptr;
+  Layout layout;
+  StegParams params;
+  Xoshiro* rng = nullptr;  // placement randomness (pool refills)
+  uint32_t probe_limit = 10000;
+};
+
+class HiddenObject {
+ public:
+  // Creates a new hidden object. Fails with AlreadyExists if an object with
+  // the same (name, key) already exists on the volume.
+  static StatusOr<std::unique_ptr<HiddenObject>> Create(
+      const HiddenVolume& vol, const std::string& physical_name,
+      const std::string& access_key, HiddenType type);
+
+  // Opens an existing hidden object; NotFound if (name, key) match nothing.
+  static StatusOr<std::unique_ptr<HiddenObject>> Open(
+      const HiddenVolume& vol, const std::string& physical_name,
+      const std::string& access_key);
+
+  ~HiddenObject();
+  HiddenObject(const HiddenObject&) = delete;
+  HiddenObject& operator=(const HiddenObject&) = delete;
+
+  HiddenType type() const { return header_.type; }
+  uint64_t size() const { return header_.inode.size; }
+  uint64_t header_block() const { return header_block_; }
+  // Locator probes used by the last Create/Open (A3 ablation metric).
+  uint32_t last_probe_count() const { return last_probes_; }
+  uint32_t pool_size() const {
+    return static_cast<uint32_t>(header_.free_pool.size());
+  }
+
+  Status Read(uint64_t offset, uint64_t n, std::string* out);
+  StatusOr<std::string> ReadAll();
+  Status Write(uint64_t offset, std::string_view data);
+  // Replaces the whole content.
+  Status WriteAll(std::string_view data);
+  Status Truncate(uint64_t new_size);
+
+  // Persists the header block (inode pointers, size, pool). Data blocks are
+  // written through immediately; only the header is deferred.
+  Status Sync();
+
+  // Destroys the object: frees data, indirect, pool and header blocks and
+  // overwrites the header with fresh noise so the signature is gone. The
+  // object must not be used afterwards.
+  Status Remove();
+
+ private:
+  class PoolAllocator : public BlockAllocator {
+   public:
+    explicit PoolAllocator(HiddenObject* obj) : obj_(obj) {}
+    StatusOr<uint64_t> AllocateBlock() override;
+    Status FreeBlock(uint64_t block) override;
+
+   private:
+    HiddenObject* obj_;
+  };
+
+  HiddenObject(const HiddenVolume& vol, const std::string& physical_name,
+               const std::string& access_key);
+
+  // Refills the pool to free_pool_max with random free blocks. Freshly
+  // acquired blocks may hold stale plaintext (e.g. from a deleted plain
+  // file); they are queued for scrubbing and overwritten with noise at the
+  // next Sync unless a data write claims them first — so steady-state
+  // write traffic is one device write per data block, not two.
+  Status TopUpPool();
+  // Releases random pool entries back to the file system until the pool is
+  // at most free_pool_max.
+  Status ReleaseExcess();
+  uint32_t EffectivePoolMax() const;
+
+  HiddenVolume vol_;
+  std::string physical_name_;
+  std::string access_key_;
+  crypto::BlockCrypter crypter_;
+  EncryptedBlockStore store_;
+  FileIo io_;
+  PoolAllocator allocator_;
+  HiddenHeader header_;
+  uint64_t header_block_ = 0;
+  uint32_t last_probes_ = 0;
+  bool header_dirty_ = false;
+  bool removed_ = false;
+  // Pool entries acquired since the last Sync that still hold whatever the
+  // block contained before (scrubbed with noise at Sync).
+  std::set<uint32_t> unscrubbed_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_CORE_HIDDEN_OBJECT_H_

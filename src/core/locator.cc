@@ -1,0 +1,57 @@
+#include "core/locator.h"
+
+#include <cstring>
+#include <vector>
+
+#include "crypto/keys.h"
+
+namespace stegfs {
+
+CandidateSequence::CandidateSequence(const std::string& physical_name,
+                                     const std::string& access_key,
+                                     const Layout& layout)
+    : prng_(crypto::LocatorSeed(physical_name, access_key),
+            layout.data_blocks()),
+      data_start_(layout.data_start) {}
+
+uint64_t CandidateSequence::Next() { return data_start_ + prng_.Next(); }
+
+StatusOr<LocateResult> HeaderLocator::ClaimHeaderBlock(
+    const std::string& physical_name, const std::string& access_key) {
+  CandidateSequence seq(physical_name, access_key, layout_);
+  LocateResult result;
+  for (uint32_t i = 0; i < probe_limit_; ++i) {
+    uint64_t candidate = seq.Next();
+    ++result.probes;
+    if (!bitmap_->IsAllocated(candidate)) {
+      STEGFS_RETURN_IF_ERROR(bitmap_->Allocate(candidate));
+      result.header_block = candidate;
+      return result;
+    }
+  }
+  return Status::NoSpace("no free candidate block for hidden header");
+}
+
+StatusOr<LocateResult> HeaderLocator::FindHeader(
+    const std::string& physical_name, const std::string& access_key,
+    const crypto::BlockCrypter& crypter) {
+  CandidateSequence seq(physical_name, access_key, layout_);
+  crypto::Sha256Digest expect =
+      crypto::FileSignature(physical_name, access_key);
+  std::vector<uint8_t> buf(layout_.block_size);
+  LocateResult result;
+  for (uint32_t i = 0; i < probe_limit_; ++i) {
+    uint64_t candidate = seq.Next();
+    ++result.probes;
+    if (!bitmap_->IsAllocated(candidate)) continue;
+    STEGFS_RETURN_IF_ERROR(cache_->Read(candidate, buf.data()));
+    crypter.DecryptBlock(candidate, buf.data(), buf.size());
+    if (std::memcmp(buf.data(), expect.data(), expect.size()) == 0) {
+      result.header_block = candidate;
+      return result;
+    }
+  }
+  return Status::NotFound("hidden object not found (name/key mismatch?)");
+}
+
+}  // namespace stegfs

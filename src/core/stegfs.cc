@@ -1,0 +1,633 @@
+#include "core/stegfs.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/hex.h"
+
+namespace stegfs {
+
+namespace {
+
+// Dummy hidden files are system objects: their names and keys derive from
+// the dummy seed stored in the superblock, which is exactly the paper's
+// concession that dummies "could be vulnerable to an attacker with
+// administrator privileges" (abandoned blocks remain untraceable).
+std::string DummyName(uint32_t i) {
+  // Built piecewise: "\x00d..." inside one literal would parse as the hex
+  // escape 0x0d and silently eat the 'd'.
+  std::string name("\x02system", 7);
+  name.push_back('\0');
+  name += "dummy-" + std::to_string(i);
+  return name;
+}
+
+std::string DummyKey(const std::array<uint8_t, 32>& seed, uint32_t i) {
+  std::string prk(reinterpret_cast<const char*>(seed.data()), seed.size());
+  auto key = crypto::HkdfExpand(prk, "dummy-key-" + std::to_string(i), 32);
+  return std::string(key.begin(), key.end());
+}
+
+uint64_t SeedFromEntropy(const std::string& entropy, const char* label) {
+  crypto::Sha256Digest d = crypto::Sha256::Hash2(entropy, label);
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v = (v << 8) | d[i];
+  return v;
+}
+
+}  // namespace
+
+std::string StegFs::PhysicalName(const std::string& uid,
+                                 const std::string& objname) {
+  return uid + '\0' + objname;
+}
+
+std::string StegFs::UakDirName() { return std::string("\x01uakdir", 7); }
+
+StegFs::StegFs(BlockDevice* device, std::unique_ptr<PlainFs> plain,
+               const StegFsOptions& options)
+    : device_(device),
+      plain_(std::move(plain)),
+      options_(options),
+      steg_rng_(options.steg_rng_seed),
+      fak_drbg_("stegfs-fak:" + std::to_string(options.steg_rng_seed)) {}
+
+StegFs::~StegFs() { (void)Flush(); }
+
+HiddenVolume StegFs::VolumeCtx() {
+  HiddenVolume vol;
+  vol.cache = plain_->cache();
+  vol.bitmap = plain_->bitmap();
+  vol.layout = plain_->layout();
+  vol.params = plain_->superblock().steg;
+  vol.rng = &steg_rng_;
+  vol.probe_limit = options_.probe_limit;
+  return vol;
+}
+
+Status StegFs::Format(BlockDevice* device, const StegFormatOptions& options) {
+  const uint32_t bs = device->block_size();
+  const uint64_t nb = device->num_blocks();
+
+  // 1. Random-fill every block "so that used blocks do not stand out from
+  //    the free blocks" (paper 3.1).
+  {
+    std::vector<uint8_t> buf(bs);
+    if (options.fill_mode == FillMode::kFast) {
+      Xoshiro fill(SeedFromEntropy(options.entropy, "fill"));
+      for (uint64_t b = 0; b < nb; ++b) {
+        fill.FillBytes(buf.data(), buf.size());
+        STEGFS_RETURN_IF_ERROR(device->WriteBlock(b, buf.data()));
+      }
+    } else {
+      crypto::CtrDrbg fill("stegfs-fill:" + options.entropy);
+      for (uint64_t b = 0; b < nb; ++b) {
+        fill.Generate(buf.data(), buf.size());
+        STEGFS_RETURN_IF_ERROR(device->WriteBlock(b, buf.data()));
+      }
+    }
+  }
+
+  // 2. Plain file system on top (superblock, bitmap, central directory).
+  FormatOptions fo;
+  fo.num_inodes = options.num_inodes;
+  fo.steg = options.params;
+  fo.steg_formatted = true;
+  fo.dummy_seed = crypto::Sha256::Hash2("stegfs-dummy-seed:", options.entropy);
+  STEGFS_RETURN_IF_ERROR(PlainFs::Format(device, fo));
+
+  // 3. Abandon random blocks and create the dummy hidden files.
+  MountOptions mo;
+  mo.rng_seed = SeedFromEntropy(options.entropy, "mount");
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<PlainFs> plain,
+                          PlainFs::Mount(device, mo));
+
+  Xoshiro abandon_rng(SeedFromEntropy(options.entropy, "abandon"));
+  const Layout& layout = plain->layout();
+  uint64_t abandoned_count = static_cast<uint64_t>(
+      static_cast<double>(layout.data_blocks()) *
+      options.params.abandoned_fraction);
+  for (uint64_t i = 0; i < abandoned_count; ++i) {
+    auto b = plain->bitmap()->AllocateByPolicy(AllocPolicy::kRandom,
+                                               &abandon_rng);
+    if (!b.ok()) return b.status();
+    // Content stays as format noise; the block is now untraceable.
+  }
+
+  StegFsOptions so;
+  so.steg_rng_seed = SeedFromEntropy(options.entropy, "steg-rng");
+  Xoshiro dummy_rng(SeedFromEntropy(options.entropy, "dummy-rng"));
+  STEGFS_RETURN_IF_ERROR(CreateDummyFiles(plain.get(), &dummy_rng, so));
+
+  STEGFS_RETURN_IF_ERROR(plain->Flush());
+  return Status::OK();
+}
+
+Status StegFs::CreateDummyFiles(PlainFs* plain, Xoshiro* rng,
+                                const StegFsOptions& opts) {
+  const Superblock& sb = plain->superblock();
+  HiddenVolume vol;
+  vol.cache = plain->cache();
+  vol.bitmap = plain->bitmap();
+  vol.layout = plain->layout();
+  vol.params = sb.steg;
+  vol.rng = rng;
+  vol.probe_limit = opts.probe_limit;
+
+  const uint64_t avg = std::max<uint64_t>(sb.steg.dummy_file_avg_bytes, 1);
+  for (uint32_t i = 0; i < sb.steg.dummy_file_count; ++i) {
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> dummy,
+        HiddenObject::Create(vol, DummyName(i), DummyKey(sb.dummy_seed, i),
+                             HiddenType::kFile));
+    // Size uniform in [avg/2, 3*avg/2): mean = avg (Table 1).
+    uint64_t size = avg / 2 + rng->Uniform(avg);
+    std::string content(size, '\0');
+    rng->FillBytes(reinterpret_cast<uint8_t*>(content.data()), size);
+    STEGFS_RETURN_IF_ERROR(dummy->WriteAll(content));
+    STEGFS_RETURN_IF_ERROR(dummy->Sync());
+  }
+  return plain->PersistMeta();
+}
+
+StatusOr<std::unique_ptr<StegFs>> StegFs::Mount(BlockDevice* device,
+                                                const StegFsOptions& options) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<PlainFs> plain,
+                          PlainFs::Mount(device, options.mount));
+  if (!plain->superblock().steg_formatted) {
+    return Status::FailedPrecondition(
+        "volume was not steg-formatted (no random fill): refusing to hide "
+        "data on it");
+  }
+  return std::unique_ptr<StegFs>(
+      new StegFs(device, std::move(plain), options));
+}
+
+std::string StegFs::FreshFak() { return fak_drbg_.GenerateString(32); }
+
+StatusOr<std::unique_ptr<HiddenObject>> StegFs::OpenUakDir(
+    const std::string& uid, const std::string& uak, bool create_if_missing) {
+  std::string name = PhysicalName(uid, UakDirName());
+  HiddenVolume vol = VolumeCtx();
+  auto opened = HiddenObject::Open(vol, name, uak);
+  if (opened.ok() || !opened.status().IsNotFound() || !create_if_missing) {
+    return opened;
+  }
+  return HiddenObject::Create(vol, name, uak, HiddenType::kDirectory);
+}
+
+StatusOr<std::unique_ptr<HiddenObject>> StegFs::OpenByEntry(
+    const std::string& uid, const HiddenDirEntry& entry) {
+  return HiddenObject::Open(VolumeCtx(), PhysicalName(uid, entry.name),
+                            entry.fak);
+}
+
+StatusOr<StegFs::ResolvedEntry> StegFs::ResolveEntry(const std::string& uid,
+                                                     const std::string& objname,
+                                                     const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
+                          OpenUakDir(uid, uak, /*create_if_missing=*/false));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(uakdir.get()));
+  ResolvedEntry resolved;
+  for (;;) {
+    int idx = HiddenDirView::Find(entries, objname);
+    if (idx >= 0) {
+      resolved.entry = entries[idx];
+      return resolved;
+    }
+    // Descend into the hidden directory whose name prefixes objname.
+    const HiddenDirEntry* next = nullptr;
+    for (const HiddenDirEntry& e : entries) {
+      if (e.type != HiddenType::kDirectory) continue;
+      if (objname.size() > e.name.size() + 1 &&
+          objname.compare(0, e.name.size(), e.name) == 0 &&
+          objname[e.name.size()] == '/') {
+        if (next == nullptr || e.name.size() > next->name.size()) {
+          next = &e;
+        }
+      }
+    }
+    if (next == nullptr) {
+      return Status::NotFound("object not reachable from UAK directory: " +
+                              objname);
+    }
+    HiddenDirEntry parent = *next;
+    STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> dir,
+                            OpenByEntry(uid, parent));
+    STEGFS_ASSIGN_OR_RETURN(entries, HiddenDirView::Load(dir.get()));
+    resolved.in_uak_dir = false;
+    resolved.parent = std::move(parent);
+  }
+}
+
+Status StegFs::RewriteContainer(const std::string& uid,
+                                const std::string& uak,
+                                const ResolvedEntry& resolved,
+                                const HiddenDirEntry* replacement) {
+  std::unique_ptr<HiddenObject> container;
+  if (resolved.in_uak_dir) {
+    STEGFS_ASSIGN_OR_RETURN(container,
+                            OpenUakDir(uid, uak, /*create_if_missing=*/false));
+  } else {
+    STEGFS_ASSIGN_OR_RETURN(container, OpenByEntry(uid, resolved.parent));
+  }
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(container.get()));
+  HiddenDirView::Erase(&entries, resolved.entry.name);
+  if (replacement != nullptr) {
+    HiddenDirView::Upsert(&entries, *replacement);
+  }
+  STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(container.get(), entries));
+  return plain_->PersistMeta();
+}
+
+Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
+                          const std::string& uak, HiddenType type) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
+                          OpenUakDir(uid, uak, /*create_if_missing=*/true));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(uakdir.get()));
+  if (HiddenDirView::Find(entries, objname) >= 0) {
+    return Status::AlreadyExists("hidden object already registered: " +
+                                 objname);
+  }
+
+  HiddenDirEntry entry;
+  entry.name = objname;
+  entry.type = type;
+  entry.fak = FreshFak();
+  STEGFS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HiddenObject> obj,
+      HiddenObject::Create(VolumeCtx(), PhysicalName(uid, objname), entry.fak,
+                           type));
+  STEGFS_RETURN_IF_ERROR(obj->Sync());
+
+  HiddenDirView::Upsert(&entries, std::move(entry));
+  STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(uakdir.get(), entries));
+  return plain_->PersistMeta();
+}
+
+StatusOr<StegFs::Connected*> StegFs::GetConnected(const std::string& uid,
+                                                  const std::string& objname) {
+  auto it = connected_.find({uid, objname});
+  if (it == connected_.end()) {
+    return Status::FailedPrecondition("object not connected: " + objname);
+  }
+  return &it->second;
+}
+
+Status StegFs::StegConnect(const std::string& uid, const std::string& objname,
+                           const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
+                          ResolveEntry(uid, objname, uak));
+
+  // Connect this object; for directories, recursively connect offspring.
+  std::vector<HiddenDirEntry> frontier = {resolved.entry};
+  while (!frontier.empty()) {
+    HiddenDirEntry entry = std::move(frontier.back());
+    frontier.pop_back();
+    if (connected_.count({uid, entry.name}) != 0) continue;
+    STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
+                            OpenByEntry(uid, entry));
+    if (obj->type() == HiddenType::kDirectory) {
+      STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> children,
+                              HiddenDirView::Load(obj.get()));
+      for (HiddenDirEntry& child : children) {
+        frontier.push_back(std::move(child));
+      }
+    }
+    Connected conn;
+    conn.fak = entry.fak;
+    conn.object = std::move(obj);
+    connected_.emplace(SessionKey{uid, entry.name}, std::move(conn));
+  }
+  return Status::OK();
+}
+
+Status StegFs::StegDisconnect(const std::string& uid,
+                              const std::string& objname) {
+  auto it = connected_.find({uid, objname});
+  if (it == connected_.end()) {
+    return Status::NotFound("object not connected: " + objname);
+  }
+  Status s = it->second.object->Sync();
+  connected_.erase(it);
+  STEGFS_RETURN_IF_ERROR(s);
+  return plain_->PersistMeta();
+}
+
+Status StegFs::DisconnectAll(const std::string& uid) {
+  for (auto it = connected_.begin(); it != connected_.end();) {
+    if (it->first.first == uid) {
+      STEGFS_RETURN_IF_ERROR(it->second.object->Sync());
+      it = connected_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return plain_->PersistMeta();
+}
+
+StatusOr<std::string> StegFs::HiddenReadAll(const std::string& uid,
+                                            const std::string& objname) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  return conn->object->ReadAll();
+}
+
+Status StegFs::HiddenRead(const std::string& uid, const std::string& objname,
+                          uint64_t offset, uint64_t n, std::string* out) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  return conn->object->Read(offset, n, out);
+}
+
+Status StegFs::HiddenWriteAll(const std::string& uid,
+                              const std::string& objname,
+                              const std::string& data) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  STEGFS_RETURN_IF_ERROR(conn->object->WriteAll(data));
+  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  return plain_->PersistMeta();
+}
+
+Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
+                           uint64_t offset, const std::string& data) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  STEGFS_RETURN_IF_ERROR(conn->object->Write(offset, data));
+  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  return plain_->PersistMeta();
+}
+
+Status StegFs::HiddenTruncate(const std::string& uid,
+                              const std::string& objname, uint64_t new_size) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  STEGFS_RETURN_IF_ERROR(conn->object->Truncate(new_size));
+  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  return plain_->PersistMeta();
+}
+
+StatusOr<uint64_t> StegFs::HiddenSize(const std::string& uid,
+                                      const std::string& objname) {
+  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
+  return conn->object->size();
+}
+
+std::vector<std::string> StegFs::ConnectedObjects(
+    const std::string& uid) const {
+  std::vector<std::string> names;
+  for (const auto& [key, conn] : connected_) {
+    if (key.first == uid) names.push_back(key.second);
+  }
+  return names;
+}
+
+Status StegFs::RemoveTree(const std::string& uid,
+                          const HiddenDirEntry& entry) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
+                          OpenByEntry(uid, entry));
+  if (obj->type() == HiddenType::kDirectory) {
+    STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> children,
+                            HiddenDirView::Load(obj.get()));
+    for (const HiddenDirEntry& child : children) {
+      STEGFS_RETURN_IF_ERROR(RemoveTree(uid, child));
+    }
+  }
+  connected_.erase({uid, entry.name});
+  return obj->Remove();
+}
+
+Status StegFs::HiddenRemove(const std::string& uid, const std::string& objname,
+                            const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
+                          ResolveEntry(uid, objname, uak));
+  STEGFS_RETURN_IF_ERROR(RemoveTree(uid, resolved.entry));
+  return RewriteContainer(uid, uak, resolved, /*replacement=*/nullptr);
+}
+
+Status StegFs::HidePlainTree(const std::string& uid,
+                             const std::string& plain_path,
+                             const std::string& objname,
+                             std::vector<HiddenDirEntry>* parent_entries) {
+  STEGFS_ASSIGN_OR_RETURN(FileInfo info, plain_->Stat(plain_path));
+  HiddenDirEntry entry;
+  entry.name = objname;
+  entry.fak = FreshFak();
+
+  if (info.type == InodeType::kFile) {
+    entry.type = HiddenType::kFile;
+    STEGFS_ASSIGN_OR_RETURN(std::string content, plain_->ReadFile(plain_path));
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> obj,
+        HiddenObject::Create(VolumeCtx(), PhysicalName(uid, objname),
+                             entry.fak, HiddenType::kFile));
+    STEGFS_RETURN_IF_ERROR(obj->WriteAll(content));
+    STEGFS_RETURN_IF_ERROR(obj->Sync());
+    STEGFS_RETURN_IF_ERROR(plain_->Unlink(plain_path));
+  } else {
+    entry.type = HiddenType::kDirectory;
+    STEGFS_ASSIGN_OR_RETURN(
+        std::unique_ptr<HiddenObject> obj,
+        HiddenObject::Create(VolumeCtx(), PhysicalName(uid, objname),
+                             entry.fak, HiddenType::kDirectory));
+    STEGFS_ASSIGN_OR_RETURN(std::vector<DirEntry> children,
+                            plain_->List(plain_path));
+    std::vector<HiddenDirEntry> child_entries;
+    for (const DirEntry& child : children) {
+      STEGFS_RETURN_IF_ERROR(
+          HidePlainTree(uid, plain_path + "/" + child.name,
+                        objname + "/" + child.name, &child_entries));
+    }
+    STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(obj.get(), child_entries));
+    STEGFS_RETURN_IF_ERROR(plain_->RmDir(plain_path));
+  }
+  parent_entries->push_back(std::move(entry));
+  return Status::OK();
+}
+
+Status StegFs::StegHide(const std::string& uid, const std::string& pathname,
+                        const std::string& objname, const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
+                          OpenUakDir(uid, uak, /*create_if_missing=*/true));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(uakdir.get()));
+  if (HiddenDirView::Find(entries, objname) >= 0) {
+    return Status::AlreadyExists("hidden object already registered: " +
+                                 objname);
+  }
+  std::vector<HiddenDirEntry> new_entries;
+  STEGFS_RETURN_IF_ERROR(HidePlainTree(uid, pathname, objname, &new_entries));
+  assert(new_entries.size() == 1);
+  HiddenDirView::Upsert(&entries, std::move(new_entries[0]));
+  STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(uakdir.get(), entries));
+  return plain_->PersistMeta();
+}
+
+Status StegFs::UnhideTree(const std::string& uid,
+                          const std::string& plain_path,
+                          const HiddenDirEntry& entry) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
+                          OpenByEntry(uid, entry));
+  if (obj->type() == HiddenType::kFile) {
+    STEGFS_ASSIGN_OR_RETURN(std::string content, obj->ReadAll());
+    STEGFS_RETURN_IF_ERROR(plain_->WriteFile(plain_path, content));
+  } else {
+    STEGFS_RETURN_IF_ERROR(plain_->MkDir(plain_path));
+    STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> children,
+                            HiddenDirView::Load(obj.get()));
+    for (const HiddenDirEntry& child : children) {
+      // Child names are full object paths; the leaf is the path suffix.
+      std::string leaf = child.name.substr(child.name.find_last_of('/') + 1);
+      STEGFS_RETURN_IF_ERROR(
+          UnhideTree(uid, plain_path + "/" + leaf, child));
+    }
+  }
+  connected_.erase({uid, entry.name});
+  return obj->Remove();
+}
+
+Status StegFs::StegUnhide(const std::string& uid, const std::string& pathname,
+                          const std::string& objname, const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
+                          OpenUakDir(uid, uak, /*create_if_missing=*/false));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(uakdir.get()));
+  int idx = HiddenDirView::Find(entries, objname);
+  if (idx < 0) {
+    return Status::NotFound("object not in UAK directory: " + objname);
+  }
+  STEGFS_RETURN_IF_ERROR(UnhideTree(uid, pathname, entries[idx]));
+  HiddenDirView::Erase(&entries, objname);
+  STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(uakdir.get(), entries));
+  return plain_->PersistMeta();
+}
+
+Status StegFs::StegGetEntry(const std::string& uid, const std::string& objname,
+                            const std::string& uak,
+                            const std::string& entryfile_path,
+                            const crypto::RsaPublicKey& recipient_key,
+                            const std::string& entropy) {
+  STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
+                          ResolveEntry(uid, objname, uak));
+  std::string record = EncodeHiddenDir({resolved.entry});
+  STEGFS_ASSIGN_OR_RETURN(std::string ciphertext,
+                          crypto::RsaEncrypt(recipient_key, record, entropy));
+  return plain_->WriteFile(entryfile_path, ciphertext);
+}
+
+Status StegFs::StegAddEntry(const std::string& uid,
+                            const std::string& entryfile_path,
+                            const crypto::RsaPrivateKey& private_key,
+                            const std::string& uak) {
+  STEGFS_ASSIGN_OR_RETURN(std::string ciphertext,
+                          plain_->ReadFile(entryfile_path));
+  STEGFS_ASSIGN_OR_RETURN(std::string record,
+                          crypto::RsaDecrypt(private_key, ciphertext));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> incoming,
+                          DecodeHiddenDir(record));
+  if (incoming.size() != 1) {
+    return Status::Corruption("entry file holds an unexpected record count");
+  }
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
+                          OpenUakDir(uid, uak, /*create_if_missing=*/true));
+  STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
+                          HiddenDirView::Load(uakdir.get()));
+  HiddenDirView::Upsert(&entries, std::move(incoming[0]));
+  STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(uakdir.get(), entries));
+  // "...at which time the file information is added to the UAK's directory
+  // and the ciphertext is destroyed."
+  STEGFS_RETURN_IF_ERROR(plain_->Unlink(entryfile_path));
+  return plain_->PersistMeta();
+}
+
+Status StegFs::RevokeSharing(const std::string& uid,
+                             const std::string& objname,
+                             const std::string& uak,
+                             const std::string& new_objname) {
+  STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
+                          ResolveEntry(uid, objname, uak));
+  const HiddenDirEntry& old_entry = resolved.entry;
+  if (old_entry.type != HiddenType::kFile) {
+    return Status::NotSupported("revocation of shared directories");
+  }
+
+  // "StegFS first makes a new copy with a fresh FAK and possibly a
+  // different file name, then removes the original file."
+  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> old_obj,
+                          OpenByEntry(uid, old_entry));
+  STEGFS_ASSIGN_OR_RETURN(std::string content, old_obj->ReadAll());
+
+  HiddenDirEntry new_entry;
+  new_entry.name = new_objname;
+  new_entry.type = HiddenType::kFile;
+  new_entry.fak = FreshFak();
+  STEGFS_ASSIGN_OR_RETURN(
+      std::unique_ptr<HiddenObject> new_obj,
+      HiddenObject::Create(VolumeCtx(), PhysicalName(uid, new_objname),
+                           new_entry.fak, HiddenType::kFile));
+  STEGFS_RETURN_IF_ERROR(new_obj->WriteAll(content));
+  STEGFS_RETURN_IF_ERROR(new_obj->Sync());
+  STEGFS_RETURN_IF_ERROR(old_obj->Remove());
+  connected_.erase({uid, objname});
+
+  return RewriteContainer(uid, uak, resolved, &new_entry);
+}
+
+Status StegFs::MaintenanceTick() {
+  const Superblock& sb = plain_->superblock();
+  HiddenVolume vol = VolumeCtx();
+  const uint64_t avg = std::max<uint64_t>(sb.steg.dummy_file_avg_bytes, 1);
+  for (uint32_t i = 0; i < sb.steg.dummy_file_count; ++i) {
+    auto dummy =
+        HiddenObject::Open(vol, DummyName(i), DummyKey(sb.dummy_seed, i));
+    if (!dummy.ok()) return dummy.status();
+    HiddenObject* obj = dummy->get();
+
+    uint64_t size = obj->size();
+    uint64_t churn = std::max<uint64_t>(avg / 16, vol.layout.block_size);
+    std::string noise(churn, '\0');
+    steg_rng_.FillBytes(reinterpret_cast<uint8_t*>(noise.data()),
+                        noise.size());
+    // Keep the file near its average size while continually allocating and
+    // releasing blocks, so bitmap diffs always show churn.
+    if (size > avg + avg / 2) {
+      STEGFS_RETURN_IF_ERROR(obj->Truncate(size - churn));
+    } else if (size < avg / 2 + 1) {
+      STEGFS_RETURN_IF_ERROR(obj->Write(size, noise));
+    } else if (steg_rng_.Bernoulli(0.5)) {
+      STEGFS_RETURN_IF_ERROR(obj->Write(size, noise));  // grow
+    } else {
+      STEGFS_RETURN_IF_ERROR(obj->Truncate(size - std::min(size, churn)));
+    }
+    // Rewrite a random interior range.
+    uint64_t new_size = obj->size();
+    if (new_size > churn) {
+      uint64_t off = steg_rng_.Uniform(new_size - churn);
+      STEGFS_RETURN_IF_ERROR(obj->Write(off, noise));
+    }
+    STEGFS_RETURN_IF_ERROR(obj->Sync());
+  }
+  return plain_->PersistMeta();
+}
+
+Status StegFs::Flush() {
+  for (auto& [key, conn] : connected_) {
+    STEGFS_RETURN_IF_ERROR(conn.object->Sync());
+  }
+  return plain_->Flush();
+}
+
+SpaceReport StegFs::ReportSpace() {
+  SpaceReport r;
+  const Layout& l = plain_->layout();
+  r.block_size = l.block_size;
+  r.total_blocks = l.num_blocks;
+  r.metadata_blocks = l.data_start;
+  r.free_blocks = plain_->bitmap()->free_count();
+  r.allocated_blocks = l.num_blocks - r.free_blocks;
+  r.plain_file_bytes = plain_->TotalPlainBytes();
+  return r;
+}
+
+}  // namespace stegfs

@@ -1,0 +1,45 @@
+// AES-128/192/256 block cipher (FIPS 197), implemented from the standard.
+//
+// The paper (section 4, API 1) encrypts hidden-object blocks with an
+// AES-based block cipher; we use AES-256 keys derived from the File Access
+// Key. Single-block encrypt/decrypt only — chaining modes live in
+// block_crypter.h.
+#ifndef STEGFS_CRYPTO_AES_H_
+#define STEGFS_CRYPTO_AES_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace stegfs {
+namespace crypto {
+
+// Expanded-key AES context. Construct once per key, then encrypt/decrypt any
+// number of 16-byte blocks.
+class Aes {
+ public:
+  // key_len must be 16, 24 or 32 bytes (AES-128/192/256).
+  Aes(const uint8_t* key, size_t key_len);
+  explicit Aes(const std::string& key)
+      : Aes(reinterpret_cast<const uint8_t*>(key.data()), key.size()) {}
+
+  // Encrypts/decrypts exactly 16 bytes. in and out may alias.
+  void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+  void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
+
+  int rounds() const { return rounds_; }
+
+ private:
+  void ExpandKey(const uint8_t* key, size_t key_len);
+
+  // Round keys, 4 words per round plus the initial AddRoundKey, and the
+  // "equivalent inverse cipher" schedule for table-driven decryption.
+  uint32_t round_keys_[60];
+  uint32_t dec_round_keys_[60];
+  int rounds_;
+};
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_AES_H_

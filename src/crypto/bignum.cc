@@ -1,0 +1,370 @@
+#include "crypto/bignum.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stegfs {
+namespace crypto {
+
+void BigInt::Trim() {
+  while (!limbs_.empty() && limbs_.back() == 0) limbs_.pop_back();
+}
+
+BigInt BigInt::FromUint64(uint64_t v) {
+  BigInt out;
+  if (v) out.limbs_.push_back(static_cast<uint32_t>(v));
+  if (v >> 32) out.limbs_.push_back(static_cast<uint32_t>(v >> 32));
+  return out;
+}
+
+BigInt BigInt::FromBytes(const uint8_t* data, size_t len) {
+  BigInt out;
+  out.limbs_.assign((len + 3) / 4, 0);
+  for (size_t i = 0; i < len; ++i) {
+    // data[0] is the most significant byte; data[i] lands at byte
+    // significance len-1-i.
+    size_t sig = len - 1 - i;
+    out.limbs_[sig / 4] |= static_cast<uint32_t>(data[i]) << (8 * (sig % 4));
+  }
+  out.Trim();
+  return out;
+}
+
+std::vector<uint8_t> BigInt::ToBytes(size_t min_len) const {
+  size_t nbytes = (BitLength() + 7) / 8;
+  size_t total = std::max(nbytes, min_len);
+  std::vector<uint8_t> out(total, 0);
+  for (size_t sig = 0; sig < nbytes; ++sig) {
+    uint8_t byte =
+        static_cast<uint8_t>(limbs_[sig / 4] >> (8 * (sig % 4)));
+    out[total - 1 - sig] = byte;
+  }
+  return out;
+}
+
+size_t BigInt::BitLength() const {
+  if (limbs_.empty()) return 0;
+  uint32_t top = limbs_.back();
+  size_t bits = (limbs_.size() - 1) * 32;
+  while (top) {
+    ++bits;
+    top >>= 1;
+  }
+  return bits;
+}
+
+bool BigInt::Bit(size_t i) const {
+  size_t limb = i / 32;
+  if (limb >= limbs_.size()) return false;
+  return (limbs_[limb] >> (i % 32)) & 1;
+}
+
+int BigInt::Compare(const BigInt& a, const BigInt& b) {
+  if (a.limbs_.size() != b.limbs_.size()) {
+    return a.limbs_.size() < b.limbs_.size() ? -1 : 1;
+  }
+  for (size_t i = a.limbs_.size(); i-- > 0;) {
+    if (a.limbs_[i] != b.limbs_[i]) return a.limbs_[i] < b.limbs_[i] ? -1 : 1;
+  }
+  return 0;
+}
+
+BigInt BigInt::operator+(const BigInt& o) const {
+  BigInt out;
+  size_t n = std::max(limbs_.size(), o.limbs_.size());
+  out.limbs_.resize(n + 1, 0);
+  uint64_t carry = 0;
+  for (size_t i = 0; i < n; ++i) {
+    uint64_t sum = carry;
+    if (i < limbs_.size()) sum += limbs_[i];
+    if (i < o.limbs_.size()) sum += o.limbs_[i];
+    out.limbs_[i] = static_cast<uint32_t>(sum);
+    carry = sum >> 32;
+  }
+  out.limbs_[n] = static_cast<uint32_t>(carry);
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator-(const BigInt& o) const {
+  assert(*this >= o);
+  BigInt out;
+  out.limbs_.resize(limbs_.size(), 0);
+  int64_t borrow = 0;
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    int64_t diff = static_cast<int64_t>(limbs_[i]) - borrow -
+                   (i < o.limbs_.size() ? o.limbs_[i] : 0);
+    if (diff < 0) {
+      diff += (1LL << 32);
+      borrow = 1;
+    } else {
+      borrow = 0;
+    }
+    out.limbs_[i] = static_cast<uint32_t>(diff);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::operator*(const BigInt& o) const {
+  BigInt out;
+  if (IsZero() || o.IsZero()) return out;
+  out.limbs_.assign(limbs_.size() + o.limbs_.size(), 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t carry = 0;
+    for (size_t j = 0; j < o.limbs_.size(); ++j) {
+      uint64_t cur = static_cast<uint64_t>(limbs_[i]) * o.limbs_[j] +
+                     out.limbs_[i + j] + carry;
+      out.limbs_[i + j] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+    }
+    size_t k = i + o.limbs_.size();
+    while (carry) {
+      uint64_t cur = static_cast<uint64_t>(out.limbs_[k]) + carry;
+      out.limbs_[k] = static_cast<uint32_t>(cur);
+      carry = cur >> 32;
+      ++k;
+    }
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftLeft(size_t bits) const {
+  if (IsZero() || bits == 0) {
+    BigInt c = *this;
+    return c;
+  }
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt out;
+  out.limbs_.assign(limbs_.size() + limb_shift + 1, 0);
+  for (size_t i = 0; i < limbs_.size(); ++i) {
+    uint64_t v = static_cast<uint64_t>(limbs_[i]) << bit_shift;
+    out.limbs_[i + limb_shift] |= static_cast<uint32_t>(v);
+    out.limbs_[i + limb_shift + 1] |= static_cast<uint32_t>(v >> 32);
+  }
+  out.Trim();
+  return out;
+}
+
+BigInt BigInt::ShiftRight(size_t bits) const {
+  size_t limb_shift = bits / 32;
+  size_t bit_shift = bits % 32;
+  BigInt out;
+  if (limb_shift >= limbs_.size()) return out;
+  out.limbs_.assign(limbs_.size() - limb_shift, 0);
+  for (size_t i = 0; i < out.limbs_.size(); ++i) {
+    uint64_t v = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift && i + limb_shift + 1 < limbs_.size()) {
+      v |= static_cast<uint64_t>(limbs_[i + limb_shift + 1])
+           << (32 - bit_shift);
+    }
+    out.limbs_[i] = static_cast<uint32_t>(v);
+  }
+  out.Trim();
+  return out;
+}
+
+void BigInt::DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r) {
+  assert(!b.IsZero());
+  if (Compare(a, b) < 0) {
+    if (q) *q = BigInt();
+    if (r) *r = a;
+    return;
+  }
+  // Bitwise long division, MSB first. O(bits * limbs) — fine at RSA sizes.
+  BigInt quotient;
+  BigInt remainder;
+  size_t abits = a.BitLength();
+  quotient.limbs_.assign(a.limbs_.size(), 0);
+  remainder.limbs_.reserve(b.limbs_.size() + 1);
+  for (size_t i = abits; i-- > 0;) {
+    // remainder = (remainder << 1) | a.Bit(i), done in place.
+    uint32_t carry = a.Bit(i) ? 1u : 0u;
+    for (size_t l = 0; l < remainder.limbs_.size(); ++l) {
+      uint32_t next_carry = remainder.limbs_[l] >> 31;
+      remainder.limbs_[l] = (remainder.limbs_[l] << 1) | carry;
+      carry = next_carry;
+    }
+    if (carry) remainder.limbs_.push_back(carry);
+    if (Compare(remainder, b) >= 0) {
+      remainder = remainder - b;
+      quotient.limbs_[i / 32] |= (1u << (i % 32));
+    }
+  }
+  quotient.Trim();
+  remainder.Trim();
+  if (q) *q = std::move(quotient);
+  if (r) *r = std::move(remainder);
+}
+
+BigInt BigInt::Mod(const BigInt& m) const {
+  BigInt r;
+  DivMod(*this, m, nullptr, &r);
+  return r;
+}
+
+BigInt BigInt::ModExp(const BigInt& exp, const BigInt& m) const {
+  assert(!m.IsZero());
+  BigInt result = FromUint64(1).Mod(m);
+  BigInt base = Mod(m);
+  size_t ebits = exp.BitLength();
+  for (size_t i = ebits; i-- > 0;) {
+    result = (result * result).Mod(m);
+    if (exp.Bit(i)) {
+      result = (result * base).Mod(m);
+    }
+  }
+  return result;
+}
+
+BigInt BigInt::Gcd(BigInt a, BigInt b) {
+  while (!b.IsZero()) {
+    BigInt r = a.Mod(b);
+    a = std::move(b);
+    b = std::move(r);
+  }
+  return a;
+}
+
+BigInt BigInt::ModInverse(const BigInt& m) const {
+  // Extended Euclid tracking only the coefficient of *this, with signs
+  // handled by keeping (value, negative?) pairs.
+  BigInt r0 = m, r1 = Mod(m);
+  BigInt t0, t1 = FromUint64(1);
+  bool t0_neg = false, t1_neg = false;
+  while (!r1.IsZero()) {
+    BigInt q, r2;
+    DivMod(r0, r1, &q, &r2);
+    // t2 = t0 - q * t1 (signed).
+    BigInt qt = q * t1;
+    BigInt t2;
+    bool t2_neg;
+    if (t0_neg == t1_neg) {
+      // t0 and q*t1 have the same sign: subtract magnitudes.
+      if (t0 >= qt) {
+        t2 = t0 - qt;
+        t2_neg = t0_neg;
+      } else {
+        t2 = qt - t0;
+        t2_neg = !t0_neg;
+      }
+    } else {
+      t2 = t0 + qt;
+      t2_neg = t0_neg;
+    }
+    r0 = std::move(r1);
+    r1 = std::move(r2);
+    t0 = std::move(t1);
+    t0_neg = t1_neg;
+    t1 = std::move(t2);
+    t1_neg = t2_neg;
+  }
+  if (Compare(r0, FromUint64(1)) != 0) return BigInt();  // not invertible
+  if (t0_neg) return m - t0.Mod(m);
+  return t0.Mod(m);
+}
+
+BigInt BigInt::Random(CtrDrbg* drbg, const BigInt& bound) {
+  assert(!bound.IsZero());
+  size_t bytes = (bound.BitLength() + 7) / 8;
+  // Rejection sampling.
+  for (;;) {
+    std::vector<uint8_t> buf = drbg->Generate(bytes);
+    // Mask the top byte down to the bound's bit length to speed acceptance.
+    size_t top_bits = bound.BitLength() % 8;
+    if (top_bits) buf[0] &= static_cast<uint8_t>((1u << top_bits) - 1);
+    BigInt candidate = FromBytes(buf);
+    if (Compare(candidate, bound) < 0) return candidate;
+  }
+}
+
+BigInt BigInt::RandomBits(CtrDrbg* drbg, size_t bits) {
+  assert(bits >= 2);
+  size_t bytes = (bits + 7) / 8;
+  std::vector<uint8_t> buf = drbg->Generate(bytes);
+  size_t top_bits = bits % 8;
+  if (top_bits) {
+    buf[0] &= static_cast<uint8_t>((1u << top_bits) - 1);
+    buf[0] |= static_cast<uint8_t>(1u << (top_bits - 1));
+  } else {
+    buf[0] |= 0x80;
+  }
+  return FromBytes(buf);
+}
+
+namespace {
+constexpr uint32_t kSmallPrimes[] = {
+    3,  5,  7,  11, 13, 17, 19, 23, 29, 31, 37, 41,  43,  47,  53,  59,
+    61, 67, 71, 73, 79, 83, 89, 97, 101, 103, 107, 109, 113, 127, 131, 137};
+}  // namespace
+
+bool BigInt::IsProbablePrime(const BigInt& n, CtrDrbg* drbg, int rounds) {
+  BigInt two = FromUint64(2);
+  BigInt three = FromUint64(3);
+  if (Compare(n, two) < 0) return false;
+  if (Compare(n, three) <= 0) return true;
+  if (!n.IsOdd()) return false;
+
+  // Trial division by small primes.
+  for (uint32_t p : kSmallPrimes) {
+    BigInt bp = FromUint64(p);
+    if (Compare(n, bp) == 0) return true;
+    if (n.Mod(bp).IsZero()) return false;
+  }
+
+  // n - 1 = d * 2^s with d odd.
+  BigInt one = FromUint64(1);
+  BigInt n_minus_1 = n - one;
+  BigInt d = n_minus_1;
+  size_t s = 0;
+  while (!d.IsOdd()) {
+    d = d.ShiftRight(1);
+    ++s;
+  }
+
+  for (int round = 0; round < rounds; ++round) {
+    // a in [2, n-2].
+    BigInt a = Random(drbg, n - FromUint64(3)) + two;
+    BigInt x = a.ModExp(d, n);
+    if (Compare(x, one) == 0 || Compare(x, n_minus_1) == 0) continue;
+    bool composite = true;
+    for (size_t i = 0; i + 1 < s; ++i) {
+      x = (x * x).Mod(n);
+      if (Compare(x, n_minus_1) == 0) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+BigInt BigInt::GeneratePrime(size_t bits, CtrDrbg* drbg) {
+  for (;;) {
+    BigInt candidate = RandomBits(drbg, bits);
+    if (!candidate.IsOdd()) candidate = candidate + FromUint64(1);
+    if (IsProbablePrime(candidate, drbg)) return candidate;
+  }
+}
+
+std::string BigInt::ToHex() const {
+  if (IsZero()) return "0";
+  static const char* digits = "0123456789abcdef";
+  std::string out;
+  bool leading = true;
+  for (size_t i = limbs_.size(); i-- > 0;) {
+    for (int shift = 28; shift >= 0; shift -= 4) {
+      int nib = (limbs_[i] >> shift) & 0xf;
+      if (leading && nib == 0) continue;
+      leading = false;
+      out.push_back(digits[nib]);
+    }
+  }
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,87 @@
+// Arbitrary-precision unsigned integers, sized for RSA key material.
+//
+// Implemented from scratch (no GMP): schoolbook multiplication, bitwise long
+// division, binary modular exponentiation, extended-Euclid inverse and
+// Miller-Rabin primality. Performance is adequate for the 512-1024 bit keys
+// used by the StegFS sharing utility; this is not a general-purpose bignum.
+#ifndef STEGFS_CRYPTO_BIGNUM_H_
+#define STEGFS_CRYPTO_BIGNUM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/prng.h"
+
+namespace stegfs {
+namespace crypto {
+
+// Unsigned big integer, little-endian 32-bit limbs, always normalized (no
+// trailing zero limbs; zero is an empty limb vector).
+class BigInt {
+ public:
+  BigInt() = default;
+  static BigInt FromUint64(uint64_t v);
+  // Big-endian byte import/export (the RSA wire format).
+  static BigInt FromBytes(const uint8_t* data, size_t len);
+  static BigInt FromBytes(const std::vector<uint8_t>& b) {
+    return FromBytes(b.data(), b.size());
+  }
+  // Export as big-endian, left-padded with zeros to at least `min_len`.
+  std::vector<uint8_t> ToBytes(size_t min_len = 0) const;
+
+  bool IsZero() const { return limbs_.empty(); }
+  bool IsOdd() const { return !limbs_.empty() && (limbs_[0] & 1); }
+  // Number of significant bits; 0 for zero.
+  size_t BitLength() const;
+  bool Bit(size_t i) const;
+
+  // Three-way comparison: negative, zero, positive.
+  static int Compare(const BigInt& a, const BigInt& b);
+  bool operator==(const BigInt& o) const { return Compare(*this, o) == 0; }
+  bool operator!=(const BigInt& o) const { return Compare(*this, o) != 0; }
+  bool operator<(const BigInt& o) const { return Compare(*this, o) < 0; }
+  bool operator<=(const BigInt& o) const { return Compare(*this, o) <= 0; }
+  bool operator>(const BigInt& o) const { return Compare(*this, o) > 0; }
+  bool operator>=(const BigInt& o) const { return Compare(*this, o) >= 0; }
+
+  BigInt operator+(const BigInt& o) const;
+  // Requires *this >= o (unsigned arithmetic).
+  BigInt operator-(const BigInt& o) const;
+  BigInt operator*(const BigInt& o) const;
+
+  BigInt ShiftLeft(size_t bits) const;
+  BigInt ShiftRight(size_t bits) const;
+
+  // q = a / b, r = a % b. b must be nonzero. Outputs may alias inputs.
+  static void DivMod(const BigInt& a, const BigInt& b, BigInt* q, BigInt* r);
+  BigInt Mod(const BigInt& m) const;
+
+  // (this ^ exp) mod m, via square-and-multiply. m must be nonzero.
+  BigInt ModExp(const BigInt& exp, const BigInt& m) const;
+  // Multiplicative inverse modulo m; returns zero BigInt if none exists.
+  BigInt ModInverse(const BigInt& m) const;
+  static BigInt Gcd(BigInt a, BigInt b);
+
+  // Uniform random integer in [0, bound) drawn from `drbg`.
+  static BigInt Random(CtrDrbg* drbg, const BigInt& bound);
+  // Random integer with exactly `bits` bits (top bit set).
+  static BigInt RandomBits(CtrDrbg* drbg, size_t bits);
+
+  // Miller-Rabin probabilistic primality test.
+  static bool IsProbablePrime(const BigInt& n, CtrDrbg* drbg, int rounds = 24);
+  // Generates a random prime with exactly `bits` bits.
+  static BigInt GeneratePrime(size_t bits, CtrDrbg* drbg);
+
+  std::string ToHex() const;
+
+ private:
+  void Trim();
+
+  std::vector<uint32_t> limbs_;
+};
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_BIGNUM_H_

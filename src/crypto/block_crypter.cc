@@ -1,0 +1,56 @@
+#include "crypto/block_crypter.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+
+namespace stegfs {
+namespace crypto {
+
+BlockCrypter::BlockCrypter(const std::string& key) {
+  // Derive independent data and IV keys so a related-key interaction between
+  // the two cipher instances is impossible.
+  std::vector<uint8_t> dk = HkdfExpand(key, "stegfs-block-data-key", 32);
+  std::vector<uint8_t> ik = HkdfExpand(key, "stegfs-block-essiv-key", 32);
+  data_cipher_ = std::make_unique<Aes>(dk.data(), dk.size());
+  iv_cipher_ = std::make_unique<Aes>(ik.data(), ik.size());
+}
+
+void BlockCrypter::ComputeIv(uint64_t block_number, uint8_t iv[16]) const {
+  uint8_t plain[16] = {0};
+  for (int i = 0; i < 8; ++i) {
+    plain[i] = static_cast<uint8_t>(block_number >> (8 * i));
+  }
+  iv_cipher_->EncryptBlock(plain, iv);
+}
+
+void BlockCrypter::EncryptBlock(uint64_t block_number, uint8_t* data,
+                                size_t size) const {
+  assert(size % 16 == 0);
+  uint8_t chain[16];
+  ComputeIv(block_number, chain);
+  for (size_t off = 0; off < size; off += 16) {
+    for (int i = 0; i < 16; ++i) data[off + i] ^= chain[i];
+    data_cipher_->EncryptBlock(data + off, data + off);
+    std::memcpy(chain, data + off, 16);
+  }
+}
+
+void BlockCrypter::DecryptBlock(uint64_t block_number, uint8_t* data,
+                                size_t size) const {
+  assert(size % 16 == 0);
+  uint8_t chain[16];
+  ComputeIv(block_number, chain);
+  uint8_t prev_cipher[16];
+  for (size_t off = 0; off < size; off += 16) {
+    std::memcpy(prev_cipher, data + off, 16);
+    data_cipher_->DecryptBlock(data + off, data + off);
+    for (int i = 0; i < 16; ++i) data[off + i] ^= chain[i];
+    std::memcpy(chain, prev_cipher, 16);
+  }
+}
+
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,287 @@
+#include "crypto/gf256.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace stegfs {
+namespace crypto {
+
+namespace {
+
+// exp/log tables over generator 0x03 for the AES polynomial 0x11b.
+struct Gf256Tables {
+  uint8_t exp[512];
+  uint8_t log[256];
+
+  Gf256Tables() {
+    uint16_t x = 1;
+    for (int i = 0; i < 255; ++i) {
+      exp[i] = static_cast<uint8_t>(x);
+      log[x] = static_cast<uint8_t>(i);
+      // multiply x by the generator 3 = x * 2 + x.
+      uint16_t x2 = x << 1;
+      if (x2 & 0x100) x2 ^= 0x11b;
+      x = static_cast<uint16_t>(x2 ^ x);
+      if (x & 0x100) x ^= 0x11b;
+    }
+    for (int i = 255; i < 512; ++i) exp[i] = exp[i - 255];
+    log[0] = 0;  // undefined; guarded by callers
+  }
+};
+
+const Gf256Tables& Tables() {
+  static const Gf256Tables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint8_t Gf256::Mul(uint8_t a, uint8_t b) {
+  if (a == 0 || b == 0) return 0;
+  const Gf256Tables& t = Tables();
+  return t.exp[t.log[a] + t.log[b]];
+}
+
+uint8_t Gf256::Div(uint8_t a, uint8_t b) {
+  assert(b != 0);
+  if (a == 0) return 0;
+  const Gf256Tables& t = Tables();
+  return t.exp[t.log[a] + 255 - t.log[b]];
+}
+
+uint8_t Gf256::Inv(uint8_t a) {
+  assert(a != 0);
+  const Gf256Tables& t = Tables();
+  return t.exp[255 - t.log[a]];
+}
+
+uint8_t Gf256::Pow(uint8_t a, unsigned e) {
+  uint8_t result = 1;
+  while (e > 0) {
+    if (e & 1) result = Mul(result, a);
+    a = Mul(a, a);
+    e >>= 1;
+  }
+  return result;
+}
+
+InformationDispersal::InformationDispersal(int m, int n) : m_(m), n_(n) {
+  assert(m >= 1 && n >= m && n <= 255);
+}
+
+std::vector<uint8_t> IdaRow(uint8_t index, int m) {
+  std::vector<uint8_t> row(m, 0);
+  if (index < m) {
+    row[index] = 1;  // systematic: data stripe passes through
+    return row;
+  }
+  // Cauchy row: c_j = 1 / (x ^ y_j) with x = index (>= m), y_j = j (< m).
+  // Every square submatrix of [I; Cauchy] is invertible, so ANY m shares
+  // reconstruct.
+  for (int j = 0; j < m; ++j) {
+    row[j] = Gf256::Inv(static_cast<uint8_t>(index ^ j));
+  }
+  return row;
+}
+
+std::vector<uint8_t> InformationDispersal::RowFor(uint8_t index) const {
+  return IdaRow(index, m_);
+}
+
+std::vector<std::vector<uint8_t>> IdaEncodeStripe(
+    const std::vector<std::vector<uint8_t>>& blocks, int n) {
+  const int m = static_cast<int>(blocks.size());
+  assert(m >= 1 && n >= m);
+  const size_t len = blocks[0].size();
+  std::vector<std::vector<uint8_t>> shares(n);
+  for (int i = 0; i < n; ++i) {
+    if (i < m) {
+      shares[i] = blocks[i];
+      continue;
+    }
+    std::vector<uint8_t> row = IdaRow(static_cast<uint8_t>(i), m);
+    shares[i].assign(len, 0);
+    for (int j = 0; j < m; ++j) {
+      uint8_t c = row[j];
+      if (c == 0) continue;
+      for (size_t k = 0; k < len; ++k) {
+        shares[i][k] ^= Gf256::Mul(c, blocks[j][k]);
+      }
+    }
+  }
+  return shares;
+}
+
+StatusOr<std::vector<std::vector<uint8_t>>> IdaDecodeStripe(
+    const std::vector<std::pair<uint8_t, std::vector<uint8_t>>>& shares,
+    int m) {
+  if (static_cast<int>(shares.size()) < m) {
+    return Status::InvalidArgument("need at least m shares");
+  }
+  const size_t len = shares[0].second.size();
+  std::vector<std::vector<uint8_t>> mat(m);
+  std::vector<std::vector<uint8_t>> rhs(m);
+  std::vector<bool> seen(256, false);
+  int rows = 0;
+  for (const auto& [index, block] : shares) {
+    if (seen[index] || rows == m) continue;
+    if (block.size() != len) {
+      return Status::InvalidArgument("share length mismatch");
+    }
+    seen[index] = true;
+    mat[rows] = IdaRow(index, m);
+    rhs[rows] = block;
+    ++rows;
+  }
+  if (rows < m) {
+    return Status::InvalidArgument("fewer than m distinct shares");
+  }
+  for (int col = 0; col < m; ++col) {
+    int pivot = -1;
+    for (int r = col; r < m; ++r) {
+      if (mat[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) return Status::Corruption("singular share matrix");
+    std::swap(mat[col], mat[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    uint8_t inv = Gf256::Inv(mat[col][col]);
+    for (int c = 0; c < m; ++c) mat[col][c] = Gf256::Mul(mat[col][c], inv);
+    for (size_t k = 0; k < len; ++k) {
+      rhs[col][k] = Gf256::Mul(rhs[col][k], inv);
+    }
+    for (int r = 0; r < m; ++r) {
+      if (r == col || mat[r][col] == 0) continue;
+      uint8_t factor = mat[r][col];
+      for (int c = 0; c < m; ++c) {
+        mat[r][c] ^= Gf256::Mul(factor, mat[col][c]);
+      }
+      for (size_t k = 0; k < len; ++k) {
+        rhs[r][k] ^= Gf256::Mul(factor, rhs[col][k]);
+      }
+    }
+  }
+  return rhs;
+}
+
+std::vector<InformationDispersal::Share> InformationDispersal::Encode(
+    const std::vector<uint8_t>& data) const {
+  // Prefix with the true length, then pad to a multiple of m.
+  std::string framed;
+  PutFixed64(&framed, data.size());
+  framed.append(reinterpret_cast<const char*>(data.data()), data.size());
+  size_t stripe_len = (framed.size() + m_ - 1) / m_;
+  framed.resize(stripe_len * m_, '\0');
+
+  // Stripe j = bytes j, j+m, j+2m, ... (byte-interleaved).
+  std::vector<std::vector<uint8_t>> stripes(
+      m_, std::vector<uint8_t>(stripe_len));
+  for (size_t k = 0; k < framed.size(); ++k) {
+    stripes[k % m_][k / m_] = static_cast<uint8_t>(framed[k]);
+  }
+
+  std::vector<Share> shares(n_);
+  for (int i = 0; i < n_; ++i) {
+    shares[i].index = static_cast<uint8_t>(i);
+    if (i < m_) {
+      shares[i].bytes = stripes[i];
+      continue;
+    }
+    std::vector<uint8_t> row = RowFor(static_cast<uint8_t>(i));
+    shares[i].bytes.assign(stripe_len, 0);
+    for (int j = 0; j < m_; ++j) {
+      uint8_t c = row[j];
+      if (c == 0) continue;
+      for (size_t k = 0; k < stripe_len; ++k) {
+        shares[i].bytes[k] ^= Gf256::Mul(c, stripes[j][k]);
+      }
+    }
+  }
+  return shares;
+}
+
+StatusOr<std::vector<uint8_t>> InformationDispersal::Decode(
+    const std::vector<Share>& shares) const {
+  if (static_cast<int>(shares.size()) < m_) {
+    return Status::InvalidArgument("need at least m shares to reconstruct");
+  }
+  // Take the first m distinct-index shares.
+  std::vector<const Share*> chosen;
+  std::vector<bool> seen(n_, false);
+  for (const Share& s : shares) {
+    if (s.index >= n_ || seen[s.index]) continue;
+    seen[s.index] = true;
+    chosen.push_back(&s);
+    if (static_cast<int>(chosen.size()) == m_) break;
+  }
+  if (static_cast<int>(chosen.size()) < m_) {
+    return Status::InvalidArgument("fewer than m distinct shares");
+  }
+  size_t stripe_len = chosen[0]->bytes.size();
+  for (const Share* s : chosen) {
+    if (s->bytes.size() != stripe_len) {
+      return Status::InvalidArgument("share length mismatch");
+    }
+  }
+
+  // Solve M * stripes = shares by Gaussian elimination, with the share
+  // byte vectors as the augmented columns.
+  std::vector<std::vector<uint8_t>> mat(m_);
+  std::vector<std::vector<uint8_t>> rhs(m_);
+  for (int r = 0; r < m_; ++r) {
+    mat[r] = RowFor(chosen[r]->index);
+    rhs[r] = chosen[r]->bytes;
+  }
+  for (int col = 0; col < m_; ++col) {
+    // Pivot.
+    int pivot = -1;
+    for (int r = col; r < m_; ++r) {
+      if (mat[r][col] != 0) {
+        pivot = r;
+        break;
+      }
+    }
+    if (pivot < 0) {
+      return Status::Corruption("singular share matrix");
+    }
+    std::swap(mat[col], mat[pivot]);
+    std::swap(rhs[col], rhs[pivot]);
+    // Normalize.
+    uint8_t inv = Gf256::Inv(mat[col][col]);
+    for (int c = 0; c < m_; ++c) mat[col][c] = Gf256::Mul(mat[col][c], inv);
+    for (size_t k = 0; k < stripe_len; ++k) {
+      rhs[col][k] = Gf256::Mul(rhs[col][k], inv);
+    }
+    // Eliminate.
+    for (int r = 0; r < m_; ++r) {
+      if (r == col || mat[r][col] == 0) continue;
+      uint8_t factor = mat[r][col];
+      for (int c = 0; c < m_; ++c) {
+        mat[r][c] ^= Gf256::Mul(factor, mat[col][c]);
+      }
+      for (size_t k = 0; k < stripe_len; ++k) {
+        rhs[r][k] ^= Gf256::Mul(factor, rhs[col][k]);
+      }
+    }
+  }
+
+  // De-interleave and strip the length frame.
+  std::vector<uint8_t> framed(stripe_len * m_);
+  for (size_t k = 0; k < framed.size(); ++k) {
+    framed[k] = rhs[k % m_][k / m_];
+  }
+  if (framed.size() < 8) return Status::Corruption("short reconstruction");
+  uint64_t length = DecodeFixed64(framed.data());
+  if (length > framed.size() - 8) {
+    return Status::Corruption("reconstructed length out of range");
+  }
+  return std::vector<uint8_t>(framed.begin() + 8,
+                              framed.begin() + 8 + length);
+}
+
+}  // namespace crypto
+}  // namespace stegfs

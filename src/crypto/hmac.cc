@@ -1,0 +1,54 @@
+#include "crypto/hmac.h"
+
+#include <cstring>
+
+namespace stegfs {
+namespace crypto {
+
+Sha256Digest HmacSha256(const std::string& key, const void* data, size_t len) {
+  uint8_t k[64];
+  std::memset(k, 0, sizeof(k));
+  if (key.size() > 64) {
+    Sha256Digest kd = Sha256::Hash(key);
+    std::memcpy(k, kd.data(), kd.size());
+  } else {
+    std::memcpy(k, key.data(), key.size());
+  }
+
+  uint8_t ipad[64], opad[64];
+  for (int i = 0; i < 64; ++i) {
+    ipad[i] = k[i] ^ 0x36;
+    opad[i] = k[i] ^ 0x5c;
+  }
+
+  Sha256 inner;
+  inner.Update(ipad, 64);
+  inner.Update(data, len);
+  Sha256Digest inner_digest = inner.Finish();
+
+  Sha256 outer;
+  outer.Update(opad, 64);
+  outer.Update(inner_digest.data(), inner_digest.size());
+  return outer.Finish();
+}
+
+std::vector<uint8_t> HkdfExpand(const std::string& prk, const std::string& info,
+                                size_t out_len) {
+  std::vector<uint8_t> out;
+  out.reserve(out_len);
+  std::string t;  // T(i-1)
+  uint8_t counter = 1;
+  while (out.size() < out_len) {
+    std::string block = t;
+    block += info;
+    block.push_back(static_cast<char>(counter++));
+    Sha256Digest d = HmacSha256(prk, block);
+    t.assign(reinterpret_cast<const char*>(d.data()), d.size());
+    size_t take = std::min(t.size(), out_len - out.size());
+    out.insert(out.end(), t.begin(), t.begin() + take);
+  }
+  return out;
+}
+
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,32 @@
+// HMAC-SHA256 (RFC 2104) and an HKDF-style key derivation helper.
+//
+// StegRand uses HMAC as the per-block integrity tag that detects overwritten
+// replicas; keys.h uses HkdfExpand to derive sub-keys (encryption key,
+// locator seed, ESSIV key) from one access key.
+#ifndef STEGFS_CRYPTO_HMAC_H_
+#define STEGFS_CRYPTO_HMAC_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace stegfs {
+namespace crypto {
+
+// One-shot HMAC-SHA256 over `data` with `key`.
+Sha256Digest HmacSha256(const std::string& key, const void* data, size_t len);
+inline Sha256Digest HmacSha256(const std::string& key, const std::string& s) {
+  return HmacSha256(key, s.data(), s.size());
+}
+
+// HKDF-Expand (RFC 5869, with SHA-256): derives `out_len` bytes from a
+// pseudorandom key `prk` and a context/label string `info`.
+std::vector<uint8_t> HkdfExpand(const std::string& prk, const std::string& info,
+                                size_t out_len);
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_HMAC_H_

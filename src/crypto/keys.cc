@@ -1,0 +1,52 @@
+#include "crypto/keys.h"
+
+#include <cassert>
+
+namespace stegfs {
+namespace crypto {
+
+Sha256Digest LocatorSeed(const std::string& physical_name,
+                         const std::string& access_key) {
+  Sha256 h;
+  h.Update("stegfs-locator\0", 15);
+  h.Update(physical_name);
+  h.Update("\0", 1);
+  h.Update(access_key);
+  return h.Finish();
+}
+
+Sha256Digest FileSignature(const std::string& physical_name,
+                           const std::string& access_key) {
+  Sha256 h;
+  h.Update("stegfs-signature\0", 17);
+  h.Update(physical_name);
+  h.Update("\0", 1);
+  h.Update(access_key);
+  return h.Finish();
+}
+
+UakHierarchy::UakHierarchy(const std::string& top_key, int levels) {
+  assert(levels >= 1);
+  keys_.resize(levels);
+  keys_[levels - 1] = top_key;
+  for (int i = levels - 2; i >= 0; --i) {
+    Sha256 h;
+    h.Update(keys_[i + 1]);
+    h.Update("stegfs-uak-down", 15);
+    Sha256Digest d = h.Finish();
+    keys_[i].assign(reinterpret_cast<const char*>(d.data()), d.size());
+  }
+}
+
+const std::string& UakHierarchy::KeyForLevel(int level) const {
+  assert(level >= 1 && level <= static_cast<int>(keys_.size()));
+  return keys_[level - 1];
+}
+
+std::vector<std::string> UakHierarchy::KeysUpToLevel(int level) const {
+  assert(level >= 1 && level <= static_cast<int>(keys_.size()));
+  return std::vector<std::string>(keys_.begin(), keys_.begin() + level);
+}
+
+}  // namespace crypto
+}  // namespace stegfs

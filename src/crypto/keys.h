@@ -1,0 +1,59 @@
+// Key material and the StegFS key scheme (paper section 3.2).
+//
+// Two kinds of keys exist:
+//   UAK (User Access Key)  - unlocks a user's per-level directory of hidden
+//                            files. UAKs form a *linear hierarchy*: signing
+//                            on at level k derives every UAK at level < k,
+//                            so a coerced user can disclose a low level and
+//                            plausibly deny the higher ones.
+//   FAK (File Access Key)  - random per-file key; (name, FAK) pairs are what
+//                            UAK directories store and what sharing sends.
+#ifndef STEGFS_CRYPTO_KEYS_H_
+#define STEGFS_CRYPTO_KEYS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace stegfs {
+namespace crypto {
+
+// Derives the locator seed for a hidden object:
+// SHA256(physical_name || 0x00 || access_key). This single digest both seeds
+// the HashChainPrng and (re-hashed with a distinct label) forms the header
+// signature, per paper section 3.1.
+Sha256Digest LocatorSeed(const std::string& physical_name,
+                         const std::string& access_key);
+
+// The header signature that "uniquely identifies the file": a one-way hash
+// of name and key, so the key cannot be inferred from name + signature.
+Sha256Digest FileSignature(const std::string& physical_name,
+                           const std::string& access_key);
+
+// Linear UAK hierarchy. Level keys are chained downward:
+//   UAK[k-1] = SHA256(UAK[k] || "stegfs-uak-down")
+// so possession of a level-k key reveals all lower levels but nothing above.
+class UakHierarchy {
+ public:
+  // Creates a hierarchy whose *top* (highest level, most secret) key is
+  // `top_key` with `levels` levels, numbered 1 (lowest) .. levels (highest).
+  UakHierarchy(const std::string& top_key, int levels);
+
+  int levels() const { return static_cast<int>(keys_.size()); }
+
+  // The UAK for `level` in [1, levels()].
+  const std::string& KeyForLevel(int level) const;
+
+  // All UAKs visible when signing on at `level`: levels 1..level.
+  std::vector<std::string> KeysUpToLevel(int level) const;
+
+ private:
+  std::vector<std::string> keys_;  // index 0 = level 1
+};
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_KEYS_H_

@@ -1,0 +1,44 @@
+// MD5 (RFC 1321). The paper cites MD5 as an alternative signature hash
+// (section 3.1); we provide it for completeness and for signature-scheme
+// pluggability, but SHA-256 is the default everywhere.
+#ifndef STEGFS_CRYPTO_MD5_H_
+#define STEGFS_CRYPTO_MD5_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace stegfs {
+namespace crypto {
+
+using Md5Digest = std::array<uint8_t, 16>;
+
+// Incremental MD5 context (same shape as Sha256).
+class Md5 {
+ public:
+  Md5() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(const std::string& s) { Update(s.data(), s.size()); }
+  Md5Digest Finish();
+
+  static Md5Digest Hash(const void* data, size_t len);
+  static Md5Digest Hash(const std::string& s) {
+    return Hash(s.data(), s.size());
+  }
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[4];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_MD5_H_

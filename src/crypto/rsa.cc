@@ -1,0 +1,205 @@
+#include "crypto/rsa.h"
+
+#include <cstring>
+
+#include "crypto/hmac.h"
+#include "crypto/sha256.h"
+#include "util/coding.h"
+
+namespace stegfs {
+namespace crypto {
+
+namespace {
+
+constexpr uint32_t kPublicExponent = 65537;
+constexpr size_t kSessionKeyBytes = 32;
+constexpr size_t kTagBytes = 32;
+
+// AES-256-CTR keystream XOR, with a zero starting counter (the session key
+// is single-use, so nonce reuse cannot occur).
+void CtrXor(const std::string& key, std::string* data) {
+  Aes aes(reinterpret_cast<const uint8_t*>(key.data()), key.size());
+  uint8_t ctr[16] = {0};
+  uint8_t ks[16];
+  uint64_t counter = 0;
+  for (size_t i = 0; i < data->size(); i += 16) {
+    for (int b = 0; b < 8; ++b) ctr[b] = static_cast<uint8_t>(counter >> (8 * b));
+    aes.EncryptBlock(ctr, ks);
+    ++counter;
+    size_t n = std::min<size_t>(16, data->size() - i);
+    for (size_t b = 0; b < n; ++b) (*data)[i + b] ^= static_cast<char>(ks[b]);
+  }
+}
+
+}  // namespace
+
+std::string RsaPublicKey::Serialize() const {
+  std::string out;
+  std::vector<uint8_t> nb = n.ToBytes();
+  std::vector<uint8_t> eb = e.ToBytes();
+  PutLengthPrefixed(&out, std::string(nb.begin(), nb.end()));
+  PutLengthPrefixed(&out, std::string(eb.begin(), eb.end()));
+  return out;
+}
+
+StatusOr<RsaPublicKey> RsaPublicKey::Deserialize(const std::string& blob) {
+  Decoder dec(blob);
+  std::string nb, eb;
+  if (!dec.GetLengthPrefixed(&nb) || !dec.GetLengthPrefixed(&eb)) {
+    return Status::Corruption("truncated RSA public key");
+  }
+  RsaPublicKey key;
+  key.n = BigInt::FromBytes(reinterpret_cast<const uint8_t*>(nb.data()),
+                            nb.size());
+  key.e = BigInt::FromBytes(reinterpret_cast<const uint8_t*>(eb.data()),
+                            eb.size());
+  if (key.n.IsZero() || key.e.IsZero()) {
+    return Status::Corruption("degenerate RSA public key");
+  }
+  return key;
+}
+
+std::string RsaPrivateKey::Serialize() const {
+  std::string out;
+  std::vector<uint8_t> nb = n.ToBytes();
+  std::vector<uint8_t> db = d.ToBytes();
+  PutLengthPrefixed(&out, std::string(nb.begin(), nb.end()));
+  PutLengthPrefixed(&out, std::string(db.begin(), db.end()));
+  return out;
+}
+
+StatusOr<RsaPrivateKey> RsaPrivateKey::Deserialize(const std::string& blob) {
+  Decoder dec(blob);
+  std::string nb, db;
+  if (!dec.GetLengthPrefixed(&nb) || !dec.GetLengthPrefixed(&db)) {
+    return Status::Corruption("truncated RSA private key");
+  }
+  RsaPrivateKey key;
+  key.n = BigInt::FromBytes(reinterpret_cast<const uint8_t*>(nb.data()),
+                            nb.size());
+  key.d = BigInt::FromBytes(reinterpret_cast<const uint8_t*>(db.data()),
+                            db.size());
+  if (key.n.IsZero() || key.d.IsZero()) {
+    return Status::Corruption("degenerate RSA private key");
+  }
+  return key;
+}
+
+StatusOr<RsaKeyPair> RsaGenerateKeyPair(size_t bits, const std::string& seed) {
+  if (bits < 512) {
+    return Status::InvalidArgument("RSA modulus must be >= 512 bits");
+  }
+  CtrDrbg drbg("rsa-keygen:" + seed);
+  BigInt e = BigInt::FromUint64(kPublicExponent);
+  BigInt one = BigInt::FromUint64(1);
+
+  for (;;) {
+    BigInt p = BigInt::GeneratePrime(bits / 2, &drbg);
+    BigInt q = BigInt::GeneratePrime(bits - bits / 2, &drbg);
+    if (p == q) continue;
+    BigInt n = p * q;
+    if (n.BitLength() != bits) continue;
+    BigInt phi = (p - one) * (q - one);
+    if (BigInt::Compare(BigInt::Gcd(e, phi), one) != 0) continue;
+    BigInt d = e.ModInverse(phi);
+    if (d.IsZero()) continue;
+
+    RsaKeyPair pair;
+    pair.public_key.n = n;
+    pair.public_key.e = e;
+    pair.private_key.n = n;
+    pair.private_key.d = d;
+    return pair;
+  }
+}
+
+StatusOr<std::string> RsaEncrypt(const RsaPublicKey& pub,
+                                 const std::string& plaintext,
+                                 const std::string& entropy_seed) {
+  const size_t k = pub.ModulusBytes();
+  // PKCS#1 v1.5 block: 00 02 PS(>=8 nonzero) 00 M, M = 32-byte session key.
+  if (k < kSessionKeyBytes + 11) {
+    return Status::InvalidArgument("RSA modulus too small for session key");
+  }
+  CtrDrbg drbg("rsa-encrypt:" + entropy_seed);
+  std::string session_key = drbg.GenerateString(kSessionKeyBytes);
+
+  std::vector<uint8_t> block(k, 0);
+  block[0] = 0x00;
+  block[1] = 0x02;
+  size_t ps_len = k - 3 - kSessionKeyBytes;
+  for (size_t i = 0; i < ps_len; ++i) {
+    uint8_t b;
+    do {
+      drbg.Generate(&b, 1);
+    } while (b == 0);
+    block[2 + i] = b;
+  }
+  block[2 + ps_len] = 0x00;
+  std::memcpy(block.data() + 3 + ps_len, session_key.data(),
+              kSessionKeyBytes);
+
+  BigInt m = BigInt::FromBytes(block);
+  if (m >= pub.n) {
+    return Status::InvalidArgument("padded message exceeds modulus");
+  }
+  BigInt c = m.ModExp(pub.e, pub.n);
+  std::vector<uint8_t> cb = c.ToBytes(k);
+
+  // Envelope: [len][rsa block][len][ciphertext][hmac tag].
+  std::string body = plaintext;
+  CtrXor(session_key, &body);
+  std::string envelope;
+  PutLengthPrefixed(&envelope, std::string(cb.begin(), cb.end()));
+  PutLengthPrefixed(&envelope, body);
+  Sha256Digest tag = HmacSha256(session_key, envelope);
+  envelope.append(reinterpret_cast<const char*>(tag.data()), tag.size());
+  return envelope;
+}
+
+StatusOr<std::string> RsaDecrypt(const RsaPrivateKey& priv,
+                                 const std::string& ciphertext) {
+  if (ciphertext.size() < kTagBytes) {
+    return Status::Corruption("envelope too short");
+  }
+  std::string head = ciphertext.substr(0, ciphertext.size() - kTagBytes);
+  std::string tag = ciphertext.substr(ciphertext.size() - kTagBytes);
+
+  Decoder dec(head);
+  std::string rsa_block, body;
+  if (!dec.GetLengthPrefixed(&rsa_block) || !dec.GetLengthPrefixed(&body) ||
+      dec.remaining() != 0) {
+    return Status::Corruption("malformed envelope");
+  }
+
+  const size_t k = priv.ModulusBytes();
+  if (rsa_block.size() != k) {
+    return Status::Corruption("RSA block size mismatch");
+  }
+  BigInt c = BigInt::FromBytes(
+      reinterpret_cast<const uint8_t*>(rsa_block.data()), rsa_block.size());
+  if (c >= priv.n) return Status::Corruption("ciphertext exceeds modulus");
+  BigInt m = c.ModExp(priv.d, priv.n);
+  std::vector<uint8_t> block = m.ToBytes(k);
+
+  if (block[0] != 0x00 || block[1] != 0x02) {
+    return Status::PermissionDenied("RSA padding check failed");
+  }
+  size_t sep = 2;
+  while (sep < block.size() && block[sep] != 0x00) ++sep;
+  if (sep < 10 || block.size() - sep - 1 != kSessionKeyBytes) {
+    return Status::PermissionDenied("RSA padding check failed");
+  }
+  std::string session_key(
+      reinterpret_cast<const char*>(block.data() + sep + 1), kSessionKeyBytes);
+
+  Sha256Digest expect = HmacSha256(session_key, head);
+  if (std::memcmp(expect.data(), tag.data(), kTagBytes) != 0) {
+    return Status::PermissionDenied("envelope MAC mismatch");
+  }
+  CtrXor(session_key, &body);
+  return body;
+}
+
+}  // namespace crypto
+}  // namespace stegfs

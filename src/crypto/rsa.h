@@ -1,0 +1,66 @@
+// RSA public-key encryption for the StegFS sharing utility (paper 3.2, 4).
+//
+// steg_getentry encrypts a (file name, FAK) record with the *recipient's*
+// public key; steg_addentry decrypts it with the private key. Neither the
+// owner nor StegFS knows the recipient's UAK, so public-key transport is the
+// only channel — exactly the paper's figure 4 flow.
+//
+// Arbitrary-length records are handled with a hybrid envelope: a fresh
+// AES-256 session key is RSA-encrypted (PKCS#1 v1.5-style padding), the
+// record itself is AES-CTR encrypted, and the whole envelope carries an
+// HMAC-SHA256 tag. Key sizes >= 512 bits are supported; use >= 2048 in any
+// real deployment — small sizes exist here so tests stay fast.
+#ifndef STEGFS_CRYPTO_RSA_H_
+#define STEGFS_CRYPTO_RSA_H_
+
+#include <cstdint>
+#include <string>
+
+#include "crypto/bignum.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+namespace crypto {
+
+struct RsaPublicKey {
+  BigInt n;  // modulus
+  BigInt e;  // public exponent (65537)
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  // Serialization for storing keys in files (examples/ use this).
+  std::string Serialize() const;
+  static StatusOr<RsaPublicKey> Deserialize(const std::string& blob);
+};
+
+struct RsaPrivateKey {
+  BigInt n;
+  BigInt d;  // private exponent
+
+  size_t ModulusBytes() const { return (n.BitLength() + 7) / 8; }
+
+  std::string Serialize() const;
+  static StatusOr<RsaPrivateKey> Deserialize(const std::string& blob);
+};
+
+struct RsaKeyPair {
+  RsaPublicKey public_key;
+  RsaPrivateKey private_key;
+};
+
+// Deterministic key generation from a seed string (tests/examples inject
+// seeds; callers wanting fresh keys pass entropy). `bits` >= 512.
+StatusOr<RsaKeyPair> RsaGenerateKeyPair(size_t bits, const std::string& seed);
+
+// Hybrid encrypt/decrypt of an arbitrary-length message.
+StatusOr<std::string> RsaEncrypt(const RsaPublicKey& pub,
+                                 const std::string& plaintext,
+                                 const std::string& entropy_seed);
+StatusOr<std::string> RsaDecrypt(const RsaPrivateKey& priv,
+                                 const std::string& ciphertext);
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_RSA_H_

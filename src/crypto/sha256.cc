@@ -1,0 +1,161 @@
+#include "crypto/sha256.h"
+
+namespace stegfs {
+namespace crypto {
+
+namespace {
+
+// First 32 bits of the fractional parts of the cube roots of the first 64
+// primes (FIPS 180-2 section 4.2.2).
+constexpr uint32_t kK[64] = {
+    0x428a2f98, 0x71374491, 0xb5c0fbcf, 0xe9b5dba5, 0x3956c25b, 0x59f111f1,
+    0x923f82a4, 0xab1c5ed5, 0xd807aa98, 0x12835b01, 0x243185be, 0x550c7dc3,
+    0x72be5d74, 0x80deb1fe, 0x9bdc06a7, 0xc19bf174, 0xe49b69c1, 0xefbe4786,
+    0x0fc19dc6, 0x240ca1cc, 0x2de92c6f, 0x4a7484aa, 0x5cb0a9dc, 0x76f988da,
+    0x983e5152, 0xa831c66d, 0xb00327c8, 0xbf597fc7, 0xc6e00bf3, 0xd5a79147,
+    0x06ca6351, 0x14292967, 0x27b70a85, 0x2e1b2138, 0x4d2c6dfc, 0x53380d13,
+    0x650a7354, 0x766a0abb, 0x81c2c92e, 0x92722c85, 0xa2bfe8a1, 0xa81a664b,
+    0xc24b8b70, 0xc76c51a3, 0xd192e819, 0xd6990624, 0xf40e3585, 0x106aa070,
+    0x19a4c116, 0x1e376c08, 0x2748774c, 0x34b0bcb5, 0x391c0cb3, 0x4ed8aa4a,
+    0x5b9cca4f, 0x682e6ff3, 0x748f82ee, 0x78a5636f, 0x84c87814, 0x8cc70208,
+    0x90befffa, 0xa4506ceb, 0xbef9a3f7, 0xc67178f2};
+
+inline uint32_t Rotr(uint32_t x, int n) { return (x >> n) | (x << (32 - n)); }
+inline uint32_t Ch(uint32_t x, uint32_t y, uint32_t z) {
+  return (x & y) ^ (~x & z);
+}
+inline uint32_t Maj(uint32_t x, uint32_t y, uint32_t z) {
+  return (x & y) ^ (x & z) ^ (y & z);
+}
+inline uint32_t BigSigma0(uint32_t x) {
+  return Rotr(x, 2) ^ Rotr(x, 13) ^ Rotr(x, 22);
+}
+inline uint32_t BigSigma1(uint32_t x) {
+  return Rotr(x, 6) ^ Rotr(x, 11) ^ Rotr(x, 25);
+}
+inline uint32_t SmallSigma0(uint32_t x) {
+  return Rotr(x, 7) ^ Rotr(x, 18) ^ (x >> 3);
+}
+inline uint32_t SmallSigma1(uint32_t x) {
+  return Rotr(x, 17) ^ Rotr(x, 19) ^ (x >> 10);
+}
+
+}  // namespace
+
+void Sha256::Reset() {
+  // Initial hash value (FIPS 180-2 section 5.3.2).
+  state_[0] = 0x6a09e667;
+  state_[1] = 0xbb67ae85;
+  state_[2] = 0x3c6ef372;
+  state_[3] = 0xa54ff53a;
+  state_[4] = 0x510e527f;
+  state_[5] = 0x9b05688c;
+  state_[6] = 0x1f83d9ab;
+  state_[7] = 0x5be0cd19;
+  bit_count_ = 0;
+  buffer_len_ = 0;
+}
+
+void Sha256::ProcessBlock(const uint8_t block[64]) {
+  uint32_t w[64];
+  for (int t = 0; t < 16; ++t) {
+    w[t] = (static_cast<uint32_t>(block[t * 4]) << 24) |
+           (static_cast<uint32_t>(block[t * 4 + 1]) << 16) |
+           (static_cast<uint32_t>(block[t * 4 + 2]) << 8) |
+           static_cast<uint32_t>(block[t * 4 + 3]);
+  }
+  for (int t = 16; t < 64; ++t) {
+    w[t] = SmallSigma1(w[t - 2]) + w[t - 7] + SmallSigma0(w[t - 15]) +
+           w[t - 16];
+  }
+
+  uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+  uint32_t e = state_[4], f = state_[5], g = state_[6], h = state_[7];
+
+  for (int t = 0; t < 64; ++t) {
+    uint32_t t1 = h + BigSigma1(e) + Ch(e, f, g) + kK[t] + w[t];
+    uint32_t t2 = BigSigma0(a) + Maj(a, b, c);
+    h = g;
+    g = f;
+    f = e;
+    e = d + t1;
+    d = c;
+    c = b;
+    b = a;
+    a = t1 + t2;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+  state_[5] += f;
+  state_[6] += g;
+  state_[7] += h;
+}
+
+void Sha256::Update(const void* data, size_t len) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  bit_count_ += static_cast<uint64_t>(len) * 8;
+
+  if (buffer_len_ > 0) {
+    size_t need = 64 - buffer_len_;
+    size_t take = len < need ? len : need;
+    std::memcpy(buffer_ + buffer_len_, p, take);
+    buffer_len_ += take;
+    p += take;
+    len -= take;
+    if (buffer_len_ == 64) {
+      ProcessBlock(buffer_);
+      buffer_len_ = 0;
+    }
+  }
+  while (len >= 64) {
+    ProcessBlock(p);
+    p += 64;
+    len -= 64;
+  }
+  if (len > 0) {
+    std::memcpy(buffer_, p, len);
+    buffer_len_ = len;
+  }
+}
+
+Sha256Digest Sha256::Finish() {
+  // Pad: 0x80, zeros, then the 64-bit big-endian bit count.
+  uint64_t bits = bit_count_;
+  uint8_t pad[72];
+  size_t pad_len = (buffer_len_ < 56) ? (56 - buffer_len_) : (120 - buffer_len_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  for (int i = 0; i < 8; ++i) {
+    pad[pad_len + i] = static_cast<uint8_t>(bits >> (56 - 8 * i));
+  }
+  Update(pad, pad_len + 8);
+
+  Sha256Digest out;
+  for (int i = 0; i < 8; ++i) {
+    out[i * 4] = static_cast<uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Sha256Digest Sha256::Hash(const void* data, size_t len) {
+  Sha256 h;
+  h.Update(data, len);
+  return h.Finish();
+}
+
+Sha256Digest Sha256::Hash2(const std::string& a, const std::string& b) {
+  Sha256 h;
+  h.Update(a);
+  h.Update(b);
+  return h.Finish();
+}
+
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,59 @@
+// SHA-256 (FIPS 180-2), implemented from the standard.
+//
+// StegFS uses SHA-256 for:
+//   - hidden-file signatures: SHA256(physical name || access key) (paper 3.1)
+//   - seeding and advancing the header-locator PRNG (paper 4, API 1:
+//     "the seed is recursively hashed to generate the pseudorandom numbers")
+//   - key derivation (crypto/keys.h)
+#ifndef STEGFS_CRYPTO_SHA256_H_
+#define STEGFS_CRYPTO_SHA256_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace stegfs {
+namespace crypto {
+
+// 32-byte digest.
+using Sha256Digest = std::array<uint8_t, 32>;
+
+// Incremental SHA-256 context.
+//
+//   Sha256 h;
+//   h.Update(data, len);
+//   Sha256Digest d = h.Finish();
+//
+// Finish() may be called once; the context is not reusable afterwards.
+class Sha256 {
+ public:
+  Sha256() { Reset(); }
+
+  void Reset();
+  void Update(const void* data, size_t len);
+  void Update(const std::string& s) { Update(s.data(), s.size()); }
+  Sha256Digest Finish();
+
+  // One-shot helpers.
+  static Sha256Digest Hash(const void* data, size_t len);
+  static Sha256Digest Hash(const std::string& s) {
+    return Hash(s.data(), s.size());
+  }
+  // Hash of the concatenation a || b (used for name||key signatures).
+  static Sha256Digest Hash2(const std::string& a, const std::string& b);
+
+ private:
+  void ProcessBlock(const uint8_t block[64]);
+
+  uint32_t state_[8];
+  uint64_t bit_count_;
+  uint8_t buffer_[64];
+  size_t buffer_len_;
+};
+
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_SHA256_H_

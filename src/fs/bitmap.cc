@@ -1,0 +1,198 @@
+#include "fs/bitmap.h"
+
+#include <cassert>
+#include <cstring>
+
+namespace stegfs {
+
+BlockBitmap::BlockBitmap(const Layout& layout) : layout_(layout) {
+  bits_.assign((layout_.num_blocks + 7) / 8, 0);
+  // A freshly built bitmap is entirely dirty: every on-disk bitmap block
+  // must be (re)written on the first Store, or whatever the device held
+  // before (e.g. StegFS's random fill) would be read back as allocation
+  // state on the next mount.
+  dirty_blocks_.assign(layout_.bitmap_blocks, true);
+  free_count_ = layout_.num_blocks;
+  MarkMetadataRegion();
+  contiguous_cursor_ = layout_.data_start;
+}
+
+void BlockBitmap::MarkMetadataRegion() {
+  for (uint64_t b = 0; b < layout_.data_start; ++b) {
+    if (!TestBit(b)) {
+      SetBit(b, true);
+      --free_count_;
+    }
+  }
+}
+
+void BlockBitmap::SetBit(uint64_t block, bool value) {
+  uint8_t mask = static_cast<uint8_t>(1u << (block % 8));
+  if (value) {
+    bits_[block / 8] |= mask;
+  } else {
+    bits_[block / 8] &= static_cast<uint8_t>(~mask);
+  }
+  uint64_t device_block = (block / 8) / layout_.block_size;
+  if (device_block < dirty_blocks_.size()) dirty_blocks_[device_block] = true;
+}
+
+StatusOr<BlockBitmap> BlockBitmap::Load(BufferCache* cache,
+                                        const Layout& layout) {
+  BlockBitmap bm(layout);
+  std::vector<uint8_t> buf(layout.block_size);
+  uint64_t remaining = bm.bits_.size();
+  for (uint64_t i = 0; i < layout.bitmap_blocks; ++i) {
+    STEGFS_RETURN_IF_ERROR(cache->Read(layout.bitmap_start + i, buf.data()));
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(remaining, layout.block_size));
+    std::memcpy(bm.bits_.data() + i * layout.block_size, buf.data(), take);
+    remaining -= take;
+  }
+  // Recompute the free count from the loaded bits.
+  bm.free_count_ = 0;
+  for (uint64_t b = 0; b < layout.num_blocks; ++b) {
+    if (!bm.TestBit(b)) ++bm.free_count_;
+  }
+  std::fill(bm.dirty_blocks_.begin(), bm.dirty_blocks_.end(), false);
+  return bm;
+}
+
+Status BlockBitmap::Store(BufferCache* cache) {
+  std::vector<uint8_t> buf(layout_.block_size, 0);
+  uint64_t total = bits_.size();
+  for (uint64_t i = 0; i < layout_.bitmap_blocks; ++i) {
+    if (!dirty_blocks_[i]) continue;
+    size_t offset = static_cast<size_t>(i * layout_.block_size);
+    size_t take = static_cast<size_t>(std::min<uint64_t>(
+        total - offset, layout_.block_size));
+    std::memset(buf.data(), 0, buf.size());
+    std::memcpy(buf.data(), bits_.data() + offset, take);
+    STEGFS_RETURN_IF_ERROR(cache->Write(layout_.bitmap_start + i, buf.data()));
+    dirty_blocks_[i] = false;
+  }
+  return Status::OK();
+}
+
+bool BlockBitmap::IsAllocated(uint64_t block) const {
+  assert(block < layout_.num_blocks);
+  return TestBit(block);
+}
+
+Status BlockBitmap::Allocate(uint64_t block) {
+  if (block >= layout_.num_blocks) {
+    return Status::InvalidArgument("block out of range");
+  }
+  if (TestBit(block)) {
+    return Status::FailedPrecondition("double allocation of block");
+  }
+  SetBit(block, true);
+  --free_count_;
+  return Status::OK();
+}
+
+Status BlockBitmap::Free(uint64_t block) {
+  if (block >= layout_.num_blocks) {
+    return Status::InvalidArgument("block out of range");
+  }
+  if (block < layout_.data_start) {
+    return Status::InvalidArgument("cannot free metadata block");
+  }
+  if (!TestBit(block)) {
+    return Status::FailedPrecondition("double free of block");
+  }
+  SetBit(block, false);
+  ++free_count_;
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BlockBitmap::AllocateFirstFit(uint64_t start_hint) {
+  if (free_count_ == 0) return Status::NoSpace("volume full");
+  uint64_t span = layout_.num_blocks - layout_.data_start;
+  uint64_t start = start_hint < layout_.data_start ? layout_.data_start
+                                                   : start_hint;
+  for (uint64_t i = 0; i < span; ++i) {
+    uint64_t b = layout_.data_start +
+                 ((start - layout_.data_start + i) % span);
+    if (!TestBit(b)) {
+      SetBit(b, true);
+      --free_count_;
+      return b;
+    }
+  }
+  return Status::NoSpace("volume full");
+}
+
+StatusOr<uint64_t> BlockBitmap::AllocateRandom(Xoshiro* rng) {
+  if (free_count_ == 0) return Status::NoSpace("volume full");
+  uint64_t span = layout_.num_blocks - layout_.data_start;
+  // Rejection sampling; bail to linear scan when the volume is nearly full
+  // so allocation stays O(1) amortized instead of looping unboundedly.
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    uint64_t b = layout_.data_start + rng->Uniform(span);
+    if (!TestBit(b)) {
+      SetBit(b, true);
+      --free_count_;
+      return b;
+    }
+  }
+  return AllocateFirstFit(layout_.data_start + rng->Uniform(span));
+}
+
+StatusOr<uint64_t> BlockBitmap::AllocateByPolicy(AllocPolicy policy,
+                                                 Xoshiro* rng) {
+  switch (policy) {
+    case AllocPolicy::kContiguous: {
+      STEGFS_ASSIGN_OR_RETURN(uint64_t b,
+                              AllocateFirstFit(contiguous_cursor_));
+      contiguous_cursor_ = b + 1;
+      return b;
+    }
+    case AllocPolicy::kFragmented8: {
+      if (fragment_remaining_ > 0 && fragment_next_ < layout_.num_blocks &&
+          !TestBit(fragment_next_)) {
+        uint64_t b = fragment_next_;
+        SetBit(b, true);
+        --free_count_;
+        --fragment_remaining_;
+        ++fragment_next_;
+        return b;
+      }
+      // Start a new fragment at a pseudo-random scattered position.
+      assert(rng != nullptr);
+      uint64_t span = layout_.num_blocks - layout_.data_start;
+      uint64_t start = layout_.data_start + rng->Uniform(span);
+      STEGFS_ASSIGN_OR_RETURN(uint64_t b, AllocateFirstFit(start));
+      fragment_remaining_ = 7;  // 7 more after this one = 8-block fragments
+      fragment_next_ = b + 1;
+      return b;
+    }
+    case AllocPolicy::kRandom:
+      assert(rng != nullptr);
+      return AllocateRandom(rng);
+  }
+  return Status::InvalidArgument("unknown allocation policy");
+}
+
+StatusOr<std::vector<uint64_t>> BlockBitmap::AllocateContiguous(
+    uint64_t count) {
+  if (count == 0) return std::vector<uint64_t>{};
+  if (count > free_count_) return Status::NoSpace("volume full");
+  uint64_t run = 0;
+  for (uint64_t b = layout_.data_start; b < layout_.num_blocks; ++b) {
+    run = TestBit(b) ? 0 : run + 1;
+    if (run == count) {
+      std::vector<uint64_t> blocks(count);
+      uint64_t first = b + 1 - count;
+      for (uint64_t i = 0; i < count; ++i) {
+        blocks[i] = first + i;
+        SetBit(first + i, true);
+      }
+      free_count_ -= count;
+      return blocks;
+    }
+  }
+  return Status::NoSpace("no contiguous run of requested length");
+}
+
+}  // namespace stegfs

@@ -1,0 +1,84 @@
+// The block bitmap (paper 3.1): one bit per block, 1 = allocated. Plain
+// files, hidden files, dummy files and abandoned blocks ALL mark their
+// blocks here — that shared marking is what protects hidden data from being
+// overwritten (StegFS design objective (a)) while revealing nothing about
+// which unlisted blocks are abandoned vs hidden.
+//
+// The bitmap is held in memory and written back block-by-block on Flush;
+// dirty tracking keeps flush I/O proportional to what changed.
+#ifndef STEGFS_FS_BITMAP_H_
+#define STEGFS_FS_BITMAP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "fs/layout.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+// Allocation placement policies. The comparison systems of Table 4 differ
+// only in placement: CleanDisk allocates contiguously, FragDisk in scattered
+// 8-block fragments, StegFS hidden objects uniformly at random.
+enum class AllocPolicy {
+  kContiguous,   // first-fit contiguous run (CleanDisk)
+  kFragmented8,  // scattered fragments of 8 blocks (FragDisk)
+  kRandom,       // uniform random free block (StegFS hidden allocation)
+};
+
+class BlockBitmap {
+ public:
+  // Builds an all-free bitmap for `layout` (metadata blocks pre-marked).
+  explicit BlockBitmap(const Layout& layout);
+
+  // Loads the bitmap from its on-disk region through `cache`.
+  static StatusOr<BlockBitmap> Load(BufferCache* cache, const Layout& layout);
+
+  // Writes dirty bitmap blocks back through `cache`.
+  Status Store(BufferCache* cache);
+
+  bool IsAllocated(uint64_t block) const;
+  uint64_t free_count() const { return free_count_; }
+  uint64_t total_count() const { return layout_.num_blocks; }
+
+  // Marks a specific block. Fails with FailedPrecondition on double
+  // alloc/free — catching those bugs early is worth the branch.
+  Status Allocate(uint64_t block);
+  Status Free(uint64_t block);
+
+  // Policy-driven allocation of one block from the data region.
+  // `rng` is only used by kRandom and kFragmented8.
+  StatusOr<uint64_t> AllocateByPolicy(AllocPolicy policy, Xoshiro* rng);
+
+  // First-fit contiguous run of `count` data blocks (CleanDisk whole-file
+  // placement). All-or-nothing.
+  StatusOr<std::vector<uint64_t>> AllocateContiguous(uint64_t count);
+
+  // For tests and the deniability auditor.
+  const Layout& layout() const { return layout_; }
+
+ private:
+  bool TestBit(uint64_t block) const {
+    return (bits_[block / 8] >> (block % 8)) & 1;
+  }
+  void SetBit(uint64_t block, bool value);
+  void MarkMetadataRegion();
+  StatusOr<uint64_t> AllocateFirstFit(uint64_t start_hint);
+  StatusOr<uint64_t> AllocateRandom(Xoshiro* rng);
+
+  Layout layout_;
+  std::vector<uint8_t> bits_;
+  std::vector<bool> dirty_blocks_;  // per bitmap *device* block
+  uint64_t free_count_ = 0;
+  uint64_t contiguous_cursor_ = 0;  // next-fit cursor for kContiguous
+  uint64_t fragment_cursor_ = 0;    // stride cursor for kFragmented8
+  uint32_t fragment_remaining_ = 0;
+  uint64_t fragment_next_ = 0;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_BITMAP_H_

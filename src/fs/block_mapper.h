@@ -1,0 +1,63 @@
+// BlockMapper: translates (inode, file block index) -> device block through
+// the classic direct / single-indirect / double-indirect walk, allocating or
+// freeing blocks on demand. Parameterized on BlockStore + BlockAllocator so
+// the identical logic drives plain files, directories AND encrypted hidden
+// files (whose indirect blocks are themselves encrypted and pool-allocated).
+#ifndef STEGFS_FS_BLOCK_MAPPER_H_
+#define STEGFS_FS_BLOCK_MAPPER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "fs/block_store.h"
+#include "fs/inode.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+class BlockMapper {
+ public:
+  explicit BlockMapper(uint32_t block_size)
+      : block_size_(block_size), ptrs_per_block_(block_size / 4) {}
+
+  // Largest addressable file, in blocks.
+  uint64_t MaxFileBlocks() const {
+    return kDirectPointers + ptrs_per_block_ +
+           static_cast<uint64_t>(ptrs_per_block_) * ptrs_per_block_;
+  }
+
+  // Device block holding file block `idx`, or NotFound for a hole.
+  StatusOr<uint64_t> Map(const Inode& inode, uint64_t idx, BlockStore* store);
+
+  // Like Map but allocates missing data/indirect blocks. Sets *inode_dirty
+  // when the inode's pointer fields changed.
+  StatusOr<uint64_t> MapOrAllocate(Inode* inode, uint64_t idx,
+                                   BlockStore* store, BlockAllocator* alloc,
+                                   bool* inode_dirty);
+
+  // Frees all data blocks with file index >= first_kept and any indirect
+  // blocks that become empty. (first_kept = 0 frees everything.)
+  Status FreeFrom(Inode* inode, uint64_t first_kept, BlockStore* store,
+                  BlockAllocator* alloc);
+
+  // Appends every device block reachable from `inode` — data AND indirect
+  // blocks — to `out`. Used by backup and the space accountant.
+  Status CollectBlocks(const Inode& inode, BlockStore* store,
+                       std::vector<uint64_t>* out) const;
+
+ private:
+  Status ReadPointerBlock(BlockStore* store, uint64_t block,
+                          std::vector<uint32_t>* ptrs) const;
+  Status WritePointerBlock(BlockStore* store, uint64_t block,
+                           const std::vector<uint32_t>& ptrs) const;
+  StatusOr<uint64_t> AllocateZeroedPointerBlock(BlockStore* store,
+                                                BlockAllocator* alloc) const;
+
+  uint32_t block_size_;
+  uint32_t ptrs_per_block_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_BLOCK_MAPPER_H_

@@ -1,0 +1,126 @@
+// BlockStore: how file machinery (block mapper, directory code) touches
+// blocks. Two implementations make the same mapping code serve both plain
+// and hidden files:
+//
+//   CacheBlockStore     - plain blocks, straight through the buffer cache
+//   EncryptedBlockStore - hidden blocks: AES-CBC-ESSIV encrypt on write,
+//                         decrypt on read, keyed by the file's FAK
+//
+// BlockAllocator is the matching allocation seam: PlainFs allocates by
+// bitmap policy; a hidden file allocates from its internal free-block pool
+// (which refills from random bitmap allocations, per paper 3.1).
+#ifndef STEGFS_FS_BLOCK_STORE_H_
+#define STEGFS_FS_BLOCK_STORE_H_
+
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "crypto/block_crypter.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+class BlockStore {
+ public:
+  virtual ~BlockStore() = default;
+  virtual uint32_t block_size() const = 0;
+  virtual Status ReadBlock(uint64_t block, uint8_t* buf) = 0;
+  virtual Status WriteBlock(uint64_t block, const uint8_t* buf) = 0;
+};
+
+class CacheBlockStore : public BlockStore {
+ public:
+  explicit CacheBlockStore(BufferCache* cache) : cache_(cache) {}
+  uint32_t block_size() const override { return cache_->block_size(); }
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    return cache_->Read(block, buf);
+  }
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    return cache_->Write(block, buf);
+  }
+
+ private:
+  BufferCache* cache_;
+};
+
+class EncryptedBlockStore : public BlockStore {
+ public:
+  EncryptedBlockStore(BufferCache* cache, const crypto::BlockCrypter* crypter)
+      : cache_(cache), crypter_(crypter) {}
+  uint32_t block_size() const override { return cache_->block_size(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    STEGFS_RETURN_IF_ERROR(cache_->Read(block, buf));
+    crypter_->DecryptBlock(block, buf, cache_->block_size());
+    return Status::OK();
+  }
+
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    // Copy so the caller's plaintext buffer is left untouched.
+    std::vector<uint8_t> tmp(buf, buf + cache_->block_size());
+    crypter_->EncryptBlock(block, tmp.data(), tmp.size());
+    return cache_->Write(block, tmp.data());
+  }
+
+ private:
+  BufferCache* cache_;
+  const crypto::BlockCrypter* crypter_;
+};
+
+class BlockAllocator {
+ public:
+  virtual ~BlockAllocator() = default;
+  // Returns a block already marked allocated in the bitmap.
+  virtual StatusOr<uint64_t> AllocateBlock() = 0;
+  // Releases a block back (to the bitmap or to a hidden file's pool).
+  virtual Status FreeBlock(uint64_t block) = 0;
+};
+
+// Coalesces repeated writes to the same block within one logical operation
+// (read-your-writes semantics), flushing each block once, in ascending LBA
+// order. FileIo::Write uses this so that indirect-pointer blocks — which
+// are updated on every data-block allocation — reach the device once per
+// operation instead of once per block, matching what any write-back buffer
+// cache does and keeping sequential files sequential on the device.
+class CoalescingStore : public BlockStore {
+ public:
+  explicit CoalescingStore(BlockStore* inner) : inner_(inner) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    auto it = pending_.find(block);
+    if (it != pending_.end()) {
+      std::memcpy(buf, it->second.data(), it->second.size());
+      return Status::OK();
+    }
+    return inner_->ReadBlock(block, buf);
+  }
+
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    auto [it, inserted] = pending_.try_emplace(block);
+    it->second.assign(buf, buf + inner_->block_size());
+    return Status::OK();
+  }
+
+  // Writes all pending blocks through, ascending by LBA (std::map order).
+  Status Flush() {
+    for (const auto& [block, data] : pending_) {
+      STEGFS_RETURN_IF_ERROR(inner_->WriteBlock(block, data.data()));
+    }
+    pending_.clear();
+    return Status::OK();
+  }
+
+ private:
+  BlockStore* inner_;
+  std::map<uint64_t, std::vector<uint8_t>> pending_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_BLOCK_STORE_H_

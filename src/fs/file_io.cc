@@ -1,0 +1,92 @@
+#include "fs/file_io.h"
+
+#include <cstring>
+#include <vector>
+
+namespace stegfs {
+
+Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
+                    BlockStore* store, std::string* out) {
+  if (offset >= inode.size) return Status::OK();
+  n = std::min(n, inode.size - offset);
+  std::vector<uint8_t> buf(block_size_);
+  while (n > 0) {
+    uint64_t block_idx = offset / block_size_;
+    uint32_t in_block = static_cast<uint32_t>(offset % block_size_);
+    uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(n, block_size_ - in_block));
+    auto mapped = mapper_.Map(inode, block_idx, store);
+    if (mapped.ok()) {
+      STEGFS_RETURN_IF_ERROR(store->ReadBlock(mapped.value(), buf.data()));
+      out->append(reinterpret_cast<const char*>(buf.data()) + in_block, take);
+    } else if (mapped.status().IsNotFound()) {
+      out->append(take, '\0');  // hole
+    } else {
+      return mapped.status();
+    }
+    offset += take;
+    n -= take;
+  }
+  return Status::OK();
+}
+
+Status FileIo::Write(Inode* inode, uint64_t offset, std::string_view data,
+                     BlockStore* store, BlockAllocator* alloc,
+                     bool* inode_dirty) {
+  uint64_t max_bytes = mapper_.MaxFileBlocks() * block_size_;
+  if (offset + data.size() > max_bytes) {
+    return Status::InvalidArgument("write exceeds maximum file size");
+  }
+  // Coalesce per-operation: indirect-pointer blocks are touched on every
+  // allocation but must reach the device only once per logical write.
+  CoalescingStore coalesced(store);
+  std::vector<uint8_t> buf(block_size_);
+  size_t written = 0;
+  while (written < data.size()) {
+    uint64_t pos = offset + written;
+    uint64_t block_idx = pos / block_size_;
+    uint32_t in_block = static_cast<uint32_t>(pos % block_size_);
+    uint32_t take = static_cast<uint32_t>(std::min<uint64_t>(
+        data.size() - written, block_size_ - in_block));
+    STEGFS_ASSIGN_OR_RETURN(
+        uint64_t device_block,
+        mapper_.MapOrAllocate(inode, block_idx, &coalesced, alloc,
+                              inode_dirty));
+    if (take < block_size_) {
+      // Partial block: read-modify-write (block may hold older data).
+      STEGFS_RETURN_IF_ERROR(coalesced.ReadBlock(device_block, buf.data()));
+    }
+    std::memcpy(buf.data() + in_block, data.data() + written, take);
+    STEGFS_RETURN_IF_ERROR(coalesced.WriteBlock(device_block, buf.data()));
+    written += take;
+  }
+  STEGFS_RETURN_IF_ERROR(coalesced.Flush());
+  if (offset + data.size() > inode->size) {
+    inode->size = offset + data.size();
+    *inode_dirty = true;
+  }
+  if (!data.empty()) {
+    inode->mtime++;
+    *inode_dirty = true;
+  }
+  return Status::OK();
+}
+
+Status FileIo::Truncate(Inode* inode, uint64_t new_size, BlockStore* store,
+                        BlockAllocator* alloc, bool* inode_dirty) {
+  if (new_size >= inode->size) {
+    if (new_size != inode->size) {
+      inode->size = new_size;  // grow: reads of the gap return zeros (hole)
+      *inode_dirty = true;
+    }
+    return Status::OK();
+  }
+  uint64_t first_kept = (new_size + block_size_ - 1) / block_size_;
+  STEGFS_RETURN_IF_ERROR(mapper_.FreeFrom(inode, first_kept, store, alloc));
+  inode->size = new_size;
+  inode->mtime++;
+  *inode_dirty = true;
+  return Status::OK();
+}
+
+}  // namespace stegfs

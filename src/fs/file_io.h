@@ -1,0 +1,47 @@
+// Byte-granular file I/O over an inode: the read/write/truncate engine
+// shared by plain files, directories and (through an EncryptedBlockStore +
+// pool allocator) hidden files.
+#ifndef STEGFS_FS_FILE_IO_H_
+#define STEGFS_FS_FILE_IO_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "fs/block_mapper.h"
+#include "fs/block_store.h"
+#include "fs/inode.h"
+#include "util/status.h"
+
+namespace stegfs {
+
+class FileIo {
+ public:
+  explicit FileIo(uint32_t block_size)
+      : block_size_(block_size), mapper_(block_size) {}
+
+  // Reads up to `n` bytes from `offset`; stops at end-of-file. Holes read
+  // as zeros. Appends to *out.
+  Status Read(const Inode& inode, uint64_t offset, uint64_t n,
+              BlockStore* store, std::string* out);
+
+  // Writes `data` at `offset`, allocating blocks and growing inode->size as
+  // needed. Partial first/last blocks are read-modify-written.
+  Status Write(Inode* inode, uint64_t offset, std::string_view data,
+               BlockStore* store, BlockAllocator* alloc, bool* inode_dirty);
+
+  // Shrinks (or no-ops for growth to `new_size` <= size) the file, freeing
+  // blocks past the new end.
+  Status Truncate(Inode* inode, uint64_t new_size, BlockStore* store,
+                  BlockAllocator* alloc, bool* inode_dirty);
+
+  BlockMapper* mapper() { return &mapper_; }
+
+ private:
+  uint32_t block_size_;
+  BlockMapper mapper_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_FILE_IO_H_

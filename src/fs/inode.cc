@@ -1,0 +1,133 @@
+#include "fs/inode.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+void Inode::EncodeTo(uint8_t buf[kInodeSize]) const {
+  std::memset(buf, 0, kInodeSize);
+  buf[0] = static_cast<uint8_t>(type);
+  EncodeFixed64(buf + 8, size);
+  EncodeFixed64(buf + 16, mtime);
+  for (uint32_t i = 0; i < kDirectPointers; ++i) {
+    EncodeFixed32(buf + 24 + i * 4, direct[i]);
+  }
+  EncodeFixed32(buf + 24 + kDirectPointers * 4, single_indirect);
+  EncodeFixed32(buf + 28 + kDirectPointers * 4, double_indirect);
+}
+
+Inode Inode::DecodeFrom(const uint8_t buf[kInodeSize]) {
+  Inode ino;
+  ino.type = static_cast<InodeType>(buf[0]);
+  ino.size = DecodeFixed64(buf + 8);
+  ino.mtime = DecodeFixed64(buf + 16);
+  for (uint32_t i = 0; i < kDirectPointers; ++i) {
+    ino.direct[i] = DecodeFixed32(buf + 24 + i * 4);
+  }
+  ino.single_indirect = DecodeFixed32(buf + 24 + kDirectPointers * 4);
+  ino.double_indirect = DecodeFixed32(buf + 28 + kDirectPointers * 4);
+  return ino;
+}
+
+InodeTable::InodeTable(BufferCache* cache, const Layout& layout)
+    : cache_(cache), layout_(layout) {
+  inodes_.resize(layout_.num_inodes);
+  dirty_blocks_.assign(layout_.inode_table_blocks, false);
+}
+
+void InodeTable::InitEmpty() {
+  std::fill(inodes_.begin(), inodes_.end(), Inode());
+  std::fill(dirty_blocks_.begin(), dirty_blocks_.end(), true);
+}
+
+Status InodeTable::Load() {
+  std::vector<uint8_t> buf(layout_.block_size);
+  const uint32_t per_block = InodesPerBlock();
+  for (uint64_t b = 0; b < layout_.inode_table_blocks; ++b) {
+    STEGFS_RETURN_IF_ERROR(
+        cache_->Read(layout_.inode_table_start + b, buf.data()));
+    for (uint32_t i = 0; i < per_block; ++i) {
+      uint64_t ino = b * per_block + i;
+      if (ino >= layout_.num_inodes) break;
+      inodes_[ino] = Inode::DecodeFrom(buf.data() + i * kInodeSize);
+    }
+  }
+  std::fill(dirty_blocks_.begin(), dirty_blocks_.end(), false);
+  return Status::OK();
+}
+
+Inode* InodeTable::Get(uint32_t ino) {
+  assert(ino < inodes_.size());
+  return &inodes_[ino];
+}
+
+const Inode* InodeTable::Get(uint32_t ino) const {
+  assert(ino < inodes_.size());
+  return &inodes_[ino];
+}
+
+StatusOr<uint32_t> InodeTable::Allocate(InodeType type) {
+  assert(type != InodeType::kFree);
+  for (uint32_t i = 0; i < layout_.num_inodes; ++i) {
+    uint32_t ino = (alloc_cursor_ + i) % layout_.num_inodes;
+    if (!inodes_[ino].InUse()) {
+      inodes_[ino] = Inode();
+      inodes_[ino].type = type;
+      alloc_cursor_ = ino + 1;
+      dirty_blocks_[ino / InodesPerBlock()] = true;
+      return ino;
+    }
+  }
+  return Status::NoSpace("inode table full");
+}
+
+Status InodeTable::FreeInode(uint32_t ino) {
+  if (ino >= layout_.num_inodes) {
+    return Status::InvalidArgument("inode index out of range");
+  }
+  if (!inodes_[ino].InUse()) {
+    return Status::FailedPrecondition("double free of inode");
+  }
+  inodes_[ino] = Inode();
+  dirty_blocks_[ino / InodesPerBlock()] = true;
+  return Status::OK();
+}
+
+Status InodeTable::Persist(uint32_t ino) {
+  if (ino >= layout_.num_inodes) {
+    return Status::InvalidArgument("inode index out of range");
+  }
+  dirty_blocks_[ino / InodesPerBlock()] = true;
+  return PersistAll();
+}
+
+Status InodeTable::PersistAll() {
+  std::vector<uint8_t> buf(layout_.block_size, 0);
+  const uint32_t per_block = InodesPerBlock();
+  for (uint64_t b = 0; b < layout_.inode_table_blocks; ++b) {
+    if (!dirty_blocks_[b]) continue;
+    std::memset(buf.data(), 0, buf.size());
+    for (uint32_t i = 0; i < per_block; ++i) {
+      uint64_t ino = b * per_block + i;
+      if (ino >= layout_.num_inodes) break;
+      inodes_[ino].EncodeTo(buf.data() + i * kInodeSize);
+    }
+    STEGFS_RETURN_IF_ERROR(
+        cache_->Write(layout_.inode_table_start + b, buf.data()));
+    dirty_blocks_[b] = false;
+  }
+  return Status::OK();
+}
+
+uint32_t InodeTable::used_count() const {
+  uint32_t used = 0;
+  for (const Inode& ino : inodes_) {
+    if (ino.InUse()) ++used;
+  }
+  return used;
+}
+
+}  // namespace stegfs

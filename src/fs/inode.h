@@ -1,0 +1,90 @@
+// Inodes and the inode table — the "central directory" of the paper.
+//
+// Plain files and directories are reachable from here; hidden files are NOT
+// (their inode tables live inside encrypted hidden blocks). The inode layout
+// is the classic Unix shape: 10 direct pointers, one single-indirect, one
+// double-indirect, with 32-bit block pointers (0 = null; block 0 is the
+// superblock so it can never be a data pointer).
+#ifndef STEGFS_FS_INODE_H_
+#define STEGFS_FS_INODE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "cache/buffer_cache.h"
+#include "fs/layout.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+inline constexpr uint32_t kDirectPointers = 10;
+inline constexpr uint32_t kNullBlock = 0;
+inline constexpr uint32_t kRootInode = 0;
+
+enum class InodeType : uint8_t {
+  kFree = 0,
+  kFile = 1,
+  kDirectory = 2,
+};
+
+struct Inode {
+  InodeType type = InodeType::kFree;
+  uint64_t size = 0;   // bytes
+  uint64_t mtime = 0;  // logical clock ticks
+  uint32_t direct[kDirectPointers] = {};
+  uint32_t single_indirect = kNullBlock;
+  uint32_t double_indirect = kNullBlock;
+
+  bool InUse() const { return type != InodeType::kFree; }
+
+  void EncodeTo(uint8_t buf[kInodeSize]) const;
+  static Inode DecodeFrom(const uint8_t buf[kInodeSize]);
+};
+
+// In-memory image of the on-disk inode table with per-inode writeback.
+class InodeTable {
+ public:
+  InodeTable(BufferCache* cache, const Layout& layout);
+
+  // Reads the whole table from disk.
+  Status Load();
+  // Initializes an all-free table in memory (used right after Format).
+  void InitEmpty();
+
+  uint32_t count() const { return layout_.num_inodes; }
+  // Valid index required; use Lookup-style helpers in PlainFs for paths.
+  Inode* Get(uint32_t ino);
+  const Inode* Get(uint32_t ino) const;
+
+  // Finds a free slot, marks it with `type`, returns its index.
+  StatusOr<uint32_t> Allocate(InodeType type);
+  Status FreeInode(uint32_t ino);
+
+  // Callers that mutate an inode through Get() MUST mark it dirty, or
+  // PersistAll will skip its table block and the mutation dies at unmount.
+  void MarkDirty(uint32_t ino) {
+    dirty_blocks_[ino / InodesPerBlock()] = true;
+  }
+
+  // Writes the device block containing `ino` back through the cache.
+  Status Persist(uint32_t ino);
+  // Writes every dirty inode block.
+  Status PersistAll();
+
+  // Number of in-use inodes (for stats/experiments).
+  uint32_t used_count() const;
+
+ private:
+  uint32_t InodesPerBlock() const { return layout_.block_size / kInodeSize; }
+
+  BufferCache* cache_;
+  Layout layout_;
+  std::vector<Inode> inodes_;
+  std::vector<bool> dirty_blocks_;
+  uint32_t alloc_cursor_ = 0;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_INODE_H_

@@ -1,0 +1,105 @@
+#include "fs/layout.h"
+
+#include <cstring>
+
+#include "util/coding.h"
+
+namespace stegfs {
+
+Layout Layout::Compute(uint32_t block_size, uint64_t num_blocks,
+                       uint32_t num_inodes) {
+  Layout l;
+  l.block_size = block_size;
+  l.num_blocks = num_blocks;
+  l.num_inodes = num_inodes;
+  l.bitmap_start = 1;
+  uint64_t bits_per_block = static_cast<uint64_t>(block_size) * 8;
+  l.bitmap_blocks = (num_blocks + bits_per_block - 1) / bits_per_block;
+  l.inode_table_start = l.bitmap_start + l.bitmap_blocks;
+  uint64_t inode_bytes = static_cast<uint64_t>(num_inodes) * kInodeSize;
+  l.inode_table_blocks = (inode_bytes + block_size - 1) / block_size;
+  l.data_start = l.inode_table_start + l.inode_table_blocks;
+  return l;
+}
+
+Status Superblock::EncodeTo(uint8_t* buf, size_t size) const {
+  if (size < 512) {
+    return Status::InvalidArgument("superblock buffer too small");
+  }
+  std::memset(buf, 0, size);
+  uint8_t* p = buf;
+  EncodeFixed32(p, magic);
+  p += 4;
+  EncodeFixed32(p, version);
+  p += 4;
+  EncodeFixed32(p, block_size);
+  p += 4;
+  EncodeFixed64(p, num_blocks);
+  p += 8;
+  EncodeFixed32(p, num_inodes);
+  p += 4;
+  *p++ = steg_formatted;
+  // StegParams: abandoned fraction stored as parts-per-million.
+  EncodeFixed32(p, static_cast<uint32_t>(steg.abandoned_fraction * 1e6));
+  p += 4;
+  EncodeFixed32(p, steg.free_pool_min);
+  p += 4;
+  EncodeFixed32(p, steg.free_pool_max);
+  p += 4;
+  EncodeFixed32(p, steg.dummy_file_count);
+  p += 4;
+  EncodeFixed64(p, steg.dummy_file_avg_bytes);
+  p += 8;
+  std::memcpy(p, dummy_seed.data(), dummy_seed.size());
+  return Status::OK();
+}
+
+StatusOr<Superblock> Superblock::DecodeFrom(const uint8_t* buf, size_t size) {
+  if (size < 512) {
+    return Status::InvalidArgument("superblock buffer too small");
+  }
+  Superblock sb;
+  const uint8_t* p = buf;
+  sb.magic = DecodeFixed32(p);
+  p += 4;
+  if (sb.magic != kSuperblockMagic) {
+    return Status::Corruption("bad superblock magic");
+  }
+  sb.version = DecodeFixed32(p);
+  p += 4;
+  if (sb.version != kFormatVersion) {
+    return Status::Corruption("unsupported format version");
+  }
+  sb.block_size = DecodeFixed32(p);
+  p += 4;
+  sb.num_blocks = DecodeFixed64(p);
+  p += 8;
+  sb.num_inodes = DecodeFixed32(p);
+  p += 4;
+  sb.steg_formatted = *p++;
+  sb.steg.abandoned_fraction = DecodeFixed32(p) / 1e6;
+  p += 4;
+  sb.steg.free_pool_min = DecodeFixed32(p);
+  p += 4;
+  sb.steg.free_pool_max = DecodeFixed32(p);
+  p += 4;
+  sb.steg.dummy_file_count = DecodeFixed32(p);
+  p += 4;
+  sb.steg.dummy_file_avg_bytes = DecodeFixed64(p);
+  p += 8;
+  std::memcpy(sb.dummy_seed.data(), p, sb.dummy_seed.size());
+
+  if (sb.block_size < 512 || (sb.block_size & (sb.block_size - 1)) != 0) {
+    return Status::Corruption("superblock has invalid block size");
+  }
+  if (sb.num_blocks == 0 || sb.num_inodes == 0) {
+    return Status::Corruption("superblock has empty geometry");
+  }
+  Layout l = sb.ComputeLayout();
+  if (l.data_start >= sb.num_blocks) {
+    return Status::Corruption("metadata regions exceed volume size");
+  }
+  return sb;
+}
+
+}  // namespace stegfs

@@ -1,0 +1,89 @@
+// On-disk layout shared by PlainFs and StegFS.
+//
+//   block 0                     superblock
+//   blocks 1 .. b               block bitmap (1 bit per block; 1 = in use)
+//   blocks b+1 .. b+i           inode table ("central directory", paper 3.1)
+//   blocks b+i+1 .. N-1         data region
+//
+// Hidden files live *inside the data region* exactly like plain file data —
+// their blocks are marked in the bitmap but appear in no inode, which is the
+// paper's core trick. The superblock stores the StegFS format parameters
+// (Table 1); these are public by design: the threat model assumes the
+// attacker knows the implementation and its configuration.
+#ifndef STEGFS_FS_LAYOUT_H_
+#define STEGFS_FS_LAYOUT_H_
+
+#include <array>
+#include <cstdint>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+inline constexpr uint32_t kSuperblockMagic = 0x53544647;  // "STFG"
+inline constexpr uint32_t kFormatVersion = 1;
+inline constexpr uint32_t kInodeSize = 128;
+
+// Table 1 of the paper: StegFS parameters with their published defaults.
+struct StegParams {
+  // "Percentage of abandoned blocks in the disk volume" — default 1%.
+  double abandoned_fraction = 0.01;
+  // "Minimum number of free blocks within a hidden file" — default 0.
+  uint32_t free_pool_min = 0;
+  // "Maximum number of free blocks within a hidden file" — default 10.
+  uint32_t free_pool_max = 10;
+  // "Number of dummy hidden files in the file system" — default 10.
+  uint32_t dummy_file_count = 10;
+  // "Average size of the dummy hidden files" — default 1 MB.
+  uint64_t dummy_file_avg_bytes = 1 << 20;
+};
+
+// Region geometry, derivable from (block_size, num_blocks, num_inodes).
+struct Layout {
+  uint32_t block_size = 0;
+  uint64_t num_blocks = 0;
+  uint32_t num_inodes = 0;
+
+  uint64_t bitmap_start = 0;
+  uint64_t bitmap_blocks = 0;
+  uint64_t inode_table_start = 0;
+  uint64_t inode_table_blocks = 0;
+  uint64_t data_start = 0;
+
+  static Layout Compute(uint32_t block_size, uint64_t num_blocks,
+                        uint32_t num_inodes);
+
+  uint64_t data_blocks() const { return num_blocks - data_start; }
+  bool IsDataBlock(uint64_t b) const {
+    return b >= data_start && b < num_blocks;
+  }
+};
+
+// The superblock: geometry + StegFS format parameters + the dummy-file
+// maintenance seed. Serialized into block 0.
+struct Superblock {
+  uint32_t magic = kSuperblockMagic;
+  uint32_t version = kFormatVersion;
+  uint32_t block_size = 0;
+  uint64_t num_blocks = 0;
+  uint32_t num_inodes = 0;
+  uint8_t steg_formatted = 0;  // 1 if the volume was random-filled at mkfs
+  StegParams steg;
+  // Seed for system-maintained dummy hidden files. Visible to an admin, as
+  // the paper concedes (section 3.1: dummy files "could be vulnerable to an
+  // attacker with administrator privileges").
+  std::array<uint8_t, 32> dummy_seed = {};
+
+  Layout ComputeLayout() const {
+    return Layout::Compute(block_size, num_blocks, num_inodes);
+  }
+
+  // Serializes into a block-sized buffer (`size` >= 512).
+  Status EncodeTo(uint8_t* buf, size_t size) const;
+  static StatusOr<Superblock> DecodeFrom(const uint8_t* buf, size_t size);
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_LAYOUT_H_

@@ -1,0 +1,350 @@
+#include "fs/plain_fs.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace stegfs {
+
+namespace {
+
+uint32_t AutoInodeCount(uint64_t num_blocks) {
+  uint64_t n = num_blocks / 64;
+  n = std::max<uint64_t>(n, 256);
+  n = std::min<uint64_t>(n, 262144);
+  return static_cast<uint32_t>(n);
+}
+
+}  // namespace
+
+Status PlainFs::Format(BlockDevice* device, const FormatOptions& options) {
+  Superblock sb;
+  sb.block_size = device->block_size();
+  sb.num_blocks = device->num_blocks();
+  sb.num_inodes = options.num_inodes != 0 ? options.num_inodes
+                                          : AutoInodeCount(sb.num_blocks);
+  sb.steg_formatted = options.steg_formatted ? 1 : 0;
+  sb.steg = options.steg;
+  sb.dummy_seed = options.dummy_seed;
+
+  Layout layout = sb.ComputeLayout();
+  if (layout.data_start + 16 > sb.num_blocks) {
+    return Status::InvalidArgument("volume too small for metadata regions");
+  }
+
+  std::vector<uint8_t> buf(sb.block_size, 0);
+  STEGFS_RETURN_IF_ERROR(sb.EncodeTo(buf.data(), buf.size()));
+  STEGFS_RETURN_IF_ERROR(device->WriteBlock(0, buf.data()));
+
+  // Bitmap + inode table through a throwaway cache.
+  BufferCache cache(device, 256, WritePolicy::kWriteBack);
+  BlockBitmap bitmap(layout);
+  InodeTable inodes(&cache, layout);
+  inodes.InitEmpty();
+  // Root directory at inode 0.
+  auto root = inodes.Allocate(InodeType::kDirectory);
+  if (!root.ok()) return root.status();
+  assert(root.value() == kRootInode);
+  STEGFS_RETURN_IF_ERROR(bitmap.Store(&cache));
+  STEGFS_RETURN_IF_ERROR(inodes.PersistAll());
+  return cache.Flush();
+}
+
+PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
+                 const MountOptions& options)
+    : device_(device),
+      super_(super),
+      layout_(super.ComputeLayout()),
+      options_(options),
+      cache_(std::make_unique<BufferCache>(device, options.cache_blocks,
+                                           options.write_policy)),
+      bitmap_(layout_),
+      inodes_(cache_.get(), layout_),
+      file_io_(layout_.block_size),
+      store_(cache_.get()),
+      dir_ops_(&file_io_),
+      allocator_(this),
+      rng_(options.rng_seed) {}
+
+StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
+                                                  const MountOptions& options) {
+  std::vector<uint8_t> buf(device->block_size());
+  STEGFS_RETURN_IF_ERROR(device->ReadBlock(0, buf.data()));
+  STEGFS_ASSIGN_OR_RETURN(Superblock sb,
+                          Superblock::DecodeFrom(buf.data(), buf.size()));
+  if (sb.block_size != device->block_size() ||
+      sb.num_blocks != device->num_blocks()) {
+    return Status::Corruption("superblock geometry does not match device");
+  }
+  std::unique_ptr<PlainFs> fs(new PlainFs(device, sb, options));
+  STEGFS_ASSIGN_OR_RETURN(fs->bitmap_,
+                          BlockBitmap::Load(fs->cache_.get(), fs->layout_));
+  STEGFS_RETURN_IF_ERROR(fs->inodes_.Load());
+  if (!fs->inodes_.Get(kRootInode)->InUse()) {
+    return Status::Corruption("root directory inode missing");
+  }
+  return fs;
+}
+
+PlainFs::~PlainFs() { (void)Flush(); }
+
+StatusOr<std::vector<std::string>> PlainFs::SplitPath(
+    const std::string& path) {
+  if (path.empty() || path[0] != '/') {
+    return Status::InvalidArgument("path must be absolute: " + path);
+  }
+  std::vector<std::string> parts;
+  size_t i = 1;
+  while (i < path.size()) {
+    size_t j = path.find('/', i);
+    if (j == std::string::npos) j = path.size();
+    if (j > i) {
+      std::string part = path.substr(i, j - i);
+      if (part == "." || part == "..") {
+        return Status::InvalidArgument("relative components not supported");
+      }
+      parts.push_back(std::move(part));
+    }
+    i = j + 1;
+  }
+  return parts;
+}
+
+StatusOr<uint32_t> PlainFs::ResolvePath(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  uint32_t ino = kRootInode;
+  for (const std::string& part : parts) {
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kDirectory) {
+      return Status::NotFound("not a directory on path: " + path);
+    }
+    STEGFS_ASSIGN_OR_RETURN(ino, dir_ops_.Lookup(*node, part, &store_));
+  }
+  return ino;
+}
+
+StatusOr<std::pair<uint32_t, std::string>> PlainFs::ResolveParent(
+    const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(std::vector<std::string> parts, SplitPath(path));
+  if (parts.empty()) {
+    return Status::InvalidArgument("path has no leaf component: " + path);
+  }
+  uint32_t ino = kRootInode;
+  for (size_t i = 0; i + 1 < parts.size(); ++i) {
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kDirectory) {
+      return Status::NotFound("not a directory on path: " + path);
+    }
+    STEGFS_ASSIGN_OR_RETURN(ino, dir_ops_.Lookup(*node, parts[i], &store_));
+  }
+  if (inodes_.Get(ino)->type != InodeType::kDirectory) {
+    return Status::NotFound("parent is not a directory: " + path);
+  }
+  return std::make_pair(ino, parts.back());
+}
+
+Status PlainFs::CreateFile(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  Inode* dir = inodes_.Get(parent.first);
+  if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
+    return Status::AlreadyExists("file exists: " + path);
+  }
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, inodes_.Allocate(InodeType::kFile));
+  bool dirty = false;
+  Status s = dir_ops_.Add(dir, parent.second, ino, &store_, &allocator_,
+                          &dirty);
+  if (!s.ok()) {
+    (void)inodes_.FreeInode(ino);
+    return s;
+  }
+  inodes_.MarkDirty(parent.first);
+  return Status::OK();
+}
+
+Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
+  if (!Exists(path)) {
+    STEGFS_RETURN_IF_ERROR(CreateFile(path));
+  }
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Write(node, 0, data, &store_, &allocator_, &dirty));
+  inodes_.MarkDirty(ino);
+  return Status::OK();
+}
+
+StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  const Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  std::string out;
+  STEGFS_RETURN_IF_ERROR(file_io_.Read(*node, 0, node->size, &store_, &out));
+  return out;
+}
+
+Status PlainFs::ReadAt(const std::string& path, uint64_t offset, uint64_t n,
+                       std::string* out) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  const Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  return file_io_.Read(*node, offset, n, &store_, out);
+}
+
+Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
+                        const std::string& data) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Write(node, offset, data, &store_, &allocator_, &dirty));
+  inodes_.MarkDirty(ino);
+  return Status::OK();
+}
+
+Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Truncate(node, new_size, &store_, &allocator_, &dirty));
+  inodes_.MarkDirty(ino);
+  return Status::OK();
+}
+
+Status PlainFs::Unlink(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  Inode* dir = inodes_.Get(parent.first);
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                          dir_ops_.Lookup(*dir, parent.second, &store_));
+  Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kFile) {
+    return Status::InvalidArgument("not a regular file: " + path);
+  }
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+  STEGFS_RETURN_IF_ERROR(
+      dir_ops_.Remove(dir, parent.second, &store_, &allocator_, &dirty));
+  inodes_.MarkDirty(parent.first);
+  return inodes_.FreeInode(ino);
+}
+
+Status PlainFs::MkDir(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  Inode* dir = inodes_.Get(parent.first);
+  if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
+    return Status::AlreadyExists("entry exists: " + path);
+  }
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                          inodes_.Allocate(InodeType::kDirectory));
+  bool dirty = false;
+  Status s = dir_ops_.Add(dir, parent.second, ino, &store_, &allocator_,
+                          &dirty);
+  if (!s.ok()) {
+    (void)inodes_.FreeInode(ino);
+    return s;
+  }
+  inodes_.MarkDirty(parent.first);
+  return Status::OK();
+}
+
+Status PlainFs::RmDir(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+  Inode* dir = inodes_.Get(parent.first);
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                          dir_ops_.Lookup(*dir, parent.second, &store_));
+  Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kDirectory) {
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  STEGFS_ASSIGN_OR_RETURN(bool empty, dir_ops_.Empty(*node, &store_));
+  if (!empty) {
+    return Status::FailedPrecondition("directory not empty: " + path);
+  }
+  bool dirty = false;
+  STEGFS_RETURN_IF_ERROR(
+      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+  STEGFS_RETURN_IF_ERROR(
+      dir_ops_.Remove(dir, parent.second, &store_, &allocator_, &dirty));
+  inodes_.MarkDirty(parent.first);
+  return inodes_.FreeInode(ino);
+}
+
+StatusOr<std::vector<DirEntry>> PlainFs::List(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  const Inode* node = inodes_.Get(ino);
+  if (node->type != InodeType::kDirectory) {
+    return Status::InvalidArgument("not a directory: " + path);
+  }
+  return dir_ops_.List(*node, &store_);
+}
+
+StatusOr<FileInfo> PlainFs::Stat(const std::string& path) {
+  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+  const Inode* node = inodes_.Get(ino);
+  FileInfo info;
+  info.type = node->type;
+  info.size = node->size;
+  info.mtime = node->mtime;
+  info.inode = ino;
+  return info;
+}
+
+bool PlainFs::Exists(const std::string& path) {
+  return ResolvePath(path).ok();
+}
+
+Status PlainFs::PersistMeta() {
+  STEGFS_RETURN_IF_ERROR(bitmap_.Store(cache_.get()));
+  return inodes_.PersistAll();
+}
+
+Status PlainFs::Flush() {
+  STEGFS_RETURN_IF_ERROR(PersistMeta());
+  return cache_->Flush();
+}
+
+Status PlainFs::CollectReferencedBlocks(std::vector<uint8_t>* referenced) {
+  referenced->assign(layout_.num_blocks, 0);
+  for (uint64_t b = 0; b < layout_.data_start; ++b) {
+    (*referenced)[b] = 1;  // metadata region
+  }
+  std::vector<uint64_t> blocks;
+  for (uint32_t ino = 0; ino < inodes_.count(); ++ino) {
+    const Inode* node = inodes_.Get(ino);
+    if (!node->InUse()) continue;
+    blocks.clear();
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.mapper()->CollectBlocks(*node, &store_, &blocks));
+    for (uint64_t b : blocks) {
+      if (b < layout_.num_blocks) (*referenced)[b] = 1;
+    }
+  }
+  return Status::OK();
+}
+
+uint64_t PlainFs::TotalPlainBytes() const {
+  uint64_t total = 0;
+  for (uint32_t ino = 0; ino < inodes_.count(); ++ino) {
+    const Inode* node = inodes_.Get(ino);
+    if (node->InUse() && node->type == InodeType::kFile) total += node->size;
+  }
+  return total;
+}
+
+}  // namespace stegfs

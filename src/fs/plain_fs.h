@@ -1,0 +1,149 @@
+// PlainFs: the ext2-like file system substrate — superblock, block bitmap,
+// central directory (inode table), hierarchical directories and regular
+// files. On its own it is the "native Linux file system" baseline of the
+// paper (CleanDisk when mounted with contiguous allocation, FragDisk with
+// 8-block-fragment allocation). StegFS (src/core) composes with it: hidden
+// objects share this bitmap and buffer cache but never appear in this inode
+// table.
+#ifndef STEGFS_FS_PLAIN_FS_H_
+#define STEGFS_FS_PLAIN_FS_H_
+
+#include <array>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "cache/buffer_cache.h"
+#include "fs/bitmap.h"
+#include "fs/directory.h"
+#include "fs/file_io.h"
+#include "fs/inode.h"
+#include "fs/layout.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+
+struct FormatOptions {
+  // 0 = auto-size (one inode per 64 data blocks, clamped to [256, 262144]).
+  uint32_t num_inodes = 0;
+  // StegFS parameters recorded in the superblock (Table 1 defaults).
+  StegParams steg;
+  // Set by StegFS::Format after random-filling the volume.
+  bool steg_formatted = false;
+  std::array<uint8_t, 32> dummy_seed = {};
+};
+
+struct MountOptions {
+  AllocPolicy policy = AllocPolicy::kContiguous;
+  size_t cache_blocks = 4096;
+  WritePolicy write_policy = WritePolicy::kWriteBack;
+  uint64_t rng_seed = 0x5742;  // placement randomness (deterministic)
+};
+
+struct FileInfo {
+  InodeType type = InodeType::kFree;
+  uint64_t size = 0;
+  uint64_t mtime = 0;
+  uint32_t inode = 0;
+};
+
+class PlainFs {
+ public:
+  // Writes a fresh file system onto `device` (superblock + bitmap + empty
+  // central directory with a root directory). Does not touch data blocks.
+  static Status Format(BlockDevice* device, const FormatOptions& options);
+
+  // Mounts a formatted device.
+  static StatusOr<std::unique_ptr<PlainFs>> Mount(BlockDevice* device,
+                                                  const MountOptions& options);
+
+  ~PlainFs();
+  PlainFs(const PlainFs&) = delete;
+  PlainFs& operator=(const PlainFs&) = delete;
+
+  // --- Path API (absolute, '/'-separated) ------------------------------
+  Status CreateFile(const std::string& path);
+  // Creates (or replaces the contents of) the file at `path`.
+  Status WriteFile(const std::string& path, const std::string& data);
+  StatusOr<std::string> ReadFile(const std::string& path);
+  Status ReadAt(const std::string& path, uint64_t offset, uint64_t n,
+                std::string* out);
+  Status WriteAt(const std::string& path, uint64_t offset,
+                 const std::string& data);
+  Status TruncateFile(const std::string& path, uint64_t new_size);
+  Status Unlink(const std::string& path);
+  Status MkDir(const std::string& path);
+  Status RmDir(const std::string& path);
+  StatusOr<std::vector<DirEntry>> List(const std::string& path);
+  StatusOr<FileInfo> Stat(const std::string& path);
+  bool Exists(const std::string& path);
+
+  // Writes back all metadata and flushes the cache to the device.
+  Status Flush();
+
+  // --- Introspection & StegFS integration ------------------------------
+  const Superblock& superblock() const { return super_; }
+  const Layout& layout() const { return layout_; }
+  BlockBitmap* bitmap() { return &bitmap_; }
+  BufferCache* cache() { return cache_.get(); }
+  InodeTable* inode_table() { return &inodes_; }
+  FileIo* file_io() { return &file_io_; }
+  Xoshiro* rng() { return &rng_; }
+  AllocPolicy policy() const { return options_.policy; }
+
+  // Marks every block reachable from the central directory (data + indirect
+  // blocks of every inode) in `referenced` (sized num_blocks). Metadata
+  // region blocks are also marked. Backup uses the complement of this set.
+  Status CollectReferencedBlocks(std::vector<uint8_t>* referenced);
+
+  // Persists bitmap + inode table through the cache (no device flush).
+  Status PersistMeta();
+
+  // Effective bytes stored in plain files (for space experiments).
+  uint64_t TotalPlainBytes() const;
+
+ private:
+  class PolicyAllocator : public BlockAllocator {
+   public:
+    PolicyAllocator(PlainFs* fs) : fs_(fs) {}
+    StatusOr<uint64_t> AllocateBlock() override {
+      return fs_->bitmap_.AllocateByPolicy(fs_->options_.policy, &fs_->rng_);
+    }
+    Status FreeBlock(uint64_t block) override {
+      return fs_->bitmap_.Free(block);
+    }
+
+   private:
+    PlainFs* fs_;
+  };
+
+  PlainFs(BlockDevice* device, const Superblock& super,
+          const MountOptions& options);
+
+  // Splits "/a/b/c" into components; rejects empty/relative paths.
+  static StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
+  // Inode of the directory containing `path` plus the leaf name.
+  StatusOr<std::pair<uint32_t, std::string>> ResolveParent(
+      const std::string& path);
+  StatusOr<uint32_t> ResolvePath(const std::string& path);
+
+  BlockDevice* device_;
+  Superblock super_;
+  Layout layout_;
+  MountOptions options_;
+  std::unique_ptr<BufferCache> cache_;
+  BlockBitmap bitmap_;
+  InodeTable inodes_;
+  FileIo file_io_;
+  CacheBlockStore store_;
+  Directory dir_ops_;
+  PolicyAllocator allocator_;
+  Xoshiro rng_;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_FS_PLAIN_FS_H_

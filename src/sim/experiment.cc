@@ -1,0 +1,89 @@
+#include "sim/experiment.h"
+
+namespace stegfs {
+namespace sim {
+
+StatusOr<std::unique_ptr<BenchEnv>> BuildLoadedEnv(
+    SchemeKind kind, const WorkloadConfig& workload,
+    const FileStoreOptions& store_options) {
+  auto env = std::make_unique<BenchEnv>();
+  uint64_t num_blocks = workload.volume_bytes / workload.block_size;
+  env->disk = std::make_unique<SimDisk>(
+      std::make_unique<MemBlockDevice>(workload.block_size, num_blocks),
+      DiskModelConfig{});
+  STEGFS_ASSIGN_OR_RETURN(
+      env->store, CreateFileStore(kind, env->disk.get(), store_options));
+  env->files = GenerateFiles(workload);
+
+  for (const WorkloadFile& f : env->files) {
+    Status s =
+        env->store->WriteFile(f.name, f.key, FileContent(f, workload.seed));
+    if (!s.ok()) {
+      // NoSpace (cover group at capacity, volume full) is a scheme
+      // property, not a harness bug — count and continue.
+      ++env->load_failures;
+    }
+  }
+  STEGFS_RETURN_IF_ERROR(env->store->Flush());
+  env->disk->ResetClock();
+  return env;
+}
+
+CaptureResult CaptureReadOps(BenchEnv* env, int count, uint64_t seed) {
+  CaptureResult result;
+  Xoshiro rng(seed);
+  int attempts = 0;
+  const int max_attempts = count * 4;
+  while (static_cast<int>(result.traces.size()) < count &&
+         attempts++ < max_attempts) {
+    const WorkloadFile& f = env->files[rng.Uniform(env->files.size())];
+    IoTrace trace;
+    env->disk->set_trace(&trace);
+    auto data = env->store->ReadFile(f.name, f.key);
+    env->disk->set_trace(nullptr);
+    if (data.ok()) {
+      result.traces.push_back(std::move(trace));
+    } else {
+      ++result.failures;  // e.g. StegRand DataLoss
+    }
+  }
+  return result;
+}
+
+CaptureResult CaptureWriteOps(BenchEnv* env, int count, uint64_t seed) {
+  CaptureResult result;
+  Xoshiro rng(seed);
+  for (int i = 0; i < count; ++i) {
+    const WorkloadFile& f = env->files[rng.Uniform(env->files.size())];
+    // Rewrite with fresh same-size content (the paper's write op).
+    std::string content = FileContent(f, seed + i + 1);
+    IoTrace trace;
+    env->disk->set_trace(&trace);
+    Status s = env->store->WriteFile(f.name, f.key, content);
+    env->disk->set_trace(nullptr);
+    if (s.ok()) {
+      result.traces.push_back(std::move(trace));
+    } else {
+      ++result.failures;
+    }
+  }
+  return result;
+}
+
+std::vector<std::vector<IoTrace>> AssignOps(const std::vector<IoTrace>& pool,
+                                            int users, int ops_per_user) {
+  std::vector<std::vector<IoTrace>> streams(users);
+  if (pool.empty()) return streams;
+  size_t next = 0;
+  for (int u = 0; u < users; ++u) {
+    streams[u].reserve(ops_per_user);
+    for (int i = 0; i < ops_per_user; ++i) {
+      streams[u].push_back(pool[next % pool.size()]);
+      ++next;
+    }
+  }
+  return streams;
+}
+
+}  // namespace sim
+}  // namespace stegfs

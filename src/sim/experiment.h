@@ -1,0 +1,52 @@
+// Shared benchmark plumbing: build a loaded volume for any scheme, capture
+// per-operation I/O traces, and assemble per-user operation streams for the
+// interleaved replays of figures 7-9.
+#ifndef STEGFS_SIM_EXPERIMENT_H_
+#define STEGFS_SIM_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "baselines/file_store.h"
+#include "blockdev/mem_block_device.h"
+#include "blockdev/sim_disk.h"
+#include "sim/workload.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+namespace sim {
+
+struct BenchEnv {
+  std::unique_ptr<SimDisk> disk;     // wraps the in-memory device
+  std::unique_ptr<FileStore> store;  // scheme under test
+  std::vector<WorkloadFile> files;   // the loaded population
+  uint64_t load_failures = 0;        // files the scheme failed to store
+};
+
+// Formats a volume for `kind`, loads the Table 3 file population, resets
+// the simulated clock. StegRand is expected to corrupt part of its own
+// population at these densities — that is the scheme's documented flaw, and
+// reads of corrupted files surface as capture failures later.
+StatusOr<std::unique_ptr<BenchEnv>> BuildLoadedEnv(
+    SchemeKind kind, const WorkloadConfig& workload,
+    const FileStoreOptions& store_options);
+
+struct CaptureResult {
+  std::vector<IoTrace> traces;  // one per successful operation
+  uint64_t failures = 0;        // operations the scheme could not complete
+};
+
+// Captures `count` whole-file read (or rewrite) operation traces against
+// randomly chosen files.
+CaptureResult CaptureReadOps(BenchEnv* env, int count, uint64_t seed);
+CaptureResult CaptureWriteOps(BenchEnv* env, int count, uint64_t seed);
+
+// Distributes a pool of operation traces round-robin over `users` streams,
+// `ops_per_user` each (reusing pool entries cyclically).
+std::vector<std::vector<IoTrace>> AssignOps(const std::vector<IoTrace>& pool,
+                                            int users, int ops_per_user);
+
+}  // namespace sim
+}  // namespace stegfs
+
+#endif  // STEGFS_SIM_EXPERIMENT_H_

@@ -1,0 +1,67 @@
+#include "sim/interleaver.h"
+
+#include <cstddef>
+
+namespace stegfs {
+namespace sim {
+
+ReplayResult ReplayInterleaved(
+    const std::vector<std::vector<IoTrace>>& per_user_ops,
+    const DiskModelConfig& disk_config, uint32_t block_size) {
+  DiskModel model(disk_config, block_size);
+  ReplayResult result;
+
+  struct Cursor {
+    size_t op = 0;
+    size_t req = 0;
+    double op_start = -1;
+  };
+  std::vector<Cursor> cursors(per_user_ops.size());
+
+  double now = 0;
+  bool any_active = true;
+  while (any_active) {
+    any_active = false;
+    for (size_t u = 0; u < per_user_ops.size(); ++u) {
+      Cursor& c = cursors[u];
+      // Skip empty ops.
+      while (c.op < per_user_ops[u].size() &&
+             per_user_ops[u][c.op].empty()) {
+        ++c.op;
+      }
+      if (c.op >= per_user_ops[u].size()) continue;
+      any_active = true;
+
+      const IoTrace& trace = per_user_ops[u][c.op];
+      if (c.req == 0) c.op_start = now;
+      now += model.AccessSeconds(trace[c.req]);
+      ++result.requests;
+      ++c.req;
+      if (c.req == trace.size()) {
+        result.op_latencies.push_back(now - c.op_start);
+        ++c.op;
+        c.req = 0;
+      }
+    }
+  }
+
+  result.total_seconds = now;
+  if (!result.op_latencies.empty()) {
+    double sum = 0;
+    for (double l : result.op_latencies) sum += l;
+    result.mean_latency = sum / result.op_latencies.size();
+  }
+  if (result.requests > 0) {
+    result.mean_request_service = now / static_cast<double>(result.requests);
+  }
+  return result;
+}
+
+ReplayResult ReplaySerial(const std::vector<IoTrace>& ops,
+                          const DiskModelConfig& disk_config,
+                          uint32_t block_size) {
+  return ReplayInterleaved({ops}, disk_config, block_size);
+}
+
+}  // namespace sim
+}  // namespace stegfs

@@ -1,0 +1,44 @@
+// Multi-user replay: the paper's "interleaved" access pattern.
+//
+// Each user is a closed loop issuing file operations back-to-back; an
+// operation is the I/O trace its file-system produced when executed. The
+// interleaver replays the users' request streams round-robin (one request
+// per turn) through a fresh DiskModel, which is what a disk's request queue
+// sees when K processes do file I/O concurrently. "Access time" of an
+// operation = completion of its last request - issue of its first request,
+// i.e. wall-clock latency including time consumed by other users' requests
+// (exactly the paper's figure 7/8 metric).
+#ifndef STEGFS_SIM_INTERLEAVER_H_
+#define STEGFS_SIM_INTERLEAVER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "blockdev/disk_model.h"
+#include "blockdev/io_trace.h"
+
+namespace stegfs {
+namespace sim {
+
+struct ReplayResult {
+  double total_seconds = 0;           // makespan of the whole replay
+  std::vector<double> op_latencies;   // per-operation access times
+  double mean_latency = 0;
+  double mean_request_service = 0;    // avg per-request service time
+  uint64_t requests = 0;
+};
+
+// per_user_ops[u] is the ordered list of operation traces user u performs.
+ReplayResult ReplayInterleaved(
+    const std::vector<std::vector<IoTrace>>& per_user_ops,
+    const DiskModelConfig& disk_config, uint32_t block_size);
+
+// Convenience: one user running ops serially (figure 9's pattern).
+ReplayResult ReplaySerial(const std::vector<IoTrace>& ops,
+                          const DiskModelConfig& disk_config,
+                          uint32_t block_size);
+
+}  // namespace sim
+}  // namespace stegfs
+
+#endif  // STEGFS_SIM_INTERLEAVER_H_

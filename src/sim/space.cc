@@ -1,0 +1,164 @@
+#include "sim/space.h"
+
+#include <vector>
+
+#include "util/random.h"
+
+namespace stegfs {
+namespace sim {
+
+double StegRandSpaceUtilization(const StegRandSpaceConfig& config) {
+  const uint64_t num_blocks = config.volume_bytes / config.block_size;
+  double total_util = 0;
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Xoshiro rng(config.seed + trial * 7919);
+
+    // owner[addr] = packed (file_id << 24 | block_index)... too narrow for
+    // large files; use two parallel arrays instead.
+    std::vector<uint32_t> owner_file(num_blocks, UINT32_MAX);
+    std::vector<uint32_t> owner_block(num_blocks, 0);
+    // survivors[f][i] = live replicas of block i of file f.
+    std::vector<std::vector<uint16_t>> survivors;
+
+    uint64_t loaded_bytes = 0;
+    bool corrupted = false;
+    while (!corrupted) {
+      uint64_t file_bytes =
+          rng.UniformRange(config.file_size_min, config.file_size_max);
+      uint32_t file_id = static_cast<uint32_t>(survivors.size());
+      uint64_t file_blocks =
+          (file_bytes + config.block_size - 1) / config.block_size;
+      survivors.emplace_back(file_blocks, 0);
+
+      for (uint32_t r = 0; r < config.replication; ++r) {
+        for (uint64_t i = 0; i < file_blocks; ++i) {
+          uint64_t addr = rng.Uniform(num_blocks);
+          // Evict the live occupant, if any.
+          uint32_t of = owner_file[addr];
+          if (of != UINT32_MAX) {
+            uint32_t ob = owner_block[addr];
+            if (--survivors[of][ob] == 0 && of != file_id) {
+              // An already-loaded file just lost the last replica of one of
+              // its blocks: the volume has passed its safe limit. (Losses
+              // within the file being loaded are checked after its own
+              // remaining replicas land.)
+              corrupted = true;
+            }
+          }
+          owner_file[addr] = file_id;
+          owner_block[addr] = static_cast<uint32_t>(i);
+          ++survivors[file_id][i];
+        }
+      }
+      // Self-check: the freshly loaded file must have >= 1 surviving
+      // replica of every block, or it was dead on arrival.
+      for (uint16_t s : survivors[file_id]) {
+        if (s == 0) corrupted = true;
+      }
+      if (!corrupted) loaded_bytes += file_bytes;
+    }
+    total_util +=
+        static_cast<double>(loaded_bytes) / config.volume_bytes;
+  }
+  return total_util / config.trials;
+}
+
+double StegRandIdaSpaceUtilization(const StegRandIdaSpaceConfig& config) {
+  const uint64_t num_blocks = config.volume_bytes / config.block_size;
+  const int m = config.ida_m;
+  const int n = config.ida_n;
+  double total_util = 0;
+
+  for (int trial = 0; trial < config.trials; ++trial) {
+    Xoshiro rng(config.seed + trial * 104729);
+
+    // owner maps device block -> (file, stripe) of the LIVE fragment there.
+    std::vector<uint32_t> owner_file(num_blocks, UINT32_MAX);
+    std::vector<uint32_t> owner_stripe(num_blocks, 0);
+    // survivors[f][s] = live fragments of stripe s of file f.
+    std::vector<std::vector<uint16_t>> survivors;
+
+    uint64_t loaded_bytes = 0;
+    bool corrupted = false;
+    while (!corrupted) {
+      uint64_t file_bytes =
+          rng.UniformRange(config.file_size_min, config.file_size_max);
+      uint32_t file_id = static_cast<uint32_t>(survivors.size());
+      uint64_t file_blocks =
+          (file_bytes + config.block_size - 1) / config.block_size;
+      uint64_t stripes = (file_blocks + m - 1) / m;
+      survivors.emplace_back(stripes, 0);
+
+      for (uint64_t s = 0; s < stripes; ++s) {
+        for (int frag = 0; frag < n; ++frag) {
+          uint64_t addr = rng.Uniform(num_blocks);
+          uint32_t of = owner_file[addr];
+          if (of != UINT32_MAX) {
+            uint32_t os = owner_stripe[addr];
+            if (--survivors[of][os] < m && of != file_id) {
+              // A loaded file's stripe dropped below the reconstruction
+              // threshold: past the safe limit.
+              corrupted = true;
+            }
+          }
+          owner_file[addr] = file_id;
+          owner_stripe[addr] = static_cast<uint32_t>(s);
+          ++survivors[file_id][s];
+        }
+      }
+      for (uint16_t s : survivors[file_id]) {
+        if (s < m) corrupted = true;  // dead on arrival
+      }
+      if (!corrupted) loaded_bytes += file_bytes;
+    }
+    total_util += static_cast<double>(loaded_bytes) / config.volume_bytes;
+  }
+  return total_util / config.trials;
+}
+
+double StegCoverSpaceUtilization(uint64_t file_size_min,
+                                 uint64_t file_size_max,
+                                 uint64_t cover_size) {
+  // One file per cover on average (Anderson capacity); each file fills
+  // size/cover_size of its slot.
+  double mean_size =
+      (static_cast<double>(file_size_min) + file_size_max) / 2.0;
+  return mean_size / static_cast<double>(cover_size);
+}
+
+double StegFsSpaceUtilization(const StegFsSpaceConfig& config) {
+  uint64_t num_blocks = config.volume_bytes / config.block_size;
+  // Metadata: superblock + bitmap + inode table (auto-sized as in PlainFs).
+  uint32_t num_inodes = static_cast<uint32_t>(
+      std::min<uint64_t>(std::max<uint64_t>(num_blocks / 64, 256), 262144));
+  Layout layout =
+      Layout::Compute(config.block_size, num_blocks, num_inodes);
+  uint64_t data_blocks = layout.data_blocks();
+
+  double abandoned = static_cast<double>(data_blocks) *
+                     config.params.abandoned_fraction;
+  double dummy_blocks =
+      static_cast<double>(config.params.dummy_file_count) *
+      config.params.dummy_file_avg_bytes / config.block_size;
+
+  // Per-file overhead: header + free pool (~max/2 steady state) + inode
+  // (indirect pointer) blocks ~ size / (block_size/4 pointers per block).
+  double file_blocks =
+      static_cast<double>(config.file_size_avg) / config.block_size;
+  double ptrs_per_block = config.block_size / 4.0;
+  double per_file_overhead = 1.0 +                      // header
+                             config.params.free_pool_max / 2.0 +
+                             file_blocks / ptrs_per_block + 2;
+  double per_file_total = file_blocks + per_file_overhead;
+
+  double usable = static_cast<double>(data_blocks) - abandoned -
+                  dummy_blocks * (1 + config.params.free_pool_max / 64.0);
+  if (usable < 0) return 0;
+  double num_files = usable / per_file_total;
+  double data_bytes = num_files * config.file_size_avg;
+  return data_bytes / config.volume_bytes;
+}
+
+}  // namespace sim
+}  // namespace stegfs

@@ -1,0 +1,67 @@
+// Space-utilization experiments (paper section 5.2 and figure 6).
+#ifndef STEGFS_SIM_SPACE_H_
+#define STEGFS_SIM_SPACE_H_
+
+#include <cstdint>
+
+#include "fs/layout.h"
+
+namespace stegfs {
+namespace sim {
+
+// Figure 6: StegRand's effective space utilization for a replication
+// factor. Monte-Carlo at address granularity (content is irrelevant to
+// space): files are loaded one at a time, every block of every replica
+// lands on a uniformly random device block, and loading stops the moment
+// any already-loaded file has a block with zero surviving replicas. Returns
+// bytes(fully loaded, uncorrupted files) / volume bytes.
+struct StegRandSpaceConfig {
+  uint64_t volume_bytes = 1ULL << 30;
+  uint32_t block_size = 1024;
+  uint32_t replication = 4;
+  uint64_t file_size_min = (1 << 20) + 1;
+  uint64_t file_size_max = 2 << 20;
+  uint64_t seed = 0x52414e44;
+  int trials = 3;  // averaged
+};
+double StegRandSpaceUtilization(const StegRandSpaceConfig& config);
+
+// Section 5.2's StegCover analysis: with file sizes uniform in
+// (min, max] and covers sized to the largest file, utilization is
+// E[size]/max — 75% for (1,2] MB files and 2 MB covers.
+double StegCoverSpaceUtilization(uint64_t file_size_min,
+                                 uint64_t file_size_max,
+                                 uint64_t cover_size);
+
+// Extension experiment (paper section 2, Hand & Roscoe's Mnemosyne): the
+// random-placement scheme with Rabin's IDA instead of replication. Each
+// stripe of m data blocks becomes n coded blocks (any m recover); loading
+// stops when a loaded file has a stripe with fewer than m surviving
+// fragments. Storage blow-up is n/m instead of r.
+struct StegRandIdaSpaceConfig {
+  uint64_t volume_bytes = 1ULL << 30;
+  uint32_t block_size = 1024;
+  int ida_m = 4;
+  int ida_n = 8;
+  uint64_t file_size_min = (1 << 20) + 1;
+  uint64_t file_size_max = 2 << 20;
+  uint64_t seed = 0x49444121;
+  int trials = 3;
+};
+double StegRandIdaSpaceUtilization(const StegRandIdaSpaceConfig& config);
+
+// StegFS overhead accounting (section 5.2): fraction of the volume usable
+// for unique data after metadata, abandoned blocks, dummy files and
+// per-file free pools + headers + inode blocks.
+struct StegFsSpaceConfig {
+  uint64_t volume_bytes = 1ULL << 30;
+  uint32_t block_size = 1024;
+  StegParams params;  // Table 1 defaults
+  uint64_t file_size_avg = 1536 << 10;  // E[(1,2] MB] = 1.5 MB
+};
+double StegFsSpaceUtilization(const StegFsSpaceConfig& config);
+
+}  // namespace sim
+}  // namespace stegfs
+
+#endif  // STEGFS_SIM_SPACE_H_

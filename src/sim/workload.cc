@@ -1,0 +1,28 @@
+#include "sim/workload.h"
+
+namespace stegfs {
+namespace sim {
+
+std::vector<WorkloadFile> GenerateFiles(const WorkloadConfig& config) {
+  Xoshiro rng(config.seed);
+  std::vector<WorkloadFile> files;
+  files.reserve(config.num_files);
+  for (uint32_t i = 0; i < config.num_files; ++i) {
+    WorkloadFile f;
+    f.name = "file-" + std::to_string(i);
+    f.key = "key-" + std::to_string(i);
+    f.size = rng.UniformRange(config.file_size_min, config.file_size_max);
+    files.push_back(std::move(f));
+  }
+  return files;
+}
+
+std::string FileContent(const WorkloadFile& file, uint64_t seed) {
+  Xoshiro rng(seed ^ std::hash<std::string>{}(file.name));
+  std::string content(file.size, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(content.data()), content.size());
+  return content;
+}
+
+}  // namespace sim
+}  // namespace stegfs

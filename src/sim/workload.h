@@ -1,0 +1,41 @@
+// Workload generation per the paper's Table 3:
+//   block size 1 KB, 1 GB volume, 100 files, sizes uniform (1, 2] MB,
+//   interleaved access pattern, 1..32 concurrent users.
+#ifndef STEGFS_SIM_WORKLOAD_H_
+#define STEGFS_SIM_WORKLOAD_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "util/random.h"
+
+namespace stegfs {
+namespace sim {
+
+struct WorkloadConfig {
+  uint32_t block_size = 1024;              // Table 3: 1 KB
+  uint64_t volume_bytes = 1ULL << 30;      // Table 3: 1 GB
+  uint32_t num_files = 100;                // Table 3: 100 files
+  uint64_t file_size_min = (1 << 20) + 1;  // sizes uniform (1, 2] MB
+  uint64_t file_size_max = 2 << 20;
+  int num_users = 1;                       // Table 3 default
+  uint64_t seed = 0x57100ad;
+};
+
+struct WorkloadFile {
+  std::string name;
+  std::string key;
+  uint64_t size = 0;
+};
+
+// Deterministic file population for a config.
+std::vector<WorkloadFile> GenerateFiles(const WorkloadConfig& config);
+
+// Deterministic content for a file (same (name,size,seed) -> same bytes).
+std::string FileContent(const WorkloadFile& file, uint64_t seed);
+
+}  // namespace sim
+}  // namespace stegfs
+
+#endif  // STEGFS_SIM_WORKLOAD_H_

@@ -1,0 +1,129 @@
+// Little-endian fixed-width integer encoding, used by every on-disk
+// structure in the repository. Encodings are explicit (no struct casts) so
+// the disk format is independent of host endianness and padding.
+#ifndef STEGFS_UTIL_CODING_H_
+#define STEGFS_UTIL_CODING_H_
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+namespace stegfs {
+
+inline void EncodeFixed16(uint8_t* dst, uint16_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+}
+
+inline void EncodeFixed32(uint8_t* dst, uint32_t v) {
+  dst[0] = static_cast<uint8_t>(v);
+  dst[1] = static_cast<uint8_t>(v >> 8);
+  dst[2] = static_cast<uint8_t>(v >> 16);
+  dst[3] = static_cast<uint8_t>(v >> 24);
+}
+
+inline void EncodeFixed64(uint8_t* dst, uint64_t v) {
+  EncodeFixed32(dst, static_cast<uint32_t>(v));
+  EncodeFixed32(dst + 4, static_cast<uint32_t>(v >> 32));
+}
+
+inline uint16_t DecodeFixed16(const uint8_t* src) {
+  return static_cast<uint16_t>(src[0]) |
+         (static_cast<uint16_t>(src[1]) << 8);
+}
+
+inline uint32_t DecodeFixed32(const uint8_t* src) {
+  return static_cast<uint32_t>(src[0]) |
+         (static_cast<uint32_t>(src[1]) << 8) |
+         (static_cast<uint32_t>(src[2]) << 16) |
+         (static_cast<uint32_t>(src[3]) << 24);
+}
+
+inline uint64_t DecodeFixed64(const uint8_t* src) {
+  return static_cast<uint64_t>(DecodeFixed32(src)) |
+         (static_cast<uint64_t>(DecodeFixed32(src + 4)) << 32);
+}
+
+// Append-to-string variants, for building variable-length records.
+inline void PutFixed16(std::string* dst, uint16_t v) {
+  uint8_t buf[2];
+  EncodeFixed16(buf, v);
+  dst->append(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
+
+inline void PutFixed32(std::string* dst, uint32_t v) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, v);
+  dst->append(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
+
+inline void PutFixed64(std::string* dst, uint64_t v) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, v);
+  dst->append(reinterpret_cast<const char*>(buf), sizeof(buf));
+}
+
+// Appends a 32-bit length prefix followed by the bytes of `s`.
+inline void PutLengthPrefixed(std::string* dst, const std::string& s) {
+  PutFixed32(dst, static_cast<uint32_t>(s.size()));
+  dst->append(s);
+}
+
+// Cursor-style decoding over a byte buffer. All Get* methods return false on
+// truncation and leave outputs untouched.
+class Decoder {
+ public:
+  Decoder(const uint8_t* data, size_t size) : data_(data), size_(size) {}
+  explicit Decoder(const std::string& s)
+      : data_(reinterpret_cast<const uint8_t*>(s.data())), size_(s.size()) {}
+
+  bool GetFixed16(uint16_t* v) {
+    if (pos_ + 2 > size_) return false;
+    *v = DecodeFixed16(data_ + pos_);
+    pos_ += 2;
+    return true;
+  }
+  bool GetFixed32(uint32_t* v) {
+    if (pos_ + 4 > size_) return false;
+    *v = DecodeFixed32(data_ + pos_);
+    pos_ += 4;
+    return true;
+  }
+  bool GetFixed64(uint64_t* v) {
+    if (pos_ + 8 > size_) return false;
+    *v = DecodeFixed64(data_ + pos_);
+    pos_ += 8;
+    return true;
+  }
+  bool GetBytes(void* out, size_t n) {
+    if (pos_ + n > size_) return false;
+    std::memcpy(out, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+  bool GetLengthPrefixed(std::string* out) {
+    uint32_t len;
+    if (!GetFixed32(&len)) return false;
+    if (pos_ + len > size_) return false;
+    out->assign(reinterpret_cast<const char*>(data_ + pos_), len);
+    pos_ += len;
+    return true;
+  }
+  bool Skip(size_t n) {
+    if (pos_ + n > size_) return false;
+    pos_ += n;
+    return true;
+  }
+
+  size_t position() const { return pos_; }
+  size_t remaining() const { return size_ - pos_; }
+
+ private:
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_UTIL_CODING_H_

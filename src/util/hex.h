@@ -1,0 +1,22 @@
+// Hex encoding/decoding for keys, signatures and test vectors.
+#ifndef STEGFS_UTIL_HEX_H_
+#define STEGFS_UTIL_HEX_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace stegfs {
+
+// Lowercase hex string of the given bytes.
+std::string HexEncode(const uint8_t* data, size_t size);
+std::string HexEncode(const std::string& data);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+// Parses a hex string (case-insensitive). Returns false on odd length or a
+// non-hex character; on failure `out` is left in an unspecified state.
+bool HexDecode(const std::string& hex, std::vector<uint8_t>* out);
+
+}  // namespace stegfs
+
+#endif  // STEGFS_UTIL_HEX_H_

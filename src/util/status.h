@@ -1,0 +1,113 @@
+// Status: lightweight error propagation without exceptions (RocksDB idiom).
+//
+// Every fallible operation in this codebase returns a Status (or a
+// StatusOr<T>, see statusor.h). Statuses are cheap to copy, carry an error
+// code plus a human-readable message, and must be checked by the caller.
+#ifndef STEGFS_UTIL_STATUS_H_
+#define STEGFS_UTIL_STATUS_H_
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace stegfs {
+
+// Error categories used across the file system stack.
+enum class StatusCode : int {
+  kOk = 0,
+  kNotFound = 1,            // named object does not exist (or wrong key)
+  kCorruption = 2,          // on-disk structure failed validation
+  kInvalidArgument = 3,     // caller error: bad parameter
+  kIOError = 4,             // device-level failure
+  kAlreadyExists = 5,       // create of an existing object
+  kNoSpace = 6,             // volume or pool exhausted
+  kPermissionDenied = 7,    // key/ACL rejected the operation
+  kDataLoss = 8,            // unrecoverable content loss (StegRand overwrite)
+  kNotSupported = 9,        // operation not implemented for this store
+  kFailedPrecondition = 10, // object in wrong state for the request
+};
+
+// Value-semantic status object. The default-constructed Status is OK and
+// carries no allocation.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+
+  // Named constructors, one per error category.
+  static Status OK() { return Status(); }
+  static Status NotFound(std::string_view msg) {
+    return Status(StatusCode::kNotFound, msg);
+  }
+  static Status Corruption(std::string_view msg) {
+    return Status(StatusCode::kCorruption, msg);
+  }
+  static Status InvalidArgument(std::string_view msg) {
+    return Status(StatusCode::kInvalidArgument, msg);
+  }
+  static Status IOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg);
+  }
+  static Status AlreadyExists(std::string_view msg) {
+    return Status(StatusCode::kAlreadyExists, msg);
+  }
+  static Status NoSpace(std::string_view msg) {
+    return Status(StatusCode::kNoSpace, msg);
+  }
+  static Status PermissionDenied(std::string_view msg) {
+    return Status(StatusCode::kPermissionDenied, msg);
+  }
+  static Status DataLoss(std::string_view msg) {
+    return Status(StatusCode::kDataLoss, msg);
+  }
+  static Status NotSupported(std::string_view msg) {
+    return Status(StatusCode::kNotSupported, msg);
+  }
+  static Status FailedPrecondition(std::string_view msg) {
+    return Status(StatusCode::kFailedPrecondition, msg);
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
+  bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
+  bool IsInvalidArgument() const {
+    return code_ == StatusCode::kInvalidArgument;
+  }
+  bool IsIOError() const { return code_ == StatusCode::kIOError; }
+  bool IsAlreadyExists() const { return code_ == StatusCode::kAlreadyExists; }
+  bool IsNoSpace() const { return code_ == StatusCode::kNoSpace; }
+  bool IsPermissionDenied() const {
+    return code_ == StatusCode::kPermissionDenied;
+  }
+  bool IsDataLoss() const { return code_ == StatusCode::kDataLoss; }
+  bool IsNotSupported() const { return code_ == StatusCode::kNotSupported; }
+  bool IsFailedPrecondition() const {
+    return code_ == StatusCode::kFailedPrecondition;
+  }
+
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // "OK" or "<Category>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  Status(StatusCode code, std::string_view msg)
+      : code_(code), message_(msg) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+// Evaluates `expr`; if the resulting Status is not OK, returns it from the
+// enclosing function. The enclosing function must return Status.
+#define STEGFS_RETURN_IF_ERROR(expr)                   \
+  do {                                                 \
+    ::stegfs::Status _st = (expr);                     \
+    if (!_st.ok()) return _st;                         \
+  } while (0)
+
+}  // namespace stegfs
+
+#endif  // STEGFS_UTIL_STATUS_H_

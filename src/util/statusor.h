@@ -1,0 +1,78 @@
+// StatusOr<T>: a Status or a value of type T, never both.
+//
+// Use as the return type of fallible functions that produce a value:
+//
+//   StatusOr<uint64_t> AllocateBlock();
+//   ...
+//   auto blk = AllocateBlock();
+//   if (!blk.ok()) return blk.status();
+//   Use(blk.value());
+#ifndef STEGFS_UTIL_STATUSOR_H_
+#define STEGFS_UTIL_STATUSOR_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace stegfs {
+
+template <typename T>
+class StatusOr {
+ public:
+  // Constructs from an error status. Asserts the status is not OK, because
+  // an OK StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok());
+  }
+  // Constructs from a value; status is OK.
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  // Value accessors. Only valid when ok().
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() {
+    assert(ok());
+    return &*value_;
+  }
+  const T* operator->() const {
+    assert(ok());
+    return &*value_;
+  }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+// Evaluates a StatusOr expression; on error returns the status from the
+// enclosing function, otherwise binds the value to `lhs`.
+#define STEGFS_ASSIGN_OR_RETURN(lhs, expr)          \
+  auto STEGFS_CONCAT_(_sor_, __LINE__) = (expr);    \
+  if (!STEGFS_CONCAT_(_sor_, __LINE__).ok())        \
+    return STEGFS_CONCAT_(_sor_, __LINE__).status();\
+  lhs = std::move(STEGFS_CONCAT_(_sor_, __LINE__)).value()
+
+#define STEGFS_CONCAT_INNER_(a, b) a##b
+#define STEGFS_CONCAT_(a, b) STEGFS_CONCAT_INNER_(a, b)
+
+}  // namespace stegfs
+
+#endif  // STEGFS_UTIL_STATUSOR_H_

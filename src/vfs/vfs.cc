@@ -1,0 +1,233 @@
+#include "vfs/vfs.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace stegfs {
+namespace vfs {
+
+namespace {
+constexpr char kStegPrefix[] = "/steg/";
+constexpr size_t kStegPrefixLen = 6;
+}  // namespace
+
+Vfs::Vfs(StegFs* fs, std::string uid) : fs_(fs), uid_(std::move(uid)) {}
+
+Vfs::~Vfs() { (void)Logoff(); }
+
+bool Vfs::IsStegPath(const std::string& path, std::string* objname) {
+  if (path.compare(0, kStegPrefixLen, kStegPrefix) != 0) return false;
+  *objname = path.substr(kStegPrefixLen);
+  return !objname->empty();
+}
+
+Status Vfs::Connect(const std::string& objname, const std::string& uak) {
+  return fs_->StegConnect(uid_, objname, uak);
+}
+
+Status Vfs::Disconnect(const std::string& objname) {
+  // Invalidate descriptors that point into the object.
+  for (Descriptor& d : fds_) {
+    if (d.in_use && d.hidden &&
+        (d.target == objname ||
+         d.target.compare(0, objname.size() + 1, objname + "/") == 0)) {
+      d.in_use = false;
+    }
+  }
+  return fs_->StegDisconnect(uid_, objname);
+}
+
+Status Vfs::Logoff() {
+  for (Descriptor& d : fds_) d.in_use = false;
+  return fs_->DisconnectAll(uid_);
+}
+
+StatusOr<Vfs::Descriptor*> Vfs::GetFd(int fd) {
+  if (fd < 0 || fd >= static_cast<int>(fds_.size()) || !fds_[fd].in_use) {
+    return Status::InvalidArgument("bad file descriptor");
+  }
+  return &fds_[fd];
+}
+
+StatusOr<uint64_t> Vfs::TargetSize(const Descriptor& d) {
+  if (d.hidden) {
+    return fs_->HiddenSize(uid_, d.target);
+  }
+  STEGFS_ASSIGN_OR_RETURN(FileInfo info, fs_->plain()->Stat(d.target));
+  return info.size;
+}
+
+StatusOr<int> Vfs::Open(const std::string& path, uint32_t flags) {
+  if ((flags & (kRead | kWrite)) == 0) {
+    return Status::InvalidArgument("open() needs kRead and/or kWrite");
+  }
+  Descriptor d;
+  d.flags = flags;
+
+  std::string objname;
+  if (IsStegPath(path, &objname)) {
+    d.hidden = true;
+    d.target = objname;
+    // The object must already be connected; open() does not take keys.
+    auto size = fs_->HiddenSize(uid_, objname);
+    if (!size.ok()) return size.status();
+    if (flags & kTruncate) {
+      STEGFS_RETURN_IF_ERROR(fs_->HiddenTruncate(uid_, objname, 0));
+    }
+  } else {
+    d.target = path;
+    bool exists = fs_->plain()->Exists(path);
+    if (!exists) {
+      if (!(flags & kCreate)) {
+        return Status::NotFound("no such plain file: " + path);
+      }
+      STEGFS_RETURN_IF_ERROR(fs_->plain()->CreateFile(path));
+    } else if (flags & kTruncate) {
+      STEGFS_RETURN_IF_ERROR(fs_->plain()->TruncateFile(path, 0));
+    }
+  }
+
+  d.in_use = true;
+  // Reuse the lowest free slot, POSIX-style.
+  for (size_t i = 0; i < fds_.size(); ++i) {
+    if (!fds_[i].in_use) {
+      fds_[i] = std::move(d);
+      return static_cast<int>(i);
+    }
+  }
+  fds_.push_back(std::move(d));
+  return static_cast<int>(fds_.size() - 1);
+}
+
+Status Vfs::Close(int fd) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  d->in_use = false;
+  return Status::OK();
+}
+
+StatusOr<int64_t> Vfs::Read(int fd, void* buf, uint64_t n) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  if (!(d->flags & kRead)) {
+    return Status::PermissionDenied("descriptor not open for reading");
+  }
+  std::string out;
+  if (d->hidden) {
+    STEGFS_RETURN_IF_ERROR(fs_->HiddenRead(uid_, d->target, d->offset, n,
+                                           &out));
+  } else {
+    STEGFS_RETURN_IF_ERROR(fs_->plain()->ReadAt(d->target, d->offset, n,
+                                                &out));
+  }
+  std::memcpy(buf, out.data(), out.size());
+  d->offset += out.size();
+  return static_cast<int64_t>(out.size());
+}
+
+StatusOr<int64_t> Vfs::Write(int fd, const void* buf, uint64_t n) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  if (!(d->flags & kWrite)) {
+    return Status::PermissionDenied("descriptor not open for writing");
+  }
+  if (d->flags & kAppend) {
+    STEGFS_ASSIGN_OR_RETURN(d->offset, TargetSize(*d));
+  }
+  std::string data(static_cast<const char*>(buf), n);
+  if (d->hidden) {
+    STEGFS_RETURN_IF_ERROR(fs_->HiddenWrite(uid_, d->target, d->offset,
+                                            data));
+  } else {
+    STEGFS_RETURN_IF_ERROR(fs_->plain()->WriteAt(d->target, d->offset, data));
+  }
+  d->offset += n;
+  return static_cast<int64_t>(n);
+}
+
+StatusOr<int64_t> Vfs::Seek(int fd, int64_t offset, Whence whence) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  int64_t base = 0;
+  switch (whence) {
+    case Whence::kSet:
+      base = 0;
+      break;
+    case Whence::kCurrent:
+      base = static_cast<int64_t>(d->offset);
+      break;
+    case Whence::kEnd: {
+      STEGFS_ASSIGN_OR_RETURN(uint64_t size, TargetSize(*d));
+      base = static_cast<int64_t>(size);
+      break;
+    }
+  }
+  int64_t target = base + offset;
+  if (target < 0) return Status::InvalidArgument("seek before start of file");
+  d->offset = static_cast<uint64_t>(target);
+  return target;
+}
+
+Status Vfs::Truncate(int fd, uint64_t size) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  if (!(d->flags & kWrite)) {
+    return Status::PermissionDenied("descriptor not open for writing");
+  }
+  if (d->hidden) {
+    return fs_->HiddenTruncate(uid_, d->target, size);
+  }
+  return fs_->plain()->TruncateFile(d->target, size);
+}
+
+Status Vfs::Fsync(int fd) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  (void)d;
+  return fs_->Flush();
+}
+
+StatusOr<uint64_t> Vfs::FileSize(int fd) {
+  STEGFS_ASSIGN_OR_RETURN(Descriptor * d, GetFd(fd));
+  return TargetSize(*d);
+}
+
+Status Vfs::MkDir(const std::string& path) {
+  std::string objname;
+  if (IsStegPath(path, &objname)) {
+    return Status::NotSupported(
+        "create hidden directories with steg_create/steg_hide");
+  }
+  return fs_->plain()->MkDir(path);
+}
+
+Status Vfs::Unlink(const std::string& path) {
+  std::string objname;
+  if (IsStegPath(path, &objname)) {
+    return Status::NotSupported(
+        "remove hidden objects with HiddenRemove (needs the UAK)");
+  }
+  return fs_->plain()->Unlink(path);
+}
+
+StatusOr<std::vector<VfsDirEntry>> Vfs::ReadDir(const std::string& path) {
+  std::vector<VfsDirEntry> out;
+  if (path == "/steg" || path == "/steg/") {
+    for (const std::string& name : fs_->ConnectedObjects(uid_)) {
+      VfsDirEntry e;
+      e.name = name;
+      e.is_hidden = true;
+      e.is_directory = false;
+      out.push_back(std::move(e));
+    }
+    return out;
+  }
+  STEGFS_ASSIGN_OR_RETURN(std::vector<DirEntry> entries,
+                          fs_->plain()->List(path));
+  for (const DirEntry& e : entries) {
+    VfsDirEntry v;
+    v.name = e.name;
+    std::string child = path == "/" ? "/" + e.name : path + "/" + e.name;
+    auto info = fs_->plain()->Stat(child);
+    v.is_directory = info.ok() && info->type == InodeType::kDirectory;
+    out.push_back(std::move(v));
+  }
+  return out;
+}
+
+}  // namespace vfs
+}  // namespace stegfs

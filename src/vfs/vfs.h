@@ -1,0 +1,109 @@
+// Vfs: the standard-file-API surface of the paper's figure 5.
+//
+// "StegFS implements all the standard file system APIs, such as open() and
+// read(), so it is able to support existing applications that operate only
+// on plain files" — this layer provides exactly that: file-descriptor
+// semantics (open/read/write/lseek/close, mkdir/readdir/unlink) over a
+// mounted StegFs volume. Connected hidden objects appear in the namespace
+// under the session prefix "/steg/<objname>", so an unmodified application
+// handed such a path reads hidden data with ordinary calls; after
+// steg_disconnect the path vanishes again.
+//
+// One Vfs instance = one user session (fixed uid), matching the paper's
+// "connect a hidden object to the current user session" model.
+#ifndef STEGFS_VFS_VFS_H_
+#define STEGFS_VFS_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/stegfs.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+namespace vfs {
+
+// open() flags (combinable).
+enum OpenFlags : uint32_t {
+  kRead = 1 << 0,      // O_RDONLY
+  kWrite = 1 << 1,     // O_WRONLY (kRead|kWrite = O_RDWR)
+  kCreate = 1 << 2,    // O_CREAT
+  kTruncate = 1 << 3,  // O_TRUNC
+  kAppend = 1 << 4,    // O_APPEND
+};
+
+enum class Whence { kSet, kCurrent, kEnd };
+
+struct VfsDirEntry {
+  std::string name;
+  bool is_directory = false;
+  bool is_hidden = false;  // lives under /steg/
+};
+
+class Vfs {
+ public:
+  // `fs` must outlive the Vfs. `uid` scopes every hidden-object operation.
+  Vfs(StegFs* fs, std::string uid);
+  ~Vfs();
+
+  Vfs(const Vfs&) = delete;
+  Vfs& operator=(const Vfs&) = delete;
+
+  // --- steganographic session control ---------------------------------
+  // Makes a hidden object (and, for directories, its offspring) visible at
+  // /steg/<objname>.
+  Status Connect(const std::string& objname, const std::string& uak);
+  Status Disconnect(const std::string& objname);
+  // Invoked automatically by the destructor: "when the user logs off, all
+  // the connected hidden objects are automatically disconnected".
+  Status Logoff();
+
+  // --- standard calls ---------------------------------------------------
+  // Paths: "/..." = plain namespace; "/steg/<objname>" = connected hidden
+  // objects. Returns a small non-negative descriptor.
+  StatusOr<int> Open(const std::string& path, uint32_t flags);
+  Status Close(int fd);
+  // Reads up to `n` bytes from the descriptor's offset; advances it.
+  // Returns bytes read (0 at end of file).
+  StatusOr<int64_t> Read(int fd, void* buf, uint64_t n);
+  // Writes at the descriptor's offset (or EOF with kAppend); advances it.
+  StatusOr<int64_t> Write(int fd, const void* buf, uint64_t n);
+  StatusOr<int64_t> Seek(int fd, int64_t offset, Whence whence);
+  Status Truncate(int fd, uint64_t size);
+  // Flushes the descriptor's object (hidden header sync + metadata).
+  Status Fsync(int fd);
+
+  Status MkDir(const std::string& path);
+  Status Unlink(const std::string& path);
+  StatusOr<std::vector<VfsDirEntry>> ReadDir(const std::string& path);
+  StatusOr<uint64_t> FileSize(int fd);
+
+  StegFs* fs() { return fs_; }
+  const std::string& uid() const { return uid_; }
+
+ private:
+  struct Descriptor {
+    bool in_use = false;
+    bool hidden = false;
+    std::string target;  // plain path or hidden objname
+    uint32_t flags = 0;
+    uint64_t offset = 0;
+  };
+
+  // Splits "/steg/<objname>" -> objname; returns false for plain paths.
+  static bool IsStegPath(const std::string& path, std::string* objname);
+  StatusOr<Descriptor*> GetFd(int fd);
+  StatusOr<uint64_t> TargetSize(const Descriptor& d);
+
+  StegFs* fs_;
+  std::string uid_;
+  std::vector<Descriptor> fds_;
+};
+
+}  // namespace vfs
+}  // namespace stegfs
+
+#endif  // STEGFS_VFS_VFS_H_

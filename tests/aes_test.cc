@@ -1,0 +1,102 @@
+#include "crypto/aes.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+std::vector<uint8_t> FromHex(const std::string& h) {
+  std::vector<uint8_t> out;
+  EXPECT_TRUE(HexDecode(h, &out));
+  return out;
+}
+
+void CheckVector(const std::string& key_hex, const std::string& pt_hex,
+                 const std::string& ct_hex) {
+  auto key = FromHex(key_hex);
+  auto pt = FromHex(pt_hex);
+  auto ct = FromHex(ct_hex);
+  Aes aes(key.data(), key.size());
+
+  uint8_t enc[16];
+  aes.EncryptBlock(pt.data(), enc);
+  EXPECT_EQ(HexEncode(enc, 16), ct_hex);
+
+  uint8_t dec[16];
+  aes.DecryptBlock(ct.data(), dec);
+  EXPECT_EQ(HexEncode(dec, 16), pt_hex);
+}
+
+// FIPS 197 appendix C example vectors.
+TEST(AesTest, Fips197Aes128) {
+  CheckVector("000102030405060708090a0b0c0d0e0f",
+              "00112233445566778899aabbccddeeff",
+              "69c4e0d86a7b0430d8cdb78070b4c55a");
+}
+
+TEST(AesTest, Fips197Aes192) {
+  CheckVector("000102030405060708090a0b0c0d0e0f1011121314151617",
+              "00112233445566778899aabbccddeeff",
+              "dda97ca4864cdfe06eaf70a0ec0d7191");
+}
+
+TEST(AesTest, Fips197Aes256) {
+  CheckVector(
+      "000102030405060708090a0b0c0d0e0f101112131415161718191a1b1c1d1e1f",
+      "00112233445566778899aabbccddeeff",
+      "8ea2b7ca516745bfeafc49904b496089");
+}
+
+// NIST SP 800-38A F.1.1 (ECB-AES128 block 1).
+TEST(AesTest, Sp80038aAes128) {
+  CheckVector("2b7e151628aed2a6abf7158809cf4f3c",
+              "6bc1bee22e409f96e93d7e117393172a",
+              "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(AesTest, EncryptDecryptRoundTripAllKeySizes) {
+  for (size_t key_len : {16u, 24u, 32u}) {
+    std::vector<uint8_t> key(key_len);
+    for (size_t i = 0; i < key_len; ++i) key[i] = static_cast<uint8_t>(i * 7);
+    Aes aes(key.data(), key.size());
+    uint8_t block[16], out[16];
+    for (int i = 0; i < 16; ++i) block[i] = static_cast<uint8_t>(i * 13 + 1);
+    aes.EncryptBlock(block, out);
+    EXPECT_NE(std::memcmp(block, out, 16), 0);
+    aes.DecryptBlock(out, out);
+    EXPECT_EQ(std::memcmp(block, out, 16), 0);
+  }
+}
+
+TEST(AesTest, InPlaceEncryption) {
+  auto key = FromHex("2b7e151628aed2a6abf7158809cf4f3c");
+  auto pt = FromHex("6bc1bee22e409f96e93d7e117393172a");
+  Aes aes(key.data(), key.size());
+  uint8_t buf[16];
+  std::memcpy(buf, pt.data(), 16);
+  aes.EncryptBlock(buf, buf);  // aliasing allowed
+  EXPECT_EQ(HexEncode(buf, 16), "3ad77bb40d7a3660a89ecaf32466ef97");
+}
+
+TEST(AesTest, RoundCounts) {
+  std::vector<uint8_t> key(32, 0);
+  EXPECT_EQ(Aes(key.data(), 16).rounds(), 10);
+  EXPECT_EQ(Aes(key.data(), 24).rounds(), 12);
+  EXPECT_EQ(Aes(key.data(), 32).rounds(), 14);
+}
+
+TEST(AesTest, KeySensitivity) {
+  std::vector<uint8_t> k1(16, 0), k2(16, 0);
+  k2[15] = 1;
+  uint8_t pt[16] = {0}, c1[16], c2[16];
+  Aes(k1.data(), 16).EncryptBlock(pt, c1);
+  Aes(k2.data(), 16).EncryptBlock(pt, c2);
+  EXPECT_NE(std::memcmp(c1, c2, 16), 0);
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

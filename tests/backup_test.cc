@@ -1,0 +1,143 @@
+#include "core/backup.h"
+
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class BackupTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 32768);
+    StegFormatOptions fo;
+    fo.params.dummy_file_count = 2;
+    fo.params.dummy_file_avg_bytes = 32 << 10;
+    fo.entropy = "backup-test";
+    ASSERT_TRUE(StegFs::Format(dev_.get(), fo).ok());
+    auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegFs> fs_;
+};
+
+TEST_F(BackupTest, RoundTripPreservesPlainAndHidden) {
+  std::string hidden_content = RandomData(250000, 1);
+  std::string plain_content = RandomData(120000, 2);
+
+  ASSERT_TRUE(fs_->plain()->MkDir("/docs").ok());
+  ASSERT_TRUE(fs_->plain()->WriteFile("/docs/visible.txt", plain_content).ok());
+  ASSERT_TRUE(fs_->StegCreate("u", "vault", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "vault", "uak").ok());
+  ASSERT_TRUE(fs_->HiddenWriteAll("u", "vault", hidden_content).ok());
+  ASSERT_TRUE(fs_->DisconnectAll("u").ok());
+
+  BackupStats stats;
+  auto image = StegBackup(fs_.get(), &stats);
+  ASSERT_TRUE(image.ok()) << image.status().ToString();
+  EXPECT_GT(stats.imaged_blocks, 250u);  // hidden + pool + dummies + abandoned
+  EXPECT_EQ(stats.plain_files, 1u);
+  EXPECT_EQ(stats.plain_dirs, 1u);
+
+  // "Damage" the volume: recover onto a fresh device.
+  MemBlockDevice fresh(1024, 32768);
+  ASSERT_TRUE(StegRecover(&fresh, image.value()).ok());
+
+  auto recovered = StegFs::Mount(&fresh, StegFsOptions{});
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+  auto plain_back = (*recovered)->plain()->ReadFile("/docs/visible.txt");
+  ASSERT_TRUE(plain_back.ok());
+  EXPECT_EQ(plain_back.value(), plain_content);
+
+  ASSERT_TRUE((*recovered)->StegConnect("u", "vault", "uak").ok());
+  auto hidden_back = (*recovered)->HiddenReadAll("u", "vault");
+  ASSERT_TRUE(hidden_back.ok());
+  EXPECT_EQ(hidden_back.value(), hidden_content);
+}
+
+TEST_F(BackupTest, RecoveredVolumeSupportsDummyMaintenance) {
+  auto image = StegBackup(fs_.get());
+  ASSERT_TRUE(image.ok());
+  MemBlockDevice fresh(1024, 32768);
+  ASSERT_TRUE(StegRecover(&fresh, image.value()).ok());
+  auto fs = StegFs::Mount(&fresh, StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE((*fs)->MaintenanceTick().ok());
+}
+
+TEST_F(BackupTest, HiddenFilesRestoredToOriginalAddresses) {
+  ASSERT_TRUE(fs_->StegCreate("u", "pin", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "pin", "uak").ok());
+  ASSERT_TRUE(fs_->HiddenWriteAll("u", "pin", RandomData(50000, 3)).ok());
+  ASSERT_TRUE(fs_->DisconnectAll("u").ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+
+  // Record which blocks are allocated-but-unlisted before backup.
+  std::vector<uint8_t> referenced;
+  ASSERT_TRUE(fs_->plain()->CollectReferencedBlocks(&referenced).ok());
+  std::vector<uint64_t> unlisted_before;
+  const Layout& l = fs_->plain()->layout();
+  for (uint64_t b = l.data_start; b < l.num_blocks; ++b) {
+    if (fs_->plain()->bitmap()->IsAllocated(b) && !referenced[b]) {
+      unlisted_before.push_back(b);
+    }
+  }
+
+  auto image = StegBackup(fs_.get());
+  ASSERT_TRUE(image.ok());
+  MemBlockDevice fresh(1024, 32768);
+  ASSERT_TRUE(StegRecover(&fresh, image.value()).ok());
+  auto fs2 = StegFs::Mount(&fresh, StegFsOptions{});
+  ASSERT_TRUE(fs2.ok());
+
+  // All previously unlisted blocks are allocated at the same addresses.
+  for (uint64_t b : unlisted_before) {
+    EXPECT_TRUE((*fs2)->plain()->bitmap()->IsAllocated(b)) << b;
+  }
+}
+
+TEST_F(BackupTest, RecoverRejectsWrongGeometry) {
+  auto image = StegBackup(fs_.get());
+  ASSERT_TRUE(image.ok());
+  MemBlockDevice small(1024, 1024);
+  EXPECT_TRUE(StegRecover(&small, image.value()).IsInvalidArgument());
+  MemBlockDevice wrong_bs(2048, 32768);
+  EXPECT_TRUE(StegRecover(&wrong_bs, image.value()).IsInvalidArgument());
+}
+
+TEST_F(BackupTest, RecoverRejectsCorruptImage) {
+  auto image = StegBackup(fs_.get());
+  ASSERT_TRUE(image.ok());
+  MemBlockDevice fresh(1024, 32768);
+  EXPECT_FALSE(StegRecover(&fresh, image->substr(0, 100)).ok());
+  std::string garbage = "not a backup image";
+  EXPECT_TRUE(StegRecover(&fresh, garbage).IsCorruption());
+}
+
+TEST_F(BackupTest, BackupIsMuchSmallerThanFullImage) {
+  // The whole point of 3.3: only hidden + abandoned + dummy blocks are
+  // imaged, not the full 32 MB device.
+  ASSERT_TRUE(
+      fs_->plain()->WriteFile("/big.bin", RandomData(4 << 20, 8)).ok());
+  BackupStats stats;
+  auto image = StegBackup(fs_.get(), &stats);
+  ASSERT_TRUE(image.ok());
+  // Plain content is stored logically (4 MB) + hidden population (< 1 MB);
+  // far less than the 32 MB device.
+  EXPECT_LT(stats.image_bytes, 8u << 20);
+}
+
+}  // namespace
+}  // namespace stegfs

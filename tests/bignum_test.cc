@@ -1,0 +1,169 @@
+#include "crypto/bignum.h"
+
+#include <gtest/gtest.h>
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+TEST(BigIntTest, FromToUint64) {
+  EXPECT_TRUE(BigInt().IsZero());
+  EXPECT_TRUE(BigInt::FromUint64(0).IsZero());
+  BigInt v = BigInt::FromUint64(0x123456789abcdefULL);
+  EXPECT_EQ(v.ToHex(), "123456789abcdef");
+}
+
+TEST(BigIntTest, BytesRoundTrip) {
+  std::vector<uint8_t> bytes = {0x01, 0x02, 0x03, 0x04, 0x05};
+  BigInt v = BigInt::FromBytes(bytes);
+  EXPECT_EQ(v.ToHex(), "102030405");
+  EXPECT_EQ(v.ToBytes(), bytes);
+  // Padding.
+  auto padded = v.ToBytes(8);
+  EXPECT_EQ(padded.size(), 8u);
+  EXPECT_EQ(padded[0], 0);
+  EXPECT_EQ(padded[3], 0x01);
+}
+
+TEST(BigIntTest, LeadingZeroBytesTrimmed) {
+  std::vector<uint8_t> bytes = {0x00, 0x00, 0xff};
+  BigInt v = BigInt::FromBytes(bytes);
+  EXPECT_EQ(v.BitLength(), 8u);
+}
+
+TEST(BigIntTest, Comparisons) {
+  BigInt a = BigInt::FromUint64(100);
+  BigInt b = BigInt::FromUint64(200);
+  EXPECT_TRUE(a < b);
+  EXPECT_TRUE(b > a);
+  EXPECT_TRUE(a <= a);
+  EXPECT_TRUE(a == a);
+  EXPECT_TRUE(a != b);
+}
+
+TEST(BigIntTest, AddSub) {
+  BigInt a = BigInt::FromUint64(UINT64_MAX);
+  BigInt b = BigInt::FromUint64(1);
+  BigInt sum = a + b;  // 2^64
+  EXPECT_EQ(sum.ToHex(), "10000000000000000");
+  EXPECT_EQ((sum - b).ToHex(), BigInt::FromUint64(UINT64_MAX).ToHex());
+  EXPECT_TRUE((a - a).IsZero());
+}
+
+TEST(BigIntTest, MultiplyMatchesKnownProduct) {
+  // 0xffffffffffffffff * 0xffffffffffffffff = 0xfffffffffffffffe0000000000000001
+  BigInt a = BigInt::FromUint64(UINT64_MAX);
+  EXPECT_EQ((a * a).ToHex(), "fffffffffffffffe0000000000000001");
+  EXPECT_TRUE((a * BigInt()).IsZero());
+}
+
+TEST(BigIntTest, Shifts) {
+  BigInt one = BigInt::FromUint64(1);
+  EXPECT_EQ(one.ShiftLeft(100).BitLength(), 101u);
+  EXPECT_EQ(one.ShiftLeft(100).ShiftRight(100), one);
+  EXPECT_TRUE(one.ShiftRight(1).IsZero());
+  BigInt v = BigInt::FromUint64(0xf0f0);
+  EXPECT_EQ(v.ShiftLeft(4).ToHex(), "f0f00");
+  EXPECT_EQ(v.ShiftRight(4).ToHex(), "f0f");
+}
+
+TEST(BigIntTest, DivMod) {
+  BigInt a = BigInt::FromUint64(1000000007ULL) * BigInt::FromUint64(999999937ULL) +
+             BigInt::FromUint64(12345);
+  BigInt q, r;
+  BigInt::DivMod(a, BigInt::FromUint64(1000000007ULL), &q, &r);
+  EXPECT_EQ(q.ToHex(), BigInt::FromUint64(999999937ULL).ToHex());
+  EXPECT_EQ(r.ToHex(), BigInt::FromUint64(12345).ToHex());
+}
+
+TEST(BigIntTest, DivModSmallerDividend) {
+  BigInt q, r;
+  BigInt::DivMod(BigInt::FromUint64(5), BigInt::FromUint64(7), &q, &r);
+  EXPECT_TRUE(q.IsZero());
+  EXPECT_EQ(r.ToHex(), "5");
+}
+
+TEST(BigIntTest, ModExpSmallNumbers) {
+  // 3^20 mod 1000 = 3486784401 mod 1000 = 401.
+  BigInt r = BigInt::FromUint64(3).ModExp(BigInt::FromUint64(20),
+                                          BigInt::FromUint64(1000));
+  EXPECT_EQ(r.ToHex(), BigInt::FromUint64(401).ToHex());
+}
+
+TEST(BigIntTest, FermatLittleTheorem) {
+  // a^(p-1) = 1 mod p for prime p, a not divisible by p.
+  BigInt p = BigInt::FromUint64(1000000007ULL);
+  BigInt a = BigInt::FromUint64(123456789ULL);
+  EXPECT_EQ(a.ModExp(p - BigInt::FromUint64(1), p).ToHex(), "1");
+}
+
+TEST(BigIntTest, Gcd) {
+  EXPECT_EQ(
+      BigInt::Gcd(BigInt::FromUint64(48), BigInt::FromUint64(36)).ToHex(),
+      "c");
+  EXPECT_EQ(
+      BigInt::Gcd(BigInt::FromUint64(17), BigInt::FromUint64(31)).ToHex(),
+      "1");
+}
+
+TEST(BigIntTest, ModInverse) {
+  BigInt inv = BigInt::FromUint64(3).ModInverse(BigInt::FromUint64(11));
+  EXPECT_EQ(inv.ToHex(), "4");  // 3*4 = 12 = 1 mod 11
+  // Non-invertible case.
+  EXPECT_TRUE(BigInt::FromUint64(6).ModInverse(BigInt::FromUint64(9)).IsZero());
+}
+
+TEST(BigIntTest, ModInverseLarge) {
+  CtrDrbg drbg("inverse-test");
+  BigInt m = BigInt::GeneratePrime(128, &drbg);
+  BigInt a = BigInt::Random(&drbg, m);
+  if (a.IsZero()) a = BigInt::FromUint64(2);
+  BigInt inv = a.ModInverse(m);
+  EXPECT_EQ((a * inv).Mod(m).ToHex(), "1");
+}
+
+TEST(BigIntTest, PrimalityKnownValues) {
+  CtrDrbg drbg("primality");
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromUint64(2), &drbg));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromUint64(3), &drbg));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(1), &drbg));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(4), &drbg));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromUint64(65537), &drbg));
+  EXPECT_TRUE(BigInt::IsProbablePrime(BigInt::FromUint64(1000000007ULL), &drbg));
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(1000000007ULL * 3),
+                                       &drbg));
+  // Carmichael number 561 = 3*11*17 must be rejected.
+  EXPECT_FALSE(BigInt::IsProbablePrime(BigInt::FromUint64(561), &drbg));
+}
+
+TEST(BigIntTest, GeneratePrimeHasRequestedSize) {
+  CtrDrbg drbg("genprime");
+  BigInt p = BigInt::GeneratePrime(96, &drbg);
+  EXPECT_EQ(p.BitLength(), 96u);
+  EXPECT_TRUE(p.IsOdd());
+  EXPECT_TRUE(BigInt::IsProbablePrime(p, &drbg));
+}
+
+TEST(BigIntTest, RandomBelowBound) {
+  CtrDrbg drbg("rand");
+  BigInt bound = BigInt::FromUint64(1000);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_TRUE(BigInt::Random(&drbg, bound) < bound);
+  }
+}
+
+TEST(BigIntTest, MulDivRoundTripRandomized) {
+  CtrDrbg drbg("roundtrip");
+  for (int i = 0; i < 20; ++i) {
+    BigInt a = BigInt::RandomBits(&drbg, 200);
+    BigInt b = BigInt::RandomBits(&drbg, 90);
+    BigInt q, r;
+    BigInt::DivMod(a, b, &q, &r);
+    EXPECT_EQ(q * b + r, a);
+    EXPECT_TRUE(r < b);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

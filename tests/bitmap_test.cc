@@ -1,0 +1,176 @@
+#include "fs/bitmap.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockdev/mem_block_device.h"
+
+namespace stegfs {
+namespace {
+
+Layout SmallLayout() { return Layout::Compute(1024, 4096, 256); }
+
+TEST(BitmapTest, MetadataRegionPreMarked) {
+  Layout l = SmallLayout();
+  BlockBitmap bm(l);
+  for (uint64_t b = 0; b < l.data_start; ++b) {
+    EXPECT_TRUE(bm.IsAllocated(b)) << "metadata block " << b;
+  }
+  EXPECT_FALSE(bm.IsAllocated(l.data_start));
+  EXPECT_EQ(bm.free_count(), l.num_blocks - l.data_start);
+}
+
+TEST(BitmapTest, AllocateFreeRoundTrip) {
+  BlockBitmap bm(SmallLayout());
+  uint64_t b = bm.layout().data_start + 5;
+  uint64_t before = bm.free_count();
+  ASSERT_TRUE(bm.Allocate(b).ok());
+  EXPECT_TRUE(bm.IsAllocated(b));
+  EXPECT_EQ(bm.free_count(), before - 1);
+  ASSERT_TRUE(bm.Free(b).ok());
+  EXPECT_FALSE(bm.IsAllocated(b));
+  EXPECT_EQ(bm.free_count(), before);
+}
+
+TEST(BitmapTest, DoubleAllocationRejected) {
+  BlockBitmap bm(SmallLayout());
+  uint64_t b = bm.layout().data_start;
+  ASSERT_TRUE(bm.Allocate(b).ok());
+  EXPECT_TRUE(bm.Allocate(b).IsFailedPrecondition());
+}
+
+TEST(BitmapTest, DoubleFreeRejected) {
+  BlockBitmap bm(SmallLayout());
+  uint64_t b = bm.layout().data_start;
+  ASSERT_TRUE(bm.Allocate(b).ok());
+  ASSERT_TRUE(bm.Free(b).ok());
+  EXPECT_TRUE(bm.Free(b).IsFailedPrecondition());
+}
+
+TEST(BitmapTest, CannotFreeMetadata) {
+  BlockBitmap bm(SmallLayout());
+  EXPECT_TRUE(bm.Free(0).IsInvalidArgument());
+}
+
+TEST(BitmapTest, OutOfRangeRejected) {
+  BlockBitmap bm(SmallLayout());
+  EXPECT_TRUE(bm.Allocate(999999).IsInvalidArgument());
+}
+
+TEST(BitmapTest, StoreLoadRoundTrip) {
+  Layout l = SmallLayout();
+  MemBlockDevice dev(l.block_size, l.num_blocks);
+  BufferCache cache(&dev, 64);
+
+  BlockBitmap bm(l);
+  std::set<uint64_t> allocated;
+  for (uint64_t b : {l.data_start, l.data_start + 17, l.num_blocks - 1}) {
+    ASSERT_TRUE(bm.Allocate(b).ok());
+    allocated.insert(b);
+  }
+  ASSERT_TRUE(bm.Store(&cache).ok());
+
+  auto loaded = BlockBitmap::Load(&cache, l);
+  ASSERT_TRUE(loaded.ok());
+  for (uint64_t b = l.data_start; b < l.num_blocks; ++b) {
+    EXPECT_EQ(loaded->IsAllocated(b), allocated.count(b) > 0) << b;
+  }
+  EXPECT_EQ(loaded->free_count(), bm.free_count());
+}
+
+TEST(BitmapTest, ContiguousPolicyAllocatesRuns) {
+  BlockBitmap bm(SmallLayout());
+  Xoshiro rng(1);
+  uint64_t prev = 0;
+  for (int i = 0; i < 20; ++i) {
+    auto b = bm.AllocateByPolicy(AllocPolicy::kContiguous, &rng);
+    ASSERT_TRUE(b.ok());
+    if (i > 0) EXPECT_EQ(b.value(), prev + 1);
+    prev = b.value();
+  }
+}
+
+TEST(BitmapTest, Fragmented8PolicyMakesEightBlockRuns) {
+  BlockBitmap bm(SmallLayout());
+  Xoshiro rng(7);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 64; ++i) {
+    auto b = bm.AllocateByPolicy(AllocPolicy::kFragmented8, &rng);
+    ASSERT_TRUE(b.ok());
+    blocks.push_back(b.value());
+  }
+  // Within each group of 8, blocks are consecutive.
+  int seq_breaks = 0;
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    if (blocks[i] != blocks[i - 1] + 1) ++seq_breaks;
+  }
+  // 64 blocks in 8-block fragments -> exactly 7 breaks (8 fragments).
+  EXPECT_EQ(seq_breaks, 7);
+}
+
+TEST(BitmapTest, RandomPolicyScatters) {
+  BlockBitmap bm(SmallLayout());
+  Xoshiro rng(3);
+  std::vector<uint64_t> blocks;
+  for (int i = 0; i < 200; ++i) {
+    auto b = bm.AllocateByPolicy(AllocPolicy::kRandom, &rng);
+    ASSERT_TRUE(b.ok());
+    blocks.push_back(b.value());
+  }
+  int adjacent = 0;
+  for (size_t i = 1; i < blocks.size(); ++i) {
+    if (blocks[i] == blocks[i - 1] + 1) ++adjacent;
+  }
+  EXPECT_LT(adjacent, 20);  // random placement is almost never sequential
+}
+
+TEST(BitmapTest, RandomPolicyFindsLastBlocks) {
+  // Allocation must succeed even at >99% occupancy (falls back to scan).
+  Layout l = SmallLayout();
+  BlockBitmap bm(l);
+  Xoshiro rng(5);
+  uint64_t total = bm.free_count();
+  for (uint64_t i = 0; i < total; ++i) {
+    auto b = bm.AllocateByPolicy(AllocPolicy::kRandom, &rng);
+    ASSERT_TRUE(b.ok()) << "allocation " << i << " of " << total;
+  }
+  EXPECT_EQ(bm.free_count(), 0u);
+  EXPECT_TRUE(bm.AllocateByPolicy(AllocPolicy::kRandom, &rng)
+                  .status()
+                  .IsNoSpace());
+}
+
+TEST(BitmapTest, AllocateContiguousRun) {
+  BlockBitmap bm(SmallLayout());
+  auto run = bm.AllocateContiguous(32);
+  ASSERT_TRUE(run.ok());
+  ASSERT_EQ(run->size(), 32u);
+  for (size_t i = 1; i < run->size(); ++i) {
+    EXPECT_EQ((*run)[i], (*run)[i - 1] + 1);
+  }
+}
+
+TEST(BitmapTest, AllocateContiguousSkipsHoles) {
+  Layout l = SmallLayout();
+  BlockBitmap bm(l);
+  // Poke an allocated block early in the data region.
+  ASSERT_TRUE(bm.Allocate(l.data_start + 3).ok());
+  auto run = bm.AllocateContiguous(8);
+  ASSERT_TRUE(run.ok());
+  EXPECT_GT((*run)[0], l.data_start + 3);
+}
+
+TEST(BitmapTest, AllocateContiguousFailsWhenFragmented) {
+  Layout l = SmallLayout();
+  BlockBitmap bm(l);
+  // Allocate every second block: no run of 2 exists.
+  for (uint64_t b = l.data_start; b < l.num_blocks; b += 2) {
+    ASSERT_TRUE(bm.Allocate(b).ok());
+  }
+  EXPECT_TRUE(bm.AllocateContiguous(2).status().IsNoSpace());
+  EXPECT_TRUE(bm.AllocateContiguous(1).ok());
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,140 @@
+#include "blockdev/block_device.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <vector>
+
+#include "blockdev/file_block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "blockdev/sim_disk.h"
+
+namespace stegfs {
+namespace {
+
+std::vector<uint8_t> Pattern(uint32_t n, uint8_t seed) {
+  std::vector<uint8_t> v(n);
+  for (uint32_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(seed + i);
+  return v;
+}
+
+TEST(MemBlockDeviceTest, Geometry) {
+  MemBlockDevice dev(1024, 100);
+  EXPECT_EQ(dev.block_size(), 1024u);
+  EXPECT_EQ(dev.num_blocks(), 100u);
+  EXPECT_EQ(dev.capacity_bytes(), 102400u);
+}
+
+TEST(MemBlockDeviceTest, ReadWriteRoundTrip) {
+  MemBlockDevice dev(512, 10);
+  auto data = Pattern(512, 7);
+  ASSERT_TRUE(dev.WriteBlock(3, data.data()).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(dev.ReadBlock(3, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(MemBlockDeviceTest, FreshDeviceReadsZero) {
+  MemBlockDevice dev(512, 4);
+  std::vector<uint8_t> out(512, 0xff);
+  ASSERT_TRUE(dev.ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));
+}
+
+TEST(MemBlockDeviceTest, OutOfRangeRejected) {
+  MemBlockDevice dev(512, 4);
+  std::vector<uint8_t> buf(512);
+  EXPECT_TRUE(dev.ReadBlock(4, buf.data()).IsInvalidArgument());
+  EXPECT_TRUE(dev.WriteBlock(100, buf.data()).IsInvalidArgument());
+}
+
+TEST(MemBlockDeviceTest, BlocksAreIndependent) {
+  MemBlockDevice dev(512, 4);
+  auto a = Pattern(512, 1);
+  auto b = Pattern(512, 99);
+  ASSERT_TRUE(dev.WriteBlock(0, a.data()).ok());
+  ASSERT_TRUE(dev.WriteBlock(1, b.data()).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(dev.ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(out, a);
+}
+
+class FileBlockDeviceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/stegfs_fbd_test.img";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(FileBlockDeviceTest, CreateWriteReopenRead) {
+  auto data = Pattern(1024, 42);
+  {
+    auto dev = FileBlockDevice::Create(path_, 1024, 16);
+    ASSERT_TRUE(dev.ok()) << dev.status().ToString();
+    ASSERT_TRUE((*dev)->WriteBlock(5, data.data()).ok());
+    ASSERT_TRUE((*dev)->Flush().ok());
+  }
+  {
+    auto dev = FileBlockDevice::Open(path_, 1024);
+    ASSERT_TRUE(dev.ok());
+    EXPECT_EQ((*dev)->num_blocks(), 16u);
+    std::vector<uint8_t> out(1024);
+    ASSERT_TRUE((*dev)->ReadBlock(5, out.data()).ok());
+    EXPECT_EQ(out, data);
+  }
+}
+
+TEST_F(FileBlockDeviceTest, OpenMissingFileFails) {
+  auto dev = FileBlockDevice::Open(path_ + ".nope", 1024);
+  EXPECT_FALSE(dev.ok());
+}
+
+TEST_F(FileBlockDeviceTest, RejectsBadBlockSize) {
+  auto dev = FileBlockDevice::Create(path_, 1000, 4);  // not a power of two
+  EXPECT_FALSE(dev.ok());
+}
+
+TEST(SimDiskTest, ForwardsDataAndAccumulatesTime) {
+  auto inner = std::make_unique<MemBlockDevice>(1024, 1000);
+  SimDisk disk(std::move(inner), DiskModelConfig{});
+  auto data = Pattern(1024, 3);
+  ASSERT_TRUE(disk.WriteBlock(10, data.data()).ok());
+  std::vector<uint8_t> out(1024);
+  ASSERT_TRUE(disk.ReadBlock(10, out.data()).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_GT(disk.sim_time_seconds(), 0.0);
+  EXPECT_EQ(disk.stats().reads, 1u);
+  EXPECT_EQ(disk.stats().writes, 1u);
+}
+
+TEST(SimDiskTest, TraceRecordsRequests) {
+  auto inner = std::make_unique<MemBlockDevice>(1024, 1000);
+  SimDisk disk(std::move(inner), DiskModelConfig{});
+  IoTrace trace;
+  disk.set_trace(&trace);
+  std::vector<uint8_t> buf(1024);
+  ASSERT_TRUE(disk.WriteBlock(1, buf.data()).ok());
+  ASSERT_TRUE(disk.ReadBlock(2, buf.data()).ok());
+  disk.set_trace(nullptr);
+  ASSERT_TRUE(disk.ReadBlock(3, buf.data()).ok());  // not recorded
+
+  ASSERT_EQ(trace.size(), 2u);
+  EXPECT_EQ(trace[0].lba, 1u);
+  EXPECT_TRUE(trace[0].is_write);
+  EXPECT_EQ(trace[1].lba, 2u);
+  EXPECT_FALSE(trace[1].is_write);
+}
+
+TEST(SimDiskTest, FailedIoNotCharged) {
+  auto inner = std::make_unique<MemBlockDevice>(1024, 10);
+  SimDisk disk(std::move(inner), DiskModelConfig{});
+  std::vector<uint8_t> buf(1024);
+  EXPECT_FALSE(disk.ReadBlock(999, buf.data()).ok());
+  EXPECT_EQ(disk.sim_time_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace stegfs

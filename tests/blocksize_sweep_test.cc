@@ -1,0 +1,133 @@
+// Parameterized sweeps: the full stack must behave identically at every
+// block size the paper evaluates (512 B .. 64 KB, figure 9's range).
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "core/stegfs.h"
+#include "fs/plain_fs.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class PlainFsBlockSizeTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    uint32_t bs = GetParam();
+    uint64_t blocks = (32ULL << 20) / bs;  // 32 MB volume
+    dev_ = std::make_unique<MemBlockDevice>(bs, blocks);
+    ASSERT_TRUE(PlainFs::Format(dev_.get(), FormatOptions{}).ok());
+    auto fs = PlainFs::Mount(dev_.get(), MountOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<PlainFs> fs_;
+};
+
+TEST_P(PlainFsBlockSizeTest, LargeFileRoundTrip) {
+  std::string content = RandomData(3 << 20, GetParam());
+  ASSERT_TRUE(fs_->WriteFile("/big", content).ok());
+  auto back = fs_->ReadFile("/big");
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), content);
+}
+
+TEST_P(PlainFsBlockSizeTest, SubBlockWrites) {
+  ASSERT_TRUE(fs_->CreateFile("/f").ok());
+  // Writes far smaller than a block, at block-straddling offsets.
+  uint32_t bs = GetParam();
+  ASSERT_TRUE(fs_->WriteAt("/f", bs - 3, "HELLO").ok());
+  std::string out;
+  ASSERT_TRUE(fs_->ReadAt("/f", bs - 3, 5, &out).ok());
+  EXPECT_EQ(out, "HELLO");
+}
+
+TEST_P(PlainFsBlockSizeTest, PersistenceAcrossRemount) {
+  std::string content = RandomData(500000, GetParam() + 1);
+  ASSERT_TRUE(fs_->MkDir("/d").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d/f", content).ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+  auto fs = PlainFs::Mount(dev_.get(), MountOptions{});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ((*fs)->ReadFile("/d/f").value(), content);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure9Range, PlainFsBlockSizeTest,
+                         ::testing::Values(512, 1024, 2048, 4096, 8192,
+                                           16384, 32768, 65536),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "bs" + std::to_string(info.param);
+                         });
+
+class StegFsBlockSizeTest : public ::testing::TestWithParam<uint32_t> {
+ protected:
+  void SetUp() override {
+    uint32_t bs = GetParam();
+    uint64_t blocks = (32ULL << 20) / bs;
+    dev_ = std::make_unique<MemBlockDevice>(bs, blocks);
+    StegFormatOptions fo;
+    fo.params.dummy_file_count = 2;
+    fo.params.dummy_file_avg_bytes = 64 << 10;
+    fo.entropy = "sweep-" + std::to_string(bs);
+    ASSERT_TRUE(StegFs::Format(dev_.get(), fo).ok());
+    auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegFs> fs_;
+};
+
+TEST_P(StegFsBlockSizeTest, HiddenRoundTripAndRemount) {
+  std::string content = RandomData(1 << 20, GetParam() + 7);
+  ASSERT_TRUE(
+      fs_->StegCreate("u", "vault", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "vault", "uak").ok());
+  ASSERT_TRUE(fs_->HiddenWriteAll("u", "vault", content).ok());
+  ASSERT_TRUE(fs_->DisconnectAll("u").ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+
+  fs_.reset();
+  auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  fs_ = std::move(fs).value();
+  ASSERT_TRUE(fs_->StegConnect("u", "vault", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "vault").value(), content);
+}
+
+TEST_P(StegFsBlockSizeTest, WrongKeyStillFindsNothing) {
+  ASSERT_TRUE(fs_->StegCreate("u", "x", "uak", HiddenType::kFile).ok());
+  EXPECT_TRUE(fs_->StegConnect("u", "x", "bad-uak").IsNotFound());
+}
+
+TEST_P(StegFsBlockSizeTest, PlainAndHiddenCoexist) {
+  std::string plain_content = RandomData(400000, GetParam() + 13);
+  std::string hidden_content = RandomData(400000, GetParam() + 17);
+  ASSERT_TRUE(fs_->plain()->WriteFile("/cover.bin", plain_content).ok());
+  ASSERT_TRUE(
+      fs_->StegCreate("u", "h", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "h", "uak").ok());
+  ASSERT_TRUE(fs_->HiddenWriteAll("u", "h", hidden_content).ok());
+  EXPECT_EQ(fs_->plain()->ReadFile("/cover.bin").value(), plain_content);
+  EXPECT_EQ(fs_->HiddenReadAll("u", "h").value(), hidden_content);
+}
+
+INSTANTIATE_TEST_SUITE_P(Figure9Range, StegFsBlockSizeTest,
+                         ::testing::Values(512, 1024, 4096, 16384, 65536),
+                         [](const ::testing::TestParamInfo<uint32_t>& info) {
+                           return "bs" + std::to_string(info.param);
+                         });
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,136 @@
+#include "cache/buffer_cache.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "blockdev/mem_block_device.h"
+#include "blockdev/sim_disk.h"
+
+namespace stegfs {
+namespace {
+
+std::vector<uint8_t> Pattern(uint32_t n, uint8_t seed) {
+  std::vector<uint8_t> v(n);
+  for (uint32_t i = 0; i < n; ++i) v[i] = static_cast<uint8_t>(seed + i * 5);
+  return v;
+}
+
+TEST(BufferCacheTest, ReadThroughAndHit) {
+  MemBlockDevice dev(512, 16);
+  auto data = Pattern(512, 1);
+  ASSERT_TRUE(dev.WriteBlock(2, data.data()).ok());
+
+  BufferCache cache(&dev, 4);
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(cache.Read(2, out.data()).ok());
+  EXPECT_EQ(out, data);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  ASSERT_TRUE(cache.Read(2, out.data()).ok());
+  EXPECT_EQ(cache.stats().hits, 1u);
+}
+
+TEST(BufferCacheTest, WriteBackDefersDeviceWrite) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 4, WritePolicy::kWriteBack);
+  auto data = Pattern(512, 9);
+  ASSERT_TRUE(cache.Write(3, data.data()).ok());
+
+  // Device still has zeros until flush.
+  std::vector<uint8_t> raw(512);
+  ASSERT_TRUE(dev.ReadBlock(3, raw.data()).ok());
+  EXPECT_EQ(raw, std::vector<uint8_t>(512, 0));
+
+  ASSERT_TRUE(cache.Flush().ok());
+  ASSERT_TRUE(dev.ReadBlock(3, raw.data()).ok());
+  EXPECT_EQ(raw, data);
+}
+
+TEST(BufferCacheTest, WriteThroughHitsDeviceImmediately) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 4, WritePolicy::kWriteThrough);
+  auto data = Pattern(512, 9);
+  ASSERT_TRUE(cache.Write(3, data.data()).ok());
+  std::vector<uint8_t> raw(512);
+  ASSERT_TRUE(dev.ReadBlock(3, raw.data()).ok());
+  EXPECT_EQ(raw, data);
+}
+
+TEST(BufferCacheTest, EvictionWritesBackDirtyLru) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 2, WritePolicy::kWriteBack);
+  auto a = Pattern(512, 1);
+  auto b = Pattern(512, 2);
+  auto c = Pattern(512, 3);
+  ASSERT_TRUE(cache.Write(0, a.data()).ok());
+  ASSERT_TRUE(cache.Write(1, b.data()).ok());
+  ASSERT_TRUE(cache.Write(2, c.data()).ok());  // evicts block 0
+
+  std::vector<uint8_t> raw(512);
+  ASSERT_TRUE(dev.ReadBlock(0, raw.data()).ok());
+  EXPECT_EQ(raw, a);
+  EXPECT_EQ(cache.stats().evictions, 1u);
+  EXPECT_EQ(cache.stats().writebacks, 1u);
+}
+
+TEST(BufferCacheTest, LruOrderRespectsRecency) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 2);
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(cache.Read(0, buf.data()).ok());
+  ASSERT_TRUE(cache.Read(1, buf.data()).ok());
+  ASSERT_TRUE(cache.Read(0, buf.data()).ok());  // touch 0 -> 1 becomes LRU
+  ASSERT_TRUE(cache.Read(2, buf.data()).ok());  // evicts 1
+  ASSERT_TRUE(cache.Read(0, buf.data()).ok());  // still cached
+  EXPECT_EQ(cache.stats().hits, 2u);
+}
+
+TEST(BufferCacheTest, ReadAfterWriteSeesCachedData) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 4);
+  auto data = Pattern(512, 77);
+  ASSERT_TRUE(cache.Write(5, data.data()).ok());
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(cache.Read(5, out.data()).ok());
+  EXPECT_EQ(out, data);
+}
+
+TEST(BufferCacheTest, DropAllDiscardsDirtyData) {
+  MemBlockDevice dev(512, 16);
+  BufferCache cache(&dev, 4, WritePolicy::kWriteBack);
+  auto data = Pattern(512, 5);
+  ASSERT_TRUE(cache.Write(1, data.data()).ok());
+  cache.DropAll();
+  ASSERT_TRUE(cache.Flush().ok());
+  std::vector<uint8_t> raw(512);
+  ASSERT_TRUE(dev.ReadBlock(1, raw.data()).ok());
+  EXPECT_EQ(raw, std::vector<uint8_t>(512, 0));  // write was dropped
+}
+
+TEST(BufferCacheTest, CacheReducesDeviceReads) {
+  auto inner = std::make_unique<MemBlockDevice>(1024, 64);
+  SimDisk disk(std::move(inner), DiskModelConfig{});
+  BufferCache cache(&disk, 16);
+  std::vector<uint8_t> buf(1024);
+  for (int pass = 0; pass < 10; ++pass) {
+    for (uint64_t b = 0; b < 8; ++b) {
+      ASSERT_TRUE(cache.Read(b, buf.data()).ok());
+    }
+  }
+  EXPECT_EQ(disk.stats().reads, 8u);  // only the first pass misses
+  EXPECT_EQ(cache.stats().hits, 72u);
+}
+
+TEST(BufferCacheTest, FlushIsIdempotent) {
+  MemBlockDevice dev(512, 8);
+  BufferCache cache(&dev, 4);
+  auto data = Pattern(512, 8);
+  ASSERT_TRUE(cache.Write(0, data.data()).ok());
+  ASSERT_TRUE(cache.Flush().ok());
+  uint64_t wb = cache.stats().writebacks;
+  ASSERT_TRUE(cache.Flush().ok());
+  EXPECT_EQ(cache.stats().writebacks, wb);  // nothing dirty the second time
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,190 @@
+// The C binding of the paper's section 4 API, exercised end-to-end exactly
+// as a C application would use it (volume file on the host FS, raw buffers,
+// int error codes).
+#include "capi/steg_api.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+namespace {
+
+class CapiTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Unique per test: ctest runs suites in parallel.
+    std::string tag =
+        ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    image_ = ::testing::TempDir() + "/capi_" + tag + "_volume.img";
+    backup_ = ::testing::TempDir() + "/capi_" + tag + "_backup.bin";
+    recovered_ = ::testing::TempDir() + "/capi_" + tag + "_recovered.img";
+    std::remove(image_.c_str());
+    std::remove(backup_.c_str());
+    std::remove(recovered_.c_str());
+    ASSERT_EQ(steg_mkfs(image_.c_str(), 1024, 32768), STEG_OK);
+    ASSERT_EQ(steg_mount(image_.c_str(), 1024, &vol_), STEG_OK);
+  }
+
+  void TearDown() override {
+    if (vol_ != nullptr) {
+      EXPECT_EQ(steg_unmount(vol_), STEG_OK);
+    }
+    std::remove(image_.c_str());
+    std::remove(backup_.c_str());
+    std::remove(recovered_.c_str());
+  }
+
+  std::string image_, backup_, recovered_;
+  stegfs_volume* vol_ = nullptr;
+};
+
+TEST_F(CapiTest, MountRejectsMissingImage) {
+  stegfs_volume* v = nullptr;
+  EXPECT_NE(steg_mount("/nonexistent/image.img", 1024, &v), STEG_OK);
+  EXPECT_EQ(v, nullptr);
+}
+
+TEST_F(CapiTest, PlainRoundTrip) {
+  ASSERT_EQ(steg_plain_write(vol_, "/note.txt", "plain data", 10), STEG_OK);
+  char buf[64];
+  size_t n = 0;
+  ASSERT_EQ(steg_plain_read(vol_, "/note.txt", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "plain data");
+}
+
+TEST_F(CapiTest, HiddenLifecycle) {
+  ASSERT_EQ(steg_create(vol_, "alice", "vault", "uak", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "alice", "vault", "uak"), STEG_OK);
+  ASSERT_EQ(steg_hidden_write(vol_, "alice", "vault", "secret!", 7), STEG_OK);
+
+  char buf[64];
+  size_t n = 0;
+  ASSERT_EQ(steg_hidden_read(vol_, "alice", "vault", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "secret!");
+
+  ASSERT_EQ(steg_disconnect(vol_, "alice", "vault"), STEG_OK);
+  // I/O after disconnect fails with a precondition error.
+  EXPECT_EQ(steg_hidden_read(vol_, "alice", "vault", buf, sizeof(buf), &n),
+            STEG_ERR_PRECONDITION);
+  EXPECT_NE(std::string(steg_strerror(vol_)).find("not connected"),
+            std::string::npos);
+}
+
+TEST_F(CapiTest, WrongKeyIsNotFound) {
+  ASSERT_EQ(steg_create(vol_, "alice", "x", "right", STEG_TYPE_FILE),
+            STEG_OK);
+  EXPECT_EQ(steg_connect(vol_, "alice", "x", "wrong"), STEG_ERR_NOT_FOUND);
+}
+
+TEST_F(CapiTest, BadObjTypeRejected) {
+  EXPECT_EQ(steg_create(vol_, "alice", "x", "uak", 'z'), STEG_ERR_INVALID);
+}
+
+TEST_F(CapiTest, HideUnhide) {
+  ASSERT_EQ(steg_plain_write(vol_, "/exposed", "now hidden", 10), STEG_OK);
+  ASSERT_EQ(steg_hide(vol_, "bob", "/exposed", "obj", "uak"), STEG_OK);
+  char buf[8];
+  size_t n;
+  EXPECT_EQ(steg_plain_read(vol_, "/exposed", buf, sizeof(buf), &n),
+            STEG_ERR_NOT_FOUND);
+  ASSERT_EQ(steg_unhide(vol_, "bob", "/back", "obj", "uak"), STEG_OK);
+  char big[32];
+  ASSERT_EQ(steg_plain_read(vol_, "/back", big, sizeof(big), &n), STEG_OK);
+  EXPECT_EQ(std::string(big, n), "now hidden");
+}
+
+TEST_F(CapiTest, SharingThroughRawKeyBuffers) {
+  uint8_t pub[512], priv[512];
+  size_t pub_len = sizeof(pub), priv_len = sizeof(priv);
+  ASSERT_EQ(steg_rsa_keygen(512, "capi-recipient", pub, &pub_len, priv,
+                            &priv_len),
+            STEG_OK);
+
+  ASSERT_EQ(steg_create(vol_, "alice", "doc", "uak-a", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "alice", "doc", "uak-a"), STEG_OK);
+  ASSERT_EQ(steg_hidden_write(vol_, "alice", "doc", "shared", 6), STEG_OK);
+  ASSERT_EQ(steg_disconnect(vol_, "alice", "doc"), STEG_OK);
+
+  ASSERT_EQ(steg_getentry(vol_, "alice", "doc", "uak-a", "/envelope", pub,
+                          pub_len),
+            STEG_OK);
+  ASSERT_EQ(steg_addentry(vol_, "alice", "/envelope", priv, priv_len,
+                          "uak-b"),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "alice", "doc", "uak-b"), STEG_OK);
+  char buf[16];
+  size_t n;
+  ASSERT_EQ(steg_hidden_read(vol_, "alice", "doc", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "shared");
+}
+
+TEST_F(CapiTest, KeygenReportsBufferTooSmall) {
+  uint8_t pub[4], priv[4];
+  size_t pub_len = sizeof(pub), priv_len = sizeof(priv);
+  EXPECT_EQ(steg_rsa_keygen(512, "s", pub, &pub_len, priv, &priv_len),
+            STEG_ERR_NOSPACE);
+  EXPECT_GT(pub_len, 4u);  // required sizes reported back
+  EXPECT_GT(priv_len, 4u);
+}
+
+TEST_F(CapiTest, BackupAndRecovery) {
+  ASSERT_EQ(steg_plain_write(vol_, "/keep.txt", "persist me", 10), STEG_OK);
+  ASSERT_EQ(steg_create(vol_, "u", "hidden", "uak", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "u", "hidden", "uak"), STEG_OK);
+  ASSERT_EQ(steg_hidden_write(vol_, "u", "hidden", "survives", 8), STEG_OK);
+  ASSERT_EQ(steg_disconnect(vol_, "u", "hidden"), STEG_OK);
+
+  ASSERT_EQ(steg_backup(vol_, backup_.c_str()), STEG_OK);
+  ASSERT_EQ(steg_recovery(recovered_.c_str(), 1024, 32768, backup_.c_str()),
+            STEG_OK);
+
+  stegfs_volume* rec = nullptr;
+  ASSERT_EQ(steg_mount(recovered_.c_str(), 1024, &rec), STEG_OK);
+  char buf[32];
+  size_t n;
+  EXPECT_EQ(steg_plain_read(rec, "/keep.txt", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "persist me");
+  ASSERT_EQ(steg_connect(rec, "u", "hidden", "uak"), STEG_OK);
+  EXPECT_EQ(steg_hidden_read(rec, "u", "hidden", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "survives");
+  EXPECT_EQ(steg_unmount(rec), STEG_OK);
+}
+
+TEST_F(CapiTest, VolumePersistsAcrossRemount) {
+  ASSERT_EQ(steg_create(vol_, "u", "persist", "uak", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "u", "persist", "uak"), STEG_OK);
+  ASSERT_EQ(steg_hidden_write(vol_, "u", "persist", "abc", 3), STEG_OK);
+  ASSERT_EQ(steg_unmount(vol_), STEG_OK);
+  vol_ = nullptr;
+
+  stegfs_volume* again = nullptr;
+  ASSERT_EQ(steg_mount(image_.c_str(), 1024, &again), STEG_OK);
+  ASSERT_EQ(steg_connect(again, "u", "persist", "uak"), STEG_OK);
+  char buf[8];
+  size_t n;
+  ASSERT_EQ(steg_hidden_read(again, "u", "persist", buf, sizeof(buf), &n),
+            STEG_OK);
+  EXPECT_EQ(std::string(buf, n), "abc");
+  vol_ = again;  // TearDown unmounts
+}
+
+TEST_F(CapiTest, NullArgumentsRejected) {
+  EXPECT_EQ(steg_create(nullptr, "u", "o", "k", STEG_TYPE_FILE),
+            STEG_ERR_INVALID);
+  EXPECT_EQ(steg_mount(image_.c_str(), 1024, nullptr), STEG_ERR_INVALID);
+  size_t n;
+  EXPECT_EQ(steg_hidden_read(nullptr, "u", "o", nullptr, 0, &n),
+            STEG_ERR_INVALID);
+}
+
+}  // namespace

@@ -1,0 +1,90 @@
+#include "util/coding.h"
+
+#include <gtest/gtest.h>
+
+namespace stegfs {
+namespace {
+
+TEST(CodingTest, Fixed16RoundTrip) {
+  uint8_t buf[2];
+  EncodeFixed16(buf, 0xbeef);
+  EXPECT_EQ(DecodeFixed16(buf), 0xbeef);
+  EXPECT_EQ(buf[0], 0xef);  // little-endian on disk
+  EXPECT_EQ(buf[1], 0xbe);
+}
+
+TEST(CodingTest, Fixed32RoundTrip) {
+  uint8_t buf[4];
+  EncodeFixed32(buf, 0xdeadbeefu);
+  EXPECT_EQ(DecodeFixed32(buf), 0xdeadbeefu);
+  EXPECT_EQ(buf[0], 0xef);
+}
+
+TEST(CodingTest, Fixed64RoundTrip) {
+  uint8_t buf[8];
+  EncodeFixed64(buf, 0x0123456789abcdefULL);
+  EXPECT_EQ(DecodeFixed64(buf), 0x0123456789abcdefULL);
+  EXPECT_EQ(buf[0], 0xef);
+  EXPECT_EQ(buf[7], 0x01);
+}
+
+TEST(CodingTest, PutGetSequence) {
+  std::string s;
+  PutFixed16(&s, 7);
+  PutFixed32(&s, 99);
+  PutFixed64(&s, 1ULL << 40);
+  PutLengthPrefixed(&s, "hello");
+
+  Decoder dec(s);
+  uint16_t a;
+  uint32_t b;
+  uint64_t c;
+  std::string d;
+  ASSERT_TRUE(dec.GetFixed16(&a));
+  ASSERT_TRUE(dec.GetFixed32(&b));
+  ASSERT_TRUE(dec.GetFixed64(&c));
+  ASSERT_TRUE(dec.GetLengthPrefixed(&d));
+  EXPECT_EQ(a, 7);
+  EXPECT_EQ(b, 99u);
+  EXPECT_EQ(c, 1ULL << 40);
+  EXPECT_EQ(d, "hello");
+  EXPECT_EQ(dec.remaining(), 0u);
+}
+
+TEST(CodingTest, DecoderRejectsTruncation) {
+  std::string s;
+  PutFixed32(&s, 123);
+  s.resize(3);
+  Decoder dec(s);
+  uint32_t v = 0;
+  EXPECT_FALSE(dec.GetFixed32(&v));
+}
+
+TEST(CodingTest, DecoderRejectsTruncatedLengthPrefix) {
+  std::string s;
+  PutLengthPrefixed(&s, "abcdef");
+  s.resize(s.size() - 2);
+  Decoder dec(s);
+  std::string out;
+  EXPECT_FALSE(dec.GetLengthPrefixed(&out));
+}
+
+TEST(CodingTest, DecoderSkip) {
+  std::string s = "abcdefgh";
+  Decoder dec(s);
+  ASSERT_TRUE(dec.Skip(4));
+  EXPECT_EQ(dec.remaining(), 4u);
+  EXPECT_FALSE(dec.Skip(5));
+}
+
+TEST(CodingTest, EmptyLengthPrefixed) {
+  std::string s;
+  PutLengthPrefixed(&s, "");
+  Decoder dec(s);
+  std::string out = "sentinel";
+  ASSERT_TRUE(dec.GetLengthPrefixed(&out));
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace stegfs

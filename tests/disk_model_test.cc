@@ -1,0 +1,145 @@
+#include "blockdev/disk_model.h"
+
+#include <gtest/gtest.h>
+
+namespace stegfs {
+namespace {
+
+DiskModelConfig TestConfig() {
+  DiskModelConfig cfg;  // paper defaults
+  return cfg;
+}
+
+TEST(DiskModelTest, SequentialIsCheaperThanRandom) {
+  DiskModel model(TestConfig(), 1024);
+  // Warm-up request establishes head position and a stream.
+  model.AccessSeconds({0, 1, false});
+  double seq = model.AccessSeconds({1, 1, false});
+
+  DiskModel model2(TestConfig(), 1024);
+  model2.AccessSeconds({0, 1, false});
+  double rnd = model2.AccessSeconds({5000000, 1, false});
+
+  EXPECT_LT(seq * 10, rnd);  // at least 10x cheaper
+}
+
+TEST(DiskModelTest, SequentialStreamStaysCheap) {
+  DiskModel model(TestConfig(), 1024);
+  model.AccessSeconds({100, 1, false});
+  double total = 0;
+  for (int i = 1; i <= 100; ++i) {
+    total += model.AccessSeconds({100 + static_cast<uint64_t>(i), 1, false});
+  }
+  // 100 sequential 1 KB reads: ~controller overhead + transfer each,
+  // which is well under 1 ms per request.
+  EXPECT_LT(total, 0.1);
+  EXPECT_EQ(model.stats().cache_hits, 100u);
+  EXPECT_EQ(model.stats().seeks, 1u);
+}
+
+TEST(DiskModelTest, RandomAccessPaysSeekAndRotation) {
+  DiskModel model(TestConfig(), 1024);
+  double t = model.AccessSeconds({10000000, 1, false});
+  // Seek (>=1.2 ms) + avg rotation (4.17 ms) floor.
+  EXPECT_GT(t, 0.005);
+  EXPECT_LT(t, 0.030);
+}
+
+TEST(DiskModelTest, InterleavedStreamsWithinSegmentsStayCheap) {
+  // Fewer concurrent sequential streams than read segments: all still hit.
+  DiskModelConfig cfg = TestConfig();
+  DiskModel model(cfg, 1024);
+  const int kStreams = 8;  // < read_segments (12)
+  uint64_t bases[kStreams];
+  for (int s = 0; s < kStreams; ++s) {
+    bases[s] = static_cast<uint64_t>(s) * 1000000;
+    model.AccessSeconds({bases[s], 1, false});
+  }
+  uint64_t hits_before = model.stats().cache_hits;
+  for (int round = 1; round <= 50; ++round) {
+    for (int s = 0; s < kStreams; ++s) {
+      model.AccessSeconds({bases[s] + static_cast<uint64_t>(round), 1, false});
+    }
+  }
+  EXPECT_EQ(model.stats().cache_hits - hits_before,
+            static_cast<uint64_t>(50 * kStreams));
+}
+
+TEST(DiskModelTest, TooManyStreamsThrashSegments) {
+  DiskModelConfig cfg = TestConfig();
+  DiskModel model(cfg, 1024);
+  const int kStreams = 32;  // >> read_segments
+  for (int round = 0; round < 20; ++round) {
+    for (int s = 0; s < kStreams; ++s) {
+      model.AccessSeconds(
+          {static_cast<uint64_t>(s) * 1000000 + round, 1, false});
+    }
+  }
+  // With 32 round-robin streams and 12 segments, nearly every request
+  // misses (the LRU segment list turns over completely each round).
+  double hit_rate = static_cast<double>(model.stats().cache_hits) /
+                    (model.stats().reads);
+  EXPECT_LT(hit_rate, 0.05);
+}
+
+TEST(DiskModelTest, WriteSegmentsScarcerThanReadSegments) {
+  DiskModelConfig cfg = TestConfig();
+  EXPECT_LT(cfg.write_segments, cfg.read_segments);
+
+  // 8 interleaved write streams thrash (8 > 6 write segments) while 8
+  // interleaved read streams do not (8 < 12 read segments) — this asymmetry
+  // is what makes figure 7(b) converge earlier than 7(a).
+  DiskModel wr(cfg, 1024);
+  DiskModel rd(cfg, 1024);
+  const int kStreams = 8;
+  for (int round = 0; round < 20; ++round) {
+    for (int s = 0; s < kStreams; ++s) {
+      uint64_t lba = static_cast<uint64_t>(s) * 1000000 + round;
+      wr.AccessSeconds({lba, 1, true});
+      rd.AccessSeconds({lba, 1, false});
+    }
+  }
+  EXPECT_GT(rd.stats().cache_hits, wr.stats().cache_hits * 10);
+}
+
+TEST(DiskModelTest, LargerRequestsCostMoreTransfer) {
+  DiskModel model(TestConfig(), 1024);
+  double t1 = model.AccessSeconds({0, 1, false});
+  model.Reset();
+  double t64 = model.AccessSeconds({0, 64, false});
+  EXPECT_GT(t64, t1);
+  // The difference is pure transfer time: 63 KB at 40 MB/s ~ 1.6 ms.
+  EXPECT_NEAR(t64 - t1, 63.0 * 1024 / 40e6, 0.0005);
+}
+
+TEST(DiskModelTest, SeekCostGrowsWithDistance) {
+  DiskModel near_model(TestConfig(), 1024);
+  near_model.AccessSeconds({0, 1, false});
+  double near_t = near_model.AccessSeconds({1000, 1, false});
+
+  DiskModel far_model(TestConfig(), 1024);
+  far_model.AccessSeconds({0, 1, false});
+  double far_t = far_model.AccessSeconds({15000000, 1, false});
+  EXPECT_GT(far_t, near_t);
+}
+
+TEST(DiskModelTest, ResetClearsState) {
+  DiskModel model(TestConfig(), 1024);
+  model.AccessSeconds({0, 1, false});
+  model.AccessSeconds({1, 1, false});
+  model.Reset();
+  EXPECT_EQ(model.stats().reads, 0u);
+  // After reset, continuing the old stream is a miss again.
+  model.AccessSeconds({2, 1, false});
+  EXPECT_EQ(model.stats().seeks, 1u);
+}
+
+TEST(DiskModelTest, RotationalLatencyMatchesRpm) {
+  DiskModelConfig cfg;
+  cfg.rpm = 7200;
+  EXPECT_NEAR(cfg.RotationMs(), 8.333, 0.01);
+  EXPECT_NEAR(cfg.AvgRotationalLatencyMs(), 4.167, 0.01);
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,181 @@
+// Failure injection: a flaky device wrapper drives error paths through the
+// whole stack — errors must propagate as Status (never crash, never corrupt
+// silently) and the volume must stay usable after the fault clears.
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "core/stegfs.h"
+#include "fs/plain_fs.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+// Fails reads/writes on command.
+class FaultyDevice : public BlockDevice {
+ public:
+  FaultyDevice(uint32_t block_size, uint64_t num_blocks)
+      : inner_(block_size, num_blocks) {}
+
+  uint32_t block_size() const override { return inner_.block_size(); }
+  uint64_t num_blocks() const override { return inner_.num_blocks(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    if (fail_reads_ && CountDown()) {
+      return Status::IOError("injected read fault");
+    }
+    return inner_.ReadBlock(block, buf);
+  }
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    if (fail_writes_ && CountDown()) {
+      return Status::IOError("injected write fault");
+    }
+    return inner_.WriteBlock(block, buf);
+  }
+  Status Flush() override { return inner_.Flush(); }
+
+  // Fail every I/O of the chosen kind after `after` more operations.
+  void FailReads(uint64_t after = 0) {
+    fail_reads_ = true;
+    countdown_ = after;
+  }
+  void FailWrites(uint64_t after = 0) {
+    fail_writes_ = true;
+    countdown_ = after;
+  }
+  void Heal() {
+    fail_reads_ = fail_writes_ = false;
+  }
+
+ private:
+  bool CountDown() {
+    if (countdown_ > 0) {
+      --countdown_;
+      return false;
+    }
+    return true;
+  }
+
+  MemBlockDevice inner_;
+  bool fail_reads_ = false;
+  bool fail_writes_ = false;
+  uint64_t countdown_ = 0;
+};
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+TEST(FaultInjectionTest, PlainFsSurfacesWriteFaults) {
+  FaultyDevice dev(1024, 16384);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  MountOptions mo;
+  mo.write_policy = WritePolicy::kWriteThrough;
+  auto fs = PlainFs::Mount(&dev, mo);
+  ASSERT_TRUE(fs.ok());
+
+  dev.FailWrites(10);
+  Status s = (*fs)->WriteFile("/f", RandomData(200000, 1));
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  // After the fault clears the volume still works.
+  dev.Heal();
+  EXPECT_TRUE((*fs)->WriteFile("/f2", "recovered").ok());
+  EXPECT_EQ((*fs)->ReadFile("/f2").value(), "recovered");
+}
+
+TEST(FaultInjectionTest, PlainFsSurfacesReadFaults) {
+  FaultyDevice dev(1024, 16384);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  MountOptions mo;
+  mo.cache_blocks = 8;  // tiny cache so reads actually hit the device
+  auto fs = PlainFs::Mount(&dev, mo);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->WriteFile("/f", RandomData(100000, 2)).ok());
+  ASSERT_TRUE((*fs)->Flush().ok());
+
+  dev.FailReads();
+  EXPECT_TRUE((*fs)->ReadFile("/f").status().IsIOError());
+  dev.Heal();
+  EXPECT_TRUE((*fs)->ReadFile("/f").ok());
+}
+
+TEST(FaultInjectionTest, MountFailsOnUnreadableSuperblock) {
+  FaultyDevice dev(1024, 16384);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  dev.FailReads();
+  EXPECT_TRUE(PlainFs::Mount(&dev, MountOptions{}).status().IsIOError());
+}
+
+TEST(FaultInjectionTest, HiddenWriteFaultDoesNotKillVolume) {
+  FaultyDevice dev(1024, 32768);
+  StegFormatOptions fo;
+  fo.params.dummy_file_count = 1;
+  fo.params.dummy_file_avg_bytes = 32 << 10;
+  fo.entropy = "fault-test";
+  ASSERT_TRUE(StegFs::Format(&dev, fo).ok());
+  StegFsOptions so;
+  so.mount.write_policy = WritePolicy::kWriteThrough;
+  auto fs = StegFs::Mount(&dev, so);
+  ASSERT_TRUE(fs.ok());
+
+  ASSERT_TRUE(
+      (*fs)->StegCreate("u", "doc", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE((*fs)->StegConnect("u", "doc", "uak").ok());
+
+  dev.FailWrites(50);
+  Status s = (*fs)->HiddenWriteAll("u", "doc", RandomData(400000, 3));
+  EXPECT_TRUE(s.IsIOError()) << s.ToString();
+
+  dev.Heal();
+  // The object under write may be damaged (no journaling — the paper makes
+  // no crash-atomicity claim), but the VOLUME survives: other hidden
+  // objects work, and a further attempt on the damaged object returns a
+  // clean Status rather than corrupting anything.
+  (void)(*fs)->HiddenWriteAll("u", "doc", "retry");  // must not crash
+  std::string content = RandomData(100000, 4);
+  ASSERT_TRUE(
+      (*fs)->StegCreate("u", "doc2", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE((*fs)->StegConnect("u", "doc2", "uak").ok());
+  ASSERT_TRUE((*fs)->HiddenWriteAll("u", "doc2", content).ok());
+  EXPECT_EQ((*fs)->HiddenReadAll("u", "doc2").value(), content);
+}
+
+TEST(FaultInjectionTest, FormatFailsCleanlyOnDeadDevice) {
+  FaultyDevice dev(1024, 16384);
+  dev.FailWrites();
+  StegFormatOptions fo;
+  EXPECT_TRUE(StegFs::Format(&dev, fo).IsIOError());
+}
+
+TEST(FaultInjectionTest, StatusNeverSilentlyOk) {
+  // Every layer must refuse to pretend an injected fault succeeded: write
+  // with faults on, heal, then verify the failed write left no phantom
+  // file behind.
+  FaultyDevice dev(1024, 16384);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  MountOptions mo;
+  mo.write_policy = WritePolicy::kWriteThrough;
+  {
+    auto fs = PlainFs::Mount(&dev, mo);
+    ASSERT_TRUE(fs.ok());
+    dev.FailWrites(2);
+    (void)(*fs)->WriteFile("/ghost", RandomData(50000, 5));
+    dev.Heal();
+    // Do NOT flush: drop the mount with whatever state the failure left.
+    (*fs)->cache()->DropAll();
+  }
+  auto fs = PlainFs::Mount(&dev, mo);
+  ASSERT_TRUE(fs.ok());
+  // The file either does not exist or reads back a consistent prefix —
+  // reading must not return IOError or crash.
+  if ((*fs)->Exists("/ghost")) {
+    EXPECT_TRUE((*fs)->ReadFile("/ghost").ok());
+  }
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,131 @@
+// Cross-scheme property suite: every Table 4 system must behave as a
+// correct (if differently-performing) file store under the same contract.
+#include "baselines/file_store.h"
+
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class FileStoreTest : public ::testing::TestWithParam<SchemeKind> {
+ protected:
+  void SetUp() override {
+    // 64 MB volume, 1 KB blocks.
+    dev_ = std::make_unique<MemBlockDevice>(1024, 65536);
+    FileStoreOptions opts;
+    opts.replication = 4;
+    auto store = CreateFileStore(GetParam(), dev_.get(), opts);
+    ASSERT_TRUE(store.ok()) << store.status().ToString();
+    store_ = std::move(store).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<FileStore> store_;
+};
+
+TEST_P(FileStoreTest, SmallFileRoundTrip) {
+  ASSERT_TRUE(store_->WriteFile("a.txt", "key-a", "hello steganography").ok());
+  auto data = store_->ReadFile("a.txt", "key-a");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data.value(), "hello steganography");
+}
+
+TEST_P(FileStoreTest, MegabyteFileRoundTrip) {
+  std::string content = RandomData(1 << 20, 11);
+  ASSERT_TRUE(store_->WriteFile("big.bin", "key-b", content).ok());
+  auto data = store_->ReadFile("big.bin", "key-b");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), content);
+}
+
+TEST_P(FileStoreTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(store_->WriteFile("f", "k", RandomData(300000, 1)).ok());
+  std::string second = RandomData(200000, 2);
+  ASSERT_TRUE(store_->WriteFile("f", "k", second).ok());
+  auto data = store_->ReadFile("f", "k");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), second);
+}
+
+TEST_P(FileStoreTest, SeveralFilesNoCrosstalk) {
+  // Modest count so StegRand (r=4) stays under its corruption threshold
+  // on a 64 MB volume.
+  std::vector<std::string> contents;
+  for (int i = 0; i < 4; ++i) {
+    contents.push_back(RandomData(100000 + i * 9999, 50 + i));
+    ASSERT_TRUE(store_
+                    ->WriteFile("multi-" + std::to_string(i),
+                                "key-" + std::to_string(i), contents.back())
+                    .ok())
+        << i;
+  }
+  for (int i = 0; i < 4; ++i) {
+    auto data = store_->ReadFile("multi-" + std::to_string(i),
+                                 "key-" + std::to_string(i));
+    ASSERT_TRUE(data.ok()) << i << ": " << data.status().ToString();
+    EXPECT_EQ(data.value(), contents[i]) << i;
+  }
+}
+
+TEST_P(FileStoreTest, MissingFileFailsCleanly) {
+  auto data = store_->ReadFile("never-written", "some-key");
+  EXPECT_FALSE(data.ok());
+}
+
+TEST_P(FileStoreTest, EmptyFileRoundTrip) {
+  ASSERT_TRUE(store_->WriteFile("empty", "k", "").ok());
+  auto data = store_->ReadFile("empty", "k");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().empty());
+}
+
+TEST_P(FileStoreTest, CapacityIsPositiveAndBounded) {
+  EXPECT_GT(store_->CapacityBytes(), 0u);
+  EXPECT_LE(store_->CapacityBytes(), dev_->capacity_bytes());
+}
+
+// Steganographic schemes must reject a wrong key (native ones ignore keys).
+TEST_P(FileStoreTest, WrongKeyBehaviour) {
+  ASSERT_TRUE(store_->WriteFile("locked", "right-key", "payload").ok());
+  auto data = store_->ReadFile("locked", "wrong-key");
+  switch (GetParam()) {
+    case SchemeKind::kCleanDisk:
+    case SchemeKind::kFragDisk:
+      ASSERT_TRUE(data.ok());  // no protection: that is the point
+      EXPECT_EQ(data.value(), "payload");
+      break;
+    default:
+      EXPECT_FALSE(data.ok());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllSchemes, FileStoreTest,
+    ::testing::Values(SchemeKind::kCleanDisk, SchemeKind::kFragDisk,
+                      SchemeKind::kStegCover, SchemeKind::kStegRand,
+                      SchemeKind::kStegFs, SchemeKind::kStegRandIda),
+    [](const ::testing::TestParamInfo<SchemeKind>& info) {
+      return SchemeName(info.param);
+    });
+
+TEST(SchemeNameTest, AllNamesDistinct) {
+  EXPECT_STREQ(SchemeName(SchemeKind::kCleanDisk), "CleanDisk");
+  EXPECT_STREQ(SchemeName(SchemeKind::kFragDisk), "FragDisk");
+  EXPECT_STREQ(SchemeName(SchemeKind::kStegCover), "StegCover");
+  EXPECT_STREQ(SchemeName(SchemeKind::kStegRand), "StegRand");
+  EXPECT_STREQ(SchemeName(SchemeKind::kStegFs), "StegFS");
+  EXPECT_STREQ(SchemeName(SchemeKind::kStegRandIda), "StegRandIDA");
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,180 @@
+// Full-stack integration: one long multi-user scenario exercising every
+// subsystem together — plain churn, hidden objects, UAK hierarchies,
+// sharing, revocation, maintenance, escrow, VFS, backup/recovery, and
+// multiple remounts — with invariants checked at each stage.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blockdev/mem_block_device.h"
+#include "core/backup.h"
+#include "core/escrow.h"
+#include "core/stegfs.h"
+#include "crypto/keys.h"
+#include "util/random.h"
+#include "vfs/vfs.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+TEST(FullStackTest, MultiUserLifecycle) {
+  auto dev = std::make_unique<MemBlockDevice>(1024, 131072);  // 128 MB
+  StegFormatOptions fo;
+  fo.params.dummy_file_count = 3;
+  fo.params.dummy_file_avg_bytes = 128 << 10;
+  fo.entropy = "full-stack";
+  ASSERT_TRUE(StegFs::Format(dev.get(), fo).ok());
+
+  auto mounted = StegFs::Mount(dev.get(), StegFsOptions{});
+  ASSERT_TRUE(mounted.ok());
+  std::unique_ptr<StegFs> fs = std::move(mounted).value();
+
+  // Ground truth the test maintains for every hidden object.
+  std::map<std::string, std::string> truth;  // objname -> content
+
+  // --- Stage 1: plain activity (cover traffic) -------------------------
+  ASSERT_TRUE(fs->plain()->MkDir("/home").ok());
+  ASSERT_TRUE(fs->plain()->MkDir("/home/alice").ok());
+  ASSERT_TRUE(fs->plain()->MkDir("/home/bob").ok());
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(fs->plain()
+                    ->WriteFile("/home/alice/doc" + std::to_string(i),
+                                RandomData(50000 + i * 1111, i))
+                    .ok());
+  }
+
+  // --- Stage 2: alice builds a hidden estate at two levels -------------
+  crypto::UakHierarchy alice("alice-master", 2);
+  truth["diary"] = RandomData(200000, 100);
+  ASSERT_TRUE(fs->StegCreate("alice", "diary", alice.KeyForLevel(1),
+                             HiddenType::kFile)
+                  .ok());
+  ASSERT_TRUE(fs->StegConnect("alice", "diary", alice.KeyForLevel(1)).ok());
+  ASSERT_TRUE(fs->HiddenWriteAll("alice", "diary", truth["diary"]).ok());
+
+  truth["board/minutes"] = RandomData(150000, 101);
+  ASSERT_TRUE(fs->StegCreate("alice", "board", alice.KeyForLevel(2),
+                             HiddenType::kDirectory)
+                  .ok());
+  ASSERT_TRUE(fs->StegCreate("alice", "board/minutes", alice.KeyForLevel(2),
+                             HiddenType::kFile)
+                  .ok());
+  ASSERT_TRUE(
+      fs->StegConnect("alice", "board/minutes", alice.KeyForLevel(2)).ok());
+  ASSERT_TRUE(fs->HiddenWriteAll("alice", "board/minutes",
+                                 truth["board/minutes"])
+                  .ok());
+  ASSERT_TRUE(fs->DisconnectAll("alice").ok());
+
+  // --- Stage 3: bob converts a plain file to hidden (steg_hide) --------
+  std::string bob_secret = RandomData(120000, 102);
+  ASSERT_TRUE(fs->plain()->WriteFile("/home/bob/payroll.xls", bob_secret).ok());
+  ASSERT_TRUE(
+      fs->StegHide("bob", "/home/bob/payroll.xls", "payroll", "bob-uak").ok());
+  EXPECT_FALSE(fs->plain()->Exists("/home/bob/payroll.xls"));
+
+  // --- Stage 4: sharing alice -> bob ------------------------------------
+  auto bob_rsa = crypto::RsaGenerateKeyPair(512, "bob-rsa");
+  ASSERT_TRUE(bob_rsa.ok());
+  ASSERT_TRUE(fs->StegGetEntry("alice", "diary", alice.KeyForLevel(1),
+                               "/tmp-envelope", bob_rsa->public_key, "fs-e1")
+                  .ok());
+  ASSERT_TRUE(fs->StegAddEntry("alice", "/tmp-envelope",
+                               bob_rsa->private_key, "bob-uak")
+                  .ok());
+  ASSERT_TRUE(fs->StegConnect("alice", "diary", "bob-uak").ok());
+  EXPECT_EQ(fs->HiddenReadAll("alice", "diary").value(), truth["diary"]);
+  ASSERT_TRUE(fs->DisconnectAll("alice").ok());
+
+  // --- Stage 5: maintenance + plain churn must disturb nothing ---------
+  for (int round = 0; round < 5; ++round) {
+    ASSERT_TRUE(fs->MaintenanceTick().ok());
+    ASSERT_TRUE(fs->plain()
+                    ->WriteFile("/churn", RandomData(3 << 20, 200 + round))
+                    .ok());
+    ASSERT_TRUE(fs->plain()->Unlink("/churn").ok());
+  }
+
+  // --- Stage 6: VFS access to hidden data ------------------------------
+  {
+    vfs::Vfs session(fs.get(), "alice");
+    ASSERT_TRUE(session.Connect("diary", alice.KeyForLevel(1)).ok());
+    auto fd = session.Open("/steg/diary", vfs::kRead);
+    ASSERT_TRUE(fd.ok());
+    std::string head(16, '\0');
+    auto got = session.Read(*fd, head.data(), 16);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(head, truth["diary"].substr(0, 16));
+    // Session destructor logs off and disconnects.
+  }
+  EXPECT_TRUE(fs->ConnectedObjects("alice").empty());
+
+  // --- Stage 7: escrow + admin purge of bob ----------------------------
+  auto admin = crypto::RsaGenerateKeyPair(512, "admin-rsa");
+  ASSERT_TRUE(admin.ok());
+  KeyEscrow escrow(fs.get(), "/admin/escrow.db");
+  ASSERT_TRUE(
+      escrow.Deposit("bob", "payroll", "bob-uak", admin->public_key, "d1")
+          .ok());
+  auto purged = escrow.PurgeUser(admin->private_key, "bob");
+  ASSERT_TRUE(purged.ok());
+  EXPECT_EQ(*purged, 1);
+  EXPECT_TRUE(fs->StegConnect("bob", "payroll", "bob-uak").IsNotFound());
+
+  // --- Stage 8: revocation ----------------------------------------------
+  ASSERT_TRUE(fs->RevokeSharing("alice", "diary", alice.KeyForLevel(1),
+                                "diary-v2")
+                  .ok());
+  truth["diary-v2"] = truth["diary"];
+  truth.erase("diary");
+  EXPECT_TRUE(fs->StegConnect("alice", "diary", "bob-uak").IsNotFound());
+
+  // --- Stage 9: backup, destroy, recover --------------------------------
+  auto image = StegBackup(fs.get());
+  ASSERT_TRUE(image.ok());
+  fs.reset();
+  auto fresh = std::make_unique<MemBlockDevice>(1024, 131072);
+  ASSERT_TRUE(StegRecover(fresh.get(), image.value()).ok());
+  auto remounted = StegFs::Mount(fresh.get(), StegFsOptions{});
+  ASSERT_TRUE(remounted.ok());
+  fs = std::move(remounted).value();
+
+  // --- Stage 10: verify the whole estate after recovery -----------------
+  // Plain tree intact.
+  for (int i = 0; i < 10; ++i) {
+    auto doc = fs->plain()->ReadFile("/home/alice/doc" + std::to_string(i));
+    ASSERT_TRUE(doc.ok()) << i;
+    EXPECT_EQ(doc.value(), RandomData(50000 + i * 1111, i)) << i;
+  }
+  // Hidden estate intact, at both UAK levels.
+  ASSERT_TRUE(fs->StegConnect("alice", "diary-v2", alice.KeyForLevel(1)).ok());
+  EXPECT_EQ(fs->HiddenReadAll("alice", "diary-v2").value(),
+            truth["diary-v2"]);
+  ASSERT_TRUE(
+      fs->StegConnect("alice", "board/minutes", alice.KeyForLevel(2)).ok());
+  EXPECT_EQ(fs->HiddenReadAll("alice", "board/minutes").value(),
+            truth["board/minutes"]);
+  // bob's purged object stays purged; his UAK still finds nothing.
+  EXPECT_TRUE(fs->StegConnect("bob", "payroll", "bob-uak").IsNotFound());
+  // Maintenance still runs on the recovered volume.
+  EXPECT_TRUE(fs->MaintenanceTick().ok());
+
+  // Level-1 disclosure still cannot reach the level-2 object.
+  crypto::UakHierarchy disclosed(alice.KeyForLevel(1), 1);
+  EXPECT_TRUE(fs->StegConnect("alice", "board/minutes",
+                              disclosed.KeyForLevel(1))
+                  .IsNotFound());
+
+  // The file system must be torn down before `fresh` (its device).
+  fs.reset();
+}
+
+}  // namespace
+}  // namespace stegfs

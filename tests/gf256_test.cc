@@ -1,0 +1,167 @@
+#include "crypto/gf256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+TEST(Gf256Test, MulBasics) {
+  EXPECT_EQ(Gf256::Mul(0, 77), 0);
+  EXPECT_EQ(Gf256::Mul(1, 77), 77);
+  EXPECT_EQ(Gf256::Mul(2, 0x80), 0x1b);  // AES xtime wraparound
+  // Known AES-field product: 0x57 * 0x83 = 0xc1 (FIPS 197 example).
+  EXPECT_EQ(Gf256::Mul(0x57, 0x83), 0xc1);
+}
+
+TEST(Gf256Test, MulIsCommutativeAndAssociative) {
+  Xoshiro rng(1);
+  for (int i = 0; i < 2000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(rng.Next());
+    uint8_t c = static_cast<uint8_t>(rng.Next());
+    EXPECT_EQ(Gf256::Mul(a, b), Gf256::Mul(b, a));
+    EXPECT_EQ(Gf256::Mul(Gf256::Mul(a, b), c),
+              Gf256::Mul(a, Gf256::Mul(b, c)));
+    // Distributivity over XOR (field addition).
+    EXPECT_EQ(Gf256::Mul(a, b ^ c),
+              Gf256::Mul(a, b) ^ Gf256::Mul(a, c));
+  }
+}
+
+TEST(Gf256Test, InverseRoundTrip) {
+  for (int a = 1; a < 256; ++a) {
+    uint8_t inv = Gf256::Inv(static_cast<uint8_t>(a));
+    EXPECT_EQ(Gf256::Mul(static_cast<uint8_t>(a), inv), 1) << a;
+  }
+}
+
+TEST(Gf256Test, DivIsMulByInverse) {
+  Xoshiro rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    uint8_t a = static_cast<uint8_t>(rng.Next());
+    uint8_t b = static_cast<uint8_t>(1 + rng.Uniform(255));
+    EXPECT_EQ(Gf256::Div(a, b), Gf256::Mul(a, Gf256::Inv(b)));
+  }
+}
+
+TEST(Gf256Test, PowMatchesRepeatedMul) {
+  uint8_t acc = 1;
+  for (unsigned e = 0; e < 20; ++e) {
+    EXPECT_EQ(Gf256::Pow(3, e), acc) << e;
+    acc = Gf256::Mul(acc, 3);
+  }
+}
+
+std::vector<uint8_t> RandomBytes(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::vector<uint8_t> v(n);
+  rng.FillBytes(v.data(), n);
+  return v;
+}
+
+TEST(IdaTest, RoundTripFromDataShares) {
+  InformationDispersal ida(4, 7);
+  auto data = RandomBytes(10000, 1);
+  auto shares = ida.Encode(data);
+  ASSERT_EQ(shares.size(), 7u);
+  auto back = ida.Decode({shares[0], shares[1], shares[2], shares[3]});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(IdaTest, RoundTripFromParityShares) {
+  InformationDispersal ida(4, 8);
+  auto data = RandomBytes(5000, 2);
+  auto shares = ida.Encode(data);
+  auto back = ida.Decode({shares[4], shares[5], shares[6], shares[7]});
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(IdaTest, EveryMSubsetReconstructs) {
+  const int m = 3, n = 6;
+  InformationDispersal ida(m, n);
+  auto data = RandomBytes(1000, 3);
+  auto shares = ida.Encode(data);
+  // All C(6,3) = 20 subsets.
+  for (int a = 0; a < n; ++a) {
+    for (int b = a + 1; b < n; ++b) {
+      for (int c = b + 1; c < n; ++c) {
+        auto back = ida.Decode({shares[a], shares[b], shares[c]});
+        ASSERT_TRUE(back.ok()) << a << "," << b << "," << c;
+        EXPECT_EQ(back.value(), data) << a << "," << b << "," << c;
+      }
+    }
+  }
+}
+
+TEST(IdaTest, FewerThanMSharesRejected) {
+  InformationDispersal ida(3, 5);
+  auto shares = ida.Encode(RandomBytes(100, 4));
+  EXPECT_FALSE(ida.Decode({shares[0], shares[1]}).ok());
+  // Duplicate indices don't count twice.
+  EXPECT_FALSE(ida.Decode({shares[0], shares[0], shares[0]}).ok());
+}
+
+TEST(IdaTest, ShareSizeIsDataOverM) {
+  InformationDispersal ida(4, 8);
+  auto data = RandomBytes(40000, 5);
+  auto shares = ida.Encode(data);
+  // (8-byte frame + data) / 4, rounded up.
+  EXPECT_EQ(shares[0].bytes.size(), (40008u + 3) / 4);
+  // Total storage = n/m x data (the IDA advantage over replication).
+  size_t total = 0;
+  for (const auto& s : shares) total += s.bytes.size();
+  EXPECT_NEAR(static_cast<double>(total) / data.size(), 8.0 / 4.0, 0.01);
+}
+
+TEST(IdaTest, EmptyAndTinyInputs) {
+  InformationDispersal ida(3, 5);
+  for (size_t len : {0u, 1u, 2u, 3u, 7u}) {
+    auto data = RandomBytes(len, 10 + len);
+    auto shares = ida.Encode(data);
+    auto back = ida.Decode({shares[1], shares[3], shares[4]});
+    ASSERT_TRUE(back.ok()) << len;
+    EXPECT_EQ(back.value(), data) << len;
+  }
+}
+
+TEST(IdaTest, MEqualsOneIsReplication) {
+  InformationDispersal ida(1, 4);
+  auto data = RandomBytes(500, 6);
+  auto shares = ida.Encode(data);
+  for (const auto& s : shares) {
+    auto back = ida.Decode({s});
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(back.value(), data);
+  }
+}
+
+TEST(IdaTest, MEqualsNIsStriping) {
+  InformationDispersal ida(5, 5);
+  auto data = RandomBytes(1234, 7);
+  auto shares = ida.Encode(data);
+  auto back = ida.Decode(shares);
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(back.value(), data);
+}
+
+TEST(IdaTest, CorruptedShareYieldsWrongDataNotCrash) {
+  InformationDispersal ida(3, 5);
+  auto data = RandomBytes(300, 8);
+  auto shares = ida.Encode(data);
+  shares[4].bytes[10] ^= 0xff;
+  auto back = ida.Decode({shares[2], shares[3], shares[4]});
+  // IDA has no integrity check (callers MAC their shares); decode either
+  // fails structurally or returns different bytes.
+  if (back.ok()) {
+    EXPECT_NE(back.value(), data);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,130 @@
+#include "core/hidden_directory.h"
+
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+
+namespace stegfs {
+namespace {
+
+TEST(HiddenDirCodecTest, EmptyRoundTrip) {
+  std::string blob = EncodeHiddenDir({});
+  auto back = DecodeHiddenDir(blob);
+  ASSERT_TRUE(back.ok());
+  EXPECT_TRUE(back->empty());
+}
+
+TEST(HiddenDirCodecTest, EntriesRoundTrip) {
+  std::vector<HiddenDirEntry> entries = {
+      {"reports/q1.xls", HiddenType::kFile, std::string(32, 'k')},
+      {"reports", HiddenType::kDirectory, "another-fak"},
+      {"name with spaces and \xff bytes", HiddenType::kFile,
+       std::string("\x00\x01\x02", 3)},
+  };
+  auto back = DecodeHiddenDir(EncodeHiddenDir(entries));
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 3u);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EXPECT_EQ((*back)[i].name, entries[i].name);
+    EXPECT_EQ((*back)[i].type, entries[i].type);
+    EXPECT_EQ((*back)[i].fak, entries[i].fak);
+  }
+}
+
+TEST(HiddenDirCodecTest, TruncationRejected) {
+  std::string blob = EncodeHiddenDir(
+      {{"file", HiddenType::kFile, "fak-material"}});
+  for (size_t cut : {size_t{0}, size_t{2}, size_t{5}, blob.size() - 1}) {
+    EXPECT_FALSE(DecodeHiddenDir(blob.substr(0, cut)).ok())
+        << "cut at " << cut;
+  }
+}
+
+TEST(HiddenDirCodecTest, BadTypeRejected) {
+  std::vector<HiddenDirEntry> entries = {{"f", HiddenType::kFile, "k"}};
+  std::string blob = EncodeHiddenDir(entries);
+  // The type byte sits after count(4) + name-len(4) + name(1).
+  blob[9] = 0x7f;
+  EXPECT_TRUE(DecodeHiddenDir(blob).status().IsCorruption());
+}
+
+TEST(HiddenDirViewTest, FindUpsertErase) {
+  std::vector<HiddenDirEntry> entries;
+  HiddenDirView::Upsert(&entries, {"a", HiddenType::kFile, "k1"});
+  HiddenDirView::Upsert(&entries, {"b", HiddenType::kFile, "k2"});
+  EXPECT_EQ(HiddenDirView::Find(entries, "a"), 0);
+  EXPECT_EQ(HiddenDirView::Find(entries, "b"), 1);
+  EXPECT_EQ(HiddenDirView::Find(entries, "c"), -1);
+
+  // Upsert replaces in place.
+  HiddenDirView::Upsert(&entries, {"a", HiddenType::kDirectory, "k3"});
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].fak, "k3");
+
+  EXPECT_TRUE(HiddenDirView::Erase(&entries, "a"));
+  EXPECT_FALSE(HiddenDirView::Erase(&entries, "a"));
+  EXPECT_EQ(entries.size(), 1u);
+}
+
+class HiddenDirStoreTest : public ::testing::Test {
+ protected:
+  HiddenDirStoreTest()
+      : layout_(Layout::Compute(1024, 16384, 256)),
+        dev_(layout_.block_size, layout_.num_blocks),
+        cache_(&dev_, 256),
+        bitmap_(layout_),
+        rng_(3) {
+    vol_.cache = &cache_;
+    vol_.bitmap = &bitmap_;
+    vol_.layout = layout_;
+    vol_.rng = &rng_;
+    vol_.probe_limit = 1000;
+  }
+
+  Layout layout_;
+  MemBlockDevice dev_;
+  BufferCache cache_;
+  BlockBitmap bitmap_;
+  Xoshiro rng_;
+  HiddenVolume vol_;
+};
+
+TEST_F(HiddenDirStoreTest, StoreLoadThroughHiddenObject) {
+  auto dir =
+      HiddenObject::Create(vol_, "dir", "key", HiddenType::kDirectory);
+  ASSERT_TRUE(dir.ok());
+  std::vector<HiddenDirEntry> entries;
+  for (int i = 0; i < 100; ++i) {
+    entries.push_back({"entry-" + std::to_string(i), HiddenType::kFile,
+                       "fak-" + std::to_string(i)});
+  }
+  ASSERT_TRUE(HiddenDirView::Store(dir->get(), entries).ok());
+  dir->reset();
+
+  auto reopened = HiddenObject::Open(vol_, "dir", "key");
+  ASSERT_TRUE(reopened.ok());
+  auto back = HiddenDirView::Load(reopened->get());
+  ASSERT_TRUE(back.ok());
+  ASSERT_EQ(back->size(), 100u);
+  EXPECT_EQ((*back)[42].name, "entry-42");
+  EXPECT_EQ((*back)[42].fak, "fak-42");
+}
+
+TEST_F(HiddenDirStoreTest, LoadOnFileObjectRejected) {
+  auto file = HiddenObject::Create(vol_, "f", "k", HiddenType::kFile);
+  ASSERT_TRUE(file.ok());
+  EXPECT_TRUE(HiddenDirView::Load(file->get()).status().IsInvalidArgument());
+  EXPECT_TRUE(
+      HiddenDirView::Store(file->get(), {}).IsInvalidArgument());
+}
+
+TEST_F(HiddenDirStoreTest, EmptyDirectoryLoadsEmpty) {
+  auto dir = HiddenObject::Create(vol_, "d", "k", HiddenType::kDirectory);
+  ASSERT_TRUE(dir.ok());
+  auto entries = HiddenDirView::Load(dir->get());
+  ASSERT_TRUE(entries.ok());
+  EXPECT_TRUE(entries->empty());
+}
+
+}  // namespace
+}  // namespace stegfs

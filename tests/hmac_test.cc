@@ -1,0 +1,74 @@
+#include "crypto/hmac.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+std::string HexOf(const Sha256Digest& d) {
+  return HexEncode(d.data(), d.size());
+}
+
+// RFC 4231 test case 1.
+TEST(HmacTest, Rfc4231Case1) {
+  std::string key(20, '\x0b');
+  EXPECT_EQ(HexOf(HmacSha256(key, "Hi There")),
+            "b0344c61d8db38535ca8afceaf0bf12b881dc200c9833da726e9376c2e32cff7");
+}
+
+// RFC 4231 test case 2: short key.
+TEST(HmacTest, Rfc4231Case2) {
+  EXPECT_EQ(HexOf(HmacSha256("Jefe", "what do ya want for nothing?")),
+            "5bdcc146bf60754e6a042426089575c75a003f089d2739839dec58b964ec3843");
+}
+
+// RFC 4231 test case 3: key and data of 0xaa/0xdd bytes.
+TEST(HmacTest, Rfc4231Case3) {
+  std::string key(20, '\xaa');
+  std::string data(50, '\xdd');
+  EXPECT_EQ(HexOf(HmacSha256(key, data)),
+            "773ea91e36800e46854db8ebd09181a72959098b3ef8c122d9635514ced565fe");
+}
+
+// RFC 4231 test case 6: key longer than the block size (hashed first).
+TEST(HmacTest, Rfc4231Case6LongKey) {
+  std::string key(131, '\xaa');
+  EXPECT_EQ(HexOf(HmacSha256(key, "Test Using Larger Than Block-Size Key - "
+                                  "Hash Key First")),
+            "60e431591ee0b67f0d8a26aacbf5b77f8e0bc6213728c5140546040f0ee37f54");
+}
+
+TEST(HmacTest, DifferentKeysDifferentMacs) {
+  EXPECT_NE(HexOf(HmacSha256("key1", "data")),
+            HexOf(HmacSha256("key2", "data")));
+}
+
+TEST(HkdfTest, DeterministicAndLabelSeparated) {
+  auto a = HkdfExpand("master", "label-a", 64);
+  auto b = HkdfExpand("master", "label-a", 64);
+  auto c = HkdfExpand("master", "label-b", 64);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(a.size(), 64u);
+}
+
+TEST(HkdfTest, PrefixConsistency) {
+  // Expanding to a shorter length yields a prefix of the longer expansion.
+  auto short_out = HkdfExpand("k", "info", 16);
+  auto long_out = HkdfExpand("k", "info", 48);
+  EXPECT_TRUE(std::equal(short_out.begin(), short_out.end(),
+                         long_out.begin()));
+}
+
+TEST(HkdfTest, OddLengths) {
+  for (size_t n : {1u, 31u, 32u, 33u, 100u}) {
+    EXPECT_EQ(HkdfExpand("k", "i", n).size(), n);
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

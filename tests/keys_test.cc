@@ -1,0 +1,71 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+TEST(KeysTest, LocatorSeedDeterministic) {
+  EXPECT_EQ(LocatorSeed("uid1/path", "key"), LocatorSeed("uid1/path", "key"));
+}
+
+TEST(KeysTest, LocatorSeedDependsOnBothInputs) {
+  auto base = LocatorSeed("name", "key");
+  EXPECT_NE(base, LocatorSeed("name2", "key"));
+  EXPECT_NE(base, LocatorSeed("name", "key2"));
+}
+
+TEST(KeysTest, SignatureDiffersFromLocatorSeed) {
+  // Domain separation: the locator sequence must not reveal the signature.
+  EXPECT_NE(LocatorSeed("n", "k"), FileSignature("n", "k"));
+}
+
+TEST(KeysTest, NoConcatenationAmbiguity) {
+  // ("ab","c") and ("a","bc") must produce different seeds — the separator
+  // byte prevents physical-name/key boundary confusion.
+  EXPECT_NE(LocatorSeed("ab", "c"), LocatorSeed("a", "bc"));
+  EXPECT_NE(FileSignature("ab", "c"), FileSignature("a", "bc"));
+}
+
+TEST(UakHierarchyTest, TopKeyIsHighestLevel) {
+  UakHierarchy h("top-secret-key", 3);
+  EXPECT_EQ(h.levels(), 3);
+  EXPECT_EQ(h.KeyForLevel(3), "top-secret-key");
+}
+
+TEST(UakHierarchyTest, LowerLevelsDeriveFromHigher) {
+  UakHierarchy h("master", 4);
+  // Reconstructing from the level-3 key gives identical level-1..3 keys.
+  UakHierarchy sub(h.KeyForLevel(3), 3);
+  EXPECT_EQ(sub.KeyForLevel(1), h.KeyForLevel(1));
+  EXPECT_EQ(sub.KeyForLevel(2), h.KeyForLevel(2));
+  EXPECT_EQ(sub.KeyForLevel(3), h.KeyForLevel(3));
+}
+
+TEST(UakHierarchyTest, LevelsAreDistinct) {
+  UakHierarchy h("master", 5);
+  for (int i = 1; i <= 5; ++i) {
+    for (int j = i + 1; j <= 5; ++j) {
+      EXPECT_NE(h.KeyForLevel(i), h.KeyForLevel(j));
+    }
+  }
+}
+
+TEST(UakHierarchyTest, KeysUpToLevel) {
+  UakHierarchy h("master", 4);
+  auto keys = h.KeysUpToLevel(2);
+  ASSERT_EQ(keys.size(), 2u);
+  EXPECT_EQ(keys[0], h.KeyForLevel(1));
+  EXPECT_EQ(keys[1], h.KeyForLevel(2));
+}
+
+TEST(UakHierarchyTest, SingleLevel) {
+  UakHierarchy h("only", 1);
+  EXPECT_EQ(h.levels(), 1);
+  EXPECT_EQ(h.KeyForLevel(1), "only");
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

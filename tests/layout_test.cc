@@ -1,0 +1,97 @@
+#include "fs/layout.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace stegfs {
+namespace {
+
+TEST(LayoutTest, RegionsAreContiguousAndOrdered) {
+  Layout l = Layout::Compute(1024, 1 << 20, 16384);
+  EXPECT_EQ(l.bitmap_start, 1u);
+  // 2^20 blocks at 8192 bits/block -> 128 bitmap blocks.
+  EXPECT_EQ(l.bitmap_blocks, 128u);
+  EXPECT_EQ(l.inode_table_start, 129u);
+  // 16384 inodes * 128 B = 2 MB -> 2048 blocks.
+  EXPECT_EQ(l.inode_table_blocks, 2048u);
+  EXPECT_EQ(l.data_start, 2177u);
+  EXPECT_EQ(l.data_blocks(), (1u << 20) - 2177u);
+}
+
+TEST(LayoutTest, RoundsUpPartialBlocks) {
+  // 1000 blocks at 512 B = 4096 bits/block -> 1 bitmap block.
+  Layout l = Layout::Compute(512, 1000, 100);
+  EXPECT_EQ(l.bitmap_blocks, 1u);
+  // 100 inodes * 128 = 12800 B -> 25 blocks at 512 B.
+  EXPECT_EQ(l.inode_table_blocks, 25u);
+}
+
+TEST(LayoutTest, DataBlockPredicate) {
+  Layout l = Layout::Compute(1024, 4096, 256);
+  EXPECT_FALSE(l.IsDataBlock(0));
+  EXPECT_FALSE(l.IsDataBlock(l.data_start - 1));
+  EXPECT_TRUE(l.IsDataBlock(l.data_start));
+  EXPECT_TRUE(l.IsDataBlock(4095));
+  EXPECT_FALSE(l.IsDataBlock(4096));
+}
+
+TEST(SuperblockTest, EncodeDecodeRoundTrip) {
+  Superblock sb;
+  sb.block_size = 2048;
+  sb.num_blocks = 500000;
+  sb.num_inodes = 8192;
+  sb.steg_formatted = 1;
+  sb.steg.abandoned_fraction = 0.015;
+  sb.steg.free_pool_min = 2;
+  sb.steg.free_pool_max = 12;
+  sb.steg.dummy_file_count = 7;
+  sb.steg.dummy_file_avg_bytes = 2 << 20;
+  for (size_t i = 0; i < sb.dummy_seed.size(); ++i) {
+    sb.dummy_seed[i] = static_cast<uint8_t>(i);
+  }
+
+  std::vector<uint8_t> buf(2048);
+  ASSERT_TRUE(sb.EncodeTo(buf.data(), buf.size()).ok());
+  auto decoded = Superblock::DecodeFrom(buf.data(), buf.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  EXPECT_EQ(decoded->block_size, 2048u);
+  EXPECT_EQ(decoded->num_blocks, 500000u);
+  EXPECT_EQ(decoded->num_inodes, 8192u);
+  EXPECT_EQ(decoded->steg_formatted, 1);
+  EXPECT_NEAR(decoded->steg.abandoned_fraction, 0.015, 1e-6);
+  EXPECT_EQ(decoded->steg.free_pool_min, 2u);
+  EXPECT_EQ(decoded->steg.free_pool_max, 12u);
+  EXPECT_EQ(decoded->steg.dummy_file_count, 7u);
+  EXPECT_EQ(decoded->steg.dummy_file_avg_bytes, 2u << 20);
+  EXPECT_EQ(decoded->dummy_seed, sb.dummy_seed);
+}
+
+TEST(SuperblockTest, RejectsBadMagic) {
+  std::vector<uint8_t> buf(512, 0);
+  EXPECT_TRUE(Superblock::DecodeFrom(buf.data(), buf.size())
+                  .status()
+                  .IsCorruption());
+}
+
+TEST(SuperblockTest, RejectsGeometryOverflow) {
+  Superblock sb;
+  sb.block_size = 512;
+  sb.num_blocks = 4;  // smaller than its own metadata
+  sb.num_inodes = 10000;
+  std::vector<uint8_t> buf(512);
+  ASSERT_TRUE(sb.EncodeTo(buf.data(), buf.size()).ok());
+  EXPECT_FALSE(Superblock::DecodeFrom(buf.data(), buf.size()).ok());
+}
+
+TEST(StegParamsTest, PaperTable1Defaults) {
+  StegParams p;
+  EXPECT_DOUBLE_EQ(p.abandoned_fraction, 0.01);  // 1%
+  EXPECT_EQ(p.free_pool_min, 0u);
+  EXPECT_EQ(p.free_pool_max, 10u);
+  EXPECT_EQ(p.dummy_file_count, 10u);
+  EXPECT_EQ(p.dummy_file_avg_bytes, 1u << 20);  // 1 MB
+}
+
+}  // namespace
+}  // namespace stegfs

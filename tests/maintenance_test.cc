@@ -1,0 +1,127 @@
+// Long-run properties of the dummy-file maintenance loop (paper 3.1): the
+// churn must be perpetual (bitmap keeps changing), bounded (dummy sizes
+// hover near their configured average), and harmless (hidden/plain data and
+// space accounting stay intact over many ticks).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "blockdev/mem_block_device.h"
+#include "core/stegfs.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class MaintenanceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 65536);
+    StegFormatOptions fo;
+    fo.params.dummy_file_count = 4;
+    fo.params.dummy_file_avg_bytes = 128 << 10;
+    fo.entropy = "maintenance-test";
+    ASSERT_TRUE(StegFs::Format(dev_.get(), fo).ok());
+    auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  // Snapshot of allocated block numbers (what a bitmap-diffing intruder
+  // records).
+  std::set<uint64_t> BitmapSnapshot() {
+    std::set<uint64_t> allocated;
+    const Layout& l = fs_->plain()->layout();
+    for (uint64_t b = l.data_start; b < l.num_blocks; ++b) {
+      if (fs_->plain()->bitmap()->IsAllocated(b)) allocated.insert(b);
+    }
+    return allocated;
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegFs> fs_;
+};
+
+TEST_F(MaintenanceTest, ChurnIsPerpetual) {
+  // Across 20 ticks, the allocation picture must keep changing — a static
+  // picture would let snapshot differencing isolate real hidden writes.
+  auto prev = BitmapSnapshot();
+  int changed_rounds = 0;
+  for (int tick = 0; tick < 20; ++tick) {
+    ASSERT_TRUE(fs_->MaintenanceTick().ok());
+    auto now = BitmapSnapshot();
+    if (now != prev) ++changed_rounds;
+    prev = std::move(now);
+  }
+  EXPECT_GE(changed_rounds, 15);
+}
+
+TEST_F(MaintenanceTest, AllocationStaysBounded) {
+  // Dummies grow and shrink around their average: total allocation must
+  // not drift upward without bound.
+  uint64_t start_alloc = 65536 - fs_->plain()->bitmap()->free_count();
+  uint64_t max_alloc = start_alloc;
+  for (int tick = 0; tick < 60; ++tick) {
+    ASSERT_TRUE(fs_->MaintenanceTick().ok());
+    max_alloc = std::max(
+        max_alloc, 65536 - fs_->plain()->bitmap()->free_count());
+  }
+  // 4 dummies x 128 KB average: allow 3x average in flight + pools.
+  EXPECT_LT(max_alloc, start_alloc + 4 * 3 * 128 + 512);
+}
+
+TEST_F(MaintenanceTest, SurvivesManyTicksWithUserData) {
+  std::string content = RandomData(700000, 5);
+  ASSERT_TRUE(
+      fs_->StegCreate("u", "vault", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "vault", "uak").ok());
+  ASSERT_TRUE(fs_->HiddenWriteAll("u", "vault", content).ok());
+  ASSERT_TRUE(fs_->DisconnectAll("u").ok());
+  ASSERT_TRUE(fs_->plain()->WriteFile("/plain.bin", content).ok());
+
+  for (int tick = 0; tick < 50; ++tick) {
+    ASSERT_TRUE(fs_->MaintenanceTick().ok()) << tick;
+  }
+
+  ASSERT_TRUE(fs_->StegConnect("u", "vault", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "vault").value(), content);
+  EXPECT_EQ(fs_->plain()->ReadFile("/plain.bin").value(), content);
+}
+
+TEST_F(MaintenanceTest, TicksPersistAcrossRemount) {
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(fs_->MaintenanceTick().ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+  auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  fs_ = std::move(fs).value();
+  // Dummies remain maintainable after remount.
+  for (int i = 0; i < 5; ++i) {
+    ASSERT_TRUE(fs_->MaintenanceTick().ok()) << i;
+  }
+}
+
+TEST_F(MaintenanceTest, NoLeaksOverManyTicks) {
+  // Allocated-but-unlisted population = dummies + pools + abandoned. After
+  // many ticks it must still be fully consistent: free count + allocated
+  // count == total, and a remount computes the same free count.
+  for (int tick = 0; tick < 30; ++tick) {
+    ASSERT_TRUE(fs_->MaintenanceTick().ok());
+  }
+  uint64_t free_in_memory = fs_->plain()->bitmap()->free_count();
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+  auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_EQ((*fs)->plain()->bitmap()->free_count(), free_in_memory);
+}
+
+}  // namespace
+}  // namespace stegfs

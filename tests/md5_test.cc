@@ -1,0 +1,53 @@
+#include "crypto/md5.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+std::string HexOf(const Md5Digest& d) { return HexEncode(d.data(), d.size()); }
+
+// RFC 1321 appendix A.5 test suite.
+TEST(Md5Test, Rfc1321Vectors) {
+  EXPECT_EQ(HexOf(Md5::Hash("")), "d41d8cd98f00b204e9800998ecf8427e");
+  EXPECT_EQ(HexOf(Md5::Hash("a")), "0cc175b9c0f1b6a831c399e269772661");
+  EXPECT_EQ(HexOf(Md5::Hash("abc")), "900150983cd24fb0d6963f7d28e17f72");
+  EXPECT_EQ(HexOf(Md5::Hash("message digest")),
+            "f96b697d7cb7938d525a2f31aaf161d0");
+  EXPECT_EQ(HexOf(Md5::Hash("abcdefghijklmnopqrstuvwxyz")),
+            "c3fcd3d76192e4007dfb496cca67e13b");
+  EXPECT_EQ(
+      HexOf(Md5::Hash(
+          "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789")),
+      "d174ab98d277d9f5a5611c2c9f419d9f");
+  EXPECT_EQ(HexOf(Md5::Hash("1234567890123456789012345678901234567890123456789"
+                            "0123456789012345678901234567890")),
+            "57edf4a22be3c955ac49da2e2107b67a");
+}
+
+TEST(Md5Test, IncrementalMatchesOneShot) {
+  std::string msg(200, 'q');
+  Md5Digest oneshot = Md5::Hash(msg);
+  for (size_t split : {0u, 1u, 63u, 64u, 65u, 127u, 128u, 199u, 200u}) {
+    Md5 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Md5Test, PaddingBoundaries) {
+  for (size_t len : {55u, 56u, 57u, 63u, 64u, 65u}) {
+    std::string msg(len, 'z');
+    Md5 incremental;
+    for (char c : msg) incremental.Update(&c, 1);
+    EXPECT_EQ(incremental.Finish(), Md5::Hash(msg)) << "length " << len;
+  }
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

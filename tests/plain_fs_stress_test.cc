@@ -1,0 +1,162 @@
+// PlainFs stress and edge cases: directories spanning many blocks, name
+// limits, slot reuse, deep nesting, and randomized churn against a model.
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "blockdev/mem_block_device.h"
+#include "fs/plain_fs.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class PlainFsStressTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 65536);  // 64 MB
+    FormatOptions fo;
+    fo.num_inodes = 2048;
+    ASSERT_TRUE(PlainFs::Format(dev_.get(), fo).ok());
+    auto fs = PlainFs::Mount(dev_.get(), MountOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<PlainFs> fs_;
+};
+
+TEST_F(PlainFsStressTest, DirectorySpanningManyBlocks) {
+  // 500 entries x 64 bytes = 32000 bytes of directory data (32 blocks).
+  ASSERT_TRUE(fs_->MkDir("/big").ok());
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE(
+        fs_->WriteFile("/big/file" + std::to_string(i), "x").ok())
+        << i;
+  }
+  auto entries = fs_->List("/big");
+  ASSERT_TRUE(entries.ok());
+  EXPECT_EQ(entries->size(), 500u);
+  // Spot-check lookups across the span.
+  for (int i : {0, 123, 250, 499}) {
+    EXPECT_TRUE(fs_->Exists("/big/file" + std::to_string(i))) << i;
+  }
+}
+
+TEST_F(PlainFsStressTest, DirectorySlotReuse) {
+  ASSERT_TRUE(fs_->MkDir("/d").ok());
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(
+          fs_->WriteFile("/d/f" + std::to_string(i), "data").ok());
+    }
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_TRUE(fs_->Unlink("/d/f" + std::to_string(i)).ok());
+    }
+  }
+  // Freed slots are reused: the directory never grows past ~one round.
+  auto info = fs_->Stat("/d");
+  ASSERT_TRUE(info.ok());
+  EXPECT_LE(info->size, 50u * 64 + 64);
+}
+
+TEST_F(PlainFsStressTest, NameLengthLimits) {
+  std::string max_name(kMaxNameLen, 'n');
+  ASSERT_TRUE(fs_->WriteFile("/" + max_name, "ok").ok());
+  EXPECT_EQ(fs_->ReadFile("/" + max_name).value(), "ok");
+  std::string too_long(kMaxNameLen + 1, 'n');
+  EXPECT_TRUE(fs_->CreateFile("/" + too_long).IsInvalidArgument());
+}
+
+TEST_F(PlainFsStressTest, DeepNesting) {
+  std::string path;
+  for (int depth = 0; depth < 24; ++depth) {
+    path += "/d" + std::to_string(depth);
+    ASSERT_TRUE(fs_->MkDir(path).ok()) << path;
+  }
+  ASSERT_TRUE(fs_->WriteFile(path + "/leaf", "deep").ok());
+  EXPECT_EQ(fs_->ReadFile(path + "/leaf").value(), "deep");
+}
+
+TEST_F(PlainFsStressTest, InodeExhaustionSurfacesCleanly) {
+  Status s;
+  int created = 0;
+  for (int i = 0; i < 5000 && s.ok(); ++i) {
+    s = fs_->CreateFile("/x" + std::to_string(i));
+    if (s.ok()) ++created;
+  }
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+  EXPECT_GT(created, 2000);  // 2048 inodes minus root
+  // The file system still functions after hitting the wall.
+  ASSERT_TRUE(fs_->Unlink("/x0").ok());
+  EXPECT_TRUE(fs_->CreateFile("/recycled").ok());
+}
+
+TEST_F(PlainFsStressTest, RandomizedChurnAgainstModel) {
+  // 300 random operations mirrored against an in-memory model; contents
+  // must match exactly at every step's end.
+  std::map<std::string, std::string> model;
+  Xoshiro rng(99);
+  for (int op = 0; op < 300; ++op) {
+    int kind = static_cast<int>(rng.Uniform(10));
+    std::string name = "/churn" + std::to_string(rng.Uniform(20));
+    if (kind < 5) {  // write
+      std::string content = RandomData(rng.Uniform(200000), op);
+      ASSERT_TRUE(fs_->WriteFile(name, content).ok()) << op;
+      model[name] = content;
+    } else if (kind < 7 && !model.empty()) {  // delete random existing
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      ASSERT_TRUE(fs_->Unlink(it->first).ok()) << op;
+      model.erase(it);
+    } else if (kind < 9 && !model.empty()) {  // verify random existing
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      auto data = fs_->ReadFile(it->first);
+      ASSERT_TRUE(data.ok()) << op;
+      ASSERT_EQ(data.value(), it->second) << op;
+    } else {  // truncate random existing
+      if (model.empty()) continue;
+      auto it = model.begin();
+      std::advance(it, rng.Uniform(model.size()));
+      uint64_t new_size = rng.Uniform(it->second.size() + 1);
+      ASSERT_TRUE(fs_->TruncateFile(it->first, new_size).ok()) << op;
+      it->second.resize(new_size);
+    }
+  }
+  // Final audit of everything.
+  for (const auto& [name, content] : model) {
+    auto data = fs_->ReadFile(name);
+    ASSERT_TRUE(data.ok()) << name;
+    EXPECT_EQ(data.value(), content) << name;
+  }
+  // No leaks: allocated blocks == blocks referenced by inodes + metadata.
+  std::vector<uint8_t> referenced;
+  ASSERT_TRUE(fs_->CollectReferencedBlocks(&referenced).ok());
+  for (uint64_t b = 0; b < fs_->layout().num_blocks; ++b) {
+    EXPECT_EQ(fs_->bitmap()->IsAllocated(b), static_cast<bool>(referenced[b]))
+        << "block " << b;
+  }
+}
+
+TEST_F(PlainFsStressTest, StatDistinguishesTypes) {
+  ASSERT_TRUE(fs_->MkDir("/dir").ok());
+  ASSERT_TRUE(fs_->WriteFile("/file", "x").ok());
+  EXPECT_EQ(fs_->Stat("/dir")->type, InodeType::kDirectory);
+  EXPECT_EQ(fs_->Stat("/file")->type, InodeType::kFile);
+  EXPECT_TRUE(fs_->ReadFile("/dir").status().IsInvalidArgument());
+  EXPECT_TRUE(fs_->List("/file").status().IsInvalidArgument());
+  EXPECT_TRUE(fs_->Unlink("/dir").IsInvalidArgument());
+  EXPECT_TRUE(fs_->RmDir("/file").IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,280 @@
+#include "fs/plain_fs.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "blockdev/mem_block_device.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class PlainFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 16384);  // 16 MB
+    ASSERT_TRUE(PlainFs::Format(dev_.get(), FormatOptions{}).ok());
+    auto fs = PlainFs::Mount(dev_.get(), MountOptions{});
+    ASSERT_TRUE(fs.ok()) << fs.status().ToString();
+    fs_ = std::move(fs).value();
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<PlainFs> fs_;
+};
+
+TEST_F(PlainFsTest, WriteReadSmallFile) {
+  ASSERT_TRUE(fs_->WriteFile("/hello.txt", "hello world").ok());
+  auto data = fs_->ReadFile("/hello.txt");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "hello world");
+}
+
+TEST_F(PlainFsTest, WriteReadLargeFile) {
+  std::string big = RandomData(3 << 20, 99);  // 3 MB spans double-indirect
+  ASSERT_TRUE(fs_->WriteFile("/big.bin", big).ok());
+  auto data = fs_->ReadFile("/big.bin");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), big);
+}
+
+TEST_F(PlainFsTest, EmptyFile) {
+  ASSERT_TRUE(fs_->CreateFile("/empty").ok());
+  auto data = fs_->ReadFile("/empty");
+  ASSERT_TRUE(data.ok());
+  EXPECT_TRUE(data.value().empty());
+}
+
+TEST_F(PlainFsTest, OverwriteReplacesContent) {
+  ASSERT_TRUE(fs_->WriteFile("/f", std::string(5000, 'a')).ok());
+  ASSERT_TRUE(fs_->WriteFile("/f", "short").ok());
+  auto data = fs_->ReadFile("/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "short");
+}
+
+TEST_F(PlainFsTest, CreateDuplicateRejected) {
+  ASSERT_TRUE(fs_->CreateFile("/dup").ok());
+  EXPECT_TRUE(fs_->CreateFile("/dup").IsAlreadyExists());
+}
+
+TEST_F(PlainFsTest, ReadMissingFileFails) {
+  EXPECT_TRUE(fs_->ReadFile("/nope").status().IsNotFound());
+}
+
+TEST_F(PlainFsTest, UnlinkFreesSpace) {
+  uint64_t before = fs_->bitmap()->free_count();
+  ASSERT_TRUE(fs_->WriteFile("/f", RandomData(1 << 20, 5)).ok());
+  EXPECT_LT(fs_->bitmap()->free_count(), before);
+  ASSERT_TRUE(fs_->Unlink("/f").ok());
+  // The root directory may have grown a block for the entry; allow <= 1
+  // block difference.
+  EXPECT_GE(fs_->bitmap()->free_count() + 1, before);
+  EXPECT_FALSE(fs_->Exists("/f"));
+}
+
+TEST_F(PlainFsTest, DirectoriesNestAndList) {
+  ASSERT_TRUE(fs_->MkDir("/a").ok());
+  ASSERT_TRUE(fs_->MkDir("/a/b").ok());
+  ASSERT_TRUE(fs_->WriteFile("/a/b/c.txt", "deep").ok());
+  ASSERT_TRUE(fs_->WriteFile("/a/top.txt", "top").ok());
+
+  auto root = fs_->List("/");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->size(), 1u);
+  EXPECT_EQ((*root)[0].name, "a");
+
+  auto a = fs_->List("/a");
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->size(), 2u);
+
+  auto c = fs_->ReadFile("/a/b/c.txt");
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c.value(), "deep");
+}
+
+TEST_F(PlainFsTest, RmDirOnlyWhenEmpty) {
+  ASSERT_TRUE(fs_->MkDir("/d").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d/f", "x").ok());
+  EXPECT_TRUE(fs_->RmDir("/d").IsFailedPrecondition());
+  ASSERT_TRUE(fs_->Unlink("/d/f").ok());
+  EXPECT_TRUE(fs_->RmDir("/d").ok());
+  EXPECT_FALSE(fs_->Exists("/d"));
+}
+
+TEST_F(PlainFsTest, StatReportsMetadata) {
+  ASSERT_TRUE(fs_->WriteFile("/s", std::string(2048, 'q')).ok());
+  auto info = fs_->Stat("/s");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->type, InodeType::kFile);
+  EXPECT_EQ(info->size, 2048u);
+  auto dir_info = fs_->Stat("/");
+  ASSERT_TRUE(dir_info.ok());
+  EXPECT_EQ(dir_info->type, InodeType::kDirectory);
+}
+
+TEST_F(PlainFsTest, ReadWriteAtOffsets) {
+  ASSERT_TRUE(fs_->WriteFile("/f", std::string(4096, 'a')).ok());
+  ASSERT_TRUE(fs_->WriteAt("/f", 1000, "XYZ").ok());
+  std::string out;
+  ASSERT_TRUE(fs_->ReadAt("/f", 999, 5, &out).ok());
+  EXPECT_EQ(out, "aXYZa");
+}
+
+TEST_F(PlainFsTest, WriteAtExtendsFile) {
+  ASSERT_TRUE(fs_->CreateFile("/f").ok());
+  ASSERT_TRUE(fs_->WriteAt("/f", 5000, "tail").ok());
+  auto info = fs_->Stat("/f");
+  ASSERT_TRUE(info.ok());
+  EXPECT_EQ(info->size, 5004u);
+  // The hole reads as zeros.
+  std::string out;
+  ASSERT_TRUE(fs_->ReadAt("/f", 4998, 6, &out).ok());
+  EXPECT_EQ(out, std::string(2, '\0') + "tail");
+}
+
+TEST_F(PlainFsTest, TruncateShrinks) {
+  ASSERT_TRUE(fs_->WriteFile("/f", RandomData(100000, 3)).ok());
+  ASSERT_TRUE(fs_->TruncateFile("/f", 10).ok());
+  auto data = fs_->ReadFile("/f");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data->size(), 10u);
+}
+
+TEST_F(PlainFsTest, PersistsAcrossRemount) {
+  std::string content = RandomData(300000, 8);
+  ASSERT_TRUE(fs_->MkDir("/docs").ok());
+  ASSERT_TRUE(fs_->WriteFile("/docs/report.bin", content).ok());
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+
+  auto fs = PlainFs::Mount(dev_.get(), MountOptions{});
+  ASSERT_TRUE(fs.ok());
+  auto data = (*fs)->ReadFile("/docs/report.bin");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), content);
+}
+
+TEST_F(PlainFsTest, ManyFilesNoCrosstalk) {
+  std::vector<std::string> contents;
+  for (int i = 0; i < 50; ++i) {
+    std::string path = "/file" + std::to_string(i);
+    contents.push_back(RandomData(1000 + i * 137, 1000 + i));
+    ASSERT_TRUE(fs_->WriteFile(path, contents.back()).ok());
+  }
+  for (int i = 0; i < 50; ++i) {
+    auto data = fs_->ReadFile("/file" + std::to_string(i));
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(data.value(), contents[i]) << i;
+  }
+}
+
+TEST_F(PlainFsTest, RejectsRelativePaths) {
+  EXPECT_TRUE(fs_->CreateFile("relative").IsInvalidArgument());
+  EXPECT_TRUE(fs_->CreateFile("/a/../b").IsInvalidArgument());
+}
+
+TEST_F(PlainFsTest, NoSpaceSurfaceCleanly) {
+  // 16 MB volume: the third 8 MB write must fail with NoSpace.
+  Status s;
+  for (int i = 0; i < 3 && s.ok(); ++i) {
+    s = fs_->WriteFile("/big" + std::to_string(i), RandomData(8 << 20, i));
+  }
+  EXPECT_TRUE(s.IsNoSpace()) << s.ToString();
+}
+
+TEST_F(PlainFsTest, CollectReferencedBlocksCoversEverything) {
+  ASSERT_TRUE(fs_->WriteFile("/f1", RandomData(50000, 1)).ok());
+  ASSERT_TRUE(fs_->MkDir("/d").ok());
+  ASSERT_TRUE(fs_->WriteFile("/d/f2", RandomData(200000, 2)).ok());
+
+  std::vector<uint8_t> referenced;
+  ASSERT_TRUE(fs_->CollectReferencedBlocks(&referenced).ok());
+
+  // Every allocated block must be referenced (plain FS has no hidden data).
+  for (uint64_t b = 0; b < fs_->layout().num_blocks; ++b) {
+    if (fs_->bitmap()->IsAllocated(b)) {
+      EXPECT_TRUE(referenced[b]) << "allocated but unreferenced block " << b;
+    } else {
+      EXPECT_FALSE(referenced[b]) << "free but referenced block " << b;
+    }
+  }
+}
+
+TEST_F(PlainFsTest, ContiguousPolicyLaysFilesSequentially) {
+  ASSERT_TRUE(fs_->WriteFile("/seq", RandomData(1 << 20, 4)).ok());
+  std::vector<uint8_t> referenced;
+  ASSERT_TRUE(fs_->CollectReferencedBlocks(&referenced).ok());
+  // Find the file's block span: with contiguous allocation on a fresh
+  // volume the data blocks of a 1 MB file form (nearly) one run. Count
+  // alloc runs in the data region.
+  int runs = 0;
+  bool in_run = false;
+  for (uint64_t b = fs_->layout().data_start; b < fs_->layout().num_blocks;
+       ++b) {
+    bool alloc = fs_->bitmap()->IsAllocated(b);
+    if (alloc && !in_run) ++runs;
+    in_run = alloc;
+  }
+  EXPECT_LE(runs, 2);  // root-dir block + the file's run (possibly merged)
+}
+
+TEST_F(PlainFsTest, TotalPlainBytes) {
+  EXPECT_EQ(fs_->TotalPlainBytes(), 0u);
+  ASSERT_TRUE(fs_->WriteFile("/a", std::string(1000, 'x')).ok());
+  ASSERT_TRUE(fs_->WriteFile("/b", std::string(234, 'y')).ok());
+  EXPECT_EQ(fs_->TotalPlainBytes(), 1234u);
+}
+
+TEST(PlainFsFormatTest, MountRejectsUnformattedDevice) {
+  MemBlockDevice dev(1024, 4096);
+  EXPECT_FALSE(PlainFs::Mount(&dev, MountOptions{}).ok());
+}
+
+TEST(PlainFsFormatTest, MountRejectsGeometryMismatch) {
+  MemBlockDevice dev(1024, 4096);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  MemBlockDevice dev2(1024, 8192);
+  // Copy the formatted superblock into a larger device.
+  std::vector<uint8_t> buf(1024);
+  ASSERT_TRUE(dev.ReadBlock(0, buf.data()).ok());
+  ASSERT_TRUE(dev2.WriteBlock(0, buf.data()).ok());
+  EXPECT_TRUE(PlainFs::Mount(&dev2, MountOptions{}).status().IsCorruption());
+}
+
+TEST(PlainFsFormatTest, TinyVolumeRejected) {
+  MemBlockDevice dev(512, 8);
+  EXPECT_FALSE(PlainFs::Format(&dev, FormatOptions{}).ok());
+}
+
+TEST(PlainFsPolicyTest, FragmentedPolicyScattersFile) {
+  MemBlockDevice dev(1024, 16384);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  MountOptions opts;
+  opts.policy = AllocPolicy::kFragmented8;
+  auto fs = PlainFs::Mount(&dev, opts);
+  ASSERT_TRUE(fs.ok());
+  ASSERT_TRUE((*fs)->WriteFile("/frag", RandomData(1 << 20, 6)).ok());
+  // Count allocation runs: a 1 MB file (1024 blocks) in 8-block fragments
+  // has ~128 separate runs.
+  int runs = 0;
+  bool in_run = false;
+  for (uint64_t b = (*fs)->layout().data_start;
+       b < (*fs)->layout().num_blocks; ++b) {
+    bool alloc = (*fs)->bitmap()->IsAllocated(b);
+    if (alloc && !in_run) ++runs;
+    in_run = alloc;
+  }
+  EXPECT_GT(runs, 50);
+}
+
+}  // namespace
+}  // namespace stegfs

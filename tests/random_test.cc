@@ -1,0 +1,100 @@
+#include "util/random.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+
+namespace stegfs {
+namespace {
+
+TEST(XoshiroTest, DeterministicForSeed) {
+  Xoshiro a(42), b(42);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(XoshiroTest, DifferentSeedsDiffer) {
+  Xoshiro a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 2);
+}
+
+TEST(XoshiroTest, UniformInRange) {
+  Xoshiro rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.Uniform(10);
+    EXPECT_LT(v, 10u);
+  }
+}
+
+TEST(XoshiroTest, UniformRangeInclusive) {
+  Xoshiro rng(7);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t v = rng.UniformRange(5, 8);
+    EXPECT_GE(v, 5u);
+    EXPECT_LE(v, 8u);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 4u);  // all four values hit in 1000 draws
+}
+
+TEST(XoshiroTest, NextDoubleInUnitInterval) {
+  Xoshiro rng(3);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+    sum += d;
+  }
+  EXPECT_NEAR(sum / 10000, 0.5, 0.02);  // mean of U(0,1)
+}
+
+TEST(XoshiroTest, BernoulliFrequency) {
+  Xoshiro rng(11);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.Bernoulli(0.25)) ++hits;
+  }
+  EXPECT_NEAR(hits / 10000.0, 0.25, 0.02);
+}
+
+TEST(XoshiroTest, ShuffleIsPermutation) {
+  Xoshiro rng(5);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8};
+  std::vector<int> orig = v;
+  rng.Shuffle(&v);
+  std::sort(v.begin(), v.end());
+  EXPECT_EQ(v, orig);
+}
+
+TEST(XoshiroTest, FillBytesTailLengths) {
+  // Exercise every tail length 0..7 (the tail loop must stop at 8 bytes
+  // regardless of the remaining count).
+  for (size_t n = 64; n < 72; ++n) {
+    Xoshiro a(123), b(123);
+    std::vector<uint8_t> big(n, 0), again(n, 0);
+    a.FillBytes(big.data(), n);
+    b.FillBytes(again.data(), n);
+    EXPECT_EQ(big, again) << n;
+    EXPECT_NE(big, std::vector<uint8_t>(n, 0)) << n;
+  }
+}
+
+TEST(XoshiroTest, FillBytesCoversBuffer) {
+  Xoshiro rng(9);
+  std::vector<uint8_t> buf(1001, 0);
+  rng.FillBytes(buf.data(), buf.size());
+  // Statistically impossible for >900 of 1001 random bytes to be zero.
+  int zeros = static_cast<int>(std::count(buf.begin(), buf.end(), 0));
+  EXPECT_LT(zeros, 50);
+}
+
+}  // namespace
+}  // namespace stegfs

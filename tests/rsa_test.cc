@@ -1,0 +1,125 @@
+#include "crypto/rsa.h"
+
+#include <gtest/gtest.h>
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+class RsaTest : public ::testing::Test {
+ protected:
+  // Key generation is the slow part; share one pair across tests.
+  static void SetUpTestSuite() {
+    auto pair = RsaGenerateKeyPair(512, "rsa-test-fixture");
+    ASSERT_TRUE(pair.ok()) << pair.status().ToString();
+    pair_ = new RsaKeyPair(std::move(pair).value());
+  }
+  static void TearDownTestSuite() {
+    delete pair_;
+    pair_ = nullptr;
+  }
+  static RsaKeyPair* pair_;
+};
+
+RsaKeyPair* RsaTest::pair_ = nullptr;
+
+TEST_F(RsaTest, KeyGenerationProducesRequestedModulus) {
+  EXPECT_EQ(pair_->public_key.n.BitLength(), 512u);
+  EXPECT_EQ(pair_->public_key.e.ToHex(), "10001");  // 65537
+  EXPECT_EQ(pair_->private_key.n, pair_->public_key.n);
+}
+
+TEST_F(RsaTest, EncryptDecryptRoundTrip) {
+  std::string msg = "file=/hidden/budget.xls fak=0123456789abcdef";
+  auto ct = RsaEncrypt(pair_->public_key, msg, "entropy-1");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(pair_->private_key, ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value(), msg);
+}
+
+TEST_F(RsaTest, EmptyMessage) {
+  auto ct = RsaEncrypt(pair_->public_key, "", "entropy-2");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(pair_->private_key, ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_TRUE(pt.value().empty());
+}
+
+TEST_F(RsaTest, LongMessage) {
+  std::string msg(10000, 'm');
+  for (size_t i = 0; i < msg.size(); ++i) msg[i] = static_cast<char>(i % 251);
+  auto ct = RsaEncrypt(pair_->public_key, msg, "entropy-3");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(pair_->private_key, ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value(), msg);
+}
+
+TEST_F(RsaTest, CiphertextDiffersAcrossEntropy) {
+  auto c1 = RsaEncrypt(pair_->public_key, "same message", "entropy-a");
+  auto c2 = RsaEncrypt(pair_->public_key, "same message", "entropy-b");
+  ASSERT_TRUE(c1.ok());
+  ASSERT_TRUE(c2.ok());
+  EXPECT_NE(c1.value(), c2.value());
+}
+
+TEST_F(RsaTest, TamperedCiphertextRejected) {
+  auto ct = RsaEncrypt(pair_->public_key, "secret", "entropy-4");
+  ASSERT_TRUE(ct.ok());
+  std::string tampered = ct.value();
+  tampered[tampered.size() / 2] ^= 0x40;
+  auto pt = RsaDecrypt(pair_->private_key, tampered);
+  EXPECT_FALSE(pt.ok());
+}
+
+TEST_F(RsaTest, TruncatedCiphertextRejected) {
+  auto ct = RsaEncrypt(pair_->public_key, "secret", "entropy-5");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(pair_->private_key, ct.value().substr(0, 10));
+  EXPECT_FALSE(pt.ok());
+}
+
+TEST_F(RsaTest, WrongKeyRejected) {
+  auto other = RsaGenerateKeyPair(512, "other-key-seed");
+  ASSERT_TRUE(other.ok());
+  auto ct = RsaEncrypt(pair_->public_key, "secret", "entropy-6");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(other->private_key, ct.value());
+  EXPECT_FALSE(pt.ok());
+}
+
+TEST_F(RsaTest, KeySerializationRoundTrip) {
+  std::string pub_blob = pair_->public_key.Serialize();
+  std::string priv_blob = pair_->private_key.Serialize();
+  auto pub = RsaPublicKey::Deserialize(pub_blob);
+  auto priv = RsaPrivateKey::Deserialize(priv_blob);
+  ASSERT_TRUE(pub.ok());
+  ASSERT_TRUE(priv.ok());
+  auto ct = RsaEncrypt(pub.value(), "round trip", "entropy-7");
+  ASSERT_TRUE(ct.ok());
+  auto pt = RsaDecrypt(priv.value(), ct.value());
+  ASSERT_TRUE(pt.ok());
+  EXPECT_EQ(pt.value(), "round trip");
+}
+
+TEST_F(RsaTest, MalformedKeyBlobsRejected) {
+  EXPECT_FALSE(RsaPublicKey::Deserialize("junk").ok());
+  EXPECT_FALSE(RsaPrivateKey::Deserialize("").ok());
+}
+
+TEST(RsaStandaloneTest, RejectsTinyModulus) {
+  EXPECT_FALSE(RsaGenerateKeyPair(128, "tiny").ok());
+}
+
+TEST(RsaStandaloneTest, DeterministicKeygenForSeed) {
+  auto a = RsaGenerateKeyPair(512, "same-seed");
+  auto b = RsaGenerateKeyPair(512, "same-seed");
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->public_key.n.ToHex(), b->public_key.n.ToHex());
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

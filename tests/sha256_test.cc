@@ -1,0 +1,100 @@
+#include "crypto/sha256.h"
+
+#include <gtest/gtest.h>
+
+#include "util/hex.h"
+
+namespace stegfs {
+namespace crypto {
+namespace {
+
+std::string HexOf(const Sha256Digest& d) {
+  return HexEncode(d.data(), d.size());
+}
+
+// FIPS 180-2 appendix B test vectors.
+TEST(Sha256Test, EmptyString) {
+  EXPECT_EQ(HexOf(Sha256::Hash("")),
+            "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855");
+}
+
+TEST(Sha256Test, Abc) {
+  EXPECT_EQ(HexOf(Sha256::Hash("abc")),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+TEST(Sha256Test, TwoBlockMessage) {
+  EXPECT_EQ(HexOf(Sha256::Hash(
+                "abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq")),
+            "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1");
+}
+
+TEST(Sha256Test, MillionA) {
+  Sha256 h;
+  std::string chunk(1000, 'a');
+  for (int i = 0; i < 1000; ++i) h.Update(chunk);
+  EXPECT_EQ(HexOf(h.Finish()),
+            "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0");
+}
+
+TEST(Sha256Test, IncrementalMatchesOneShot) {
+  std::string msg =
+      "The quick brown fox jumps over the lazy dog, repeatedly, to exercise "
+      "buffer boundaries in the incremental hashing path.";
+  Sha256Digest oneshot = Sha256::Hash(msg);
+  // Feed in every possible split position.
+  for (size_t split = 0; split <= msg.size(); ++split) {
+    Sha256 h;
+    h.Update(msg.substr(0, split));
+    h.Update(msg.substr(split));
+    EXPECT_EQ(h.Finish(), oneshot) << "split at " << split;
+  }
+}
+
+TEST(Sha256Test, ExactBlockBoundaries) {
+  // Messages of exactly 55, 56, 63, 64, 65 bytes hit all padding branches.
+  for (size_t len : {55u, 56u, 63u, 64u, 65u, 119u, 120u, 128u}) {
+    std::string msg(len, 'x');
+    Sha256Digest a = Sha256::Hash(msg);
+    Sha256 h;
+    for (char c : msg) h.Update(&c, 1);
+    EXPECT_EQ(h.Finish(), a) << "length " << len;
+  }
+}
+
+TEST(Sha256Test, Hash2ConcatenatesInputs) {
+  EXPECT_EQ(Sha256::Hash2("foo", "bar"), Sha256::Hash("foobar"));
+  EXPECT_NE(Sha256::Hash2("foo", "bar"), Sha256::Hash2("fo", "obar2"));
+}
+
+TEST(Sha256Test, AvalancheOnSingleBitFlip) {
+  std::string a = "stegfs hidden file signature";
+  std::string b = a;
+  b[0] ^= 1;
+  Sha256Digest da = Sha256::Hash(a);
+  Sha256Digest db = Sha256::Hash(b);
+  int differing_bits = 0;
+  for (size_t i = 0; i < da.size(); ++i) {
+    uint8_t x = da[i] ^ db[i];
+    while (x) {
+      differing_bits += x & 1;
+      x >>= 1;
+    }
+  }
+  // Expected ~128 of 256 bits; anything in [80, 176] is a sane avalanche.
+  EXPECT_GT(differing_bits, 80);
+  EXPECT_LT(differing_bits, 176);
+}
+
+TEST(Sha256Test, ResetReusesContext) {
+  Sha256 h;
+  h.Update("garbage");
+  h.Reset();
+  h.Update("abc");
+  EXPECT_EQ(HexOf(h.Finish()),
+            "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad");
+}
+
+}  // namespace
+}  // namespace crypto
+}  // namespace stegfs

@@ -1,0 +1,167 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.h"
+#include "sim/interleaver.h"
+#include "sim/space.h"
+#include "sim/workload.h"
+
+namespace stegfs {
+namespace sim {
+namespace {
+
+TEST(WorkloadTest, GeneratesRequestedPopulation) {
+  WorkloadConfig cfg;
+  cfg.num_files = 25;
+  auto files = GenerateFiles(cfg);
+  ASSERT_EQ(files.size(), 25u);
+  for (const auto& f : files) {
+    EXPECT_GT(f.size, 1u << 20);
+    EXPECT_LE(f.size, 2u << 20);
+    EXPECT_FALSE(f.name.empty());
+  }
+}
+
+TEST(WorkloadTest, DeterministicForSeed) {
+  WorkloadConfig cfg;
+  auto a = GenerateFiles(cfg);
+  auto b = GenerateFiles(cfg);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].size, b[i].size);
+  }
+  EXPECT_EQ(FileContent(a[0], 1), FileContent(b[0], 1));
+  EXPECT_NE(FileContent(a[0], 1), FileContent(a[0], 2));
+}
+
+TEST(InterleaverTest, SerialSumsServiceTimes) {
+  // Two ops of one random request each: latency ~ seek + rotation each.
+  IoTrace op1 = {{1000000, 1, false}};
+  IoTrace op2 = {{5000000, 1, false}};
+  auto result = ReplaySerial({op1, op2}, DiskModelConfig{}, 1024);
+  EXPECT_EQ(result.op_latencies.size(), 2u);
+  EXPECT_NEAR(result.total_seconds,
+              result.op_latencies[0] + result.op_latencies[1], 1e-9);
+}
+
+TEST(InterleaverTest, InterleavingInflatesLatency) {
+  // The same op replayed by 1 vs 8 users: per-op latency must grow
+  // roughly with the user count (requests from others interleave).
+  IoTrace op;
+  for (int i = 0; i < 64; ++i) {
+    op.push_back({static_cast<uint64_t>(1000000 + i * 4096), 1, false});
+  }
+  auto solo = ReplayInterleaved({{op}}, DiskModelConfig{}, 1024);
+  std::vector<std::vector<IoTrace>> eight(8, std::vector<IoTrace>{op});
+  auto crowd = ReplayInterleaved(eight, DiskModelConfig{}, 1024);
+  ASSERT_EQ(crowd.op_latencies.size(), 8u);
+  EXPECT_GT(crowd.mean_latency, solo.mean_latency * 4);
+}
+
+TEST(InterleaverTest, SequentialStreamsStayCheapUnderFewUsers) {
+  // 4 users with disjoint sequential streams: drive segments keep all
+  // streams cheap (this is why CleanDisk beats StegFS at low user counts).
+  std::vector<std::vector<IoTrace>> users;
+  for (int u = 0; u < 4; ++u) {
+    IoTrace op;
+    for (int i = 0; i < 256; ++i) {
+      op.push_back(
+          {static_cast<uint64_t>(u) * 1000000 + static_cast<uint64_t>(i), 1,
+           false});
+    }
+    users.push_back({op});
+  }
+  auto result = ReplayInterleaved(users, DiskModelConfig{}, 1024);
+  // 4 * 256 requests, almost all cache hits: mean service far below the
+  // mechanical floor of ~5 ms.
+  EXPECT_LT(result.mean_request_service, 0.002);
+}
+
+TEST(InterleaverTest, EmptyInputsSafe) {
+  auto result = ReplayInterleaved({}, DiskModelConfig{}, 1024);
+  EXPECT_EQ(result.total_seconds, 0.0);
+  auto result2 = ReplayInterleaved({{}, {}}, DiskModelConfig{}, 1024);
+  EXPECT_EQ(result2.op_latencies.size(), 0u);
+}
+
+TEST(SpaceTest, StegCoverAnalysisMatchesPaper) {
+  // (1, 2] MB files in 2 MB covers -> 75% (paper 5.2).
+  double util = StegCoverSpaceUtilization((1 << 20) + 1, 2 << 20, 2 << 20);
+  EXPECT_NEAR(util, 0.75, 0.01);
+}
+
+TEST(SpaceTest, StegRandPeaksInMidReplication) {
+  // Paper figure 6: utilization rises to a peak around replication 8-16,
+  // then falls; absolute level is a few percent at 1 KB blocks.
+  StegRandSpaceConfig cfg;
+  cfg.volume_bytes = 256 << 20;  // scaled down for test speed
+  cfg.trials = 2;
+  cfg.replication = 1;
+  double r1 = StegRandSpaceUtilization(cfg);
+  cfg.replication = 8;
+  double r8 = StegRandSpaceUtilization(cfg);
+  cfg.replication = 64;
+  double r64 = StegRandSpaceUtilization(cfg);
+
+  EXPECT_GT(r8, r1);   // replication buys resilience...
+  EXPECT_GT(r8, r64);  // ...until overhead dominates
+  EXPECT_LT(r8, 0.20);
+  EXPECT_GT(r8, 0.005);
+}
+
+TEST(SpaceTest, StegRandSmallerBlocksLowerUtilization) {
+  StegRandSpaceConfig cfg;
+  cfg.volume_bytes = 256 << 20;
+  cfg.trials = 2;
+  cfg.replication = 8;
+  cfg.block_size = 512;
+  double small_blocks = StegRandSpaceUtilization(cfg);
+  cfg.block_size = 8192;
+  double big_blocks = StegRandSpaceUtilization(cfg);
+  EXPECT_GT(big_blocks, small_blocks);
+}
+
+TEST(SpaceTest, StegFsUtilizationAboveEightyPercent) {
+  // Paper 5.2: "StegFS is able to consistently achieve more than 80% space
+  // utilization" with Table 1 defaults.
+  StegFsSpaceConfig cfg;
+  double util = StegFsSpaceUtilization(cfg);
+  EXPECT_GT(util, 0.80);
+  EXPECT_LT(util, 1.0);
+}
+
+TEST(ExperimentTest, BuildLoadAndCapture) {
+  WorkloadConfig wl;
+  wl.volume_bytes = 64 << 20;
+  wl.num_files = 10;
+  wl.file_size_min = 100 << 10;
+  wl.file_size_max = 200 << 10;
+  FileStoreOptions so;
+  auto env = BuildLoadedEnv(SchemeKind::kCleanDisk, wl, so);
+  ASSERT_TRUE(env.ok()) << env.status().ToString();
+  EXPECT_EQ((*env)->load_failures, 0u);
+
+  auto reads = CaptureReadOps(env->get(), 5, 99);
+  EXPECT_EQ(reads.traces.size(), 5u);
+  for (const auto& t : reads.traces) {
+    EXPECT_GT(t.size(), 50u);  // ~100-200 block reads per file
+  }
+  auto writes = CaptureWriteOps(env->get(), 3, 7);
+  EXPECT_EQ(writes.traces.size(), 3u);
+  bool has_write = false;
+  for (const auto& req : writes.traces[0]) has_write |= req.is_write;
+  EXPECT_TRUE(has_write);
+}
+
+TEST(ExperimentTest, AssignOpsRoundRobin) {
+  IoTrace a = {{1, 1, false}};
+  IoTrace b = {{2, 1, false}};
+  auto streams = AssignOps({a, b}, 3, 4);
+  ASSERT_EQ(streams.size(), 3u);
+  for (const auto& s : streams) EXPECT_EQ(s.size(), 4u);
+  EXPECT_EQ(streams[0][0][0].lba, 1u);
+  EXPECT_EQ(streams[0][1][0].lba, 2u);
+}
+
+}  // namespace
+}  // namespace sim
+}  // namespace stegfs

@@ -1,0 +1,90 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace stegfs {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, EachConstructorSetsCode) {
+  EXPECT_TRUE(Status::NotFound("x").IsNotFound());
+  EXPECT_TRUE(Status::Corruption("x").IsCorruption());
+  EXPECT_TRUE(Status::InvalidArgument("x").IsInvalidArgument());
+  EXPECT_TRUE(Status::IOError("x").IsIOError());
+  EXPECT_TRUE(Status::AlreadyExists("x").IsAlreadyExists());
+  EXPECT_TRUE(Status::NoSpace("x").IsNoSpace());
+  EXPECT_TRUE(Status::PermissionDenied("x").IsPermissionDenied());
+  EXPECT_TRUE(Status::DataLoss("x").IsDataLoss());
+  EXPECT_TRUE(Status::NotSupported("x").IsNotSupported());
+  EXPECT_TRUE(Status::FailedPrecondition("x").IsFailedPrecondition());
+}
+
+TEST(StatusTest, ErrorIsNotOk) {
+  Status s = Status::NotFound("missing file");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.message(), "missing file");
+  EXPECT_EQ(s.ToString(), "NotFound: missing file");
+}
+
+TEST(StatusTest, ReturnIfErrorPropagates) {
+  auto inner = []() { return Status::IOError("disk gone"); };
+  auto outer = [&]() -> Status {
+    STEGFS_RETURN_IF_ERROR(inner());
+    return Status::OK();
+  };
+  EXPECT_TRUE(outer().IsIOError());
+}
+
+TEST(StatusTest, ReturnIfErrorPassesOk) {
+  auto inner = []() { return Status::OK(); };
+  auto outer = [&]() -> Status {
+    STEGFS_RETURN_IF_ERROR(inner());
+    return Status::AlreadyExists("reached end");
+  };
+  EXPECT_TRUE(outer().IsAlreadyExists());
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> v(42);
+  ASSERT_TRUE(v.ok());
+  EXPECT_EQ(v.value(), 42);
+  EXPECT_EQ(*v, 42);
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> v(Status::NoSpace("full"));
+  ASSERT_FALSE(v.ok());
+  EXPECT_TRUE(v.status().IsNoSpace());
+}
+
+TEST(StatusOrTest, MoveOnlyValue) {
+  StatusOr<std::unique_ptr<int>> v(std::make_unique<int>(7));
+  ASSERT_TRUE(v.ok());
+  std::unique_ptr<int> p = std::move(v).value();
+  EXPECT_EQ(*p, 7);
+}
+
+TEST(StatusOrTest, AssignOrReturnMacro) {
+  auto make = [](bool fail) -> StatusOr<int> {
+    if (fail) return Status::NotFound("no value");
+    return 5;
+  };
+  auto use = [&](bool fail) -> Status {
+    STEGFS_ASSIGN_OR_RETURN(int got, make(fail));
+    EXPECT_EQ(got, 5);
+    return Status::OK();
+  };
+  EXPECT_TRUE(use(false).ok());
+  EXPECT_TRUE(use(true).IsNotFound());
+}
+
+}  // namespace
+}  // namespace stegfs

@@ -1,0 +1,148 @@
+#include "baselines/steg_rand_ida.h"
+
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "util/random.h"
+
+namespace stegfs {
+namespace {
+
+std::string RandomData(size_t n, uint64_t seed) {
+  Xoshiro rng(seed);
+  std::string s(n, '\0');
+  rng.FillBytes(reinterpret_cast<uint8_t*>(s.data()), n);
+  return s;
+}
+
+class StegRandIdaTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 65536);  // 64 MB
+    FileStoreOptions opts;
+    opts.ida_m = 4;
+    opts.ida_n = 8;
+    auto store = StegRandIdaStore::Create(dev_.get(), opts);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+  }
+
+  void CorruptBlock(uint64_t addr) {
+    std::vector<uint8_t> noise(1024);
+    Xoshiro rng(addr * 17 + 3);
+    rng.FillBytes(noise.data(), noise.size());
+    ASSERT_TRUE(dev_->WriteBlock(addr, noise.data()).ok());
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegRandIdaStore> store_;
+};
+
+TEST_F(StegRandIdaTest, RoundTrip) {
+  std::string content = RandomData(700000, 1);
+  ASSERT_TRUE(store_->WriteFile("f", "k", content).ok());
+  auto data = store_->ReadFile("f", "k");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), content);
+}
+
+TEST_F(StegRandIdaTest, InvalidParamsRejected) {
+  FileStoreOptions opts;
+  opts.ida_m = 8;
+  opts.ida_n = 4;  // n < m
+  EXPECT_FALSE(StegRandIdaStore::Create(dev_.get(), opts).ok());
+  opts.ida_m = 0;
+  opts.ida_n = 4;
+  EXPECT_FALSE(StegRandIdaStore::Create(dev_.get(), opts).ok());
+}
+
+TEST_F(StegRandIdaTest, SurvivesLossOfNMinusMFragmentsPerStripe) {
+  std::string content = RandomData(200000, 2);
+  ASSERT_TRUE(store_->WriteFile("f", "k", content).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+
+  // Destroy fragments 0..3 (n-m = 4) of EVERY stripe — including all four
+  // systematic shares, so reconstruction must come from parity.
+  uint64_t payload_blocks =
+      (8 + content.size() + store_->payload_bytes() - 1) /
+      store_->payload_bytes();
+  uint64_t stripes = (payload_blocks + store_->m() - 1) / store_->m();
+  for (uint64_t s = 0; s < stripes; ++s) {
+    for (int f = 0; f < store_->n() - store_->m(); ++f) {
+      CorruptBlock(store_->AddressOf("f", "k", f, s));
+    }
+  }
+  store_->DropCaches();
+  auto data = store_->ReadFile("f", "k");
+  ASSERT_TRUE(data.ok()) << data.status().ToString();
+  EXPECT_EQ(data.value(), content);
+}
+
+TEST_F(StegRandIdaTest, OneFragmentTooManyIsDataLoss) {
+  std::string content = RandomData(100000, 3);
+  ASSERT_TRUE(store_->WriteFile("f", "k", content).ok());
+  ASSERT_TRUE(store_->Flush().ok());
+  // Destroy n-m+1 = 5 fragments of stripe 1.
+  for (int f = 0; f < store_->n() - store_->m() + 1; ++f) {
+    CorruptBlock(store_->AddressOf("f", "k", f, 1));
+  }
+  store_->DropCaches();
+  auto data = store_->ReadFile("f", "k");
+  EXPECT_TRUE(data.status().IsDataLoss()) << data.status().ToString();
+}
+
+TEST_F(StegRandIdaTest, WrongKeyNotFound) {
+  ASSERT_TRUE(store_->WriteFile("f", "k", "payload").ok());
+  EXPECT_FALSE(store_->ReadFile("f", "wrong").ok());
+}
+
+TEST_F(StegRandIdaTest, StorageBlowUpIsNOverM) {
+  // Count device writes for a known payload: should be ~ (n/m) x blocks.
+  std::string content = RandomData(400000, 4);
+  uint64_t payload_blocks =
+      (8 + content.size() + store_->payload_bytes() - 1) /
+      store_->payload_bytes();
+  uint64_t stripes = (payload_blocks + store_->m() - 1) / store_->m();
+  ASSERT_TRUE(store_->WriteFile("f", "k", content).ok());
+  // Expected fragments written = stripes * n.
+  double blowup = static_cast<double>(stripes * store_->n()) /
+                  static_cast<double>(payload_blocks);
+  EXPECT_NEAR(blowup, 2.0, 0.1);  // n/m = 8/4
+}
+
+TEST_F(StegRandIdaTest, BetterResilienceThanReplicationAtSameBlowUp) {
+  // Functional head-to-head: r=2 replication vs (4,8) IDA, both 2x. Load
+  // both until the first file dies; IDA should carry more unique data.
+  // (Statistical check with a fixed seed; the fig-ext bench quantifies it.)
+  auto run = [&](bool ida) -> uint64_t {
+    MemBlockDevice dev(1024, 32768);  // 32 MB
+    FileStoreOptions opts;
+    opts.replication = 2;
+    opts.ida_m = 4;
+    opts.ida_n = 8;
+    auto store = CreateFileStore(
+        ida ? SchemeKind::kStegRandIda : SchemeKind::kStegRand, &dev, opts);
+    EXPECT_TRUE(store.ok());
+    uint64_t loaded = 0;
+    for (int i = 0; i < 200; ++i) {
+      std::string name = "v" + std::to_string(i);
+      std::string content = RandomData(200000, 100 + i);
+      if (!(*store)->WriteFile(name, "k", content).ok()) break;
+      // Verify everything written so far still reads.
+      bool all_alive = true;
+      for (int j = 0; j <= i && all_alive; ++j) {
+        auto d = (*store)->ReadFile("v" + std::to_string(j), "k");
+        all_alive = d.ok();
+      }
+      if (!all_alive) break;
+      loaded += content.size();
+    }
+    return loaded;
+  };
+  uint64_t replication_bytes = run(false);
+  uint64_t ida_bytes = run(true);
+  EXPECT_GT(ida_bytes, replication_bytes);
+}
+
+}  // namespace
+}  // namespace stegfs

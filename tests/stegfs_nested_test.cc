@@ -1,0 +1,127 @@
+// Nested hidden-directory operations: resolution of children through their
+// parent directories (connect/share/revoke/remove by full object path).
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+#include "core/stegfs.h"
+
+namespace stegfs {
+namespace {
+
+class StegFsNestedTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 32768);
+    StegFormatOptions fo;
+    fo.params.dummy_file_count = 2;
+    fo.params.dummy_file_avg_bytes = 64 << 10;
+    fo.entropy = "nested-test";
+    ASSERT_TRUE(StegFs::Format(dev_.get(), fo).ok());
+    auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+
+    // Build a three-level hidden tree from a plain tree:
+    //   tree/
+    //     a.txt
+    //     sub/
+    //       b.txt
+    //       deep/
+    //         c.txt
+    ASSERT_TRUE(fs_->plain()->MkDir("/tree").ok());
+    ASSERT_TRUE(fs_->plain()->WriteFile("/tree/a.txt", "A").ok());
+    ASSERT_TRUE(fs_->plain()->MkDir("/tree/sub").ok());
+    ASSERT_TRUE(fs_->plain()->WriteFile("/tree/sub/b.txt", "B").ok());
+    ASSERT_TRUE(fs_->plain()->MkDir("/tree/sub/deep").ok());
+    ASSERT_TRUE(fs_->plain()->WriteFile("/tree/sub/deep/c.txt", "C").ok());
+    ASSERT_TRUE(fs_->StegHide("u", "/tree", "tree", "uak").ok());
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegFs> fs_;
+};
+
+TEST_F(StegFsNestedTest, ConnectChildDirectlyByFullName) {
+  // Connect a grand-child without connecting the root first: resolution
+  // descends tree -> tree/sub -> tree/sub/deep -> c.txt.
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub/deep/c.txt", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/deep/c.txt").value(), "C");
+  // Only that object (it is a file) was connected.
+  EXPECT_EQ(fs_->ConnectedObjects("u").size(), 1u);
+}
+
+TEST_F(StegFsNestedTest, ConnectSubtree) {
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub", "uak").ok());
+  auto connected = fs_->ConnectedObjects("u");
+  // sub + b.txt + deep + c.txt.
+  EXPECT_EQ(connected.size(), 4u);
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/b.txt").value(), "B");
+}
+
+TEST_F(StegFsNestedTest, ShareNestedChild) {
+  auto keys = crypto::RsaGenerateKeyPair(512, "nested-recipient");
+  ASSERT_TRUE(keys.ok());
+  ASSERT_TRUE(fs_->StegGetEntry("u", "tree/sub/b.txt", "uak", "/envelope",
+                                keys->public_key, "e")
+                  .ok());
+  ASSERT_TRUE(fs_->StegAddEntry("u", "/envelope", keys->private_key,
+                                "recipient-uak")
+                  .ok());
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub/b.txt", "recipient-uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/b.txt").value(), "B");
+}
+
+TEST_F(StegFsNestedTest, RevokeNestedChildUpdatesParentDirectory) {
+  ASSERT_TRUE(
+      fs_->RevokeSharing("u", "tree/sub/b.txt", "uak", "tree/sub/b2.txt")
+          .ok());
+  // Old name is gone from the parent directory...
+  EXPECT_TRUE(fs_->StegConnect("u", "tree/sub/b.txt", "uak").IsNotFound());
+  // ...the new one resolves with the same content.
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub/b2.txt", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/b2.txt").value(), "B");
+}
+
+TEST_F(StegFsNestedTest, RemoveNestedChild) {
+  uint64_t free_before = fs_->plain()->bitmap()->free_count();
+  ASSERT_TRUE(fs_->HiddenRemove("u", "tree/sub/deep", "uak").ok());
+  // Subtree gone...
+  EXPECT_TRUE(
+      fs_->StegConnect("u", "tree/sub/deep/c.txt", "uak").IsNotFound());
+  EXPECT_TRUE(fs_->StegConnect("u", "tree/sub/deep", "uak").IsNotFound());
+  // ...space returned...
+  EXPECT_GT(fs_->plain()->bitmap()->free_count(), free_before);
+  // ...siblings survive.
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub/b.txt", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/b.txt").value(), "B");
+}
+
+TEST_F(StegFsNestedTest, BogusNestedNameFails) {
+  EXPECT_TRUE(fs_->StegConnect("u", "tree/nope/x", "uak").IsNotFound());
+  EXPECT_TRUE(fs_->StegConnect("u", "treeX/a.txt", "uak").IsNotFound());
+  // A file cannot be descended through.
+  EXPECT_TRUE(fs_->StegConnect("u", "tree/a.txt/child", "uak").IsNotFound());
+}
+
+TEST_F(StegFsNestedTest, UnhideRestoresFullTree) {
+  ASSERT_TRUE(fs_->StegUnhide("u", "/restored", "tree", "uak").ok());
+  EXPECT_EQ(fs_->plain()->ReadFile("/restored/a.txt").value(), "A");
+  EXPECT_EQ(fs_->plain()->ReadFile("/restored/sub/b.txt").value(), "B");
+  EXPECT_EQ(fs_->plain()->ReadFile("/restored/sub/deep/c.txt").value(), "C");
+  // Everything hidden is gone, including nested objects.
+  EXPECT_TRUE(fs_->StegConnect("u", "tree", "uak").IsNotFound());
+  EXPECT_TRUE(fs_->StegConnect("u", "tree/sub/b.txt", "uak").IsNotFound());
+}
+
+TEST_F(StegFsNestedTest, NestedSurvivesRemount) {
+  ASSERT_TRUE(fs_->Flush().ok());
+  fs_.reset();
+  auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+  fs_ = std::move(fs).value();
+  ASSERT_TRUE(fs_->StegConnect("u", "tree/sub/deep/c.txt", "uak").ok());
+  EXPECT_EQ(fs_->HiddenReadAll("u", "tree/sub/deep/c.txt").value(), "C");
+}
+
+}  // namespace
+}  // namespace stegfs

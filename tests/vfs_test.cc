@@ -1,0 +1,200 @@
+#include "vfs/vfs.h"
+
+#include <gtest/gtest.h>
+
+#include "blockdev/mem_block_device.h"
+
+namespace stegfs {
+namespace vfs {
+namespace {
+
+class VfsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dev_ = std::make_unique<MemBlockDevice>(1024, 32768);
+    StegFormatOptions fo;
+    fo.params.dummy_file_count = 2;
+    fo.params.dummy_file_avg_bytes = 64 << 10;
+    fo.entropy = "vfs-test";
+    ASSERT_TRUE(StegFs::Format(dev_.get(), fo).ok());
+    auto fs = StegFs::Mount(dev_.get(), StegFsOptions{});
+    ASSERT_TRUE(fs.ok());
+    fs_ = std::move(fs).value();
+    vfs_ = std::make_unique<Vfs>(fs_.get(), "alice");
+  }
+
+  std::unique_ptr<MemBlockDevice> dev_;
+  std::unique_ptr<StegFs> fs_;
+  std::unique_ptr<Vfs> vfs_;
+};
+
+TEST_F(VfsTest, CreateWriteReadPlainFile) {
+  auto fd = vfs_->Open("/hello.txt", kRead | kWrite | kCreate);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  auto wrote = vfs_->Write(*fd, "hello vfs", 9);
+  ASSERT_TRUE(wrote.ok());
+  EXPECT_EQ(*wrote, 9);
+
+  ASSERT_TRUE(vfs_->Seek(*fd, 0, Whence::kSet).ok());
+  char buf[32] = {0};
+  auto got = vfs_->Read(*fd, buf, sizeof(buf));
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 9);
+  EXPECT_STREQ(buf, "hello vfs");
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+}
+
+TEST_F(VfsTest, OpenWithoutCreateFails) {
+  EXPECT_TRUE(vfs_->Open("/missing", kRead).status().IsNotFound());
+}
+
+TEST_F(VfsTest, OpenNeedsAMode) {
+  EXPECT_TRUE(vfs_->Open("/x", kCreate).status().IsInvalidArgument());
+}
+
+TEST_F(VfsTest, TruncateOnOpen) {
+  auto fd = vfs_->Open("/t", kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, "0123456789", 10).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+
+  auto fd2 = vfs_->Open("/t", kRead | kWrite | kTruncate);
+  ASSERT_TRUE(fd2.ok());
+  auto size = vfs_->FileSize(*fd2);
+  ASSERT_TRUE(size.ok());
+  EXPECT_EQ(*size, 0u);
+}
+
+TEST_F(VfsTest, SeekSemantics) {
+  auto fd = vfs_->Open("/s", kRead | kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, "abcdefgh", 8).ok());
+
+  EXPECT_EQ(vfs_->Seek(*fd, 2, Whence::kSet).value(), 2);
+  EXPECT_EQ(vfs_->Seek(*fd, 3, Whence::kCurrent).value(), 5);
+  EXPECT_EQ(vfs_->Seek(*fd, -1, Whence::kEnd).value(), 7);
+  char c;
+  ASSERT_TRUE(vfs_->Read(*fd, &c, 1).ok());
+  EXPECT_EQ(c, 'h');
+  EXPECT_TRUE(vfs_->Seek(*fd, -100, Whence::kSet).status().IsInvalidArgument());
+}
+
+TEST_F(VfsTest, AppendMode) {
+  auto fd = vfs_->Open("/a", kWrite | kCreate);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Write(*fd, "base", 4).ok());
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+
+  auto fd2 = vfs_->Open("/a", kWrite | kAppend);
+  ASSERT_TRUE(fd2.ok());
+  ASSERT_TRUE(vfs_->Write(*fd2, "+tail", 5).ok());
+  ASSERT_TRUE(vfs_->Close(*fd2).ok());
+
+  auto data = fs_->plain()->ReadFile("/a");
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(data.value(), "base+tail");
+}
+
+TEST_F(VfsTest, ReadOnlyDescriptorRejectsWrite) {
+  ASSERT_TRUE(fs_->plain()->WriteFile("/ro", "data").ok());
+  auto fd = vfs_->Open("/ro", kRead);
+  ASSERT_TRUE(fd.ok());
+  EXPECT_TRUE(vfs_->Write(*fd, "x", 1).status().IsPermissionDenied());
+}
+
+TEST_F(VfsTest, BadDescriptorRejected) {
+  char buf[4];
+  EXPECT_TRUE(vfs_->Read(99, buf, 4).status().IsInvalidArgument());
+  EXPECT_TRUE(vfs_->Close(-1).IsInvalidArgument());
+}
+
+TEST_F(VfsTest, DescriptorSlotsAreReused) {
+  auto fd1 = vfs_->Open("/f1", kWrite | kCreate);
+  ASSERT_TRUE(fd1.ok());
+  ASSERT_TRUE(vfs_->Close(*fd1).ok());
+  auto fd2 = vfs_->Open("/f2", kWrite | kCreate);
+  ASSERT_TRUE(fd2.ok());
+  EXPECT_EQ(*fd1, *fd2);  // lowest free slot, POSIX-style
+}
+
+TEST_F(VfsTest, HiddenObjectThroughStandardCalls) {
+  // The paper's headline property: once connected, existing applications
+  // read hidden data through ordinary file APIs.
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "secret.db", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(vfs_->Connect("secret.db", "uak").ok());
+
+  auto fd = vfs_->Open("/steg/secret.db", kRead | kWrite);
+  ASSERT_TRUE(fd.ok()) << fd.status().ToString();
+  ASSERT_TRUE(vfs_->Write(*fd, "hidden payload", 14).ok());
+  ASSERT_TRUE(vfs_->Seek(*fd, 7, Whence::kSet).ok());
+  char buf[8] = {0};
+  auto got = vfs_->Read(*fd, buf, 7);
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(std::string(buf, 7), "payload");
+  ASSERT_TRUE(vfs_->Close(*fd).ok());
+}
+
+TEST_F(VfsTest, UnconnectedHiddenPathFails) {
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "ghost", "uak", HiddenType::kFile).ok());
+  // Not connected: the path does not resolve, and open() takes no keys.
+  EXPECT_FALSE(vfs_->Open("/steg/ghost", kRead).ok());
+}
+
+TEST_F(VfsTest, DisconnectInvalidatesDescriptors) {
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "vol", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(vfs_->Connect("vol", "uak").ok());
+  auto fd = vfs_->Open("/steg/vol", kRead | kWrite);
+  ASSERT_TRUE(fd.ok());
+  ASSERT_TRUE(vfs_->Disconnect("vol").ok());
+  char buf[4];
+  EXPECT_TRUE(vfs_->Read(*fd, buf, 4).status().IsInvalidArgument());
+}
+
+TEST_F(VfsTest, ReadDirPlainAndSteg) {
+  ASSERT_TRUE(vfs_->MkDir("/docs").ok());
+  ASSERT_TRUE(fs_->plain()->WriteFile("/docs/a.txt", "a").ok());
+  auto root = vfs_->ReadDir("/");
+  ASSERT_TRUE(root.ok());
+  ASSERT_EQ(root->size(), 1u);
+  EXPECT_EQ((*root)[0].name, "docs");
+  EXPECT_TRUE((*root)[0].is_directory);
+
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "h1", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(vfs_->Connect("h1", "uak").ok());
+  auto steg = vfs_->ReadDir("/steg");
+  ASSERT_TRUE(steg.ok());
+  ASSERT_EQ(steg->size(), 1u);
+  EXPECT_EQ((*steg)[0].name, "h1");
+  EXPECT_TRUE((*steg)[0].is_hidden);
+}
+
+TEST_F(VfsTest, HiddenNamespaceMutationsNeedStegApis) {
+  EXPECT_TRUE(vfs_->MkDir("/steg/newdir").IsNotSupported());
+  EXPECT_TRUE(vfs_->Unlink("/steg/x").IsNotSupported());
+}
+
+TEST_F(VfsTest, LogoffDisconnectsEverything) {
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "s1", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(vfs_->Connect("s1", "uak").ok());
+  ASSERT_TRUE(vfs_->Logoff().ok());
+  EXPECT_TRUE(fs_->ConnectedObjects("alice").empty());
+  EXPECT_FALSE(vfs_->Open("/steg/s1", kRead).ok());
+}
+
+TEST_F(VfsTest, TwoSessionsAreIsolated) {
+  Vfs bob(fs_.get(), "bob");
+  ASSERT_TRUE(
+      fs_->StegCreate("alice", "mine", "uak", HiddenType::kFile).ok());
+  ASSERT_TRUE(vfs_->Connect("mine", "uak").ok());
+  // bob's session does not see alice's connection.
+  EXPECT_FALSE(bob.Open("/steg/mine", kRead).ok());
+}
+
+}  // namespace
+}  // namespace vfs
+}  // namespace stegfs
