@@ -51,7 +51,7 @@ std::vector<std::string> Tokenize(const std::string& line, int max_parts) {
   std::string rest;
   std::getline(in, rest);
   if (!rest.empty()) {
-    size_t start = rest.find_first_not_of(' ');
+    size_t start = rest.find_first_not_of(" \t");
     if (start != std::string::npos) parts.push_back(rest.substr(start));
   }
   return parts;
@@ -172,7 +172,10 @@ int main(int argc, char** argv) {
         }
       }
     } else if (cmd == "put" && parts.size() >= 3) {
-      Report(fs->plain()->WriteFile(parts[1], parts[2]));
+      // Re-tokenize so <text...> keeps its spaces (parts was split for the
+      // 4-argument commands).
+      auto p = Tokenize(line, 3);
+      Report(fs->plain()->WriteFile(p[1], p[2]));
     } else if (cmd == "mkdir" && parts.size() >= 2) {
       Report(fs->plain()->MkDir(parts[1]));
     } else if (cmd == "rm" && parts.size() >= 2) {
@@ -188,7 +191,8 @@ int main(int argc, char** argv) {
     } else if (cmd == "disconnect" && parts.size() >= 2) {
       Report(fs->StegDisconnect(uid, parts[1]));
     } else if (cmd == "hput" && parts.size() >= 3) {
-      Report(fs->HiddenWriteAll(uid, parts[1], parts[2]));
+      auto p = Tokenize(line, 3);
+      Report(fs->HiddenWriteAll(uid, p[1], p[2]));
     } else if (cmd == "hrm" && parts.size() >= 3) {
       Report(fs->HiddenRemove(uid, parts[1], parts[2]));
     } else if (cmd == "tick") {

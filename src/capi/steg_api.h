@@ -57,17 +57,29 @@ const char* steg_strerror(stegfs_volume* vol);
 
 /* --- the paper's nine calls ------------------------------------------- */
 
+/* Creates a hidden object of `objtype` with a fresh random FAK and records
+ * (objname, FAK) in the uak's directory (created on first use). */
 int steg_create(stegfs_volume* vol, const char* uid, const char* objname,
                 const char* uak, char objtype);
+/* Converts the plain file/directory at `pathname` into a hidden object
+ * (recursively for directories) and deletes the plain source. */
 int steg_hide(stegfs_volume* vol, const char* uid, const char* pathname,
               const char* objname, const char* uak);
+/* Converts a hidden object back into a plain file/directory at `pathname`
+ * and deletes the hidden source. */
 int steg_unhide(stegfs_volume* vol, const char* uid, const char* pathname,
                 const char* objname, const char* uak);
+/* Resolves objname through the uak's directory and makes it visible to the
+ * uid session; connecting a hidden directory reveals its offspring too. */
 int steg_connect(stegfs_volume* vol, const char* uid, const char* objname,
                  const char* uak);
 int steg_disconnect(stegfs_volume* vol, const char* uid,
                     const char* objname);
-/* Serialized RSA public/private keys (crypto::Rsa*Key::Serialize bytes). */
+/* Sharing: getentry writes the grantee-RSA-encrypted (objname, type, FAK)
+ * record to the PLAIN file `entryfile`; addentry decrypts such a record
+ * with the grantee's private key, adds it to the grantee's uak directory,
+ * and destroys the entry file. The grantor never learns the grantee's UAK.
+ * Keys are the serialized bytes of crypto::Rsa*Key::Serialize. */
 int steg_getentry(stegfs_volume* vol, const char* uid, const char* objname,
                   const char* uak, const char* entryfile,
                   const uint8_t* pubkey, size_t pubkey_len);

@@ -22,6 +22,13 @@ StatusOr<std::vector<HiddenDirEntry>> DecodeHiddenDir(
   if (!dec.GetFixed32(&count)) {
     return Status::Corruption("hidden directory truncated (count)");
   }
+  // Each entry occupies at least two 4-byte length prefixes plus one type
+  // byte, so a hostile count larger than remaining/9 cannot possibly decode;
+  // reject it before reserving rather than letting reserve() over-allocate.
+  constexpr size_t kMinEntryBytes = 4 + 1 + 4;
+  if (count > dec.remaining() / kMinEntryBytes) {
+    return Status::Corruption("hidden directory count exceeds payload");
+  }
   std::vector<HiddenDirEntry> entries;
   entries.reserve(count);
   for (uint32_t i = 0; i < count; ++i) {

@@ -30,8 +30,8 @@ class FileIo {
   Status Write(Inode* inode, uint64_t offset, std::string_view data,
                BlockStore* store, BlockAllocator* alloc, bool* inode_dirty);
 
-  // Shrinks (or no-ops for growth to `new_size` <= size) the file, freeing
-  // blocks past the new end.
+  // Shrinks the file, freeing blocks past the new end. Growing sets the
+  // size without allocating blocks (the gap reads as zeros).
   Status Truncate(Inode* inode, uint64_t new_size, BlockStore* store,
                   BlockAllocator* alloc, bool* inode_dirty);
 

@@ -65,14 +65,20 @@ class PlainFs {
   PlainFs& operator=(const PlainFs&) = delete;
 
   // --- Path API (absolute, '/'-separated) ------------------------------
+  // Creates an empty regular file; AlreadyExists if the name is taken.
   Status CreateFile(const std::string& path);
   // Creates (or replaces the contents of) the file at `path`.
   Status WriteFile(const std::string& path, const std::string& data);
   StatusOr<std::string> ReadFile(const std::string& path);
+  // Appends up to `n` bytes from `offset` to *out, stopping at end of
+  // file; holes read as zeros.
   Status ReadAt(const std::string& path, uint64_t offset, uint64_t n,
                 std::string* out);
+  // Writes at `offset`, allocating blocks and growing the file as needed.
   Status WriteAt(const std::string& path, uint64_t offset,
                  const std::string& data);
+  // Shrinks the file, freeing blocks past the new end; growing sets the
+  // size without allocating (the gap reads as zeros).
   Status TruncateFile(const std::string& path, uint64_t new_size);
   Status Unlink(const std::string& path);
   Status MkDir(const std::string& path);

@@ -76,8 +76,14 @@ class Vfs {
   // Flushes the descriptor's object (hidden header sync + metadata).
   Status Fsync(int fd);
 
+  // MkDir and Unlink are plain-namespace only: hidden directories are made
+  // with steg_create/steg_hide, and hidden objects are removed through
+  // StegFs::HiddenRemove (which needs the UAK). Both return NotSupported
+  // for /steg/ paths.
   Status MkDir(const std::string& path);
   Status Unlink(const std::string& path);
+  // Listing "/steg" enumerates the session's connected objects; any other
+  // path lists the plain directory.
   StatusOr<std::vector<VfsDirEntry>> ReadDir(const std::string& path);
   StatusOr<uint64_t> FileSize(int fd);
 

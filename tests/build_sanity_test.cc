@@ -1,0 +1,72 @@
+// Build/link sanity: instantiate one public type from every layer of the
+// stack (util -> crypto -> blockdev -> cache -> fs -> core). A link-order
+// or missing-symbol regression in any layer breaks this suite first — it
+// is the cheapest test in the tree and the first one to consult when the
+// build goes red.
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "blockdev/mem_block_device.h"
+#include "cache/buffer_cache.h"
+#include "core/stegfs.h"
+#include "crypto/aes.h"
+#include "fs/plain_fs.h"
+#include "gtest/gtest.h"
+#include "util/status.h"
+
+namespace stegfs {
+namespace {
+
+TEST(BuildSanityTest, UtilStatus) {
+  Status ok = Status::OK();
+  EXPECT_TRUE(ok.ok());
+  Status bad = Status::NotFound("nothing here");
+  EXPECT_FALSE(bad.ok());
+  EXPECT_NE(bad.ToString().find("nothing here"), std::string::npos);
+}
+
+TEST(BuildSanityTest, CryptoAes) {
+  const std::string key(16, '\x42');
+  crypto::Aes aes(key);
+  uint8_t block[16] = {0};
+  uint8_t out[16];
+  aes.EncryptBlock(block, out);
+  uint8_t round_trip[16];
+  aes.DecryptBlock(out, round_trip);
+  EXPECT_EQ(0, std::memcmp(block, round_trip, sizeof(block)));
+}
+
+TEST(BuildSanityTest, BlockdevMemBlockDevice) {
+  MemBlockDevice dev(4096, 64);
+  EXPECT_EQ(dev.block_size(), 4096u);
+  EXPECT_EQ(dev.num_blocks(), 64u);
+}
+
+TEST(BuildSanityTest, CacheBufferCache) {
+  MemBlockDevice dev(4096, 64);
+  BufferCache cache(&dev, 8);
+  EXPECT_EQ(cache.block_size(), 4096u);
+  EXPECT_EQ(cache.num_blocks(), 64u);
+}
+
+TEST(BuildSanityTest, FsPlainFs) {
+  MemBlockDevice dev(4096, 256);
+  ASSERT_TRUE(PlainFs::Format(&dev, FormatOptions{}).ok());
+  auto fs = PlainFs::Mount(&dev, MountOptions{});
+  ASSERT_TRUE(fs.ok());
+  EXPECT_TRUE((*fs)->Exists("/"));
+}
+
+TEST(BuildSanityTest, CoreStegFs) {
+  MemBlockDevice dev(4096, 1024);
+  StegFormatOptions fo;
+  fo.params.dummy_file_count = 1;
+  fo.params.dummy_file_avg_bytes = 4 << 10;
+  ASSERT_TRUE(StegFs::Format(&dev, fo).ok());
+  auto fs = StegFs::Mount(&dev, StegFsOptions{});
+  ASSERT_TRUE(fs.ok());
+}
+
+}  // namespace
+}  // namespace stegfs
