@@ -1,0 +1,205 @@
+// Aggregate ops/sec scaling of the concurrency engine: K OS threads, each a
+// distinct user session, driving one mounted StegFs volume with a mixed
+// read-heavy hidden-file workload (7 whole-file reads : 1 partial rewrite).
+//
+// The device is an in-memory volume throttled to a fixed per-block service
+// latency, so — exactly as on a real disk — aggregate throughput grows with
+// concurrency only if sessions can overlap their device waits. That is what
+// the sharded cache + per-session locking buy: pre-engine, the stack
+// serialized every block access behind one structure.
+//
+// Output: a table on stdout plus BENCH_concurrency.json (machine-readable,
+// archived by CI). Acceptance floor for the engine: >2x aggregate ops/sec
+// at 8 threads vs 1 thread.
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "blockdev/mem_block_device.h"
+#include "blockdev/throttled_block_device.h"
+#include "core/stegfs.h"
+#include "util/random.h"
+
+using namespace stegfs;
+
+namespace {
+
+constexpr uint32_t kBlockSize = 1024;
+constexpr uint64_t kNumBlocks = 64 << 10;  // 64 MB volume
+constexpr int kMaxUsers = 16;
+constexpr int kFilesPerUser = 4;
+constexpr size_t kFileBytes = 64 << 10;  // 64 KB: working set >> cache
+constexpr int kOpsPerThread = 96;
+constexpr auto kLatency = std::chrono::microseconds(40);
+
+std::string Uid(int t) { return "user" + std::to_string(t); }
+std::string Uak(int t) { return "uak" + std::to_string(t); }
+std::string Obj(int f) { return "file" + std::to_string(f); }
+
+struct LevelResult {
+  int threads = 0;
+  int total_ops = 0;
+  double seconds = 0;
+  double ops_per_sec = 0;
+  double speedup = 0;
+};
+
+}  // namespace
+
+int main() {
+  bench::PrintHeader(
+      "Concurrent throughput: real threads, one volume",
+      "aggregate ops/sec vs threads; 64 MB volume, 40us/block device, "
+      "7:1 read:write hidden-file mix");
+
+  MemBlockDevice raw(kBlockSize, kNumBlocks);
+  StegFormatOptions fo;
+  fo.params.dummy_file_count = 2;
+  fo.params.dummy_file_avg_bytes = 64 << 10;
+  fo.entropy = "bench-concurrency";
+  if (!StegFs::Format(&raw, fo).ok()) {
+    std::fprintf(stderr, "format failed\n");
+    return 1;
+  }
+
+  ThrottledBlockDevice dev(&raw, kLatency, kLatency);
+  StegFsOptions so;
+  so.mount.cache_blocks = 128;  // << per-user working set: miss-heavy
+  so.mount.cache_shards = 16;
+  auto mounted = StegFs::Mount(&dev, so);
+  if (!mounted.ok()) {
+    std::fprintf(stderr, "mount failed: %s\n",
+                 mounted.status().ToString().c_str());
+    return 1;
+  }
+  StegFs* fs = mounted->get();
+
+  std::fprintf(stderr, "[throughput] populating %d users x %d files...\n",
+               kMaxUsers, kFilesPerUser);
+  Xoshiro data_rng(20260730);
+  for (int t = 0; t < kMaxUsers; ++t) {
+    for (int f = 0; f < kFilesPerUser; ++f) {
+      std::string content(kFileBytes, '\0');
+      data_rng.FillBytes(reinterpret_cast<uint8_t*>(content.data()),
+                         content.size());
+      if (!fs->StegCreate(Uid(t), Obj(f), Uak(t), HiddenType::kFile).ok() ||
+          !fs->StegConnect(Uid(t), Obj(f), Uak(t)).ok() ||
+          !fs->HiddenWriteAll(Uid(t), Obj(f), content).ok()) {
+        std::fprintf(stderr, "populate failed (user %d file %d)\n", t, f);
+        return 1;
+      }
+    }
+  }
+
+  const int kLevels[] = {1, 2, 4, 8, 16};
+  std::vector<LevelResult> results;
+  std::printf("%-10s%14s%14s%14s%10s\n", "threads", "ops", "seconds",
+              "ops/sec", "speedup");
+  for (int level : kLevels) {
+    // Cold cache per level so every level pays the same miss profile.
+    if (!fs->Flush().ok()) return 1;
+    fs->plain()->cache()->DropAll();
+
+    std::vector<std::thread> threads;
+    std::atomic<int> failed_ops{0};
+    auto start = std::chrono::steady_clock::now();
+    for (int t = 0; t < level; ++t) {
+      threads.emplace_back([fs, level, t, &failed_ops] {
+        Xoshiro rng(level * 1000 + t);
+        std::string scratch(4096, '\0');
+        for (int op = 0; op < kOpsPerThread; ++op) {
+          int f = static_cast<int>(rng.Uniform(kFilesPerUser));
+          if (op % 8 == 7) {
+            // Partial rewrite somewhere inside the file.
+            rng.FillBytes(reinterpret_cast<uint8_t*>(scratch.data()),
+                          scratch.size());
+            uint64_t off = rng.Uniform(kFileBytes - scratch.size());
+            if (!fs->HiddenWrite(Uid(t), Obj(f), off, scratch).ok()) {
+              failed_ops.fetch_add(1);
+              return;
+            }
+          } else {
+            auto data = fs->HiddenReadAll(Uid(t), Obj(f));
+            if (!data.ok() || data->size() != kFileBytes) {
+              failed_ops.fetch_add(1);
+              return;
+            }
+          }
+        }
+      });
+    }
+    for (auto& th : threads) th.join();
+    auto end = std::chrono::steady_clock::now();
+    if (failed_ops.load() != 0) {
+      // A failed op also aborts its thread's remaining ops, so every
+      // derived number would be fiction — refuse to report any.
+      std::fprintf(stderr, "%d op(s) failed at %d threads; aborting\n",
+                   failed_ops.load(), level);
+      return 1;
+    }
+
+    LevelResult r;
+    r.threads = level;
+    r.total_ops = level * kOpsPerThread;
+    r.seconds = std::chrono::duration<double>(end - start).count();
+    r.ops_per_sec = r.total_ops / r.seconds;
+    r.speedup = results.empty() ? 1.0
+                                : r.ops_per_sec / results.front().ops_per_sec;
+    results.push_back(r);
+    std::printf("%-10d%14d%14.3f%14.1f%9.2fx\n", r.threads, r.total_ops,
+                r.seconds, r.ops_per_sec, r.speedup);
+  }
+
+  CacheStats cs = fs->plain()->cache()->stats();
+  std::printf("\ncache: %llu hits, %llu misses (%.1f%% hit rate), "
+              "%llu writebacks; device: %llu reads, %llu writes\n",
+              static_cast<unsigned long long>(cs.hits),
+              static_cast<unsigned long long>(cs.misses),
+              cs.HitRate() * 100,
+              static_cast<unsigned long long>(cs.writebacks),
+              static_cast<unsigned long long>(dev.reads()),
+              static_cast<unsigned long long>(dev.writes()));
+
+  double speedup8 = 0;
+  for (const LevelResult& r : results) {
+    if (r.threads == 8) speedup8 = r.speedup;
+  }
+  std::printf("scaling check: %.2fx aggregate ops/sec at 8 threads vs 1 "
+              "(target > 2x): %s\n",
+              speedup8, speedup8 > 2.0 ? "PASS" : "FAIL");
+
+  std::FILE* json = std::fopen("BENCH_concurrency.json", "w");
+  if (json != nullptr) {
+    std::fprintf(json,
+                 "{\n  \"bench\": \"concurrent_throughput\",\n"
+                 "  \"volume_mb\": %llu,\n  \"block_size\": %u,\n"
+                 "  \"device_latency_us\": %lld,\n"
+                 "  \"workload\": \"7:1 read:write, %d ops/thread, "
+                 "%d KB files\",\n  \"levels\": [\n",
+                 static_cast<unsigned long long>(
+                     kBlockSize * kNumBlocks >> 20),
+                 kBlockSize, static_cast<long long>(kLatency.count()),
+                 kOpsPerThread, static_cast<int>(kFileBytes >> 10));
+    for (size_t i = 0; i < results.size(); ++i) {
+      const LevelResult& r = results[i];
+      std::fprintf(json,
+                   "    {\"threads\": %d, \"ops\": %d, \"seconds\": %.4f, "
+                   "\"ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                   r.threads, r.total_ops, r.seconds, r.ops_per_sec,
+                   r.speedup, i + 1 < results.size() ? "," : "");
+    }
+    std::fprintf(json,
+                 "  ],\n  \"speedup_at_8_threads\": %.3f,\n"
+                 "  \"target\": 2.0,\n  \"pass\": %s\n}\n",
+                 speedup8, speedup8 > 2.0 ? "true" : "false");
+    std::fclose(json);
+    std::printf("wrote BENCH_concurrency.json\n");
+  }
+
+  bench::PrintFooter();
+  return speedup8 > 2.0 ? 0 : 1;
+}

@@ -54,6 +54,7 @@ Status FileBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("read past end of device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
           0 ||
       std::fread(buf, 1, block_size_, file_) != block_size_) {
@@ -66,6 +67,7 @@ Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("write past end of device");
   }
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
           0 ||
       std::fwrite(buf, 1, block_size_, file_) != block_size_) {
@@ -75,6 +77,7 @@ Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
 }
 
 Status FileBlockDevice::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
   if (std::fflush(file_) != 0) {
     return Status::IOError("fflush failed");
   }

@@ -1,12 +1,19 @@
 // Host-file-backed block device, used by the runnable examples so a StegFS
 // volume persists across process runs (and so `steg_backup` has a real file
 // to image).
+//
+// Thread-safe: the fseek+fread/fwrite pair on the shared FILE* is atomic
+// under an internal mutex — required by the C API's thread-safe handle
+// contract, since the sharded cache issues device I/O from many threads
+// (same-shard requests serialize on the shard lock, cross-shard ones do
+// not).
 #ifndef STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
 #define STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
 
 #include <cstdint>
 #include <cstdio>
 #include <memory>
+#include <mutex>
 #include <string>
 
 #include "blockdev/block_device.h"
@@ -35,6 +42,7 @@ class FileBlockDevice : public BlockDevice {
   FileBlockDevice(std::FILE* f, uint32_t block_size, uint64_t num_blocks)
       : file_(f), block_size_(block_size), num_blocks_(num_blocks) {}
 
+  std::mutex mu_;  // makes each seek+transfer pair atomic
   std::FILE* file_;
   uint32_t block_size_;
   uint64_t num_blocks_;

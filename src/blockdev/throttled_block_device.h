@@ -1,0 +1,65 @@
+// ThrottledBlockDevice: a BlockDevice decorator that charges every request
+// a real wall-clock latency (a sleep), turning an in-memory device into a
+// stand-in for a storage device with per-request service time.
+//
+// The real-thread benchmarks (bench_concurrent_throughput, the --threads
+// mode of bench_fig7_multiuser) need this: on a machine with few cores the
+// aggregate-throughput gain from multithreading comes from OVERLAPPING
+// device waits, exactly as it does on real disks — so the decorated device
+// must actually wait, unlike SimDisk which only accounts virtual time.
+//
+// Thread-safety: the decorator adds no shared mutable state beyond atomic
+// counters, so it is as thread-safe as the wrapped device. (MemBlockDevice
+// is safe for concurrent access to distinct blocks; the buffer cache's
+// per-shard locking already serializes same-block access.)
+#ifndef STEGFS_BLOCKDEV_THROTTLED_BLOCK_DEVICE_H_
+#define STEGFS_BLOCKDEV_THROTTLED_BLOCK_DEVICE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <thread>
+
+#include "blockdev/block_device.h"
+
+namespace stegfs {
+
+class ThrottledBlockDevice : public BlockDevice {
+ public:
+  // `inner` must outlive the decorator. Latencies are per whole-block
+  // request; 0 disables the corresponding sleep.
+  ThrottledBlockDevice(BlockDevice* inner, std::chrono::microseconds read_lat,
+                       std::chrono::microseconds write_lat)
+      : inner_(inner), read_lat_(read_lat), write_lat_(write_lat) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  uint64_t num_blocks() const override { return inner_->num_blocks(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    if (read_lat_.count() > 0) std::this_thread::sleep_for(read_lat_);
+    reads_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->ReadBlock(block, buf);
+  }
+
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    if (write_lat_.count() > 0) std::this_thread::sleep_for(write_lat_);
+    writes_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->WriteBlock(block, buf);
+  }
+
+  Status Flush() override { return inner_->Flush(); }
+
+  uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
+  uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
+
+ private:
+  BlockDevice* inner_;
+  std::chrono::microseconds read_lat_;
+  std::chrono::microseconds write_lat_;
+  std::atomic<uint64_t> reads_{0};
+  std::atomic<uint64_t> writes_{0};
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_THROTTLED_BLOCK_DEVICE_H_

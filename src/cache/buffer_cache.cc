@@ -1,14 +1,32 @@
 #include "cache/buffer_cache.h"
 
+#include <algorithm>
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 namespace stegfs {
 
+size_t BufferCache::AutoShardCount(size_t capacity_blocks) {
+  return std::max<size_t>(1, std::min<size_t>(16, capacity_blocks / 64));
+}
+
 BufferCache::BufferCache(BlockDevice* device, size_t capacity_blocks,
-                         WritePolicy policy)
-    : device_(device), capacity_(capacity_blocks), policy_(policy) {
+                         WritePolicy policy, size_t shard_count)
+    : device_(device),
+      capacity_(capacity_blocks),
+      policy_(policy),
+      locks_(shard_count == 0 ? AutoShardCount(capacity_blocks)
+                              : shard_count),
+      shards_(locks_.stripe_count()) {
   assert(capacity_ >= 1);
+  // Split the capacity across shards; early shards take the remainder so
+  // every shard holds at least one block.
+  size_t base = capacity_ / shards_.size();
+  size_t extra = capacity_ % shards_.size();
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    shards_[i].capacity = std::max<size_t>(1, base + (i < extra ? 1 : 0));
+  }
 }
 
 BufferCache::~BufferCache() {
@@ -17,83 +35,119 @@ BufferCache::~BufferCache() {
   (void)Flush();
 }
 
-BufferCache::Entry& BufferCache::Touch(EntryList::iterator it) {
-  lru_.splice(lru_.begin(), lru_, it);
-  return *lru_.begin();
+BufferCache::Entry& BufferCache::Touch(Shard* shard, EntryList::iterator it) {
+  shard->lru.splice(shard->lru.begin(), shard->lru, it);
+  return *shard->lru.begin();
 }
 
-Status BufferCache::EnsureRoom() {
-  while (map_.size() >= capacity_) {
-    Entry& victim = lru_.back();
+Status BufferCache::EnsureRoom(Shard* shard) {
+  while (shard->map.size() >= shard->capacity) {
+    Entry& victim = shard->lru.back();
     if (victim.dirty) {
       STEGFS_RETURN_IF_ERROR(
           device_->WriteBlock(victim.block, victim.data.data()));
-      stats_.writebacks++;
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
-    map_.erase(victim.block);
-    lru_.pop_back();
-    stats_.evictions++;
+    shard->map.erase(victim.block);
+    shard->lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
 }
 
 Status BufferCache::Read(uint64_t block, uint8_t* out) {
-  auto found = map_.find(block);
-  if (found != map_.end()) {
-    stats_.hits++;
-    Entry& e = Touch(found->second);
+  size_t idx = locks_.StripeOf(block);
+  Shard* shard = &shards_[idx];
+  std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+  auto found = shard->map.find(block);
+  if (found != shard->map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    Entry& e = Touch(shard, found->second);
     std::memcpy(out, e.data.data(), e.data.size());
     return Status::OK();
   }
-  stats_.misses++;
-  STEGFS_RETURN_IF_ERROR(EnsureRoom());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
   Entry e;
   e.block = block;
   e.data.resize(device_->block_size());
   STEGFS_RETURN_IF_ERROR(device_->ReadBlock(block, e.data.data()));
   std::memcpy(out, e.data.data(), e.data.size());
-  lru_.push_front(std::move(e));
-  map_[block] = lru_.begin();
+  shard->lru.push_front(std::move(e));
+  shard->map[block] = shard->lru.begin();
   return Status::OK();
 }
 
 Status BufferCache::Write(uint64_t block, const uint8_t* data) {
+  size_t idx = locks_.StripeOf(block);
+  Shard* shard = &shards_[idx];
+  std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
   if (policy_ == WritePolicy::kWriteThrough) {
     STEGFS_RETURN_IF_ERROR(device_->WriteBlock(block, data));
   }
-  auto found = map_.find(block);
-  if (found != map_.end()) {
-    stats_.hits++;
-    Entry& e = Touch(found->second);
+  auto found = shard->map.find(block);
+  if (found != shard->map.end()) {
+    hits_.fetch_add(1, std::memory_order_relaxed);
+    Entry& e = Touch(shard, found->second);
     std::memcpy(e.data.data(), data, e.data.size());
     e.dirty = (policy_ == WritePolicy::kWriteBack);
     return Status::OK();
   }
-  stats_.misses++;
-  STEGFS_RETURN_IF_ERROR(EnsureRoom());
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
   Entry e;
   e.block = block;
   e.data.assign(data, data + device_->block_size());
   e.dirty = (policy_ == WritePolicy::kWriteBack);
-  lru_.push_front(std::move(e));
-  map_[block] = lru_.begin();
+  shard->lru.push_front(std::move(e));
+  shard->map[block] = shard->lru.begin();
+  return Status::OK();
+}
+
+Status BufferCache::FlushShard(Shard* shard) {
+  for (Entry& e : shard->lru) {
+    if (e.dirty) {
+      STEGFS_RETURN_IF_ERROR(device_->WriteBlock(e.block, e.data.data()));
+      e.dirty = false;
+      writebacks_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
   return Status::OK();
 }
 
 Status BufferCache::Flush() {
-  for (Entry& e : lru_) {
-    if (e.dirty) {
-      STEGFS_RETURN_IF_ERROR(device_->WriteBlock(e.block, e.data.data()));
-      e.dirty = false;
-      stats_.writebacks++;
-    }
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::shared_mutex> lock(locks_.stripe(i));
+    STEGFS_RETURN_IF_ERROR(FlushShard(&shards_[i]));
   }
   return device_->Flush();
 }
 
 void BufferCache::DropAll() {
-  lru_.clear();
-  map_.clear();
+  concurrency::StripedSharedMutex::ExclusiveAllGuard all(&locks_);
+  for (Shard& shard : shards_) {
+    shard.lru.clear();
+    shard.map.clear();
+  }
+}
+
+CacheStats BufferCache::stats() const {
+  CacheStats s;
+  s.hits = hits_.load(std::memory_order_relaxed);
+  s.misses = misses_.load(std::memory_order_relaxed);
+  s.evictions = evictions_.load(std::memory_order_relaxed);
+  s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+size_t BufferCache::size() const {
+  size_t total = 0;
+  auto* self = const_cast<BufferCache*>(this);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::shared_mutex> lock(self->locks_.stripe(i));
+    total += shards_[i].map.size();
+  }
+  return total;
 }
 
 }  // namespace stegfs

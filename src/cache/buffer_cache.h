@@ -1,6 +1,24 @@
-// BufferCache: an LRU block cache between the file-system drivers and the
-// block device — the user-space stand-in for the Linux buffer cache layer in
-// the paper's figure 5 architecture.
+// BufferCache: a sharded, thread-safe LRU block cache between the
+// file-system drivers and the block device — the user-space stand-in for
+// the Linux buffer cache layer in the paper's figure 5 architecture.
+//
+// Sharding: the capacity is split across `shard_count` independent shards
+// (per-shard LRU list + hash map), and a block's shard is fixed by a keyed
+// stripe mapping (concurrency/shard_lock.h). Each shard is guarded by its
+// own stripe lock, held across the shard's device I/O too — that is what
+// makes a concurrent miss on the SAME block read the device exactly once,
+// and what keeps write-back eviction correct under contention (a victim's
+// write-back completes before its entry disappears, so no reader can see
+// the device's stale bytes through a cache gap). Operations on blocks in
+// different shards proceed fully in parallel.
+//
+// Statistics are plain atomics: readers (hit-rate probes, the C API's
+// steg_stats) never take any lock.
+//
+// Single-threaded determinism: with one shard this behaves exactly like the
+// classic single-list LRU. Auto-sharding (shard_count = 0) keeps small
+// caches — every cache a test constructs — at one shard, so seeded tests
+// see the historical eviction order; big caches get up to 16 shards.
 //
 // Write policy is configurable:
 //   kWriteBack    - dirty blocks written on eviction / Flush (default; what
@@ -12,18 +30,21 @@
 #ifndef STEGFS_CACHE_BUFFER_CACHE_H_
 #define STEGFS_CACHE_BUFFER_CACHE_H_
 
+#include <atomic>
 #include <cstdint>
 #include <list>
 #include <unordered_map>
 #include <vector>
 
 #include "blockdev/block_device.h"
+#include "concurrency/shard_lock.h"
 #include "util/status.h"
 
 namespace stegfs {
 
 enum class WritePolicy { kWriteBack, kWriteThrough };
 
+// A point-in-time snapshot of the cache counters (taken lock-free).
 struct CacheStats {
   uint64_t hits = 0;
   uint64_t misses = 0;
@@ -38,9 +59,11 @@ struct CacheStats {
 
 class BufferCache {
  public:
-  // `device` must outlive the cache. capacity_blocks >= 1.
+  // `device` must outlive the cache. capacity_blocks >= 1. shard_count 0 =
+  // auto: one shard per 64 blocks of capacity, clamped to [1, 16].
   BufferCache(BlockDevice* device, size_t capacity_blocks,
-              WritePolicy policy = WritePolicy::kWriteBack);
+              WritePolicy policy = WritePolicy::kWriteBack,
+              size_t shard_count = 0);
   ~BufferCache();
 
   BufferCache(const BufferCache&) = delete;
@@ -60,9 +83,11 @@ class BufferCache {
   // use this after rewriting the device underneath the cache).
   void DropAll();
 
-  const CacheStats& stats() const { return stats_; }
-  size_t size() const { return map_.size(); }
+  CacheStats stats() const;                    // lock-free snapshot
+  double hit_rate() const { return stats().HitRate(); }
+  size_t size() const;                         // cached blocks, all shards
   size_t capacity() const { return capacity_; }
+  size_t shard_count() const { return shards_.size(); }
 
  private:
   struct Entry {
@@ -72,17 +97,30 @@ class BufferCache {
   };
   using EntryList = std::list<Entry>;
 
-  // Moves `it` to MRU position and returns the (stable) entry reference.
-  Entry& Touch(EntryList::iterator it);
-  // Evicts LRU entries until there is room for one more.
-  Status EnsureRoom();
+  // One LRU domain; guarded by the same-index stripe of `locks_`.
+  struct Shard {
+    size_t capacity = 1;
+    EntryList lru;  // front = most recently used
+    std::unordered_map<uint64_t, EntryList::iterator> map;
+  };
+
+  static size_t AutoShardCount(size_t capacity_blocks);
+
+  // All helpers below run with the shard's stripe held exclusively.
+  Entry& Touch(Shard* shard, EntryList::iterator it);
+  Status EnsureRoom(Shard* shard);
+  Status FlushShard(Shard* shard);
 
   BlockDevice* device_;
   size_t capacity_;
   WritePolicy policy_;
-  EntryList lru_;  // front = most recently used
-  std::unordered_map<uint64_t, EntryList::iterator> map_;
-  CacheStats stats_;
+  concurrency::StripedSharedMutex locks_;
+  std::vector<Shard> shards_;
+
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> evictions_{0};
+  std::atomic<uint64_t> writebacks_{0};
 };
 
 }  // namespace stegfs

@@ -16,10 +16,13 @@ using stegfs::StatusCode;
 struct stegfs_volume {
   std::unique_ptr<stegfs::BlockDevice> device;
   std::unique_ptr<stegfs::StegFs> fs;
-  std::string last_error;
 };
 
 namespace {
+
+// Per-thread, so concurrent failures on one handle cannot clobber each
+// other's messages (steg_strerror's documented contract).
+thread_local std::string t_last_error;
 
 int CodeOf(const Status& s) {
   switch (s.code()) {
@@ -50,7 +53,8 @@ int CodeOf(const Status& s) {
 }
 
 int Fail(stegfs_volume* vol, const Status& s) {
-  if (vol != nullptr) vol->last_error = s.ToString();
+  (void)vol;
+  if (!s.ok()) t_last_error = s.ToString();
   return CodeOf(s);
 }
 
@@ -117,7 +121,26 @@ int steg_unmount(stegfs_volume* vol) {
 }
 
 const char* steg_strerror(stegfs_volume* vol) {
-  return vol == nullptr ? "" : vol->last_error.c_str();
+  (void)vol;
+  return t_last_error.c_str();
+}
+
+int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
+  if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
+  stegfs::CacheStats cs = vol->fs->plain()->cache()->stats();
+  stegfs::SpaceReport sr = vol->fs->ReportSpace();
+  out->cache_hits = cs.hits;
+  out->cache_misses = cs.misses;
+  out->cache_evictions = cs.evictions;
+  out->cache_writebacks = cs.writebacks;
+  out->cache_hit_rate = cs.HitRate();
+  out->block_size = sr.block_size;
+  out->total_blocks = sr.total_blocks;
+  out->metadata_blocks = sr.metadata_blocks;
+  out->allocated_blocks = sr.allocated_blocks;
+  out->free_blocks = sr.free_blocks;
+  out->plain_file_bytes = sr.plain_file_bytes;
+  return STEG_OK;
 }
 
 int steg_create(stegfs_volume* vol, const char* uid, const char* objname,

@@ -4,12 +4,20 @@
 //   steg_getentry, steg_addentry, steg_backup, steg_recovery
 //
 // plus the volume/session plumbing a C caller needs (mkfs/mount/unmount,
-// read/write on connected objects). All functions return 0 on success or a
-// negative errno-style code; steg_strerror() yields the detailed message of
-// the most recent failure on the handle.
+// read/write on connected objects, steg_stats introspection). All
+// functions return 0 on success or a negative errno-style code;
+// steg_strerror() yields the detailed message of the calling thread's most
+// recent failure.
 //
-// Thread-compatibility: a stegfs_volume handle must be used from one thread
-// at a time (same contract as the C++ classes underneath).
+// Thread-safety: a mounted stegfs_volume handle is thread-safe — any
+// number of threads may issue calls on one handle concurrently, and calls
+// for distinct (uid, object) sessions proceed in parallel (the C++ stack
+// underneath carries per-session, per-object and sharded-cache locking;
+// see docs/ARCHITECTURE.md "Concurrency model"). Error messages are kept
+// per thread, so steg_strerror() always describes the calling thread's own
+// last failure. Only the lifecycle edges stay single-threaded: steg_mkfs,
+// steg_mount, steg_recovery, and steg_unmount (which must not race any
+// other call on the dying handle).
 #ifndef STEGFS_CAPI_STEG_API_H_
 #define STEGFS_CAPI_STEG_API_H_
 
@@ -52,8 +60,33 @@ int steg_mount(const char* image_path, uint32_t block_size,
 /* Flushes and releases the handle (disconnects all sessions). */
 int steg_unmount(stegfs_volume* vol);
 
-/* Detailed message of the handle's most recent error ("" if none). */
+/* Detailed message of the calling thread's most recent error ("" if none).
+ * The pointer stays valid until the same thread's next failing call. */
 const char* steg_strerror(stegfs_volume* vol);
+
+/* --- introspection ----------------------------------------------------- */
+
+/* Point-in-time volume + buffer-cache counters. Cache counters are read
+ * lock-free; space counters are consistent snapshots of the bitmap/inode
+ * state. */
+typedef struct stegfs_stats {
+  /* buffer cache */
+  uint64_t cache_hits;
+  uint64_t cache_misses;
+  uint64_t cache_evictions;
+  uint64_t cache_writebacks;
+  double cache_hit_rate; /* hits / (hits + misses), 0.0 when idle */
+  /* space report */
+  uint64_t block_size;
+  uint64_t total_blocks;
+  uint64_t metadata_blocks;
+  uint64_t allocated_blocks; /* includes metadata */
+  uint64_t free_blocks;
+  uint64_t plain_file_bytes;
+} stegfs_stats;
+
+/* Fills *out; safe to call concurrently with any other operation. */
+int steg_stats(stegfs_volume* vol, stegfs_stats* out);
 
 /* --- the paper's nine calls ------------------------------------------- */
 

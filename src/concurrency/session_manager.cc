@@ -1,0 +1,89 @@
+#include "concurrency/session_manager.h"
+
+namespace stegfs {
+namespace concurrency {
+
+bool Session::Contains(const std::string& objname) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  return objects_.count(objname) != 0;
+}
+
+std::shared_ptr<SessionObject> Session::Find(
+    const std::string& objname) const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  auto it = objects_.find(objname);
+  return it == objects_.end() ? nullptr : it->second;
+}
+
+bool Session::Insert(const std::string& objname, const std::string& fak,
+                     std::unique_ptr<HiddenObject> object) {
+  auto so = std::make_shared<SessionObject>();
+  so->name = objname;
+  so->fak = fak;
+  so->object = std::move(object);
+  std::lock_guard<std::shared_mutex> lock(table_mu_);
+  return objects_.emplace(objname, std::move(so)).second;
+}
+
+std::shared_ptr<SessionObject> Session::Remove(const std::string& objname) {
+  std::lock_guard<std::shared_mutex> lock(table_mu_);
+  auto it = objects_.find(objname);
+  if (it == objects_.end()) return nullptr;
+  std::shared_ptr<SessionObject> so = std::move(it->second);
+  objects_.erase(it);
+  return so;
+}
+
+std::vector<std::shared_ptr<SessionObject>> Session::RemoveAll() {
+  std::lock_guard<std::shared_mutex> lock(table_mu_);
+  std::vector<std::shared_ptr<SessionObject>> out;
+  out.reserve(objects_.size());
+  for (auto& [name, so] : objects_) out.push_back(std::move(so));
+  objects_.clear();
+  return out;
+}
+
+std::vector<std::string> Session::Names() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  std::vector<std::string> names;
+  names.reserve(objects_.size());
+  for (const auto& [name, so] : objects_) names.push_back(name);
+  return names;
+}
+
+std::vector<std::shared_ptr<SessionObject>> Session::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(table_mu_);
+  std::vector<std::shared_ptr<SessionObject>> out;
+  out.reserve(objects_.size());
+  for (const auto& [name, so] : objects_) out.push_back(so);
+  return out;
+}
+
+std::shared_ptr<Session> SessionManager::GetOrCreate(const std::string& uid) {
+  {
+    std::shared_lock<std::shared_mutex> lock(mu_);
+    auto it = sessions_.find(uid);
+    if (it != sessions_.end()) return it->second;
+  }
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  auto [it, inserted] = sessions_.emplace(uid, nullptr);
+  if (inserted) it->second = std::make_shared<Session>(uid);
+  return it->second;
+}
+
+std::shared_ptr<Session> SessionManager::Find(const std::string& uid) const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  auto it = sessions_.find(uid);
+  return it == sessions_.end() ? nullptr : it->second;
+}
+
+std::vector<std::shared_ptr<Session>> SessionManager::Snapshot() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  std::vector<std::shared_ptr<Session>> out;
+  out.reserve(sessions_.size());
+  for (const auto& [uid, session] : sessions_) out.push_back(session);
+  return out;
+}
+
+}  // namespace concurrency
+}  // namespace stegfs

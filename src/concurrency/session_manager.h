@@ -1,0 +1,103 @@
+// SessionManager: the per-user session layer that lets many users drive one
+// mounted StegFs volume from many threads at once.
+//
+// It owns what used to be StegFs's single connected_ table, split two ways:
+//   SessionManager - uid -> Session          (rw-locked registry)
+//   Session        - objname -> SessionObject (rw-locked per-uid table)
+//   SessionObject  - one connected HiddenObject + its object lock
+//
+// Locking (levels 1-2 of the volume lock hierarchy, see
+// docs/ARCHITECTURE.md "Concurrency model"):
+//   - Session::ns_mu serializes one uid's NAMESPACE operations (create,
+//     hide/unhide, remove, sharing, connect resolution) — these
+//     read-modify-write the uid's hidden directories, so they must not
+//     interleave within a uid. Distinct uids' namespace ops run in
+//     parallel; they only meet at the allocation/plain locks below.
+//   - SessionObject::mu serializes I/O on one connected object; I/O on
+//     different objects (same uid or not) runs in parallel.
+//
+// SessionObjects are handed out as shared_ptr: a disconnect can drop the
+// table entry while a reader still holds the object; the reader finishes
+// under the object lock and the object dies with its last holder.
+#ifndef STEGFS_CONCURRENCY_SESSION_MANAGER_H_
+#define STEGFS_CONCURRENCY_SESSION_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/hidden_object.h"
+
+namespace stegfs {
+namespace concurrency {
+
+// One connected hidden object within a session.
+struct SessionObject {
+  std::string name;  // objname within the owning uid's namespace
+  std::string fak;
+  std::unique_ptr<HiddenObject> object;
+  std::mutex mu;  // object lock: held for every operation on `object`
+  // True once the on-disk object has been destroyed (remove/unhide/
+  // revoke). Written under mu BEFORE the blocks are freed; every I/O path
+  // re-checks it after locking mu, which closes the window where a thread
+  // fetched this shared_ptr from the table, lost the race to a destroyer,
+  // and would otherwise write through a stale free pool into freed (and
+  // possibly reallocated) blocks.
+  bool defunct = false;
+};
+
+class Session {
+ public:
+  explicit Session(std::string uid) : uid_(std::move(uid)) {}
+
+  const std::string& uid() const { return uid_; }
+  // Namespace lock; callers hold it across a whole resolve/modify flow.
+  std::mutex& ns_mu() { return ns_mu_; }
+
+  bool Contains(const std::string& objname) const;
+  // nullptr when not connected.
+  std::shared_ptr<SessionObject> Find(const std::string& objname) const;
+  // False (and no change) if `objname` is already connected.
+  bool Insert(const std::string& objname, const std::string& fak,
+              std::unique_ptr<HiddenObject> object);
+  // Detaches and returns the entry (nullptr if absent); the caller
+  // finalizes it (Sync) under its object lock.
+  std::shared_ptr<SessionObject> Remove(const std::string& objname);
+  std::vector<std::shared_ptr<SessionObject>> RemoveAll();
+
+  std::vector<std::string> Names() const;
+  std::vector<std::shared_ptr<SessionObject>> Snapshot() const;
+
+ private:
+  std::string uid_;
+  std::mutex ns_mu_;
+  mutable std::shared_mutex table_mu_;
+  std::map<std::string, std::shared_ptr<SessionObject>> objects_;
+};
+
+class SessionManager {
+ public:
+  SessionManager() = default;
+  SessionManager(const SessionManager&) = delete;
+  SessionManager& operator=(const SessionManager&) = delete;
+
+  // Sessions are created on first use and live until the volume unmounts
+  // (an empty session is a few pointers; uids are not unbounded).
+  std::shared_ptr<Session> GetOrCreate(const std::string& uid);
+  // nullptr when the uid never connected anything.
+  std::shared_ptr<Session> Find(const std::string& uid) const;
+  std::vector<std::shared_ptr<Session>> Snapshot() const;
+
+ private:
+  mutable std::shared_mutex mu_;
+  std::unordered_map<std::string, std::shared_ptr<Session>> sessions_;
+};
+
+}  // namespace concurrency
+}  // namespace stegfs
+
+#endif  // STEGFS_CONCURRENCY_SESSION_MANAGER_H_

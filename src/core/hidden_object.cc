@@ -7,6 +7,17 @@
 
 namespace stegfs {
 
+namespace {
+
+// Locks the volume's allocation mutex when one is configured; a no-op
+// (empty) lock otherwise, so direct single-threaded users pay nothing.
+std::unique_lock<std::mutex> LockAlloc(std::mutex* mu) {
+  return mu != nullptr ? std::unique_lock<std::mutex>(*mu)
+                       : std::unique_lock<std::mutex>();
+}
+
+}  // namespace
+
 HiddenObject::HiddenObject(const HiddenVolume& vol,
                            const std::string& physical_name,
                            const std::string& access_key)
@@ -83,6 +94,11 @@ HiddenObject::~HiddenObject() {
 }
 
 Status HiddenObject::TopUpPool() {
+  auto alloc = LockAlloc(vol_.alloc_mu);
+  return TopUpPoolLocked();
+}
+
+Status HiddenObject::TopUpPoolLocked() {
   const uint32_t target = EffectivePoolMax();
   while (header_.free_pool.size() < target) {
     STEGFS_ASSIGN_OR_RETURN(
@@ -96,6 +112,11 @@ Status HiddenObject::TopUpPool() {
 }
 
 Status HiddenObject::ReleaseExcess() {
+  auto alloc = LockAlloc(vol_.alloc_mu);
+  return ReleaseExcessLocked();
+}
+
+Status HiddenObject::ReleaseExcessLocked() {
   const uint32_t target = EffectivePoolMax();
   while (header_.free_pool.size() > target) {
     size_t idx = vol_.rng->Uniform(header_.free_pool.size());
@@ -113,13 +134,14 @@ Status HiddenObject::ReleaseExcess() {
 
 StatusOr<uint64_t> HiddenObject::PoolAllocator::AllocateBlock() {
   HiddenObject* obj = obj_;
+  auto alloc = LockAlloc(obj->vol_.alloc_mu);
   if (obj->EffectivePoolMax() == 0) {
     // Pool disabled: degrade to direct random allocation.
     return obj->vol_.bitmap->AllocateByPolicy(AllocPolicy::kRandom,
                                               obj->vol_.rng);
   }
   if (obj->header_.free_pool.empty()) {
-    STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
+    STEGFS_RETURN_IF_ERROR(obj->TopUpPoolLocked());
     if (obj->header_.free_pool.empty()) {
       return Status::NoSpace("volume full (hidden pool refill failed)");
     }
@@ -134,16 +156,17 @@ StatusOr<uint64_t> HiddenObject::PoolAllocator::AllocateBlock() {
   obj->header_dirty_ = true;
   // Top up when the pool drains below the lower bound.
   if (obj->header_.free_pool.size() < obj->vol_.params.free_pool_min) {
-    STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
+    STEGFS_RETURN_IF_ERROR(obj->TopUpPoolLocked());
   }
   return b;
 }
 
 Status HiddenObject::PoolAllocator::FreeBlock(uint64_t block) {
   HiddenObject* obj = obj_;
+  auto alloc = LockAlloc(obj->vol_.alloc_mu);
   obj->header_.free_pool.push_back(static_cast<uint32_t>(block));
   obj->header_dirty_ = true;
-  return obj->ReleaseExcess();
+  return obj->ReleaseExcessLocked();
 }
 
 Status HiddenObject::Read(uint64_t offset, uint64_t n, std::string* out) {
@@ -183,8 +206,11 @@ Status HiddenObject::Truncate(uint64_t new_size) {
 Status HiddenObject::Sync() {
   if (removed_) return Status::FailedPrecondition("object was removed");
   // Scrub pool blocks that still hold pre-acquisition content, so nothing
-  // inside this object's footprint is distinguishable from noise.
+  // inside this object's footprint is distinguishable from noise. The
+  // shared rng draw needs the allocation lock; the cache writes nest below
+  // it in the lock order.
   if (!unscrubbed_.empty()) {
+    auto alloc = LockAlloc(vol_.alloc_mu);
     std::vector<uint8_t> noise(vol_.layout.block_size);
     for (uint32_t b : unscrubbed_) {
       vol_.rng->FillBytes(noise.data(), noise.size());
@@ -205,9 +231,11 @@ Status HiddenObject::Sync() {
 Status HiddenObject::Remove() {
   if (removed_) return Status::FailedPrecondition("object already removed");
   // Free data + indirect blocks into the pool, then drain the entire pool
-  // back to the file system.
+  // back to the file system. FreeFrom drives the allocator, which takes the
+  // allocation lock per call — so it must not be held here yet.
   STEGFS_RETURN_IF_ERROR(
       io_.mapper()->FreeFrom(&header_.inode, 0, &store_, &allocator_));
+  auto alloc = LockAlloc(vol_.alloc_mu);
   for (uint32_t b : header_.free_pool) {
     STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
   }

@@ -18,6 +18,7 @@
 #define STEGFS_CORE_HIDDEN_OBJECT_H_
 
 #include <memory>
+#include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
@@ -45,8 +46,20 @@ struct HiddenVolume {
   StegParams params;
   Xoshiro* rng = nullptr;  // placement randomness (pool refills)
   uint32_t probe_limit = 10000;
+  // When non-null, the volume's allocation lock: it serializes every
+  // compound bitmap/free-pool mutation AND every draw from the shared
+  // `rng`. StegFs sets it so hidden objects on different sessions can run
+  // in parallel; single-threaded users (tests, benches, the baselines) may
+  // leave it null for exactly the historical behavior. Lock order: taken
+  // below the per-object lock, above the bitmap/cache internal locks.
+  std::mutex* alloc_mu = nullptr;
 };
 
+// Threading contract: one HiddenObject instance is used by one thread at a
+// time (StegFs serializes per-instance access behind the session manager's
+// per-object lock). Cross-instance shared state — bitmap, cache, and the
+// shared rng — is protected by those components' own locks plus the
+// volume-wide allocation lock in HiddenVolume::alloc_mu.
 class HiddenObject {
  public:
   // Creates a new hidden object. Fails with AlreadyExists if an object with
@@ -112,6 +125,9 @@ class HiddenObject {
   // Releases random pool entries back to the file system until the pool is
   // at most free_pool_max.
   Status ReleaseExcess();
+  // *Locked variants assume vol_.alloc_mu (if any) is already held.
+  Status TopUpPoolLocked();
+  Status ReleaseExcessLocked();
   uint32_t EffectivePoolMax() const;
 
   HiddenVolume vol_;

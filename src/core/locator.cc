@@ -24,7 +24,14 @@ StatusOr<LocateResult> HeaderLocator::ClaimHeaderBlock(
     uint64_t candidate = seq.Next();
     ++result.probes;
     if (!bitmap_->IsAllocated(candidate)) {
-      STEGFS_RETURN_IF_ERROR(bitmap_->Allocate(candidate));
+      Status claimed = bitmap_->Allocate(candidate);
+      if (claimed.IsFailedPrecondition()) {
+        // Lost an allocation race: another session claimed the candidate
+        // between the probe and the test-and-set. The next candidate is as
+        // good as this one was.
+        continue;
+      }
+      STEGFS_RETURN_IF_ERROR(claimed);
       result.header_block = candidate;
       return result;
     }

@@ -64,6 +64,7 @@ HiddenVolume StegFs::VolumeCtx() {
   vol.params = plain_->superblock().steg;
   vol.rng = &steg_rng_;
   vol.probe_limit = options_.probe_limit;
+  vol.alloc_mu = &alloc_mu_;
   return vol;
 }
 
@@ -165,7 +166,10 @@ StatusOr<std::unique_ptr<StegFs>> StegFs::Mount(BlockDevice* device,
       new StegFs(device, std::move(plain), options));
 }
 
-std::string StegFs::FreshFak() { return fak_drbg_.GenerateString(32); }
+std::string StegFs::FreshFak() {
+  std::lock_guard<std::mutex> lock(fak_mu_);
+  return fak_drbg_.GenerateString(32);
+}
 
 StatusOr<std::unique_ptr<HiddenObject>> StegFs::OpenUakDir(
     const std::string& uid, const std::string& uak, bool create_if_missing) {
@@ -246,6 +250,8 @@ Status StegFs::RewriteContainer(const std::string& uid,
 
 Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
                           const std::string& uak, HiddenType type) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
                           OpenUakDir(uid, uak, /*create_if_missing=*/true));
   STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
@@ -270,17 +276,21 @@ Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
   return plain_->PersistMeta();
 }
 
-StatusOr<StegFs::Connected*> StegFs::GetConnected(const std::string& uid,
-                                                  const std::string& objname) {
-  auto it = connected_.find({uid, objname});
-  if (it == connected_.end()) {
+StatusOr<std::shared_ptr<concurrency::SessionObject>> StegFs::AcquireConnected(
+    const std::string& uid, const std::string& objname) {
+  auto session = sessions_.Find(uid);
+  std::shared_ptr<concurrency::SessionObject> so =
+      session == nullptr ? nullptr : session->Find(objname);
+  if (so == nullptr) {
     return Status::FailedPrecondition("object not connected: " + objname);
   }
-  return &it->second;
+  return so;
 }
 
 Status StegFs::StegConnect(const std::string& uid, const std::string& objname,
                            const std::string& uak) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
                           ResolveEntry(uid, objname, uak));
 
@@ -289,7 +299,7 @@ Status StegFs::StegConnect(const std::string& uid, const std::string& objname,
   while (!frontier.empty()) {
     HiddenDirEntry entry = std::move(frontier.back());
     frontier.pop_back();
-    if (connected_.count({uid, entry.name}) != 0) continue;
+    if (session->Contains(entry.name)) continue;
     STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
                             OpenByEntry(uid, entry));
     if (obj->type() == HiddenType::kDirectory) {
@@ -299,110 +309,151 @@ Status StegFs::StegConnect(const std::string& uid, const std::string& objname,
         frontier.push_back(std::move(child));
       }
     }
-    Connected conn;
-    conn.fak = entry.fak;
-    conn.object = std::move(obj);
-    connected_.emplace(SessionKey{uid, entry.name}, std::move(conn));
+    session->Insert(entry.name, entry.fak, std::move(obj));
   }
   return Status::OK();
 }
 
 Status StegFs::StegDisconnect(const std::string& uid,
                               const std::string& objname) {
-  auto it = connected_.find({uid, objname});
-  if (it == connected_.end()) {
+  auto session = sessions_.Find(uid);
+  std::shared_ptr<concurrency::SessionObject> so =
+      session == nullptr ? nullptr : session->Remove(objname);
+  if (so == nullptr) {
     return Status::NotFound("object not connected: " + objname);
   }
-  Status s = it->second.object->Sync();
-  connected_.erase(it);
-  STEGFS_RETURN_IF_ERROR(s);
+  {
+    std::lock_guard<std::mutex> obj_lock(so->mu);
+    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+  }
   return plain_->PersistMeta();
 }
 
 Status StegFs::DisconnectAll(const std::string& uid) {
-  for (auto it = connected_.begin(); it != connected_.end();) {
-    if (it->first.first == uid) {
-      STEGFS_RETURN_IF_ERROR(it->second.object->Sync());
-      it = connected_.erase(it);
-    } else {
-      ++it;
-    }
+  auto session = sessions_.Find(uid);
+  if (session == nullptr) return plain_->PersistMeta();
+  for (const auto& so : session->RemoveAll()) {
+    std::lock_guard<std::mutex> obj_lock(so->mu);
+    STEGFS_RETURN_IF_ERROR(so->object->Sync());
   }
   return plain_->PersistMeta();
 }
 
 StatusOr<std::string> StegFs::HiddenReadAll(const std::string& uid,
                                             const std::string& objname) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  return conn->object->ReadAll();
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  std::lock_guard<std::mutex> obj_lock(so->mu);
+  if (so->defunct) {
+    return Status::FailedPrecondition("object not connected: " + objname);
+  }
+  return so->object->ReadAll();
 }
 
 Status StegFs::HiddenRead(const std::string& uid, const std::string& objname,
                           uint64_t offset, uint64_t n, std::string* out) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  return conn->object->Read(offset, n, out);
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  std::lock_guard<std::mutex> obj_lock(so->mu);
+  if (so->defunct) {
+    return Status::FailedPrecondition("object not connected: " + objname);
+  }
+  return so->object->Read(offset, n, out);
 }
 
 Status StegFs::HiddenWriteAll(const std::string& uid,
                               const std::string& objname,
                               const std::string& data) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  STEGFS_RETURN_IF_ERROR(conn->object->WriteAll(data));
-  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  {
+    std::lock_guard<std::mutex> obj_lock(so->mu);
+    if (so->defunct) {
+      return Status::FailedPrecondition("object not connected: " + objname);
+    }
+    STEGFS_RETURN_IF_ERROR(so->object->WriteAll(data));
+    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+  }
   return plain_->PersistMeta();
 }
 
 Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
                            uint64_t offset, const std::string& data) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  STEGFS_RETURN_IF_ERROR(conn->object->Write(offset, data));
-  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  {
+    std::lock_guard<std::mutex> obj_lock(so->mu);
+    if (so->defunct) {
+      return Status::FailedPrecondition("object not connected: " + objname);
+    }
+    STEGFS_RETURN_IF_ERROR(so->object->Write(offset, data));
+    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+  }
   return plain_->PersistMeta();
 }
 
 Status StegFs::HiddenTruncate(const std::string& uid,
                               const std::string& objname, uint64_t new_size) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  STEGFS_RETURN_IF_ERROR(conn->object->Truncate(new_size));
-  STEGFS_RETURN_IF_ERROR(conn->object->Sync());
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  {
+    std::lock_guard<std::mutex> obj_lock(so->mu);
+    if (so->defunct) {
+      return Status::FailedPrecondition("object not connected: " + objname);
+    }
+    STEGFS_RETURN_IF_ERROR(so->object->Truncate(new_size));
+    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+  }
   return plain_->PersistMeta();
 }
 
 StatusOr<uint64_t> StegFs::HiddenSize(const std::string& uid,
                                       const std::string& objname) {
-  STEGFS_ASSIGN_OR_RETURN(Connected * conn, GetConnected(uid, objname));
-  return conn->object->size();
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  std::lock_guard<std::mutex> obj_lock(so->mu);
+  if (so->defunct) {
+    return Status::FailedPrecondition("object not connected: " + objname);
+  }
+  return so->object->size();
 }
 
 std::vector<std::string> StegFs::ConnectedObjects(
     const std::string& uid) const {
-  std::vector<std::string> names;
-  for (const auto& [key, conn] : connected_) {
-    if (key.first == uid) names.push_back(key.second);
-  }
-  return names;
+  auto session = sessions_.Find(uid);
+  if (session == nullptr) return {};
+  return session->Names();
 }
 
-Status StegFs::RemoveTree(const std::string& uid,
-                          const HiddenDirEntry& entry) {
-  STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
-                          OpenByEntry(uid, entry));
+Status StegFs::RemoveTree(const std::string& uid, const HiddenDirEntry& entry,
+                          concurrency::Session* session) {
+  // If the object is connected, detach it first and destroy it THROUGH the
+  // connected instance under its object lock — that drains any in-flight
+  // I/O on it before its blocks are released.
+  std::shared_ptr<concurrency::SessionObject> so =
+      session == nullptr ? nullptr : session->Remove(entry.name);
+  std::unique_ptr<HiddenObject> opened;
+  HiddenObject* obj = nullptr;
+  std::unique_lock<std::mutex> obj_lock;
+  if (so != nullptr) {
+    obj_lock = std::unique_lock<std::mutex>(so->mu);
+    obj = so->object.get();
+  } else {
+    STEGFS_ASSIGN_OR_RETURN(opened, OpenByEntry(uid, entry));
+    obj = opened.get();
+  }
   if (obj->type() == HiddenType::kDirectory) {
     STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> children,
-                            HiddenDirView::Load(obj.get()));
+                            HiddenDirView::Load(obj));
     for (const HiddenDirEntry& child : children) {
-      STEGFS_RETURN_IF_ERROR(RemoveTree(uid, child));
+      STEGFS_RETURN_IF_ERROR(RemoveTree(uid, child, session));
     }
   }
-  connected_.erase({uid, entry.name});
+  if (so != nullptr) so->defunct = true;
   return obj->Remove();
 }
 
 Status StegFs::HiddenRemove(const std::string& uid, const std::string& objname,
                             const std::string& uak) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
                           ResolveEntry(uid, objname, uak));
-  STEGFS_RETURN_IF_ERROR(RemoveTree(uid, resolved.entry));
+  STEGFS_RETURN_IF_ERROR(RemoveTree(uid, resolved.entry, session.get()));
   return RewriteContainer(uid, uak, resolved, /*replacement=*/nullptr);
 }
 
@@ -448,6 +499,8 @@ Status StegFs::HidePlainTree(const std::string& uid,
 
 Status StegFs::StegHide(const std::string& uid, const std::string& pathname,
                         const std::string& objname, const std::string& uak) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
                           OpenUakDir(uid, uak, /*create_if_missing=*/true));
   STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
@@ -466,7 +519,8 @@ Status StegFs::StegHide(const std::string& uid, const std::string& pathname,
 
 Status StegFs::UnhideTree(const std::string& uid,
                           const std::string& plain_path,
-                          const HiddenDirEntry& entry) {
+                          const HiddenDirEntry& entry,
+                          concurrency::Session* session) {
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> obj,
                           OpenByEntry(uid, entry));
   if (obj->type() == HiddenType::kFile) {
@@ -480,15 +534,24 @@ Status StegFs::UnhideTree(const std::string& uid,
       // Child names are full object paths; the leaf is the path suffix.
       std::string leaf = child.name.substr(child.name.find_last_of('/') + 1);
       STEGFS_RETURN_IF_ERROR(
-          UnhideTree(uid, plain_path + "/" + leaf, child));
+          UnhideTree(uid, plain_path + "/" + leaf, child, session));
     }
   }
-  connected_.erase({uid, entry.name});
+  // Drop any connected instance (draining its in-flight I/O) before the
+  // on-disk object goes away.
+  std::shared_ptr<concurrency::SessionObject> so =
+      session == nullptr ? nullptr : session->Remove(entry.name);
+  if (so != nullptr) {
+    std::lock_guard<std::mutex> drain(so->mu);
+    so->defunct = true;
+  }
   return obj->Remove();
 }
 
 Status StegFs::StegUnhide(const std::string& uid, const std::string& pathname,
                           const std::string& objname, const std::string& uak) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
                           OpenUakDir(uid, uak, /*create_if_missing=*/false));
   STEGFS_ASSIGN_OR_RETURN(std::vector<HiddenDirEntry> entries,
@@ -497,7 +560,8 @@ Status StegFs::StegUnhide(const std::string& uid, const std::string& pathname,
   if (idx < 0) {
     return Status::NotFound("object not in UAK directory: " + objname);
   }
-  STEGFS_RETURN_IF_ERROR(UnhideTree(uid, pathname, entries[idx]));
+  STEGFS_RETURN_IF_ERROR(
+      UnhideTree(uid, pathname, entries[idx], session.get()));
   HiddenDirView::Erase(&entries, objname);
   STEGFS_RETURN_IF_ERROR(HiddenDirView::Store(uakdir.get(), entries));
   return plain_->PersistMeta();
@@ -508,6 +572,8 @@ Status StegFs::StegGetEntry(const std::string& uid, const std::string& objname,
                             const std::string& entryfile_path,
                             const crypto::RsaPublicKey& recipient_key,
                             const std::string& entropy) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
                           ResolveEntry(uid, objname, uak));
   std::string record = EncodeHiddenDir({resolved.entry});
@@ -520,6 +586,8 @@ Status StegFs::StegAddEntry(const std::string& uid,
                             const std::string& entryfile_path,
                             const crypto::RsaPrivateKey& private_key,
                             const std::string& uak) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::string ciphertext,
                           plain_->ReadFile(entryfile_path));
   STEGFS_ASSIGN_OR_RETURN(std::string record,
@@ -545,6 +613,8 @@ Status StegFs::RevokeSharing(const std::string& uid,
                              const std::string& objname,
                              const std::string& uak,
                              const std::string& new_objname) {
+  auto session = sessions_.GetOrCreate(uid);
+  std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
                           ResolveEntry(uid, objname, uak));
   const HiddenDirEntry& old_entry = resolved.entry;
@@ -568,13 +638,20 @@ Status StegFs::RevokeSharing(const std::string& uid,
                            new_entry.fak, HiddenType::kFile));
   STEGFS_RETURN_IF_ERROR(new_obj->WriteAll(content));
   STEGFS_RETURN_IF_ERROR(new_obj->Sync());
+  if (auto so = session->Remove(objname)) {
+    std::lock_guard<std::mutex> drain(so->mu);
+    so->defunct = true;
+  }
   STEGFS_RETURN_IF_ERROR(old_obj->Remove());
-  connected_.erase({uid, objname});
 
   return RewriteContainer(uid, uak, resolved, &new_entry);
 }
 
 Status StegFs::MaintenanceTick() {
+  // One tick at a time; user I/O keeps flowing (the dummies are touched by
+  // nobody else, and the shared rng draws below take the allocation lock
+  // in short sections, never across an object operation).
+  std::lock_guard<std::mutex> maint_lock(maint_mu_);
   const Superblock& sb = plain_->superblock();
   HiddenVolume vol = VolumeCtx();
   const uint64_t avg = std::max<uint64_t>(sb.steg.dummy_file_avg_bytes, 1);
@@ -587,23 +664,32 @@ Status StegFs::MaintenanceTick() {
     uint64_t size = obj->size();
     uint64_t churn = std::max<uint64_t>(avg / 16, vol.layout.block_size);
     std::string noise(churn, '\0');
-    steg_rng_.FillBytes(reinterpret_cast<uint8_t*>(noise.data()),
-                        noise.size());
+    bool grow;
+    {
+      std::lock_guard<std::mutex> alloc_lock(alloc_mu_);
+      steg_rng_.FillBytes(reinterpret_cast<uint8_t*>(noise.data()),
+                          noise.size());
+      grow = steg_rng_.Bernoulli(0.5);
+    }
     // Keep the file near its average size while continually allocating and
     // releasing blocks, so bitmap diffs always show churn.
     if (size > avg + avg / 2) {
       STEGFS_RETURN_IF_ERROR(obj->Truncate(size - churn));
     } else if (size < avg / 2 + 1) {
       STEGFS_RETURN_IF_ERROR(obj->Write(size, noise));
-    } else if (steg_rng_.Bernoulli(0.5)) {
-      STEGFS_RETURN_IF_ERROR(obj->Write(size, noise));  // grow
+    } else if (grow) {
+      STEGFS_RETURN_IF_ERROR(obj->Write(size, noise));
     } else {
       STEGFS_RETURN_IF_ERROR(obj->Truncate(size - std::min(size, churn)));
     }
     // Rewrite a random interior range.
     uint64_t new_size = obj->size();
     if (new_size > churn) {
-      uint64_t off = steg_rng_.Uniform(new_size - churn);
+      uint64_t off;
+      {
+        std::lock_guard<std::mutex> alloc_lock(alloc_mu_);
+        off = steg_rng_.Uniform(new_size - churn);
+      }
       STEGFS_RETURN_IF_ERROR(obj->Write(off, noise));
     }
     STEGFS_RETURN_IF_ERROR(obj->Sync());
@@ -612,8 +698,12 @@ Status StegFs::MaintenanceTick() {
 }
 
 Status StegFs::Flush() {
-  for (auto& [key, conn] : connected_) {
-    STEGFS_RETURN_IF_ERROR(conn.object->Sync());
+  for (const auto& session : sessions_.Snapshot()) {
+    for (const auto& so : session->Snapshot()) {
+      std::lock_guard<std::mutex> obj_lock(so->mu);
+      if (so->defunct) continue;
+      STEGFS_RETURN_IF_ERROR(so->object->Sync());
+    }
   }
   return plain_->Flush();
 }

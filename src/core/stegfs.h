@@ -17,15 +17,25 @@
 // Naming note: the paper's C-style APIs (steg_create, ...) map to
 // StegCreate, StegHide, ... methods here; "physical file name" is
 // uid + '\0' + object name, exactly the paper's uid||path construction.
+//
+// Thread-safety: a mounted StegFs is safe for concurrent use by many
+// sessions. Distinct uids' namespace operations and distinct connected
+// objects' I/O run in parallel; one uid's namespace ops serialize on its
+// session lock, one object's I/O on its object lock, and bitmap/free-pool/
+// placement-rng mutations on the narrow allocation lock. The full lock
+// hierarchy is documented in docs/ARCHITECTURE.md ("Concurrency model").
+// Format, Mount, backup and escrow remain whole-volume maintenance flows
+// that require quiescence.
 #ifndef STEGFS_CORE_STEGFS_H_
 #define STEGFS_CORE_STEGFS_H_
 
-#include <map>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "blockdev/block_device.h"
+#include "concurrency/session_manager.h"
 #include "core/hidden_directory.h"
 #include "core/hidden_object.h"
 #include "crypto/prng.h"
@@ -216,29 +226,34 @@ class StegFs {
 
   std::string FreshFak();
 
-  struct Connected {
-    std::unique_ptr<HiddenObject> object;
-    std::string fak;
-  };
-  using SessionKey = std::pair<std::string, std::string>;  // (uid, objname)
+  // Looks the object up in the uid's session; FailedPrecondition when not
+  // connected. The caller locks the returned object's mu for the operation.
+  StatusOr<std::shared_ptr<concurrency::SessionObject>> AcquireConnected(
+      const std::string& uid, const std::string& objname);
 
-  StatusOr<Connected*> GetConnected(const std::string& uid,
-                                    const std::string& objname);
-
-  // Recursive helpers for hide/unhide of directories.
+  // Recursive helpers for hide/unhide of directories. `session` may be
+  // null (uid never connected anything).
   Status HidePlainTree(const std::string& uid, const std::string& plain_path,
                        const std::string& objname,
                        std::vector<HiddenDirEntry>* parent_entries);
   Status UnhideTree(const std::string& uid, const std::string& plain_path,
-                    const HiddenDirEntry& entry);
-  Status RemoveTree(const std::string& uid, const HiddenDirEntry& entry);
+                    const HiddenDirEntry& entry,
+                    concurrency::Session* session);
+  Status RemoveTree(const std::string& uid, const HiddenDirEntry& entry,
+                    concurrency::Session* session);
 
   BlockDevice* device_;
   std::unique_ptr<PlainFs> plain_;
   StegFsOptions options_;
+  // Allocation lock (level 3 of the hierarchy): guards steg_rng_ and every
+  // hidden-path bitmap/free-pool mutation. Handed to hidden objects via
+  // HiddenVolume::alloc_mu.
+  std::mutex alloc_mu_;
   Xoshiro steg_rng_;
+  std::mutex fak_mu_;  // guards fak_drbg_
   crypto::CtrDrbg fak_drbg_;
-  std::map<SessionKey, Connected> connected_;
+  std::mutex maint_mu_;  // serializes MaintenanceTick rounds
+  concurrency::SessionManager sessions_;
 };
 
 }  // namespace stegfs

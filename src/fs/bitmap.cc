@@ -2,8 +2,31 @@
 
 #include <cassert>
 #include <cstring>
+#include <mutex>
 
 namespace stegfs {
+
+BlockBitmap::BlockBitmap(BlockBitmap&& other) noexcept
+    : layout_(other.layout_),
+      bits_(std::move(other.bits_)),
+      dirty_blocks_(std::move(other.dirty_blocks_)),
+      free_count_(other.free_count_),
+      contiguous_cursor_(other.contiguous_cursor_),
+      fragment_cursor_(other.fragment_cursor_),
+      fragment_remaining_(other.fragment_remaining_),
+      fragment_next_(other.fragment_next_) {}
+
+BlockBitmap& BlockBitmap::operator=(BlockBitmap&& other) noexcept {
+  layout_ = other.layout_;
+  bits_ = std::move(other.bits_);
+  dirty_blocks_ = std::move(other.dirty_blocks_);
+  free_count_ = other.free_count_;
+  contiguous_cursor_ = other.contiguous_cursor_;
+  fragment_cursor_ = other.fragment_cursor_;
+  fragment_remaining_ = other.fragment_remaining_;
+  fragment_next_ = other.fragment_next_;
+  return *this;
+}
 
 BlockBitmap::BlockBitmap(const Layout& layout) : layout_(layout) {
   bits_.assign((layout_.num_blocks + 7) / 8, 0);
@@ -59,6 +82,7 @@ StatusOr<BlockBitmap> BlockBitmap::Load(BufferCache* cache,
 }
 
 Status BlockBitmap::Store(BufferCache* cache) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   std::vector<uint8_t> buf(layout_.block_size, 0);
   uint64_t total = bits_.size();
   for (uint64_t i = 0; i < layout_.bitmap_blocks; ++i) {
@@ -76,10 +100,17 @@ Status BlockBitmap::Store(BufferCache* cache) {
 
 bool BlockBitmap::IsAllocated(uint64_t block) const {
   assert(block < layout_.num_blocks);
+  std::shared_lock<std::shared_mutex> lock(mu_);
   return TestBit(block);
 }
 
+uint64_t BlockBitmap::free_count() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return free_count_;
+}
+
 Status BlockBitmap::Allocate(uint64_t block) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (block >= layout_.num_blocks) {
     return Status::InvalidArgument("block out of range");
   }
@@ -92,6 +123,7 @@ Status BlockBitmap::Allocate(uint64_t block) {
 }
 
 Status BlockBitmap::Free(uint64_t block) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (block >= layout_.num_blocks) {
     return Status::InvalidArgument("block out of range");
   }
@@ -141,6 +173,7 @@ StatusOr<uint64_t> BlockBitmap::AllocateRandom(Xoshiro* rng) {
 
 StatusOr<uint64_t> BlockBitmap::AllocateByPolicy(AllocPolicy policy,
                                                  Xoshiro* rng) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   switch (policy) {
     case AllocPolicy::kContiguous: {
       STEGFS_ASSIGN_OR_RETURN(uint64_t b,
@@ -176,6 +209,7 @@ StatusOr<uint64_t> BlockBitmap::AllocateByPolicy(AllocPolicy policy,
 
 StatusOr<std::vector<uint64_t>> BlockBitmap::AllocateContiguous(
     uint64_t count) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
   if (count == 0) return std::vector<uint64_t>{};
   if (count > free_count_) return Status::NoSpace("volume full");
   uint64_t run = 0;

@@ -6,10 +6,19 @@
 //
 // The bitmap is held in memory and written back block-by-block on Flush;
 // dirty tracking keeps flush I/O proportional to what changed.
+//
+// Thread-safety: an internal reader-writer lock makes every public call
+// atomic. Queries (IsAllocated, free_count) take the lock shared — this is
+// what keeps hidden-header locator probing read-parallel across sessions —
+// while mutations (Allocate, Free, the policy allocators, Store) take it
+// exclusively. Allocate/Free's double-alloc/double-free errors double as
+// atomic test-and-set: a caller that loses an allocation race gets
+// FailedPrecondition rather than a torn bit.
 #ifndef STEGFS_FS_BITMAP_H_
 #define STEGFS_FS_BITMAP_H_
 
 #include <cstdint>
+#include <shared_mutex>
 #include <vector>
 
 #include "cache/buffer_cache.h"
@@ -34,6 +43,12 @@ class BlockBitmap {
   // Builds an all-free bitmap for `layout` (metadata blocks pre-marked).
   explicit BlockBitmap(const Layout& layout);
 
+  // Moves are for construction-time plumbing (Mount assigning the loaded
+  // bitmap into place) and are NOT thread-safe: no other thread may touch
+  // either side during a move.
+  BlockBitmap(BlockBitmap&& other) noexcept;
+  BlockBitmap& operator=(BlockBitmap&& other) noexcept;
+
   // Loads the bitmap from its on-disk region through `cache`.
   static StatusOr<BlockBitmap> Load(BufferCache* cache, const Layout& layout);
 
@@ -41,7 +56,7 @@ class BlockBitmap {
   Status Store(BufferCache* cache);
 
   bool IsAllocated(uint64_t block) const;
-  uint64_t free_count() const { return free_count_; }
+  uint64_t free_count() const;
   uint64_t total_count() const { return layout_.num_blocks; }
 
   // Marks a specific block. Fails with FailedPrecondition on double
@@ -69,6 +84,7 @@ class BlockBitmap {
   StatusOr<uint64_t> AllocateFirstFit(uint64_t start_hint);
   StatusOr<uint64_t> AllocateRandom(Xoshiro* rng);
 
+  mutable std::shared_mutex mu_;
   Layout layout_;
   std::vector<uint8_t> bits_;
   std::vector<bool> dirty_blocks_;  // per bitmap *device* block

@@ -56,7 +56,8 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
       layout_(super.ComputeLayout()),
       options_(options),
       cache_(std::make_unique<BufferCache>(device, options.cache_blocks,
-                                           options.write_policy)),
+                                           options.write_policy,
+                                           options.cache_shards)),
       bitmap_(layout_),
       inodes_(cache_.get(), layout_),
       file_io_(layout_.block_size),
@@ -143,6 +144,11 @@ StatusOr<std::pair<uint32_t, std::string>> PlainFs::ResolveParent(
 }
 
 Status PlainFs::CreateFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return CreateFileLocked(path);
+}
+
+Status PlainFs::CreateFileLocked(const std::string& path) {
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
   if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
@@ -161,8 +167,9 @@ Status PlainFs::CreateFile(const std::string& path) {
 }
 
 Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
-  if (!Exists(path)) {
-    STEGFS_RETURN_IF_ERROR(CreateFile(path));
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!ExistsLocked(path)) {
+    STEGFS_RETURN_IF_ERROR(CreateFileLocked(path));
   }
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   Inode* node = inodes_.Get(ino);
@@ -179,6 +186,7 @@ Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
 }
 
 StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
   if (node->type != InodeType::kFile) {
@@ -191,6 +199,7 @@ StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
 
 Status PlainFs::ReadAt(const std::string& path, uint64_t offset, uint64_t n,
                        std::string* out) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
   if (node->type != InodeType::kFile) {
@@ -201,6 +210,7 @@ Status PlainFs::ReadAt(const std::string& path, uint64_t offset, uint64_t n,
 
 Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
                         const std::string& data) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   Inode* node = inodes_.Get(ino);
   if (node->type != InodeType::kFile) {
@@ -214,6 +224,7 @@ Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
 }
 
 Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   Inode* node = inodes_.Get(ino);
   if (node->type != InodeType::kFile) {
@@ -227,6 +238,7 @@ Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
 }
 
 Status PlainFs::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
@@ -245,6 +257,7 @@ Status PlainFs::Unlink(const std::string& path) {
 }
 
 Status PlainFs::MkDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
   if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
@@ -264,6 +277,7 @@ Status PlainFs::MkDir(const std::string& path) {
 }
 
 Status PlainFs::RmDir(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
@@ -286,6 +300,7 @@ Status PlainFs::RmDir(const std::string& path) {
 }
 
 StatusOr<std::vector<DirEntry>> PlainFs::List(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
   if (node->type != InodeType::kDirectory) {
@@ -295,6 +310,7 @@ StatusOr<std::vector<DirEntry>> PlainFs::List(const std::string& path) {
 }
 
 StatusOr<FileInfo> PlainFs::Stat(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
   FileInfo info;
@@ -306,20 +322,34 @@ StatusOr<FileInfo> PlainFs::Stat(const std::string& path) {
 }
 
 bool PlainFs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ExistsLocked(path);
+}
+
+bool PlainFs::ExistsLocked(const std::string& path) {
   return ResolvePath(path).ok();
 }
 
 Status PlainFs::PersistMeta() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return PersistMetaLocked();
+}
+
+Status PlainFs::PersistMetaLocked() {
   STEGFS_RETURN_IF_ERROR(bitmap_.Store(cache_.get()));
   return inodes_.PersistAll();
 }
 
 Status PlainFs::Flush() {
-  STEGFS_RETURN_IF_ERROR(PersistMeta());
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(PersistMetaLocked());
+  }
   return cache_->Flush();
 }
 
 Status PlainFs::CollectReferencedBlocks(std::vector<uint8_t>* referenced) {
+  std::lock_guard<std::mutex> lock(mu_);
   referenced->assign(layout_.num_blocks, 0);
   for (uint64_t b = 0; b < layout_.data_start; ++b) {
     (*referenced)[b] = 1;  // metadata region
@@ -339,6 +369,7 @@ Status PlainFs::CollectReferencedBlocks(std::vector<uint8_t>* referenced) {
 }
 
 uint64_t PlainFs::TotalPlainBytes() const {
+  std::lock_guard<std::mutex> lock(mu_);
   uint64_t total = 0;
   for (uint32_t ino = 0; ino < inodes_.count(); ++ino) {
     const Inode* node = inodes_.Get(ino);

@@ -5,11 +5,21 @@
 // 8-block-fragment allocation). StegFS (src/core) composes with it: hidden
 // objects share this bitmap and buffer cache but never appear in this inode
 // table.
+//
+// Thread-safety: every public path/metadata operation runs under one
+// internal mutex, so a mounted PlainFs may be driven from many threads.
+// This coarse lock is deliberate — plain-namespace traffic is not the
+// concurrency-critical path (hidden-object I/O is, and it only meets this
+// lock in PersistMeta/Flush). The component accessors (cache(), bitmap())
+// return objects with their own internal locking; inode_table() and
+// file_io() are for maintenance flows (backup, escrow) that require a
+// quiescent volume.
 #ifndef STEGFS_FS_PLAIN_FS_H_
 #define STEGFS_FS_PLAIN_FS_H_
 
 #include <array>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -39,6 +49,10 @@ struct FormatOptions {
 struct MountOptions {
   AllocPolicy policy = AllocPolicy::kContiguous;
   size_t cache_blocks = 4096;
+  // 0 = auto (one shard per 64 cache blocks, clamped to [1, 16]). The
+  // multithreaded benches force 16 on small caches to keep miss I/O
+  // overlappable.
+  size_t cache_shards = 0;
   WritePolicy write_policy = WritePolicy::kWriteBack;
   uint64_t rng_seed = 0x5742;  // placement randomness (deterministic)
 };
@@ -131,11 +145,19 @@ class PlainFs {
 
   // Splits "/a/b/c" into components; rejects empty/relative paths.
   static StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
+  // *Locked variants assume mu_ is already held (public methods compose
+  // from these instead of re-locking).
+  Status CreateFileLocked(const std::string& path);
+  Status PersistMetaLocked();
+  bool ExistsLocked(const std::string& path);
   // Inode of the directory containing `path` plus the leaf name.
   StatusOr<std::pair<uint32_t, std::string>> ResolveParent(
       const std::string& path);
   StatusOr<uint32_t> ResolvePath(const std::string& path);
 
+  // Guards the path/metadata machinery below (inodes_, dir_ops_, file_io_
+  // state, rng_). The cache and bitmap carry their own locks.
+  mutable std::mutex mu_;
   BlockDevice* device_;
   Superblock super_;
   Layout layout_;

@@ -11,6 +11,12 @@
 //
 // One Vfs instance = one user session (fixed uid), matching the paper's
 // "connect a hidden object to the current user session" model.
+//
+// Threading: a single Vfs instance is one session and must be driven by
+// one thread at a time (its descriptor table is unsynchronized). Parallel
+// multiuser access is per-session: give each thread its own Vfs over the
+// same mounted StegFs — the shared volume underneath is fully thread-safe
+// (docs/ARCHITECTURE.md, "Concurrency model").
 #ifndef STEGFS_VFS_VFS_H_
 #define STEGFS_VFS_VFS_H_
 

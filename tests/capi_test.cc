@@ -74,6 +74,33 @@ TEST_F(CapiTest, HiddenLifecycle) {
             std::string::npos);
 }
 
+TEST_F(CapiTest, StatsReportCacheAndSpace) {
+  stegfs_stats before;
+  ASSERT_EQ(steg_stats(vol_, &before), STEG_OK);
+  EXPECT_EQ(before.block_size, 1024u);
+  EXPECT_EQ(before.total_blocks, 32768u);
+  EXPECT_EQ(before.allocated_blocks + before.free_blocks,
+            before.total_blocks);
+  EXPECT_GE(before.allocated_blocks, before.metadata_blocks);
+
+  ASSERT_EQ(steg_plain_write(vol_, "/stats.txt", "0123456789", 10), STEG_OK);
+  char buf[16];
+  size_t n = 0;
+  ASSERT_EQ(steg_plain_read(vol_, "/stats.txt", buf, sizeof(buf), &n),
+            STEG_OK);
+
+  stegfs_stats after;
+  ASSERT_EQ(steg_stats(vol_, &after), STEG_OK);
+  EXPECT_EQ(after.plain_file_bytes, before.plain_file_bytes + 10);
+  EXPECT_GT(after.cache_hits + after.cache_misses,
+            before.cache_hits + before.cache_misses);
+  EXPECT_GE(after.cache_hit_rate, 0.0);
+  EXPECT_LE(after.cache_hit_rate, 1.0);
+
+  EXPECT_EQ(steg_stats(nullptr, &after), STEG_ERR_INVALID);
+  EXPECT_EQ(steg_stats(vol_, nullptr), STEG_ERR_INVALID);
+}
+
 TEST_F(CapiTest, WrongKeyIsNotFound) {
   ASSERT_EQ(steg_create(vol_, "alice", "x", "right", STEG_TYPE_FILE),
             STEG_OK);

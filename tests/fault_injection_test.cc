@@ -3,64 +3,15 @@
 // silently) and the volume must stay usable after the fault clears.
 #include <gtest/gtest.h>
 
-#include "blockdev/mem_block_device.h"
 #include "core/stegfs.h"
 #include "fs/plain_fs.h"
+#include "tests/test_device.h"
 #include "util/random.h"
 
 namespace stegfs {
 namespace {
 
-// Fails reads/writes on command.
-class FaultyDevice : public BlockDevice {
- public:
-  FaultyDevice(uint32_t block_size, uint64_t num_blocks)
-      : inner_(block_size, num_blocks) {}
-
-  uint32_t block_size() const override { return inner_.block_size(); }
-  uint64_t num_blocks() const override { return inner_.num_blocks(); }
-
-  Status ReadBlock(uint64_t block, uint8_t* buf) override {
-    if (fail_reads_ && CountDown()) {
-      return Status::IOError("injected read fault");
-    }
-    return inner_.ReadBlock(block, buf);
-  }
-  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
-    if (fail_writes_ && CountDown()) {
-      return Status::IOError("injected write fault");
-    }
-    return inner_.WriteBlock(block, buf);
-  }
-  Status Flush() override { return inner_.Flush(); }
-
-  // Fail every I/O of the chosen kind after `after` more operations.
-  void FailReads(uint64_t after = 0) {
-    fail_reads_ = true;
-    countdown_ = after;
-  }
-  void FailWrites(uint64_t after = 0) {
-    fail_writes_ = true;
-    countdown_ = after;
-  }
-  void Heal() {
-    fail_reads_ = fail_writes_ = false;
-  }
-
- private:
-  bool CountDown() {
-    if (countdown_ > 0) {
-      --countdown_;
-      return false;
-    }
-    return true;
-  }
-
-  MemBlockDevice inner_;
-  bool fail_reads_ = false;
-  bool fail_writes_ = false;
-  uint64_t countdown_ = 0;
-};
+using test::FaultyDevice;
 
 std::string RandomData(size_t n, uint64_t seed) {
   Xoshiro rng(seed);

@@ -1,0 +1,80 @@
+// Reusable test doubles for the BlockDevice interface, shared by the fault
+// injection suite and the concurrency stress tests.
+#ifndef STEGFS_TESTS_TEST_DEVICE_H_
+#define STEGFS_TESTS_TEST_DEVICE_H_
+
+#include <atomic>
+#include <cstdint>
+
+#include "blockdev/block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "util/status.h"
+
+namespace stegfs {
+namespace test {
+
+// Fails reads/writes on command. Thread-safe: the fault switches and the
+// countdown are atomics, so faults can be armed, triggered and healed while
+// other threads are mid-I/O (the concurrency suite injects faults under
+// contention).
+class FaultyDevice : public BlockDevice {
+ public:
+  FaultyDevice(uint32_t block_size, uint64_t num_blocks)
+      : inner_(block_size, num_blocks) {}
+
+  uint32_t block_size() const override { return inner_.block_size(); }
+  uint64_t num_blocks() const override { return inner_.num_blocks(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    if (fail_reads_.load(std::memory_order_acquire) && CountDown()) {
+      return Status::IOError("injected read fault");
+    }
+    return inner_.ReadBlock(block, buf);
+  }
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    if (fail_writes_.load(std::memory_order_acquire) && CountDown()) {
+      return Status::IOError("injected write fault");
+    }
+    return inner_.WriteBlock(block, buf);
+  }
+  Status Flush() override { return inner_.Flush(); }
+
+  // Fail every I/O of the chosen kind after `after` more operations.
+  void FailReads(uint64_t after = 0) {
+    countdown_.store(after, std::memory_order_relaxed);
+    fail_reads_.store(true, std::memory_order_release);
+  }
+  void FailWrites(uint64_t after = 0) {
+    countdown_.store(after, std::memory_order_relaxed);
+    fail_writes_.store(true, std::memory_order_release);
+  }
+  void Heal() {
+    fail_reads_.store(false, std::memory_order_release);
+    fail_writes_.store(false, std::memory_order_release);
+  }
+
+  MemBlockDevice* inner() { return &inner_; }
+
+ private:
+  // Atomically consumes one countdown charge; true once the fuse is spent.
+  bool CountDown() {
+    uint64_t c = countdown_.load(std::memory_order_relaxed);
+    while (c > 0) {
+      if (countdown_.compare_exchange_weak(c, c - 1,
+                                           std::memory_order_relaxed)) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  MemBlockDevice inner_;
+  std::atomic<bool> fail_reads_{false};
+  std::atomic<bool> fail_writes_{false};
+  std::atomic<uint64_t> countdown_{0};
+};
+
+}  // namespace test
+}  // namespace stegfs
+
+#endif  // STEGFS_TESTS_TEST_DEVICE_H_
