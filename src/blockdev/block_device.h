@@ -9,11 +9,33 @@
 #ifndef STEGFS_BLOCKDEV_BLOCK_DEVICE_H_
 #define STEGFS_BLOCKDEV_BLOCK_DEVICE_H_
 
+#include <cstddef>
 #include <cstdint>
 
 #include "util/status.h"
 
 namespace stegfs {
+
+// One element of a vectored request: a block number and the caller buffer
+// it transfers to/from (block_size() bytes each).
+struct BlockIoVec {
+  uint64_t block;
+  uint8_t* buf;
+};
+struct ConstBlockIoVec {
+  uint64_t block;
+  const uint8_t* buf;
+};
+
+// Counters for the vectored data path (all zero on devices that only have
+// the per-block fallback).
+struct DeviceBatchStats {
+  // Blocks moved through ReadBlocks/WriteBlocks.
+  uint64_t vectored_blocks = 0;
+  // Physical transfers that coalesced a contiguous run of >= 2 blocks into
+  // one host I/O.
+  uint64_t coalesced_runs = 0;
+};
 
 class BlockDevice {
  public:
@@ -28,6 +50,29 @@ class BlockDevice {
   // Fails with InvalidArgument on out-of-range block numbers.
   virtual Status ReadBlock(uint64_t block, uint8_t* buf) = 0;
   virtual Status WriteBlock(uint64_t block, const uint8_t* buf) = 0;
+
+  // Vectored I/O: transfers `n` blocks in request order. The base
+  // implementation loops over ReadBlock/WriteBlock, so every decorator
+  // (SimDisk, ThrottledBlockDevice, the test FaultyDevice) keeps its
+  // per-request accounting unchanged; FileBlockDevice overrides to
+  // coalesce contiguous runs into single host transfers. On error the
+  // request stops at the failing block — earlier blocks have transferred,
+  // later ones have not.
+  virtual Status ReadBlocks(const BlockIoVec* iov, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      STEGFS_RETURN_IF_ERROR(ReadBlock(iov[i].block, iov[i].buf));
+    }
+    return Status::OK();
+  }
+  virtual Status WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
+    for (size_t i = 0; i < n; ++i) {
+      STEGFS_RETURN_IF_ERROR(WriteBlock(iov[i].block, iov[i].buf));
+    }
+    return Status::OK();
+  }
+
+  // Batch-path counters; devices without a vectored fast path report zeros.
+  virtual DeviceBatchStats batch_stats() const { return {}; }
 
   // Durably persists all completed writes.
   virtual Status Flush() = 0;

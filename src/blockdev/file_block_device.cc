@@ -2,6 +2,8 @@
 
 #include <sys/stat.h>
 
+#include <algorithm>
+#include <cstring>
 #include <vector>
 
 namespace stegfs {
@@ -74,6 +76,104 @@ Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
     return Status::IOError("short write to volume file");
   }
   return Status::OK();
+}
+
+namespace {
+
+// Upper bound on one coalesced host transfer (bounds scratch memory when
+// gather/scattering a long run).
+constexpr size_t kMaxRunBytes = 4 << 20;
+
+}  // namespace
+
+template <typename Vec>
+size_t FileBlockDevice::RunLength(const Vec* iov, size_t n, size_t i) const {
+  const size_t cap = std::max<size_t>(1, kMaxRunBytes / block_size_);
+  size_t len = 1;
+  while (i + len < n && len < cap &&
+         iov[i + len].block == iov[i].block + len) {
+    ++len;
+  }
+  return len;
+}
+
+Status FileBlockDevice::ReadBlocks(const BlockIoVec* iov, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (iov[i].block >= num_blocks_) {
+      return Status::InvalidArgument("read past end of device");
+    }
+  }
+  vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<uint8_t> scratch;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n;) {
+    const size_t run = RunLength(iov, n, i);
+    const size_t bytes = run * block_size_;
+    if (std::fseek(file_, static_cast<long>(iov[i].block * block_size_),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failed on volume file");
+    }
+    if (run == 1) {
+      if (std::fread(iov[i].buf, 1, block_size_, file_) != block_size_) {
+        return Status::IOError("short read from volume file");
+      }
+    } else {
+      scratch.resize(bytes);
+      if (std::fread(scratch.data(), 1, bytes, file_) != bytes) {
+        return Status::IOError("short read from volume file");
+      }
+      for (size_t j = 0; j < run; ++j) {
+        std::memcpy(iov[i + j].buf, scratch.data() + j * block_size_,
+                    block_size_);
+      }
+      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    i += run;
+  }
+  return Status::OK();
+}
+
+Status FileBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
+  for (size_t i = 0; i < n; ++i) {
+    if (iov[i].block >= num_blocks_) {
+      return Status::InvalidArgument("write past end of device");
+    }
+  }
+  vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
+  std::vector<uint8_t> scratch;
+  std::lock_guard<std::mutex> lock(mu_);
+  for (size_t i = 0; i < n;) {
+    const size_t run = RunLength(iov, n, i);
+    const size_t bytes = run * block_size_;
+    if (std::fseek(file_, static_cast<long>(iov[i].block * block_size_),
+                   SEEK_SET) != 0) {
+      return Status::IOError("seek failed on volume file");
+    }
+    if (run == 1) {
+      if (std::fwrite(iov[i].buf, 1, block_size_, file_) != block_size_) {
+        return Status::IOError("short write to volume file");
+      }
+    } else {
+      scratch.resize(bytes);
+      for (size_t j = 0; j < run; ++j) {
+        std::memcpy(scratch.data() + j * block_size_, iov[i + j].buf,
+                    block_size_);
+      }
+      if (std::fwrite(scratch.data(), 1, bytes, file_) != bytes) {
+        return Status::IOError("short write to volume file");
+      }
+      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    i += run;
+  }
+  return Status::OK();
+}
+
+DeviceBatchStats FileBlockDevice::batch_stats() const {
+  DeviceBatchStats s;
+  s.vectored_blocks = vectored_blocks_.load(std::memory_order_relaxed);
+  s.coalesced_runs = coalesced_runs_.load(std::memory_order_relaxed);
+  return s;
 }
 
 Status FileBlockDevice::Flush() {

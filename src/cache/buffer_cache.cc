@@ -1,6 +1,7 @@
 #include "cache/buffer_cache.h"
 
 #include <algorithm>
+#include <cstdint>
 #include <cassert>
 #include <cstring>
 #include <mutex>
@@ -55,14 +56,22 @@ Status BufferCache::EnsureRoom(Shard* shard) {
   return Status::OK();
 }
 
+void BufferCache::CountHit(Entry& e) {
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  if (e.prefetched) {
+    e.prefetched = false;
+    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
 Status BufferCache::Read(uint64_t block, uint8_t* out) {
-  size_t idx = locks_.StripeOf(block);
+  size_t idx = ShardOf(block);
   Shard* shard = &shards_[idx];
   std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
   auto found = shard->map.find(block);
   if (found != shard->map.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
     Entry& e = Touch(shard, found->second);
+    CountHit(e);
     std::memcpy(out, e.data.data(), e.data.size());
     return Status::OK();
   }
@@ -79,7 +88,7 @@ Status BufferCache::Read(uint64_t block, uint8_t* out) {
 }
 
 Status BufferCache::Write(uint64_t block, const uint8_t* data) {
-  size_t idx = locks_.StripeOf(block);
+  size_t idx = ShardOf(block);
   Shard* shard = &shards_[idx];
   std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
   if (policy_ == WritePolicy::kWriteThrough) {
@@ -87,8 +96,8 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
   }
   auto found = shard->map.find(block);
   if (found != shard->map.end()) {
-    hits_.fetch_add(1, std::memory_order_relaxed);
     Entry& e = Touch(shard, found->second);
+    CountHit(e);
     std::memcpy(e.data.data(), data, e.data.size());
     e.dirty = (policy_ == WritePolicy::kWriteBack);
     return Status::OK();
@@ -104,14 +113,248 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
   return Status::OK();
 }
 
-Status BufferCache::FlushShard(Shard* shard) {
-  for (Entry& e : shard->lru) {
-    if (e.dirty) {
-      STEGFS_RETURN_IF_ERROR(device_->WriteBlock(e.block, e.data.data()));
-      e.dirty = false;
-      writebacks_.fetch_add(1, std::memory_order_relaxed);
+std::vector<std::vector<size_t>> BufferCache::GroupByShard(
+    const uint64_t* blocks, size_t n) const {
+  std::vector<std::vector<size_t>> groups(shards_.size());
+  if (shards_.size() == 1) {
+    groups[0].resize(n);
+    for (size_t i = 0; i < n; ++i) groups[0][i] = i;
+    return groups;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    groups[ShardOf(blocks[i])].push_back(i);
+  }
+  return groups;
+}
+
+Status BufferCache::ReadBatch(const uint64_t* blocks, size_t n,
+                              uint8_t* out) {
+  const size_t bs = device_->block_size();
+  batched_reads_.fetch_add(n, std::memory_order_relaxed);
+
+  // One shard at a time, holding only that shard's lock — exactly the
+  // demand path's locking granularity, so concurrent sessions on other
+  // shards never stall behind this batch's device I/O. On a one-shard
+  // cache the whole extent's misses leave as a single coalescable
+  // vectored call (see the sharding-vs-coalescing note in the header).
+  auto groups = GroupByShard(blocks, n);
+  std::vector<size_t> miss_pos;
+  std::vector<std::pair<size_t, size_t>> dup_of;
+  std::vector<BlockIoVec> iov;
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    const std::vector<size_t>& group = groups[idx];
+    if (group.empty()) continue;
+    Shard* shard = &shards_[idx];
+    std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+
+    // Pass 1: copy hits out; collect the distinct misses (request order)
+    // and read them from the device straight into `out` with one vectored
+    // call, under the shard lock (that is what makes a concurrent miss on
+    // the same block read the device exactly once).
+    miss_pos.clear();
+    dup_of.clear();
+    iov.clear();
+    for (size_t pos : group) {
+      auto found = shard->map.find(blocks[pos]);
+      if (found != shard->map.end()) {
+        std::memcpy(out + pos * bs, found->second->data.data(), bs);
+        continue;
+      }
+      size_t first = SIZE_MAX;
+      for (size_t prev : miss_pos) {
+        if (blocks[prev] == blocks[pos]) {
+          first = prev;
+          break;
+        }
+      }
+      if (first == SIZE_MAX) {
+        miss_pos.push_back(pos);
+        iov.push_back({blocks[pos], out + pos * bs});
+      } else {
+        dup_of.push_back({pos, first});  // filled after the device read
+      }
+    }
+    if (!iov.empty()) {
+      STEGFS_RETURN_IF_ERROR(device_->ReadBlocks(iov.data(), iov.size()));
+    }
+    for (const auto& [pos, first] : dup_of) {
+      std::memcpy(out + pos * bs, out + first * bs, bs);
+    }
+
+    // Pass 2: replay the per-block algorithm in request order — identical
+    // hit/miss counts, LRU updates and eviction sequence to a Read loop.
+    // (A pass-1 hit evicted by an earlier insert in this same pass is
+    // re-inserted from the bytes copied in pass 1 and still counts as a
+    // hit; this can only happen when one batch touches more distinct
+    // blocks than the shard holds.)
+    for (size_t pos : group) {
+      auto found = shard->map.find(blocks[pos]);
+      if (found != shard->map.end()) {
+        Entry& e = Touch(shard, found->second);
+        CountHit(e);
+        std::memcpy(out + pos * bs, e.data.data(), bs);
+        continue;
+      }
+      bool fetched = false;
+      for (size_t mp : miss_pos) {
+        if (blocks[mp] == blocks[pos]) {
+          fetched = true;
+          break;
+        }
+      }
+      if (fetched) {
+        misses_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        hits_.fetch_add(1, std::memory_order_relaxed);  // evicted pass-1 hit
+      }
+      STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
+      Entry e;
+      e.block = blocks[pos];
+      e.data.assign(out + pos * bs, out + pos * bs + bs);
+      shard->lru.push_front(std::move(e));
+      shard->map[blocks[pos]] = shard->lru.begin();
     }
   }
+  return Status::OK();
+}
+
+Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
+                               const uint8_t* data) {
+  const size_t bs = device_->block_size();
+  batched_writes_.fetch_add(n, std::memory_order_relaxed);
+  auto groups = GroupByShard(blocks, n);
+  std::vector<ConstBlockIoVec> iov;
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    const std::vector<size_t>& group = groups[idx];
+    if (group.empty()) continue;
+    Shard* shard = &shards_[idx];
+    std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+
+    if (policy_ == WritePolicy::kWriteThrough) {
+      // One vectored device call per shard group, in request order (a
+      // duplicate block writes twice, last value winning — same as the
+      // per-block loop).
+      iov.clear();
+      iov.reserve(group.size());
+      for (size_t pos : group) iov.push_back({blocks[pos], data + pos * bs});
+      Status ws = device_->WriteBlocks(iov.data(), iov.size());
+      if (!ws.ok()) {
+        // The device may have persisted a prefix of the group; drop the
+        // group's cached entries (never dirty under write-through) so the
+        // cache cannot serve bytes older than what reached the device.
+        for (size_t pos : group) {
+          auto found = shard->map.find(blocks[pos]);
+          if (found != shard->map.end()) {
+            shard->lru.erase(found->second);
+            shard->map.erase(found);
+          }
+        }
+        return ws;
+      }
+    }
+
+    for (size_t pos : group) {
+      auto found = shard->map.find(blocks[pos]);
+      if (found != shard->map.end()) {
+        Entry& e = Touch(shard, found->second);
+        CountHit(e);
+        std::memcpy(e.data.data(), data + pos * bs, bs);
+        e.dirty = (policy_ == WritePolicy::kWriteBack);
+        continue;
+      }
+      misses_.fetch_add(1, std::memory_order_relaxed);
+      STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
+      Entry e;
+      e.block = blocks[pos];
+      e.data.assign(data + pos * bs, data + pos * bs + bs);
+      e.dirty = (policy_ == WritePolicy::kWriteBack);
+      shard->lru.push_front(std::move(e));
+      shard->map[blocks[pos]] = shard->lru.begin();
+    }
+  }
+  return Status::OK();
+}
+
+void BufferCache::SetPrefetchPool(concurrency::ThreadPool* pool) {
+  prefetch_pool_.store(pool, std::memory_order_release);
+}
+
+void BufferCache::PopulateShard(size_t idx,
+                                const std::vector<uint64_t>& blocks) {
+  // Sub-batches of a few blocks, each fully under the shard lock (the
+  // device read must stay inside the lock for the same reason the demand
+  // path's does — an unlocked read could insert bytes staler than a
+  // racing write), but releasing between sub-batches bounds how long a
+  // demand access can stall behind background I/O.
+  constexpr size_t kSubBatch = 8;
+  const size_t bs = device_->block_size();
+  Shard* shard = &shards_[idx];
+  std::vector<uint8_t> buf(kSubBatch * bs);
+  std::vector<BlockIoVec> iov;
+  for (size_t start = 0; start < blocks.size(); start += kSubBatch) {
+    const size_t end = std::min(blocks.size(), start + kSubBatch);
+    std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+    iov.clear();
+    for (size_t i = start; i < end; ++i) {
+      if (shard->map.find(blocks[i]) == shard->map.end()) {
+        iov.push_back({blocks[i], buf.data() + iov.size() * bs});
+      }
+    }
+    if (iov.empty()) continue;
+    // Best-effort: a failed prefetch read just leaves the blocks uncached.
+    if (!device_->ReadBlocks(iov.data(), iov.size()).ok()) return;
+    for (size_t i = 0; i < iov.size(); ++i) {
+      if (!EnsureRoom(shard).ok()) return;
+      Entry e;
+      e.block = iov[i].block;
+      e.data.assign(buf.data() + i * bs, buf.data() + (i + 1) * bs);
+      e.prefetched = true;
+      shard->lru.push_front(std::move(e));
+      shard->map[e.block] = shard->lru.begin();
+      prefetched_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void BufferCache::Prefetch(const uint64_t* blocks, size_t n) {
+  concurrency::ThreadPool* pool =
+      prefetch_pool_.load(std::memory_order_acquire);
+  if (pool == nullptr || n == 0) return;
+  std::vector<uint64_t> wanted;
+  wanted.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    if (blocks[i] < device_->num_blocks()) wanted.push_back(blocks[i]);
+  }
+  if (wanted.empty()) return;
+  pool->Submit([this, wanted = std::move(wanted)] {
+    auto groups = GroupByShard(wanted.data(), wanted.size());
+    for (size_t idx = 0; idx < groups.size(); ++idx) {
+      if (groups[idx].empty()) continue;
+      std::vector<uint64_t> shard_blocks;
+      shard_blocks.reserve(groups[idx].size());
+      for (size_t pos : groups[idx]) shard_blocks.push_back(wanted[pos]);
+      PopulateShard(idx, shard_blocks);
+    }
+  });
+}
+
+Status BufferCache::FlushShard(Shard* shard) {
+  // One vectored write-back per shard, ascending by LBA so contiguous
+  // dirty extents coalesce on the device. On error every entry stays
+  // dirty (re-written by the next flush — idempotent).
+  std::vector<Entry*> dirty;
+  for (Entry& e : shard->lru) {
+    if (e.dirty) dirty.push_back(&e);
+  }
+  if (dirty.empty()) return Status::OK();
+  std::sort(dirty.begin(), dirty.end(),
+            [](const Entry* a, const Entry* b) { return a->block < b->block; });
+  std::vector<ConstBlockIoVec> iov;
+  iov.reserve(dirty.size());
+  for (const Entry* e : dirty) iov.push_back({e->block, e->data.data()});
+  STEGFS_RETURN_IF_ERROR(device_->WriteBlocks(iov.data(), iov.size()));
+  for (Entry* e : dirty) e->dirty = false;
+  writebacks_.fetch_add(dirty.size(), std::memory_order_relaxed);
   return Status::OK();
 }
 
@@ -137,6 +380,10 @@ CacheStats BufferCache::stats() const {
   s.misses = misses_.load(std::memory_order_relaxed);
   s.evictions = evictions_.load(std::memory_order_relaxed);
   s.writebacks = writebacks_.load(std::memory_order_relaxed);
+  s.batched_reads = batched_reads_.load(std::memory_order_relaxed);
+  s.batched_writes = batched_writes_.load(std::memory_order_relaxed);
+  s.prefetched = prefetched_.load(std::memory_order_relaxed);
+  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -4,13 +4,21 @@
 //
 // Sharding: the capacity is split across `shard_count` independent shards
 // (per-shard LRU list + hash map), and a block's shard is fixed by a keyed
-// stripe mapping (concurrency/shard_lock.h). Each shard is guarded by its
-// own stripe lock, held across the shard's device I/O too — that is what
-// makes a concurrent miss on the SAME block read the device exactly once,
-// and what keeps write-back eviction correct under contention (a victim's
+// stripe mapping (concurrency/shard_lock.h) so hot contiguous ranges
+// spread across every shard. Each shard is guarded by its own stripe
+// lock, held across the shard's device I/O too — that is what makes a
+// concurrent miss on the SAME block read the device exactly once, and
+// what keeps write-back eviction correct under contention (a victim's
 // write-back completes before its entry disappears, so no reader can see
 // the device's stale bytes through a cache gap). Operations on blocks in
 // different shards proceed fully in parallel.
+//
+// Sharding vs coalescing: the keyed mapping scatters a contiguous extent
+// across shards, so a batch's vectored device calls (one per shard, under
+// that shard's lock) rarely form contiguous runs on a multi-shard cache —
+// parallelism is bought with device-run locality. A single-session
+// sequential mount should use cache_shards = 1: the whole extent then
+// leaves as one coalescable device call (bench_seq_throughput does this).
 //
 // Statistics are plain atomics: readers (hit-rate probes, the C API's
 // steg_stats) never take any lock.
@@ -38,6 +46,7 @@
 
 #include "blockdev/block_device.h"
 #include "concurrency/shard_lock.h"
+#include "concurrency/thread_pool.h"
 #include "util/status.h"
 
 namespace stegfs {
@@ -50,6 +59,13 @@ struct CacheStats {
   uint64_t misses = 0;
   uint64_t evictions = 0;
   uint64_t writebacks = 0;
+  // Blocks moved through ReadBatch / WriteBatch.
+  uint64_t batched_reads = 0;
+  uint64_t batched_writes = 0;
+  // Blocks inserted by the async prefetcher, and how many of those were
+  // later claimed by a demand read before eviction.
+  uint64_t prefetched = 0;
+  uint64_t prefetch_hits = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
@@ -77,6 +93,33 @@ class BufferCache {
   // Writes a whole block through the cache.
   Status Write(uint64_t block, const uint8_t* data);
 
+  // Batched read of n blocks (any numbers, duplicates allowed) into the
+  // contiguous buffer `out` (n * block_size() bytes, request order).
+  // Processed one shard at a time — only that shard's lock is held, so
+  // other shards stay fully parallel under concurrent sessions — with the
+  // shard's misses leaving as ONE vectored ReadBlocks call (a single
+  // coalescable transfer when the cache has one shard). Per shard,
+  // hit/miss accounting, LRU updates and eviction order match a per-block
+  // Read loop exactly (the seeded tests rely on this).
+  Status ReadBatch(const uint64_t* blocks, size_t n, uint8_t* out);
+  // Batched write of n blocks from the contiguous buffer `data`; same
+  // locking scheme. Under kWriteThrough the device sees one vectored
+  // WriteBlocks call per shard group (request order; on a mid-batch
+  // device error the group's cached entries are invalidated so the cache
+  // can never serve bytes older than the device); entry updates then
+  // replay in request order, matching the per-block loop.
+  Status WriteBatch(const uint64_t* blocks, size_t n, const uint8_t* data);
+
+  // Attaches the worker pool the async prefetcher runs on (nullptr
+  // detaches; then Prefetch becomes a no-op). The pool must outlive the
+  // cache or be detached first.
+  void SetPrefetchPool(concurrency::ThreadPool* pool);
+  // Schedules a background load of the given blocks into the cache
+  // (best-effort: errors are swallowed, already-cached blocks skipped).
+  // A later demand read that claims a prefetched entry counts as a normal
+  // hit plus one prefetch_hit.
+  void Prefetch(const uint64_t* blocks, size_t n);
+
   // Writes back all dirty blocks and flushes the device.
   Status Flush();
   // Discards every cached block (dirty contents are LOST — recovery paths
@@ -94,6 +137,8 @@ class BufferCache {
     uint64_t block;
     std::vector<uint8_t> data;
     bool dirty = false;
+    // Inserted by the prefetcher and not yet claimed by a demand access.
+    bool prefetched = false;
   };
   using EntryList = std::list<Entry>;
 
@@ -106,21 +151,38 @@ class BufferCache {
 
   static size_t AutoShardCount(size_t capacity_blocks);
 
+  size_t ShardOf(uint64_t block) const { return locks_.StripeOf(block); }
+
   // All helpers below run with the shard's stripe held exclusively.
   Entry& Touch(Shard* shard, EntryList::iterator it);
   Status EnsureRoom(Shard* shard);
   Status FlushShard(Shard* shard);
+  // Counts a demand hit on `e`, claiming its prefetched flag if set.
+  void CountHit(Entry& e);
+  // Loads the listed blocks into one shard (missing ones only) with a
+  // single vectored device read. Used by the prefetcher.
+  void PopulateShard(size_t idx, const std::vector<uint64_t>& blocks);
+
+  // Request positions grouped per shard, in request order (index into the
+  // caller's blocks array). Shards with no requests are empty.
+  std::vector<std::vector<size_t>> GroupByShard(const uint64_t* blocks,
+                                                size_t n) const;
 
   BlockDevice* device_;
   size_t capacity_;
   WritePolicy policy_;
   concurrency::StripedSharedMutex locks_;
   std::vector<Shard> shards_;
+  std::atomic<concurrency::ThreadPool*> prefetch_pool_{nullptr};
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
   std::atomic<uint64_t> evictions_{0};
   std::atomic<uint64_t> writebacks_{0};
+  std::atomic<uint64_t> batched_reads_{0};
+  std::atomic<uint64_t> batched_writes_{0};
+  std::atomic<uint64_t> prefetched_{0};
+  std::atomic<uint64_t> prefetch_hits_{0};
 };
 
 }  // namespace stegfs

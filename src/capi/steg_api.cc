@@ -8,6 +8,7 @@
 #include "blockdev/file_block_device.h"
 #include "core/backup.h"
 #include "core/stegfs.h"
+#include "crypto/aes.h"
 #include "crypto/rsa.h"
 
 using stegfs::Status;
@@ -103,7 +104,12 @@ int steg_mount(const char* image_path, uint32_t block_size,
   if (!device.ok()) return CodeOf(device.status());
   auto vol = std::make_unique<stegfs_volume>();
   vol->device = std::move(device).value();
-  auto fs = stegfs::StegFs::Mount(vol->device.get(), stegfs::StegFsOptions{});
+  stegfs::StegFsOptions options;
+  // C API mounts sit on a real host file: turn on a modest readahead
+  // window so sequential consumers overlap decrypt with the next extent's
+  // device reads.
+  options.mount.readahead_blocks = 8;
+  auto fs = stegfs::StegFs::Mount(vol->device.get(), options);
   if (!fs.ok()) return CodeOf(fs.status());
   vol->fs = std::move(fs).value();
   *out = vol.release();
@@ -140,6 +146,14 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->allocated_blocks = sr.allocated_blocks;
   out->free_blocks = sr.free_blocks;
   out->plain_file_bytes = sr.plain_file_bytes;
+  out->cache_batched_reads = cs.batched_reads;
+  out->cache_batched_writes = cs.batched_writes;
+  out->cache_prefetched = cs.prefetched;
+  out->cache_prefetch_hits = cs.prefetch_hits;
+  stegfs::DeviceBatchStats ds = vol->device->batch_stats();
+  out->dev_vectored_blocks = ds.vectored_blocks;
+  out->dev_coalesced_runs = ds.coalesced_runs;
+  out->crypto_tier = stegfs::crypto::AesTierName();
   return STEG_OK;
 }
 

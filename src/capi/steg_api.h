@@ -83,6 +83,17 @@ typedef struct stegfs_stats {
   uint64_t allocated_blocks; /* includes metadata */
   uint64_t free_blocks;
   uint64_t plain_file_bytes;
+  /* batched data path */
+  uint64_t cache_batched_reads;  /* blocks moved through batch reads */
+  uint64_t cache_batched_writes; /* blocks moved through batch writes */
+  uint64_t cache_prefetched;     /* blocks loaded by the readahead pool */
+  uint64_t cache_prefetch_hits;  /* prefetched blocks later demand-read */
+  uint64_t dev_vectored_blocks;  /* blocks moved through vectored dev I/O */
+  uint64_t dev_coalesced_runs;   /* contiguous runs >= 2 blocks coalesced
+                                    into one host transfer */
+  /* active AES backend: "aes-ni" or "t-table" (static string, never
+   * freed; stable for the process lifetime) */
+  const char* crypto_tier;
 } stegfs_stats;
 
 /* Fills *out; safe to call concurrently with any other operation. */

@@ -27,7 +27,9 @@ HiddenObject::HiddenObject(const HiddenVolume& vol,
       crypter_(access_key),
       store_(vol.cache, &crypter_),
       io_(vol.layout.block_size),
-      allocator_(this) {}
+      allocator_(this) {
+  io_.set_readahead(vol.readahead);
+}
 
 uint32_t HiddenObject::EffectivePoolMax() const {
   return std::min(vol_.params.free_pool_max, kMaxFreePool);
@@ -211,11 +213,16 @@ Status HiddenObject::Sync() {
   // it in the lock order.
   if (!unscrubbed_.empty()) {
     auto alloc = LockAlloc(vol_.alloc_mu);
-    std::vector<uint8_t> noise(vol_.layout.block_size);
-    for (uint32_t b : unscrubbed_) {
-      vol_.rng->FillBytes(noise.data(), noise.size());
-      STEGFS_RETURN_IF_ERROR(vol_.cache->Write(b, noise.data()));
+    // One batched write for all scrub blocks (ascending set order keeps
+    // the rng draw sequence identical to the historical per-block loop).
+    const size_t bs = vol_.layout.block_size;
+    std::vector<uint64_t> blocks(unscrubbed_.begin(), unscrubbed_.end());
+    std::vector<uint8_t> noise(blocks.size() * bs);
+    for (size_t i = 0; i < blocks.size(); ++i) {
+      vol_.rng->FillBytes(noise.data() + i * bs, bs);
     }
+    STEGFS_RETURN_IF_ERROR(
+        vol_.cache->WriteBatch(blocks.data(), blocks.size(), noise.data()));
     unscrubbed_.clear();
   }
   if (!header_dirty_) return Status::OK();

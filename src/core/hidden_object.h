@@ -53,6 +53,9 @@ struct HiddenVolume {
   // leave it null for exactly the historical behavior. Lock order: taken
   // below the per-object lock, above the bitmap/cache internal locks.
   std::mutex* alloc_mu = nullptr;
+  // Readahead window (file blocks) hinted after every extent read; only
+  // effective when the shared cache has a prefetch pool attached.
+  uint32_t readahead = 0;
 };
 
 // Threading contract: one HiddenObject instance is used by one thread at a

@@ -65,6 +65,7 @@ HiddenVolume StegFs::VolumeCtx() {
   vol.rng = &steg_rng_;
   vol.probe_limit = options_.probe_limit;
   vol.alloc_mu = &alloc_mu_;
+  vol.readahead = plain_->readahead_blocks();
   return vol;
 }
 

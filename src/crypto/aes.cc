@@ -1,9 +1,36 @@
 #include "crypto/aes.h"
 
+#include <atomic>
 #include <cassert>
+
+#include "crypto/aes_ni.h"
 
 namespace stegfs {
 namespace crypto {
+
+namespace {
+
+std::atomic<AesTier>& TierSlot() {
+  static std::atomic<AesTier> tier{aesni::Supported() ? AesTier::kAesNi
+                                                      : AesTier::kTable};
+  return tier;
+}
+
+}  // namespace
+
+AesTier ActiveAesTier() {
+  return TierSlot().load(std::memory_order_relaxed);
+}
+
+const char* AesTierName() {
+  return ActiveAesTier() == AesTier::kAesNi ? "aes-ni" : "t-table";
+}
+
+bool SetAesTier(AesTier tier) {
+  if (tier == AesTier::kAesNi && !aesni::Supported()) return false;
+  TierSlot().store(tier, std::memory_order_relaxed);
+  return true;
+}
 
 namespace {
 
@@ -181,9 +208,61 @@ void Aes::ExpandKey(const uint8_t* key, size_t key_len) {
       dec_round_keys_[round * 4 + c] = w;
     }
   }
+
+  // Serialize both schedules to FIPS-197 byte order for the AES-NI tier
+  // (AESENC/AESDEC consume round keys as raw bytes; the equivalent inverse
+  // schedule above is exactly what AESDEC expects).
+  for (int i = 0; i < total_words; ++i) {
+    StoreWord(enc_ks_ + 4 * i, round_keys_[i]);
+    StoreWord(dec_ks_ + 4 * i, dec_round_keys_[i]);
+  }
 }
 
 void Aes::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  if (ActiveAesTier() == AesTier::kAesNi) {
+    aesni::Encrypt1(enc_ks_, rounds_, in, out);
+    return;
+  }
+  EncryptBlockTable(in, out);
+}
+
+void Aes::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+  if (ActiveAesTier() == AesTier::kAesNi) {
+    aesni::Decrypt1(dec_ks_, rounds_, in, out);
+    return;
+  }
+  DecryptBlockTable(in, out);
+}
+
+void Aes::EncryptBlocksEcb(const uint8_t* in, uint8_t* out, size_t n) const {
+  if (ActiveAesTier() == AesTier::kAesNi) {
+    aesni::EncryptEcb(enc_ks_, rounds_, in, out, n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    EncryptBlockTable(in + 16 * i, out + 16 * i);
+  }
+}
+
+void Aes::DecryptBlocksEcb(const uint8_t* in, uint8_t* out, size_t n) const {
+  if (ActiveAesTier() == AesTier::kAesNi) {
+    aesni::DecryptEcb(dec_ks_, rounds_, in, out, n);
+    return;
+  }
+  for (size_t i = 0; i < n; ++i) {
+    DecryptBlockTable(in + 16 * i, out + 16 * i);
+  }
+}
+
+void Aes::Encrypt4(const uint8_t* const in[4], uint8_t* const out[4]) const {
+  if (ActiveAesTier() == AesTier::kAesNi) {
+    aesni::Encrypt4(enc_ks_, rounds_, in, out);
+    return;
+  }
+  for (int i = 0; i < 4; ++i) EncryptBlockTable(in[i], out[i]);
+}
+
+void Aes::EncryptBlockTable(const uint8_t in[16], uint8_t out[16]) const {
   const AesTables& t = Tables();
   uint32_t s0 = LoadWord(in) ^ round_keys_[0];
   uint32_t s1 = LoadWord(in + 4) ^ round_keys_[1];
@@ -230,7 +309,7 @@ void Aes::EncryptBlock(const uint8_t in[16], uint8_t out[16]) const {
   StoreWord(out + 12, t3 ^ rk[3]);
 }
 
-void Aes::DecryptBlock(const uint8_t in[16], uint8_t out[16]) const {
+void Aes::DecryptBlockTable(const uint8_t in[16], uint8_t out[16]) const {
   const AesTables& t = Tables();
   uint32_t s0 = LoadWord(in) ^ dec_round_keys_[0];
   uint32_t s1 = LoadWord(in + 4) ^ dec_round_keys_[1];

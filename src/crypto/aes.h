@@ -1,9 +1,16 @@
-// AES-128/192/256 block cipher (FIPS 197), implemented from the standard.
+// AES-128/192/256 block cipher (FIPS 197) with tiered backends.
 //
 // The paper (section 4, API 1) encrypts hidden-object blocks with an
 // AES-based block cipher; we use AES-256 keys derived from the File Access
-// Key. Single-block encrypt/decrypt only — chaining modes live in
-// block_crypter.h.
+// Key. Chaining modes live in block_crypter.h.
+//
+// Two dispatch tiers, selected once at process start and overridable for
+// tests/benchmarks:
+//   kAesNi - hardware AES round instructions (runtime cpuid detection),
+//            pipelined four blocks at a time in the batch entry points
+//   kTable - the classic fused T-table software implementation
+// A third, byte-wise FIPS-197 transcription lives in aes_ref.h as the
+// verification reference; it is never dispatched to.
 #ifndef STEGFS_CRYPTO_AES_H_
 #define STEGFS_CRYPTO_AES_H_
 
@@ -13,6 +20,18 @@
 
 namespace stegfs {
 namespace crypto {
+
+enum class AesTier { kTable, kAesNi };
+
+// The tier every Aes instance currently dispatches to. Defaults to kAesNi
+// when the CPU supports it, kTable otherwise.
+AesTier ActiveAesTier();
+// Short stable name of the active tier: "aes-ni" or "t-table". The pointer
+// is a static string (safe to hand across the C API).
+const char* AesTierName();
+// Overrides the tier (process-wide). Returns false — and changes nothing —
+// if the requested tier is unsupported on this CPU.
+bool SetAesTier(AesTier tier);
 
 // Expanded-key AES context. Construct once per key, then encrypt/decrypt any
 // number of 16-byte blocks.
@@ -27,15 +46,31 @@ class Aes {
   void EncryptBlock(const uint8_t in[16], uint8_t out[16]) const;
   void DecryptBlock(const uint8_t in[16], uint8_t out[16]) const;
 
+  // ECB batch: n independent 16-byte blocks laid out back to back. The
+  // AES-NI tier pipelines four blocks per dispatch; the table tier loops.
+  // in and out may be the same buffer (per-block aliasing).
+  void EncryptBlocksEcb(const uint8_t* in, uint8_t* out, size_t n) const;
+  void DecryptBlocksEcb(const uint8_t* in, uint8_t* out, size_t n) const;
+
+  // Four independent 16-byte blocks at unrelated addresses — the lane
+  // primitive BlockCrypter uses to interleave four CBC chains (one per
+  // device block) through the hardware pipeline. in[i]/out[i] may alias.
+  void Encrypt4(const uint8_t* const in[4], uint8_t* const out[4]) const;
+
   int rounds() const { return rounds_; }
 
  private:
   void ExpandKey(const uint8_t* key, size_t key_len);
+  void EncryptBlockTable(const uint8_t in[16], uint8_t out[16]) const;
+  void DecryptBlockTable(const uint8_t in[16], uint8_t out[16]) const;
 
   // Round keys, 4 words per round plus the initial AddRoundKey, and the
   // "equivalent inverse cipher" schedule for table-driven decryption.
   uint32_t round_keys_[60];
   uint32_t dec_round_keys_[60];
+  // The same two schedules in FIPS-197 byte order, for the AES-NI tier.
+  alignas(16) uint8_t enc_ks_[240];
+  alignas(16) uint8_t dec_ks_[240];
   int rounds_;
 };
 

@@ -1,0 +1,159 @@
+#include "crypto/aes_ni.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace stegfs {
+namespace crypto {
+namespace aesni {
+
+// Each function carries its own target attribute instead of compiling the
+// whole TU with -maes: the library stays runnable on CPUs without AES-NI
+// (dispatch in aes.cc never calls in here unless Supported() is true).
+#define STEGFS_AESNI __attribute__((target("aes,sse2")))
+
+bool Supported() { return __builtin_cpu_supports("aes"); }
+
+namespace {
+
+STEGFS_AESNI inline __m128i Key(const uint8_t* ks, int i) {
+  return _mm_loadu_si128(reinterpret_cast<const __m128i*>(ks) + i);
+}
+
+}  // namespace
+
+STEGFS_AESNI void Encrypt1(const uint8_t* enc_ks, int rounds,
+                           const uint8_t in[16], uint8_t out[16]) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(s, Key(enc_ks, 0));
+  for (int r = 1; r < rounds; ++r) s = _mm_aesenc_si128(s, Key(enc_ks, r));
+  s = _mm_aesenclast_si128(s, Key(enc_ks, rounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+STEGFS_AESNI void Decrypt1(const uint8_t* dec_ks, int rounds,
+                           const uint8_t in[16], uint8_t out[16]) {
+  __m128i s = _mm_loadu_si128(reinterpret_cast<const __m128i*>(in));
+  s = _mm_xor_si128(s, Key(dec_ks, 0));
+  for (int r = 1; r < rounds; ++r) s = _mm_aesdec_si128(s, Key(dec_ks, r));
+  s = _mm_aesdeclast_si128(s, Key(dec_ks, rounds));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out), s);
+}
+
+STEGFS_AESNI void EncryptEcb(const uint8_t* enc_ks, int rounds,
+                             const uint8_t* in, uint8_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in) + i;
+    __m128i k = Key(enc_ks, 0);
+    __m128i s0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k);
+    __m128i s1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k);
+    __m128i s2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k);
+    __m128i s3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k);
+    for (int r = 1; r < rounds; ++r) {
+      k = Key(enc_ks, r);
+      s0 = _mm_aesenc_si128(s0, k);
+      s1 = _mm_aesenc_si128(s1, k);
+      s2 = _mm_aesenc_si128(s2, k);
+      s3 = _mm_aesenc_si128(s3, k);
+    }
+    k = Key(enc_ks, rounds);
+    __m128i* dst = reinterpret_cast<__m128i*>(out) + i;
+    _mm_storeu_si128(dst + 0, _mm_aesenclast_si128(s0, k));
+    _mm_storeu_si128(dst + 1, _mm_aesenclast_si128(s1, k));
+    _mm_storeu_si128(dst + 2, _mm_aesenclast_si128(s2, k));
+    _mm_storeu_si128(dst + 3, _mm_aesenclast_si128(s3, k));
+  }
+  for (; i < n; ++i) Encrypt1(enc_ks, rounds, in + 16 * i, out + 16 * i);
+}
+
+STEGFS_AESNI void DecryptEcb(const uint8_t* dec_ks, int rounds,
+                             const uint8_t* in, uint8_t* out, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const __m128i* src = reinterpret_cast<const __m128i*>(in) + i;
+    __m128i k = Key(dec_ks, 0);
+    __m128i s0 = _mm_xor_si128(_mm_loadu_si128(src + 0), k);
+    __m128i s1 = _mm_xor_si128(_mm_loadu_si128(src + 1), k);
+    __m128i s2 = _mm_xor_si128(_mm_loadu_si128(src + 2), k);
+    __m128i s3 = _mm_xor_si128(_mm_loadu_si128(src + 3), k);
+    for (int r = 1; r < rounds; ++r) {
+      k = Key(dec_ks, r);
+      s0 = _mm_aesdec_si128(s0, k);
+      s1 = _mm_aesdec_si128(s1, k);
+      s2 = _mm_aesdec_si128(s2, k);
+      s3 = _mm_aesdec_si128(s3, k);
+    }
+    k = Key(dec_ks, rounds);
+    __m128i* dst = reinterpret_cast<__m128i*>(out) + i;
+    _mm_storeu_si128(dst + 0, _mm_aesdeclast_si128(s0, k));
+    _mm_storeu_si128(dst + 1, _mm_aesdeclast_si128(s1, k));
+    _mm_storeu_si128(dst + 2, _mm_aesdeclast_si128(s2, k));
+    _mm_storeu_si128(dst + 3, _mm_aesdeclast_si128(s3, k));
+  }
+  for (; i < n; ++i) Decrypt1(dec_ks, rounds, in + 16 * i, out + 16 * i);
+}
+
+STEGFS_AESNI void Encrypt4(const uint8_t* enc_ks, int rounds,
+                           const uint8_t* const in[4],
+                           uint8_t* const out[4]) {
+  __m128i k = Key(enc_ks, 0);
+  __m128i s0 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[0])), k);
+  __m128i s1 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[1])), k);
+  __m128i s2 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[2])), k);
+  __m128i s3 = _mm_xor_si128(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(in[3])), k);
+  for (int r = 1; r < rounds; ++r) {
+    k = Key(enc_ks, r);
+    s0 = _mm_aesenc_si128(s0, k);
+    s1 = _mm_aesenc_si128(s1, k);
+    s2 = _mm_aesenc_si128(s2, k);
+    s3 = _mm_aesenc_si128(s3, k);
+  }
+  k = Key(enc_ks, rounds);
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out[0]),
+                   _mm_aesenclast_si128(s0, k));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out[1]),
+                   _mm_aesenclast_si128(s1, k));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out[2]),
+                   _mm_aesenclast_si128(s2, k));
+  _mm_storeu_si128(reinterpret_cast<__m128i*>(out[3]),
+                   _mm_aesenclast_si128(s3, k));
+}
+
+#undef STEGFS_AESNI
+
+}  // namespace aesni
+}  // namespace crypto
+}  // namespace stegfs
+
+#else  // non-x86: the tier is never selected; stubs keep the link happy.
+
+#include <cstdlib>
+
+namespace stegfs {
+namespace crypto {
+namespace aesni {
+
+bool Supported() { return false; }
+void Encrypt1(const uint8_t*, int, const uint8_t*, uint8_t*) { std::abort(); }
+void Decrypt1(const uint8_t*, int, const uint8_t*, uint8_t*) { std::abort(); }
+void EncryptEcb(const uint8_t*, int, const uint8_t*, uint8_t*, size_t) {
+  std::abort();
+}
+void DecryptEcb(const uint8_t*, int, const uint8_t*, uint8_t*, size_t) {
+  std::abort();
+}
+void Encrypt4(const uint8_t*, int, const uint8_t* const*, uint8_t* const*) {
+  std::abort();
+}
+
+}  // namespace aesni
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif

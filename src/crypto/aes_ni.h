@@ -1,0 +1,48 @@
+// AES-NI backend: hardware AES round instructions (AESENC/AESDEC), used by
+// crypto::Aes when the CPU supports them (runtime-detected; see
+// Aes::active_tier in aes.h). Internal to the crypto layer — callers go
+// through Aes, which owns tier dispatch and the key schedules.
+//
+// Key schedules are passed as the FIPS-197 byte serialization of the
+// expanded keys: 16 bytes per round key, (rounds + 1) keys. The decryption
+// schedule must be the "equivalent inverse cipher" schedule (reversed round
+// order, InvMixColumns applied to the middle keys) — exactly what
+// Aes::ExpandKey already computes for the table tier, so both tiers share
+// one key-expansion path.
+#ifndef STEGFS_CRYPTO_AES_NI_H_
+#define STEGFS_CRYPTO_AES_NI_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stegfs {
+namespace crypto {
+namespace aesni {
+
+// True when the CPU executes AES instructions (false on non-x86 builds).
+bool Supported();
+
+// Single 16-byte block. in and out may alias.
+void Encrypt1(const uint8_t* enc_ks, int rounds, const uint8_t in[16],
+              uint8_t out[16]);
+void Decrypt1(const uint8_t* dec_ks, int rounds, const uint8_t in[16],
+              uint8_t out[16]);
+
+// n independent 16-byte blocks, pipelined four at a time (the AES units
+// are deeply pipelined; independent blocks hide the ~4-cycle round
+// latency). in/out may be the same buffer.
+void EncryptEcb(const uint8_t* enc_ks, int rounds, const uint8_t* in,
+                uint8_t* out, size_t n);
+void DecryptEcb(const uint8_t* dec_ks, int rounds, const uint8_t* in,
+                uint8_t* out, size_t n);
+
+// Four independent blocks at unrelated addresses (CBC lane interleaving
+// across device blocks). in[i] and out[i] may alias per lane.
+void Encrypt4(const uint8_t* enc_ks, int rounds, const uint8_t* const in[4],
+              uint8_t* const out[4]);
+
+}  // namespace aesni
+}  // namespace crypto
+}  // namespace stegfs
+
+#endif  // STEGFS_CRYPTO_AES_NI_H_

@@ -26,11 +26,23 @@ void BlockCrypter::ComputeIv(uint64_t block_number, uint8_t iv[16]) const {
   iv_cipher_->EncryptBlock(plain, iv);
 }
 
-void BlockCrypter::EncryptBlock(uint64_t block_number, uint8_t* data,
-                                size_t size) const {
-  assert(size % 16 == 0);
+void BlockCrypter::ComputeIvs(const CryptSpan* spans, size_t n,
+                              uint8_t* ivs) const {
+  // Little-endian block numbers, zero-padded to 16 bytes, then one
+  // pipelined ECB pass over all n counters.
+  std::memset(ivs, 0, n * 16);
+  for (size_t s = 0; s < n; ++s) {
+    for (int i = 0; i < 8; ++i) {
+      ivs[s * 16 + i] = static_cast<uint8_t>(spans[s].block_number >> (8 * i));
+    }
+  }
+  iv_cipher_->EncryptBlocksEcb(ivs, ivs, n);
+}
+
+void BlockCrypter::EncryptWithIv(const uint8_t iv[16], uint8_t* data,
+                                 size_t size) const {
   uint8_t chain[16];
-  ComputeIv(block_number, chain);
+  std::memcpy(chain, iv, 16);
   for (size_t off = 0; off < size; off += 16) {
     for (int i = 0; i < 16; ++i) data[off + i] ^= chain[i];
     data_cipher_->EncryptBlock(data + off, data + off);
@@ -38,17 +50,74 @@ void BlockCrypter::EncryptBlock(uint64_t block_number, uint8_t* data,
   }
 }
 
-void BlockCrypter::DecryptBlock(uint64_t block_number, uint8_t* data,
+void BlockCrypter::EncryptBlock(uint64_t block_number, uint8_t* data,
                                 size_t size) const {
   assert(size % 16 == 0);
-  uint8_t chain[16];
-  ComputeIv(block_number, chain);
-  uint8_t prev_cipher[16];
-  for (size_t off = 0; off < size; off += 16) {
-    std::memcpy(prev_cipher, data + off, 16);
-    data_cipher_->DecryptBlock(data + off, data + off);
-    for (int i = 0; i < 16; ++i) data[off + i] ^= chain[i];
-    std::memcpy(chain, prev_cipher, 16);
+  uint8_t iv[16];
+  ComputeIv(block_number, iv);
+  EncryptWithIv(iv, data, size);
+}
+
+void BlockCrypter::DecryptBlock(uint64_t block_number, uint8_t* data,
+                                size_t size) const {
+  CryptSpan span{block_number, data};
+  DecryptBlocks(&span, 1, size);
+}
+
+void BlockCrypter::EncryptBlocks(const CryptSpan* spans, size_t n,
+                                 size_t size) const {
+  assert(size % 16 == 0);
+  if (n == 0) return;
+  std::vector<uint8_t> ivs(n * 16);
+  ComputeIvs(spans, n, ivs.data());
+
+  // Four device blocks at a time: their CBC chains are independent, so the
+  // four lanes keep the hardware AES pipeline full even though each chain
+  // is sequential internally.
+  size_t s = 0;
+  for (; s + 4 <= n; s += 4) {
+    uint8_t chain[4][16];
+    for (int l = 0; l < 4; ++l) std::memcpy(chain[l], &ivs[(s + l) * 16], 16);
+    for (size_t off = 0; off < size; off += 16) {
+      const uint8_t* in[4];
+      uint8_t* out[4];
+      for (int l = 0; l < 4; ++l) {
+        uint8_t* p = spans[s + l].data + off;
+        for (int i = 0; i < 16; ++i) p[i] ^= chain[l][i];
+        in[l] = p;
+        out[l] = p;
+      }
+      data_cipher_->Encrypt4(in, out);
+      for (int l = 0; l < 4; ++l) {
+        std::memcpy(chain[l], spans[s + l].data + off, 16);
+      }
+    }
+  }
+  for (; s < n; ++s) {
+    EncryptWithIv(&ivs[s * 16], spans[s].data, size);
+  }
+}
+
+void BlockCrypter::DecryptBlocks(const CryptSpan* spans, size_t n,
+                                 size_t size) const {
+  assert(size % 16 == 0);
+  if (n == 0) return;
+  std::vector<uint8_t> ivs(n * 16);
+  ComputeIvs(spans, n, ivs.data());
+
+  // CBC decryption is ciphertext-parallel: keep a copy of the ciphertext,
+  // ECB-decrypt the whole block pipelined, then XOR each 16-byte cell with
+  // the previous ciphertext cell (the IV for the first).
+  std::vector<uint8_t> cipher(size);
+  for (size_t s = 0; s < n; ++s) {
+    uint8_t* data = spans[s].data;
+    std::memcpy(cipher.data(), data, size);
+    data_cipher_->DecryptBlocksEcb(data, data, size / 16);
+    for (int i = 0; i < 16; ++i) data[i] ^= ivs[s * 16 + i];
+    for (size_t off = 16; off < size; off += 16) {
+      const uint8_t* prev = cipher.data() + off - 16;
+      for (int i = 0; i < 16; ++i) data[off + i] ^= prev[i];
+    }
   }
 }
 

@@ -20,6 +20,14 @@
 namespace stegfs {
 namespace crypto {
 
+// One device block in a batch: the ESSIV tweak (block_number) plus its
+// in-place payload. Block numbers need not be contiguous or ordered —
+// each block is an independent CBC chain.
+struct CryptSpan {
+  uint64_t block_number;
+  uint8_t* data;
+};
+
 // Encrypts/decrypts fixed-size device blocks keyed by (key, block_number).
 // Block size must be a multiple of 16 bytes (true for all supported device
 // block sizes, 512 B - 64 KB).
@@ -33,8 +41,22 @@ class BlockCrypter {
   void EncryptBlock(uint64_t block_number, uint8_t* data, size_t size) const;
   void DecryptBlock(uint64_t block_number, uint8_t* data, size_t size) const;
 
+  // Batch transforms over n device blocks of `size` bytes each, in place.
+  // All ESSIV IVs are derived in one pipelined ECB pass; encryption then
+  // interleaves four device blocks' CBC chains through the AES pipeline
+  // (chains are independent across blocks, sequential only within one),
+  // and decryption runs each block as a single pipelined ECB pass followed
+  // by the XOR un-chaining. Bitwise-identical to calling the single-block
+  // transforms once per span.
+  void EncryptBlocks(const CryptSpan* spans, size_t n, size_t size) const;
+  void DecryptBlocks(const CryptSpan* spans, size_t n, size_t size) const;
+
  private:
   void ComputeIv(uint64_t block_number, uint8_t iv[16]) const;
+  // Derives the IVs for n spans into ivs (n * 16 bytes) with one ECB batch.
+  void ComputeIvs(const CryptSpan* spans, size_t n, uint8_t* ivs) const;
+  // CBC-encrypts one block whose IV is already derived.
+  void EncryptWithIv(const uint8_t iv[16], uint8_t* data, size_t size) const;
 
   std::unique_ptr<Aes> data_cipher_;
   std::unique_ptr<Aes> iv_cipher_;

@@ -30,6 +30,29 @@ class BlockStore {
   virtual uint32_t block_size() const = 0;
   virtual Status ReadBlock(uint64_t block, uint8_t* buf) = 0;
   virtual Status WriteBlock(uint64_t block, const uint8_t* buf) = 0;
+
+  // Batch transfers of n blocks to/from the contiguous buffer (request
+  // order, n * block_size() bytes). Base implementation loops; the cache-
+  // backed stores forward to the cache's vectored batch path.
+  virtual Status ReadBlocks(const uint64_t* blocks, size_t n, uint8_t* out) {
+    for (size_t i = 0; i < n; ++i) {
+      STEGFS_RETURN_IF_ERROR(ReadBlock(blocks[i], out + i * block_size()));
+    }
+    return Status::OK();
+  }
+  virtual Status WriteBlocks(const uint64_t* blocks, size_t n,
+                             const uint8_t* data) {
+    for (size_t i = 0; i < n; ++i) {
+      STEGFS_RETURN_IF_ERROR(WriteBlock(blocks[i], data + i * block_size()));
+    }
+    return Status::OK();
+  }
+
+  // Best-effort readahead hint; default is to ignore it.
+  virtual void Prefetch(const uint64_t* blocks, size_t n) {
+    (void)blocks;
+    (void)n;
+  }
 };
 
 class CacheBlockStore : public BlockStore {
@@ -41,6 +64,17 @@ class CacheBlockStore : public BlockStore {
   }
   Status WriteBlock(uint64_t block, const uint8_t* buf) override {
     return cache_->Write(block, buf);
+  }
+  Status ReadBlocks(const uint64_t* blocks, size_t n,
+                    uint8_t* out) override {
+    return cache_->ReadBatch(blocks, n, out);
+  }
+  Status WriteBlocks(const uint64_t* blocks, size_t n,
+                     const uint8_t* data) override {
+    return cache_->WriteBatch(blocks, n, data);
+  }
+  void Prefetch(const uint64_t* blocks, size_t n) override {
+    cache_->Prefetch(blocks, n);
   }
 
  private:
@@ -64,6 +98,33 @@ class EncryptedBlockStore : public BlockStore {
     std::vector<uint8_t> tmp(buf, buf + cache_->block_size());
     crypter_->EncryptBlock(block, tmp.data(), tmp.size());
     return cache_->Write(block, tmp.data());
+  }
+
+  // Whole-extent fast path: one vectored cache/device transfer, then one
+  // pipelined batch decrypt/encrypt over every block in the extent.
+  Status ReadBlocks(const uint64_t* blocks, size_t n,
+                    uint8_t* out) override {
+    const size_t bs = cache_->block_size();
+    STEGFS_RETURN_IF_ERROR(cache_->ReadBatch(blocks, n, out));
+    std::vector<crypto::CryptSpan> spans(n);
+    for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], out + i * bs};
+    crypter_->DecryptBlocks(spans.data(), n, bs);
+    return Status::OK();
+  }
+
+  Status WriteBlocks(const uint64_t* blocks, size_t n,
+                     const uint8_t* data) override {
+    const size_t bs = cache_->block_size();
+    std::vector<uint8_t> tmp(data, data + n * bs);
+    std::vector<crypto::CryptSpan> spans(n);
+    for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], tmp.data() + i * bs};
+    crypter_->EncryptBlocks(spans.data(), n, bs);
+    return cache_->WriteBatch(blocks, n, tmp.data());
+  }
+
+  // The cache holds ciphertext, so prefetched blocks decrypt on demand.
+  void Prefetch(const uint64_t* blocks, size_t n) override {
+    cache_->Prefetch(blocks, n);
   }
 
  private:
@@ -107,11 +168,52 @@ class CoalescingStore : public BlockStore {
     return Status::OK();
   }
 
-  // Writes all pending blocks through, ascending by LBA (std::map order).
-  Status Flush() {
-    for (const auto& [block, data] : pending_) {
-      STEGFS_RETURN_IF_ERROR(inner_->WriteBlock(block, data.data()));
+  // Serves pending blocks from memory and fetches the rest with one
+  // vectored inner read.
+  Status ReadBlocks(const uint64_t* blocks, size_t n,
+                    uint8_t* out) override {
+    const size_t bs = inner_->block_size();
+    std::vector<uint64_t> missing;
+    std::vector<size_t> missing_pos;
+    for (size_t i = 0; i < n; ++i) {
+      auto it = pending_.find(blocks[i]);
+      if (it != pending_.end()) {
+        std::memcpy(out + i * bs, it->second.data(), bs);
+      } else {
+        missing.push_back(blocks[i]);
+        missing_pos.push_back(i);
+      }
     }
+    if (missing.empty()) return Status::OK();
+    std::vector<uint8_t> buf(missing.size() * bs);
+    STEGFS_RETURN_IF_ERROR(
+        inner_->ReadBlocks(missing.data(), missing.size(), buf.data()));
+    for (size_t j = 0; j < missing.size(); ++j) {
+      std::memcpy(out + missing_pos[j] * bs, buf.data() + j * bs, bs);
+    }
+    return Status::OK();
+  }
+
+  void Prefetch(const uint64_t* blocks, size_t n) override {
+    inner_->Prefetch(blocks, n);
+  }
+
+  // Writes all pending blocks through as ONE vectored batch, ascending by
+  // LBA (std::map order) — a sequential extent reaches a coalescing device
+  // as a single transfer.
+  Status Flush() {
+    if (pending_.empty()) return Status::OK();
+    const size_t bs = inner_->block_size();
+    std::vector<uint64_t> blocks;
+    std::vector<uint8_t> data;
+    blocks.reserve(pending_.size());
+    data.reserve(pending_.size() * bs);
+    for (const auto& [block, buf] : pending_) {
+      blocks.push_back(block);
+      data.insert(data.end(), buf.begin(), buf.end());
+    }
+    STEGFS_RETURN_IF_ERROR(
+        inner_->WriteBlocks(blocks.data(), blocks.size(), data.data()));
     pending_.clear();
     return Status::OK();
   }

@@ -9,25 +9,91 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
                     BlockStore* store, std::string* out) {
   if (offset >= inode.size) return Status::OK();
   n = std::min(n, inode.size - offset);
-  std::vector<uint8_t> buf(block_size_);
+  out->reserve(out->size() + n);
+
+  // One chunk = up to kMaxBatchBlocks file blocks: resolve the mapping for
+  // the whole chunk, fetch every mapped block with one vectored store
+  // read, then assemble bytes (holes read as zeros).
+  std::vector<uint64_t> device_blocks;
+  std::vector<bool> is_hole;
+  std::vector<uint32_t> takes;
+  std::vector<uint8_t> buf;
+  uint64_t total_blocks = 0;
   while (n > 0) {
-    uint64_t block_idx = offset / block_size_;
-    uint32_t in_block = static_cast<uint32_t>(offset % block_size_);
-    uint32_t take = static_cast<uint32_t>(
-        std::min<uint64_t>(n, block_size_ - in_block));
-    auto mapped = mapper_.Map(inode, block_idx, store);
-    if (mapped.ok()) {
-      STEGFS_RETURN_IF_ERROR(store->ReadBlock(mapped.value(), buf.data()));
-      out->append(reinterpret_cast<const char*>(buf.data()) + in_block, take);
-    } else if (mapped.status().IsNotFound()) {
-      out->append(take, '\0');  // hole
-    } else {
-      return mapped.status();
+    device_blocks.clear();
+    is_hole.clear();
+    takes.clear();
+    uint64_t chunk_off = offset;
+    uint64_t chunk_n = n;
+    while (chunk_n > 0 && is_hole.size() < kMaxBatchBlocks) {
+      uint64_t block_idx = chunk_off / block_size_;
+      uint32_t in_block = static_cast<uint32_t>(chunk_off % block_size_);
+      uint32_t take = static_cast<uint32_t>(
+          std::min<uint64_t>(chunk_n, block_size_ - in_block));
+      auto mapped = mapper_.Map(inode, block_idx, store);
+      if (mapped.ok()) {
+        is_hole.push_back(false);
+        device_blocks.push_back(mapped.value());
+      } else if (mapped.status().IsNotFound()) {
+        is_hole.push_back(true);
+      } else {
+        return mapped.status();
+      }
+      takes.push_back(take);
+      chunk_off += take;
+      chunk_n -= take;
     }
-    offset += take;
-    n -= take;
+
+    total_blocks += takes.size();
+    buf.resize(device_blocks.size() * block_size_);
+    if (!device_blocks.empty()) {
+      STEGFS_RETURN_IF_ERROR(store->ReadBlocks(
+          device_blocks.data(), device_blocks.size(), buf.data()));
+    }
+
+    size_t mapped_i = 0;
+    for (size_t i = 0; i < takes.size(); ++i) {
+      uint32_t in_block = static_cast<uint32_t>(offset % block_size_);
+      if (is_hole[i]) {
+        out->append(takes[i], '\0');
+      } else {
+        const uint8_t* src = buf.data() + mapped_i * block_size_ + in_block;
+        out->append(reinterpret_cast<const char*>(src), takes[i]);
+        ++mapped_i;
+      }
+      offset += takes[i];
+      n -= takes[i];
+    }
+  }
+
+  // Hint the window after the extent — but only for multi-block extents:
+  // a block-at-a-time reader would enqueue one prefetch task per block,
+  // all chasing the block the next call is about to demand-read anyway,
+  // and the task overhead swamps the win (measured 0.6x on one core).
+  if (readahead_ > 0 && total_blocks >= 2) {
+    IssueReadahead(inode, offset / block_size_ + (offset % block_size_ != 0),
+                   store);
   }
   return Status::OK();
+}
+
+void FileIo::IssueReadahead(const Inode& inode, uint64_t next_idx,
+                            BlockStore* store) {
+  std::vector<uint64_t> blocks;
+  uint64_t file_blocks = (inode.size + block_size_ - 1) / block_size_;
+  // The window is the next readahead_ FILE blocks — holes inside it yield
+  // nothing but do not extend the scan, so a sparse tail costs at most
+  // readahead_ mapper lookups per read, never a walk of the whole file.
+  uint64_t window_end = std::min(file_blocks, next_idx + readahead_);
+  for (uint64_t idx = next_idx; idx < window_end; ++idx) {
+    auto mapped = mapper_.Map(inode, idx, store);
+    if (!mapped.ok()) {
+      if (mapped.status().IsNotFound()) continue;  // hole: nothing to warm
+      return;  // mapping error: skip the hint, the demand path reports it
+    }
+    blocks.push_back(mapped.value());
+  }
+  if (!blocks.empty()) store->Prefetch(blocks.data(), blocks.size());
 }
 
 Status FileIo::Write(Inode* inode, uint64_t offset, std::string_view data,

@@ -20,8 +20,18 @@ class FileIo {
   explicit FileIo(uint32_t block_size)
       : block_size_(block_size), mapper_(block_size) {}
 
+  // Readahead window in file blocks: after each Read, the next `blocks`
+  // mapped blocks are hinted to the store's prefetcher (0 = off, the
+  // default). Takes effect only when the underlying cache has a prefetch
+  // pool attached.
+  void set_readahead(uint32_t blocks) { readahead_ = blocks; }
+  uint32_t readahead() const { return readahead_; }
+
   // Reads up to `n` bytes from `offset`; stops at end-of-file. Holes read
-  // as zeros. Appends to *out.
+  // as zeros. Appends to *out. The extent is resolved through the mapper
+  // first, then all mapped blocks transfer as vectored batches (at most
+  // kMaxBatchBlocks at a time), so a sequential extent reaches the device
+  // as coalesced runs and the crypto layer as pipelined batches.
   Status Read(const Inode& inode, uint64_t offset, uint64_t n,
               BlockStore* store, std::string* out);
 
@@ -37,8 +47,18 @@ class FileIo {
 
   BlockMapper* mapper() { return &mapper_; }
 
+  // Upper bound on blocks per batch transfer (bounds staging memory:
+  // 256 blocks = 16 MB at the largest 64 KB block size).
+  static constexpr size_t kMaxBatchBlocks = 256;
+
  private:
+  // Hints the prefetcher at the next `readahead_` mapped file blocks
+  // following `next_idx`.
+  void IssueReadahead(const Inode& inode, uint64_t next_idx,
+                      BlockStore* store);
+
   uint32_t block_size_;
+  uint32_t readahead_ = 0;
   BlockMapper mapper_;
 };
 

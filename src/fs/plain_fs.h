@@ -25,6 +25,7 @@
 
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
+#include "concurrency/thread_pool.h"
 #include "fs/bitmap.h"
 #include "fs/directory.h"
 #include "fs/file_io.h"
@@ -55,6 +56,11 @@ struct MountOptions {
   size_t cache_shards = 0;
   WritePolicy write_policy = WritePolicy::kWriteBack;
   uint64_t rng_seed = 0x5742;  // placement randomness (deterministic)
+  // Readahead window in blocks after every extent read (plain AND hidden
+  // files). 0 = off (the default, preserving seeded cache behavior).
+  // When > 0, the mount owns a one-thread prefetch pool and attaches it to
+  // the buffer cache.
+  uint32_t readahead_blocks = 0;
 };
 
 struct FileInfo {
@@ -113,6 +119,9 @@ class PlainFs {
   FileIo* file_io() { return &file_io_; }
   Xoshiro* rng() { return &rng_; }
   AllocPolicy policy() const { return options_.policy; }
+  // Effective readahead window (0 when the option was requested but the
+  // host has no spare core for the prefetch thread).
+  uint32_t readahead_blocks() const { return options_.readahead_blocks; }
 
   // Marks every block reachable from the central directory (data + indirect
   // blocks of every inode) in `referenced` (sized num_blocks). Metadata
@@ -170,6 +179,9 @@ class PlainFs {
   Directory dir_ops_;
   PolicyAllocator allocator_;
   Xoshiro rng_;
+  // Declared last: the pool's tasks touch cache_, so it must be drained
+  // and joined (destroyed) before the cache goes away.
+  std::unique_ptr<concurrency::ThreadPool> prefetch_pool_;
 };
 
 }  // namespace stegfs

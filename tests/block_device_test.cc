@@ -8,6 +8,7 @@
 #include "blockdev/file_block_device.h"
 #include "blockdev/mem_block_device.h"
 #include "blockdev/sim_disk.h"
+#include "tests/test_device.h"
 
 namespace stegfs {
 namespace {
@@ -95,6 +96,111 @@ TEST_F(FileBlockDeviceTest, OpenMissingFileFails) {
 TEST_F(FileBlockDeviceTest, RejectsBadBlockSize) {
   auto dev = FileBlockDevice::Create(path_, 1000, 4);  // not a power of two
   EXPECT_FALSE(dev.ok());
+}
+
+TEST_F(FileBlockDeviceTest, VectoredReadCoalescesContiguousRuns) {
+  auto dev = FileBlockDevice::Create(path_, 512, 64);
+  ASSERT_TRUE(dev.ok());
+  std::vector<std::vector<uint8_t>> pats;
+  for (uint64_t b = 0; b < 16; ++b) {
+    pats.push_back(Pattern(512, static_cast<uint8_t>(b * 3 + 1)));
+    ASSERT_TRUE((*dev)->WriteBlock(b, pats.back().data()).ok());
+  }
+
+  // 4+3 contiguous runs plus two singletons: 2 coalesced runs expected.
+  uint64_t order[] = {2, 3, 4, 5, 9, 12, 13, 14, 40};
+  std::vector<uint8_t> zero(512, 0);
+  ASSERT_TRUE((*dev)->WriteBlock(40, zero.data()).ok());
+  std::vector<std::vector<uint8_t>> bufs(9, std::vector<uint8_t>(512));
+  std::vector<BlockIoVec> iov;
+  for (size_t i = 0; i < 9; ++i) iov.push_back({order[i], bufs[i].data()});
+  ASSERT_TRUE((*dev)->ReadBlocks(iov.data(), iov.size()).ok());
+  for (size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(bufs[i], pats[order[i]]) << "block " << order[i];
+  }
+  DeviceBatchStats s = (*dev)->batch_stats();
+  EXPECT_EQ(s.vectored_blocks, 9u);
+  EXPECT_EQ(s.coalesced_runs, 2u);
+}
+
+TEST_F(FileBlockDeviceTest, VectoredWriteCoalescesAndPersists) {
+  auto dev = FileBlockDevice::Create(path_, 512, 64);
+  ASSERT_TRUE(dev.ok());
+  std::vector<std::vector<uint8_t>> pats;
+  std::vector<ConstBlockIoVec> iov;
+  uint64_t order[] = {10, 11, 12, 30, 7, 8};
+  for (size_t i = 0; i < 6; ++i) {
+    pats.push_back(Pattern(512, static_cast<uint8_t>(40 + i)));
+  }
+  for (size_t i = 0; i < 6; ++i) iov.push_back({order[i], pats[i].data()});
+  ASSERT_TRUE((*dev)->WriteBlocks(iov.data(), iov.size()).ok());
+  ASSERT_TRUE((*dev)->Flush().ok());
+  DeviceBatchStats s = (*dev)->batch_stats();
+  EXPECT_EQ(s.vectored_blocks, 6u);
+  EXPECT_EQ(s.coalesced_runs, 2u);  // {10,11,12} and {7,8}
+
+  // Reopen and verify per-block.
+  auto reopened = FileBlockDevice::Open(path_, 512);
+  ASSERT_TRUE(reopened.ok());
+  std::vector<uint8_t> out(512);
+  for (size_t i = 0; i < 6; ++i) {
+    ASSERT_TRUE((*reopened)->ReadBlock(order[i], out.data()).ok());
+    EXPECT_EQ(out, pats[i]) << "block " << order[i];
+  }
+}
+
+TEST_F(FileBlockDeviceTest, VectoredIoRejectsOutOfRangeUpFront) {
+  auto dev = FileBlockDevice::Create(path_, 512, 8);
+  ASSERT_TRUE(dev.ok());
+  std::vector<uint8_t> a(512, 1), b(512, 2);
+  ConstBlockIoVec iov[2] = {{3, a.data()}, {8, b.data()}};
+  EXPECT_TRUE((*dev)->WriteBlocks(iov, 2).IsInvalidArgument());
+  // Validation happens before any transfer: block 3 must be untouched.
+  std::vector<uint8_t> out(512, 0xff);
+  ASSERT_TRUE((*dev)->ReadBlock(3, out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));
+}
+
+// A fault in the middle of a vectored request (served by the base-class
+// per-block fallback on FaultyDevice) stops at the failing block: earlier
+// blocks have transferred, later ones are untouched, and the error
+// surfaces to the caller.
+TEST(FaultyDeviceBatchTest, FaultMidBatchStopsAtFailingBlock) {
+  test::FaultyDevice dev(512, 32);
+  auto a = Pattern(512, 1);
+  auto b = Pattern(512, 2);
+  auto c = Pattern(512, 3);
+  dev.FailWrites(2);  // first two writes succeed, third faults
+  ConstBlockIoVec wr[3] = {{0, a.data()}, {1, b.data()}, {2, c.data()}};
+  EXPECT_TRUE(dev.WriteBlocks(wr, 3).IsIOError());
+  dev.Heal();
+  std::vector<uint8_t> out(512);
+  ASSERT_TRUE(dev.ReadBlock(0, out.data()).ok());
+  EXPECT_EQ(out, a);
+  ASSERT_TRUE(dev.ReadBlock(1, out.data()).ok());
+  EXPECT_EQ(out, b);
+  ASSERT_TRUE(dev.ReadBlock(2, out.data()).ok());
+  EXPECT_EQ(out, std::vector<uint8_t>(512, 0));  // never written
+
+  dev.FailReads(1);
+  BlockIoVec rd[3] = {{0, out.data()}, {1, out.data()}, {2, out.data()}};
+  EXPECT_TRUE(dev.ReadBlocks(rd, 3).IsIOError());
+}
+
+TEST(MemBlockDeviceTest, DefaultVectoredFallbackTransfersAllBlocks) {
+  MemBlockDevice dev(512, 16);
+  auto a = Pattern(512, 1);
+  auto b = Pattern(512, 2);
+  ConstBlockIoVec wr[2] = {{5, a.data()}, {1, b.data()}};
+  ASSERT_TRUE(dev.WriteBlocks(wr, 2).ok());
+  std::vector<uint8_t> oa(512), ob(512);
+  BlockIoVec rd[2] = {{1, ob.data()}, {5, oa.data()}};
+  ASSERT_TRUE(dev.ReadBlocks(rd, 2).ok());
+  EXPECT_EQ(oa, a);
+  EXPECT_EQ(ob, b);
+  // The fallback reports no batch-path counters.
+  EXPECT_EQ(dev.batch_stats().vectored_blocks, 0u);
+  EXPECT_EQ(dev.batch_stats().coalesced_runs, 0u);
 }
 
 TEST(SimDiskTest, ForwardsDataAndAccumulatesTime) {

@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <vector>
 
 namespace {
 
@@ -99,6 +100,54 @@ TEST_F(CapiTest, StatsReportCacheAndSpace) {
 
   EXPECT_EQ(steg_stats(nullptr, &after), STEG_ERR_INVALID);
   EXPECT_EQ(steg_stats(vol_, nullptr), STEG_ERR_INVALID);
+}
+
+TEST_F(CapiTest, StatsReportBatchedDataPath) {
+  // Push a multi-block extent through a hidden object so the batched
+  // read/write paths and the vectored device path are all exercised.
+  ASSERT_EQ(steg_create(vol_, "alice", "big", "uak", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "alice", "big", "uak"), STEG_OK);
+  std::string payload(64 * 1024, 'B');  // 64 blocks at 1 KB
+  ASSERT_EQ(steg_hidden_write(vol_, "alice", "big", payload.data(),
+                              payload.size()),
+            STEG_OK);
+
+  // Remount so the read below runs against a cold cache: its misses must
+  // reach the FileBlockDevice through the vectored path.
+  ASSERT_EQ(steg_unmount(vol_), STEG_OK);
+  vol_ = nullptr;
+  ASSERT_EQ(steg_mount(image_.c_str(), 1024, &vol_), STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "alice", "big", "uak"), STEG_OK);
+  std::vector<char> buf(payload.size());
+  size_t n = 0;
+  ASSERT_EQ(steg_hidden_read(vol_, "alice", "big", buf.data(), buf.size(),
+                             &n),
+            STEG_OK);
+  ASSERT_EQ(n, payload.size());
+  ASSERT_EQ(std::string(buf.data(), n), payload);
+
+  // An overwrite ticks the batched write path (through the coalescing
+  // store's vectored flush).
+  ASSERT_EQ(steg_hidden_write(vol_, "alice", "big", payload.data(),
+                              payload.size()),
+            STEG_OK);
+
+  stegfs_stats s;
+  ASSERT_EQ(steg_stats(vol_, &s), STEG_OK);
+  // The extent loops batch both directions, and the cold read misses
+  // reach the device as vectored I/O.
+  EXPECT_GT(s.cache_batched_reads, 0u);
+  EXPECT_GT(s.cache_batched_writes, 0u);
+  EXPECT_GT(s.dev_vectored_blocks, 0u);
+  // Prefetch counters are present (nonzero only when the host has a spare
+  // core for the prefetch thread AND reads miss; just check sanity).
+  EXPECT_GE(s.cache_prefetched, s.cache_prefetch_hits);
+  // The crypto tier name is a stable non-empty static string.
+  ASSERT_NE(s.crypto_tier, nullptr);
+  EXPECT_TRUE(std::string(s.crypto_tier) == "aes-ni" ||
+              std::string(s.crypto_tier) == "t-table")
+      << s.crypto_tier;
 }
 
 TEST_F(CapiTest, WrongKeyIsNotFound) {
