@@ -1,0 +1,196 @@
+// AsyncBlockDevice: the submit/complete half of the storage stack.
+//
+// The synchronous BlockDevice::ReadBlocks/WriteBlocks calls coalesce well
+// but serialize the machine: the device idles while the CPU encrypts and
+// the CPU idles while the device transfers. AsyncBlockDevice splits every
+// batch into a submission (returns immediately with a waitable IoTicket)
+// and a completion (an optional callback that runs exactly once when the
+// whole batch is done), so the layers above can keep several batches in
+// flight and overlap crypto with device time. This is what makes
+// random-placed hidden blocks fast: their requests can never coalesce
+// into contiguous runs (the placement randomness IS the deniability), but
+// they can all be in flight at once.
+//
+// Implementations:
+//   UringBlockDevice      - io_uring over a host-file descriptor (Linux,
+//                           runtime-detected; blockdev/uring_block_device.h)
+//   ThreadPoolAsyncDevice - portable fallback adapting any synchronous
+//                           BlockDevice via a small thread pool, so the
+//                           decorated devices (SimDisk, ThrottledBlockDevice,
+//                           the test FaultyDevice) keep their per-request
+//                           accounting and fault-injection semantics
+//                           (blockdev/thread_pool_async_device.h)
+//
+// Contracts shared by every implementation:
+//   - The buffers referenced by a submitted iov must stay alive until the
+//     batch completes (callback has returned / Wait() has returned).
+//   - The completion callback runs exactly once per batch, possibly
+//     inline during Submit*, possibly on an internal engine thread. It
+//     may acquire locks (the buffer cache's completion handlers take a
+//     shard stripe), but it must not Wait() on tickets of the same engine
+//     and must not submit new batches (either could deadlock the
+//     completion thread behind itself).
+//   - A batch has no intra-batch ordering guarantee: its blocks may
+//     transfer in any order and a mid-batch error does NOT say which
+//     blocks transferred. Callers needing orderly duplicates (two writes
+//     to one block in one batch) must use the synchronous path.
+//   - Threads blocked in Wait() must not hold any lock a completion
+//     callback can take (see the lock hierarchy in docs/ARCHITECTURE.md).
+#ifndef STEGFS_BLOCKDEV_ASYNC_BLOCK_DEVICE_H_
+#define STEGFS_BLOCKDEV_ASYNC_BLOCK_DEVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "util/status.h"
+
+namespace stegfs {
+
+// Point-in-time counters of an async engine (steg_stats exposes them).
+struct AsyncIoStats {
+  uint64_t submitted_batches = 0;
+  uint64_t submitted_blocks = 0;
+  uint64_t completed_batches = 0;
+  uint64_t failed_batches = 0;   // completed with a non-OK status
+  uint64_t inflight_blocks = 0;  // submitted, not yet completed
+};
+
+// Runs when a batch completes; receives the batch status.
+using IoCompletionFn = std::function<void(const Status&)>;
+
+// Waitable handle for one submitted batch. Copyable (all copies share the
+// batch state); Wait() is idempotent and multi-waiter safe. A
+// default-constructed ticket is already complete with OK — the inline
+// paths (all-hits cache batches, engineless fallbacks) return one.
+class IoTicket {
+ public:
+  IoTicket() = default;
+
+  static IoTicket Ready(Status s) {
+    IoTicket t;
+    if (!s.ok()) {
+      t.state_ = std::make_shared<State>();
+      t.state_->done = true;
+      t.state_->status = std::move(s);
+    }
+    return t;
+  }
+
+  // Blocks until the batch completes (its callback included) and returns
+  // the batch status.
+  Status Wait() {
+    if (state_ == nullptr) return Status::OK();
+    std::unique_lock<std::mutex> lock(state_->mu);
+    state_->cv.wait(lock, [&] { return state_->done; });
+    return state_->status;
+  }
+
+  bool done() const {
+    if (state_ == nullptr) return true;
+    std::lock_guard<std::mutex> lock(state_->mu);
+    return state_->done;
+  }
+
+ private:
+  friend class IoCompletion;
+  struct State {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    Status status;
+  };
+  std::shared_ptr<State> state_;
+};
+
+// Engine-side producer end of an IoTicket: Complete() fires the ticket
+// exactly once (asserting against double completion is the engines' job;
+// the state simply latches the first call).
+class IoCompletion {
+ public:
+  IoCompletion() : state_(std::make_shared<IoTicket::State>()) {}
+
+  IoTicket ticket() const {
+    IoTicket t;
+    t.state_ = state_;
+    return t;
+  }
+
+  void Complete(Status s) {
+    std::lock_guard<std::mutex> lock(state_->mu);
+    if (state_->done) return;  // never complete a request twice
+    state_->status = std::move(s);
+    state_->done = true;
+    state_->cv.notify_all();
+  }
+
+ private:
+  std::shared_ptr<IoTicket::State> state_;
+};
+
+// Shared per-batch completion state for engine implementations: the
+// remaining-op countdown, the first-error latch, and the callback +
+// ticket pair. The finalize contract every engine must follow (encoded
+// once here, referenced by both engines): run `done` FIRST (before the
+// ticket unblocks, and before the engine's inflight counters drop so
+// Drain() covers the callback), then drop the engine counters and notify
+// its drain condvar UNDER the engine mutex (once Drain() returns the
+// engine may be destroyed), and Complete() the ticket LAST so a waiter
+// returning from Wait() observes quiesced stats — safe against
+// post-Drain destruction because the ticket state is independently
+// shared and engine threads are joined by the destructor.
+struct AsyncBatchState {
+  std::atomic<size_t> remaining{0};
+  std::mutex mu;  // guards `status`
+  Status status;
+  IoCompletionFn done;
+  IoCompletion completion;
+  size_t blocks = 0;
+
+  // Latches the first error a slice/op reports.
+  void RecordError(const Status& s) {
+    if (s.ok()) return;
+    std::lock_guard<std::mutex> lock(mu);
+    if (status.ok()) status = s;
+  }
+  Status Snapshot() {
+    std::lock_guard<std::mutex> lock(mu);
+    return status;
+  }
+};
+
+class AsyncBlockDevice {
+ public:
+  virtual ~AsyncBlockDevice() = default;
+
+  virtual uint32_t block_size() const = 0;
+  virtual uint64_t num_blocks() const = 0;
+  // Static identifier: "io_uring" or "thread-pool".
+  virtual const char* engine_name() const = 0;
+
+  // Submits one batch; the engine owns the iov vector (moved in), the
+  // caller keeps the data buffers alive until completion. `done` (may be
+  // empty) runs exactly once with the final batch status, BEFORE the
+  // returned ticket unblocks. An empty iov completes inline with OK.
+  virtual IoTicket SubmitRead(std::vector<BlockIoVec> iov,
+                              IoCompletionFn done = nullptr) = 0;
+  virtual IoTicket SubmitWrite(std::vector<ConstBlockIoVec> iov,
+                               IoCompletionFn done = nullptr) = 0;
+
+  // Blocks until every batch submitted so far has completed. Destructors
+  // of all engines drain, so fire-and-forget submitters (the cache's
+  // prefetcher) need no bookkeeping.
+  virtual void Drain() = 0;
+
+  virtual AsyncIoStats stats() const = 0;
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_ASYNC_BLOCK_DEVICE_H_

@@ -74,6 +74,14 @@ class BlockDevice {
   // Batch-path counters; devices without a vectored fast path report zeros.
   virtual DeviceBatchStats batch_stats() const { return {}; }
 
+  // Raw POSIX file descriptor backing the device, when one exists (-1
+  // otherwise). The io_uring async engine attaches to it. Decorators
+  // (SimDisk, ThrottledBlockDevice, FaultyDevice) deliberately do NOT
+  // forward the inner device's descriptor: a decorated stack must fall
+  // back to the thread-pool engine so every request still flows through
+  // the decorator's accounting and fault injection.
+  virtual int file_descriptor() const { return -1; }
+
   // Durably persists all completed writes.
   virtual Status Flush() = 0;
 

@@ -1,81 +1,106 @@
 #include "blockdev/file_block_device.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <algorithm>
+#include <cerrno>
 #include <cstring>
 #include <vector>
 
 namespace stegfs {
+
+namespace {
+
+// pread/pwrite may transfer less than requested; loop to the full count.
+Status FullRead(int fd, uint8_t* buf, size_t n, uint64_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = pread(fd, buf + done, n - done,
+                      static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pread failed on volume file");
+    }
+    if (r == 0) return Status::IOError("short read from volume file");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+Status FullWrite(int fd, const uint8_t* buf, size_t n, uint64_t off) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t r = pwrite(fd, buf + done, n - done,
+                       static_cast<off_t>(off + done));
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError("pwrite failed on volume file");
+    }
+    if (r == 0) return Status::IOError("short write to volume file");
+    done += static_cast<size_t>(r);
+  }
+  return Status::OK();
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Create(
     const std::string& path, uint32_t block_size, uint64_t num_blocks) {
   if (block_size < 512 || (block_size & (block_size - 1)) != 0) {
     return Status::InvalidArgument("block size must be a power of two >= 512");
   }
-  std::FILE* f = std::fopen(path.c_str(), "wb+");
-  if (f == nullptr) {
+  int fd = open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
     return Status::IOError("cannot create volume file: " + path);
   }
   // Extend to full size so reads of untouched blocks succeed.
-  if (std::fseek(f, static_cast<long>(block_size * num_blocks) - 1,
-                 SEEK_SET) != 0 ||
-      std::fputc(0, f) == EOF) {
-    std::fclose(f);
+  if (ftruncate(fd, static_cast<off_t>(static_cast<uint64_t>(block_size) *
+                                       num_blocks)) != 0) {
+    close(fd);
     return Status::IOError("cannot size volume file: " + path);
   }
   return std::unique_ptr<FileBlockDevice>(
-      new FileBlockDevice(f, block_size, num_blocks));
+      new FileBlockDevice(fd, block_size, num_blocks));
 }
 
 StatusOr<std::unique_ptr<FileBlockDevice>> FileBlockDevice::Open(
     const std::string& path, uint32_t block_size) {
-  std::FILE* f = std::fopen(path.c_str(), "rb+");
-  if (f == nullptr) {
+  int fd = open(path.c_str(), O_RDWR);
+  if (fd < 0) {
     return Status::IOError("cannot open volume file: " + path);
   }
   struct stat st;
-  if (stat(path.c_str(), &st) != 0) {
-    std::fclose(f);
+  if (fstat(fd, &st) != 0) {
+    close(fd);
     return Status::IOError("cannot stat volume file: " + path);
   }
   if (st.st_size % block_size != 0) {
-    std::fclose(f);
+    close(fd);
     return Status::InvalidArgument("volume size not a multiple of block size");
   }
   uint64_t num_blocks = static_cast<uint64_t>(st.st_size) / block_size;
   return std::unique_ptr<FileBlockDevice>(
-      new FileBlockDevice(f, block_size, num_blocks));
+      new FileBlockDevice(fd, block_size, num_blocks));
 }
 
 FileBlockDevice::~FileBlockDevice() {
-  if (file_ != nullptr) std::fclose(file_);
+  if (fd_ >= 0) close(fd_);
 }
 
 Status FileBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("read past end of device");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
-          0 ||
-      std::fread(buf, 1, block_size_, file_) != block_size_) {
-    return Status::IOError("short read from volume file");
-  }
-  return Status::OK();
+  return FullRead(fd_, buf, block_size_, block * block_size_);
 }
 
 Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("write past end of device");
   }
-  std::lock_guard<std::mutex> lock(mu_);
-  if (std::fseek(file_, static_cast<long>(block * block_size_), SEEK_SET) !=
-          0 ||
-      std::fwrite(buf, 1, block_size_, file_) != block_size_) {
-    return Status::IOError("short write to volume file");
-  }
-  return Status::OK();
+  return FullWrite(fd_, buf, block_size_, block * block_size_);
 }
 
 namespace {
@@ -105,23 +130,15 @@ Status FileBlockDevice::ReadBlocks(const BlockIoVec* iov, size_t n) {
   }
   vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
   std::vector<uint8_t> scratch;
-  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < n;) {
     const size_t run = RunLength(iov, n, i);
     const size_t bytes = run * block_size_;
-    if (std::fseek(file_, static_cast<long>(iov[i].block * block_size_),
-                   SEEK_SET) != 0) {
-      return Status::IOError("seek failed on volume file");
-    }
+    const uint64_t off = iov[i].block * block_size_;
     if (run == 1) {
-      if (std::fread(iov[i].buf, 1, block_size_, file_) != block_size_) {
-        return Status::IOError("short read from volume file");
-      }
+      STEGFS_RETURN_IF_ERROR(FullRead(fd_, iov[i].buf, block_size_, off));
     } else {
       scratch.resize(bytes);
-      if (std::fread(scratch.data(), 1, bytes, file_) != bytes) {
-        return Status::IOError("short read from volume file");
-      }
+      STEGFS_RETURN_IF_ERROR(FullRead(fd_, scratch.data(), bytes, off));
       for (size_t j = 0; j < run; ++j) {
         std::memcpy(iov[i + j].buf, scratch.data() + j * block_size_,
                     block_size_);
@@ -141,27 +158,19 @@ Status FileBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
   }
   vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
   std::vector<uint8_t> scratch;
-  std::lock_guard<std::mutex> lock(mu_);
   for (size_t i = 0; i < n;) {
     const size_t run = RunLength(iov, n, i);
     const size_t bytes = run * block_size_;
-    if (std::fseek(file_, static_cast<long>(iov[i].block * block_size_),
-                   SEEK_SET) != 0) {
-      return Status::IOError("seek failed on volume file");
-    }
+    const uint64_t off = iov[i].block * block_size_;
     if (run == 1) {
-      if (std::fwrite(iov[i].buf, 1, block_size_, file_) != block_size_) {
-        return Status::IOError("short write to volume file");
-      }
+      STEGFS_RETURN_IF_ERROR(FullWrite(fd_, iov[i].buf, block_size_, off));
     } else {
       scratch.resize(bytes);
       for (size_t j = 0; j < run; ++j) {
         std::memcpy(scratch.data() + j * block_size_, iov[i + j].buf,
                     block_size_);
       }
-      if (std::fwrite(scratch.data(), 1, bytes, file_) != bytes) {
-        return Status::IOError("short write to volume file");
-      }
+      STEGFS_RETURN_IF_ERROR(FullWrite(fd_, scratch.data(), bytes, off));
       coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
     }
     i += run;
@@ -176,12 +185,6 @@ DeviceBatchStats FileBlockDevice::batch_stats() const {
   return s;
 }
 
-Status FileBlockDevice::Flush() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (std::fflush(file_) != 0) {
-    return Status::IOError("fflush failed");
-  }
-  return Status::OK();
-}
+Status FileBlockDevice::Flush() { return Status::OK(); }
 
 }  // namespace stegfs

@@ -2,19 +2,22 @@
 // volume persists across process runs (and so `steg_backup` has a real file
 // to image).
 //
-// Thread-safe: the fseek+fread/fwrite pair on the shared FILE* is atomic
-// under an internal mutex — required by the C API's thread-safe handle
-// contract, since the sharded cache issues device I/O from many threads
-// (same-shard requests serialize on the shard lock, cross-shard ones do
-// not).
+// Backed by a raw file descriptor and positional I/O (pread/pwrite), so:
+//   - every transfer is atomic at the syscall level — no shared seek
+//     pointer, no lock, any number of threads issue I/O concurrently
+//     (the C API's thread-safe handle contract);
+//   - the descriptor is coherent with the io_uring async engine
+//     (blockdev/uring_block_device.h), which submits against the same fd
+//     via file_descriptor() — there is no user-space stream buffer to go
+//     stale under it;
+//   - volumes larger than 2 GB address correctly (64-bit offsets, which
+//     the previous long-based fseek path could not).
 #ifndef STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
 #define STEGFS_BLOCKDEV_FILE_BLOCK_DEVICE_H_
 
 #include <atomic>
 #include <cstdint>
-#include <cstdio>
 #include <memory>
-#include <mutex>
 #include <string>
 
 #include "blockdev/block_device.h"
@@ -38,25 +41,30 @@ class FileBlockDevice : public BlockDevice {
   Status ReadBlock(uint64_t block, uint8_t* buf) override;
   Status WriteBlock(uint64_t block, const uint8_t* buf) override;
   // Vectored path: contiguous ascending runs inside the request are
-  // coalesced into single seek+transfer host I/Os (gather/scatter through a
-  // scratch buffer when the caller buffers aren't adjacent). One lock
-  // acquisition per request instead of one per block.
+  // coalesced into single positional host I/Os (gather/scatter through a
+  // scratch buffer when the caller buffers aren't adjacent).
   Status ReadBlocks(const BlockIoVec* iov, size_t n) override;
   Status WriteBlocks(const ConstBlockIoVec* iov, size_t n) override;
   DeviceBatchStats batch_stats() const override;
+  // Pushes nothing: positional writes land in the kernel page cache
+  // directly (no user-space buffer), which is the same durability the
+  // previous fflush-only implementation offered. Crash-durability (fsync)
+  // is out of scope for the reproduction.
   Status Flush() override;
 
+  // The io_uring engine attaches here (see block_device.h).
+  int file_descriptor() const override { return fd_; }
+
  private:
-  FileBlockDevice(std::FILE* f, uint32_t block_size, uint64_t num_blocks)
-      : file_(f), block_size_(block_size), num_blocks_(num_blocks) {}
+  FileBlockDevice(int fd, uint32_t block_size, uint64_t num_blocks)
+      : fd_(fd), block_size_(block_size), num_blocks_(num_blocks) {}
 
   // Length (in blocks) of the contiguous ascending run starting at iov[i],
   // capped so one scratch transfer stays <= kMaxRunBytes.
   template <typename Vec>
   size_t RunLength(const Vec* iov, size_t n, size_t i) const;
 
-  std::mutex mu_;  // makes each seek+transfer pair atomic
-  std::FILE* file_;
+  int fd_;
   uint32_t block_size_;
   uint64_t num_blocks_;
   std::atomic<uint64_t> vectored_blocks_{0};

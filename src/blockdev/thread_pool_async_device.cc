@@ -1,0 +1,125 @@
+#include "blockdev/thread_pool_async_device.h"
+
+#include <algorithm>
+#include <thread>
+#include <utility>
+
+namespace stegfs {
+
+namespace {
+
+// Below this many blocks a slice is not worth a task dispatch.
+constexpr size_t kMinSliceBlocks = 8;
+
+size_t DefaultWorkers() {
+  size_t hw = std::thread::hardware_concurrency();
+  return std::max<size_t>(2, std::min<size_t>(4, hw / 2));
+}
+
+}  // namespace
+
+ThreadPoolAsyncDevice::ThreadPoolAsyncDevice(BlockDevice* base, size_t workers)
+    : base_(base), pool_(workers == 0 ? DefaultWorkers() : workers) {}
+
+ThreadPoolAsyncDevice::~ThreadPoolAsyncDevice() { Drain(); }
+
+void ThreadPoolAsyncDevice::Finalize(const std::shared_ptr<Batch>& batch) {
+  Status status = batch->Snapshot();
+  if (!status.ok()) failed_batches_.fetch_add(1, std::memory_order_relaxed);
+  completed_batches_.fetch_add(1, std::memory_order_relaxed);
+  // Callback first (before the ticket unblocks — the interface contract,
+  // and before the counters drop so Drain() covers the callback), then
+  // the counters, then the ticket: a waiter that returns from Wait() must
+  // observe quiesced stats. Completing last is safe even against a
+  // post-Drain destruction because the ticket state is independently
+  // shared and this worker is joined by the pool's destructor.
+  if (batch->done) batch->done(status);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_batches_--;
+    inflight_blocks_ -= batch->blocks;
+    // Notify under the lock: once Drain() returns the engine may be
+    // destroyed, so the condvar must not be touched after the counters
+    // that release Drain() are published.
+    drain_cv_.notify_all();
+  }
+  batch->completion.Complete(status);
+}
+
+template <typename Vec, typename Transfer>
+IoTicket ThreadPoolAsyncDevice::Submit(std::vector<Vec> iov,
+                                       IoCompletionFn done,
+                                       Transfer transfer) {
+  if (iov.empty()) {
+    if (done) done(Status::OK());
+    return IoTicket();
+  }
+  auto batch = std::make_shared<Batch>();
+  batch->done = std::move(done);
+  batch->blocks = iov.size();
+
+  const size_t slices = std::max<size_t>(
+      1, std::min(pool_.size(),
+                  (iov.size() + kMinSliceBlocks - 1) / kMinSliceBlocks));
+  batch->remaining.store(slices, std::memory_order_relaxed);
+
+  submitted_batches_.fetch_add(1, std::memory_order_relaxed);
+  submitted_blocks_.fetch_add(iov.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    inflight_batches_++;
+    inflight_blocks_ += iov.size();
+  }
+
+  IoTicket ticket = batch->completion.ticket();
+  // The iov lives in one shared vector; each slice transfers a disjoint
+  // [begin, end) range of it through the base device's vectored call.
+  auto shared_iov = std::make_shared<std::vector<Vec>>(std::move(iov));
+  const size_t n = shared_iov->size();
+  const size_t per = (n + slices - 1) / slices;
+  for (size_t s = 0; s < slices; ++s) {
+    const size_t begin = s * per;
+    const size_t end = std::min(n, begin + per);
+    pool_.Submit([this, batch, shared_iov, begin, end, transfer] {
+      batch->RecordError(transfer(shared_iov->data() + begin, end - begin));
+      if (batch->remaining.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        Finalize(batch);
+      }
+    });
+  }
+  return ticket;
+}
+
+IoTicket ThreadPoolAsyncDevice::SubmitRead(std::vector<BlockIoVec> iov,
+                                           IoCompletionFn done) {
+  return Submit(std::move(iov), std::move(done),
+                [this](const BlockIoVec* v, size_t n) {
+                  return base_->ReadBlocks(v, n);
+                });
+}
+
+IoTicket ThreadPoolAsyncDevice::SubmitWrite(std::vector<ConstBlockIoVec> iov,
+                                            IoCompletionFn done) {
+  return Submit(std::move(iov), std::move(done),
+                [this](const ConstBlockIoVec* v, size_t n) {
+                  return base_->WriteBlocks(v, n);
+                });
+}
+
+void ThreadPoolAsyncDevice::Drain() {
+  std::unique_lock<std::mutex> lock(mu_);
+  drain_cv_.wait(lock, [&] { return inflight_batches_ == 0; });
+}
+
+AsyncIoStats ThreadPoolAsyncDevice::stats() const {
+  AsyncIoStats s;
+  s.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
+  s.submitted_blocks = submitted_blocks_.load(std::memory_order_relaxed);
+  s.completed_batches = completed_batches_.load(std::memory_order_relaxed);
+  s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
+  std::lock_guard<std::mutex> lock(mu_);
+  s.inflight_blocks = inflight_blocks_;
+  return s;
+}
+
+}  // namespace stegfs

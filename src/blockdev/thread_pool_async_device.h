@@ -1,0 +1,77 @@
+// ThreadPoolAsyncDevice: the portable async engine — adapts any
+// synchronous BlockDevice to the AsyncBlockDevice interface by running
+// each batch's slices on a small worker pool (the PR 2 thread pool).
+//
+// Because every transfer ends up in the base device's own vectored
+// ReadBlocks/WriteBlocks (whose default is the per-block loop), the
+// decorated devices keep their semantics unchanged: SimDisk still charges
+// its model per request, ThrottledBlockDevice still sleeps per block, and
+// the test FaultyDevice still trips its countdown per operation. That is
+// what lets the whole async data path run — and be fault-tested — on hosts
+// and kernels without io_uring.
+//
+// A batch is split into at most `workers` slices so its blocks transfer in
+// parallel; the last slice to finish completes the batch (exactly once)
+// with the first error any slice saw.
+#ifndef STEGFS_BLOCKDEV_THREAD_POOL_ASYNC_DEVICE_H_
+#define STEGFS_BLOCKDEV_THREAD_POOL_ASYNC_DEVICE_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "blockdev/async_block_device.h"
+#include "concurrency/thread_pool.h"
+
+namespace stegfs {
+
+class ThreadPoolAsyncDevice : public AsyncBlockDevice {
+ public:
+  // `base` must outlive the engine. workers == 0 picks a small default
+  // (half the hardware threads, clamped to [2, 4] — enough to overlap
+  // I/O with crypto without oversubscribing the demand path).
+  explicit ThreadPoolAsyncDevice(BlockDevice* base, size_t workers = 0);
+  ~ThreadPoolAsyncDevice() override;  // drains, then joins the pool
+
+  uint32_t block_size() const override { return base_->block_size(); }
+  uint64_t num_blocks() const override { return base_->num_blocks(); }
+  const char* engine_name() const override { return "thread-pool"; }
+
+  IoTicket SubmitRead(std::vector<BlockIoVec> iov,
+                      IoCompletionFn done = nullptr) override;
+  IoTicket SubmitWrite(std::vector<ConstBlockIoVec> iov,
+                       IoCompletionFn done = nullptr) override;
+
+  void Drain() override;
+  AsyncIoStats stats() const override;
+
+ private:
+  // One in-flight batch (`remaining` counts slices here); the slice that
+  // drops it to zero finalizes per the AsyncBatchState contract.
+  using Batch = AsyncBatchState;
+
+  template <typename Vec, typename Transfer>
+  IoTicket Submit(std::vector<Vec> iov, IoCompletionFn done,
+                  Transfer transfer);
+  void Finalize(const std::shared_ptr<Batch>& batch);
+
+  BlockDevice* base_;
+  concurrency::ThreadPool pool_;
+
+  mutable std::mutex mu_;          // guards inflight_* for Drain
+  std::condition_variable drain_cv_;
+  uint64_t inflight_batches_ = 0;
+  uint64_t inflight_blocks_ = 0;
+
+  std::atomic<uint64_t> submitted_batches_{0};
+  std::atomic<uint64_t> submitted_blocks_{0};
+  std::atomic<uint64_t> completed_batches_{0};
+  std::atomic<uint64_t> failed_batches_{0};
+};
+
+}  // namespace stegfs
+
+#endif  // STEGFS_BLOCKDEV_THREAD_POOL_ASYNC_DEVICE_H_

@@ -5,6 +5,8 @@
 #include <cassert>
 #include <cstring>
 #include <mutex>
+#include <unordered_set>
+#include <utility>
 
 namespace stegfs {
 
@@ -91,6 +93,8 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
   size_t idx = ShardOf(block);
   Shard* shard = &shards_[idx];
   std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+  shard->gen++;  // invalidates in-flight async reads' snapshots
+  const uint64_t seq = ++shard->write_seq;
   if (policy_ == WritePolicy::kWriteThrough) {
     STEGFS_RETURN_IF_ERROR(device_->WriteBlock(block, data));
   }
@@ -100,6 +104,7 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
     CountHit(e);
     std::memcpy(e.data.data(), data, e.data.size());
     e.dirty = (policy_ == WritePolicy::kWriteBack);
+    e.wseq = seq;
     return Status::OK();
   }
   misses_.fetch_add(1, std::memory_order_relaxed);
@@ -108,6 +113,7 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
   e.block = block;
   e.data.assign(data, data + device_->block_size());
   e.dirty = (policy_ == WritePolicy::kWriteBack);
+  e.wseq = seq;
   shard->lru.push_front(std::move(e));
   shard->map[block] = shard->lru.begin();
   return Status::OK();
@@ -229,6 +235,8 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
     if (group.empty()) continue;
     Shard* shard = &shards_[idx];
     std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+    shard->gen++;  // invalidates in-flight async reads' snapshots
+    const uint64_t seq = ++shard->write_seq;
 
     if (policy_ == WritePolicy::kWriteThrough) {
       // One vectored device call per shard group, in request order (a
@@ -260,6 +268,7 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
         CountHit(e);
         std::memcpy(e.data.data(), data + pos * bs, bs);
         e.dirty = (policy_ == WritePolicy::kWriteBack);
+        e.wseq = seq;
         continue;
       }
       misses_.fetch_add(1, std::memory_order_relaxed);
@@ -268,11 +277,222 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
       e.block = blocks[pos];
       e.data.assign(data + pos * bs, data + pos * bs + bs);
       e.dirty = (policy_ == WritePolicy::kWriteBack);
+      e.wseq = seq;
       shard->lru.push_front(std::move(e));
       shard->map[blocks[pos]] = shard->lru.begin();
     }
   }
   return Status::OK();
+}
+
+void BufferCache::SetAsyncEngine(AsyncBlockDevice* engine) {
+  async_engine_.store(engine, std::memory_order_release);
+}
+
+CacheIoTicket BufferCache::ReadBatchAsync(const uint64_t* blocks, size_t n,
+                                          uint8_t* out) {
+  CacheIoTicket result;
+  AsyncBlockDevice* engine = async_engine();
+  if (engine == nullptr || n == 0) {
+    result.base_ = ReadBatch(blocks, n, out);
+    return result;
+  }
+  const size_t bs = device_->block_size();
+  batched_reads_.fetch_add(n, std::memory_order_relaxed);
+  async_batched_reads_.fetch_add(n, std::memory_order_relaxed);
+
+  auto groups = GroupByShard(blocks, n);
+  std::unordered_map<uint64_t, size_t> first_pos;  // block -> first miss pos
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    const std::vector<size_t>& group = groups[idx];
+    if (group.empty()) continue;
+    Shard* shard = &shards_[idx];
+    std::vector<BlockIoVec> iov;
+    std::vector<std::pair<size_t, size_t>> dups;
+    uint64_t gen;
+    first_pos.clear();
+    {
+      // Pass 1 only: hits copy out, misses are collected. Unlike the sync
+      // path the lock does NOT cover the device read — that is the whole
+      // point — so the insert is deferred to the completion handler and
+      // generation-guarded there.
+      std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+      gen = shard->gen;
+      for (size_t pos : group) {
+        auto found = shard->map.find(blocks[pos]);
+        if (found != shard->map.end()) {
+          Entry& e = Touch(shard, found->second);
+          CountHit(e);
+          std::memcpy(out + pos * bs, e.data.data(), bs);
+          continue;
+        }
+        auto [it, fresh] = first_pos.try_emplace(blocks[pos], pos);
+        if (fresh) {
+          misses_.fetch_add(1, std::memory_order_relaxed);
+          iov.push_back({blocks[pos], out + pos * bs});
+        } else {
+          // Sync-replay parity: the first occurrence is the miss, later
+          // duplicates find the freshly inserted entry and count as hits.
+          hits_.fetch_add(1, std::memory_order_relaxed);
+          dups.push_back({pos, it->second});
+        }
+      }
+    }
+    if (iov.empty()) continue;
+    std::vector<BlockIoVec> engine_iov = iov;  // engine consumes its copy
+    result.tickets_.push_back(engine->SubmitRead(
+        std::move(engine_iov),
+        [this, idx, iov = std::move(iov), dups = std::move(dups), gen, out,
+         bs](const Status& s) {
+          if (!s.ok()) return;  // nothing inserted; Wait() reports the error
+          for (const auto& [pos, first] : dups) {
+            std::memcpy(out + pos * bs, out + first * bs, bs);
+          }
+          CompleteAsyncRead(idx, iov, gen, /*prefetch=*/false);
+        }));
+  }
+  return result;
+}
+
+void BufferCache::CompleteAsyncRead(size_t idx,
+                                    const std::vector<BlockIoVec>& misses,
+                                    uint64_t gen, bool prefetch) {
+  const size_t bs = device_->block_size();
+  Shard* shard = &shards_[idx];
+  std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+  if (shard->gen != gen) {
+    // A write or invalidation touched this shard while the read was in
+    // flight: the fetched bytes may be older than the device, so they go
+    // to the caller (a legal linearization — the read began first) but
+    // never into the cache.
+    return;
+  }
+  for (const BlockIoVec& v : misses) {
+    if (shard->map.find(v.block) != shard->map.end()) {
+      continue;  // a racing demand read inserted it first
+    }
+    if (!EnsureRoom(shard).ok()) return;  // victim write-back failed
+    Entry e;
+    e.block = v.block;
+    e.data.assign(v.buf, v.buf + bs);
+    e.prefetched = prefetch;
+    shard->lru.push_front(std::move(e));
+    shard->map[v.block] = shard->lru.begin();
+    if (prefetch) prefetched_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+CacheIoTicket BufferCache::WriteBatchAsync(const uint64_t* blocks, size_t n,
+                                           const uint8_t* data) {
+  CacheIoTicket result;
+  AsyncBlockDevice* engine = async_engine();
+  // Write-back never touches the device here, and duplicate blocks need
+  // the sync path's ordering (async batches are unordered).
+  bool sync_fallback =
+      engine == nullptr || n == 0 || policy_ != WritePolicy::kWriteThrough;
+  if (!sync_fallback) {
+    std::unordered_set<uint64_t> seen;
+    for (size_t i = 0; i < n && !sync_fallback; ++i) {
+      sync_fallback = !seen.insert(blocks[i]).second;
+    }
+  }
+  if (sync_fallback) {
+    result.base_ = WriteBatch(blocks, n, data);
+    return result;
+  }
+  const size_t bs = device_->block_size();
+  batched_writes_.fetch_add(n, std::memory_order_relaxed);
+  async_batched_writes_.fetch_add(n, std::memory_order_relaxed);
+
+  auto groups = GroupByShard(blocks, n);
+  for (size_t idx = 0; idx < groups.size(); ++idx) {
+    const std::vector<size_t>& group = groups[idx];
+    if (group.empty()) continue;
+    uint64_t seq;
+    {
+      // The device mutation begins now: claim the shard's next write
+      // sequence (per block, so later writers supersede us per block, not
+      // per shard) and invalidate in-flight read snapshots.
+      std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+      Shard* shard = &shards_[idx];
+      shard->gen++;
+      seq = ++shard->write_seq;
+      for (size_t pos : group) shard->pending_writes[blocks[pos]] = seq;
+    }
+    std::vector<ConstBlockIoVec> iov;
+    iov.reserve(group.size());
+    for (size_t pos : group) iov.push_back({blocks[pos], data + pos * bs});
+    std::vector<size_t> positions = group;
+    result.tickets_.push_back(engine->SubmitWrite(
+        std::move(iov),
+        [this, idx, positions = std::move(positions), blocks, data,
+         seq](const Status& s) {
+          CompleteAsyncWrite(idx, positions, blocks, data, seq, s);
+        }));
+  }
+  return result;
+}
+
+void BufferCache::CompleteAsyncWrite(size_t idx,
+                                     const std::vector<size_t>& positions,
+                                     const uint64_t* blocks,
+                                     const uint8_t* data, uint64_t seq,
+                                     const Status& status) {
+  const size_t bs = device_->block_size();
+  Shard* shard = &shards_[idx];
+  std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+  if (!status.ok()) {
+    // Mid-batch device error: an unknown prefix landed, so drop exactly
+    // this group's entries — the cache then re-reads the device's
+    // authoritative bytes. Never dirty under write-through, so dropping
+    // loses nothing.
+    for (size_t pos : positions) {
+      auto claim = shard->pending_writes.find(blocks[pos]);
+      if (claim != shard->pending_writes.end() && claim->second == seq) {
+        shard->pending_writes.erase(claim);
+      }
+      auto found = shard->map.find(blocks[pos]);
+      if (found != shard->map.end()) {
+        shard->lru.erase(found->second);
+        shard->map.erase(found);
+      }
+    }
+    return;
+  }
+  // Replay the entry updates per block: keep anything a NEWER write set
+  // (its bytes supersede ours in the device too, for serialized
+  // writers), take ours otherwise. This per-block ordering is what lets
+  // a pipeline's sibling sub-batches — disjoint blocks, same shard —
+  // each cache their own group.
+  for (size_t pos : positions) {
+    auto claim = shard->pending_writes.find(blocks[pos]);
+    const bool latest_claim =
+        claim != shard->pending_writes.end() && claim->second == seq;
+    if (latest_claim) shard->pending_writes.erase(claim);
+    auto found = shard->map.find(blocks[pos]);
+    if (found != shard->map.end()) {
+      if (found->second->wseq > seq) continue;  // superseded: keep newer
+      Entry& e = Touch(shard, found->second);
+      CountHit(e);
+      std::memcpy(e.data.data(), data + pos * bs, bs);
+      e.dirty = false;
+      e.wseq = seq;
+      continue;
+    }
+    // No entry: safe to insert only while our claim is still the
+    // block's latest (a later in-flight async write, or a DropAll that
+    // cleared the claims, means our bytes may not be what the device
+    // will hold).
+    if (!latest_claim) continue;
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    if (!EnsureRoom(shard).ok()) return;
+    Entry e;
+    e.block = blocks[pos];
+    e.data.assign(data + pos * bs, data + pos * bs + bs);
+    e.wseq = seq;
+    shard->lru.push_front(std::move(e));
+    shard->map[e.block] = shard->lru.begin();
+  }
 }
 
 void BufferCache::SetPrefetchPool(concurrency::ThreadPool* pool) {
@@ -317,15 +537,57 @@ void BufferCache::PopulateShard(size_t idx,
 }
 
 void BufferCache::Prefetch(const uint64_t* blocks, size_t n) {
-  concurrency::ThreadPool* pool =
-      prefetch_pool_.load(std::memory_order_acquire);
-  if (pool == nullptr || n == 0) return;
+  if (n == 0) return;
   std::vector<uint64_t> wanted;
   wanted.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     if (blocks[i] < device_->num_blocks()) wanted.push_back(blocks[i]);
   }
   if (wanted.empty()) return;
+
+  AsyncBlockDevice* engine = async_engine();
+  if (engine != nullptr) {
+    // Pure submitter: the engine carries the I/O and its completion
+    // handler does the insert, so no pool thread ever blocks on a
+    // background read. Fire-and-forget: the dropped ticket is covered by
+    // the engine's Drain/destructor, and a failed read just leaves the
+    // blocks uncached.
+    const size_t bs = device_->block_size();
+    auto groups = GroupByShard(wanted.data(), wanted.size());
+    for (size_t idx = 0; idx < groups.size(); ++idx) {
+      if (groups[idx].empty()) continue;
+      std::vector<uint64_t> need;
+      uint64_t gen;
+      {
+        std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+        gen = shards_[idx].gen;
+        for (size_t pos : groups[idx]) {
+          if (shards_[idx].map.find(wanted[pos]) == shards_[idx].map.end()) {
+            need.push_back(wanted[pos]);
+          }
+        }
+      }
+      if (need.empty()) continue;
+      auto buf = std::make_shared<std::vector<uint8_t>>(need.size() * bs);
+      std::vector<BlockIoVec> iov(need.size());
+      for (size_t i = 0; i < need.size(); ++i) {
+        iov[i] = {need[i], buf->data() + i * bs};
+      }
+      std::vector<BlockIoVec> engine_iov = iov;
+      engine->SubmitRead(std::move(engine_iov),
+                         [this, idx, iov = std::move(iov), buf,
+                          gen](const Status& s) {
+                           if (!s.ok()) return;  // best-effort
+                           CompleteAsyncRead(idx, iov, gen,
+                                             /*prefetch=*/true);
+                         });
+    }
+    return;
+  }
+
+  concurrency::ThreadPool* pool =
+      prefetch_pool_.load(std::memory_order_acquire);
+  if (pool == nullptr) return;
   pool->Submit([this, wanted = std::move(wanted)] {
     auto groups = GroupByShard(wanted.data(), wanted.size());
     for (size_t idx = 0; idx < groups.size(); ++idx) {
@@ -371,6 +633,12 @@ void BufferCache::DropAll() {
   for (Shard& shard : shards_) {
     shard.lru.clear();
     shard.map.clear();
+    // Callers drop the cache because the device was rewritten underneath
+    // it; anything read OR written before the rewrite must not come back
+    // (cleared claims make in-flight async write completions skip their
+    // re-inserts too).
+    shard.gen++;
+    shard.pending_writes.clear();
   }
 }
 
@@ -384,6 +652,10 @@ CacheStats BufferCache::stats() const {
   s.batched_writes = batched_writes_.load(std::memory_order_relaxed);
   s.prefetched = prefetched_.load(std::memory_order_relaxed);
   s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.async_batched_reads =
+      async_batched_reads_.load(std::memory_order_relaxed);
+  s.async_batched_writes =
+      async_batched_writes_.load(std::memory_order_relaxed);
   return s;
 }
 

@@ -42,8 +42,10 @@
 #include <cstdint>
 #include <list>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "concurrency/shard_lock.h"
 #include "concurrency/thread_pool.h"
@@ -66,11 +68,36 @@ struct CacheStats {
   // later claimed by a demand read before eviction.
   uint64_t prefetched = 0;
   uint64_t prefetch_hits = 0;
+  // Blocks moved through the async batch paths (subset of batched_*).
+  uint64_t async_batched_reads = 0;
+  uint64_t async_batched_writes = 0;
 
   double HitRate() const {
     uint64_t total = hits + misses;
     return total == 0 ? 0.0 : static_cast<double>(hits) / total;
   }
+};
+
+// Waitable handle for one async cache batch: aggregates the per-shard
+// engine tickets plus the status of the inline (hit-only) part. Wait()
+// blocks until every group's device I/O AND cache insertion has finished,
+// returning the first error. Callers must not hold any cache shard lock
+// while waiting (completion handlers acquire shard locks).
+class CacheIoTicket {
+ public:
+  Status Wait() {
+    Status first = base_;
+    for (IoTicket& t : tickets_) {
+      Status s = t.Wait();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
+  }
+
+ private:
+  friend class BufferCache;
+  Status base_;
+  std::vector<IoTicket> tickets_;
 };
 
 class BufferCache {
@@ -110,9 +137,56 @@ class BufferCache {
   // replay in request order, matching the per-block loop.
   Status WriteBatch(const uint64_t* blocks, size_t n, const uint8_t* data);
 
+  // Attaches an async I/O engine. While attached, ReadBatchAsync /
+  // WriteBatchAsync submit real asynchronous device I/O and Prefetch
+  // becomes a pure submitter (no thread pool needed). The engine must be
+  // drained and destroyed before the cache (PlainFs declares it after the
+  // cache for exactly this reason) or detached first. nullptr detaches;
+  // the async entry points then degrade to the synchronous batch calls.
+  void SetAsyncEngine(AsyncBlockDevice* engine);
+  AsyncBlockDevice* async_engine() const {
+    return async_engine_.load(std::memory_order_acquire);
+  }
+
+  // Async batch read: hits are copied to `out` inline; each shard's
+  // distinct misses are submitted to the engine as one batch WITHOUT the
+  // shard lock held across the wait (the PR 3 sync path holds it — that
+  // is its concurrent-miss dedup, and why it cannot overlap anything).
+  // The completion handler re-acquires the shard lock and inserts the
+  // fetched blocks, guarded by a per-shard generation counter: if any
+  // write/invalidation touched the shard since submission, the inserts
+  // are skipped, so the cache can never serve bytes older than the
+  // device. Counter parity with the sync path: pass-1 hits and distinct
+  // misses count identically; insert-time eviction replay happens only
+  // when the generation guard admits the insert.
+  //
+  // `blocks` and `out` must stay alive until Wait() returns.
+  CacheIoTicket ReadBatchAsync(const uint64_t* blocks, size_t n,
+                               uint8_t* out);
+  // Async batch write (write-through only — under write-back the device
+  // is not involved, so this degrades to the synchronous WriteBatch).
+  // Device batches are submitted per shard group; each submission claims
+  // the shard's next write sequence, and the completion handler replays
+  // the entry updates under the shard lock PER BLOCK: an entry a newer
+  // write already updated is kept, older-or-unwritten entries take this
+  // batch's bytes, and a block whose entry is gone is re-inserted only
+  // while this batch's claim is still the block's latest — so a
+  // pipeline's sibling sub-batches (disjoint blocks) all stay cached.
+  // On a mid-batch device error the group's cached entries are
+  // invalidated — mirroring the PR 3 write-through contract — so the
+  // cache re-reads the device's authoritative bytes. A batch containing
+  // duplicate blocks degrades to the synchronous path (async batches
+  // have no intra-batch ordering), and concurrent UNSERIALIZED writes to
+  // the same block remain the caller's race, exactly as with a real
+  // kernel page cache — every in-tree writer serializes per object.
+  //
+  // `blocks` and `data` must stay alive until Wait() returns.
+  CacheIoTicket WriteBatchAsync(const uint64_t* blocks, size_t n,
+                                const uint8_t* data);
+
   // Attaches the worker pool the async prefetcher runs on (nullptr
-  // detaches; then Prefetch becomes a no-op). The pool must outlive the
-  // cache or be detached first.
+  // detaches; then Prefetch becomes a no-op unless an async engine is
+  // attached). The pool must outlive the cache or be detached first.
   void SetPrefetchPool(concurrency::ThreadPool* pool);
   // Schedules a background load of the given blocks into the cache
   // (best-effort: errors are swallowed, already-cached blocks skipped).
@@ -139,6 +213,10 @@ class BufferCache {
     bool dirty = false;
     // Inserted by the prefetcher and not yet claimed by a demand access.
     bool prefetched = false;
+    // Shard write sequence of the last write that set these bytes (0 for
+    // read-inserted entries). Async write completions use it to decide
+    // whether their bytes are newer than the entry's.
+    uint64_t wseq = 0;
   };
   using EntryList = std::list<Entry>;
 
@@ -147,6 +225,26 @@ class BufferCache {
     size_t capacity = 1;
     EntryList lru;  // front = most recently used
     std::unordered_map<uint64_t, EntryList::iterator> map;
+    // Bumped (under the stripe) by anything that begins changing this
+    // shard's device bytes: entry writes, async write SUBMISSIONS,
+    // write-through invalidations, DropAll. Async READ completions
+    // compare it against their submission-time snapshot and skip their
+    // inserts on mismatch — that is what makes inserting device bytes
+    // read OUTSIDE the shard lock safe.
+    uint64_t gen = 0;
+    // Monotonic ordering of writes in this shard. Every sync write group
+    // and every async write submission claims the next value; entries
+    // record their writer's value in Entry::wseq, so an async write
+    // completion can tell "a newer write superseded me, keep the entry"
+    // from "my bytes are the newest, replay them" — per BLOCK, which is
+    // what lets a pipeline's sibling sub-batches (disjoint blocks, same
+    // shard) all cache their groups instead of invalidating each other.
+    uint64_t write_seq = 0;
+    // Blocks with an async write in flight -> that write's sequence
+    // (latest submission wins; erased at completion). An absent entry is
+    // insert-safe for a completing write only while its claim is still
+    // the block's latest.
+    std::unordered_map<uint64_t, uint64_t> pending_writes;
   };
 
   static size_t AutoShardCount(size_t capacity_blocks);
@@ -160,8 +258,17 @@ class BufferCache {
   // Counts a demand hit on `e`, claiming its prefetched flag if set.
   void CountHit(Entry& e);
   // Loads the listed blocks into one shard (missing ones only) with a
-  // single vectored device read. Used by the prefetcher.
+  // single vectored device read. Used by the pool-based prefetcher.
   void PopulateShard(size_t idx, const std::vector<uint64_t>& blocks);
+
+  // Completion handlers of the async paths (run on engine threads; take
+  // the shard stripe, never hold it across device I/O except dirty-victim
+  // write-back, same as the sync path).
+  void CompleteAsyncRead(size_t idx, const std::vector<BlockIoVec>& misses,
+                         uint64_t gen, bool prefetch);
+  void CompleteAsyncWrite(size_t idx, const std::vector<size_t>& positions,
+                          const uint64_t* blocks, const uint8_t* data,
+                          uint64_t seq, const Status& status);
 
   // Request positions grouped per shard, in request order (index into the
   // caller's blocks array). Shards with no requests are empty.
@@ -174,6 +281,7 @@ class BufferCache {
   concurrency::StripedSharedMutex locks_;
   std::vector<Shard> shards_;
   std::atomic<concurrency::ThreadPool*> prefetch_pool_{nullptr};
+  std::atomic<AsyncBlockDevice*> async_engine_{nullptr};
 
   std::atomic<uint64_t> hits_{0};
   std::atomic<uint64_t> misses_{0};
@@ -183,6 +291,8 @@ class BufferCache {
   std::atomic<uint64_t> batched_writes_{0};
   std::atomic<uint64_t> prefetched_{0};
   std::atomic<uint64_t> prefetch_hits_{0};
+  std::atomic<uint64_t> async_batched_reads_{0};
+  std::atomic<uint64_t> async_batched_writes_{0};
 };
 
 }  // namespace stegfs

@@ -105,10 +105,16 @@ int steg_mount(const char* image_path, uint32_t block_size,
   auto vol = std::make_unique<stegfs_volume>();
   vol->device = std::move(device).value();
   stegfs::StegFsOptions options;
-  // C API mounts sit on a real host file: turn on a modest readahead
-  // window so sequential consumers overlap decrypt with the next extent's
-  // device reads.
-  options.mount.readahead_blocks = 8;
+  // C API mounts sit on a real host file: attach the async engine
+  // (io_uring when the kernel has it, thread-pool fallback otherwise) so
+  // hidden extents pipeline decrypt with in-flight device I/O, and
+  // request a 16-block readahead window — one default shared with the
+  // benches instead of the old 8-here/16-there split (the sweep behind
+  // the choice lives in BENCH_io.json / docs/ARCHITECTURE.md
+  // "Readahead"). On single-core hosts the window degrades to off,
+  // observably via steg_stats readahead_active/readahead_window.
+  options.mount.io_engine = stegfs::IoEngine::kAuto;
+  options.mount.readahead_blocks = 16;
   auto fs = stegfs::StegFs::Mount(vol->device.get(), options);
   if (!fs.ok()) return CodeOf(fs.status());
   vol->fs = std::move(fs).value();
@@ -154,6 +160,15 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->dev_vectored_blocks = ds.vectored_blocks;
   out->dev_coalesced_runs = ds.coalesced_runs;
   out->crypto_tier = stegfs::crypto::AesTierName();
+  stegfs::PlainFs* plain = vol->fs->plain();
+  out->io_engine = plain->io_engine_name();
+  stegfs::AsyncIoStats as;
+  if (plain->io_engine() != nullptr) as = plain->io_engine()->stats();
+  out->io_submitted_batches = as.submitted_batches;
+  out->io_completed_batches = as.completed_batches;
+  out->io_inflight_blocks = as.inflight_blocks;
+  out->readahead_active = plain->readahead_blocks() > 0 ? 1 : 0;
+  out->readahead_window = plain->readahead_blocks();
   return STEG_OK;
 }
 

@@ -94,6 +94,17 @@ typedef struct stegfs_stats {
   /* active AES backend: "aes-ni" or "t-table" (static string, never
    * freed; stable for the process lifetime) */
   const char* crypto_tier;
+  /* async I/O engine (static string, stable for the handle lifetime):
+   * "io_uring", "thread-pool", or "sync" when no engine is attached */
+  const char* io_engine;
+  uint64_t io_submitted_batches; /* batches handed to the engine */
+  uint64_t io_completed_batches; /* batches fully completed */
+  uint64_t io_inflight_blocks;   /* point-in-time blocks in flight */
+  /* readahead observability: the window silently degrades to off when it
+   * cannot help (no engine and no spare core), and these make that
+   * visible instead of the old silent zeroing */
+  uint32_t readahead_active; /* 1 when a prefetcher is armed */
+  uint32_t readahead_window; /* effective window in blocks (0 when off) */
 } stegfs_stats;
 
 /* Fills *out; safe to call concurrently with any other operation. */

@@ -12,6 +12,7 @@
 #ifndef STEGFS_FS_BLOCK_STORE_H_
 #define STEGFS_FS_BLOCK_STORE_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <cstring>
 #include <map>
@@ -83,6 +84,11 @@ class CacheBlockStore : public BlockStore {
 
 class EncryptedBlockStore : public BlockStore {
  public:
+  // Sub-batch size of the async pipeline: small enough that four stages
+  // fit comfortably inside one FileIo 256-block chunk, large enough that
+  // a submission amortizes its bookkeeping.
+  static constexpr size_t kAsyncSubBatch = 64;
+
   EncryptedBlockStore(BufferCache* cache, const crypto::BlockCrypter* crypter)
       : cache_(cache), crypter_(crypter) {}
   uint32_t block_size() const override { return cache_->block_size(); }
@@ -100,26 +106,86 @@ class EncryptedBlockStore : public BlockStore {
     return cache_->Write(block, tmp.data());
   }
 
-  // Whole-extent fast path: one vectored cache/device transfer, then one
-  // pipelined batch decrypt/encrypt over every block in the extent.
+  // Whole-extent fast path. Synchronous form: one vectored cache/device
+  // transfer, then one pipelined batch decrypt/encrypt over the extent.
+  // With an async engine attached to the cache and more than one
+  // sub-batch of work, this becomes a 2-stage software pipeline over
+  // kAsyncSubBatch-block sub-batches: while sub-batch i decrypts on the
+  // CPU, sub-batch i+1's device I/O is in flight — the overlap that makes
+  // random-placed hidden extents (which can never coalesce) fast.
   Status ReadBlocks(const uint64_t* blocks, size_t n,
                     uint8_t* out) override {
     const size_t bs = cache_->block_size();
-    STEGFS_RETURN_IF_ERROR(cache_->ReadBatch(blocks, n, out));
-    std::vector<crypto::CryptSpan> spans(n);
-    for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], out + i * bs};
-    crypter_->DecryptBlocks(spans.data(), n, bs);
-    return Status::OK();
+    if (cache_->async_engine() == nullptr || n <= kAsyncSubBatch) {
+      STEGFS_RETURN_IF_ERROR(cache_->ReadBatch(blocks, n, out));
+      std::vector<crypto::CryptSpan> spans(n);
+      for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], out + i * bs};
+      crypter_->DecryptBlocks(spans.data(), n, bs);
+      return Status::OK();
+    }
+    // Submit every sub-batch up front (they all target disjoint ranges of
+    // `out`), then wait + decrypt in order: sub-batch i decrypts while
+    // i+1..k are still in flight, and the engine sees the deepest
+    // possible queue.
+    std::vector<CacheIoTicket> tickets;
+    tickets.reserve((n + kAsyncSubBatch - 1) / kAsyncSubBatch);
+    for (size_t off = 0; off < n; off += kAsyncSubBatch) {
+      const size_t count = std::min(n - off, kAsyncSubBatch);
+      tickets.push_back(
+          cache_->ReadBatchAsync(blocks + off, count, out + off * bs));
+    }
+    std::vector<crypto::CryptSpan> spans(kAsyncSubBatch);
+    Status first;
+    for (size_t t = 0, off = 0; t < tickets.size();
+         ++t, off += kAsyncSubBatch) {
+      Status s = tickets[t].Wait();
+      if (!s.ok()) {
+        if (first.ok()) first = s;
+        continue;  // keep draining: `out` may be freed on return
+      }
+      if (!first.ok()) continue;  // don't decrypt past the first error
+      const size_t count = std::min(n - off, kAsyncSubBatch);
+      for (size_t i = 0; i < count; ++i) {
+        spans[i] = {blocks[off + i], out + (off + i) * bs};
+      }
+      crypter_->DecryptBlocks(spans.data(), count, bs);
+    }
+    return first;
   }
 
   Status WriteBlocks(const uint64_t* blocks, size_t n,
                      const uint8_t* data) override {
     const size_t bs = cache_->block_size();
     std::vector<uint8_t> tmp(data, data + n * bs);
-    std::vector<crypto::CryptSpan> spans(n);
-    for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], tmp.data() + i * bs};
-    crypter_->EncryptBlocks(spans.data(), n, bs);
-    return cache_->WriteBatch(blocks, n, tmp.data());
+    if (cache_->async_engine() == nullptr || n <= kAsyncSubBatch) {
+      std::vector<crypto::CryptSpan> spans(n);
+      for (size_t i = 0; i < n; ++i) {
+        spans[i] = {blocks[i], tmp.data() + i * bs};
+      }
+      crypter_->EncryptBlocks(spans.data(), n, bs);
+      return cache_->WriteBatch(blocks, n, tmp.data());
+    }
+    // Pipeline the mirror image: encrypt sub-batch i+1 while sub-batch
+    // i's device write is in flight.
+    std::vector<crypto::CryptSpan> spans(kAsyncSubBatch);
+    std::vector<CacheIoTicket> tickets;
+    tickets.reserve((n + kAsyncSubBatch - 1) / kAsyncSubBatch);
+    for (size_t off = 0; off < n; off += kAsyncSubBatch) {
+      const size_t count = std::min(n - off, kAsyncSubBatch);
+      for (size_t i = 0; i < count; ++i) {
+        spans[i] = {blocks[off + i], tmp.data() + (off + i) * bs};
+      }
+      crypter_->EncryptBlocks(spans.data(), count, bs);
+      tickets.push_back(
+          cache_->WriteBatchAsync(blocks + off, count, tmp.data() + off * bs));
+    }
+    // Wait ALL before `tmp` dies; first error wins.
+    Status first;
+    for (CacheIoTicket& t : tickets) {
+      Status s = t.Wait();
+      if (first.ok() && !s.ok()) first = s;
+    }
+    return first;
   }
 
   // The cache holds ciphertext, so prefetched blocks decrypt on demand.

@@ -1,6 +1,8 @@
 #include "fs/file_io.h"
 
+#include <algorithm>
 #include <cstring>
+#include <numeric>
 #include <vector>
 
 namespace stegfs {
@@ -45,10 +47,28 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
     }
 
     total_blocks += takes.size();
-    buf.resize(device_blocks.size() * block_size_);
-    if (!device_blocks.empty()) {
+    // Submit the chunk ascending by LBA: the io_uring backend then
+    // issues monotonic offsets and the FileBlockDevice coalescer sees
+    // every contiguous run the mapping contains. Plain contiguous
+    // extents are already ascending (the sort is a no-op); hidden
+    // extents arrive in logical order, which random placement makes
+    // device-random. `slot_of` maps each logical mapped index to its
+    // position in the sorted transfer for reassembly below.
+    std::vector<uint32_t> order(device_blocks.size());
+    std::iota(order.begin(), order.end(), 0);
+    std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+      return device_blocks[a] < device_blocks[b];
+    });
+    std::vector<uint64_t> sorted_blocks(device_blocks.size());
+    std::vector<uint32_t> slot_of(device_blocks.size());
+    for (size_t j = 0; j < order.size(); ++j) {
+      sorted_blocks[j] = device_blocks[order[j]];
+      slot_of[order[j]] = static_cast<uint32_t>(j);
+    }
+    buf.resize(sorted_blocks.size() * block_size_);
+    if (!sorted_blocks.empty()) {
       STEGFS_RETURN_IF_ERROR(store->ReadBlocks(
-          device_blocks.data(), device_blocks.size(), buf.data()));
+          sorted_blocks.data(), sorted_blocks.size(), buf.data()));
     }
 
     size_t mapped_i = 0;
@@ -57,7 +77,8 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
       if (is_hole[i]) {
         out->append(takes[i], '\0');
       } else {
-        const uint8_t* src = buf.data() + mapped_i * block_size_ + in_block;
+        const uint8_t* src =
+            buf.data() + slot_of[mapped_i] * block_size_ + in_block;
         out->append(reinterpret_cast<const char*>(src), takes[i]);
         ++mapped_i;
       }

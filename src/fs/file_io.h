@@ -30,8 +30,10 @@ class FileIo {
   // Reads up to `n` bytes from `offset`; stops at end-of-file. Holes read
   // as zeros. Appends to *out. The extent is resolved through the mapper
   // first, then all mapped blocks transfer as vectored batches (at most
-  // kMaxBatchBlocks at a time), so a sequential extent reaches the device
-  // as coalesced runs and the crypto layer as pipelined batches.
+  // kMaxBatchBlocks at a time) sorted ascending by device LBA — so a
+  // sequential extent reaches the device as coalesced runs, a
+  // random-placed hidden extent reaches the async backend as monotonic
+  // submissions, and the crypto layer sees pipelined batches either way.
   Status Read(const Inode& inode, uint64_t offset, uint64_t n,
               BlockStore* store, std::string* out);
 

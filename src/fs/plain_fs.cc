@@ -2,6 +2,11 @@
 
 #include <algorithm>
 #include <cassert>
+#include <thread>
+#include <utility>
+
+#include "blockdev/thread_pool_async_device.h"
+#include "blockdev/uring_block_device.h"
 
 namespace stegfs {
 
@@ -50,7 +55,8 @@ Status PlainFs::Format(BlockDevice* device, const FormatOptions& options) {
 }
 
 PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
-                 const MountOptions& options)
+                 const MountOptions& options,
+                 std::unique_ptr<AsyncBlockDevice> engine)
     : device_(device),
       super_(super),
       layout_(super.ComputeLayout()),
@@ -64,14 +70,24 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
       store_(cache_.get()),
       dir_ops_(&file_io_),
       allocator_(this),
-      rng_(options.rng_seed) {
-  // Readahead needs a core for the prefetch thread to run on while the
-  // demand path computes; on a single-core host the tasks only add
-  // overhead (measured 0.8x), so the option silently degrades to off.
+      rng_(options.rng_seed),
+      io_engine_(std::move(engine)) {
+  if (io_engine_ != nullptr) cache_->SetAsyncEngine(io_engine_.get());
+  // Readahead needs a second core: even with an async engine (a pure
+  // submitter — no thread ever blocks on the background read) the
+  // completion inserts and hit copies still run on the demand path's only
+  // core, and the bench measures that as a 0.6x LOSS at window 16 on one
+  // core (sweep in BENCH_io.json). So the option degrades to off on
+  // single-core hosts — observably: readahead_blocks() returns the
+  // effective window and steg_stats surfaces readahead_active/window.
+  // With two or more cores the engine carries the prefetch I/O; only
+  // engineless mounts need the one-thread pool.
   if (options.readahead_blocks > 0 &&
       std::thread::hardware_concurrency() >= 2) {
-    prefetch_pool_ = std::make_unique<concurrency::ThreadPool>(1);
-    cache_->SetPrefetchPool(prefetch_pool_.get());
+    if (io_engine_ == nullptr) {
+      prefetch_pool_ = std::make_unique<concurrency::ThreadPool>(1);
+      cache_->SetPrefetchPool(prefetch_pool_.get());
+    }
     file_io_.set_readahead(options.readahead_blocks);
   } else {
     options_.readahead_blocks = 0;
@@ -88,7 +104,37 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
       sb.num_blocks != device->num_blocks()) {
     return Status::Corruption("superblock geometry does not match device");
   }
-  std::unique_ptr<PlainFs> fs(new PlainFs(device, sb, options));
+  // Resolve the async engine before construction so an explicit kUring
+  // request fails the mount loudly instead of degrading.
+  std::unique_ptr<AsyncBlockDevice> engine;
+  switch (options.io_engine) {
+    case IoEngine::kSync:
+      break;
+    case IoEngine::kThreads:
+      engine = std::make_unique<ThreadPoolAsyncDevice>(device);
+      break;
+    case IoEngine::kUring: {
+      auto uring = UringBlockDevice::Attach(
+          device->file_descriptor(), device->block_size(),
+          device->num_blocks());
+      if (!uring.ok()) return uring.status();
+      engine = std::move(uring).value();
+      break;
+    }
+    case IoEngine::kAuto: {
+      auto uring = UringBlockDevice::Attach(
+          device->file_descriptor(), device->block_size(),
+          device->num_blocks());
+      if (uring.ok()) {
+        engine = std::move(uring).value();
+      } else {
+        engine = std::make_unique<ThreadPoolAsyncDevice>(device);
+      }
+      break;
+    }
+  }
+  std::unique_ptr<PlainFs> fs(
+      new PlainFs(device, sb, options, std::move(engine)));
   STEGFS_ASSIGN_OR_RETURN(fs->bitmap_,
                           BlockBitmap::Load(fs->cache_.get(), fs->layout_));
   STEGFS_RETURN_IF_ERROR(fs->inodes_.Load());

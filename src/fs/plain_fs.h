@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
 #include "concurrency/thread_pool.h"
@@ -47,6 +48,22 @@ struct FormatOptions {
   std::array<uint8_t, 32> dummy_seed = {};
 };
 
+// Which async I/O engine a mount attaches to its buffer cache (see
+// docs/ARCHITECTURE.md "I/O engine").
+enum class IoEngine {
+  // No engine: the PR 3 call-and-wait batch path. The default — every
+  // seeded test relies on its exact locking and accounting.
+  kSync,
+  // Portable fallback: ThreadPoolAsyncDevice over the mount's device.
+  kThreads,
+  // io_uring over the device's file descriptor; Mount fails with
+  // NotSupported when the kernel or the device cannot provide it.
+  kUring,
+  // io_uring when attachable (FileBlockDevice + capable kernel), else the
+  // thread-pool fallback. What the C API mounts use.
+  kAuto,
+};
+
 struct MountOptions {
   AllocPolicy policy = AllocPolicy::kContiguous;
   size_t cache_blocks = 4096;
@@ -58,9 +75,16 @@ struct MountOptions {
   uint64_t rng_seed = 0x5742;  // placement randomness (deterministic)
   // Readahead window in blocks after every extent read (plain AND hidden
   // files). 0 = off (the default, preserving seeded cache behavior).
-  // When > 0, the mount owns a one-thread prefetch pool and attaches it to
-  // the buffer cache.
+  // When > 0 the prefetcher arms on multi-core hosts only — on one core
+  // the prefetch work steals the demand path's cycles (bench-measured
+  // 0.6x at window 16, even with an async engine) — carried by the async
+  // engine when one is attached, else by a one-thread prefetch pool. The
+  // effective state is observable: readahead_blocks() and steg_stats'
+  // readahead_active/readahead_window report the degradation.
   uint32_t readahead_blocks = 0;
+  // Async engine for the data path (hidden extents pipeline decrypt with
+  // in-flight device I/O through it; see block_store.h).
+  IoEngine io_engine = IoEngine::kSync;
 };
 
 struct FileInfo {
@@ -119,9 +143,17 @@ class PlainFs {
   FileIo* file_io() { return &file_io_; }
   Xoshiro* rng() { return &rng_; }
   AllocPolicy policy() const { return options_.policy; }
-  // Effective readahead window (0 when the option was requested but the
-  // host has no spare core for the prefetch thread).
+  // Effective readahead window: 0 when off, including when the option was
+  // requested but no async engine attached AND the host has no spare core
+  // for the prefetch thread (steg_stats surfaces this as
+  // readahead_active/readahead_window so the degradation is observable).
   uint32_t readahead_blocks() const { return options_.readahead_blocks; }
+  // The attached async engine (nullptr on kSync mounts) and its name
+  // ("sync" when none).
+  AsyncBlockDevice* io_engine() const { return io_engine_.get(); }
+  const char* io_engine_name() const {
+    return io_engine_ ? io_engine_->engine_name() : "sync";
+  }
 
   // Marks every block reachable from the central directory (data + indirect
   // blocks of every inode) in `referenced` (sized num_blocks). Metadata
@@ -150,7 +182,8 @@ class PlainFs {
   };
 
   PlainFs(BlockDevice* device, const Superblock& super,
-          const MountOptions& options);
+          const MountOptions& options,
+          std::unique_ptr<AsyncBlockDevice> engine);
 
   // Splits "/a/b/c" into components; rejects empty/relative paths.
   static StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
@@ -182,6 +215,9 @@ class PlainFs {
   // Declared last: the pool's tasks touch cache_, so it must be drained
   // and joined (destroyed) before the cache goes away.
   std::unique_ptr<concurrency::ThreadPool> prefetch_pool_;
+  // Declared after the pool (destroyed first): engine destructors drain,
+  // and in-flight completion handlers touch cache_ — which outlives both.
+  std::unique_ptr<AsyncBlockDevice> io_engine_;
 };
 
 }  // namespace stegfs

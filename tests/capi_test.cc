@@ -7,6 +7,7 @@
 
 #include <cstdio>
 #include <string>
+#include <thread>
 #include <vector>
 
 namespace {
@@ -148,6 +149,48 @@ TEST_F(CapiTest, StatsReportBatchedDataPath) {
   EXPECT_TRUE(std::string(s.crypto_tier) == "aes-ni" ||
               std::string(s.crypto_tier) == "t-table")
       << s.crypto_tier;
+}
+
+TEST_F(CapiTest, StatsReportAsyncEngineAndReadahead) {
+  // C API mounts attach an async engine (io_uring when the kernel has it,
+  // thread-pool otherwise — never "sync") and request a 16-block
+  // readahead window, which arms only on multi-core hosts; either way the
+  // effective state is observable instead of silently zeroed.
+  stegfs_stats s;
+  ASSERT_EQ(steg_stats(vol_, &s), STEG_OK);
+  ASSERT_NE(s.io_engine, nullptr);
+  EXPECT_TRUE(std::string(s.io_engine) == "io_uring" ||
+              std::string(s.io_engine) == "thread-pool")
+      << s.io_engine;
+  const bool multi_core = std::thread::hardware_concurrency() >= 2;
+  EXPECT_EQ(s.readahead_active, multi_core ? 1u : 0u);
+  EXPECT_EQ(s.readahead_window, multi_core ? 16u : 0u);
+
+  // A multi-block hidden extent must flow through the async engine: the
+  // cold read below pipelines decrypt with in-flight submissions.
+  ASSERT_EQ(steg_create(vol_, "bob", "wide", "uak2", STEG_TYPE_FILE),
+            STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "bob", "wide", "uak2"), STEG_OK);
+  std::string payload(128 * 1024, 'C');  // 128 blocks at 1 KB
+  ASSERT_EQ(steg_hidden_write(vol_, "bob", "wide", payload.data(),
+                              payload.size()),
+            STEG_OK);
+  ASSERT_EQ(steg_unmount(vol_), STEG_OK);
+  vol_ = nullptr;
+  ASSERT_EQ(steg_mount(image_.c_str(), 1024, &vol_), STEG_OK);
+  ASSERT_EQ(steg_connect(vol_, "bob", "wide", "uak2"), STEG_OK);
+  std::vector<char> buf(payload.size());
+  size_t n = 0;
+  ASSERT_EQ(steg_hidden_read(vol_, "bob", "wide", buf.data(), buf.size(),
+                             &n),
+            STEG_OK);
+  ASSERT_EQ(std::string(buf.data(), n), payload);
+
+  ASSERT_EQ(steg_stats(vol_, &s), STEG_OK);
+  EXPECT_GT(s.io_submitted_batches, 0u);
+  // Fire-and-forget prefetch batches may still be in flight on multi-core
+  // hosts, so only the ordering invariant is stable here.
+  EXPECT_GE(s.io_submitted_batches, s.io_completed_batches);
 }
 
 TEST_F(CapiTest, WrongKeyIsNotFound) {
