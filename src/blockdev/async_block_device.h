@@ -60,6 +60,9 @@ struct AsyncIoStats {
   uint64_t completed_batches = 0;
   uint64_t failed_batches = 0;   // completed with a non-OK status
   uint64_t inflight_blocks = 0;  // submitted, not yet completed
+  // Ops that went through a kernel-registered buffer
+  // (IORING_OP_*_FIXED); always 0 on the thread-pool engine.
+  uint64_t fixed_buffer_ops = 0;
 };
 
 // Runs when a batch completes; receives the batch status.
@@ -187,6 +190,22 @@ class AsyncBlockDevice {
   // of all engines drain, so fire-and-forget submitters (the cache's
   // prefetcher) need no bookkeeping.
   virtual void Drain() = 0;
+
+  // --- Registered-buffer arena (io_uring's IORING_REGISTER_BUFFERS) ----
+  // A pinned, block-aligned staging pool registered with the kernel once
+  // at attach. Submissions whose buffers lie inside it skip the per-op
+  // page pin/unpin (IORING_OP_*_FIXED). Lease spans of up to
+  // arena_span_blocks() blocks; Acquire returns nullptr when the engine
+  // has no arena (thread-pool fallback, registration refused by the
+  // kernel, pool exhausted) — callers then stage in their own memory and
+  // the op is submitted unregistered, so the arena is purely an
+  // optimization. Release accepts only pointers Acquire returned.
+  virtual uint8_t* AcquireArenaSpan(size_t blocks) {
+    (void)blocks;
+    return nullptr;
+  }
+  virtual void ReleaseArenaSpan(uint8_t* span) { (void)span; }
+  virtual size_t arena_span_blocks() const { return 0; }
 
   virtual AsyncIoStats stats() const = 0;
 };

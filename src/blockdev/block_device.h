@@ -16,6 +16,14 @@
 
 namespace stegfs {
 
+// What Flush() promises. kDurable reaches stable storage (fdatasync on
+// file-backed devices); kCacheOnly stops at the kernel page cache — the
+// pre-journal behavior, kept as a bench escape hatch because an fdatasync
+// per flush is a real cost the throughput benches should not pay.
+// Sync() is ALWAYS durable regardless of this mode: it is the journal's
+// write barrier and must never be weakened.
+enum class FlushDurability { kDurable, kCacheOnly };
+
 // One element of a vectored request: a block number and the caller buffer
 // it transfers to/from (block_size() bytes each).
 struct BlockIoVec {
@@ -82,8 +90,29 @@ class BlockDevice {
   // the decorator's accounting and fault injection.
   virtual int file_descriptor() const { return -1; }
 
-  // Durably persists all completed writes.
+  // Persists all completed writes with the device's flush durability
+  // (durable by default on file-backed devices; see FlushDurability).
   virtual Status Flush() = 0;
+
+  // Write barrier: returns only when every completed write is on stable
+  // storage, regardless of flush_durability(). The journal's commit
+  // protocol is built on this; decorators must forward it so barrier
+  // ordering survives any device stack. In-memory devices complete
+  // immediately. NOTE: Sync() orders only COMPLETED writes — callers
+  // using an async engine must Drain() it first (the engine half of the
+  // write-barrier contract).
+  virtual Status Sync() { return Flush(); }
+
+  // Barrier count (for tests and the journal's stats). Devices that
+  // don't track it report 0.
+  virtual uint64_t sync_count() const { return 0; }
+
+  // Adjusts what Flush() promises. Default no-op: only devices with a
+  // page-cache/stable-storage distinction (FileBlockDevice) implement it.
+  virtual void set_flush_durability(FlushDurability mode) { (void)mode; }
+  virtual FlushDurability flush_durability() const {
+    return FlushDurability::kDurable;
+  }
 
   uint64_t capacity_bytes() const {
     return static_cast<uint64_t>(block_size()) * num_blocks();

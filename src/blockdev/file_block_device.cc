@@ -185,6 +185,20 @@ DeviceBatchStats FileBlockDevice::batch_stats() const {
   return s;
 }
 
-Status FileBlockDevice::Flush() { return Status::OK(); }
+Status FileBlockDevice::Flush() {
+  if (durability_.load(std::memory_order_relaxed) ==
+      FlushDurability::kCacheOnly) {
+    return Status::OK();
+  }
+  return Sync();
+}
+
+Status FileBlockDevice::Sync() {
+  syncs_.fetch_add(1, std::memory_order_relaxed);
+  if (fdatasync(fd_) != 0) {
+    return Status::IOError("fdatasync failed on volume file");
+  }
+  return Status::OK();
+}
 
 }  // namespace stegfs

@@ -46,11 +46,23 @@ class FileBlockDevice : public BlockDevice {
   Status ReadBlocks(const BlockIoVec* iov, size_t n) override;
   Status WriteBlocks(const ConstBlockIoVec* iov, size_t n) override;
   DeviceBatchStats batch_stats() const override;
-  // Pushes nothing: positional writes land in the kernel page cache
-  // directly (no user-space buffer), which is the same durability the
-  // previous fflush-only implementation offered. Crash-durability (fsync)
-  // is out of scope for the reproduction.
+  // fdatasync by default: a volume that survives `steg_unmount` must also
+  // survive the power cut right after it (the PR 4 regression made this a
+  // page-cache no-op; the crash-consistency subsystem reverses that).
+  // set_flush_durability(kCacheOnly) restores the cheap behavior for
+  // benchmarks that only measure the data path.
   Status Flush() override;
+  // Unconditional fdatasync — the journal's write barrier.
+  Status Sync() override;
+  uint64_t sync_count() const override {
+    return syncs_.load(std::memory_order_relaxed);
+  }
+  void set_flush_durability(FlushDurability mode) override {
+    durability_.store(mode, std::memory_order_relaxed);
+  }
+  FlushDurability flush_durability() const override {
+    return durability_.load(std::memory_order_relaxed);
+  }
 
   // The io_uring engine attaches here (see block_device.h).
   int file_descriptor() const override { return fd_; }
@@ -67,6 +79,8 @@ class FileBlockDevice : public BlockDevice {
   int fd_;
   uint32_t block_size_;
   uint64_t num_blocks_;
+  std::atomic<FlushDurability> durability_{FlushDurability::kDurable};
+  std::atomic<uint64_t> syncs_{0};
   std::atomic<uint64_t> vectored_blocks_{0};
   std::atomic<uint64_t> coalesced_runs_{0};
 };

@@ -40,6 +40,14 @@ class SimDisk : public BlockDevice {
   }
 
   Status Flush() override { return inner_->Flush(); }
+  Status Sync() override { return inner_->Sync(); }
+  uint64_t sync_count() const override { return inner_->sync_count(); }
+  void set_flush_durability(FlushDurability mode) override {
+    inner_->set_flush_durability(mode);
+  }
+  FlushDurability flush_durability() const override {
+    return inner_->flush_durability();
+  }
 
   // Total modeled service time of all requests so far.
   double sim_time_seconds() const { return sim_time_seconds_; }

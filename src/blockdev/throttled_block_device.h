@@ -48,6 +48,19 @@ class ThrottledBlockDevice : public BlockDevice {
   }
 
   Status Flush() override { return inner_->Flush(); }
+  Status Sync() override {
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    return inner_->Sync();
+  }
+  uint64_t sync_count() const override {
+    return syncs_.load(std::memory_order_relaxed);
+  }
+  void set_flush_durability(FlushDurability mode) override {
+    inner_->set_flush_durability(mode);
+  }
+  FlushDurability flush_durability() const override {
+    return inner_->flush_durability();
+  }
 
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
@@ -58,6 +71,7 @@ class ThrottledBlockDevice : public BlockDevice {
   std::chrono::microseconds write_lat_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace stegfs

@@ -8,9 +8,11 @@
 #include <linux/io_uring.h>
 #include <sys/mman.h>
 #include <sys/syscall.h>
+#include <sys/uio.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <cstdlib>
 #endif
 
 namespace stegfs {
@@ -36,6 +38,12 @@ int UringEnter(int ring_fd, unsigned to_submit, unsigned min_complete,
                unsigned flags) {
   return static_cast<int>(syscall(__NR_io_uring_enter, ring_fd, to_submit,
                                   min_complete, flags, nullptr, 0));
+}
+
+int UringRegister(int ring_fd, unsigned opcode, const void* arg,
+                  unsigned nr_args) {
+  return static_cast<int>(
+      syscall(__NR_io_uring_register, ring_fd, opcode, arg, nr_args));
 }
 
 }  // namespace
@@ -163,6 +171,7 @@ UringBlockDevice::UringBlockDevice(std::unique_ptr<Ring> ring, int fd,
       block_size_(block_size),
       num_blocks_(num_blocks),
       punt_async_(std::thread::hardware_concurrency() >= 2) {
+  SetupArena();
   reaper_ = std::thread([this] { ReapLoop(); });
 }
 
@@ -174,6 +183,49 @@ UringBlockDevice::~UringBlockDevice() {
   }
   reap_cv_.notify_all();
   reaper_.join();
+  if (arena_base_ != nullptr) {
+    UringRegister(ring_->fd, IORING_UNREGISTER_BUFFERS, nullptr, 0);
+    free(arena_base_);
+  }
+}
+
+void UringBlockDevice::SetupArena() {
+  // One page-aligned allocation registered as a single kernel buffer; a
+  // refusal (RLIMIT_MEMLOCK, old kernel) just leaves the engine without
+  // fixed-buffer support.
+  const size_t bytes =
+      kArenaSpans * kArenaSpanBlocks * static_cast<size_t>(block_size_);
+  void* base = nullptr;
+  if (posix_memalign(&base, 4096, bytes) != 0) return;
+  struct iovec reg;
+  reg.iov_base = base;
+  reg.iov_len = bytes;
+  if (UringRegister(ring_->fd, IORING_REGISTER_BUFFERS, &reg, 1) != 0) {
+    free(base);
+    return;
+  }
+  arena_base_ = static_cast<uint8_t*>(base);
+  arena_bytes_ = bytes;
+  arena_free_.reserve(kArenaSpans);
+  const size_t span_bytes = kArenaSpanBlocks * static_cast<size_t>(block_size_);
+  for (size_t i = 0; i < kArenaSpans; ++i) {
+    arena_free_.push_back(arena_base_ + i * span_bytes);
+  }
+}
+
+uint8_t* UringBlockDevice::AcquireArenaSpan(size_t blocks) {
+  if (arena_base_ == nullptr || blocks > kArenaSpanBlocks) return nullptr;
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (arena_free_.empty()) return nullptr;
+  uint8_t* span = arena_free_.back();
+  arena_free_.pop_back();
+  return span;
+}
+
+void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) {
+  if (span == nullptr) return;
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  arena_free_.push_back(span);
 }
 
 void UringBlockDevice::FinalizeBatch(Batch* batch, size_t blocks) {
@@ -247,7 +299,19 @@ IoTicket UringBlockDevice::Submit(std::vector<Vec> iov, IoCompletionFn done,
       const unsigned idx = (tail + static_cast<unsigned>(j)) & *ring_->sq_mask;
       io_uring_sqe* sqe = &ring_->sqes[idx];
       std::memset(sqe, 0, sizeof(*sqe));
-      sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
+      const uint8_t* buf_addr =
+          reinterpret_cast<const uint8_t*>(iov[i + j].buf);
+      // Buffers inside the registered arena skip the per-op page pin.
+      const bool fixed =
+          arena_base_ != nullptr && buf_addr >= arena_base_ &&
+          buf_addr + block_size_ <= arena_base_ + arena_bytes_;
+      if (fixed) {
+        sqe->opcode = write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
+        sqe->buf_index = 0;
+        fixed_buffer_ops_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
+      }
       sqe->flags = sqe_flags;
       sqe->fd = fd_;
       sqe->off = iov[i + j].block * static_cast<uint64_t>(block_size_);
@@ -370,6 +434,7 @@ AsyncIoStats UringBlockDevice::stats() const {
   s.submitted_blocks = submitted_blocks_.load(std::memory_order_relaxed);
   s.completed_batches = completed_batches_.load(std::memory_order_relaxed);
   s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
+  s.fixed_buffer_ops = fixed_buffer_ops_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lock(mu_);
   s.inflight_blocks = inflight_blocks_;
   return s;
@@ -425,6 +490,12 @@ void UringBlockDevice::FinalizeBatch(Batch* batch, size_t blocks) {
 }
 void UringBlockDevice::Drain() {}
 AsyncIoStats UringBlockDevice::stats() const { return {}; }
+void UringBlockDevice::SetupArena() {}
+uint8_t* UringBlockDevice::AcquireArenaSpan(size_t blocks) {
+  (void)blocks;
+  return nullptr;
+}
+void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) { (void)span; }
 
 #endif  // STEGFS_HAS_URING
 

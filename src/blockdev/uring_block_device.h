@@ -68,6 +68,19 @@ class UringBlockDevice : public AsyncBlockDevice {
   void Drain() override;
   AsyncIoStats stats() const override;
 
+  // Registered-buffer arena: kArenaSpans spans of kArenaSpanBlocks blocks
+  // each, page-aligned, registered as ONE kernel buffer at Attach (best
+  // effort — an EPERM/ENOMEM from a tight RLIMIT_MEMLOCK simply leaves
+  // the engine without an arena). In-arena submissions automatically use
+  // IORING_OP_{READ,WRITE}_FIXED with the registered index.
+  static constexpr size_t kArenaSpanBlocks = 64;  // = crypto sub-batch
+  static constexpr size_t kArenaSpans = 16;
+  uint8_t* AcquireArenaSpan(size_t blocks) override;
+  void ReleaseArenaSpan(uint8_t* span) override;
+  size_t arena_span_blocks() const override {
+    return arena_base_ != nullptr ? kArenaSpanBlocks : 0;
+  }
+
  private:
   struct Ring;   // mmap'd SQ/CQ state — defined in the .cc
   struct Batch;  // one in-flight batch's completion state
@@ -102,6 +115,14 @@ class UringBlockDevice : public AsyncBlockDevice {
   std::atomic<uint64_t> submitted_blocks_{0};
   std::atomic<uint64_t> completed_batches_{0};
   std::atomic<uint64_t> failed_batches_{0};
+  std::atomic<uint64_t> fixed_buffer_ops_{0};
+
+  // Registered arena (null when registration failed or stub build).
+  void SetupArena();
+  uint8_t* arena_base_ = nullptr;
+  size_t arena_bytes_ = 0;
+  std::mutex arena_mu_;
+  std::vector<uint8_t*> arena_free_;  // free span list
 
   std::thread reaper_;  // started last, joined in the destructor
 };

@@ -44,15 +44,33 @@ BufferCache::Entry& BufferCache::Touch(Shard* shard, EntryList::iterator it) {
 }
 
 Status BufferCache::EnsureRoom(Shard* shard) {
+  auto parked = ParkedSnapshot();
   while (shard->map.size() >= shard->capacity) {
-    Entry& victim = shard->lru.back();
+    auto victim_it = std::prev(shard->lru.end());
+    if (parked != nullptr) {
+      // Never write a parked dirty block early (it is a journal txn's
+      // held-back image): walk up the LRU for an unparked victim. The
+      // parked set is a handful of blocks, caches are far larger, so a
+      // fallback to the true LRU victim is effectively unreachable —
+      // but memory correctness wins over write ordering if it happens.
+      auto it = victim_it;
+      while (it->dirty && parked->count(it->block) != 0) {
+        if (it == shard->lru.begin()) {
+          it = victim_it;
+          break;
+        }
+        --it;
+      }
+      victim_it = it;
+    }
+    Entry& victim = *victim_it;
     if (victim.dirty) {
       STEGFS_RETURN_IF_ERROR(
           device_->WriteBlock(victim.block, victim.data.data()));
       writebacks_.fetch_add(1, std::memory_order_relaxed);
     }
     shard->map.erase(victim.block);
-    shard->lru.pop_back();
+    shard->lru.erase(victim_it);
     evictions_.fetch_add(1, std::memory_order_relaxed);
   }
   return Status::OK();
@@ -103,7 +121,7 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
     Entry& e = Touch(shard, found->second);
     CountHit(e);
     std::memcpy(e.data.data(), data, e.data.size());
-    e.dirty = (policy_ == WritePolicy::kWriteBack);
+    MarkWritten(&e);
     e.wseq = seq;
     return Status::OK();
   }
@@ -112,7 +130,7 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
   Entry e;
   e.block = block;
   e.data.assign(data, data + device_->block_size());
-  e.dirty = (policy_ == WritePolicy::kWriteBack);
+  MarkWritten(&e);
   e.wseq = seq;
   shard->lru.push_front(std::move(e));
   shard->map[block] = shard->lru.begin();
@@ -267,7 +285,7 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
         Entry& e = Touch(shard, found->second);
         CountHit(e);
         std::memcpy(e.data.data(), data + pos * bs, bs);
-        e.dirty = (policy_ == WritePolicy::kWriteBack);
+        MarkWritten(&e);
         e.wseq = seq;
         continue;
       }
@@ -276,7 +294,7 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
       Entry e;
       e.block = blocks[pos];
       e.data.assign(data + pos * bs, data + pos * bs + bs);
-      e.dirty = (policy_ == WritePolicy::kWriteBack);
+      MarkWritten(&e);
       e.wseq = seq;
       shard->lru.push_front(std::move(e));
       shard->map[blocks[pos]] = shard->lru.begin();
@@ -600,13 +618,19 @@ void BufferCache::Prefetch(const uint64_t* blocks, size_t n) {
   });
 }
 
-Status BufferCache::FlushShard(Shard* shard) {
+Status BufferCache::FlushShard(Shard* shard,
+                               const std::unordered_set<uint64_t>* hold_back) {
   // One vectored write-back per shard, ascending by LBA so contiguous
   // dirty extents coalesce on the device. On error every entry stays
-  // dirty (re-written by the next flush — idempotent).
+  // dirty (re-written by the next flush — idempotent). Held-back blocks
+  // (the journal's parked metadata images) are skipped entirely.
+  auto parked = ParkedSnapshot();
   std::vector<Entry*> dirty;
   for (Entry& e : shard->lru) {
-    if (e.dirty) dirty.push_back(&e);
+    if (!e.dirty) continue;
+    if (hold_back != nullptr && hold_back->count(e.block) != 0) continue;
+    if (parked != nullptr && parked->count(e.block) != 0) continue;
+    dirty.push_back(&e);
   }
   if (dirty.empty()) return Status::OK();
   std::sort(dirty.begin(), dirty.end(),
@@ -620,12 +644,37 @@ Status BufferCache::FlushShard(Shard* shard) {
   return Status::OK();
 }
 
-Status BufferCache::Flush() {
+void BufferCache::ParkBlocks(
+    std::shared_ptr<const std::unordered_set<uint64_t>> blocks) {
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  parked_ = std::move(blocks);
+}
+
+Status BufferCache::WriteBackDirty(
+    const std::unordered_set<uint64_t>* hold_back) {
+  dirty_epoch_.fetch_add(1, std::memory_order_relaxed);
   for (size_t i = 0; i < shards_.size(); ++i) {
     std::lock_guard<std::shared_mutex> lock(locks_.stripe(i));
-    STEGFS_RETURN_IF_ERROR(FlushShard(&shards_[i]));
+    STEGFS_RETURN_IF_ERROR(FlushShard(&shards_[i], hold_back));
   }
+  return Status::OK();
+}
+
+Status BufferCache::Flush() {
+  STEGFS_RETURN_IF_ERROR(WriteBackDirty());
   return device_->Flush();
+}
+
+size_t BufferCache::dirty_count() const {
+  size_t n = 0;
+  auto* self = const_cast<BufferCache*>(this);
+  for (size_t i = 0; i < shards_.size(); ++i) {
+    std::lock_guard<std::shared_mutex> lock(self->locks_.stripe(i));
+    for (const Entry& e : shards_[i].lru) {
+      if (e.dirty) ++n;
+    }
+  }
+  return n;
 }
 
 void BufferCache::DropAll() {

@@ -41,7 +41,10 @@
 #include <atomic>
 #include <cstdint>
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <unordered_set>
 #include <utility>
 #include <vector>
 
@@ -196,6 +199,34 @@ class BufferCache {
 
   // Writes back all dirty blocks and flushes the device.
   Status Flush();
+  // Ordered group writeback — the journal's ordered-data phase: pushes
+  // every dirty block (minus `hold_back` and the parked set) to the
+  // device WITHOUT the trailing device Flush, so file data drains while
+  // a transaction's metadata images stay in the cache until the record
+  // has committed. This is also the barrier primitive: the journal and
+  // the dual-header protocol follow it with ONE device Sync(), instead
+  // of paying Flush's fdatasync and then Sync's again. Held-back entries
+  // keep their dirty flag.
+  Status WriteBackDirty(const std::unordered_set<uint64_t>* hold_back =
+                            nullptr);
+
+  // Parks a set of blocks: EVERY write-back path — Flush, FlushExcept,
+  // WriteBackDirty, eviction victims — skips them until unparked
+  // (nullptr). This is how a journal transaction's held-back metadata
+  // images survive CONCURRENT flushers (another session's hidden commit
+  // barrier, PlainFs::Flush): the hold_back argument only protects the
+  // journal's own calls, parking protects against everyone else's. The
+  // journal parks for the window between its ordered-data flush and its
+  // commit barrier, then unparks before checkpointing.
+  void ParkBlocks(std::shared_ptr<const std::unordered_set<uint64_t>> blocks);
+  // Dirty-epoch tracking: each write-back pass opens a new epoch; the
+  // counter together with dirty_count() makes writeback progress
+  // observable (steg_stats exposes both).
+  uint64_t dirty_epoch() const {
+    return dirty_epoch_.load(std::memory_order_relaxed);
+  }
+  // Dirty blocks currently parked in the cache (all shards).
+  size_t dirty_count() const;
   // Discards every cached block (dirty contents are LOST — recovery paths
   // use this after rewriting the device underneath the cache).
   void DropAll();
@@ -254,9 +285,14 @@ class BufferCache {
   // All helpers below run with the shard's stripe held exclusively.
   Entry& Touch(Shard* shard, EntryList::iterator it);
   Status EnsureRoom(Shard* shard);
-  Status FlushShard(Shard* shard);
+  Status FlushShard(Shard* shard,
+                    const std::unordered_set<uint64_t>* hold_back = nullptr);
   // Counts a demand hit on `e`, claiming its prefetched flag if set.
   void CountHit(Entry& e);
+  // Marks `e` dirty under the write policy.
+  void MarkWritten(Entry* e) {
+    e->dirty = (policy_ == WritePolicy::kWriteBack);
+  }
   // Loads the listed blocks into one shard (missing ones only) with a
   // single vectored device read. Used by the pool-based prefetcher.
   void PopulateShard(size_t idx, const std::vector<uint64_t>& blocks);
@@ -275,9 +311,19 @@ class BufferCache {
   std::vector<std::vector<size_t>> GroupByShard(const uint64_t* blocks,
                                                 size_t n) const;
 
+  // Snapshot of the parked set (see ParkBlocks); null when nothing is
+  // parked. Guarded by parked_mu_; write-back paths take a shared_ptr
+  // snapshot so the owner can unpark without racing them.
+  std::shared_ptr<const std::unordered_set<uint64_t>> ParkedSnapshot() const {
+    std::lock_guard<std::mutex> lock(parked_mu_);
+    return parked_;
+  }
+
   BlockDevice* device_;
   size_t capacity_;
   WritePolicy policy_;
+  mutable std::mutex parked_mu_;
+  std::shared_ptr<const std::unordered_set<uint64_t>> parked_;
   concurrency::StripedSharedMutex locks_;
   std::vector<Shard> shards_;
   std::atomic<concurrency::ThreadPool*> prefetch_pool_{nullptr};
@@ -293,6 +339,7 @@ class BufferCache {
   std::atomic<uint64_t> prefetch_hits_{0};
   std::atomic<uint64_t> async_batched_reads_{0};
   std::atomic<uint64_t> async_batched_writes_{0};
+  std::atomic<uint64_t> dirty_epoch_{1};
 };
 
 }  // namespace stegfs

@@ -93,6 +93,9 @@ int steg_mkfs(const char* image_path, uint32_t block_size,
   if (!device.ok()) return CodeOf(device.status());
   stegfs::StegFormatOptions options;
   options.entropy = std::string("capi:") + image_path;
+  // C API volumes get a journal region so mounts run crash-consistent
+  // (64 blocks ≈ 256 KiB at the default 4 KiB block size).
+  options.journal_blocks = 64;
   Status s = stegfs::StegFs::Format(device->get(), options);
   return CodeOf(s);
 }
@@ -115,7 +118,14 @@ int steg_mount(const char* image_path, uint32_t block_size,
   // observably via steg_stats readahead_active/readahead_window.
   options.mount.io_engine = stegfs::IoEngine::kAuto;
   options.mount.readahead_blocks = 16;
+  // Durable by default; volumes formatted before the journal existed
+  // carry no ring, so fall back to the historical non-durable mount.
+  options.mount.durability = stegfs::Durability::kJournal;
   auto fs = stegfs::StegFs::Mount(vol->device.get(), options);
+  if (!fs.ok() && fs.status().IsFailedPrecondition()) {
+    options.mount.durability = stegfs::Durability::kNone;
+    fs = stegfs::StegFs::Mount(vol->device.get(), options);
+  }
   if (!fs.ok()) return CodeOf(fs.status());
   vol->fs = std::move(fs).value();
   *out = vol.release();
@@ -169,6 +179,31 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->io_inflight_blocks = as.inflight_blocks;
   out->readahead_active = plain->readahead_blocks() > 0 ? 1 : 0;
   out->readahead_window = plain->readahead_blocks();
+  out->durability = plain->durable() ? "journal" : "none";
+  stegfs::journal::JournalStats js;
+  if (plain->journal() != nullptr) js = plain->journal()->stats();
+  out->journal_records = js.records_committed;
+  out->journal_blocks_logged = js.blocks_journaled;
+  out->journal_barrier_syncs = js.barrier_syncs;
+  out->journal_overflows = js.overflow_fallbacks;
+  out->journal_recovered_records = plain->recovery_report().records_replayed;
+  out->io_fixed_buffer_ops = as.fixed_buffer_ops;
+  out->cache_dirty_epoch = plain->cache()->dirty_epoch();
+  out->cache_dirty_blocks = plain->cache()->dirty_count();
+  return STEG_OK;
+}
+
+int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out) {
+  if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
+  stegfs::journal::FsckReport report;
+  Status s = vol->fs->Fsck(&report);
+  if (!s.ok()) return Fail(vol, s);
+  out->referenced_blocks = report.referenced_blocks;
+  out->unaccounted_blocks = report.unaccounted_blocks;
+  out->repaired_refs = report.repaired_refs;
+  out->journal_live_records = report.journal_live_records;
+  out->journal_scrubbed_blocks = report.journal_scrubbed_blocks;
+  out->clean = report.clean ? 1 : 0;
   return STEG_OK;
 }
 

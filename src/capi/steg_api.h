@@ -105,10 +105,40 @@ typedef struct stegfs_stats {
    * visible instead of the old silent zeroing */
   uint32_t readahead_active; /* 1 when a prefetcher is armed */
   uint32_t readahead_window; /* effective window in blocks (0 when off) */
+  /* crash-consistency subsystem (all zero when the volume mounted without
+   * a journal): the write-ahead journal's commit counters plus what
+   * mount-time recovery replayed */
+  const char* durability;          /* "journal" or "none" (static string) */
+  uint64_t journal_records;        /* committed journal records */
+  uint64_t journal_blocks_logged;  /* metadata after-images written */
+  uint64_t journal_barrier_syncs;  /* write barriers issued by commits */
+  uint64_t journal_overflows;      /* txns too big for the ring */
+  uint64_t journal_recovered_records; /* replayed by this mount's recovery */
+  uint64_t io_fixed_buffer_ops;    /* registered-buffer (FIXED) uring ops */
+  uint64_t cache_dirty_epoch;      /* ordered-writeback epoch counter */
+  uint64_t cache_dirty_blocks;     /* dirty blocks parked in the cache */
 } stegfs_stats;
 
 /* Fills *out; safe to call concurrently with any other operation. */
 int steg_stats(stegfs_volume* vol, stegfs_stats* out);
+
+/* Online recovery/scrub report (see docs/ARCHITECTURE.md "Journal &
+ * recovery"). Hidden objects are not — cannot be — audited: that would
+ * require their keys, which is the whole point. */
+typedef struct stegfs_fsck_report {
+  uint64_t referenced_blocks;   /* reachable from plain metadata */
+  uint64_t unaccounted_blocks;  /* abandoned+dummy+hidden+leaked: counted,
+                                   never reclaimed (deniability) */
+  uint64_t repaired_refs;       /* referenced-but-unmarked bits re-set */
+  uint64_t journal_live_records;    /* records still in the ring (0 when
+                                       healthy) */
+  uint64_t journal_scrubbed_blocks; /* ring blocks re-noised by this run */
+  int clean;                    /* 1 when no repairs were needed */
+} stegfs_fsck_report;
+
+/* Runs the online scrubber on a mounted volume; safe alongside other
+ * operations (it takes the metadata lock internally). */
+int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out);
 
 /* --- the paper's nine calls ------------------------------------------- */
 

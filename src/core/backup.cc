@@ -133,6 +133,12 @@ Status StegRecover(BlockDevice* device, const std::string& image) {
   //    in a fresh bitmap.
   BufferCache cache(device, 1024, WritePolicy::kWriteBack);
   BlockBitmap bitmap(layout);
+  // The restored superblock carries the original journal region; mark it
+  // before anything else allocates, or restored plain files could land in
+  // the ring — which the next mount's recovery scrub would then destroy.
+  for (uint32_t j = 0; j < sb.journal_blocks; ++j) {
+    STEGFS_RETURN_IF_ERROR(bitmap.Allocate(sb.journal_start + j));
+  }
   uint64_t imaged;
   if (!dec.GetFixed64(&imaged)) {
     return Status::Corruption("backup image truncated (block count)");

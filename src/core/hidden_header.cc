@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "crypto/sha256.h"
 #include "util/coding.h"
 
 namespace stegfs {
@@ -13,7 +14,7 @@ constexpr size_t kFixedBytes = 32 + 1 + 7 + 8 + 8 + 48 + 4;
 }  // namespace
 
 Status HiddenHeader::EncodeTo(uint8_t* buf, size_t buf_size) const {
-  if (buf_size < kFixedBytes + free_pool.size() * 4) {
+  if (buf_size < kFixedBytes + free_pool.size() * 4 + kHeaderTrailerBytes) {
     return Status::InvalidArgument("header block too small for free pool");
   }
   if (free_pool.size() > kMaxFreePool) {
@@ -43,6 +44,13 @@ Status HiddenHeader::EncodeTo(uint8_t* buf, size_t buf_size) const {
     EncodeFixed32(p, b);
     p += 4;
   }
+  // Commit-protocol trailer at the block's end (see kHeaderTrailerBytes).
+  uint8_t* trailer = buf + buf_size - kHeaderTrailerBytes;
+  EncodeFixed64(trailer, seq);
+  EncodeFixed32(trailer + 8, partner);
+  crypto::Sha256Digest digest =
+      crypto::Sha256::Hash(buf, buf_size - 16);
+  std::memcpy(trailer + 12, digest.data(), 16);
   return Status::OK();
 }
 
@@ -81,13 +89,28 @@ StatusOr<HiddenHeader> HiddenHeader::DecodeFrom(const uint8_t* buf,
   uint32_t pool_count = DecodeFixed32(p);
   p += 4;
   if (pool_count > kMaxFreePool ||
-      kFixedBytes + pool_count * 4 > size) {
+      kFixedBytes + pool_count * 4 + kHeaderTrailerBytes > size) {
     return Status::Corruption("hidden header pool count invalid");
   }
   h.free_pool.resize(pool_count);
   for (uint32_t i = 0; i < pool_count; ++i) {
     h.free_pool[i] = DecodeFixed32(p);
     p += 4;
+  }
+  const uint8_t* trailer = buf + size - kHeaderTrailerBytes;
+  h.seq = DecodeFixed64(trailer);
+  h.partner = DecodeFixed32(trailer + 8);
+  // A header written by this code always carries a checksum; an all-zero
+  // field is a legacy image (accepted as-is). Anything else must verify —
+  // that rejection is what makes a torn header detectable instead of
+  // silently yielding a garbage inode.
+  bool has_checksum = false;
+  for (int i = 0; i < 16; ++i) has_checksum |= trailer[12 + i] != 0;
+  if (has_checksum) {
+    crypto::Sha256Digest digest = crypto::Sha256::Hash(buf, size - 16);
+    if (std::memcmp(digest.data(), trailer + 12, 16) != 0) {
+      return Status::Corruption("hidden header checksum mismatch (torn?)");
+    }
   }
   return h;
 }

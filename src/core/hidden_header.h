@@ -23,13 +23,23 @@
 
 namespace stegfs {
 
-// Upper bound on pool entries representable in one 512-byte header block.
-inline constexpr uint32_t kMaxFreePool = 96;
+// Upper bound on pool entries representable in one 512-byte header block,
+// alongside the commit-protocol trailer (seq + partner + checksum; 28
+// bytes — what brought this down from the pre-journal 96).
+inline constexpr uint32_t kMaxFreePool = 94;
 
 enum class HiddenType : uint8_t {
   kFile = 1,       // 'f' in the paper's API
   kDirectory = 2,  // 'd'
 };
+
+// Trailing commit-protocol fields, packed at the END of the header block:
+// [seq u64][partner u32][checksum 16B] — SHA-256 (truncated) over
+// everything before the checksum. All three decode as zero from a header
+// written before the crash-consistency subsystem (legacy accept); any
+// torn block yields a nonzero mismatching checksum and is rejected, which
+// is what lets the dual-header protocol pick the surviving image.
+inline constexpr size_t kHeaderTrailerBytes = 8 + 4 + 16;
 
 struct HiddenHeader {
   std::array<uint8_t, 32> signature = {};
@@ -38,12 +48,21 @@ struct HiddenHeader {
   uint64_t mtime = 0;
   Inode inode;  // only the pointer fields are meaningful here
   std::vector<uint32_t> free_pool;
+  // Commit sequence of the durable dual-header protocol (0 on volumes
+  // that never mounted durable). The higher valid (primary, anchor) image
+  // wins at open.
+  uint64_t seq = 0;
+  // The image's partner block: in the PRIMARY image, the anchor block
+  // this object journals its header through; in the ANCHOR image, the
+  // primary header block to restore. 0 = no anchor (non-durable object).
+  uint32_t partner = 0;
 
-  // Serializes into a block-size buffer; bytes past the structure are filled
-  // from `filler` (must look random — the whole block is then encrypted, so
-  // zeros would be fine cryptographically, but random filler also keeps the
-  // *plaintext* header indistinguishable from noise in memory dumps).
+  // Serializes into a block-size buffer (then encrypted under the FAK, so
+  // the on-disk block stays indistinguishable from noise). The checksum
+  // trailer is always written; pool capacity shrinks by the trailer.
   Status EncodeTo(uint8_t* buf, size_t buf_size) const;
+  // Rejects torn images: a nonzero checksum must verify (all-zero is
+  // accepted as legacy).
   static StatusOr<HiddenHeader> DecodeFrom(const uint8_t* buf, size_t size);
 };
 

@@ -35,6 +35,32 @@ uint32_t HiddenObject::EffectivePoolMax() const {
   return std::min(vol_.params.free_pool_max, kMaxFreePool);
 }
 
+std::string HiddenObject::AnchorName(const std::string& physical_name) {
+  return physical_name + '\x01' + "hdr-anchor";
+}
+
+Status HiddenObject::CommitBarrier() {
+  // The write-barrier contract: an engine's in-flight writes are not
+  // "completed" until Drain returns, and Sync() only orders completed
+  // writes. Both engines implement Drain; the sync mount has none.
+  // WriteBackDirty (not Flush) so the barrier costs exactly ONE device
+  // sync.
+  if (vol_.engine != nullptr) vol_.engine->Drain();
+  STEGFS_RETURN_IF_ERROR(vol_.cache->WriteBackDirty());
+  return vol_.device->Sync();
+}
+
+Status HiddenObject::WriteHeaderImage(uint64_t at_block,
+                                      const std::array<uint8_t, 32>& sig,
+                                      uint32_t partner) {
+  HiddenHeader image = header_;
+  image.signature = sig;
+  image.partner = partner;
+  std::vector<uint8_t> buf(vol_.layout.block_size);
+  STEGFS_RETURN_IF_ERROR(image.EncodeTo(buf.data(), buf.size()));
+  return store_.WriteBlock(at_block, buf.data());
+}
+
 StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Create(
     const HiddenVolume& vol, const std::string& physical_name,
     const std::string& access_key, HiddenType type) {
@@ -51,11 +77,29 @@ StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Create(
                                  physical_name);
   }
   if (!existing.status().IsNotFound()) return existing.status();
+  if (vol.durable) {
+    // A crash can tear the primary while the anchor chain survives; a
+    // create that only probed the primary would then shadow it.
+    auto anchored = locator.FindHeader(AnchorName(physical_name), access_key,
+                                       obj->crypter_);
+    if (anchored.ok()) {
+      return Status::AlreadyExists("hidden object already exists: " +
+                                   physical_name);
+    }
+    if (!anchored.status().IsNotFound()) return anchored.status();
+  }
 
   STEGFS_ASSIGN_OR_RETURN(LocateResult claim,
                           locator.ClaimHeaderBlock(physical_name, access_key));
   obj->header_block_ = claim.header_block;
   obj->last_probes_ = claim.probes;
+  if (vol.durable) {
+    STEGFS_ASSIGN_OR_RETURN(
+        LocateResult anchor,
+        locator.ClaimHeaderBlock(AnchorName(physical_name), access_key));
+    obj->anchor_block_ = anchor.header_block;
+    obj->header_.partner = static_cast<uint32_t>(anchor.header_block);
+  }
 
   obj->header_.signature = crypto::FileSignature(physical_name, access_key);
   obj->header_.type = type;
@@ -76,17 +120,87 @@ StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Open(
   std::unique_ptr<HiddenObject> obj(
       new HiddenObject(vol, physical_name, access_key));
   HeaderLocator locator(vol.cache, vol.bitmap, vol.layout, vol.probe_limit);
-  STEGFS_ASSIGN_OR_RETURN(
-      LocateResult found,
-      locator.FindHeader(physical_name, access_key, obj->crypter_));
-  obj->header_block_ = found.header_block;
-  obj->last_probes_ = found.probes;
+  auto found = locator.FindHeader(physical_name, access_key, obj->crypter_);
+  Status primary_status = found.status();
+  bool have_primary = false;
+  if (found.ok()) {
+    obj->header_block_ = found->header_block;
+    obj->last_probes_ = found->probes;
+    std::vector<uint8_t> buf(vol.layout.block_size);
+    STEGFS_RETURN_IF_ERROR(
+        obj->store_.ReadBlock(found->header_block, buf.data()));
+    auto decoded = HiddenHeader::DecodeFrom(buf.data(), buf.size());
+    if (decoded.ok()) {
+      obj->header_ = std::move(decoded).value();
+      have_primary = true;
+    } else if (!vol.durable) {
+      return decoded.status();
+    } else {
+      primary_status = decoded.status();  // torn: try the anchor below
+    }
+  } else if (!found.status().IsNotFound()) {
+    return found.status();
+  }
 
-  std::vector<uint8_t> buf(vol.layout.block_size);
-  STEGFS_RETURN_IF_ERROR(
-      obj->store_.ReadBlock(found.header_block, buf.data()));
-  STEGFS_ASSIGN_OR_RETURN(obj->header_,
-                          HiddenHeader::DecodeFrom(buf.data(), buf.size()));
+  if (vol.durable) {
+    const auto anchor_sig =
+        crypto::FileSignature(AnchorName(physical_name), access_key);
+    if (have_primary && obj->header_.partner != 0) {
+      // Fast path: the primary names its anchor. If the anchor carries a
+      // NEWER committed image, the crash hit between the anchor barrier
+      // (the commit point) and the primary rewrite — adopt it and heal
+      // the primary in place.
+      obj->anchor_block_ = obj->header_.partner;
+      std::vector<uint8_t> abuf(vol.layout.block_size);
+      if (obj->store_.ReadBlock(obj->anchor_block_, abuf.data()).ok()) {
+        auto adec = HiddenHeader::DecodeFrom(abuf.data(), abuf.size());
+        if (adec.ok() && adec->signature == anchor_sig &&
+            adec->seq > obj->header_.seq) {
+          obj->header_ = std::move(adec).value();
+          obj->header_.signature =
+              crypto::FileSignature(physical_name, access_key);
+          obj->header_.partner = static_cast<uint32_t>(obj->anchor_block_);
+          STEGFS_RETURN_IF_ERROR(obj->WriteHeaderImage(
+              obj->header_block_, obj->header_.signature,
+              obj->header_.partner));
+        }
+      }
+    } else if (!have_primary) {
+      // Primary torn or unlocatable: walk the salted anchor sequence.
+      auto afound = locator.FindHeader(AnchorName(physical_name), access_key,
+                                       obj->crypter_);
+      if (!afound.ok()) {
+        // No anchor either: the object genuinely does not exist (or
+        // predates durability and is really corrupt).
+        return afound.status().IsNotFound() ? primary_status
+                                            : afound.status();
+      }
+      obj->anchor_block_ = afound->header_block;
+      obj->last_probes_ = afound->probes;
+      std::vector<uint8_t> abuf(vol.layout.block_size);
+      STEGFS_RETURN_IF_ERROR(
+          obj->store_.ReadBlock(obj->anchor_block_, abuf.data()));
+      STEGFS_ASSIGN_OR_RETURN(
+          HiddenHeader aimg, HiddenHeader::DecodeFrom(abuf.data(),
+                                                      abuf.size()));
+      if (aimg.partner == 0) {
+        return Status::Corruption("anchor image names no primary block");
+      }
+      obj->header_ = std::move(aimg);
+      obj->header_block_ = obj->header_.partner;
+      obj->header_.signature =
+          crypto::FileSignature(physical_name, access_key);
+      obj->header_.partner = static_cast<uint32_t>(obj->anchor_block_);
+      STEGFS_RETURN_IF_ERROR(obj->WriteHeaderImage(
+          obj->header_block_, obj->header_.signature, obj->header_.partner));
+      have_primary = true;
+    } else {
+      obj->anchor_block_ = obj->header_.partner;  // may be 0 (pre-durable)
+    }
+  } else if (!have_primary) {
+    return primary_status;
+  }
+
   obj->header_.inode.size = obj->header_.size;
   return obj;
 }
@@ -128,7 +242,14 @@ Status HiddenObject::ReleaseExcessLocked() {
     // The block leaves our custody: it must NOT be scrubbed later — by the
     // time Sync runs it may belong to someone else (e.g. a plain file).
     unscrubbed_.erase(static_cast<uint32_t>(b));
-    STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    if (vol_.durable) {
+      // The committed on-disk pool must stay a subset of the bitmap's
+      // allocated set: stage the release, clear the bit only after the
+      // pool-shrinking header image has committed (Sync does it).
+      pending_bitmap_frees_.push_back(static_cast<uint32_t>(b));
+    } else {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    }
     header_dirty_ = true;
   }
   return Status::OK();
@@ -166,6 +287,15 @@ StatusOr<uint64_t> HiddenObject::PoolAllocator::AllocateBlock() {
 Status HiddenObject::PoolAllocator::FreeBlock(uint64_t block) {
   HiddenObject* obj = obj_;
   auto alloc = LockAlloc(obj->vol_.alloc_mu);
+  if (obj->vol_.durable) {
+    // A freed data block may still be referenced by the committed on-disk
+    // header; letting it back into the pool now would allow this same
+    // uncommitted operation to reallocate and overwrite it in place. It
+    // re-enters the pool at the next Sync (the commit point).
+    obj->deferred_returns_.push_back(static_cast<uint32_t>(block));
+    obj->header_dirty_ = true;
+    return Status::OK();
+  }
   obj->header_.free_pool.push_back(static_cast<uint32_t>(block));
   obj->header_dirty_ = true;
   return obj->ReleaseExcessLocked();
@@ -207,6 +337,18 @@ Status HiddenObject::Truncate(uint64_t new_size) {
 
 Status HiddenObject::Sync() {
   if (removed_) return Status::FailedPrecondition("object was removed");
+  if (vol_.durable) {
+    // Step 0: blocks freed since the last commit re-enter the pool (the
+    // image about to commit carries them), and any resulting excess is
+    // staged toward the bitmap.
+    if (!deferred_returns_.empty()) {
+      auto alloc = LockAlloc(vol_.alloc_mu);
+      for (uint32_t b : deferred_returns_) header_.free_pool.push_back(b);
+      deferred_returns_.clear();
+      header_dirty_ = true;
+      STEGFS_RETURN_IF_ERROR(ReleaseExcessLocked());
+    }
+  }
   // Scrub pool blocks that still hold pre-acquisition content, so nothing
   // inside this object's footprint is distinguishable from noise. The
   // shared rng draw needs the allocation lock; the cache writes nest below
@@ -225,18 +367,107 @@ Status HiddenObject::Sync() {
         vol_.cache->WriteBatch(blocks.data(), blocks.size(), noise.data()));
     unscrubbed_.clear();
   }
-  if (!header_dirty_) return Status::OK();
+  if (!header_dirty_ && pending_bitmap_frees_.empty()) return Status::OK();
   header_.size = header_.inode.size;
   header_.mtime = header_.inode.mtime;
-  std::vector<uint8_t> buf(vol_.layout.block_size);
-  STEGFS_RETURN_IF_ERROR(header_.EncodeTo(buf.data(), buf.size()));
-  STEGFS_RETURN_IF_ERROR(store_.WriteBlock(header_block_, buf.data()));
+
+  if (!vol_.durable) {
+    std::vector<uint8_t> buf(vol_.layout.block_size);
+    STEGFS_RETURN_IF_ERROR(header_.EncodeTo(buf.data(), buf.size()));
+    STEGFS_RETURN_IF_ERROR(store_.WriteBlock(header_block_, buf.data()));
+    header_dirty_ = false;
+    return Status::OK();
+  }
+
+  // Dual-header commit (see the declaration comment for the protocol).
+  if (anchor_block_ == 0) {
+    // Object predates durability on this volume: claim its anchor now.
+    HeaderLocator locator(vol_.cache, vol_.bitmap, vol_.layout,
+                          vol_.probe_limit);
+    STEGFS_ASSIGN_OR_RETURN(
+        LocateResult anchor,
+        locator.ClaimHeaderBlock(AnchorName(physical_name_), access_key_));
+    anchor_block_ = anchor.header_block;
+  }
+  header_.partner = static_cast<uint32_t>(anchor_block_);
+  header_.seq += 1;
+
+  // 1. Everything the new header references — data, scrub noise, the
+  //    bitmap bits backing pool/data claims — becomes durable first.
+  STEGFS_RETURN_IF_ERROR(vol_.bitmap->Store(vol_.cache));
+  STEGFS_RETURN_IF_ERROR(CommitBarrier());
+
+  // 2. The anchor image, then a barrier: the commit point.
+  STEGFS_RETURN_IF_ERROR(WriteHeaderImage(
+      anchor_block_,
+      crypto::FileSignature(AnchorName(physical_name_), access_key_),
+      static_cast<uint32_t>(header_block_)));
+  STEGFS_RETURN_IF_ERROR(CommitBarrier());
+
+  // 3. The primary, in place. No barrier needed: if it tears, Open takes
+  //    the committed anchor image and heals it.
+  STEGFS_RETURN_IF_ERROR(WriteHeaderImage(
+      header_block_, header_.signature,
+      static_cast<uint32_t>(anchor_block_)));
   header_dirty_ = false;
+
+  // 4. With the shrunken pool committed, staged releases may finally
+  //    clear their bitmap bits (lost on crash = leaked-as-abandoned,
+  //    never corruption).
+  if (!pending_bitmap_frees_.empty()) {
+    auto alloc = LockAlloc(vol_.alloc_mu);
+    for (uint32_t b : pending_bitmap_frees_) {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    }
+    pending_bitmap_frees_.clear();
+  }
   return Status::OK();
 }
 
 Status HiddenObject::Remove() {
   if (removed_) return Status::FailedPrecondition("object already removed");
+  if (vol_.durable) {
+    // Commit the removal FIRST: obliterate both header images and make
+    // that durable, so no crash state can resurrect a half-freed object
+    // whose blocks are being handed back to the allocator below.
+    {
+      auto alloc = LockAlloc(vol_.alloc_mu);
+      std::vector<uint8_t> noise(vol_.layout.block_size);
+      vol_.rng->FillBytes(noise.data(), noise.size());
+      STEGFS_RETURN_IF_ERROR(vol_.cache->Write(header_block_, noise.data()));
+      if (anchor_block_ != 0) {
+        vol_.rng->FillBytes(noise.data(), noise.size());
+        STEGFS_RETURN_IF_ERROR(
+            vol_.cache->Write(anchor_block_, noise.data()));
+      }
+    }
+    STEGFS_RETURN_IF_ERROR(CommitBarrier());
+    // Reclaim everything. Frees lost to a crash from here on are leaked
+    // allocated-but-unreferenced blocks — absorbed as abandoned, never
+    // corruption.
+    STEGFS_RETURN_IF_ERROR(
+        io_.mapper()->FreeFrom(&header_.inode, 0, &store_, &allocator_));
+    auto alloc = LockAlloc(vol_.alloc_mu);
+    for (uint32_t b : deferred_returns_) {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    }
+    deferred_returns_.clear();
+    for (uint32_t b : header_.free_pool) {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    }
+    header_.free_pool.clear();
+    for (uint32_t b : pending_bitmap_frees_) {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(b));
+    }
+    pending_bitmap_frees_.clear();
+    unscrubbed_.clear();
+    STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(header_block_));
+    if (anchor_block_ != 0) {
+      STEGFS_RETURN_IF_ERROR(vol_.bitmap->Free(anchor_block_));
+    }
+    removed_ = true;
+    return Status::OK();
+  }
   // Free data + indirect blocks into the pool, then drain the entire pool
   // back to the file system. FreeFrom drives the allocator, which takes the
   // allocation lock per call — so it must not be held here yet.

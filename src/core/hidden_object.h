@@ -17,12 +17,16 @@
 #ifndef STEGFS_CORE_HIDDEN_OBJECT_H_
 #define STEGFS_CORE_HIDDEN_OBJECT_H_
 
+#include <array>
 #include <memory>
 #include <mutex>
 #include <set>
 #include <string>
 #include <string_view>
+#include <vector>
 
+#include "blockdev/async_block_device.h"
+#include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
 #include "core/hidden_header.h"
 #include "core/locator.h"
@@ -56,6 +60,15 @@ struct HiddenVolume {
   // Readahead window (file blocks) hinted after every extent read; only
   // effective when the shared cache has a prefetch pool attached.
   uint32_t readahead = 0;
+  // Durable-commit wiring (Durability::kJournal mounts). When `durable`
+  // is set, every header update runs the dual-header commit protocol
+  // (anchor image -> barrier -> primary image) and Sync/Remove issue real
+  // write barriers through `device` (draining `engine` first — the async
+  // half of the barrier contract). All three stay null/false for the
+  // historical behavior every seeded test pins.
+  BlockDevice* device = nullptr;
+  AsyncBlockDevice* engine = nullptr;
+  bool durable = false;
 };
 
 // Threading contract: one HiddenObject instance is used by one thread at a
@@ -96,9 +109,26 @@ class HiddenObject {
   Status WriteAll(std::string_view data);
   Status Truncate(uint64_t new_size);
 
-  // Persists the header block (inode pointers, size, pool). Data blocks are
-  // written through immediately; only the header is deferred.
+  // Persists the header block (inode pointers, size, pool). Data blocks
+  // are written through immediately; only the header is deferred. On a
+  // durable volume this is the object's COMMIT POINT, run as the
+  // dual-header protocol:
+  //   1. barrier: data + bitmap durable (nothing the new header
+  //      references may be garbage after a crash),
+  //   2. the new header image — seq+1, checksummed, chained to its
+  //      partner — is written to the object's ANCHOR block (claimed at
+  //      create via a salted locator sequence, so it is recoverable
+  //      without the primary and looks like any other random block),
+  //      then a barrier makes it durable: THE commit,
+  //   3. the primary header is rewritten in place (torn? the anchor has
+  //      the committed image; lost entirely? the salted probe finds the
+  //      anchor and restores the primary — Open does both).
+  // Data blocks freed since the last Sync re-enter the pool only here
+  // (step 0) and pool blocks leave for the bitmap only after step 2, so
+  // no uncommitted operation can overwrite a block the committed on-disk
+  // state still references.
   Status Sync();
+  uint64_t anchor_block() const { return anchor_block_; }
 
   // Destroys the object: frees data, indirect, pool and header blocks and
   // overwrites the header with fresh noise so the signature is gone. The
@@ -118,6 +148,17 @@ class HiddenObject {
 
   HiddenObject(const HiddenVolume& vol, const std::string& physical_name,
                const std::string& access_key);
+
+  // Salted name for the anchor-block locator sequence ('\x01' can never
+  // appear at that position in a real uid||'\0'||path physical name).
+  static std::string AnchorName(const std::string& physical_name);
+  // Write barrier: drain the async engine, flush the cache, sync the
+  // device (the durable path's ordering primitive).
+  Status CommitBarrier();
+  // Encodes + writes one header image (primary or anchor role) through
+  // the encrypted store.
+  Status WriteHeaderImage(uint64_t at_block, const std::array<uint8_t, 32>& sig,
+                          uint32_t partner);
 
   // Refills the pool to free_pool_max with random free blocks. Freshly
   // acquired blocks may hold stale plaintext (e.g. from a deleted plain
@@ -142,12 +183,21 @@ class HiddenObject {
   PoolAllocator allocator_;
   HiddenHeader header_;
   uint64_t header_block_ = 0;
+  uint64_t anchor_block_ = 0;  // durable volumes only (0 otherwise)
   uint32_t last_probes_ = 0;
   bool header_dirty_ = false;
   bool removed_ = false;
   // Pool entries acquired since the last Sync that still hold whatever the
   // block contained before (scrubbed with noise at Sync).
   std::set<uint32_t> unscrubbed_;
+  // Durable mode: data blocks freed since the last Sync. They re-enter
+  // the pool only at the next commit — reusing one earlier would
+  // overwrite a block the committed on-disk header still references.
+  std::vector<uint32_t> deferred_returns_;
+  // Durable mode: pool blocks released toward the bitmap, bit-cleared
+  // only after the releasing header image has committed (the committed
+  // pool must always be a subset of the bitmap's allocated set).
+  std::vector<uint32_t> pending_bitmap_frees_;
 };
 
 }  // namespace stegfs

@@ -66,6 +66,9 @@ HiddenVolume StegFs::VolumeCtx() {
   vol.probe_limit = options_.probe_limit;
   vol.alloc_mu = &alloc_mu_;
   vol.readahead = plain_->readahead_blocks();
+  vol.device = device_;
+  vol.engine = plain_->io_engine();
+  vol.durable = plain_->durable();
   return vol;
 }
 
@@ -98,6 +101,7 @@ Status StegFs::Format(BlockDevice* device, const StegFormatOptions& options) {
   fo.steg = options.params;
   fo.steg_formatted = true;
   fo.dummy_seed = crypto::Sha256::Hash2("stegfs-dummy-seed:", options.entropy);
+  fo.journal_blocks = options.journal_blocks;
   STEGFS_RETURN_IF_ERROR(PlainFs::Format(device, fo));
 
   // 3. Abandon random blocks and create the dummy hidden files.
@@ -360,6 +364,19 @@ Status StegFs::HiddenRead(const std::string& uid, const std::string& objname,
   return so->object->Read(offset, n, out);
 }
 
+// Per-call header persistence after a hidden mutation. On a non-durable
+// volume this is the historical cheap header rewrite (one cache write).
+// On a DURABLE volume every HiddenObject::Sync is a full dual-header
+// commit with real write barriers, so per-call commits would turn every
+// write into an O_SYNC transaction; instead the object stays dirty and
+// commits at the group boundaries every path already has — StegFs::Flush,
+// disconnect, unmount (the object destructor) — exactly a journaling
+// file system's fsync contract.
+Status StegFs::SyncAfterMutation(HiddenObject* obj) {
+  if (plain_->durable()) return Status::OK();
+  return obj->Sync();
+}
+
 Status StegFs::HiddenWriteAll(const std::string& uid,
                               const std::string& objname,
                               const std::string& data) {
@@ -370,7 +387,7 @@ Status StegFs::HiddenWriteAll(const std::string& uid,
       return Status::FailedPrecondition("object not connected: " + objname);
     }
     STEGFS_RETURN_IF_ERROR(so->object->WriteAll(data));
-    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+    STEGFS_RETURN_IF_ERROR(SyncAfterMutation(so->object.get()));
   }
   return plain_->PersistMeta();
 }
@@ -384,7 +401,7 @@ Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
       return Status::FailedPrecondition("object not connected: " + objname);
     }
     STEGFS_RETURN_IF_ERROR(so->object->Write(offset, data));
-    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+    STEGFS_RETURN_IF_ERROR(SyncAfterMutation(so->object.get()));
   }
   return plain_->PersistMeta();
 }
@@ -398,7 +415,7 @@ Status StegFs::HiddenTruncate(const std::string& uid,
       return Status::FailedPrecondition("object not connected: " + objname);
     }
     STEGFS_RETURN_IF_ERROR(so->object->Truncate(new_size));
-    STEGFS_RETURN_IF_ERROR(so->object->Sync());
+    STEGFS_RETURN_IF_ERROR(SyncAfterMutation(so->object.get()));
   }
   return plain_->PersistMeta();
 }

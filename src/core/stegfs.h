@@ -60,6 +60,9 @@ struct StegFormatOptions {
   // formats with the same entropy produce identical volumes (tests rely on
   // this; production would pass real entropy).
   std::string entropy = "stegfs-format-entropy";
+  // Write-ahead journal ring size (0 = no journal region, the historical
+  // format). Required for Durability::kJournal mounts.
+  uint32_t journal_blocks = 0;
 };
 
 struct StegFsOptions {
@@ -178,6 +181,11 @@ class StegFs {
   // Persists all state (connected object headers, bitmap, inodes, cache).
   Status Flush();
 
+  // Online recovery/scrub: cross-checks bitmap vs plain reachability and
+  // verifies the journal ring is at rest (see PlainFs::Fsck). Cannot and
+  // does not audit hidden objects — that would require their keys.
+  Status Fsck(journal::FsckReport* out) { return plain_->Fsck(out); }
+
   SpaceReport ReportSpace();
   const StegParams& params() const { return plain_->superblock().steg; }
   const StegFsOptions& options() const { return options_; }
@@ -225,6 +233,11 @@ class StegFs {
                           const HiddenDirEntry* replacement);
 
   std::string FreshFak();
+
+  // Header persistence after one hidden mutation: immediate on legacy
+  // mounts, deferred to the group-commit boundaries (Flush, disconnect,
+  // unmount) on durable ones — see the definition for the rationale.
+  Status SyncAfterMutation(HiddenObject* obj);
 
   // Looks the object up in the uid's session; FailedPrecondition when not
   // connected. The caller locks the returned object's mu for the operation.

@@ -98,6 +98,32 @@ Status BlockBitmap::Store(BufferCache* cache) {
   return Status::OK();
 }
 
+void BlockBitmap::CollectDirty(
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>>* out) {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  uint64_t total = bits_.size();
+  for (uint64_t i = 0; i < layout_.bitmap_blocks; ++i) {
+    if (!dirty_blocks_[i]) continue;
+    size_t offset = static_cast<size_t>(i * layout_.block_size);
+    size_t take = static_cast<size_t>(
+        std::min<uint64_t>(total - offset, layout_.block_size));
+    std::vector<uint8_t> image(layout_.block_size, 0);
+    std::memcpy(image.data(), bits_.data() + offset, take);
+    out->emplace_back(layout_.bitmap_start + i, std::move(image));
+    dirty_blocks_[i] = false;
+  }
+}
+
+std::vector<uint8_t> BlockBitmap::SnapshotBits() const {
+  std::shared_lock<std::shared_mutex> lock(mu_);
+  return bits_;
+}
+
+void BlockBitmap::MarkAllDirty() {
+  std::lock_guard<std::shared_mutex> lock(mu_);
+  std::fill(dirty_blocks_.begin(), dirty_blocks_.end(), true);
+}
+
 bool BlockBitmap::IsAllocated(uint64_t block) const {
   assert(block < layout_.num_blocks);
   std::shared_lock<std::shared_mutex> lock(mu_);

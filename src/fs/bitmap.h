@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <shared_mutex>
+#include <utility>
 #include <vector>
 
 #include "cache/buffer_cache.h"
@@ -55,8 +56,28 @@ class BlockBitmap {
   // Writes dirty bitmap blocks back through `cache`.
   Status Store(BufferCache* cache);
 
+  // Snapshots the after-image of every dirty bitmap device block into
+  // `out` (appending) and clears the dirty flags — the journal's txn
+  // commit consumes this instead of Store, then checkpoints the images
+  // through the cache itself. The snapshot is taken under the exclusive
+  // lock, so it is a consistent point-in-time image even while hidden
+  // sessions allocate concurrently (their half-done claims may ride along
+  // as allocated-but-unreferenced bits, which the StegFS design already
+  // absorbs as abandoned blocks).
+  void CollectDirty(std::vector<std::pair<uint64_t, std::vector<uint8_t>>>*
+                        out);
+  // Re-marks EVERY bitmap device block dirty. The journal's commit-
+  // failure path uses it: CollectDirty consumed the dirty flags, and if
+  // the record never committed those blocks must reach disk through the
+  // ordinary Store path instead of silently diverging.
+  void MarkAllDirty();
+
   bool IsAllocated(uint64_t block) const;
   uint64_t free_count() const;
+  // One-shot copy of the raw bit array under a single lock hold — for
+  // whole-volume scans (fsck) that would otherwise take the lock once
+  // per block. Bit b of the copy is (bits[b/8] >> (b%8)) & 1.
+  std::vector<uint8_t> SnapshotBits() const;
   uint64_t total_count() const { return layout_.num_blocks; }
 
   // Marks a specific block. Fails with FailedPrecondition on double

@@ -156,8 +156,9 @@ class EncryptedBlockStore : public BlockStore {
   Status WriteBlocks(const uint64_t* blocks, size_t n,
                      const uint8_t* data) override {
     const size_t bs = cache_->block_size();
-    std::vector<uint8_t> tmp(data, data + n * bs);
-    if (cache_->async_engine() == nullptr || n <= kAsyncSubBatch) {
+    AsyncBlockDevice* engine = cache_->async_engine();
+    if (engine == nullptr || n <= kAsyncSubBatch) {
+      std::vector<uint8_t> tmp(data, data + n * bs);
       std::vector<crypto::CryptSpan> spans(n);
       for (size_t i = 0; i < n; ++i) {
         spans[i] = {blocks[i], tmp.data() + i * bs};
@@ -166,24 +167,43 @@ class EncryptedBlockStore : public BlockStore {
       return cache_->WriteBatch(blocks, n, tmp.data());
     }
     // Pipeline the mirror image: encrypt sub-batch i+1 while sub-batch
-    // i's device write is in flight.
+    // i's device write is in flight. Each sub-batch stages its
+    // ciphertext in a leased span of the engine's registered arena when
+    // one is available — the kernel then skips the per-op page pin
+    // (IORING_OP_WRITE_FIXED) — falling back to heap staging when the
+    // pool is exhausted or the engine has no arena.
+    std::vector<uint8_t> tmp;  // heap fallback, sized lazily
     std::vector<crypto::CryptSpan> spans(kAsyncSubBatch);
-    std::vector<CacheIoTicket> tickets;
-    tickets.reserve((n + kAsyncSubBatch - 1) / kAsyncSubBatch);
+    struct Staged {
+      CacheIoTicket ticket;
+      uint8_t* arena_span = nullptr;
+    };
+    std::vector<Staged> staged;
+    staged.reserve((n + kAsyncSubBatch - 1) / kAsyncSubBatch);
     for (size_t off = 0; off < n; off += kAsyncSubBatch) {
       const size_t count = std::min(n - off, kAsyncSubBatch);
+      uint8_t* span = engine->AcquireArenaSpan(count);
+      uint8_t* stage = span;
+      if (stage == nullptr) {
+        if (tmp.empty()) tmp.resize(n * bs);
+        stage = tmp.data() + off * bs;
+      }
+      std::memcpy(stage, data + off * bs, count * bs);
       for (size_t i = 0; i < count; ++i) {
-        spans[i] = {blocks[off + i], tmp.data() + (off + i) * bs};
+        spans[i] = {blocks[off + i], stage + i * bs};
       }
       crypter_->EncryptBlocks(spans.data(), count, bs);
-      tickets.push_back(
-          cache_->WriteBatchAsync(blocks + off, count, tmp.data() + off * bs));
+      Staged s;
+      s.arena_span = span;
+      s.ticket = cache_->WriteBatchAsync(blocks + off, count, stage);
+      staged.push_back(std::move(s));
     }
-    // Wait ALL before `tmp` dies; first error wins.
+    // Wait ALL before any staging memory dies; first error wins.
     Status first;
-    for (CacheIoTicket& t : tickets) {
-      Status s = t.Wait();
-      if (first.ok() && !s.ok()) first = s;
+    for (Staged& s : staged) {
+      Status st = s.ticket.Wait();
+      if (first.ok() && !st.ok()) first = st;
+      if (s.arena_span != nullptr) engine->ReleaseArenaSpan(s.arena_span);
     }
     return first;
   }
@@ -196,6 +216,42 @@ class EncryptedBlockStore : public BlockStore {
  private:
   BufferCache* cache_;
   const crypto::BlockCrypter* crypter_;
+};
+
+// Forwards to an inner store, appending the block number of every write
+// to a caller-owned sink. PlainFs wraps its directory mutations with one
+// so the journal transaction can capture directory data blocks (their
+// in-place rewrites must commit atomically with the bitmap and inode
+// images; see src/journal/journal.h). Reads pass straight through.
+class RecordingStore : public BlockStore {
+ public:
+  RecordingStore(BlockStore* inner, std::vector<uint64_t>* sink)
+      : inner_(inner), sink_(sink) {}
+
+  uint32_t block_size() const override { return inner_->block_size(); }
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    return inner_->ReadBlock(block, buf);
+  }
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    sink_->push_back(block);
+    return inner_->WriteBlock(block, buf);
+  }
+  Status ReadBlocks(const uint64_t* blocks, size_t n,
+                    uint8_t* out) override {
+    return inner_->ReadBlocks(blocks, n, out);
+  }
+  Status WriteBlocks(const uint64_t* blocks, size_t n,
+                     const uint8_t* data) override {
+    sink_->insert(sink_->end(), blocks, blocks + n);
+    return inner_->WriteBlocks(blocks, n, data);
+  }
+  void Prefetch(const uint64_t* blocks, size_t n) override {
+    inner_->Prefetch(blocks, n);
+  }
+
+ private:
+  BlockStore* inner_;
+  std::vector<uint64_t>* sink_;
 };
 
 class BlockAllocator {

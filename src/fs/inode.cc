@@ -122,6 +122,22 @@ Status InodeTable::PersistAll() {
   return Status::OK();
 }
 
+void InodeTable::CollectDirty(
+    std::vector<std::pair<uint64_t, std::vector<uint8_t>>>* out) {
+  const uint32_t per_block = InodesPerBlock();
+  for (uint64_t b = 0; b < layout_.inode_table_blocks; ++b) {
+    if (!dirty_blocks_[b]) continue;
+    std::vector<uint8_t> image(layout_.block_size, 0);
+    for (uint32_t i = 0; i < per_block; ++i) {
+      uint64_t ino = b * per_block + i;
+      if (ino >= layout_.num_inodes) break;
+      inodes_[ino].EncodeTo(image.data() + i * kInodeSize);
+    }
+    out->emplace_back(layout_.inode_table_start + b, std::move(image));
+    dirty_blocks_[b] = false;
+  }
+}
+
 uint32_t InodeTable::used_count() const {
   uint32_t used = 0;
   for (const Inode& ino : inodes_) {

@@ -8,7 +8,9 @@
 #ifndef STEGFS_FS_INODE_H_
 #define STEGFS_FS_INODE_H_
 
+#include <algorithm>
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "cache/buffer_cache.h"
@@ -71,6 +73,16 @@ class InodeTable {
   Status Persist(uint32_t ino);
   // Writes every dirty inode block.
   Status PersistAll();
+  // Snapshots the after-image of every dirty inode-table device block
+  // into `out` (appending) and clears the dirty flags (the journal's txn
+  // commit path; see BlockBitmap::CollectDirty).
+  void CollectDirty(
+      std::vector<std::pair<uint64_t, std::vector<uint8_t>>>* out);
+  // Re-marks every inode-table block dirty (the journal commit-failure
+  // path; see BlockBitmap::MarkAllDirty).
+  void MarkAllDirty() {
+    std::fill(dirty_blocks_.begin(), dirty_blocks_.end(), true);
+  }
 
   // Number of in-use inodes (for stats/experiments).
   uint32_t used_count() const;

@@ -51,6 +51,10 @@ Status Superblock::EncodeTo(uint8_t* buf, size_t size) const {
   EncodeFixed64(p, steg.dummy_file_avg_bytes);
   p += 8;
   std::memcpy(p, dummy_seed.data(), dummy_seed.size());
+  p += dummy_seed.size();
+  EncodeFixed64(p, journal_start);
+  p += 8;
+  EncodeFixed32(p, journal_blocks);
   return Status::OK();
 }
 
@@ -88,6 +92,11 @@ StatusOr<Superblock> Superblock::DecodeFrom(const uint8_t* buf, size_t size) {
   sb.steg.dummy_file_avg_bytes = DecodeFixed64(p);
   p += 8;
   std::memcpy(sb.dummy_seed.data(), p, sb.dummy_seed.size());
+  p += sb.dummy_seed.size();
+  // Pre-journal volumes carry zeros here (no journal region).
+  sb.journal_start = DecodeFixed64(p);
+  p += 8;
+  sb.journal_blocks = DecodeFixed32(p);
 
   if (sb.block_size < 512 || (sb.block_size & (sb.block_size - 1)) != 0) {
     return Status::Corruption("superblock has invalid block size");
@@ -98,6 +107,11 @@ StatusOr<Superblock> Superblock::DecodeFrom(const uint8_t* buf, size_t size) {
   Layout l = sb.ComputeLayout();
   if (l.data_start >= sb.num_blocks) {
     return Status::Corruption("metadata regions exceed volume size");
+  }
+  if (sb.journal_blocks != 0 &&
+      (sb.journal_start < l.data_start ||
+       sb.journal_start + sb.journal_blocks > sb.num_blocks)) {
+    return Status::Corruption("journal region outside the data region");
   }
   return sb;
 }

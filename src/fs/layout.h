@@ -74,6 +74,15 @@ struct Superblock {
   // the paper concedes (section 3.1: dummy files "could be vulnerable to an
   // attacker with administrator privileges").
   std::array<uint8_t, 32> dummy_seed = {};
+  // Write-ahead journal ring: `journal_blocks` blocks starting at
+  // `journal_start` (inside the data region, bitmap-marked at format).
+  // 0/0 = no journal region (every pre-journal volume decodes this way —
+  // the fields live in the superblock's zero padding). The region's
+  // location is public, like all plain-FS metadata: at rest it holds only
+  // scrub noise, and hidden-level journal state never enters it (see
+  // docs/ARCHITECTURE.md "Journal & recovery").
+  uint64_t journal_start = 0;
+  uint32_t journal_blocks = 0;
 
   Layout ComputeLayout() const {
     return Layout::Compute(block_size, num_blocks, num_inodes);

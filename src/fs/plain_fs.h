@@ -32,6 +32,8 @@
 #include "fs/file_io.h"
 #include "fs/inode.h"
 #include "fs/layout.h"
+#include "journal/journal.h"
+#include "journal/recovery.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -46,6 +48,11 @@ struct FormatOptions {
   // Set by StegFS::Format after random-filling the volume.
   bool steg_formatted = false;
   std::array<uint8_t, 32> dummy_seed = {};
+  // Write-ahead journal ring size in blocks (0 = no journal region — the
+  // historical format, and what every pre-journal volume decodes as).
+  // The region is carved from the front of the data region and bitmap-
+  // marked like metadata. Mounting with Durability::kJournal requires it.
+  uint32_t journal_blocks = 0;
 };
 
 // Which async I/O engine a mount attaches to its buffer cache (see
@@ -62,6 +69,19 @@ enum class IoEngine {
   // io_uring when attachable (FileBlockDevice + capable kernel), else the
   // thread-pool fallback. What the C API mounts use.
   kAuto,
+};
+
+// Crash-consistency level of a mount.
+enum class Durability {
+  // Historical behavior: metadata lives in memory until Flush, nothing is
+  // transactional. The default — every seeded test pins this path.
+  kNone,
+  // Every metadata-mutating operation commits through the write-ahead
+  // journal (ordered data flush -> record -> checkpoint -> scrub; see
+  // src/journal/journal.h) and hidden objects use the dual-header commit
+  // protocol. Requires a volume formatted with a journal region and the
+  // kWriteBack cache policy (write-through defeats the ordered hold-back).
+  kJournal,
 };
 
 struct MountOptions {
@@ -85,6 +105,13 @@ struct MountOptions {
   // Async engine for the data path (hidden extents pipeline decrypt with
   // in-flight device I/O through it; see block_store.h).
   IoEngine io_engine = IoEngine::kSync;
+  // Crash-consistency level (see Durability).
+  Durability durability = Durability::kNone;
+  // When false, downgrades the device's Flush() from fdatasync to
+  // page-cache-only (FileBlockDevice only; in-memory devices ignore it).
+  // The throughput benches opt out so PR 4-comparable numbers don't pay
+  // an fdatasync per flush; journal BARRIERS (Sync) are never affected.
+  bool durable_flush = true;
 };
 
 struct FileInfo {
@@ -135,6 +162,7 @@ class PlainFs {
   Status Flush();
 
   // --- Introspection & StegFS integration ------------------------------
+  BlockDevice* device() { return device_; }
   const Superblock& superblock() const { return super_; }
   const Layout& layout() const { return layout_; }
   BlockBitmap* bitmap() { return &bitmap_; }
@@ -155,9 +183,26 @@ class PlainFs {
     return io_engine_ ? io_engine_->engine_name() : "sync";
   }
 
+  // The mount's journal (nullptr on Durability::kNone mounts) and what
+  // mount-time recovery found/replayed.
+  journal::WriteAheadJournal* journal() { return journal_.get(); }
+  bool durable() const { return journal_ != nullptr; }
+  const journal::RecoveryReport& recovery_report() const {
+    return recovery_report_;
+  }
+
+  // Online scrubber: cross-checks the bitmap against plain reachability
+  // (repairing the dangerous direction: referenced-but-unmarked blocks),
+  // counts unaccounted allocations (abandoned + dummy + hidden + crash
+  // leaks — indistinguishable by design, so reported, never reclaimed),
+  // and verifies the journal ring holds no live records (scrubbing any
+  // stragglers). Safe on a live volume; takes the metadata lock.
+  Status Fsck(journal::FsckReport* out);
+
   // Marks every block reachable from the central directory (data + indirect
   // blocks of every inode) in `referenced` (sized num_blocks). Metadata
-  // region blocks are also marked. Backup uses the complement of this set.
+  // region blocks are also marked, as is the journal region. Backup uses
+  // the complement of this set.
   Status CollectReferencedBlocks(std::vector<uint8_t>* referenced);
 
   // Persists bitmap + inode table through the cache (no device flush).
@@ -174,6 +219,14 @@ class PlainFs {
       return fs_->bitmap_.AllocateByPolicy(fs_->options_.policy, &fs_->rng_);
     }
     Status FreeBlock(uint64_t block) override {
+      // Inside a journal transaction the free is DEFERRED to commit:
+      // clearing the bit early would let this same operation reallocate
+      // and overwrite a block the committed on-disk state still
+      // references — the exact in-place tear the journal exists to stop.
+      if (fs_->txn_active_) {
+        fs_->txn_pending_frees_.push_back(block);
+        return Status::OK();
+      }
       return fs_->bitmap_.Free(block);
     }
 
@@ -185,12 +238,39 @@ class PlainFs {
           const MountOptions& options,
           std::unique_ptr<AsyncBlockDevice> engine);
 
+  // RAII journal transaction for one metadata-mutating operation (no-op
+  // on kNone mounts). Construction arms the mapper's meta recorder and
+  // the deferred-free list; Commit() captures the after-images (bitmap +
+  // inode-table dirty blocks, recorded directory/pointer blocks) and runs
+  // the journal's ordered commit; destruction without Commit aborts,
+  // applying deferred frees directly (legacy semantics for failed ops).
+  class TxnGuard {
+   public:
+    explicit TxnGuard(PlainFs* fs);
+    ~TxnGuard();
+    Status Commit();
+    // Directory mutations route their store through this so directory
+    // data blocks land in the record (plain store when not journaling).
+    BlockStore* dir_store();
+
+   private:
+    PlainFs* fs_;
+    RecordingStore recorder_;
+    bool committed_ = false;
+  };
+  friend class TxnGuard;
+
+  void BeginTxnLocked();
+  Status CommitTxnLocked();
+  void AbortTxnLocked();
+
   // Splits "/a/b/c" into components; rejects empty/relative paths.
   static StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
   // *Locked variants assume mu_ is already held (public methods compose
   // from these instead of re-locking).
-  Status CreateFileLocked(const std::string& path);
+  Status CreateFileLocked(const std::string& path, BlockStore* dir_store);
   Status PersistMetaLocked();
+  Status CollectReferencedBlocksLocked(std::vector<uint8_t>* referenced);
   bool ExistsLocked(const std::string& path);
   // Inode of the directory containing `path` plus the leaf name.
   StatusOr<std::pair<uint32_t, std::string>> ResolveParent(
@@ -212,6 +292,13 @@ class PlainFs {
   Directory dir_ops_;
   PolicyAllocator allocator_;
   Xoshiro rng_;
+  // Journal state (kJournal mounts only). Txn fields are guarded by mu_
+  // (every transaction runs under the metadata lock).
+  std::unique_ptr<journal::WriteAheadJournal> journal_;
+  journal::RecoveryReport recovery_report_;
+  bool txn_active_ = false;
+  std::vector<uint64_t> txn_meta_blocks_;     // dir data + pointer blocks
+  std::vector<uint64_t> txn_pending_frees_;   // deferred until commit
   // Declared last: the pool's tasks touch cache_, so it must be drained
   // and joined (destroyed) before the cache goes away.
   std::unique_ptr<concurrency::ThreadPool> prefetch_pool_;

@@ -1,0 +1,312 @@
+#include "journal/journal.h"
+
+#include <cassert>
+#include <cstring>
+
+#include "crypto/sha256.h"
+#include "journal/recovery.h"
+#include "util/coding.h"
+
+namespace stegfs {
+namespace journal {
+
+uint64_t ScrubSeed(const uint8_t* dummy_seed, size_t len) {
+  crypto::Sha256 h;
+  h.Update("stegfs-journal-scrub:", 21);
+  h.Update(dummy_seed, len);
+  crypto::Sha256Digest d = h.Finish();
+  uint64_t seed = 0;
+  for (int i = 0; i < 8; ++i) seed = (seed << 8) | d[i];
+  return seed;
+}
+
+void ScrubNoise(uint64_t seed, uint64_t pos, uint8_t* buf, size_t len) {
+  // Position-keyed so scrubbing any subset of the ring, in any order, at
+  // any time produces the same resting bytes.
+  Xoshiro rng(seed ^ (pos * 0x9e3779b97f4a7c15ULL) ^ 0x6a6f75726e616cULL);
+  rng.FillBytes(buf, len);
+}
+
+WriteAheadJournal::WriteAheadJournal(BlockDevice* device, BufferCache* cache,
+                                     AsyncBlockDevice* engine,
+                                     uint64_t journal_start,
+                                     uint32_t journal_blocks,
+                                     uint64_t scrub_seed)
+    : device_(device),
+      cache_(cache),
+      engine_(engine),
+      journal_start_(journal_start),
+      journal_blocks_(journal_blocks),
+      scrub_seed_(scrub_seed) {
+  assert(journal_blocks_ >= 2);
+}
+
+size_t WriteAheadJournal::MaxPayloadBlocks() const {
+  const size_t by_ring = journal_blocks_ - 1;  // descriptor takes one
+  const size_t by_targets =
+      (device_->block_size() - kDescriptorHeaderBytes) / 8;
+  return by_ring < by_targets ? by_ring : by_targets;
+}
+
+Status WriteAheadJournal::Barrier() {
+  if (engine_ != nullptr) engine_->Drain();
+  barrier_syncs_.fetch_add(1, std::memory_order_relaxed);
+  return device_->Sync();
+}
+
+Status WriteAheadJournal::WriteRing(uint64_t pos, const uint8_t* buf) {
+  return device_->WriteBlock(journal_start_ + (pos % journal_blocks_), buf);
+}
+
+Status WriteAheadJournal::Commit(
+    const std::vector<JournalEntry>& entries,
+    const std::unordered_set<uint64_t>& hold_back) {
+  if (entries.empty()) return Status::OK();
+  const uint32_t bs = device_->block_size();
+  std::lock_guard<std::mutex> lock(mu_);
+  if (failed_) {
+    return Status::FailedPrecondition(
+        "journal poisoned by an unscrubbable record; remount to recover");
+  }
+
+  if (entries.size() > MaxPayloadBlocks()) {
+    // Transaction larger than the ring: waive atomicity (per-block writes
+    // stay atomic at the device level) but keep durability ordering —
+    // data first, then metadata, each behind a barrier.
+    overflow_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    if (!hold_back.empty()) {
+      cache_->ParkBlocks(
+          std::make_shared<const std::unordered_set<uint64_t>>(hold_back));
+    }
+    Status s = cache_->WriteBackDirty(hold_back.empty() ? nullptr
+                                                        : &hold_back);
+    if (s.ok()) s = Barrier();
+    if (!hold_back.empty()) cache_->ParkBlocks(nullptr);
+    STEGFS_RETURN_IF_ERROR(s);
+    for (const JournalEntry& e : entries) {
+      STEGFS_RETURN_IF_ERROR(cache_->Write(e.block, e.image.data()));
+    }
+    STEGFS_RETURN_IF_ERROR(cache_->WriteBackDirty());
+    return Barrier();
+  }
+
+  // 1. Ordered data: everything dirty EXCEPT the metadata images we are
+  //    about to journal must be durable before the record can commit —
+  //    otherwise a committed operation could reference garbage data.
+  //    PARK the held-back blocks too: the hold_back argument only guards
+  //    this call, while a concurrent session's flush (a hidden commit
+  //    barrier, PlainFs::Flush) would otherwise push the parked images
+  //    to their home blocks before the record exists.
+  const bool parked = !hold_back.empty();
+  if (parked) {
+    cache_->ParkBlocks(
+        std::make_shared<const std::unordered_set<uint64_t>>(hold_back));
+  }
+  auto unpark = [&] {
+    if (parked) cache_->ParkBlocks(nullptr);
+  };
+  Status ordered =
+      cache_->WriteBackDirty(hold_back.empty() ? nullptr : &hold_back);
+  if (ordered.ok()) ordered = Barrier();
+  if (!ordered.ok()) {
+    unpark();
+    return ordered;
+  }
+
+  // 2. The record. Checksum over (seq, targets, payload) makes the record
+  //    self-authenticating: valid-after-crash iff every byte landed, so
+  //    the barrier below is the commit point.
+  const uint64_t seq = next_seq_++;
+  crypto::Sha256 h;
+  uint8_t tmp[8];
+  EncodeFixed64(tmp, seq);
+  h.Update(tmp, 8);
+  EncodeFixed32(tmp, static_cast<uint32_t>(entries.size()));
+  h.Update(tmp, 4);
+  for (const JournalEntry& e : entries) {
+    assert(e.image.size() == bs);
+    EncodeFixed64(tmp, e.block);
+    h.Update(tmp, 8);
+  }
+  for (const JournalEntry& e : entries) h.Update(e.image.data(), bs);
+  crypto::Sha256Digest digest = h.Finish();
+
+  std::vector<uint8_t> descriptor(bs, 0);
+  uint8_t* p = descriptor.data();
+  EncodeFixed32(p, kRecordMagic);
+  EncodeFixed32(p + 4, kRecordVersion);
+  EncodeFixed64(p + 8, seq);
+  EncodeFixed32(p + 16, static_cast<uint32_t>(entries.size()));
+  std::memcpy(p + 24, digest.data(), digest.size());
+  for (size_t i = 0; i < entries.size(); ++i) {
+    EncodeFixed64(p + kDescriptorHeaderBytes + i * 8, entries[i].block);
+  }
+  // Unused descriptor tail: noise, so a live descriptor's entropy profile
+  // stays close to the resting ring (only the structured header differs).
+  if (kDescriptorHeaderBytes + entries.size() * 8 < bs) {
+    const size_t used = kDescriptorHeaderBytes + entries.size() * 8;
+    Xoshiro filler(scrub_seed_ ^ seq);
+    filler.FillBytes(descriptor.data() + used, bs - used);
+  }
+
+  const uint64_t base = head_;
+  const size_t used_blocks = entries.size() + 1;
+  std::vector<ConstBlockIoVec> iov;
+  iov.reserve(used_blocks);
+  iov.push_back(
+      {journal_start_ + (base % journal_blocks_), descriptor.data()});
+  for (size_t i = 0; i < entries.size(); ++i) {
+    iov.push_back({journal_start_ + ((base + 1 + i) % journal_blocks_),
+                   entries[i].image.data()});
+  }
+  // The record leaves through the async engine when one is attached —
+  // staged in its registered arena, these become IORING_OP_WRITE_FIXED
+  // submissions on io_uring — else through the device directly. Either
+  // way the barrier below is what commits.
+  Status wrote;
+  bool via_engine = false;
+  if (engine_ != nullptr) {
+    uint8_t* span = engine_->AcquireArenaSpan(used_blocks);
+    if (span != nullptr) {
+      std::vector<ConstBlockIoVec> fixed_iov(used_blocks);
+      for (size_t i = 0; i < used_blocks; ++i) {
+        std::memcpy(span + i * bs, iov[i].buf, bs);
+        fixed_iov[i] = {iov[i].block, span + i * bs};
+      }
+      wrote = engine_->SubmitWrite(std::move(fixed_iov)).Wait();
+      engine_->ReleaseArenaSpan(span);
+      via_engine = true;
+    }
+  }
+  if (!via_engine) {
+    wrote = device_->WriteBlocks(iov.data(), iov.size());
+  }
+  if (wrote.ok()) wrote = Barrier();  // <- commit point
+  if (!wrote.ok()) {
+    // The record may sit half-written (or fully, un-synced) in the ring;
+    // leaving it could replay stale images over whatever later
+    // transactions do. Scrub it away — or poison the journal.
+    ScrubRecordOrPoison(base, used_blocks);
+    unpark();
+    return wrote;
+  }
+  records_committed_.fetch_add(1, std::memory_order_relaxed);
+  blocks_journaled_.fetch_add(entries.size(), std::memory_order_relaxed);
+  unpark();  // committed: concurrent flushers may now write the images
+
+  // 3. Checkpoint the images to their home locations through the cache
+  //    (the held-back blocks are already in the cache with these bytes;
+  //    rewriting is idempotent) and make them durable.
+  Status checkpoint;
+  {
+    std::vector<uint64_t> blocks(entries.size());
+    std::vector<uint8_t> data(entries.size() * bs);
+    for (size_t i = 0; i < entries.size(); ++i) {
+      blocks[i] = entries[i].block;
+      std::memcpy(data.data() + i * bs, entries[i].image.data(), bs);
+    }
+    checkpoint =
+        cache_->WriteBatch(blocks.data(), blocks.size(), data.data());
+  }
+  if (checkpoint.ok()) checkpoint = cache_->WriteBackDirty();
+  if (checkpoint.ok()) checkpoint = Barrier();
+  if (!checkpoint.ok()) {
+    // Committed but not checkpointed. The record MUST NOT outlive this
+    // transaction's status as the newest state, so scrub it here too; a
+    // remount would otherwise need revoke-style tracking to replay it
+    // safely after later commits. The images are still in the cache and
+    // reach the device through ordinary write-back.
+    ScrubRecordOrPoison(base, used_blocks);
+    return checkpoint;
+  }
+
+  // 4. Scrub: with the checkpoint durable the record is dead weight — and
+  //    a deniability liability. Re-noise its blocks (no barrier needed:
+  //    the next commit's first barrier orders the scrub before any newer
+  //    record exists, and until then the record replays idempotently).
+  //    A scrub WRITE failure, though, must poison the journal and
+  //    surface: a record we cannot kill would replay stale images over
+  //    whatever non-journaled metadata writes (the hidden path's
+  //    PersistMeta) land afterwards.
+  std::vector<uint8_t> noise(bs);
+  for (size_t i = 0; i < used_blocks; ++i) {
+    const uint64_t pos = (base + i) % journal_blocks_;
+    ScrubNoise(scrub_seed_, pos, noise.data(), bs);
+    Status s = WriteRing(pos, noise.data());
+    if (!s.ok()) {
+      failed_ = true;
+      return s;
+    }
+  }
+  scrubbed_blocks_.fetch_add(used_blocks, std::memory_order_relaxed);
+  head_ = (base + used_blocks) % journal_blocks_;
+  return Status::OK();
+}
+
+void WriteAheadJournal::ScrubRecordOrPoison(uint64_t base,
+                                            size_t used_blocks) {
+  std::vector<uint8_t> noise(device_->block_size());
+  for (size_t i = 0; i < used_blocks; ++i) {
+    const uint64_t pos = (base + i) % journal_blocks_;
+    ScrubNoise(scrub_seed_, pos, noise.data(), noise.size());
+    if (!WriteRing(pos, noise.data()).ok()) {
+      failed_ = true;
+      return;
+    }
+  }
+  if (!device_->Sync().ok()) {
+    failed_ = true;
+    return;
+  }
+  scrubbed_blocks_.fetch_add(used_blocks, std::memory_order_relaxed);
+}
+
+Status WriteAheadJournal::ScrubStaleRecords(uint64_t* live_records,
+                                            uint64_t* scrubbed_blocks) {
+  *live_records = 0;
+  *scrubbed_blocks = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t torn = 0;
+  STEGFS_ASSIGN_OR_RETURN(
+      std::vector<JournalRecord> live,
+      JournalRecovery::ScanRing(device_, journal_start_, journal_blocks_,
+                                &torn));
+  *live_records = live.size();
+  if (live.empty()) return Status::OK();
+  // A live record can only exist mid-session because a commit's own
+  // scrub failed and poisoned the journal. In every path that gets
+  // there, the record's content is REDUNDANT with the live in-memory
+  // state (the checkpoint either completed, or the failure re-marked the
+  // metadata dirty so it flows through ordinary write-back — the caller
+  // flushes current state durably before invoking this, see
+  // PlainFs::Fsck). Replaying here would write STALE images beneath the
+  // live cache; scrubbing is the correct and sufficient move.
+  std::vector<uint8_t> noise(device_->block_size());
+  for (const JournalRecord& rec : live) {
+    const size_t used = rec.entries.size() + 1;
+    for (size_t i = 0; i < used; ++i) {
+      const uint64_t pos = (rec.ring_pos + i) % journal_blocks_;
+      ScrubNoise(scrub_seed_, pos, noise.data(), noise.size());
+      STEGFS_RETURN_IF_ERROR(WriteRing(pos, noise.data()));
+      ++*scrubbed_blocks;
+    }
+  }
+  scrubbed_blocks_.fetch_add(*scrubbed_blocks, std::memory_order_relaxed);
+  STEGFS_RETURN_IF_ERROR(device_->Sync());
+  // The ring is at rest again; lift the poison so commits can resume.
+  failed_ = false;
+  return Status::OK();
+}
+
+JournalStats WriteAheadJournal::stats() const {
+  JournalStats s;
+  s.records_committed = records_committed_.load(std::memory_order_relaxed);
+  s.blocks_journaled = blocks_journaled_.load(std::memory_order_relaxed);
+  s.barrier_syncs = barrier_syncs_.load(std::memory_order_relaxed);
+  s.overflow_fallbacks = overflow_fallbacks_.load(std::memory_order_relaxed);
+  s.scrubbed_blocks = scrubbed_blocks_.load(std::memory_order_relaxed);
+  return s;
+}
+
+}  // namespace journal
+}  // namespace stegfs

@@ -1,0 +1,174 @@
+// WriteAheadJournal: the crash-consistency engine for plain-FS metadata.
+//
+// StegFS keeps hidden files alive through bookkeeping alone (bitmap
+// claims, unlisted random-placed blocks); a crash that tears a multi-step
+// metadata update can silently destroy both plain and hidden data. The
+// journal makes every plain metadata mutation atomic with physical redo
+// logging:
+//
+//   1. ORDERED DATA  - file data (everything except the held-back
+//                      metadata images) is flushed and a write barrier
+//                      (engine Drain + device Sync) makes it durable, so
+//                      a committed record never references garbage data.
+//   2. RECORD        - the after-images of every metadata block the
+//                      operation touched (bitmap blocks, inode-table
+//                      blocks, directory data blocks, indirect pointer
+//                      blocks) are written into the journal ring as ONE
+//                      self-authenticating record (descriptor + payload,
+//                      SHA-256 over the whole thing), then a barrier.
+//                      A record is committed iff it checksums — a torn
+//                      record is indistinguishable from noise and simply
+//                      never replays. This makes the barrier the commit
+//                      point with no separate commit block.
+//   3. CHECKPOINT    - the images are written to their home locations
+//                      through the cache, flushed, barrier.
+//   4. SCRUB         - the record's journal blocks are overwritten with
+//                      keyed noise. This bounds replay (at most the
+//                      newest record is ever live, so redo can never
+//                      clobber a since-reallocated block — the jbd2
+//                      "revoke" problem solved by construction) AND is
+//                      the deniability argument: the journal region at
+//                      rest is pure noise, bit-indistinguishable whether
+//                      or not hidden levels exist. Hidden-level commit
+//                      state NEVER enters this region — it rides the
+//                      dual-header protocol in core/hidden_object.h,
+//                      encrypted under the level key and chained from the
+//                      object's header, so an unopened level's journal
+//                      entries look like any other random block.
+//
+// Lock hierarchy: the journal mutex sits BELOW the PlainFs metadata lock
+// and the per-object/alloc locks, and ABOVE the bitmap rw-lock and the
+// cache shard stripes (commit flushes the cache while holding it). It is
+// the volume's commit serialization point.
+#ifndef STEGFS_JOURNAL_JOURNAL_H_
+#define STEGFS_JOURNAL_JOURNAL_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+#include <vector>
+
+#include "blockdev/async_block_device.h"
+#include "blockdev/block_device.h"
+#include "cache/buffer_cache.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace stegfs {
+namespace journal {
+
+// Descriptor-block magic. Present only while a record is live (between
+// write and post-checkpoint scrub); at rest the region holds noise.
+inline constexpr uint32_t kRecordMagic = 0x534a524e;  // "SJRN"
+inline constexpr uint32_t kRecordVersion = 1;
+// Descriptor layout: magic(4) version(4) seq(8) count(4) pad(4) sha(32),
+// then count u64 target block numbers.
+inline constexpr size_t kDescriptorHeaderBytes = 56;
+
+// One metadata block after-image.
+struct JournalEntry {
+  uint64_t block = 0;
+  std::vector<uint8_t> image;
+};
+
+// A decoded committed record (recovery's unit of replay).
+struct JournalRecord {
+  uint64_t seq = 0;
+  uint64_t ring_pos = 0;  // descriptor offset within the ring
+  std::vector<JournalEntry> entries;
+};
+
+struct JournalStats {
+  uint64_t records_committed = 0;
+  uint64_t blocks_journaled = 0;   // payload blocks written to the ring
+  uint64_t barrier_syncs = 0;      // device Sync calls issued by commits
+  uint64_t overflow_fallbacks = 0; // txns too big for the ring (direct
+                                   // checkpoint, atomicity waived)
+  uint64_t scrubbed_blocks = 0;    // ring blocks re-noised after checkpoint
+};
+
+// Derives the deterministic scrub-noise seed for a volume. Keyed by the
+// superblock's dummy seed so two volumes formatted with the same entropy
+// scrub to IDENTICAL bytes — the deniability suite compares them
+// bit-for-bit.
+uint64_t ScrubSeed(const uint8_t* dummy_seed, size_t len);
+
+// Fills `buf` with the ring's scrub noise for ring offset `pos`. The
+// noise is a pure function of (seed, pos), so scrubbing is idempotent and
+// independent of scrub order.
+void ScrubNoise(uint64_t seed, uint64_t pos, uint8_t* buf, size_t len);
+
+class WriteAheadJournal {
+ public:
+  // `device`, `cache` outlive the journal; `engine` may be null (the
+  // sync mount). `scrub_seed` comes from ScrubSeed over the superblock's
+  // dummy seed. Recovery must have already run (the ring is assumed
+  // scrubbed; head starts at 0).
+  WriteAheadJournal(BlockDevice* device, BufferCache* cache,
+                    AsyncBlockDevice* engine, uint64_t journal_start,
+                    uint32_t journal_blocks, uint64_t scrub_seed);
+
+  // Commits one atomic metadata transaction and checkpoints it:
+  // ordered-data flush (everything dirty except `hold_back`), barrier,
+  // record write, barrier (commit point), checkpoint through the cache,
+  // barrier, scrub. On an overflowing transaction (record larger than
+  // the ring) falls back to a direct synchronous checkpoint — atomic
+  // per-block but not per-transaction — and counts it.
+  Status Commit(const std::vector<JournalEntry>& entries,
+                const std::unordered_set<uint64_t>& hold_back);
+
+  // Capacity of one record's payload given the ring and block size (the
+  // descriptor consumes one ring block; its target list must also fit).
+  size_t MaxPayloadBlocks() const;
+
+  // Fsck hook: with the commit lock held (so no record is in flight),
+  // scans the ring for live records and scrubs any found — they can only
+  // be left behind by a scrub that failed mid-commit (which poisoned the
+  // journal). The caller must have flushed current metadata durably
+  // first (the record's content is redundant with live state by then —
+  // see PlainFs::Fsck); on success the poison is lifted. Reports how
+  // many records were live and how many ring blocks were re-noised.
+  Status ScrubStaleRecords(uint64_t* live_records, uint64_t* scrubbed_blocks);
+
+  JournalStats stats() const;
+  uint32_t ring_blocks() const { return journal_blocks_; }
+  uint64_t ring_start() const { return journal_start_; }
+
+ private:
+  // Full write barrier: drain the async engine (both engines honor the
+  // contract via Drain), then device Sync.
+  Status Barrier();
+  // Writes one block directly to the device at ring offset pos (mod ring).
+  Status WriteRing(uint64_t pos, const uint8_t* buf);
+  // Failure path after a record reached the ring: scrub it so it can
+  // never replay over state that later transactions move past. If even
+  // the scrub fails, poison the journal — every further Commit refuses,
+  // which keeps the invariant "a live record is always the newest state"
+  // that both mount recovery and the fsck scrubber rely on.
+  void ScrubRecordOrPoison(uint64_t base, size_t used_blocks);
+
+  BlockDevice* device_;
+  BufferCache* cache_;
+  AsyncBlockDevice* engine_;
+  uint64_t journal_start_;
+  uint32_t journal_blocks_;
+  uint64_t scrub_seed_;
+
+  std::mutex mu_;  // the commit lock (see lock hierarchy above)
+  uint64_t next_seq_ = 1;
+  uint64_t head_ = 0;   // next ring offset to write
+  bool failed_ = false;  // poisoned: a record could not be scrubbed
+
+  std::atomic<uint64_t> records_committed_{0};
+  std::atomic<uint64_t> blocks_journaled_{0};
+  std::atomic<uint64_t> barrier_syncs_{0};
+  std::atomic<uint64_t> overflow_fallbacks_{0};
+  std::atomic<uint64_t> scrubbed_blocks_{0};
+};
+
+}  // namespace journal
+}  // namespace stegfs
+
+#endif  // STEGFS_JOURNAL_JOURNAL_H_

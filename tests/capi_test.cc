@@ -103,6 +103,30 @@ TEST_F(CapiTest, StatsReportCacheAndSpace) {
   EXPECT_EQ(steg_stats(vol_, nullptr), STEG_ERR_INVALID);
 }
 
+TEST_F(CapiTest, DurableMountJournalsAndFsckRunsClean) {
+  // steg_mkfs formats a journal region, so the mount is durable and
+  // every plain write commits through the write-ahead journal.
+  stegfs_stats s;
+  ASSERT_EQ(steg_stats(vol_, &s), STEG_OK);
+  EXPECT_STREQ(s.durability, "journal");
+  ASSERT_EQ(steg_plain_write(vol_, "/durable.txt", "committed", 9), STEG_OK);
+  ASSERT_EQ(steg_stats(vol_, &s), STEG_OK);
+  EXPECT_GT(s.journal_records, 0u);
+  EXPECT_GT(s.journal_barrier_syncs, 0u);
+  EXPECT_EQ(s.journal_overflows, 0u);
+
+  stegfs_fsck_report report;
+  ASSERT_EQ(steg_fsck(vol_, &report), STEG_OK);
+  EXPECT_EQ(report.clean, 1);
+  EXPECT_EQ(report.repaired_refs, 0u);
+  EXPECT_EQ(report.journal_live_records, 0u);  // ring at rest
+  EXPECT_GT(report.referenced_blocks, 0u);
+  EXPECT_GT(report.unaccounted_blocks, 0u);  // dummies + abandoned at least
+
+  EXPECT_EQ(steg_fsck(nullptr, &report), STEG_ERR_INVALID);
+  EXPECT_EQ(steg_fsck(vol_, nullptr), STEG_ERR_INVALID);
+}
+
 TEST_F(CapiTest, StatsReportBatchedDataPath) {
   // Push a multi-block extent through a hidden object so the batched
   // read/write paths and the vectored device path are all exercised.

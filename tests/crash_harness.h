@@ -1,0 +1,173 @@
+// Crash-injection harness: records a device's write stream (with its
+// barrier points), then materializes arbitrary crash states from it.
+//
+// Model: the host may reorder or drop any write that has not been
+// followed by a completed barrier (BlockDevice::Sync), and may tear the
+// bytes of a single in-flight block write. Only Sync is a barrier —
+// Flush is deliberately NOT (stricter than a durable FileBlockDevice,
+// whose Flush is fdatasync; a file system correct under this model is
+// correct under the weaker real one).
+//
+// A crash state for prefix k is therefore:
+//   - every write before the last barrier completed at or before k,
+//   - plus an arbitrary (seeded) subset of the writes between that
+//     barrier and k,
+//   - with optionally ONE applied post-barrier write torn (a prefix of
+//     its new bytes over the old ones — sub-block granularity, which is
+//     what makes single-block commit records need checksums).
+#ifndef STEGFS_TESTS_CRASH_HARNESS_H_
+#define STEGFS_TESTS_CRASH_HARNESS_H_
+
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "blockdev/block_device.h"
+#include "blockdev/mem_block_device.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace stegfs {
+namespace test {
+
+class RecordingDevice : public BlockDevice {
+ public:
+  struct Event {
+    bool is_barrier = false;
+    uint64_t block = 0;
+    std::vector<uint8_t> data;  // empty for barriers
+  };
+
+  RecordingDevice(uint32_t block_size, uint64_t num_blocks)
+      : inner_(block_size, num_blocks) {}
+
+  uint32_t block_size() const override { return inner_.block_size(); }
+  uint64_t num_blocks() const override { return inner_.num_blocks(); }
+
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    return inner_.ReadBlock(block, buf);
+  }
+  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (recording_) {
+        Event e;
+        e.block = block;
+        e.data.assign(buf, buf + inner_.block_size());
+        log_.push_back(std::move(e));
+      }
+    }
+    return inner_.WriteBlock(block, buf);
+  }
+  // No vectored override: the base-class loop funnels every block through
+  // WriteBlock, so the log sees individual block writes in order.
+
+  Status Flush() override { return inner_.Flush(); }  // NOT a barrier
+  Status Sync() override {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (recording_) {
+      Event e;
+      e.is_barrier = true;
+      log_.push_back(std::move(e));
+    }
+    return Status::OK();
+  }
+
+  // Snapshots the current device image as the crash baseline and starts
+  // (re)recording from an empty log.
+  void StartRecording() {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t bs = inner_.block_size();
+    snapshot_.resize(inner_.num_blocks() * static_cast<size_t>(bs));
+    for (uint64_t b = 0; b < inner_.num_blocks(); ++b) {
+      (void)inner_.ReadBlock(b, snapshot_.data() + b * bs);
+    }
+    log_.clear();
+    recording_ = true;
+  }
+
+  size_t event_count() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return log_.size();
+  }
+
+  // Builds the crash-state image for `prefix` events (see file comment).
+  // subset_seed == 0 applies every pre-prefix write (pure prefix replay);
+  // any other seed drops a pseudo-random subset of the post-barrier tail.
+  // `torn` tears the last applied post-barrier write at a seeded split.
+  std::vector<uint8_t> Materialize(size_t prefix, uint64_t subset_seed,
+                                   bool torn) const {
+    std::lock_guard<std::mutex> lock(mu_);
+    const uint32_t bs = inner_.block_size();
+    std::vector<uint8_t> image = snapshot_;
+    if (prefix > log_.size()) prefix = log_.size();
+
+    size_t barrier = 0;  // first index NOT covered by a completed barrier
+    for (size_t i = 0; i < prefix; ++i) {
+      if (log_[i].is_barrier) barrier = i + 1;
+    }
+    // Decide which in-flight (post-barrier) writes reached the platter.
+    Xoshiro rng(subset_seed == 0 ? 1 : subset_seed);
+    std::vector<bool> applied(prefix, false);
+    size_t last_inflight = prefix;  // sentinel: none
+    for (size_t i = 0; i < prefix; ++i) {
+      if (log_[i].is_barrier) continue;
+      const bool durable_zone = i < barrier;
+      const bool keep =
+          durable_zone || subset_seed == 0 || !rng.Bernoulli(0.5);
+      applied[i] = keep;
+      if (keep && !durable_zone) last_inflight = i;
+    }
+    for (size_t i = 0; i < prefix; ++i) {
+      if (!applied[i]) continue;
+      const Event& e = log_[i];
+      std::memcpy(image.data() + e.block * bs, e.data.data(), bs);
+    }
+    if (torn && last_inflight < prefix) {
+      // Tear the last in-flight write: keep only a prefix of its new
+      // bytes; the tail reverts to what the block held without it —
+      // rebuilt by replaying every other applied write.
+      const Event& victim = log_[last_inflight];
+      std::vector<uint8_t> without(snapshot_.data() + victim.block * bs,
+                                   snapshot_.data() + (victim.block + 1) * bs);
+      for (size_t i = 0; i < prefix; ++i) {
+        if (!applied[i] || i == last_inflight) continue;
+        const Event& e = log_[i];
+        if (e.block == victim.block) {
+          std::memcpy(without.data(), e.data.data(), bs);
+        }
+      }
+      const size_t split = 1 + rng.Uniform(bs - 1);
+      std::memcpy(image.data() + victim.block * bs + split,
+                  without.data() + split, bs - split);
+    }
+    return image;
+  }
+
+  MemBlockDevice* inner() { return &inner_; }
+
+ private:
+  mutable std::mutex mu_;
+  MemBlockDevice inner_;
+  bool recording_ = false;
+  std::vector<uint8_t> snapshot_;
+  std::vector<Event> log_;
+};
+
+// Clones an image into a fresh in-memory device.
+inline std::unique_ptr<MemBlockDevice> DeviceFromImage(
+    const std::vector<uint8_t>& image, uint32_t block_size) {
+  const uint64_t num_blocks = image.size() / block_size;
+  auto dev = std::make_unique<MemBlockDevice>(block_size, num_blocks);
+  for (uint64_t b = 0; b < num_blocks; ++b) {
+    (void)dev->WriteBlock(b, image.data() + b * block_size);
+  }
+  return dev;
+}
+
+}  // namespace test
+}  // namespace stegfs
+
+#endif  // STEGFS_TESTS_CRASH_HARNESS_H_

@@ -38,6 +38,16 @@ class FaultyDevice : public BlockDevice {
     return inner_.WriteBlock(block, buf);
   }
   Status Flush() override { return inner_.Flush(); }
+  Status Sync() override {
+    if (fail_syncs_.load(std::memory_order_acquire) && CountDown()) {
+      return Status::IOError("injected sync fault");
+    }
+    syncs_.fetch_add(1, std::memory_order_relaxed);
+    return inner_.Sync();
+  }
+  uint64_t sync_count() const override {
+    return syncs_.load(std::memory_order_relaxed);
+  }
 
   // Fail every I/O of the chosen kind after `after` more operations.
   void FailReads(uint64_t after = 0) {
@@ -48,9 +58,14 @@ class FaultyDevice : public BlockDevice {
     countdown_.store(after, std::memory_order_relaxed);
     fail_writes_.store(true, std::memory_order_release);
   }
+  void FailSyncs(uint64_t after = 0) {
+    countdown_.store(after, std::memory_order_relaxed);
+    fail_syncs_.store(true, std::memory_order_release);
+  }
   void Heal() {
     fail_reads_.store(false, std::memory_order_release);
     fail_writes_.store(false, std::memory_order_release);
+    fail_syncs_.store(false, std::memory_order_release);
   }
 
   MemBlockDevice* inner() { return &inner_; }
@@ -71,7 +86,9 @@ class FaultyDevice : public BlockDevice {
   MemBlockDevice inner_;
   std::atomic<bool> fail_reads_{false};
   std::atomic<bool> fail_writes_{false};
+  std::atomic<bool> fail_syncs_{false};
   std::atomic<uint64_t> countdown_{0};
+  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace test
