@@ -19,6 +19,10 @@
 // async 1 MiB hidden reads >= 1.5x the synchronous batch path — the
 // latter enforced on >= 2 core hosts only (on one core there is no
 // parallelism for the engine to recover; the number is still reported).
+// Phase E covers the redundancy path: the SIMD GF(256) parity encoder
+// must be >= 4x the scalar backend on AVX2 hosts (mirroring the AES tier
+// check), and 1 MiB sequential hidden reads through a kIda(3,4) object
+// must stay within 35% of an unprotected object.
 #include <chrono>
 #include <cstdio>
 #include <cstring>
@@ -30,6 +34,8 @@
 #include "blockdev/file_block_device.h"
 #include "core/stegfs.h"
 #include "crypto/aes.h"
+#include "crypto/gf256.h"
+#include "crypto/gf256_simd.h"
 
 using namespace stegfs;
 
@@ -44,6 +50,8 @@ constexpr double kTarget = 2.0;
 constexpr double kAsyncTarget = 1.5;
 constexpr uint32_t kReadaheadWindows[] = {0, 8, 16, 32};
 constexpr uint32_t kDefaultReadahead = 16;
+constexpr double kGfTarget = 4.0;        // SIMD vs scalar GF(256) encode
+constexpr double kIdaReadTarget = 0.65;  // kIda(3,4) vs kNone 1 MiB reads
 
 const char* kUid = "bench";
 const char* kObj = "seqfile";
@@ -61,7 +69,7 @@ double Mbps(double seconds) {
 
 // Reads the whole file in `chunk`-sized calls; returns MB/s of the best of
 // kPasses cold-cache passes.
-double TimedRead(StegFs* fs, size_t chunk) {
+double TimedReadObj(StegFs* fs, const char* obj, size_t chunk) {
   double best = 0;
   for (int p = 0; p < kPasses; ++p) {
     fs->plain()->cache()->DropAll();
@@ -69,11 +77,15 @@ double TimedRead(StegFs* fs, size_t chunk) {
     double t0 = Now();
     for (size_t off = 0; off < kFileBytes; off += chunk) {
       out.clear();
-      if (!fs->HiddenRead(kUid, kObj, off, chunk, &out).ok()) return -1;
+      if (!fs->HiddenRead(kUid, obj, off, chunk, &out).ok()) return -1;
     }
     best = std::max(best, Mbps(Now() - t0));
   }
   return best;
+}
+
+double TimedRead(StegFs* fs, size_t chunk) {
+  return TimedReadObj(fs, kObj, chunk);
 }
 
 // Overwrites the whole (already allocated) file in `chunk`-sized calls;
@@ -372,6 +384,92 @@ int main(int argc, char** argv) {
     }
   }
 
+  // --- Phase E: IDA redundancy -----------------------------------------
+  // E1: the GF(256) parity encoder itself, scalar backend vs the runtime-
+  // detected SIMD tier, on a kIda(3,4)-shaped stripe (3 data blocks in,
+  // 1 Cauchy parity row out). The floor mirrors the AES tier check: on a
+  // host with AVX2 the SIMD tier must carry >= 4x the scalar throughput.
+  const crypto::GfTier best_gf_tier = crypto::ActiveGfTier();
+  const char* gf_tier_name = crypto::GfTierName();
+  const bool gf_enforced = __builtin_cpu_supports("avx2") != 0 &&
+                           best_gf_tier != crypto::GfTier::kScalar;
+  double gf_scalar_mbps = 0, gf_simd_mbps = 0;
+  {
+    constexpr int kM = 3, kN = 4;
+    constexpr size_t kGfLen = 256 << 10;  // per data block
+    constexpr int kGfReps = 24;
+    std::vector<std::vector<uint8_t>> data(kM,
+                                           std::vector<uint8_t>(kGfLen));
+    for (int i = 0; i < kM; ++i) {
+      for (size_t j = 0; j < kGfLen; ++j) {
+        data[i][j] = static_cast<uint8_t>(i * 131 + j * 7 + 1);
+      }
+    }
+    std::vector<uint8_t> parity(kGfLen);
+    const uint8_t* blocks[kM] = {data[0].data(), data[1].data(),
+                                 data[2].data()};
+    uint8_t* parity_out[1] = {parity.data()};
+    auto timed_encode = [&](crypto::GfTier tier) -> double {
+      if (!crypto::SetGfTier(tier)) return 0;
+      double best = 0;
+      for (int p = 0; p < kPasses; ++p) {
+        double t0 = Now();
+        for (int r = 0; r < kGfReps; ++r) {
+          crypto::IdaEncodeParity(blocks, kM, kN, kGfLen, parity_out);
+        }
+        double secs = Now() - t0;
+        best = std::max(best,
+                        static_cast<double>(kM) * kGfLen * kGfReps / secs /
+                            1e6);
+      }
+      return best;
+    };
+    gf_scalar_mbps = timed_encode(crypto::GfTier::kScalar);
+    gf_simd_mbps = timed_encode(best_gf_tier);
+    crypto::SetGfTier(best_gf_tier);  // leave the process on the best tier
+  }
+  double gf_speedup = gf_scalar_mbps > 0 ? gf_simd_mbps / gf_scalar_mbps : 0;
+  bool gf_pass = !gf_enforced || gf_speedup >= kGfTarget;
+
+  // E2: the redundancy tax on the hot read path. Same mount config as the
+  // sync batch phase; one object with kIda(3,4) (every stripe carries a
+  // verified checksum + one parity share) against the unprotected object,
+  // both read at 1 MiB extents on the same mount. Healthy reads never
+  // decode — the data shares ARE the file blocks — so the gap is the
+  // checksum verification plus the stripe-map bookkeeping.
+  const char* kIdaObj = "seqfile_ida";
+  double ida_read_mbps = -1, none_read_mbps = -1;
+  uint64_t red_stripes_encoded = 0, red_shares_written = 0;
+  {
+    StegFsOptions opts;
+    opts.mount.readahead_blocks = kDefaultReadahead;
+    opts.mount.cache_shards = 1;
+    opts.mount.durable_flush = false;
+    auto fs = StegFs::Mount(device->get(), opts);
+    if (!fs.ok()) return 1;
+    if (!(*fs)->StegCreate(kUid, kIdaObj, kUak, HiddenType::kFile,
+                           RedundancyPolicy::Ida(3, 4))
+             .ok() ||
+        !(*fs)->StegConnect(kUid, kIdaObj, kUak).ok() ||
+        !(*fs)->StegConnect(kUid, kObj, kUak).ok()) {
+      return 1;
+    }
+    std::string data(kFileBytes, '\x77');
+    if (!(*fs)->HiddenWrite(kUid, kIdaObj, 0, data).ok()) return 1;
+    if (!(*fs)->Flush().ok()) return 1;
+    ida_read_mbps = TimedReadObj(fs->get(), kIdaObj, 1024 << 10);
+    none_read_mbps = TimedReadObj(fs->get(), kObj, 1024 << 10);
+    if (ida_read_mbps < 0 || none_read_mbps < 0) {
+      std::fprintf(stderr, "redundant read phase failed\n");
+      return 1;
+    }
+    red_stripes_encoded = (*fs)->redundancy_stats().stripes_encoded.load();
+    red_shares_written = (*fs)->redundancy_stats().shares_written.load();
+  }
+  double ida_read_ratio =
+      none_read_mbps > 0 ? ida_read_mbps / none_read_mbps : 0;
+  bool ida_read_pass = ida_read_ratio >= kIdaReadTarget;
+
   std::printf("\n%-10s | %14s %8s %14s %8s | %14s %8s %14s %8s\n", "extent",
               "hid rd MB/s", "speedup", "hid wr MB/s", "speedup",
               "pln rd MB/s", "speedup", "pln wr MB/s", "speedup");
@@ -455,6 +553,20 @@ int main(int argc, char** argv) {
       static_cast<unsigned long long>(journal_records),
       static_cast<unsigned long long>(fixed_ops));
 
+  std::printf(
+      "\nredundancy (GF(256) tier %s):\n"
+      "  parity encode %.1f MB/s scalar -> %.1f MB/s SIMD = %.2fx "
+      "(target >= %.1fx, %s): %s\n"
+      "  1 MiB hidden reads: kIda(3,4) %.1f MB/s vs kNone %.1f MB/s = "
+      "%.2fx (target >= %.2fx): %s\n"
+      "  stripes encoded %llu, parity shares written %llu\n",
+      gf_tier_name, gf_scalar_mbps, gf_simd_mbps, gf_speedup, kGfTarget,
+      gf_enforced ? "enforced" : "advisory without AVX2",
+      gf_pass ? "PASS" : "FAIL", ida_read_mbps, none_read_mbps,
+      ida_read_ratio, kIdaReadTarget, ida_read_pass ? "PASS" : "FAIL",
+      static_cast<unsigned long long>(red_stripes_encoded),
+      static_cast<unsigned long long>(red_shares_written));
+
   std::FILE* json = std::fopen("BENCH_io.json", "w");
   if (json != nullptr) {
     std::fprintf(json,
@@ -535,17 +647,40 @@ int main(int argc, char** argv) {
                  "    \"device_syncs\": %llu,\n"
                  "    \"records_committed\": %llu,\n"
                  "    \"fixed_buffer_ops\": %llu,\n"
-                 "    \"pass\": %s\n  }\n}\n",
+                 "    \"pass\": %s\n  },\n",
                  durable_write_mbps, durable_flush_write_mbps,
                  journal_overhead, kJournalOverheadTarget,
                  static_cast<unsigned long long>(journal_syncs),
                  static_cast<unsigned long long>(journal_records),
                  static_cast<unsigned long long>(fixed_ops),
                  journal_pass ? "true" : "false");
+    std::fprintf(json,
+                 "  \"ida\": {\n    \"gf_tier\": \"%s\",\n"
+                 "    \"gf_scalar_mbps\": %.1f,\n"
+                 "    \"gf_simd_mbps\": %.1f,\n"
+                 "    \"gf_speedup\": %.3f,\n"
+                 "    \"gf_target\": %.1f,\n    \"gf_enforced\": %s,\n"
+                 "    \"gf_pass\": %s,\n"
+                 "    \"read_ida_mbps\": %.1f,\n"
+                 "    \"read_none_mbps\": %.1f,\n"
+                 "    \"read_ratio\": %.3f,\n"
+                 "    \"read_ratio_target\": %.2f,\n"
+                 "    \"read_pass\": %s,\n"
+                 "    \"stripes_encoded\": %llu,\n"
+                 "    \"parity_shares_written\": %llu\n  }\n}\n",
+                 gf_tier_name, gf_scalar_mbps, gf_simd_mbps, gf_speedup,
+                 kGfTarget, gf_enforced ? "true" : "false",
+                 gf_pass ? "true" : "false", ida_read_mbps, none_read_mbps,
+                 ida_read_ratio, kIdaReadTarget,
+                 ida_read_pass ? "true" : "false",
+                 static_cast<unsigned long long>(red_stripes_encoded),
+                 static_cast<unsigned long long>(red_shares_written));
     std::fclose(json);
     std::printf("wrote BENCH_io.json\n");
   }
   std::remove(image.c_str());
   bench::PrintFooter();
-  return (pass && async_pass && journal_pass) ? 0 : 1;
+  return (pass && async_pass && journal_pass && gf_pass && ida_read_pass)
+             ? 0
+             : 1;
 }

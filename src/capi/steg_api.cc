@@ -9,6 +9,7 @@
 #include "core/backup.h"
 #include "core/stegfs.h"
 #include "crypto/aes.h"
+#include "crypto/gf256_simd.h"
 #include "crypto/rsa.h"
 
 using stegfs::Status;
@@ -190,6 +191,13 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->io_fixed_buffer_ops = as.fixed_buffer_ops;
   out->cache_dirty_epoch = plain->cache()->dirty_epoch();
   out->cache_dirty_blocks = plain->cache()->dirty_count();
+  out->gf_tier = stegfs::crypto::GfTierName();
+  const stegfs::RedundancyStats& rs = vol->fs->redundancy_stats();
+  out->red_stripes_encoded = rs.stripes_encoded.load();
+  out->red_shares_written = rs.shares_written.load();
+  out->red_degraded_reads = rs.degraded_reads.load();
+  out->red_shares_healed = rs.shares_healed.load();
+  out->red_verify_failures = rs.verify_failures.load();
   return STEG_OK;
 }
 
@@ -203,6 +211,11 @@ int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out) {
   out->repaired_refs = report.repaired_refs;
   out->journal_live_records = report.journal_live_records;
   out->journal_scrubbed_blocks = report.journal_scrubbed_blocks;
+  out->hidden_objects_scanned = report.hidden_objects_scanned;
+  out->hidden_stripes_checked = report.hidden_stripes_checked;
+  out->hidden_degraded_stripes = report.hidden_degraded_stripes;
+  out->hidden_healed_shares = report.hidden_healed_shares;
+  out->hidden_unrecoverable_stripes = report.hidden_unrecoverable_stripes;
   out->clean = report.clean ? 1 : 0;
   return STEG_OK;
 }
@@ -219,6 +232,35 @@ int steg_create(stegfs_volume* vol, const char* uid, const char* objname,
     return Fail(vol, Status::InvalidArgument("objtype must be 'f' or 'd'"));
   }
   return Fail(vol, vol->fs->StegCreate(uid, objname, uak, type));
+}
+
+int steg_create_redundant(stegfs_volume* vol, const char* uid,
+                          const char* objname, const char* uak, char objtype,
+                          uint32_t policy) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  stegfs::HiddenType type;
+  if (objtype == STEG_TYPE_FILE) {
+    type = stegfs::HiddenType::kFile;
+  } else if (objtype == STEG_TYPE_DIR) {
+    type = stegfs::HiddenType::kDirectory;
+  } else {
+    return Fail(vol, Status::InvalidArgument("objtype must be 'f' or 'd'"));
+  }
+  stegfs::RedundancyPolicy red;
+  const uint32_t kind = policy >> 24;
+  const uint8_t k = static_cast<uint8_t>(policy >> 8);
+  const uint8_t n = static_cast<uint8_t>(policy);
+  if (kind == 1) {
+    red = stegfs::RedundancyPolicy::Replicate(n);
+  } else if (kind == 2) {
+    red = stegfs::RedundancyPolicy::Ida(k, n);
+  } else if (policy != 0) {
+    return Fail(vol, Status::InvalidArgument("unknown redundancy policy"));
+  }
+  if (red.enabled() && !red.Valid()) {
+    return Fail(vol, Status::InvalidArgument("invalid redundancy policy"));
+  }
+  return Fail(vol, vol->fs->StegCreate(uid, objname, uak, type, red));
 }
 
 int steg_hide(stegfs_volume* vol, const char* uid, const char* pathname,

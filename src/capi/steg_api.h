@@ -117,14 +117,26 @@ typedef struct stegfs_stats {
   uint64_t io_fixed_buffer_ops;    /* registered-buffer (FIXED) uring ops */
   uint64_t cache_dirty_epoch;      /* ordered-writeback epoch counter */
   uint64_t cache_dirty_blocks;     /* dirty blocks parked in the cache */
+  /* redundancy / self-healing (all zero when no object carries a policy).
+   * gf_tier is the active GF(256) backend: "gfni", "pshufb" or
+   * "gf-scalar" (static string, stable for the process lifetime) */
+  const char* gf_tier;
+  uint64_t red_stripes_encoded;  /* parity (re)computations */
+  uint64_t red_shares_written;   /* parity share blocks written */
+  uint64_t red_degraded_reads;   /* stripes found degraded on read */
+  uint64_t red_shares_healed;    /* shares re-dispersed onto fresh blocks */
+  uint64_t red_verify_failures;  /* share checksum/bitmap verification
+                                    failures */
 } stegfs_stats;
 
 /* Fills *out; safe to call concurrently with any other operation. */
 int steg_stats(stegfs_volume* vol, stegfs_stats* out);
 
 /* Online recovery/scrub report (see docs/ARCHITECTURE.md "Journal &
- * recovery"). Hidden objects are not — cannot be — audited: that would
- * require their keys, which is the whole point. */
+ * recovery"). Unconnected hidden objects are not — cannot be — audited:
+ * that would require their keys, which is the whole point. CONNECTED
+ * objects with a redundancy policy ARE audited: fsck verifies their
+ * shares and re-disperses any it can prove lost. */
 typedef struct stegfs_fsck_report {
   uint64_t referenced_blocks;   /* reachable from plain metadata */
   uint64_t unaccounted_blocks;  /* abandoned+dummy+hidden+leaked: counted,
@@ -133,6 +145,12 @@ typedef struct stegfs_fsck_report {
   uint64_t journal_live_records;    /* records still in the ring (0 when
                                        healthy) */
   uint64_t journal_scrubbed_blocks; /* ring blocks re-noised by this run */
+  /* hidden-side scrub (connected redundant objects only) */
+  uint64_t hidden_objects_scanned;
+  uint64_t hidden_stripes_checked;
+  uint64_t hidden_degraded_stripes;     /* stripes with >=1 lost share */
+  uint64_t hidden_healed_shares;        /* shares re-dispersed */
+  uint64_t hidden_unrecoverable_stripes; /* losses beyond the policy bound */
   int clean;                    /* 1 when no repairs were needed */
 } stegfs_fsck_report;
 
@@ -146,6 +164,24 @@ int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out);
  * (objname, FAK) in the uak's directory (created on first use). */
 int steg_create(stegfs_volume* vol, const char* uid, const char* objname,
                 const char* uak, char objtype);
+
+/* Redundancy policy words for steg_create_redundant: none (the plain
+ * steg_create behavior), n-way replication (tolerates n-1 lost copies),
+ * or (k,n) information dispersal — n shares per k-block stripe, any k
+ * reconstruct, so up to n-k lost shares heal transparently. 2 <= n <= 16;
+ * for IDA additionally 2 <= k < n. */
+#define STEG_RED_NONE 0u
+#define STEG_RED_REPLICATE(n) (0x01000000u | ((uint32_t)(n) & 0xffu))
+#define STEG_RED_IDA(k, n) \
+  (0x02000000u | (((uint32_t)(k) & 0xffu) << 8) | ((uint32_t)(n) & 0xffu))
+
+/* steg_create with an extent-protection policy, fixed for the object's
+ * lifetime and persisted in its hidden header. Shares are FAK-encrypted
+ * and placed like every other hidden block, so a redundant object is
+ * indistinguishable from a non-redundant one without its key. */
+int steg_create_redundant(stegfs_volume* vol, const char* uid,
+                          const char* objname, const char* uak, char objtype,
+                          uint32_t policy);
 /* Converts the plain file/directory at `pathname` into a hidden object
  * (recursively for directories) and deletes the plain source. */
 int steg_hide(stegfs_volume* vol, const char* uid, const char* pathname,

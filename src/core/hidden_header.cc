@@ -25,7 +25,19 @@ Status HiddenHeader::EncodeTo(uint8_t* buf, size_t buf_size) const {
   std::memcpy(p, signature.data(), 32);
   p += 32;
   *p = static_cast<uint8_t>(type);
-  p += 8;  // 1 byte type + 7 pad
+  // The 7 former pad bytes now carry the redundancy policy:
+  // [kind u8][k u8][n u8][red_map_block u32]. kNone writes zeros, keeping
+  // the encoding byte-identical to pre-redundancy headers.
+  if (redundancy.enabled()) {
+    if (!redundancy.Valid()) {
+      return Status::InvalidArgument("invalid redundancy policy");
+    }
+    p[1] = static_cast<uint8_t>(redundancy.kind);
+    p[2] = redundancy.k;
+    p[3] = redundancy.n;
+    EncodeFixed32(p + 4, red_map_block);
+  }
+  p += 8;  // 1 byte type + 7 policy bytes
   EncodeFixed64(p, this->size);
   p += 8;
   EncodeFixed64(p, mtime);
@@ -64,12 +76,22 @@ StatusOr<HiddenHeader> HiddenHeader::DecodeFrom(const uint8_t* buf,
   std::memcpy(h.signature.data(), p, 32);
   p += 32;
   uint8_t type_byte = *p;
-  p += 8;
   if (type_byte != static_cast<uint8_t>(HiddenType::kFile) &&
       type_byte != static_cast<uint8_t>(HiddenType::kDirectory)) {
     return Status::Corruption("hidden header has invalid type");
   }
   h.type = static_cast<HiddenType>(type_byte);
+  if (p[1] != 0) {
+    h.redundancy.kind = static_cast<RedundancyKind>(p[1]);
+    h.redundancy.k = p[2];
+    h.redundancy.n = p[3];
+    h.red_map_block = DecodeFixed32(p + 4);
+    if (p[1] > static_cast<uint8_t>(RedundancyKind::kIda) ||
+        !h.redundancy.Valid()) {
+      return Status::Corruption("hidden header has invalid redundancy");
+    }
+  }
+  p += 8;
   h.size = DecodeFixed64(p);
   p += 8;
   h.mtime = DecodeFixed64(p);

@@ -33,6 +33,49 @@ enum class HiddenType : uint8_t {
   kDirectory = 2,  // 'd'
 };
 
+// Per-object redundancy policy (PR 6): how extents are protected against
+// the paper's central availability hazard — hidden blocks look free to
+// plain allocations and can be silently overwritten.
+enum class RedundancyKind : uint8_t {
+  kNone = 0,       // bare extents (the paper's baseline)
+  kReplicate = 1,  // n copies of every block (k == 1)
+  kIda = 2,        // Rabin dispersal: any k of n shares reconstruct
+};
+
+// Most shares a stripe can have; bounds the per-stripe map entry and keeps
+// the matrix solve tiny.
+inline constexpr uint8_t kMaxRedundancyShares = 16;
+
+struct RedundancyPolicy {
+  RedundancyKind kind = RedundancyKind::kNone;
+  uint8_t k = 1;  // data shares per stripe
+  uint8_t n = 1;  // total shares per stripe (n - k parity)
+
+  static RedundancyPolicy None() { return {}; }
+  static RedundancyPolicy Replicate(uint8_t copies) {
+    return {RedundancyKind::kReplicate, 1, copies};
+  }
+  static RedundancyPolicy Ida(uint8_t k, uint8_t n) {
+    return {RedundancyKind::kIda, k, n};
+  }
+
+  bool enabled() const { return kind != RedundancyKind::kNone; }
+  uint8_t parity() const { return enabled() ? n - k : 0; }
+  // Shares an object can lose per stripe without data loss.
+  uint8_t tolerance() const { return parity(); }
+  bool Valid() const {
+    switch (kind) {
+      case RedundancyKind::kNone:
+        return true;
+      case RedundancyKind::kReplicate:
+        return k == 1 && n >= 2 && n <= kMaxRedundancyShares;
+      case RedundancyKind::kIda:
+        return k >= 2 && n > k && n <= kMaxRedundancyShares;
+    }
+    return false;
+  }
+};
+
 // Trailing commit-protocol fields, packed at the END of the header block:
 // [seq u64][partner u32][checksum 16B] — SHA-256 (truncated) over
 // everything before the checksum. All three decode as zero from a header
@@ -56,6 +99,12 @@ struct HiddenHeader {
   // this object journals its header through; in the ANCHOR image, the
   // primary header block to restore. 0 = no anchor (non-durable object).
   uint32_t partner = 0;
+  // Redundancy policy + first block of the FAK-encrypted stripe-map chain
+  // (0 = none). Packed into the 7 former pad bytes after the type, so the
+  // layout is unchanged and pre-PR 6 headers (all-zero pad) decode as
+  // kNone.
+  RedundancyPolicy redundancy;
+  uint32_t red_map_block = 0;
 
   // Serializes into a block-size buffer (then encrypted under the FAK, so
   // the on-disk block stays indistinguishable from noise). The checksum

@@ -61,9 +61,19 @@ Status HiddenObject::WriteHeaderImage(uint64_t at_block,
   return store_.WriteBlock(at_block, buf.data());
 }
 
+void HiddenObject::AttachRedundancy() {
+  redundancy_ = std::make_unique<RedundancyManager>(
+      header_.redundancy, vol_.layout.block_size, vol_.bitmap, vol_.red_stats);
+  io_.set_redundancy(redundancy_.get());
+}
+
 StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Create(
     const HiddenVolume& vol, const std::string& physical_name,
-    const std::string& access_key, HiddenType type) {
+    const std::string& access_key, HiddenType type,
+    RedundancyPolicy redundancy) {
+  if (redundancy.enabled() && !redundancy.Valid()) {
+    return Status::InvalidArgument("invalid redundancy policy");
+  }
   std::unique_ptr<HiddenObject> obj(
       new HiddenObject(vol, physical_name, access_key));
 
@@ -107,6 +117,10 @@ StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Create(
       type == HiddenType::kDirectory ? InodeType::kDirectory
                                      : InodeType::kFile;
   obj->header_dirty_ = true;
+  if (redundancy.enabled()) {
+    obj->header_.redundancy = redundancy;
+    obj->AttachRedundancy();
+  }
 
   // Allocate the initial pool "straightaway" (paper 3.1).
   STEGFS_RETURN_IF_ERROR(obj->TopUpPool());
@@ -202,6 +216,14 @@ StatusOr<std::unique_ptr<HiddenObject>> HiddenObject::Open(
   }
 
   obj->header_.inode.size = obj->header_.size;
+  if (obj->header_.redundancy.enabled()) {
+    obj->AttachRedundancy();
+    // A corrupt/torn map chain degrades to "no coverage" inside Load (the
+    // code is systematic, data is intact); the next Sync persists a fresh
+    // chain and the next scrub rebuilds the checksums.
+    STEGFS_RETURN_IF_ERROR(
+        obj->redundancy_->Load(obj->header_.red_map_block, &obj->store_));
+  }
   return obj;
 }
 
@@ -303,7 +325,16 @@ Status HiddenObject::PoolAllocator::FreeBlock(uint64_t block) {
 
 Status HiddenObject::Read(uint64_t offset, uint64_t n, std::string* out) {
   if (removed_) return Status::FailedPrecondition("object was removed");
-  return io_.Read(header_.inode, offset, n, &store_, out);
+  if (redundancy_ == nullptr) {
+    return io_.Read(header_.inode, offset, n, &store_, out);
+  }
+  // Redundant object: verify shares against the stripe map and heal lost
+  // ones inline (a heal remaps inode pointers, hence the dirty plumbing).
+  bool dirty = false;
+  Status s = io_.ReadVerified(&header_.inode, offset, n, &store_, &allocator_,
+                              &dirty, out);
+  if (dirty || redundancy_->dirty()) header_dirty_ = true;
+  return s;
 }
 
 StatusOr<std::string> HiddenObject::ReadAll() {
@@ -367,6 +398,16 @@ Status HiddenObject::Sync() {
         vol_.cache->WriteBatch(blocks.data(), blocks.size(), noise.data()));
     unscrubbed_.clear();
   }
+  // The stripe map persists as a fresh FAK-encrypted chain BEFORE the
+  // header that references it (on durable volumes the step-1 barrier then
+  // covers both; the old chain's blocks re-enter the pool through the
+  // allocator, deferred past the commit like any freed data block).
+  if (redundancy_ != nullptr && redundancy_->dirty()) {
+    STEGFS_ASSIGN_OR_RETURN(uint32_t map_head,
+                            redundancy_->Persist(&store_, &allocator_));
+    header_.red_map_block = map_head;
+    header_dirty_ = true;
+  }
   if (!header_dirty_ && pending_bitmap_frees_.empty()) return Status::OK();
   header_.size = header_.inode.size;
   header_.mtime = header_.inode.mtime;
@@ -424,6 +465,31 @@ Status HiddenObject::Sync() {
   return Status::OK();
 }
 
+Status HiddenObject::ScrubShares(RedundancyScrubReport* report) {
+  if (removed_) return Status::FailedPrecondition("object was removed");
+  if (redundancy_ == nullptr) return Status::OK();
+  bool dirty = false;
+  RedundancyIoCtx ctx{&header_.inode, &store_, &allocator_, io_.mapper(),
+                      &dirty};
+  STEGFS_RETURN_IF_ERROR(redundancy_->Scrub(ctx, report));
+  if (dirty || redundancy_->dirty()) header_dirty_ = true;
+  return Status::OK();
+}
+
+StatusOr<std::vector<uint64_t>> HiddenObject::ShareBlocksForTesting(
+    uint64_t stripe) {
+  if (redundancy_ == nullptr) {
+    return Status::FailedPrecondition("object has no redundancy policy");
+  }
+  bool dirty = false;
+  RedundancyIoCtx ctx{&header_.inode, &store_, &allocator_, io_.mapper(),
+                      &dirty};
+  std::vector<uint64_t> out;
+  STEGFS_RETURN_IF_ERROR(
+      redundancy_->ShareBlocksForTesting(ctx, stripe, &out));
+  return out;
+}
+
 Status HiddenObject::Remove() {
   if (removed_) return Status::FailedPrecondition("object already removed");
   if (vol_.durable) {
@@ -445,6 +511,9 @@ Status HiddenObject::Remove() {
     // Reclaim everything. Frees lost to a crash from here on are leaked
     // allocated-but-unreferenced blocks — absorbed as abandoned, never
     // corruption.
+    if (redundancy_ != nullptr) {
+      STEGFS_RETURN_IF_ERROR(redundancy_->ReleaseAll(&allocator_));
+    }
     STEGFS_RETURN_IF_ERROR(
         io_.mapper()->FreeFrom(&header_.inode, 0, &store_, &allocator_));
     auto alloc = LockAlloc(vol_.alloc_mu);
@@ -471,6 +540,9 @@ Status HiddenObject::Remove() {
   // Free data + indirect blocks into the pool, then drain the entire pool
   // back to the file system. FreeFrom drives the allocator, which takes the
   // allocation lock per call — so it must not be held here yet.
+  if (redundancy_ != nullptr) {
+    STEGFS_RETURN_IF_ERROR(redundancy_->ReleaseAll(&allocator_));
+  }
   STEGFS_RETURN_IF_ERROR(
       io_.mapper()->FreeFrom(&header_.inode, 0, &store_, &allocator_));
   auto alloc = LockAlloc(vol_.alloc_mu);

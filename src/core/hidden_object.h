@@ -30,6 +30,7 @@
 #include "cache/buffer_cache.h"
 #include "core/hidden_header.h"
 #include "core/locator.h"
+#include "core/redundancy.h"
 #include "crypto/block_crypter.h"
 #include "fs/bitmap.h"
 #include "fs/block_store.h"
@@ -69,6 +70,9 @@ struct HiddenVolume {
   BlockDevice* device = nullptr;
   AsyncBlockDevice* engine = nullptr;
   bool durable = false;
+  // Volume-wide share accounting for redundant objects (may stay null:
+  // counters are then simply not kept).
+  RedundancyStats* red_stats = nullptr;
 };
 
 // Threading contract: one HiddenObject instance is used by one thread at a
@@ -79,10 +83,13 @@ struct HiddenVolume {
 class HiddenObject {
  public:
   // Creates a new hidden object. Fails with AlreadyExists if an object with
-  // the same (name, key) already exists on the volume.
+  // the same (name, key) already exists on the volume. `redundancy`
+  // selects the extent protection policy, fixed for the object's lifetime
+  // and persisted in its header.
   static StatusOr<std::unique_ptr<HiddenObject>> Create(
       const HiddenVolume& vol, const std::string& physical_name,
-      const std::string& access_key, HiddenType type);
+      const std::string& access_key, HiddenType type,
+      RedundancyPolicy redundancy = RedundancyPolicy());
 
   // Opens an existing hidden object; NotFound if (name, key) match nothing.
   static StatusOr<std::unique_ptr<HiddenObject>> Open(
@@ -100,6 +107,9 @@ class HiddenObject {
   uint32_t last_probe_count() const { return last_probes_; }
   uint32_t pool_size() const {
     return static_cast<uint32_t>(header_.free_pool.size());
+  }
+  const RedundancyPolicy& redundancy_policy() const {
+    return header_.redundancy;
   }
 
   Status Read(uint64_t offset, uint64_t n, std::string* out);
@@ -134,6 +144,19 @@ class HiddenObject {
   // overwrites the header with fresh noise so the signature is gone. The
   // object must not be used afterwards.
   Status Remove();
+
+  // Audits and heals every stripe of a redundant object (no-op for policy
+  // kNone). Called by steg_fsck's hidden-side scrub; accumulates into
+  // *report. Healing changes are persisted at the next Sync.
+  Status ScrubShares(RedundancyScrubReport* report);
+
+  // Fault-injection hooks for the loss-matrix tests: device blocks of
+  // stripe `stripe` in share order (0 = hole/unallocated), and the
+  // current stripe count.
+  StatusOr<std::vector<uint64_t>> ShareBlocksForTesting(uint64_t stripe);
+  uint64_t StripeCountForTesting() const {
+    return redundancy_ != nullptr ? redundancy_->StripeCountForTesting() : 0;
+  }
 
  private:
   class PoolAllocator : public BlockAllocator {
@@ -173,6 +196,9 @@ class HiddenObject {
   Status TopUpPoolLocked();
   Status ReleaseExcessLocked();
   uint32_t EffectivePoolMax() const;
+  // Instantiates the redundancy manager for header_.redundancy and hooks
+  // it into the data path.
+  void AttachRedundancy();
 
   HiddenVolume vol_;
   std::string physical_name_;
@@ -182,6 +208,9 @@ class HiddenObject {
   FileIo io_;
   PoolAllocator allocator_;
   HiddenHeader header_;
+  // Non-null iff header_.redundancy is enabled; owns the stripe map and
+  // implements the FileIo redundancy hook.
+  std::unique_ptr<RedundancyManager> redundancy_;
   uint64_t header_block_ = 0;
   uint64_t anchor_block_ = 0;  // durable volumes only (0 otherwise)
   uint32_t last_probes_ = 0;

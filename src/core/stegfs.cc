@@ -69,6 +69,7 @@ HiddenVolume StegFs::VolumeCtx() {
   vol.device = device_;
   vol.engine = plain_->io_engine();
   vol.durable = plain_->durable();
+  vol.red_stats = &red_stats_;
   return vol;
 }
 
@@ -254,7 +255,8 @@ Status StegFs::RewriteContainer(const std::string& uid,
 }
 
 Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
-                          const std::string& uak, HiddenType type) {
+                          const std::string& uak, HiddenType type,
+                          RedundancyPolicy redundancy) {
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
@@ -273,7 +275,7 @@ Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
   STEGFS_ASSIGN_OR_RETURN(
       std::unique_ptr<HiddenObject> obj,
       HiddenObject::Create(VolumeCtx(), PhysicalName(uid, objname), entry.fak,
-                           type));
+                           type, redundancy));
   STEGFS_RETURN_IF_ERROR(obj->Sync());
 
   HiddenDirView::Upsert(&entries, std::move(entry));
@@ -713,6 +715,39 @@ Status StegFs::MaintenanceTick() {
     STEGFS_RETURN_IF_ERROR(obj->Sync());
   }
   return plain_->PersistMeta();
+}
+
+Status StegFs::Fsck(journal::FsckReport* out) {
+  STEGFS_RETURN_IF_ERROR(plain_->Fsck(out));
+  // Hidden-side scrub: audit every connected redundant object. The
+  // session table holds exactly the keys fsck may use; dirty state a
+  // heal produced commits immediately (Sync) so the repaired map chain
+  // survives a crash right after fsck.
+  for (const auto& session : sessions_.Snapshot()) {
+    for (const auto& so : session->Snapshot()) {
+      std::lock_guard<std::mutex> obj_lock(so->mu);
+      if (so->defunct) continue;
+      if (!so->object->redundancy_policy().enabled()) continue;
+      out->hidden_objects_scanned++;
+      RedundancyScrubReport rep;
+      STEGFS_RETURN_IF_ERROR(so->object->ScrubShares(&rep));
+      STEGFS_RETURN_IF_ERROR(so->object->Sync());
+      out->hidden_stripes_checked += rep.stripes_checked;
+      out->hidden_degraded_stripes += rep.degraded_stripes;
+      out->hidden_healed_shares += rep.healed_shares;
+      out->hidden_unrecoverable_stripes += rep.unrecoverable_stripes;
+      if (rep.degraded_stripes != 0 || rep.unrecoverable_stripes != 0) {
+        out->clean = false;
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<HiddenObject*> StegFs::ConnectedForTesting(
+    const std::string& uid, const std::string& objname) {
+  STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
+  return so->object.get();
 }
 
 Status StegFs::Flush() {

@@ -102,8 +102,12 @@ class StegFs {
   // --- API 1: steg_create(objname, UAK, objtype) -----------------------
   // Creates a hidden object with a fresh random FAK and records
   // (objname, FAK) in the UAK's directory (created on first use).
+  // `redundancy` fixes the object's extent-protection policy for life:
+  // kNone (the paper's behavior), or replicate/IDA shares that let the
+  // data path heal blocks lost to plain-side allocation.
   Status StegCreate(const std::string& uid, const std::string& objname,
-                    const std::string& uak, HiddenType type);
+                    const std::string& uak, HiddenType type,
+                    RedundancyPolicy redundancy = RedundancyPolicy());
 
   // --- API 2: steg_hide(pathname, objname, UAK) -------------------------
   // Converts a plain file/directory into a hidden object (recursively for
@@ -181,10 +185,20 @@ class StegFs {
   // Persists all state (connected object headers, bitmap, inodes, cache).
   Status Flush();
 
-  // Online recovery/scrub: cross-checks bitmap vs plain reachability and
-  // verifies the journal ring is at rest (see PlainFs::Fsck). Cannot and
-  // does not audit hidden objects — that would require their keys.
-  Status Fsck(journal::FsckReport* out) { return plain_->Fsck(out); }
+  // Online recovery/scrub: cross-checks bitmap vs plain reachability,
+  // verifies the journal ring is at rest (see PlainFs::Fsck), and audits
+  // every CONNECTED redundant hidden object — fsck holds exactly the keys
+  // the running sessions hold, so it can verify and re-disperse their
+  // shares while everything unconnected stays indistinguishable noise.
+  Status Fsck(journal::FsckReport* out);
+
+  // Volume-wide redundancy counters (surfaced through steg_stats).
+  const RedundancyStats& redundancy_stats() const { return red_stats_; }
+
+  // Test-only: the connected object's HiddenObject, bypassing the session
+  // locks (callers serialize externally).
+  StatusOr<HiddenObject*> ConnectedForTesting(const std::string& uid,
+                                              const std::string& objname);
 
   SpaceReport ReportSpace();
   const StegParams& params() const { return plain_->superblock().steg; }
@@ -267,6 +281,7 @@ class StegFs {
   crypto::CtrDrbg fak_drbg_;
   std::mutex maint_mu_;  // serializes MaintenanceTick rounds
   concurrency::SessionManager sessions_;
+  RedundancyStats red_stats_;
 };
 
 }  // namespace stegfs

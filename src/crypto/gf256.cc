@@ -3,6 +3,7 @@
 #include <cassert>
 #include <cstring>
 
+#include "crypto/gf256_simd.h"
 #include "util/coding.h"
 
 namespace stegfs {
@@ -90,27 +91,36 @@ std::vector<uint8_t> InformationDispersal::RowFor(uint8_t index) const {
   return IdaRow(index, m_);
 }
 
+void IdaEncodeParity(const uint8_t* const* blocks, int m, int n, size_t len,
+                     uint8_t* const* parity) {
+  assert(m >= 1 && n >= m);
+  for (int i = m; i < n; ++i) {
+    uint8_t* out = parity[i - m];
+    std::memset(out, 0, len);
+    std::vector<uint8_t> row = IdaRow(static_cast<uint8_t>(i), m);
+    for (int j = 0; j < m; ++j) {
+      GfMulAccum(row[j], blocks[j], out, len);
+    }
+  }
+}
+
 std::vector<std::vector<uint8_t>> IdaEncodeStripe(
     const std::vector<std::vector<uint8_t>>& blocks, int n) {
   const int m = static_cast<int>(blocks.size());
   assert(m >= 1 && n >= m);
   const size_t len = blocks[0].size();
   std::vector<std::vector<uint8_t>> shares(n);
-  for (int i = 0; i < n; ++i) {
-    if (i < m) {
-      shares[i] = blocks[i];
-      continue;
-    }
-    std::vector<uint8_t> row = IdaRow(static_cast<uint8_t>(i), m);
-    shares[i].assign(len, 0);
-    for (int j = 0; j < m; ++j) {
-      uint8_t c = row[j];
-      if (c == 0) continue;
-      for (size_t k = 0; k < len; ++k) {
-        shares[i][k] ^= Gf256::Mul(c, blocks[j][k]);
-      }
-    }
+  std::vector<const uint8_t*> data(m);
+  for (int i = 0; i < m; ++i) {
+    shares[i] = blocks[i];
+    data[i] = blocks[i].data();
   }
+  std::vector<uint8_t*> parity(n - m);
+  for (int i = m; i < n; ++i) {
+    shares[i].assign(len, 0);
+    parity[i - m] = shares[i].data();
+  }
+  IdaEncodeParity(data.data(), m, n, len, parity.data());
   return shares;
 }
 
@@ -151,18 +161,14 @@ StatusOr<std::vector<std::vector<uint8_t>>> IdaDecodeStripe(
     std::swap(rhs[col], rhs[pivot]);
     uint8_t inv = Gf256::Inv(mat[col][col]);
     for (int c = 0; c < m; ++c) mat[col][c] = Gf256::Mul(mat[col][c], inv);
-    for (size_t k = 0; k < len; ++k) {
-      rhs[col][k] = Gf256::Mul(rhs[col][k], inv);
-    }
+    GfScale(inv, rhs[col].data(), len);
     for (int r = 0; r < m; ++r) {
       if (r == col || mat[r][col] == 0) continue;
       uint8_t factor = mat[r][col];
       for (int c = 0; c < m; ++c) {
         mat[r][c] ^= Gf256::Mul(factor, mat[col][c]);
       }
-      for (size_t k = 0; k < len; ++k) {
-        rhs[r][k] ^= Gf256::Mul(factor, rhs[col][k]);
-      }
+      GfMulAccum(factor, rhs[col].data(), rhs[r].data(), len);
     }
   }
   return rhs;
@@ -194,11 +200,8 @@ std::vector<InformationDispersal::Share> InformationDispersal::Encode(
     std::vector<uint8_t> row = RowFor(static_cast<uint8_t>(i));
     shares[i].bytes.assign(stripe_len, 0);
     for (int j = 0; j < m_; ++j) {
-      uint8_t c = row[j];
-      if (c == 0) continue;
-      for (size_t k = 0; k < stripe_len; ++k) {
-        shares[i].bytes[k] ^= Gf256::Mul(c, stripes[j][k]);
-      }
+      GfMulAccum(row[j], stripes[j].data(), shares[i].bytes.data(),
+                 stripe_len);
     }
   }
   return shares;
@@ -253,9 +256,7 @@ StatusOr<std::vector<uint8_t>> InformationDispersal::Decode(
     // Normalize.
     uint8_t inv = Gf256::Inv(mat[col][col]);
     for (int c = 0; c < m_; ++c) mat[col][c] = Gf256::Mul(mat[col][c], inv);
-    for (size_t k = 0; k < stripe_len; ++k) {
-      rhs[col][k] = Gf256::Mul(rhs[col][k], inv);
-    }
+    GfScale(inv, rhs[col].data(), stripe_len);
     // Eliminate.
     for (int r = 0; r < m_; ++r) {
       if (r == col || mat[r][col] == 0) continue;
@@ -263,9 +264,7 @@ StatusOr<std::vector<uint8_t>> InformationDispersal::Decode(
       for (int c = 0; c < m_; ++c) {
         mat[r][c] ^= Gf256::Mul(factor, mat[col][c]);
       }
-      for (size_t k = 0; k < stripe_len; ++k) {
-        rhs[r][k] ^= Gf256::Mul(factor, rhs[col][k]);
-      }
+      GfMulAccum(factor, rhs[col].data(), rhs[r].data(), stripe_len);
     }
   }
 

@@ -74,6 +74,12 @@ std::vector<uint8_t> IdaRow(uint8_t index, int m);
 std::vector<std::vector<uint8_t>> IdaEncodeStripe(
     const std::vector<std::vector<uint8_t>>& blocks, int n);
 
+// Parity-only stripe encode: computes shares m..n-1 into parity[0..n-m),
+// each `len` bytes, from the m data blocks — no copies of the systematic
+// shares. This is the hot write-path entry (SIMD GF(256) under the hood).
+void IdaEncodeParity(const uint8_t* const* blocks, int m, int n, size_t len,
+                     uint8_t* const* parity);
+
 // shares = (share index, block) pairs, >= m distinct; returns the m data
 // blocks of the stripe.
 StatusOr<std::vector<std::vector<uint8_t>>> IdaDecodeStripe(

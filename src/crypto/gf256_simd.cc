@@ -1,0 +1,300 @@
+#include "crypto/gf256_simd.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "crypto/gf256.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <immintrin.h>
+#define STEGFS_GF_X86 1
+#endif
+
+namespace stegfs {
+namespace crypto {
+
+namespace {
+
+// 16-entry nibble product tables for a fixed coefficient c:
+//   c * b == lo[b & 15] ^ hi[b >> 4]
+// because multiplication distributes over the XOR split of b.
+struct NibbleTables {
+  uint8_t lo[16];
+  uint8_t hi[16];
+};
+
+NibbleTables TablesFor(uint8_t c) {
+  NibbleTables t;
+  for (int x = 0; x < 16; ++x) {
+    t.lo[x] = Gf256::Mul(c, static_cast<uint8_t>(x));
+    t.hi[x] = Gf256::Mul(c, static_cast<uint8_t>(x << 4));
+  }
+  return t;
+}
+
+void MulAccumScalar(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len) {
+  // One 256-entry product table per call, amortized over the whole block —
+  // the honest scalar baseline (log/exp per byte would be slower).
+  uint8_t table[256];
+  for (int x = 0; x < 256; ++x) {
+    table[x] = Gf256::Mul(c, static_cast<uint8_t>(x));
+  }
+  for (size_t i = 0; i < len; ++i) dst[i] ^= table[src[i]];
+}
+
+void ScaleScalar(uint8_t c, uint8_t* buf, size_t len) {
+  uint8_t table[256];
+  for (int x = 0; x < 256; ++x) {
+    table[x] = Gf256::Mul(c, static_cast<uint8_t>(x));
+  }
+  for (size_t i = 0; i < len; ++i) buf[i] = table[buf[i]];
+}
+
+#ifdef STEGFS_GF_X86
+
+#define STEGFS_GF_SSSE3 __attribute__((target("ssse3")))
+#define STEGFS_GF_AVX2 __attribute__((target("avx2")))
+#define STEGFS_GF_GFNI __attribute__((target("gfni,avx2")))
+
+// Tail bytes (< vector width) via the same nibble tables the vector body
+// used, so every tier is self-consistent.
+inline void MulAccumTail(const NibbleTables& t, const uint8_t* src,
+                         uint8_t* dst, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    dst[i] ^= static_cast<uint8_t>(t.lo[src[i] & 15] ^ t.hi[src[i] >> 4]);
+  }
+}
+
+inline void ScaleTail(const NibbleTables& t, uint8_t* buf, size_t len) {
+  for (size_t i = 0; i < len; ++i) {
+    buf[i] = static_cast<uint8_t>(t.lo[buf[i] & 15] ^ t.hi[buf[i] >> 4]);
+  }
+}
+
+STEGFS_GF_SSSE3 void MulAccumPshufb128(const NibbleTables& t,
+                                       const uint8_t* src, uint8_t* dst,
+                                       size_t len) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(src + i));
+    __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    __m128i d = _mm_loadu_si128(reinterpret_cast<const __m128i*>(dst + i));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(dst + i),
+                     _mm_xor_si128(d, _mm_xor_si128(l, h)));
+  }
+  MulAccumTail(t, src + i, dst + i, len - i);
+}
+
+STEGFS_GF_SSSE3 void ScalePshufb128(const NibbleTables& t, uint8_t* buf,
+                                    size_t len) {
+  const __m128i lo = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo));
+  const __m128i hi = _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi));
+  const __m128i mask = _mm_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 16 <= len; i += 16) {
+    __m128i v = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + i));
+    __m128i l = _mm_shuffle_epi8(lo, _mm_and_si128(v, mask));
+    __m128i h =
+        _mm_shuffle_epi8(hi, _mm_and_si128(_mm_srli_epi64(v, 4), mask));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(buf + i),
+                     _mm_xor_si128(l, h));
+  }
+  ScaleTail(t, buf + i, len - i);
+}
+
+STEGFS_GF_AVX2 void MulAccumPshufb256(const NibbleTables& t,
+                                      const uint8_t* src, uint8_t* dst,
+                                      size_t len) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+    __m256i h = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+    __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, _mm256_xor_si256(l, h)));
+  }
+  MulAccumTail(t, src + i, dst + i, len - i);
+}
+
+STEGFS_GF_AVX2 void ScalePshufb256(const NibbleTables& t, uint8_t* buf,
+                                   size_t len) {
+  const __m256i lo = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.lo)));
+  const __m256i hi = _mm256_broadcastsi128_si256(
+      _mm_loadu_si128(reinterpret_cast<const __m128i*>(t.hi)));
+  const __m256i mask = _mm256_set1_epi8(0x0f);
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf + i));
+    __m256i l = _mm256_shuffle_epi8(lo, _mm256_and_si256(v, mask));
+    __m256i h = _mm256_shuffle_epi8(
+        hi, _mm256_and_si256(_mm256_srli_epi64(v, 4), mask));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf + i),
+                        _mm256_xor_si256(l, h));
+  }
+  ScaleTail(t, buf + i, len - i);
+}
+
+// GF2P8MULB multiplies in x^8 + x^4 + x^3 + x + 1 — exactly our field, no
+// tables needed.
+STEGFS_GF_GFNI void MulAccumGfni(uint8_t c, const uint8_t* src, uint8_t* dst,
+                                 size_t len) {
+  const __m256i cv = _mm256_set1_epi8(static_cast<char>(c));
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i p = _mm256_gf2p8mul_epi8(v, cv);
+    __m256i d =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(dst + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(dst + i),
+                        _mm256_xor_si256(d, p));
+  }
+  if (i < len) {
+    NibbleTables t = TablesFor(c);
+    MulAccumTail(t, src + i, dst + i, len - i);
+  }
+}
+
+STEGFS_GF_GFNI void ScaleGfni(uint8_t c, uint8_t* buf, size_t len) {
+  const __m256i cv = _mm256_set1_epi8(static_cast<char>(c));
+  size_t i = 0;
+  for (; i + 32 <= len; i += 32) {
+    __m256i v =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(buf + i));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(buf + i),
+                        _mm256_gf2p8mul_epi8(v, cv));
+  }
+  if (i < len) {
+    NibbleTables t = TablesFor(c);
+    ScaleTail(t, buf + i, len - i);
+  }
+}
+
+bool GfniSupported() {
+  return __builtin_cpu_supports("gfni") && __builtin_cpu_supports("avx2");
+}
+bool PshufbSupported() { return __builtin_cpu_supports("ssse3"); }
+bool Avx2Supported() { return __builtin_cpu_supports("avx2"); }
+
+#else  // !STEGFS_GF_X86
+
+bool GfniSupported() { return false; }
+bool PshufbSupported() { return false; }
+bool Avx2Supported() { return false; }
+
+#endif  // STEGFS_GF_X86
+
+GfTier DetectTier() {
+  if (GfniSupported()) return GfTier::kGfni;
+  if (PshufbSupported()) return GfTier::kPshufb;
+  return GfTier::kScalar;
+}
+
+std::atomic<GfTier>& TierSlot() {
+  static std::atomic<GfTier> tier{DetectTier()};
+  return tier;
+}
+
+}  // namespace
+
+GfTier ActiveGfTier() {
+  return TierSlot().load(std::memory_order_relaxed);
+}
+
+const char* GfTierName() {
+  switch (ActiveGfTier()) {
+    case GfTier::kGfni:
+      return "gfni";
+    case GfTier::kPshufb:
+      return "pshufb";
+    case GfTier::kScalar:
+      break;
+  }
+  return "gf-scalar";
+}
+
+bool SetGfTier(GfTier tier) {
+  if (tier == GfTier::kGfni && !GfniSupported()) return false;
+  if (tier == GfTier::kPshufb && !PshufbSupported()) return false;
+  TierSlot().store(tier, std::memory_order_relaxed);
+  return true;
+}
+
+void GfMulAccum(uint8_t c, const uint8_t* src, uint8_t* dst, size_t len) {
+  if (len == 0 || c == 0) return;
+  if (c == 1) {
+    for (size_t i = 0; i < len; ++i) dst[i] ^= src[i];
+    return;
+  }
+  switch (ActiveGfTier()) {
+#ifdef STEGFS_GF_X86
+    case GfTier::kGfni:
+      MulAccumGfni(c, src, dst, len);
+      return;
+    case GfTier::kPshufb: {
+      NibbleTables t = TablesFor(c);
+      if (Avx2Supported()) {
+        MulAccumPshufb256(t, src, dst, len);
+      } else {
+        MulAccumPshufb128(t, src, dst, len);
+      }
+      return;
+    }
+#else
+    case GfTier::kGfni:
+    case GfTier::kPshufb:
+#endif
+    case GfTier::kScalar:
+      break;
+  }
+  MulAccumScalar(c, src, dst, len);
+}
+
+void GfScale(uint8_t c, uint8_t* buf, size_t len) {
+  if (len == 0 || c == 1) return;
+  if (c == 0) {
+    std::memset(buf, 0, len);
+    return;
+  }
+  switch (ActiveGfTier()) {
+#ifdef STEGFS_GF_X86
+    case GfTier::kGfni:
+      ScaleGfni(c, buf, len);
+      return;
+    case GfTier::kPshufb: {
+      NibbleTables t = TablesFor(c);
+      if (Avx2Supported()) {
+        ScalePshufb256(t, buf, len);
+      } else {
+        ScalePshufb128(t, buf, len);
+      }
+      return;
+    }
+#else
+    case GfTier::kGfni:
+    case GfTier::kPshufb:
+#endif
+    case GfTier::kScalar:
+      break;
+  }
+  ScaleScalar(c, buf, len);
+}
+
+}  // namespace crypto
+}  // namespace stegfs

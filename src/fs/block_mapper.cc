@@ -134,6 +134,47 @@ StatusOr<uint64_t> BlockMapper::MapOrAllocate(Inode* inode, uint64_t idx,
   return static_cast<uint64_t>(l2[inner]);
 }
 
+Status BlockMapper::Remap(Inode* inode, uint64_t idx, uint64_t new_block,
+                          BlockStore* store, bool* inode_dirty) {
+  if (idx < kDirectPointers) {
+    if (inode->direct[idx] == kNullBlock) {
+      return Status::NotFound("hole (direct)");
+    }
+    inode->direct[idx] = static_cast<uint32_t>(new_block);
+    *inode_dirty = true;
+    return Status::OK();
+  }
+  uint64_t rel = idx - kDirectPointers;
+  if (rel < ptrs_per_block_) {
+    if (inode->single_indirect == kNullBlock) {
+      return Status::NotFound("hole (single indirect missing)");
+    }
+    std::vector<uint32_t> ptrs;
+    STEGFS_RETURN_IF_ERROR(
+        ReadPointerBlock(store, inode->single_indirect, &ptrs));
+    if (ptrs[rel] == kNullBlock) return Status::NotFound("hole (single)");
+    ptrs[rel] = static_cast<uint32_t>(new_block);
+    return WritePointerBlock(store, inode->single_indirect, ptrs);
+  }
+  rel -= ptrs_per_block_;
+  uint64_t outer = rel / ptrs_per_block_;
+  uint64_t inner = rel % ptrs_per_block_;
+  if (outer >= ptrs_per_block_) {
+    return Status::InvalidArgument("file block index beyond maximum size");
+  }
+  if (inode->double_indirect == kNullBlock) {
+    return Status::NotFound("hole (double indirect missing)");
+  }
+  std::vector<uint32_t> l1;
+  STEGFS_RETURN_IF_ERROR(ReadPointerBlock(store, inode->double_indirect, &l1));
+  if (l1[outer] == kNullBlock) return Status::NotFound("hole (double L1)");
+  std::vector<uint32_t> l2;
+  STEGFS_RETURN_IF_ERROR(ReadPointerBlock(store, l1[outer], &l2));
+  if (l2[inner] == kNullBlock) return Status::NotFound("hole (double L2)");
+  l2[inner] = static_cast<uint32_t>(new_block);
+  return WritePointerBlock(store, l1[outer], l2);
+}
+
 Status BlockMapper::FreeFrom(Inode* inode, uint64_t first_kept,
                              BlockStore* store, BlockAllocator* alloc) {
   // Direct pointers.

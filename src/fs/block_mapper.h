@@ -36,6 +36,13 @@ class BlockMapper {
                                    BlockStore* store, BlockAllocator* alloc,
                                    bool* inode_dirty);
 
+  // Repoints file block `idx` at `new_block` WITHOUT freeing the block it
+  // previously mapped to — the self-healing path: the old block may have
+  // been claimed by a plain allocation, and freeing a block we no longer
+  // own would corrupt someone else's data. NotFound when `idx` is a hole.
+  Status Remap(Inode* inode, uint64_t idx, uint64_t new_block,
+               BlockStore* store, bool* inode_dirty);
+
   // Frees all data blocks with file index >= first_kept and any indirect
   // blocks that become empty. (first_kept = 0 frees everything.)
   Status FreeFrom(Inode* inode, uint64_t first_kept, BlockStore* store,

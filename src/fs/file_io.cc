@@ -9,20 +9,36 @@ namespace stegfs {
 
 Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
                     BlockStore* store, std::string* out) {
-  if (offset >= inode.size) return Status::OK();
-  n = std::min(n, inode.size - offset);
+  return ReadImpl(const_cast<Inode*>(&inode), offset, n, store,
+                  /*alloc=*/nullptr, /*inode_dirty=*/nullptr, out);
+}
+
+Status FileIo::ReadVerified(Inode* inode, uint64_t offset, uint64_t n,
+                            BlockStore* store, BlockAllocator* alloc,
+                            bool* inode_dirty, std::string* out) {
+  return ReadImpl(inode, offset, n, store, alloc, inode_dirty, out);
+}
+
+Status FileIo::ReadImpl(Inode* inode, uint64_t offset, uint64_t n,
+                        BlockStore* store, BlockAllocator* alloc,
+                        bool* inode_dirty, std::string* out) {
+  if (offset >= inode->size) return Status::OK();
+  n = std::min(n, inode->size - offset);
   out->reserve(out->size() + n);
+  const bool verify = redundancy_ != nullptr && alloc != nullptr;
 
   // One chunk = up to kMaxBatchBlocks file blocks: resolve the mapping for
   // the whole chunk, fetch every mapped block with one vectored store
   // read, then assemble bytes (holes read as zeros).
   std::vector<uint64_t> device_blocks;
+  std::vector<uint64_t> file_idxs;
   std::vector<bool> is_hole;
   std::vector<uint32_t> takes;
   std::vector<uint8_t> buf;
   uint64_t total_blocks = 0;
   while (n > 0) {
     device_blocks.clear();
+    file_idxs.clear();
     is_hole.clear();
     takes.clear();
     uint64_t chunk_off = offset;
@@ -32,10 +48,11 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
       uint32_t in_block = static_cast<uint32_t>(chunk_off % block_size_);
       uint32_t take = static_cast<uint32_t>(
           std::min<uint64_t>(chunk_n, block_size_ - in_block));
-      auto mapped = mapper_.Map(inode, block_idx, store);
+      auto mapped = mapper_.Map(*inode, block_idx, store);
       if (mapped.ok()) {
         is_hole.push_back(false);
         device_blocks.push_back(mapped.value());
+        file_idxs.push_back(block_idx);
       } else if (mapped.status().IsNotFound()) {
         is_hole.push_back(true);
       } else {
@@ -71,6 +88,19 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
           sorted_blocks.data(), sorted_blocks.size(), buf.data()));
     }
 
+    // Share verification rides the batch: every mapped whole block of the
+    // chunk is checked (and healed in place) before a byte is assembled.
+    if (verify && !device_blocks.empty()) {
+      std::vector<ExtentRedundancy::ReadBlockRef> refs(device_blocks.size());
+      for (size_t j = 0; j < device_blocks.size(); ++j) {
+        refs[j] = {file_idxs[j], device_blocks[j],
+                   buf.data() + slot_of[j] * block_size_};
+      }
+      RedundancyIoCtx ctx{inode, store, alloc, &mapper_, inode_dirty};
+      STEGFS_RETURN_IF_ERROR(
+          redundancy_->OnExtentRead(ctx, refs.data(), refs.size()));
+    }
+
     size_t mapped_i = 0;
     for (size_t i = 0; i < takes.size(); ++i) {
       uint32_t in_block = static_cast<uint32_t>(offset % block_size_);
@@ -92,7 +122,7 @@ Status FileIo::Read(const Inode& inode, uint64_t offset, uint64_t n,
   // all chasing the block the next call is about to demand-read anyway,
   // and the task overhead swamps the win (measured 0.6x on one core).
   if (readahead_ > 0 && total_blocks >= 2) {
-    IssueReadahead(inode, offset / block_size_ + (offset % block_size_ != 0),
+    IssueReadahead(*inode, offset / block_size_ + (offset % block_size_ != 0),
                    store);
   }
   return Status::OK();
@@ -156,6 +186,14 @@ Status FileIo::Write(Inode* inode, uint64_t offset, std::string_view data,
     inode->mtime++;
     *inode_dirty = true;
   }
+  // Parity rides behind the data batch: re-encode every stripe the write
+  // touched, now that the new block contents are visible in the store.
+  if (redundancy_ != nullptr && !data.empty()) {
+    RedundancyIoCtx ctx{inode, store, alloc, &mapper_, inode_dirty};
+    STEGFS_RETURN_IF_ERROR(redundancy_->OnExtentWrite(
+        ctx, offset / block_size_,
+        (offset + data.size() - 1) / block_size_));
+  }
   return Status::OK();
 }
 
@@ -173,6 +211,10 @@ Status FileIo::Truncate(Inode* inode, uint64_t new_size, BlockStore* store,
   inode->size = new_size;
   inode->mtime++;
   *inode_dirty = true;
+  if (redundancy_ != nullptr) {
+    RedundancyIoCtx ctx{inode, store, alloc, &mapper_, inode_dirty};
+    STEGFS_RETURN_IF_ERROR(redundancy_->OnTruncate(ctx, first_kept));
+  }
   return Status::OK();
 }
 

@@ -57,6 +57,17 @@ struct FsckReport {
   // ring that recovery never saw).
   uint64_t journal_live_records = 0;
   uint64_t journal_scrubbed_blocks = 0;
+  // Hidden-side scrub (StegFs::Fsck only — fsck can audit exactly the
+  // objects whose keys the running sessions hold; everything else stays
+  // indistinguishable noise). Degraded stripes are healed by
+  // re-dispersing lost shares onto fresh blocks; a stripe with more
+  // losses than the policy tolerates counts as unrecoverable and is left
+  // in place.
+  uint64_t hidden_objects_scanned = 0;
+  uint64_t hidden_stripes_checked = 0;
+  uint64_t hidden_degraded_stripes = 0;
+  uint64_t hidden_healed_shares = 0;
+  uint64_t hidden_unrecoverable_stripes = 0;
   bool clean = true;  // no repairs were needed
 };
 

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "crypto/gf256_simd.h"
 #include "util/random.h"
 
 namespace stegfs {
@@ -159,6 +160,144 @@ TEST(IdaTest, CorruptedShareYieldsWrongDataNotCrash) {
   // fails structurally or returns different bytes.
   if (back.ok()) {
     EXPECT_NE(back.value(), data);
+  }
+}
+
+// --- SIMD GF(256) tiers (PR 6) ---------------------------------------
+// Same pattern as crypto_tiers_test.cc for AES: force each backend in
+// turn and require bit-identical results against the scalar reference.
+
+class GfTierScope {
+ public:
+  explicit GfTierScope(GfTier tier) : saved_(ActiveGfTier()) {
+    active_ = SetGfTier(tier);
+  }
+  ~GfTierScope() { SetGfTier(saved_); }
+  // False when the CPU lacks the tier (the setter refused the switch).
+  bool active() const { return active_; }
+
+ private:
+  GfTier saved_;
+  bool active_ = false;
+};
+
+const GfTier kAllTiers[] = {GfTier::kScalar, GfTier::kPshufb, GfTier::kGfni};
+
+TEST(GfSimdTest, TierNameIsStable) {
+  const char* name = GfTierName();
+  ASSERT_NE(name, nullptr);
+  EXPECT_TRUE(std::string(name) == "gfni" || std::string(name) == "pshufb" ||
+              std::string(name) == "gf-scalar");
+}
+
+TEST(GfSimdTest, MulAccumMatchesScalarReferenceOnEveryTier) {
+  // Odd lengths cover the vector tail path; every coefficient class
+  // (0, 1, arbitrary) covers the fast paths.
+  const size_t kLens[] = {1, 15, 16, 31, 32, 33, 64, 257, 4096, 4099};
+  for (GfTier tier : kAllTiers) {
+    GfTierScope scope(tier);
+    if (!scope.active()) continue;  // CPU lacks this tier
+    for (size_t len : kLens) {
+      for (uint8_t c : {0, 1, 2, 0x53, 0xca, 0xff}) {
+        auto src = RandomBytes(len, 0x1000 + len + c);
+        auto dst = RandomBytes(len, 0x2000 + len + c);
+        std::vector<uint8_t> expect(dst);
+        for (size_t i = 0; i < len; ++i) {
+          expect[i] ^= Gf256::Mul(c, src[i]);
+        }
+        GfMulAccum(c, src.data(), dst.data(), len);
+        EXPECT_EQ(dst, expect) << GfTierName() << " c=" << int(c)
+                               << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GfSimdTest, ScaleMatchesScalarReferenceOnEveryTier) {
+  const size_t kLens[] = {1, 16, 31, 33, 1024, 4097};
+  for (GfTier tier : kAllTiers) {
+    GfTierScope scope(tier);
+    if (!scope.active()) continue;
+    for (size_t len : kLens) {
+      for (uint8_t c : {0, 1, 7, 0x8e, 0xff}) {
+        auto buf = RandomBytes(len, 0x3000 + len + c);
+        std::vector<uint8_t> expect(len);
+        for (size_t i = 0; i < len; ++i) {
+          expect[i] = Gf256::Mul(c, buf[i]);
+        }
+        GfScale(c, buf.data(), len);
+        EXPECT_EQ(buf, expect) << GfTierName() << " c=" << int(c)
+                               << " len=" << len;
+      }
+    }
+  }
+}
+
+TEST(GfSimdTest, IdaRoundTripIdenticalAcrossTiers) {
+  // The k-of-n round trip exercises encode AND the Gaussian-elimination
+  // decode through the SIMD kernels; every available tier must produce
+  // byte-identical shares and recover the data from parity-only subsets.
+  auto data = RandomBytes(40000, 42);
+  std::vector<std::vector<InformationDispersal::Share>> per_tier_shares;
+  for (GfTier tier : kAllTiers) {
+    GfTierScope scope(tier);
+    if (!scope.active()) continue;
+    InformationDispersal ida(3, 6);
+    auto shares = ida.Encode(data);
+    ASSERT_EQ(shares.size(), 6u);
+    auto back = ida.Decode({shares[5], shares[3], shares[4]});
+    ASSERT_TRUE(back.ok()) << GfTierName();
+    EXPECT_EQ(back.value(), data) << GfTierName();
+    per_tier_shares.push_back(std::move(shares));
+  }
+  for (size_t t = 1; t < per_tier_shares.size(); ++t) {
+    for (size_t s = 0; s < 6; ++s) {
+      EXPECT_EQ(per_tier_shares[t][s].bytes, per_tier_shares[0][s].bytes)
+          << "tier " << t << " share " << s;
+    }
+  }
+}
+
+TEST(GfSimdTest, StripeEncodeDecodeAcrossTiers) {
+  const int m = 4, n = 7;
+  const size_t len = 4096 + 13;
+  std::vector<std::vector<uint8_t>> blocks(m);
+  for (int j = 0; j < m; ++j) blocks[j] = RandomBytes(len, 99 + j);
+  std::vector<std::vector<uint8_t>> first;
+  for (GfTier tier : kAllTiers) {
+    GfTierScope scope(tier);
+    if (!scope.active()) continue;
+    auto shares = IdaEncodeStripe(blocks, n);
+    ASSERT_EQ(shares.size(), static_cast<size_t>(n));
+    // Decode from the last m shares (all parity rows involved).
+    std::vector<std::pair<uint8_t, std::vector<uint8_t>>> sel;
+    for (int j = 0; j < m; ++j) {
+      sel.emplace_back(static_cast<uint8_t>(n - m + j), shares[n - m + j]);
+    }
+    auto back = IdaDecodeStripe(sel, m);
+    ASSERT_TRUE(back.ok()) << GfTierName();
+    for (int j = 0; j < m; ++j) {
+      EXPECT_EQ(back.value()[j], blocks[j]) << GfTierName() << " block "
+                                            << j;
+    }
+    if (first.empty()) {
+      first = shares;
+    } else {
+      for (int s = 0; s < n; ++s) {
+        EXPECT_EQ(shares[s], first[s]) << GfTierName() << " share " << s;
+      }
+    }
+  }
+}
+
+TEST(GfSimdTest, SetGfTierRefusesUnsupportedTier) {
+  GfTierScope probe(GfTier::kGfni);
+  if (!probe.active()) {
+    // On a CPU without GFNI the setter must refuse and leave the active
+    // tier untouched.
+    EXPECT_NE(ActiveGfTier(), GfTier::kGfni);
+  } else {
+    EXPECT_EQ(ActiveGfTier(), GfTier::kGfni);
   }
 }
 

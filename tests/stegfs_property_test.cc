@@ -157,5 +157,159 @@ INSTANTIATE_TEST_SUITE_P(
              std::to_string(static_cast<int>(p.abandoned * 100));
     });
 
+// PR 6 extension: the same no-data-loss property with IDA-redundant
+// hidden objects under active share loss. Random interleavings of plain
+// writes, hidden kIda(3,4) writes, share corruption (never more than the
+// n-k=1 tolerance per stripe between heals), fsck scrubs and remounts
+// must never lose a hidden object. The seeded churn suites above run
+// byte-for-byte unchanged — this is a separate suite with its own seeds.
+class IdaChurnTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(IdaChurnTest, NoDataLossWithinToleranceUnderChurn) {
+  const uint64_t seed = GetParam();
+  auto dev = std::make_unique<MemBlockDevice>(1024, 65536);  // 64 MB
+  StegFormatOptions fo;
+  fo.params.dummy_file_count = 2;
+  fo.params.dummy_file_avg_bytes = 64 << 10;
+  fo.entropy = "ida-churn-" + std::to_string(seed);
+  ASSERT_TRUE(StegFs::Format(dev.get(), fo).ok());
+
+  StegFsOptions so;
+  so.steg_rng_seed = seed;
+  auto mounted = StegFs::Mount(dev.get(), so);
+  ASSERT_TRUE(mounted.ok());
+  std::unique_ptr<StegFs> fs = std::move(mounted).value();
+
+  const RedundancyPolicy kPolicy = RedundancyPolicy::Ida(3, 4);
+  Xoshiro rng(seed);
+  std::map<std::string, std::string> hidden_truth;
+  std::map<std::string, bool> lossy;  // objname -> has an un-healed share
+  std::map<std::string, bool> connected;
+  std::map<std::string, std::string> plain_truth;
+  const std::string uid = "idachurner";
+  const std::string uak = "ida-uak";
+
+  auto connect = [&](const std::string& name) {
+    ASSERT_TRUE(fs->StegConnect(uid, name, uak).ok()) << name;
+    connected[name] = true;
+  };
+  auto verify_one = [&](const std::string& name) {
+    connect(name);
+    auto data = fs->HiddenReadAll(uid, name);
+    ASSERT_TRUE(data.ok()) << name << ": " << data.status().ToString();
+    ASSERT_EQ(data.value(), hidden_truth[name]) << name;
+    lossy[name] = false;  // a full read heals every stripe it touched
+  };
+
+  for (int op = 0; op < 100; ++op) {
+    int kind = static_cast<int>(rng.Uniform(12));
+    if (kind < 4) {
+      // Create or rewrite a redundant hidden object (WriteAll re-encodes
+      // every stripe, so it also clears any pending loss).
+      std::string name = "red" + std::to_string(rng.Uniform(6));
+      std::string content = RandomData(&rng, rng.Uniform(200000));
+      if (hidden_truth.count(name) == 0) {
+        Status s = fs->StegCreate(uid, name, uak, HiddenType::kFile, kPolicy);
+        if (s.IsNoSpace()) continue;
+        ASSERT_TRUE(s.ok()) << s.ToString();
+      }
+      connect(name);
+      Status s = fs->HiddenWriteAll(uid, name, content);
+      if (s.IsNoSpace()) {
+        ASSERT_TRUE(fs->HiddenTruncate(uid, name, 0).ok());
+        hidden_truth[name] = "";
+        lossy[name] = false;
+        continue;
+      }
+      ASSERT_TRUE(s.ok()) << s.ToString();
+      hidden_truth[name] = content;
+      lossy[name] = false;
+    } else if (kind < 6 && !hidden_truth.empty()) {
+      // Corrupt ONE share of one stripe — within the (3,4) tolerance —
+      // of an object with no other pending loss.
+      auto it = hidden_truth.begin();
+      std::advance(it, rng.Uniform(hidden_truth.size()));
+      const std::string& name = it->first;
+      if (lossy[name] || it->second.empty()) continue;
+      connect(name);
+      auto obj = fs->ConnectedForTesting(uid, name);
+      ASSERT_TRUE(obj.ok());
+      uint64_t stripes = obj.value()->StripeCountForTesting();
+      if (stripes == 0) continue;
+      auto blocks = obj.value()->ShareBlocksForTesting(rng.Uniform(stripes));
+      ASSERT_TRUE(blocks.ok());
+      uint64_t victim = blocks.value()[rng.Uniform(blocks.value().size())];
+      if (victim == 0) continue;  // hole
+      ASSERT_TRUE(fs->Flush().ok());
+      std::vector<uint8_t> noise(1024);
+      rng.FillBytes(noise.data(), noise.size());
+      ASSERT_TRUE(dev->WriteBlock(victim, noise.data()).ok());
+      fs->plain()->cache()->DropAll();
+      lossy[name] = true;
+    } else if (kind < 7 && !hidden_truth.empty()) {
+      // Truncate — only on a healed object (a boundary re-encode must
+      // not bake a corrupted share into fresh parity).
+      auto it = hidden_truth.begin();
+      std::advance(it, rng.Uniform(hidden_truth.size()));
+      if (lossy[it->first]) verify_one(it->first);
+      uint64_t new_size = rng.Uniform(it->second.size() + 1);
+      connect(it->first);
+      ASSERT_TRUE(fs->HiddenTruncate(uid, it->first, new_size).ok());
+      it->second.resize(new_size);
+    } else if (kind < 9) {
+      // Plain churn.
+      std::string path = "/q" + std::to_string(rng.Uniform(6));
+      if (rng.Bernoulli(0.7)) {
+        std::string content = RandomData(&rng, rng.Uniform(300000));
+        Status s = fs->plain()->WriteFile(path, content);
+        if (s.IsNoSpace()) continue;
+        ASSERT_TRUE(s.ok()) << s.ToString();
+        plain_truth[path] = content;
+      } else if (plain_truth.count(path)) {
+        ASSERT_TRUE(fs->plain()->Unlink(path).ok());
+        plain_truth.erase(path);
+      }
+    } else if (kind < 10) {
+      // Fsck: scrubs (and heals) every CONNECTED object.
+      journal::FsckReport report;
+      ASSERT_TRUE(fs->Fsck(&report).ok());
+      EXPECT_EQ(report.hidden_unrecoverable_stripes, 0u);
+      for (auto& [name, c] : connected) {
+        if (c) lossy[name] = false;
+      }
+    } else if (kind < 11 && !hidden_truth.empty()) {
+      auto it = hidden_truth.begin();
+      std::advance(it, rng.Uniform(hidden_truth.size()));
+      verify_one(it->first);
+    } else {
+      // Remount: map chains reload from disk; sessions reset.
+      ASSERT_TRUE(fs->Flush().ok());
+      fs.reset();
+      auto again = StegFs::Mount(dev.get(), so);
+      ASSERT_TRUE(again.ok());
+      fs = std::move(again).value();
+      connected.clear();
+    }
+  }
+
+  // Final audit: every object heals to its modeled content.
+  for (const auto& [name, content] : hidden_truth) {
+    verify_one(name);
+  }
+  for (const auto& [path, content] : plain_truth) {
+    auto data = fs->plain()->ReadFile(path);
+    ASSERT_TRUE(data.ok()) << path;
+    EXPECT_EQ(data.value(), content) << path;
+  }
+  SpaceReport r = fs->ReportSpace();
+  EXPECT_EQ(r.free_blocks + r.allocated_blocks, r.total_blocks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, IdaChurnTest,
+                         ::testing::Values(7101, 7202, 7303),
+                         [](const ::testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
 }  // namespace
 }  // namespace stegfs
