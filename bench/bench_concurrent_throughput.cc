@@ -22,6 +22,7 @@
 #include "blockdev/mem_block_device.h"
 #include "blockdev/throttled_block_device.h"
 #include "core/stegfs.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 
 using namespace stegfs;
@@ -46,7 +47,38 @@ struct LevelResult {
   double seconds = 0;
   double ops_per_sec = 0;
   double speedup = 0;
+  // Per-level hidden-op latency percentiles (us), from the mount's
+  // histogram deltas across the level.
+  double read_p50_us = 0;
+  double read_p99_us = 0;
+  double write_p50_us = 0;
+  double write_p99_us = 0;
 };
+
+// The mount (and so its registry) lives across all levels; per-level
+// percentiles come from bucket deltas. Bucket counts are monotonic, so
+// the difference is exactly the level's samples. `max` is not
+// delta-able — carry the running max, which only loosens Percentile()'s
+// clamp, never the bucket math.
+obs::HistogramSnapshot Delta(const obs::HistogramSnapshot& after,
+                             const obs::HistogramSnapshot& before) {
+  obs::HistogramSnapshot d;
+  d.count = after.count - before.count;
+  d.sum = after.sum - before.sum;
+  d.max = after.max;
+  for (size_t i = 0; i < d.buckets.size(); ++i) {
+    d.buckets[i] = after.buckets[i] - before.buckets[i];
+  }
+  return d;
+}
+
+obs::HistogramSnapshot HistOrEmpty(const obs::RegistrySnapshot& snap,
+                                   const char* name) {
+  const obs::HistogramSnapshot* h = snap.histogram(name);
+  return h != nullptr ? *h : obs::HistogramSnapshot{};
+}
+
+double Us(uint64_t ns) { return static_cast<double>(ns) / 1e3; }
 
 }  // namespace
 
@@ -97,13 +129,14 @@ int main() {
 
   const int kLevels[] = {1, 2, 4, 8, 16};
   std::vector<LevelResult> results;
-  std::printf("%-10s%14s%14s%14s%10s\n", "threads", "ops", "seconds",
-              "ops/sec", "speedup");
+  std::printf("%-10s%12s%10s%12s%10s%18s%18s\n", "threads", "ops", "seconds",
+              "ops/sec", "speedup", "rd p50/p99 us", "wr p50/p99 us");
   for (int level : kLevels) {
     // Cold cache per level so every level pays the same miss profile.
     if (!fs->Flush().ok()) return 1;
     fs->plain()->cache()->DropAll();
 
+    obs::RegistrySnapshot before = fs->plain()->metrics_registry()->Snapshot();
     std::vector<std::thread> threads;
     std::atomic<int> failed_ops{0};
     auto start = std::chrono::steady_clock::now();
@@ -149,9 +182,21 @@ int main() {
     r.ops_per_sec = r.total_ops / r.seconds;
     r.speedup = results.empty() ? 1.0
                                 : r.ops_per_sec / results.front().ops_per_sec;
+    obs::RegistrySnapshot after = fs->plain()->metrics_registry()->Snapshot();
+    obs::HistogramSnapshot rd =
+        Delta(HistOrEmpty(after, "stegfs_hidden_read_seconds"),
+              HistOrEmpty(before, "stegfs_hidden_read_seconds"));
+    obs::HistogramSnapshot wr =
+        Delta(HistOrEmpty(after, "stegfs_hidden_write_seconds"),
+              HistOrEmpty(before, "stegfs_hidden_write_seconds"));
+    r.read_p50_us = Us(rd.Percentile(0.5));
+    r.read_p99_us = Us(rd.Percentile(0.99));
+    r.write_p50_us = Us(wr.Percentile(0.5));
+    r.write_p99_us = Us(wr.Percentile(0.99));
     results.push_back(r);
-    std::printf("%-10d%14d%14.3f%14.1f%9.2fx\n", r.threads, r.total_ops,
-                r.seconds, r.ops_per_sec, r.speedup);
+    std::printf("%-10d%12d%10.3f%12.1f%9.2fx%8.0f /%7.0f%9.0f /%7.0f\n",
+                r.threads, r.total_ops, r.seconds, r.ops_per_sec, r.speedup,
+                r.read_p50_us, r.read_p99_us, r.write_p50_us, r.write_p99_us);
   }
 
   CacheStats cs = fs->plain()->cache()->stats();
@@ -188,9 +233,12 @@ int main() {
       const LevelResult& r = results[i];
       std::fprintf(json,
                    "    {\"threads\": %d, \"ops\": %d, \"seconds\": %.4f, "
-                   "\"ops_per_sec\": %.1f, \"speedup\": %.3f}%s\n",
+                   "\"ops_per_sec\": %.1f, \"speedup\": %.3f, "
+                   "\"read_p50_us\": %.1f, \"read_p99_us\": %.1f, "
+                   "\"write_p50_us\": %.1f, \"write_p99_us\": %.1f}%s\n",
                    r.threads, r.total_ops, r.seconds, r.ops_per_sec,
-                   r.speedup, i + 1 < results.size() ? "," : "");
+                   r.speedup, r.read_p50_us, r.read_p99_us, r.write_p50_us,
+                   r.write_p99_us, i + 1 < results.size() ? "," : "");
     }
     std::fprintf(json,
                  "  ],\n  \"speedup_at_8_threads\": %.3f,\n"

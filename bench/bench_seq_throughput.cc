@@ -14,7 +14,8 @@
 // A readahead window sweep on the async mount closes with the numbers
 // behind the default window choice.
 //
-// Output: a table on stdout plus BENCH_io.json (archived by CI).
+// Output: a table on stdout plus BENCH_io.json and per-phase latency
+// percentiles in BENCH_latency.json (both archived by CI).
 // Acceptance floors: batched 1 MiB sequential reads >= 2x per-block, and
 // async 1 MiB hidden reads >= 1.5x the synchronous batch path — the
 // latter enforced on >= 2 core hosts only (on one core there is no
@@ -36,6 +37,7 @@
 #include "crypto/aes.h"
 #include "crypto/gf256.h"
 #include "crypto/gf256_simd.h"
+#include "obs/metrics.h"
 
 using namespace stegfs;
 
@@ -140,6 +142,30 @@ double TimedPlainWrite(StegFs* fs, size_t chunk) {
   return best;
 }
 
+// --- Latency percentiles (BENCH_latency.json) --------------------------
+// Each phase's mount carries its own MetricsRegistry, so one registry
+// snapshot taken before teardown is that phase's latency profile. Device
+// and crypto instruments outlive mounts (device-owned / process-global),
+// so those families are collected once, at the end, as "cumulative".
+struct LatRow {
+  const char* phase;
+  std::string metric;
+  obs::HistogramSnapshot h;
+};
+
+double Us(uint64_t ns) { return static_cast<double>(ns) / 1e3; }
+
+// Pulls the named histogram families out of one registry snapshot;
+// families the phase never exercised (count == 0) are skipped.
+void CollectLat(std::vector<LatRow>* out, const obs::RegistrySnapshot& snap,
+                const char* phase,
+                std::initializer_list<const char*> names) {
+  for (const char* name : names) {
+    const obs::HistogramSnapshot* h = snap.histogram(name);
+    if (h != nullptr && h->count > 0) out->push_back({phase, name, *h});
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -227,6 +253,7 @@ int main(int argc, char** argv) {
     double plain_write_mbps;
   };
   std::vector<Row> rows;
+  std::vector<LatRow> lat_rows;
   uint64_t prefetch_hits = 0;
   DeviceBatchStats dev_stats;
   {
@@ -256,6 +283,11 @@ int main(int argc, char** argv) {
     if (!(*fs)->Flush().ok()) return 1;
     prefetch_hits = (*fs)->plain()->cache()->stats().prefetch_hits;
     dev_stats = device->get()->batch_stats();
+    CollectLat(&lat_rows, (*fs)->plain()->metrics_registry()->Snapshot(),
+               "sync_batch",
+               {"stegfs_hidden_read_seconds", "stegfs_hidden_write_seconds",
+                "stegfs_fs_read_seconds", "stegfs_fs_write_at_seconds",
+                "stegfs_fs_flush_seconds", "stegfs_cache_fill_seconds"});
   }
 
   // --- Phase C: the async engine ---------------------------------------
@@ -306,6 +338,10 @@ int main(int argc, char** argv) {
     if ((*fs)->plain()->io_engine() != nullptr) {
       async_stats = (*fs)->plain()->io_engine()->stats();
     }
+    CollectLat(&lat_rows, (*fs)->plain()->metrics_registry()->Snapshot(),
+               "async",
+               {"stegfs_hidden_read_seconds", "stegfs_hidden_write_seconds",
+                "stegfs_async_batch_seconds", "stegfs_cache_fill_seconds"});
 
     // Readahead window sweep at 64 KB extents (16 blocks — the size where
     // the prefetcher, not the pipeline, carries the overlap). One fresh
@@ -382,6 +418,11 @@ int main(int argc, char** argv) {
     if ((*fs)->plain()->io_engine() != nullptr) {
       fixed_ops = (*fs)->plain()->io_engine()->stats().fixed_buffer_ops;
     }
+    CollectLat(&lat_rows, (*fs)->plain()->metrics_registry()->Snapshot(),
+               "journal",
+               {"stegfs_hidden_write_seconds", "stegfs_journal_commit_seconds",
+                "stegfs_journal_record_seconds",
+                "stegfs_journal_barrier_seconds"});
   }
 
   // --- Phase E: IDA redundancy -----------------------------------------
@@ -465,6 +506,15 @@ int main(int argc, char** argv) {
     }
     red_stripes_encoded = (*fs)->redundancy_stats().stripes_encoded.load();
     red_shares_written = (*fs)->redundancy_stats().shares_written.load();
+    obs::RegistrySnapshot esnap =
+        (*fs)->plain()->metrics_registry()->Snapshot();
+    CollectLat(&lat_rows, esnap, "ida",
+               {"stegfs_hidden_read_seconds", "stegfs_hidden_write_seconds"});
+    // Device- and process-lifetime instruments: everything since startup.
+    CollectLat(&lat_rows, esnap, "cumulative",
+               {"stegfs_device_read_seconds", "stegfs_device_write_seconds",
+                "stegfs_device_sync_seconds", "stegfs_crypto_encrypt_seconds",
+                "stegfs_crypto_decrypt_seconds"});
   }
   double ida_read_ratio =
       none_read_mbps > 0 ? ida_read_mbps / none_read_mbps : 0;
@@ -566,6 +616,22 @@ int main(int argc, char** argv) {
       ida_read_ratio, kIdaReadTarget, ida_read_pass ? "PASS" : "FAIL",
       static_cast<unsigned long long>(red_stripes_encoded),
       static_cast<unsigned long long>(red_shares_written));
+
+  if (!lat_rows.empty()) {
+    std::printf("\nper-phase latency percentiles (us):\n%-11s %-32s %9s %9s "
+                "%9s %9s %9s\n",
+                "phase", "metric", "count", "p50", "p90", "p99", "max");
+    for (const LatRow& r : lat_rows) {
+      std::printf("%-11s %-32s %9llu %9.1f %9.1f %9.1f %9.1f\n", r.phase,
+                  r.metric.c_str(),
+                  static_cast<unsigned long long>(r.h.count),
+                  Us(r.h.Percentile(0.5)), Us(r.h.Percentile(0.9)),
+                  Us(r.h.Percentile(0.99)), Us(r.h.max));
+    }
+  } else {
+    std::printf("\nlatency percentiles: none (observability disabled — "
+                "STEGFS_OBS=0)\n");
+  }
 
   std::FILE* json = std::fopen("BENCH_io.json", "w");
   if (json != nullptr) {
@@ -677,6 +743,37 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(red_shares_written));
     std::fclose(json);
     std::printf("wrote BENCH_io.json\n");
+  }
+
+  // Per-phase latency percentiles, one row per (phase, histogram family).
+  // Empty `rows` means the bench ran with observability disabled
+  // (STEGFS_OBS=0) — the CI overhead job uses that leg for throughput only.
+  std::FILE* lat_json = std::fopen("BENCH_latency.json", "w");
+  if (lat_json != nullptr) {
+    std::fprintf(lat_json,
+                 "{\n  \"bench\": \"seq_throughput\",\n"
+                 "  \"unit\": \"microseconds\",\n"
+                 "  \"engine\": \"%s\",\n"
+                 "  \"obs_enabled\": %s,\n  \"rows\": [\n",
+                 async_engine_name,
+                 obs::MetricsEnabled() ? "true" : "false");
+    for (size_t i = 0; i < lat_rows.size(); ++i) {
+      const LatRow& r = lat_rows[i];
+      std::fprintf(lat_json,
+                   "    {\"phase\": \"%s\", \"metric\": \"%s\", "
+                   "\"count\": %llu, \"p50_us\": %.1f, \"p90_us\": %.1f, "
+                   "\"p99_us\": %.1f, \"max_us\": %.1f, "
+                   "\"mean_us\": %.1f}%s\n",
+                   r.phase, r.metric.c_str(),
+                   static_cast<unsigned long long>(r.h.count),
+                   Us(r.h.Percentile(0.5)), Us(r.h.Percentile(0.9)),
+                   Us(r.h.Percentile(0.99)), Us(r.h.max),
+                   r.h.MeanNanos() / 1e3,
+                   i + 1 < lat_rows.size() ? "," : "");
+    }
+    std::fprintf(lat_json, "  ]\n}\n");
+    std::fclose(lat_json);
+    std::printf("wrote BENCH_latency.json\n");
   }
   std::remove(image.c_str());
   bench::PrintFooter();

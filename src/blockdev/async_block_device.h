@@ -155,6 +155,7 @@ struct AsyncBatchState {
   IoCompletionFn done;
   IoCompletion completion;
   size_t blocks = 0;
+  uint64_t submit_ns = 0;  // NowNanos() at submission (0 = obs disabled)
 
   // Latches the first error a slice/op reports.
   void RecordError(const Status& s) {
@@ -208,6 +209,12 @@ class AsyncBlockDevice {
   virtual size_t arena_span_blocks() const { return 0; }
 
   virtual AsyncIoStats stats() const = 0;
+
+  // Publishes the engine's instruments into `reg` (stegfs_async_* names).
+  // Default no-op so test doubles need not care.
+  virtual void RegisterMetrics(obs::MetricsRegistry* reg) const {
+    (void)reg;
+  }
 };
 
 }  // namespace stegfs

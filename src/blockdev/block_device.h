@@ -12,6 +12,7 @@
 #include <cstddef>
 #include <cstdint>
 
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace stegfs {
@@ -43,6 +44,45 @@ struct DeviceBatchStats {
   // Physical transfers that coalesced a contiguous run of >= 2 blocks into
   // one host I/O.
   uint64_t coalesced_runs = 0;
+};
+
+// Per-device instrument group. Concrete devices own one and expose it via
+// device_metrics(); decorators (SimDisk, ThrottledBlockDevice) forward the
+// inner device's, so a mount registers the real backing device whatever
+// the stack looks like. Latency histograms are recorded per vectored call
+// and per barrier — never per block — so the hot path pays one clock pair
+// per device call, not per 4 KB; single-block ops bump only a relaxed
+// counter.
+struct DeviceMetrics {
+  obs::Histogram read_ns;   // vectored read call latency
+  obs::Histogram write_ns;  // vectored write call latency
+  obs::Histogram sync_ns;   // Sync() barrier latency
+  obs::Counter blocks_read;
+  obs::Counter blocks_written;
+  obs::Counter syncs;
+  obs::Counter vectored_blocks;
+  obs::Counter coalesced_runs;
+
+  void RegisterWith(obs::MetricsRegistry* reg) const {
+    reg->RegisterHistogram("stegfs_device_read_seconds",
+                           "Vectored device read call latency", &read_ns);
+    reg->RegisterHistogram("stegfs_device_write_seconds",
+                           "Vectored device write call latency", &write_ns);
+    reg->RegisterHistogram("stegfs_device_sync_seconds",
+                           "Device barrier (Sync) latency", &sync_ns);
+    reg->RegisterCounter("stegfs_device_blocks_read_total",
+                         "Blocks read from the device", &blocks_read);
+    reg->RegisterCounter("stegfs_device_blocks_written_total",
+                         "Blocks written to the device", &blocks_written);
+    reg->RegisterCounter("stegfs_device_syncs_total",
+                         "Device barriers issued", &syncs);
+    reg->RegisterCounter("stegfs_device_vectored_blocks_total",
+                         "Blocks moved through vectored calls",
+                         &vectored_blocks);
+    reg->RegisterCounter("stegfs_device_coalesced_runs_total",
+                         "Contiguous runs coalesced into one host I/O",
+                         &coalesced_runs);
+  }
 };
 
 class BlockDevice {
@@ -81,6 +121,11 @@ class BlockDevice {
 
   // Batch-path counters; devices without a vectored fast path report zeros.
   virtual DeviceBatchStats batch_stats() const { return {}; }
+
+  // The device's instrument group, when it keeps one (nullptr otherwise).
+  // Decorators forward the inner device's group — accounting belongs to
+  // the device doing the physical I/O.
+  virtual const DeviceMetrics* device_metrics() const { return nullptr; }
 
   // Raw POSIX file descriptor backing the device, when one exists (-1
   // otherwise). The io_uring async engine attaches to it. Decorators

@@ -14,7 +14,39 @@ void DiskModel::Reset() {
   head_lba_ = 0;
   read_streams_.clear();
   write_streams_.clear();
-  stats_.Clear();
+  reads_.Reset();
+  writes_.Reset();
+  blocks_read_.Reset();
+  blocks_written_.Reset();
+  seeks_.Reset();
+  drive_cache_hits_.Reset();
+}
+
+DiskModelStats DiskModel::stats() const {
+  DiskModelStats s;
+  s.reads = reads_.value();
+  s.writes = writes_.value();
+  s.blocks_read = blocks_read_.value();
+  s.blocks_written = blocks_written_.value();
+  s.seeks = seeks_.value();
+  s.drive_cache_hits = drive_cache_hits_.value();
+  return s;
+}
+
+void DiskModel::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterCounter("stegfs_simdisk_reads_total",
+                       "Modeled read requests", &reads_);
+  reg->RegisterCounter("stegfs_simdisk_writes_total",
+                       "Modeled write requests", &writes_);
+  reg->RegisterCounter("stegfs_simdisk_blocks_read_total",
+                       "Modeled blocks read", &blocks_read_);
+  reg->RegisterCounter("stegfs_simdisk_blocks_written_total",
+                       "Modeled blocks written", &blocks_written_);
+  reg->RegisterCounter("stegfs_simdisk_seeks_total",
+                       "Requests that paid a mechanical seek", &seeks_);
+  reg->RegisterCounter("stegfs_simdisk_drive_cache_hits_total",
+                       "Requests served from a drive cache segment",
+                       &drive_cache_hits_);
 }
 
 double DiskModel::SeekSeconds(uint64_t from_lba, uint64_t to_lba) const {
@@ -40,11 +72,11 @@ double DiskModel::AccessSeconds(const IoRequest& req) {
       req.is_write ? config_.write_segments : config_.read_segments;
 
   if (req.is_write) {
-    stats_.writes++;
-    stats_.blocks_written += req.nblocks;
+    writes_.Increment();
+    blocks_written_.Add(req.nblocks);
   } else {
-    stats_.reads++;
-    stats_.blocks_read += req.nblocks;
+    reads_.Increment();
+    blocks_read_.Add(req.nblocks);
   }
 
   double cost = config_.controller_overhead_ms / 1000.0;
@@ -54,7 +86,7 @@ double DiskModel::AccessSeconds(const IoRequest& req) {
   // mechanical penalty (the drive prefetched it / buffers the write).
   auto it = std::find(streams.begin(), streams.end(), req.lba);
   if (it != streams.end()) {
-    stats_.cache_hits++;
+    drive_cache_hits_.Increment();
     streams.erase(it);
     streams.push_front(req.lba + req.nblocks);
     return cost;
@@ -62,7 +94,7 @@ double DiskModel::AccessSeconds(const IoRequest& req) {
 
   // Mechanical access: seek from the current head position plus average
   // rotational latency.
-  stats_.seeks++;
+  seeks_.Increment();
   cost += SeekSeconds(head_lba_, req.lba);
   cost += config_.AvgRotationalLatencyMs() / 1000.0;
   head_lba_ = req.lba + req.nblocks;

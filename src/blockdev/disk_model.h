@@ -18,8 +18,23 @@
 #include <list>
 
 #include "blockdev/io_trace.h"
+#include "obs/metrics.h"
 
 namespace stegfs {
+
+// Point-in-time snapshot of a DiskModel's request counters (the successor
+// of the retired blockdev/io_trace.h IoStats). `drive_cache_hits` counts
+// requests served from a modeled drive cache segment — renamed from the
+// old `cache_hits`, which collided with the BufferCache's unrelated hit
+// counters.
+struct DiskModelStats {
+  uint64_t reads = 0;
+  uint64_t writes = 0;
+  uint64_t blocks_read = 0;
+  uint64_t blocks_written = 0;
+  uint64_t seeks = 0;             // requests that paid a mechanical seek
+  uint64_t drive_cache_hits = 0;  // requests served from a drive segment
+};
 
 struct DiskModelConfig {
   // Mechanics (typical 20 GB Ultra ATA/100 drive of the paper's era).
@@ -51,9 +66,13 @@ class DiskModel {
   // Drops cache/head state (e.g. between independent experiments).
   void Reset();
 
-  const IoStats& stats() const { return stats_; }
+  DiskModelStats stats() const;
   const DiskModelConfig& config() const { return config_; }
   uint32_t block_size() const { return block_size_; }
+
+  // Registers the model's instruments with `reg` under stegfs_simdisk_*
+  // names (simulation harnesses that scrape; the model keeps ownership).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
 
  private:
   double SeekSeconds(uint64_t from_lba, uint64_t to_lba) const;
@@ -69,7 +88,12 @@ class DiskModel {
   std::list<uint64_t> read_streams_;
   std::list<uint64_t> write_streams_;
 
-  IoStats stats_;
+  obs::Counter reads_;
+  obs::Counter writes_;
+  obs::Counter blocks_read_;
+  obs::Counter blocks_written_;
+  obs::Counter seeks_;
+  obs::Counter drive_cache_hits_;
 };
 
 }  // namespace stegfs

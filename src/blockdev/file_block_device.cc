@@ -93,6 +93,7 @@ Status FileBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("read past end of device");
   }
+  metrics_.blocks_read.Increment();
   return FullRead(fd_, buf, block_size_, block * block_size_);
 }
 
@@ -100,6 +101,7 @@ Status FileBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("write past end of device");
   }
+  metrics_.blocks_written.Increment();
   return FullWrite(fd_, buf, block_size_, block * block_size_);
 }
 
@@ -128,7 +130,9 @@ Status FileBlockDevice::ReadBlocks(const BlockIoVec* iov, size_t n) {
       return Status::InvalidArgument("read past end of device");
     }
   }
-  vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
+  obs::LatencyTimer io_timer(&metrics_.read_ns);
+  metrics_.vectored_blocks.Add(n);
+  metrics_.blocks_read.Add(n);
   std::vector<uint8_t> scratch;
   for (size_t i = 0; i < n;) {
     const size_t run = RunLength(iov, n, i);
@@ -143,7 +147,7 @@ Status FileBlockDevice::ReadBlocks(const BlockIoVec* iov, size_t n) {
         std::memcpy(iov[i + j].buf, scratch.data() + j * block_size_,
                     block_size_);
       }
-      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.coalesced_runs.Increment();
     }
     i += run;
   }
@@ -156,7 +160,9 @@ Status FileBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
       return Status::InvalidArgument("write past end of device");
     }
   }
-  vectored_blocks_.fetch_add(n, std::memory_order_relaxed);
+  obs::LatencyTimer io_timer(&metrics_.write_ns);
+  metrics_.vectored_blocks.Add(n);
+  metrics_.blocks_written.Add(n);
   std::vector<uint8_t> scratch;
   for (size_t i = 0; i < n;) {
     const size_t run = RunLength(iov, n, i);
@@ -171,7 +177,7 @@ Status FileBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
                     block_size_);
       }
       STEGFS_RETURN_IF_ERROR(FullWrite(fd_, scratch.data(), bytes, off));
-      coalesced_runs_.fetch_add(1, std::memory_order_relaxed);
+      metrics_.coalesced_runs.Increment();
     }
     i += run;
   }
@@ -180,8 +186,8 @@ Status FileBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
 
 DeviceBatchStats FileBlockDevice::batch_stats() const {
   DeviceBatchStats s;
-  s.vectored_blocks = vectored_blocks_.load(std::memory_order_relaxed);
-  s.coalesced_runs = coalesced_runs_.load(std::memory_order_relaxed);
+  s.vectored_blocks = metrics_.vectored_blocks.value();
+  s.coalesced_runs = metrics_.coalesced_runs.value();
   return s;
 }
 
@@ -194,7 +200,8 @@ Status FileBlockDevice::Flush() {
 }
 
 Status FileBlockDevice::Sync() {
-  syncs_.fetch_add(1, std::memory_order_relaxed);
+  obs::LatencyTimer sync_timer(&metrics_.sync_ns);
+  metrics_.syncs.Increment();
   if (fdatasync(fd_) != 0) {
     return Status::IOError("fdatasync failed on volume file");
   }

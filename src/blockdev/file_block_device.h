@@ -54,9 +54,8 @@ class FileBlockDevice : public BlockDevice {
   Status Flush() override;
   // Unconditional fdatasync — the journal's write barrier.
   Status Sync() override;
-  uint64_t sync_count() const override {
-    return syncs_.load(std::memory_order_relaxed);
-  }
+  uint64_t sync_count() const override { return metrics_.syncs.value(); }
+  const DeviceMetrics* device_metrics() const override { return &metrics_; }
   void set_flush_durability(FlushDurability mode) override {
     durability_.store(mode, std::memory_order_relaxed);
   }
@@ -80,9 +79,7 @@ class FileBlockDevice : public BlockDevice {
   uint32_t block_size_;
   uint64_t num_blocks_;
   std::atomic<FlushDurability> durability_{FlushDurability::kDurable};
-  std::atomic<uint64_t> syncs_{0};
-  std::atomic<uint64_t> vectored_blocks_{0};
-  std::atomic<uint64_t> coalesced_runs_{0};
+  DeviceMetrics metrics_;
 };
 
 }  // namespace stegfs

@@ -18,17 +18,12 @@ struct IoRequest {
 
 using IoTrace = std::vector<IoRequest>;
 
-// Cumulative device counters.
-struct IoStats {
-  uint64_t reads = 0;
-  uint64_t writes = 0;
-  uint64_t blocks_read = 0;
-  uint64_t blocks_written = 0;
-  uint64_t seeks = 0;          // requests that paid a mechanical seek
-  uint64_t cache_hits = 0;     // requests served from a drive cache segment
-
-  void Clear() { *this = IoStats(); }
-};
+// The cumulative `IoStats` counters that used to live here moved to the
+// unified metrics layer: DiskModel keeps obs::Counter instruments and
+// snapshots them as DiskModelStats (blockdev/disk_model.h). The old
+// `cache_hits` field is now `drive_cache_hits` — it counts drive-segment
+// hits in the mechanical model and never had anything to do with the
+// BufferCache hit counters it collided with.
 
 }  // namespace stegfs
 

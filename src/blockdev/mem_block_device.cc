@@ -15,6 +15,7 @@ Status MemBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("read past end of device");
   }
+  metrics_.blocks_read.Increment();
   std::memcpy(buf, data_.data() + block * block_size_, block_size_);
   return Status::OK();
 }
@@ -23,6 +24,7 @@ Status MemBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
   if (block >= num_blocks_) {
     return Status::InvalidArgument("write past end of device");
   }
+  metrics_.blocks_written.Increment();
   std::memcpy(data_.data() + block * block_size_, buf, block_size_);
   return Status::OK();
 }

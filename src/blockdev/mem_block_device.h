@@ -19,6 +19,7 @@ class MemBlockDevice : public BlockDevice {
   Status ReadBlock(uint64_t block, uint8_t* buf) override;
   Status WriteBlock(uint64_t block, const uint8_t* buf) override;
   Status Flush() override { return Status::OK(); }
+  const DeviceMetrics* device_metrics() const override { return &metrics_; }
 
   // Direct access for tests and the deniability auditor (an "attacker" that
   // scans the raw disk image).
@@ -29,6 +30,8 @@ class MemBlockDevice : public BlockDevice {
   uint32_t block_size_;
   uint64_t num_blocks_;
   std::vector<uint8_t> data_;
+  // Counters only — no latency timers on a memcpy-speed device.
+  DeviceMetrics metrics_;
 };
 
 }  // namespace stegfs

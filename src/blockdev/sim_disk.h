@@ -51,9 +51,13 @@ class SimDisk : public BlockDevice {
 
   // Total modeled service time of all requests so far.
   double sim_time_seconds() const { return sim_time_seconds_; }
-  const IoStats& stats() const { return model_.stats(); }
+  DiskModelStats stats() const { return model_.stats(); }
   DiskModel* model() { return &model_; }
   BlockDevice* inner() { return inner_.get(); }
+  // Physical-I/O accounting belongs to the wrapped device.
+  const DeviceMetrics* device_metrics() const override {
+    return inner_->device_metrics();
+  }
 
   // When non-null, every request is appended to *trace (in addition to being
   // charged). Caller keeps ownership; pass nullptr to stop recording.

@@ -25,8 +25,11 @@ ThreadPoolAsyncDevice::~ThreadPoolAsyncDevice() { Drain(); }
 
 void ThreadPoolAsyncDevice::Finalize(const std::shared_ptr<Batch>& batch) {
   Status status = batch->Snapshot();
-  if (!status.ok()) failed_batches_.fetch_add(1, std::memory_order_relaxed);
-  completed_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) failed_batches_.Increment();
+  completed_batches_.Increment();
+  if (batch->submit_ns != 0) {
+    batch_ns_.Record(obs::NowNanos() - batch->submit_ns);
+  }
   // Callback first (before the ticket unblocks — the interface contract,
   // and before the counters drop so Drain() covers the callback), then
   // the counters, then the ticket: a waiter that returns from Wait() must
@@ -57,14 +60,15 @@ IoTicket ThreadPoolAsyncDevice::Submit(std::vector<Vec> iov,
   auto batch = std::make_shared<Batch>();
   batch->done = std::move(done);
   batch->blocks = iov.size();
+  batch->submit_ns = obs::MetricsEnabled() ? obs::NowNanos() : 0;
 
   const size_t slices = std::max<size_t>(
       1, std::min(pool_.size(),
                   (iov.size() + kMinSliceBlocks - 1) / kMinSliceBlocks));
   batch->remaining.store(slices, std::memory_order_relaxed);
 
-  submitted_batches_.fetch_add(1, std::memory_order_relaxed);
-  submitted_blocks_.fetch_add(iov.size(), std::memory_order_relaxed);
+  submitted_batches_.Increment();
+  submitted_blocks_.Add(iov.size());
   {
     std::lock_guard<std::mutex> lock(mu_);
     inflight_batches_++;
@@ -113,13 +117,28 @@ void ThreadPoolAsyncDevice::Drain() {
 
 AsyncIoStats ThreadPoolAsyncDevice::stats() const {
   AsyncIoStats s;
-  s.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
-  s.submitted_blocks = submitted_blocks_.load(std::memory_order_relaxed);
-  s.completed_batches = completed_batches_.load(std::memory_order_relaxed);
-  s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
+  s.submitted_batches = submitted_batches_.value();
+  s.submitted_blocks = submitted_blocks_.value();
+  s.completed_batches = completed_batches_.value();
+  s.failed_batches = failed_batches_.value();
   std::lock_guard<std::mutex> lock(mu_);
   s.inflight_blocks = inflight_blocks_;
   return s;
+}
+
+void ThreadPoolAsyncDevice::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterCounter("stegfs_async_submitted_batches_total",
+                       "Async batches submitted", &submitted_batches_);
+  reg->RegisterCounter("stegfs_async_submitted_blocks_total",
+                       "Async blocks submitted", &submitted_blocks_);
+  reg->RegisterCounter("stegfs_async_completed_batches_total",
+                       "Async batches completed", &completed_batches_);
+  reg->RegisterCounter("stegfs_async_failed_batches_total",
+                       "Async batches that completed with an error",
+                       &failed_batches_);
+  reg->RegisterHistogram("stegfs_async_batch_seconds",
+                         "Async batch submit-to-finalize latency",
+                         &batch_ns_);
 }
 
 }  // namespace stegfs

@@ -25,6 +25,7 @@
 
 #include "blockdev/async_block_device.h"
 #include "concurrency/thread_pool.h"
+#include "obs/metrics.h"
 
 namespace stegfs {
 
@@ -48,6 +49,10 @@ class ThreadPoolAsyncDevice : public AsyncBlockDevice {
   void Drain() override;
   AsyncIoStats stats() const override;
 
+  // Publishes the engine counters and the batch-latency histogram into
+  // `reg` under stegfs_async_* names (stats() stays the legacy snapshot).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const override;
+
  private:
   // One in-flight batch (`remaining` counts slices here); the slice that
   // drops it to zero finalizes per the AsyncBatchState contract.
@@ -66,10 +71,11 @@ class ThreadPoolAsyncDevice : public AsyncBlockDevice {
   uint64_t inflight_batches_ = 0;
   uint64_t inflight_blocks_ = 0;
 
-  std::atomic<uint64_t> submitted_batches_{0};
-  std::atomic<uint64_t> submitted_blocks_{0};
-  std::atomic<uint64_t> completed_batches_{0};
-  std::atomic<uint64_t> failed_batches_{0};
+  obs::Counter submitted_batches_;
+  obs::Counter submitted_blocks_;
+  obs::Counter completed_batches_;
+  obs::Counter failed_batches_;
+  obs::Histogram batch_ns_;  // submit -> finalize, per batch
 };
 
 }  // namespace stegfs

@@ -65,6 +65,11 @@ class ThrottledBlockDevice : public BlockDevice {
   uint64_t reads() const { return reads_.load(std::memory_order_relaxed); }
   uint64_t writes() const { return writes_.load(std::memory_order_relaxed); }
 
+  // Physical-I/O accounting belongs to the wrapped device.
+  const DeviceMetrics* device_metrics() const override {
+    return inner_->device_metrics();
+  }
+
  private:
   BlockDevice* inner_;
   std::chrono::microseconds read_lat_;

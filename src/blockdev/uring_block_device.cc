@@ -230,8 +230,11 @@ void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) {
 
 void UringBlockDevice::FinalizeBatch(Batch* batch, size_t blocks) {
   Status status = batch->Snapshot();
-  if (!status.ok()) failed_batches_.fetch_add(1, std::memory_order_relaxed);
-  completed_batches_.fetch_add(1, std::memory_order_relaxed);
+  if (!status.ok()) failed_batches_.Increment();
+  completed_batches_.Increment();
+  if (batch->submit_ns != 0) {
+    batch_ns_.Record(obs::NowNanos() - batch->submit_ns);
+  }
   // Callback first (before the ticket unblocks — the interface contract,
   // and before the counters drop so Drain() covers the callback), then
   // the counters, then the ticket: a waiter that returns from Wait() must
@@ -273,10 +276,11 @@ IoTicket UringBlockDevice::Submit(std::vector<Vec> iov, IoCompletionFn done,
   batch->remaining.store(n, std::memory_order_relaxed);
   batch->done = std::move(done);
   batch->blocks = n;
+  batch->submit_ns = obs::MetricsEnabled() ? obs::NowNanos() : 0;
   IoTicket ticket = batch->completion.ticket();
 
-  submitted_batches_.fetch_add(1, std::memory_order_relaxed);
-  submitted_blocks_.fetch_add(n, std::memory_order_relaxed);
+  submitted_batches_.Increment();
+  submitted_blocks_.Add(n);
   // Punting to io-wq lets page-cache transfers run on other cores while
   // the submitter computes; worthless for tiny batches or one core.
   const uint8_t sqe_flags =
@@ -308,7 +312,7 @@ IoTicket UringBlockDevice::Submit(std::vector<Vec> iov, IoCompletionFn done,
       if (fixed) {
         sqe->opcode = write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
         sqe->buf_index = 0;
-        fixed_buffer_ops_.fetch_add(1, std::memory_order_relaxed);
+        fixed_buffer_ops_.Increment();
       } else {
         sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
       }
@@ -430,11 +434,11 @@ void UringBlockDevice::Drain() {
 
 AsyncIoStats UringBlockDevice::stats() const {
   AsyncIoStats s;
-  s.submitted_batches = submitted_batches_.load(std::memory_order_relaxed);
-  s.submitted_blocks = submitted_blocks_.load(std::memory_order_relaxed);
-  s.completed_batches = completed_batches_.load(std::memory_order_relaxed);
-  s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
-  s.fixed_buffer_ops = fixed_buffer_ops_.load(std::memory_order_relaxed);
+  s.submitted_batches = submitted_batches_.value();
+  s.submitted_blocks = submitted_blocks_.value();
+  s.completed_batches = completed_batches_.value();
+  s.failed_batches = failed_batches_.value();
+  s.fixed_buffer_ops = fixed_buffer_ops_.value();
   std::lock_guard<std::mutex> lock(mu_);
   s.inflight_blocks = inflight_blocks_;
   return s;
@@ -498,5 +502,25 @@ uint8_t* UringBlockDevice::AcquireArenaSpan(size_t blocks) {
 void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) { (void)span; }
 
 #endif  // STEGFS_HAS_URING
+
+// Shared by the real and stub builds: the instruments exist either way
+// (a stub engine just never bumps them).
+void UringBlockDevice::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterCounter("stegfs_async_submitted_batches_total",
+                       "Async batches submitted", &submitted_batches_);
+  reg->RegisterCounter("stegfs_async_submitted_blocks_total",
+                       "Async blocks submitted", &submitted_blocks_);
+  reg->RegisterCounter("stegfs_async_completed_batches_total",
+                       "Async batches completed", &completed_batches_);
+  reg->RegisterCounter("stegfs_async_failed_batches_total",
+                       "Async batches that completed with an error",
+                       &failed_batches_);
+  reg->RegisterCounter("stegfs_async_fixed_buffer_ops_total",
+                       "io_uring ops that used a registered buffer",
+                       &fixed_buffer_ops_);
+  reg->RegisterHistogram("stegfs_async_batch_seconds",
+                         "Async batch submit-to-finalize latency",
+                         &batch_ns_);
+}
 
 }  // namespace stegfs

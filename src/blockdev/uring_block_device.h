@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "blockdev/async_block_device.h"
+#include "obs/metrics.h"
 #include "util/statusor.h"
 
 // Compile-time gate; runtime support is still probed by Attach().
@@ -67,6 +68,10 @@ class UringBlockDevice : public AsyncBlockDevice {
 
   void Drain() override;
   AsyncIoStats stats() const override;
+
+  // Publishes the engine counters and the batch-latency histogram into
+  // `reg` under stegfs_async_* names (stats() stays the legacy snapshot).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const override;
 
   // Registered-buffer arena: kArenaSpans spans of kArenaSpanBlocks blocks
   // each, page-aligned, registered as ONE kernel buffer at Attach (best
@@ -111,11 +116,12 @@ class UringBlockDevice : public AsyncBlockDevice {
   uint64_t inflight_blocks_ = 0;
   bool stop_ = false;
 
-  std::atomic<uint64_t> submitted_batches_{0};
-  std::atomic<uint64_t> submitted_blocks_{0};
-  std::atomic<uint64_t> completed_batches_{0};
-  std::atomic<uint64_t> failed_batches_{0};
-  std::atomic<uint64_t> fixed_buffer_ops_{0};
+  obs::Counter submitted_batches_;
+  obs::Counter submitted_blocks_;
+  obs::Counter completed_batches_;
+  obs::Counter failed_batches_;
+  obs::Counter fixed_buffer_ops_;
+  obs::Histogram batch_ns_;  // submit -> finalize, per batch
 
   // Registered arena (null when registration failed or stub build).
   void SetupArena();

@@ -1,5 +1,7 @@
 #include "cache/buffer_cache.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cstdint>
 #include <cassert>
@@ -67,20 +69,20 @@ Status BufferCache::EnsureRoom(Shard* shard) {
     if (victim.dirty) {
       STEGFS_RETURN_IF_ERROR(
           device_->WriteBlock(victim.block, victim.data.data()));
-      writebacks_.fetch_add(1, std::memory_order_relaxed);
+      writebacks_.Increment();
     }
     shard->map.erase(victim.block);
     shard->lru.erase(victim_it);
-    evictions_.fetch_add(1, std::memory_order_relaxed);
+    evictions_.Increment();
   }
   return Status::OK();
 }
 
 void BufferCache::CountHit(Entry& e) {
-  hits_.fetch_add(1, std::memory_order_relaxed);
+  hits_.Increment();
   if (e.prefetched) {
     e.prefetched = false;
-    prefetch_hits_.fetch_add(1, std::memory_order_relaxed);
+    prefetch_hits_.Increment();
   }
 }
 
@@ -95,12 +97,15 @@ Status BufferCache::Read(uint64_t block, uint8_t* out) {
     std::memcpy(out, e.data.data(), e.data.size());
     return Status::OK();
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
   Entry e;
   e.block = block;
   e.data.resize(device_->block_size());
-  STEGFS_RETURN_IF_ERROR(device_->ReadBlock(block, e.data.data()));
+  {
+    obs::LatencyTimer fill_timer(&fill_ns_);
+    STEGFS_RETURN_IF_ERROR(device_->ReadBlock(block, e.data.data()));
+  }
   std::memcpy(out, e.data.data(), e.data.size());
   shard->lru.push_front(std::move(e));
   shard->map[block] = shard->lru.begin();
@@ -125,7 +130,7 @@ Status BufferCache::Write(uint64_t block, const uint8_t* data) {
     e.wseq = seq;
     return Status::OK();
   }
-  misses_.fetch_add(1, std::memory_order_relaxed);
+  misses_.Increment();
   STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
   Entry e;
   e.block = block;
@@ -154,7 +159,7 @@ std::vector<std::vector<size_t>> BufferCache::GroupByShard(
 Status BufferCache::ReadBatch(const uint64_t* blocks, size_t n,
                               uint8_t* out) {
   const size_t bs = device_->block_size();
-  batched_reads_.fetch_add(n, std::memory_order_relaxed);
+  batched_reads_.Add(n);
 
   // One shard at a time, holding only that shard's lock — exactly the
   // demand path's locking granularity, so concurrent sessions on other
@@ -199,6 +204,7 @@ Status BufferCache::ReadBatch(const uint64_t* blocks, size_t n,
       }
     }
     if (!iov.empty()) {
+      obs::LatencyTimer fill_timer(&fill_ns_);
       STEGFS_RETURN_IF_ERROR(device_->ReadBlocks(iov.data(), iov.size()));
     }
     for (const auto& [pos, first] : dup_of) {
@@ -227,9 +233,9 @@ Status BufferCache::ReadBatch(const uint64_t* blocks, size_t n,
         }
       }
       if (fetched) {
-        misses_.fetch_add(1, std::memory_order_relaxed);
+        misses_.Increment();
       } else {
-        hits_.fetch_add(1, std::memory_order_relaxed);  // evicted pass-1 hit
+        hits_.Increment();  // evicted pass-1 hit
       }
       STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
       Entry e;
@@ -245,7 +251,7 @@ Status BufferCache::ReadBatch(const uint64_t* blocks, size_t n,
 Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
                                const uint8_t* data) {
   const size_t bs = device_->block_size();
-  batched_writes_.fetch_add(n, std::memory_order_relaxed);
+  batched_writes_.Add(n);
   auto groups = GroupByShard(blocks, n);
   std::vector<ConstBlockIoVec> iov;
   for (size_t idx = 0; idx < groups.size(); ++idx) {
@@ -289,7 +295,7 @@ Status BufferCache::WriteBatch(const uint64_t* blocks, size_t n,
         e.wseq = seq;
         continue;
       }
-      misses_.fetch_add(1, std::memory_order_relaxed);
+      misses_.Increment();
       STEGFS_RETURN_IF_ERROR(EnsureRoom(shard));
       Entry e;
       e.block = blocks[pos];
@@ -316,8 +322,8 @@ CacheIoTicket BufferCache::ReadBatchAsync(const uint64_t* blocks, size_t n,
     return result;
   }
   const size_t bs = device_->block_size();
-  batched_reads_.fetch_add(n, std::memory_order_relaxed);
-  async_batched_reads_.fetch_add(n, std::memory_order_relaxed);
+  batched_reads_.Add(n);
+  async_batched_reads_.Add(n);
 
   auto groups = GroupByShard(blocks, n);
   std::unordered_map<uint64_t, size_t> first_pos;  // block -> first miss pos
@@ -346,22 +352,29 @@ CacheIoTicket BufferCache::ReadBatchAsync(const uint64_t* blocks, size_t n,
         }
         auto [it, fresh] = first_pos.try_emplace(blocks[pos], pos);
         if (fresh) {
-          misses_.fetch_add(1, std::memory_order_relaxed);
+          misses_.Increment();
           iov.push_back({blocks[pos], out + pos * bs});
         } else {
           // Sync-replay parity: the first occurrence is the miss, later
           // duplicates find the freshly inserted entry and count as hits.
-          hits_.fetch_add(1, std::memory_order_relaxed);
+          hits_.Increment();
           dups.push_back({pos, it->second});
         }
       }
     }
     if (iov.empty()) continue;
     std::vector<BlockIoVec> engine_iov = iov;  // engine consumes its copy
+    // Submission-time capture: fill latency spans submit→completion, and
+    // the caller's trace context rides along so the completion (an engine
+    // thread) lands in the submitting operation's span tree.
+    const uint64_t fill_t0 = obs::MetricsEnabled() ? obs::NowNanos() : 0;
+    const obs::SpanContext span_ctx = obs::CurrentSpanContext();
     result.tickets_.push_back(engine->SubmitRead(
         std::move(engine_iov),
         [this, idx, iov = std::move(iov), dups = std::move(dups), gen, out,
-         bs](const Status& s) {
+         bs, fill_t0, span_ctx](const Status& s) {
+          obs::Span span(span_ctx, "cache.fill", "cache");
+          if (fill_t0 != 0) fill_ns_.Record(obs::NowNanos() - fill_t0);
           if (!s.ok()) return;  // nothing inserted; Wait() reports the error
           for (const auto& [pos, first] : dups) {
             std::memcpy(out + pos * bs, out + first * bs, bs);
@@ -396,7 +409,7 @@ void BufferCache::CompleteAsyncRead(size_t idx,
     e.prefetched = prefetch;
     shard->lru.push_front(std::move(e));
     shard->map[v.block] = shard->lru.begin();
-    if (prefetch) prefetched_.fetch_add(1, std::memory_order_relaxed);
+    if (prefetch) prefetched_.Increment();
   }
 }
 
@@ -419,8 +432,8 @@ CacheIoTicket BufferCache::WriteBatchAsync(const uint64_t* blocks, size_t n,
     return result;
   }
   const size_t bs = device_->block_size();
-  batched_writes_.fetch_add(n, std::memory_order_relaxed);
-  async_batched_writes_.fetch_add(n, std::memory_order_relaxed);
+  batched_writes_.Add(n);
+  async_batched_writes_.Add(n);
 
   auto groups = GroupByShard(blocks, n);
   for (size_t idx = 0; idx < groups.size(); ++idx) {
@@ -441,10 +454,12 @@ CacheIoTicket BufferCache::WriteBatchAsync(const uint64_t* blocks, size_t n,
     iov.reserve(group.size());
     for (size_t pos : group) iov.push_back({blocks[pos], data + pos * bs});
     std::vector<size_t> positions = group;
+    const obs::SpanContext span_ctx = obs::CurrentSpanContext();
     result.tickets_.push_back(engine->SubmitWrite(
         std::move(iov),
-        [this, idx, positions = std::move(positions), blocks, data,
-         seq](const Status& s) {
+        [this, idx, positions = std::move(positions), blocks, data, seq,
+         span_ctx](const Status& s) {
+          obs::Span span(span_ctx, "cache.write_complete", "cache");
           CompleteAsyncWrite(idx, positions, blocks, data, seq, s);
         }));
   }
@@ -502,7 +517,7 @@ void BufferCache::CompleteAsyncWrite(size_t idx,
     // cleared the claims, means our bytes may not be what the device
     // will hold).
     if (!latest_claim) continue;
-    misses_.fetch_add(1, std::memory_order_relaxed);
+    misses_.Increment();
     if (!EnsureRoom(shard).ok()) return;
     Entry e;
     e.block = blocks[pos];
@@ -549,7 +564,7 @@ void BufferCache::PopulateShard(size_t idx,
       e.prefetched = true;
       shard->lru.push_front(std::move(e));
       shard->map[e.block] = shard->lru.begin();
-      prefetched_.fetch_add(1, std::memory_order_relaxed);
+      prefetched_.Increment();
     }
   }
 }
@@ -640,7 +655,7 @@ Status BufferCache::FlushShard(Shard* shard,
   for (const Entry* e : dirty) iov.push_back({e->block, e->data.data()});
   STEGFS_RETURN_IF_ERROR(device_->WriteBlocks(iov.data(), iov.size()));
   for (Entry* e : dirty) e->dirty = false;
-  writebacks_.fetch_add(dirty.size(), std::memory_order_relaxed);
+  writebacks_.Add(dirty.size());
   return Status::OK();
 }
 
@@ -693,19 +708,49 @@ void BufferCache::DropAll() {
 
 CacheStats BufferCache::stats() const {
   CacheStats s;
-  s.hits = hits_.load(std::memory_order_relaxed);
-  s.misses = misses_.load(std::memory_order_relaxed);
-  s.evictions = evictions_.load(std::memory_order_relaxed);
-  s.writebacks = writebacks_.load(std::memory_order_relaxed);
-  s.batched_reads = batched_reads_.load(std::memory_order_relaxed);
-  s.batched_writes = batched_writes_.load(std::memory_order_relaxed);
-  s.prefetched = prefetched_.load(std::memory_order_relaxed);
-  s.prefetch_hits = prefetch_hits_.load(std::memory_order_relaxed);
+  s.hits = hits_.value();
+  s.misses = misses_.value();
+  s.evictions = evictions_.value();
+  s.writebacks = writebacks_.value();
+  s.batched_reads = batched_reads_.value();
+  s.batched_writes = batched_writes_.value();
+  s.prefetched = prefetched_.value();
+  s.prefetch_hits = prefetch_hits_.value();
   s.async_batched_reads =
-      async_batched_reads_.load(std::memory_order_relaxed);
+      async_batched_reads_.value();
   s.async_batched_writes =
-      async_batched_writes_.load(std::memory_order_relaxed);
+      async_batched_writes_.value();
   return s;
+}
+
+void BufferCache::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterCounter("stegfs_cache_hits_total", "Cache demand hits",
+                       &hits_);
+  reg->RegisterCounter("stegfs_cache_misses_total", "Cache demand misses",
+                       &misses_);
+  reg->RegisterCounter("stegfs_cache_evictions_total", "LRU evictions",
+                       &evictions_);
+  reg->RegisterCounter("stegfs_cache_writebacks_total",
+                       "Dirty block write-backs", &writebacks_);
+  reg->RegisterCounter("stegfs_cache_batched_reads_total",
+                       "Blocks read through batch calls", &batched_reads_);
+  reg->RegisterCounter("stegfs_cache_batched_writes_total",
+                       "Blocks written through batch calls",
+                       &batched_writes_);
+  reg->RegisterCounter("stegfs_cache_prefetched_total",
+                       "Blocks inserted by the prefetcher", &prefetched_);
+  reg->RegisterCounter("stegfs_cache_prefetch_hits_total",
+                       "Prefetched blocks claimed by demand reads",
+                       &prefetch_hits_);
+  reg->RegisterCounter("stegfs_cache_async_batched_reads_total",
+                       "Blocks read through the async batch path",
+                       &async_batched_reads_);
+  reg->RegisterCounter("stegfs_cache_async_batched_writes_total",
+                       "Blocks written through the async batch path",
+                       &async_batched_writes_);
+  reg->RegisterHistogram("stegfs_cache_fill_seconds",
+                         "Demand miss fill latency (device read)",
+                         &fill_ns_);
 }
 
 size_t BufferCache::size() const {

@@ -20,8 +20,10 @@
 // sequential mount should use cache_shards = 1: the whole extent then
 // leaves as one coalescable device call (bench_seq_throughput does this).
 //
-// Statistics are plain atomics: readers (hit-rate probes, the C API's
-// steg_stats) never take any lock.
+// Statistics are obs::Counter instruments (relaxed atomics): readers
+// (hit-rate probes, the C API's steg_stats) never take any lock, and a
+// mount registers them with its MetricsRegistry (RegisterMetrics) so
+// they scrape through steg_metrics_text() under stable names.
 //
 // Single-threaded determinism: with one shard this behaves exactly like the
 // classic single-list LRU. Auto-sharding (shard_count = 0) keeps small
@@ -52,6 +54,7 @@
 #include "blockdev/block_device.h"
 #include "concurrency/shard_lock.h"
 #include "concurrency/thread_pool.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 
 namespace stegfs {
@@ -233,6 +236,14 @@ class BufferCache {
 
   CacheStats stats() const;                    // lock-free snapshot
   double hit_rate() const { return stats().HitRate(); }
+  // Registers this cache's instruments with `reg` under stegfs_cache_*
+  // names. The cache keeps ownership; it must outlive the registry's
+  // scrapes (PlainFs registers at mount, where destruction order
+  // guarantees it).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
+  // Miss-fill device latency (sync vectored fills and async
+  // submit-to-completion), exposed for the demand-fill percentiles.
+  const obs::Histogram& fill_histogram() const { return fill_ns_; }
   size_t size() const;                         // cached blocks, all shards
   size_t capacity() const { return capacity_; }
   size_t shard_count() const { return shards_.size(); }
@@ -329,16 +340,17 @@ class BufferCache {
   std::atomic<concurrency::ThreadPool*> prefetch_pool_{nullptr};
   std::atomic<AsyncBlockDevice*> async_engine_{nullptr};
 
-  std::atomic<uint64_t> hits_{0};
-  std::atomic<uint64_t> misses_{0};
-  std::atomic<uint64_t> evictions_{0};
-  std::atomic<uint64_t> writebacks_{0};
-  std::atomic<uint64_t> batched_reads_{0};
-  std::atomic<uint64_t> batched_writes_{0};
-  std::atomic<uint64_t> prefetched_{0};
-  std::atomic<uint64_t> prefetch_hits_{0};
-  std::atomic<uint64_t> async_batched_reads_{0};
-  std::atomic<uint64_t> async_batched_writes_{0};
+  obs::Counter hits_;
+  obs::Counter misses_;
+  obs::Counter evictions_;
+  obs::Counter writebacks_;
+  obs::Counter batched_reads_;
+  obs::Counter batched_writes_;
+  obs::Counter prefetched_;
+  obs::Counter prefetch_hits_;
+  obs::Counter async_batched_reads_;
+  obs::Counter async_batched_writes_;
+  obs::Histogram fill_ns_;
   std::atomic<uint64_t> dirty_epoch_{1};
 };
 

@@ -1,6 +1,7 @@
 #include "capi/steg_api.h"
 
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <memory>
 #include <string>
@@ -150,55 +151,121 @@ const char* steg_strerror(stegfs_volume* vol) {
 
 int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
-  stegfs::CacheStats cs = vol->fs->plain()->cache()->stats();
+  stegfs::PlainFs* plain = vol->fs->plain();
+  // ONE consistent snapshot of every cumulative counter of the volume —
+  // the old field-by-field component reads could tear (hits from before a
+  // burst, misses from after it). Gauges and the space report are
+  // inherently point-in-time and stay separate.
+  stegfs::obs::RegistrySnapshot snap = plain->metrics_registry()->Snapshot();
   stegfs::SpaceReport sr = vol->fs->ReportSpace();
-  out->cache_hits = cs.hits;
-  out->cache_misses = cs.misses;
-  out->cache_evictions = cs.evictions;
-  out->cache_writebacks = cs.writebacks;
-  out->cache_hit_rate = cs.HitRate();
+  out->cache_hits = snap.counter("stegfs_cache_hits_total");
+  out->cache_misses = snap.counter("stegfs_cache_misses_total");
+  out->cache_evictions = snap.counter("stegfs_cache_evictions_total");
+  out->cache_writebacks = snap.counter("stegfs_cache_writebacks_total");
+  const uint64_t lookups = out->cache_hits + out->cache_misses;
+  out->cache_hit_rate =
+      lookups == 0 ? 0.0
+                   : static_cast<double>(out->cache_hits) /
+                         static_cast<double>(lookups);
   out->block_size = sr.block_size;
   out->total_blocks = sr.total_blocks;
   out->metadata_blocks = sr.metadata_blocks;
   out->allocated_blocks = sr.allocated_blocks;
   out->free_blocks = sr.free_blocks;
   out->plain_file_bytes = sr.plain_file_bytes;
-  out->cache_batched_reads = cs.batched_reads;
-  out->cache_batched_writes = cs.batched_writes;
-  out->cache_prefetched = cs.prefetched;
-  out->cache_prefetch_hits = cs.prefetch_hits;
-  stegfs::DeviceBatchStats ds = vol->device->batch_stats();
-  out->dev_vectored_blocks = ds.vectored_blocks;
-  out->dev_coalesced_runs = ds.coalesced_runs;
+  out->cache_batched_reads = snap.counter("stegfs_cache_batched_reads_total");
+  out->cache_batched_writes =
+      snap.counter("stegfs_cache_batched_writes_total");
+  out->cache_prefetched = snap.counter("stegfs_cache_prefetched_total");
+  out->cache_prefetch_hits =
+      snap.counter("stegfs_cache_prefetch_hits_total");
+  out->dev_vectored_blocks =
+      snap.counter("stegfs_device_vectored_blocks_total");
+  out->dev_coalesced_runs =
+      snap.counter("stegfs_device_coalesced_runs_total");
   out->crypto_tier = stegfs::crypto::AesTierName();
-  stegfs::PlainFs* plain = vol->fs->plain();
   out->io_engine = plain->io_engine_name();
-  stegfs::AsyncIoStats as;
-  if (plain->io_engine() != nullptr) as = plain->io_engine()->stats();
-  out->io_submitted_batches = as.submitted_batches;
-  out->io_completed_batches = as.completed_batches;
-  out->io_inflight_blocks = as.inflight_blocks;
+  out->io_submitted_batches =
+      snap.counter("stegfs_async_submitted_batches_total");
+  out->io_completed_batches =
+      snap.counter("stegfs_async_completed_batches_total");
+  out->io_fixed_buffer_ops =
+      snap.counter("stegfs_async_fixed_buffer_ops_total");
+  out->io_inflight_blocks =
+      plain->io_engine() != nullptr
+          ? plain->io_engine()->stats().inflight_blocks
+          : 0;
   out->readahead_active = plain->readahead_blocks() > 0 ? 1 : 0;
   out->readahead_window = plain->readahead_blocks();
   out->durability = plain->durable() ? "journal" : "none";
-  stegfs::journal::JournalStats js;
-  if (plain->journal() != nullptr) js = plain->journal()->stats();
-  out->journal_records = js.records_committed;
-  out->journal_blocks_logged = js.blocks_journaled;
-  out->journal_barrier_syncs = js.barrier_syncs;
-  out->journal_overflows = js.overflow_fallbacks;
+  out->journal_records =
+      snap.counter("stegfs_journal_records_committed_total");
+  out->journal_blocks_logged =
+      snap.counter("stegfs_journal_blocks_journaled_total");
+  out->journal_barrier_syncs =
+      snap.counter("stegfs_journal_barrier_syncs_total");
+  out->journal_overflows =
+      snap.counter("stegfs_journal_overflow_fallbacks_total");
   out->journal_recovered_records = plain->recovery_report().records_replayed;
-  out->io_fixed_buffer_ops = as.fixed_buffer_ops;
   out->cache_dirty_epoch = plain->cache()->dirty_epoch();
   out->cache_dirty_blocks = plain->cache()->dirty_count();
   out->gf_tier = stegfs::crypto::GfTierName();
-  const stegfs::RedundancyStats& rs = vol->fs->redundancy_stats();
-  out->red_stripes_encoded = rs.stripes_encoded.load();
-  out->red_shares_written = rs.shares_written.load();
-  out->red_degraded_reads = rs.degraded_reads.load();
-  out->red_shares_healed = rs.shares_healed.load();
-  out->red_verify_failures = rs.verify_failures.load();
+  out->red_stripes_encoded = snap.counter("stegfs_red_stripes_encoded_total");
+  out->red_shares_written = snap.counter("stegfs_red_shares_written_total");
+  out->red_degraded_reads = snap.counter("stegfs_red_degraded_reads_total");
+  out->red_shares_healed = snap.counter("stegfs_red_shares_healed_total");
+  out->red_verify_failures =
+      snap.counter("stegfs_red_verify_failures_total");
   return STEG_OK;
+}
+
+namespace {
+
+// Copies `s` into a malloc'd buffer for a C caller (steg_buffer_free).
+int CopyOutBuffer(const std::string& s, char** out, size_t* out_len) {
+  char* buf = static_cast<char*>(std::malloc(s.size() + 1));
+  if (buf == nullptr) return STEG_ERR_NOSPACE;
+  std::memcpy(buf, s.data(), s.size());
+  buf[s.size()] = '\0';
+  *out = buf;
+  if (out_len != nullptr) *out_len = s.size();
+  return STEG_OK;
+}
+
+}  // namespace
+
+int steg_metrics_text(stegfs_volume* vol, char** out, size_t* out_len) {
+  if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
+  return CopyOutBuffer(
+      vol->fs->plain()->metrics_registry()->TextExposition(), out, out_len);
+}
+
+int steg_trace_start(stegfs_volume* vol) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  vol->fs->plain()->trace_recorder()->Start();
+  return STEG_OK;
+}
+
+int steg_trace_stop(stegfs_volume* vol) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  vol->fs->plain()->trace_recorder()->Stop();
+  return STEG_OK;
+}
+
+int steg_trace_export(stegfs_volume* vol, char** out, size_t* out_len) {
+  if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
+  return CopyOutBuffer(
+      vol->fs->plain()->trace_recorder()->ExportChromeJson(), out, out_len);
+}
+
+void steg_buffer_free(char* buf) { std::free(buf); }
+
+void steg_obs_set_enabled(int enabled) {
+  stegfs::obs::SetMetricsEnabled(enabled != 0);
+}
+
+int steg_obs_enabled(void) {
+  return stegfs::obs::MetricsEnabled() ? 1 : 0;
 }
 
 int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out) {

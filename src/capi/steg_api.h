@@ -129,8 +129,46 @@ typedef struct stegfs_stats {
                                     failures */
 } stegfs_stats;
 
-/* Fills *out; safe to call concurrently with any other operation. */
+/* Fills *out; safe to call concurrently with any other operation. All
+ * cumulative counters come from ONE consistent snapshot of the volume's
+ * metrics registry (no torn reads between related fields); only the
+ * point-in-time gauges (inflight blocks, dirty blocks, space report) are
+ * read separately. */
 int steg_stats(stegfs_volume* vol, stegfs_stats* out);
+
+/* --- observability ------------------------------------------------------ */
+
+/* Everything below lives ONLY in process memory: no block on the volume
+ * ever carries metrics or trace bytes, so observability state is
+ * invisible to an inspector of the image (the deniability rule). */
+
+/* Prometheus text exposition (version 0.0.4) of every instrument of this
+ * volume: counters and log-bucketed latency histograms across the device,
+ * buffer cache, crypto, journal, async engine, redundancy and per-op file
+ * system latencies. *out receives a malloc'd NUL-terminated buffer (free
+ * with steg_buffer_free); *out_len (optional) its strlen. */
+int steg_metrics_text(stegfs_volume* vol, char** out, size_t* out_len);
+
+/* Arms/disarms the volume's in-memory trace ring. While started, every
+ * data-path operation records one root span plus its nested phase spans
+ * (cache fills, journal barriers, crypto sub-batches, async completions).
+ * The ring is fixed-size and wraps: newest spans win. */
+int steg_trace_start(stegfs_volume* vol);
+int steg_trace_stop(stegfs_volume* vol);
+
+/* Exports the ring as Chrome trace-event JSON (loadable in Perfetto /
+ * about:tracing). Same buffer contract as steg_metrics_text. */
+int steg_trace_export(stegfs_volume* vol, char** out, size_t* out_len);
+
+/* Releases a buffer returned by steg_metrics_text / steg_trace_export. */
+void steg_buffer_free(char* buf);
+
+/* Process-wide observability master switch (initial state comes from the
+ * STEGFS_OBS environment variable: unset or != "0" means enabled).
+ * Disabled, every timer and span skips the clock read entirely — the
+ * remaining cost is one relaxed atomic load per instrumentation site. */
+void steg_obs_set_enabled(int enabled);
+int steg_obs_enabled(void);
 
 /* Online recovery/scrub report (see docs/ARCHITECTURE.md "Journal &
  * recovery"). Unconnected hidden objects are not — cannot be — audited:

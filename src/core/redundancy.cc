@@ -1,5 +1,7 @@
 #include "core/redundancy.h"
 
+#include "obs/trace.h"
+
 #include <algorithm>
 #include <cstring>
 
@@ -301,8 +303,8 @@ Status RedundancyManager::EncodeStripe(const RedundancyIoCtx& ctx,
   }
   dirty_ = true;
   if (stats_ != nullptr) {
-    stats_->stripes_encoded.fetch_add(1, std::memory_order_relaxed);
-    stats_->shares_written.fetch_add(p, std::memory_order_relaxed);
+    stats_->stripes_encoded.Increment();
+    stats_->shares_written.Add(p);
   }
   return Status::OK();
 }
@@ -313,6 +315,9 @@ Status RedundancyManager::HealStripe(const RedundancyIoCtx& ctx, uint64_t s,
   const uint32_t n = policy_.n;
   Stripe& st = stripes_[s];
 
+  obs::Span heal_span("red.heal_stripe", "redundancy");
+  obs::LatencyTimer heal_timer(
+      stats_ != nullptr ? &stats_->heal_ns : nullptr);
   std::vector<GatheredShare> shares;
   STEGFS_RETURN_IF_ERROR(GatherStripe(ctx, s, &shares));
   std::vector<std::pair<uint8_t, std::vector<uint8_t>>> intact;
@@ -324,8 +329,11 @@ Status RedundancyManager::HealStripe(const RedundancyIoCtx& ctx, uint64_t s,
     return Status::DataLoss("stripe lost more shares than the policy tolerates");
   }
 
+  obs::LatencyTimer decode_timer(
+      stats_ != nullptr ? &stats_->decode_ns : nullptr);
   STEGFS_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> decoded,
                           crypto::IdaDecodeStripe(intact, k));
+  decode_timer.Stop();
   std::vector<const uint8_t*> data_ptrs(k);
   for (uint32_t j = 0; j < k; ++j) data_ptrs[j] = decoded[j].data();
   const uint32_t p = policy_.parity();
@@ -364,7 +372,7 @@ Status RedundancyManager::HealStripe(const RedundancyIoCtx& ctx, uint64_t s,
   dirty_ = true;
   if (healed != nullptr) *healed += fixed;
   if (stats_ != nullptr) {
-    stats_->shares_healed.fetch_add(fixed, std::memory_order_relaxed);
+    stats_->shares_healed.Add(fixed);
   }
   return Status::OK();
 }
@@ -388,7 +396,7 @@ Status RedundancyManager::OnExtentRead(const RedundancyIoCtx& ctx,
     }
     if (bad) {
       if (stats_ != nullptr) {
-        stats_->verify_failures.fetch_add(1, std::memory_order_relaxed);
+        stats_->verify_failures.Increment();
       }
       if (std::find(degraded.begin(), degraded.end(), s) == degraded.end()) {
         degraded.push_back(s);
@@ -397,7 +405,7 @@ Status RedundancyManager::OnExtentRead(const RedundancyIoCtx& ctx,
   }
   for (uint64_t s : degraded) {
     if (stats_ != nullptr) {
-      stats_->degraded_reads.fetch_add(1, std::memory_order_relaxed);
+      stats_->degraded_reads.Increment();
     }
     STEGFS_RETURN_IF_ERROR(HealStripe(ctx, s, nullptr));
     // Patch the already-read buffers with the repaired content so this

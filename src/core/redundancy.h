@@ -34,19 +34,41 @@
 #include "core/hidden_header.h"
 #include "fs/bitmap.h"
 #include "fs/file_io.h"
+#include "obs/metrics.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
 namespace stegfs {
 
 // Volume-wide share accounting, shared by every hidden object of a mount
-// (plain atomics; surfaced through steg_stats).
+// (obs::Counter keeps the old atomic .load() call sites source-compatible;
+// surfaced through steg_stats and the metrics registry).
 struct RedundancyStats {
-  std::atomic<uint64_t> stripes_encoded{0};   // parity (re)computations
-  std::atomic<uint64_t> shares_written{0};    // parity share blocks written
-  std::atomic<uint64_t> degraded_reads{0};    // stripes found degraded on read
-  std::atomic<uint64_t> shares_healed{0};     // shares re-dispersed
-  std::atomic<uint64_t> verify_failures{0};   // share checksum/bitmap flunks
+  obs::Counter stripes_encoded;   // parity (re)computations
+  obs::Counter shares_written;    // parity share blocks written
+  obs::Counter degraded_reads;    // stripes found degraded on read
+  obs::Counter shares_healed;     // shares re-dispersed
+  obs::Counter verify_failures;   // share checksum/bitmap flunks
+  obs::Histogram decode_ns;       // IDA stripe decode latency
+  obs::Histogram heal_ns;         // full stripe heal latency
+
+  void RegisterWith(obs::MetricsRegistry* reg) const {
+    reg->RegisterCounter("stegfs_red_stripes_encoded_total",
+                         "Parity (re)computations", &stripes_encoded);
+    reg->RegisterCounter("stegfs_red_shares_written_total",
+                         "Parity share blocks written", &shares_written);
+    reg->RegisterCounter("stegfs_red_degraded_reads_total",
+                         "Stripes found degraded on read", &degraded_reads);
+    reg->RegisterCounter("stegfs_red_shares_healed_total",
+                         "Shares re-dispersed", &shares_healed);
+    reg->RegisterCounter("stegfs_red_verify_failures_total",
+                         "Share checksum/bitmap verification failures",
+                         &verify_failures);
+    reg->RegisterHistogram("stegfs_red_decode_seconds",
+                           "IDA stripe decode latency", &decode_ns);
+    reg->RegisterHistogram("stegfs_red_heal_seconds",
+                           "Full stripe heal latency", &heal_ns);
+  }
 };
 
 // Per-object scrub outcome (fsck accumulates these across objects).

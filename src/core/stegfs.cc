@@ -52,7 +52,17 @@ StegFs::StegFs(BlockDevice* device, std::unique_ptr<PlainFs> plain,
       plain_(std::move(plain)),
       options_(options),
       steg_rng_(options.steg_rng_seed),
-      fak_drbg_("stegfs-fak:" + std::to_string(options.steg_rng_seed)) {}
+      fak_drbg_("stegfs-fak:" + std::to_string(options.steg_rng_seed)) {
+  obs::MetricsRegistry* reg = plain_->metrics_registry();
+  red_stats_.RegisterWith(reg);
+  reg->RegisterHistogram("stegfs_hidden_read_seconds",
+                         "Hidden object read latency", &hidden_read_ns_);
+  reg->RegisterHistogram("stegfs_hidden_write_seconds",
+                         "Hidden object write latency", &hidden_write_ns_);
+  reg->RegisterHistogram("stegfs_hidden_truncate_seconds",
+                         "Hidden object truncate latency",
+                         &hidden_truncate_ns_);
+}
 
 StegFs::~StegFs() { (void)Flush(); }
 
@@ -348,6 +358,8 @@ Status StegFs::DisconnectAll(const std::string& uid) {
 
 StatusOr<std::string> StegFs::HiddenReadAll(const std::string& uid,
                                             const std::string& objname) {
+  obs::Span span(plain_->trace_recorder(), "hidden.read_all", "hidden");
+  obs::LatencyTimer timer(&hidden_read_ns_);
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   std::lock_guard<std::mutex> obj_lock(so->mu);
   if (so->defunct) {
@@ -358,6 +370,8 @@ StatusOr<std::string> StegFs::HiddenReadAll(const std::string& uid,
 
 Status StegFs::HiddenRead(const std::string& uid, const std::string& objname,
                           uint64_t offset, uint64_t n, std::string* out) {
+  obs::Span span(plain_->trace_recorder(), "hidden.read", "hidden");
+  obs::LatencyTimer timer(&hidden_read_ns_);
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   std::lock_guard<std::mutex> obj_lock(so->mu);
   if (so->defunct) {
@@ -382,6 +396,8 @@ Status StegFs::SyncAfterMutation(HiddenObject* obj) {
 Status StegFs::HiddenWriteAll(const std::string& uid,
                               const std::string& objname,
                               const std::string& data) {
+  obs::Span span(plain_->trace_recorder(), "hidden.write_all", "hidden");
+  obs::LatencyTimer timer(&hidden_write_ns_);
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);
@@ -396,6 +412,8 @@ Status StegFs::HiddenWriteAll(const std::string& uid,
 
 Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
                            uint64_t offset, const std::string& data) {
+  obs::Span span(plain_->trace_recorder(), "hidden.write", "hidden");
+  obs::LatencyTimer timer(&hidden_write_ns_);
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);
@@ -410,6 +428,8 @@ Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
 
 Status StegFs::HiddenTruncate(const std::string& uid,
                               const std::string& objname, uint64_t new_size) {
+  obs::Span span(plain_->trace_recorder(), "hidden.truncate", "hidden");
+  obs::LatencyTimer timer(&hidden_truncate_ns_);
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);

@@ -282,6 +282,11 @@ class StegFs {
   std::mutex maint_mu_;  // serializes MaintenanceTick rounds
   concurrency::SessionManager sessions_;
   RedundancyStats red_stats_;
+  // Hidden-namespace op latencies (registered under stegfs_hidden_* in
+  // the plain mount's registry, alongside red_stats_'s instruments).
+  obs::Histogram hidden_read_ns_;
+  obs::Histogram hidden_write_ns_;
+  obs::Histogram hidden_truncate_ns_;
 };
 
 }  // namespace stegfs

@@ -5,6 +5,7 @@
 
 #include "crypto/hmac.h"
 #include "crypto/sha256.h"
+#include "obs/metrics.h"
 
 namespace stegfs {
 namespace crypto {
@@ -68,6 +69,11 @@ void BlockCrypter::EncryptBlocks(const CryptSpan* spans, size_t n,
                                  size_t size) const {
   assert(size % 16 == 0);
   if (n == 0) return;
+  // One timer per batch call, never per block — the AES work below is the
+  // hot loop.
+  obs::CryptoMetrics& cm = obs::GlobalCryptoMetrics();
+  obs::LatencyTimer timer(&cm.encrypt_ns);
+  cm.blocks_encrypted.Add(n);
   std::vector<uint8_t> ivs(n * 16);
   ComputeIvs(spans, n, ivs.data());
 
@@ -102,6 +108,9 @@ void BlockCrypter::DecryptBlocks(const CryptSpan* spans, size_t n,
                                  size_t size) const {
   assert(size % 16 == 0);
   if (n == 0) return;
+  obs::CryptoMetrics& cm = obs::GlobalCryptoMetrics();
+  obs::LatencyTimer timer(&cm.decrypt_ns);
+  cm.blocks_decrypted.Add(n);
   std::vector<uint8_t> ivs(n * 16);
   ComputeIvs(spans, n, ivs.data());
 

@@ -20,6 +20,7 @@
 
 #include "cache/buffer_cache.h"
 #include "crypto/block_crypter.h"
+#include "obs/trace.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -117,12 +118,14 @@ class EncryptedBlockStore : public BlockStore {
                     uint8_t* out) override {
     const size_t bs = cache_->block_size();
     if (cache_->async_engine() == nullptr || n <= kAsyncSubBatch) {
+      obs::Span span("store.read", "store");
       STEGFS_RETURN_IF_ERROR(cache_->ReadBatch(blocks, n, out));
       std::vector<crypto::CryptSpan> spans(n);
       for (size_t i = 0; i < n; ++i) spans[i] = {blocks[i], out + i * bs};
       crypter_->DecryptBlocks(spans.data(), n, bs);
       return Status::OK();
     }
+    obs::Span pipeline_span("store.read_pipeline", "store");
     // Submit every sub-batch up front (they all target disjoint ranges of
     // `out`), then wait + decrypt in order: sub-batch i decrypts while
     // i+1..k are still in flight, and the engine sees the deepest
@@ -144,6 +147,7 @@ class EncryptedBlockStore : public BlockStore {
         continue;  // keep draining: `out` may be freed on return
       }
       if (!first.ok()) continue;  // don't decrypt past the first error
+      obs::Span decrypt_span("store.decrypt_subbatch", "store");
       const size_t count = std::min(n - off, kAsyncSubBatch);
       for (size_t i = 0; i < count; ++i) {
         spans[i] = {blocks[off + i], out + (off + i) * bs};
@@ -158,6 +162,7 @@ class EncryptedBlockStore : public BlockStore {
     const size_t bs = cache_->block_size();
     AsyncBlockDevice* engine = cache_->async_engine();
     if (engine == nullptr || n <= kAsyncSubBatch) {
+      obs::Span span("store.write", "store");
       std::vector<uint8_t> tmp(data, data + n * bs);
       std::vector<crypto::CryptSpan> spans(n);
       for (size_t i = 0; i < n; ++i) {
@@ -172,6 +177,7 @@ class EncryptedBlockStore : public BlockStore {
     // one is available — the kernel then skips the per-op page pin
     // (IORING_OP_WRITE_FIXED) — falling back to heap staging when the
     // pool is exhausted or the engine has no arena.
+    obs::Span pipeline_span("store.write_pipeline", "store");
     std::vector<uint8_t> tmp;  // heap fallback, sized lazily
     std::vector<crypto::CryptSpan> spans(kAsyncSubBatch);
     struct Staged {

@@ -200,7 +200,19 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
   if (!fs->inodes_.Get(kRootInode)->InUse()) {
     return Status::Corruption("root directory inode missing");
   }
+  fs->RegisterInstruments();
   return fs;
+}
+
+void PlainFs::RegisterInstruments() {
+  op_metrics_.RegisterWith(&registry_);
+  cache_->RegisterMetrics(&registry_);
+  obs::GlobalCryptoMetrics().RegisterWith(&registry_);
+  if (const DeviceMetrics* dm = device_->device_metrics()) {
+    dm->RegisterWith(&registry_);
+  }
+  if (io_engine_ != nullptr) io_engine_->RegisterMetrics(&registry_);
+  if (journal_ != nullptr) journal_->RegisterMetrics(&registry_);
 }
 
 PlainFs::~PlainFs() { (void)Flush(); }
@@ -347,6 +359,8 @@ StatusOr<std::pair<uint32_t, std::string>> PlainFs::ResolveParent(
 }
 
 Status PlainFs::CreateFile(const std::string& path) {
+  obs::Span span(&trace_, "fs.create", "fs");
+  obs::LatencyTimer timer(&op_metrics_.create_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
@@ -373,6 +387,8 @@ Status PlainFs::CreateFileLocked(const std::string& path,
 }
 
 Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
+  obs::Span span(&trace_, "fs.write_file", "fs");
+  obs::LatencyTimer timer(&op_metrics_.write_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   if (!ExistsLocked(path)) {
@@ -393,6 +409,8 @@ Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
 }
 
 StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
+  obs::Span span(&trace_, "fs.read_file", "fs");
+  obs::LatencyTimer timer(&op_metrics_.read_ns);
   std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
@@ -406,6 +424,8 @@ StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
 
 Status PlainFs::ReadAt(const std::string& path, uint64_t offset, uint64_t n,
                        std::string* out) {
+  obs::Span span(&trace_, "fs.read_at", "fs");
+  obs::LatencyTimer timer(&op_metrics_.read_ns);
   std::lock_guard<std::mutex> lock(mu_);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   const Inode* node = inodes_.Get(ino);
@@ -417,6 +437,8 @@ Status PlainFs::ReadAt(const std::string& path, uint64_t offset, uint64_t n,
 
 Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
                         const std::string& data) {
+  obs::Span span(&trace_, "fs.write_at", "fs");
+  obs::LatencyTimer timer(&op_metrics_.write_at_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
@@ -432,6 +454,8 @@ Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
 }
 
 Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
+  obs::Span span(&trace_, "fs.truncate", "fs");
+  obs::LatencyTimer timer(&op_metrics_.truncate_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
@@ -447,6 +471,8 @@ Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
 }
 
 Status PlainFs::Unlink(const std::string& path) {
+  obs::Span span(&trace_, "fs.unlink", "fs");
+  obs::LatencyTimer timer(&op_metrics_.unlink_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -468,6 +494,8 @@ Status PlainFs::Unlink(const std::string& path) {
 }
 
 Status PlainFs::MkDir(const std::string& path) {
+  obs::Span span(&trace_, "fs.mkdir", "fs");
+  obs::LatencyTimer timer(&op_metrics_.mkdir_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -489,6 +517,8 @@ Status PlainFs::MkDir(const std::string& path) {
 }
 
 Status PlainFs::RmDir(const std::string& path) {
+  obs::Span span(&trace_, "fs.rmdir", "fs");
+  obs::LatencyTimer timer(&op_metrics_.rmdir_ns);
   std::lock_guard<std::mutex> lock(mu_);
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
@@ -555,6 +585,8 @@ Status PlainFs::PersistMetaLocked() {
 }
 
 Status PlainFs::Flush() {
+  obs::Span span(&trace_, "fs.flush", "fs");
+  obs::LatencyTimer timer(&op_metrics_.flush_ns);
   {
     std::lock_guard<std::mutex> lock(mu_);
     STEGFS_RETURN_IF_ERROR(PersistMetaLocked());

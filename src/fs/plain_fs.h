@@ -34,6 +34,8 @@
 #include "fs/layout.h"
 #include "journal/journal.h"
 #include "journal/recovery.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -121,6 +123,43 @@ struct FileInfo {
   uint32_t inode = 0;
 };
 
+// Per-operation latency histograms of the plain namespace (one instance
+// per mount, registered under stegfs_fs_*_seconds). Hidden-namespace ops
+// get their own pair in StegFs; everything below them — cache, device,
+// journal, crypto — is shared and registered once.
+struct FsOpMetrics {
+  obs::Histogram create_ns;
+  obs::Histogram write_ns;  // WriteFile (truncate-and-rewrite)
+  obs::Histogram write_at_ns;
+  obs::Histogram read_ns;  // ReadFile and ReadAt
+  obs::Histogram truncate_ns;
+  obs::Histogram unlink_ns;
+  obs::Histogram mkdir_ns;
+  obs::Histogram rmdir_ns;
+  obs::Histogram flush_ns;
+
+  void RegisterWith(obs::MetricsRegistry* reg) const {
+    reg->RegisterHistogram("stegfs_fs_create_seconds",
+                           "Plain CreateFile latency", &create_ns);
+    reg->RegisterHistogram("stegfs_fs_write_seconds",
+                           "Plain WriteFile latency", &write_ns);
+    reg->RegisterHistogram("stegfs_fs_write_at_seconds",
+                           "Plain WriteAt latency", &write_at_ns);
+    reg->RegisterHistogram("stegfs_fs_read_seconds",
+                           "Plain ReadFile/ReadAt latency", &read_ns);
+    reg->RegisterHistogram("stegfs_fs_truncate_seconds",
+                           "Plain TruncateFile latency", &truncate_ns);
+    reg->RegisterHistogram("stegfs_fs_unlink_seconds",
+                           "Plain Unlink latency", &unlink_ns);
+    reg->RegisterHistogram("stegfs_fs_mkdir_seconds", "Plain MkDir latency",
+                           &mkdir_ns);
+    reg->RegisterHistogram("stegfs_fs_rmdir_seconds", "Plain RmDir latency",
+                           &rmdir_ns);
+    reg->RegisterHistogram("stegfs_fs_flush_seconds", "Plain Flush latency",
+                           &flush_ns);
+  }
+};
+
 class PlainFs {
  public:
   // Writes a fresh file system onto `device` (superblock + bitmap + empty
@@ -182,6 +221,15 @@ class PlainFs {
   const char* io_engine_name() const {
     return io_engine_ ? io_engine_->engine_name() : "sync";
   }
+
+  // The mount's observability surface: every component instrument of this
+  // volume (cache, device, engine, journal, crypto, per-op histograms)
+  // registers here at Mount, and per-op trace spans land in the recorder.
+  // Both live ONLY in process memory — no block on the volume ever
+  // carries metrics or trace bytes (the deniability rule).
+  obs::MetricsRegistry* metrics_registry() { return &registry_; }
+  obs::TraceRecorder* trace_recorder() { return &trace_; }
+  FsOpMetrics* op_metrics() { return &op_metrics_; }
 
   // The mount's journal (nullptr on Durability::kNone mounts) and what
   // mount-time recovery found/replayed.
@@ -276,6 +324,17 @@ class PlainFs {
   StatusOr<std::pair<uint32_t, std::string>> ResolveParent(
       const std::string& path);
   StatusOr<uint32_t> ResolvePath(const std::string& path);
+
+  // Publishes every component instrument of this mount into registry_
+  // (constructor-built components; Mount adds the journal's after it
+  // exists).
+  void RegisterInstruments();
+
+  // Declared first (destroyed last): registry_ holds raw pointers into
+  // the components below, trace_ is written by their spans.
+  obs::MetricsRegistry registry_;
+  obs::TraceRecorder trace_;
+  FsOpMetrics op_metrics_;
 
   // Guards the path/metadata machinery below (inodes_, dir_ops_, file_io_
   // state, rng_). The cache and bitmap carry their own locks.

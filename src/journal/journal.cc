@@ -1,5 +1,7 @@
 #include "journal/journal.h"
 
+#include "obs/trace.h"
+
 #include <cassert>
 #include <cstring>
 
@@ -49,8 +51,10 @@ size_t WriteAheadJournal::MaxPayloadBlocks() const {
 }
 
 Status WriteAheadJournal::Barrier() {
+  obs::Span span("journal.barrier", "journal");
+  obs::LatencyTimer timer(&barrier_ns_);
   if (engine_ != nullptr) engine_->Drain();
-  barrier_syncs_.fetch_add(1, std::memory_order_relaxed);
+  barrier_syncs_.Increment();
   return device_->Sync();
 }
 
@@ -63,6 +67,8 @@ Status WriteAheadJournal::Commit(
     const std::unordered_set<uint64_t>& hold_back) {
   if (entries.empty()) return Status::OK();
   const uint32_t bs = device_->block_size();
+  obs::Span commit_span("journal.commit", "journal");
+  obs::LatencyTimer commit_timer(&commit_ns_);
   std::lock_guard<std::mutex> lock(mu_);
   if (failed_) {
     return Status::FailedPrecondition(
@@ -73,7 +79,7 @@ Status WriteAheadJournal::Commit(
     // Transaction larger than the ring: waive atomicity (per-block writes
     // stay atomic at the device level) but keep durability ordering —
     // data first, then metadata, each behind a barrier.
-    overflow_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    overflow_fallbacks_.Increment();
     if (!hold_back.empty()) {
       cache_->ParkBlocks(
           std::make_shared<const std::unordered_set<uint64_t>>(hold_back));
@@ -116,6 +122,8 @@ Status WriteAheadJournal::Commit(
   // 2. The record. Checksum over (seq, targets, payload) makes the record
   //    self-authenticating: valid-after-crash iff every byte landed, so
   //    the barrier below is the commit point.
+  obs::Span record_span("journal.record", "journal");
+  obs::LatencyTimer record_timer(&record_ns_);
   const uint64_t seq = next_seq_++;
   crypto::Sha256 h;
   uint8_t tmp[8];
@@ -182,6 +190,8 @@ Status WriteAheadJournal::Commit(
     wrote = device_->WriteBlocks(iov.data(), iov.size());
   }
   if (wrote.ok()) wrote = Barrier();  // <- commit point
+  record_timer.Stop();
+  record_span.Close();
   if (!wrote.ok()) {
     // The record may sit half-written (or fully, un-synced) in the ring;
     // leaving it could replay stale images over whatever later
@@ -190,13 +200,15 @@ Status WriteAheadJournal::Commit(
     unpark();
     return wrote;
   }
-  records_committed_.fetch_add(1, std::memory_order_relaxed);
-  blocks_journaled_.fetch_add(entries.size(), std::memory_order_relaxed);
+  records_committed_.Increment();
+  blocks_journaled_.Add(entries.size());
   unpark();  // committed: concurrent flushers may now write the images
 
   // 3. Checkpoint the images to their home locations through the cache
   //    (the held-back blocks are already in the cache with these bytes;
   //    rewriting is idempotent) and make them durable.
+  obs::Span checkpoint_span("journal.checkpoint", "journal");
+  obs::LatencyTimer checkpoint_timer(&checkpoint_ns_);
   Status checkpoint;
   {
     std::vector<uint64_t> blocks(entries.size());
@@ -238,7 +250,7 @@ Status WriteAheadJournal::Commit(
       return s;
     }
   }
-  scrubbed_blocks_.fetch_add(used_blocks, std::memory_order_relaxed);
+  scrubbed_blocks_.Add(used_blocks);
   head_ = (base + used_blocks) % journal_blocks_;
   return Status::OK();
 }
@@ -258,7 +270,7 @@ void WriteAheadJournal::ScrubRecordOrPoison(uint64_t base,
     failed_ = true;
     return;
   }
-  scrubbed_blocks_.fetch_add(used_blocks, std::memory_order_relaxed);
+  scrubbed_blocks_.Add(used_blocks);
 }
 
 Status WriteAheadJournal::ScrubStaleRecords(uint64_t* live_records,
@@ -291,7 +303,7 @@ Status WriteAheadJournal::ScrubStaleRecords(uint64_t* live_records,
       ++*scrubbed_blocks;
     }
   }
-  scrubbed_blocks_.fetch_add(*scrubbed_blocks, std::memory_order_relaxed);
+  scrubbed_blocks_.Add(*scrubbed_blocks);
   STEGFS_RETURN_IF_ERROR(device_->Sync());
   // The ring is at rest again; lift the poison so commits can resume.
   failed_ = false;
@@ -300,12 +312,39 @@ Status WriteAheadJournal::ScrubStaleRecords(uint64_t* live_records,
 
 JournalStats WriteAheadJournal::stats() const {
   JournalStats s;
-  s.records_committed = records_committed_.load(std::memory_order_relaxed);
-  s.blocks_journaled = blocks_journaled_.load(std::memory_order_relaxed);
-  s.barrier_syncs = barrier_syncs_.load(std::memory_order_relaxed);
-  s.overflow_fallbacks = overflow_fallbacks_.load(std::memory_order_relaxed);
-  s.scrubbed_blocks = scrubbed_blocks_.load(std::memory_order_relaxed);
+  s.records_committed = records_committed_.value();
+  s.blocks_journaled = blocks_journaled_.value();
+  s.barrier_syncs = barrier_syncs_.value();
+  s.overflow_fallbacks = overflow_fallbacks_.value();
+  s.scrubbed_blocks = scrubbed_blocks_.value();
   return s;
+}
+
+void WriteAheadJournal::RegisterMetrics(obs::MetricsRegistry* reg) const {
+  reg->RegisterCounter("stegfs_journal_records_committed_total",
+                       "Committed journal records", &records_committed_);
+  reg->RegisterCounter("stegfs_journal_blocks_journaled_total",
+                       "Payload blocks written to the ring",
+                       &blocks_journaled_);
+  reg->RegisterCounter("stegfs_journal_barrier_syncs_total",
+                       "Device barriers issued by commits", &barrier_syncs_);
+  reg->RegisterCounter("stegfs_journal_overflow_fallbacks_total",
+                       "Transactions too large for the ring",
+                       &overflow_fallbacks_);
+  reg->RegisterCounter("stegfs_journal_scrubbed_blocks_total",
+                       "Ring blocks re-noised after checkpoint",
+                       &scrubbed_blocks_);
+  reg->RegisterHistogram("stegfs_journal_commit_seconds",
+                         "Full commit latency (ordered data to scrub)",
+                         &commit_ns_);
+  reg->RegisterHistogram("stegfs_journal_record_seconds",
+                         "Record write latency up to the commit barrier",
+                         &record_ns_);
+  reg->RegisterHistogram("stegfs_journal_barrier_seconds",
+                         "Write barrier (engine drain + device sync) latency",
+                         &barrier_ns_);
+  reg->RegisterHistogram("stegfs_journal_checkpoint_seconds",
+                         "Checkpoint phase latency", &checkpoint_ns_);
 }
 
 }  // namespace journal

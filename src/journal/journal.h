@@ -52,6 +52,7 @@
 #include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
+#include "obs/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -136,6 +137,10 @@ class WriteAheadJournal {
   uint32_t ring_blocks() const { return journal_blocks_; }
   uint64_t ring_start() const { return journal_start_; }
 
+  // Registers the journal's instruments with `reg` under stegfs_journal_*
+  // names (the journal keeps ownership; PlainFs calls this at mount).
+  void RegisterMetrics(obs::MetricsRegistry* reg) const;
+
  private:
   // Full write barrier: drain the async engine (both engines honor the
   // contract via Drain), then device Sync.
@@ -161,11 +166,17 @@ class WriteAheadJournal {
   uint64_t head_ = 0;   // next ring offset to write
   bool failed_ = false;  // poisoned: a record could not be scrubbed
 
-  std::atomic<uint64_t> records_committed_{0};
-  std::atomic<uint64_t> blocks_journaled_{0};
-  std::atomic<uint64_t> barrier_syncs_{0};
-  std::atomic<uint64_t> overflow_fallbacks_{0};
-  std::atomic<uint64_t> scrubbed_blocks_{0};
+  obs::Counter records_committed_;
+  obs::Counter blocks_journaled_;
+  obs::Counter barrier_syncs_;
+  obs::Counter overflow_fallbacks_;
+  obs::Counter scrubbed_blocks_;
+  // Commit-phase latency: the full Commit, the record write up to its
+  // commit-point barrier, each barrier, and the checkpoint phase.
+  obs::Histogram commit_ns_;
+  obs::Histogram record_ns_;
+  obs::Histogram barrier_ns_;
+  obs::Histogram checkpoint_ns_;
 };
 
 }  // namespace journal

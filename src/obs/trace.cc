@@ -1,0 +1,199 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace stegfs {
+namespace obs {
+
+namespace {
+
+thread_local SpanContext t_ctx;
+
+size_t RoundUpPow2(size_t n) {
+  size_t p = 1;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+uint32_t CurrentTid() {
+  static std::atomic<uint32_t> next{1};
+  thread_local uint32_t tid = next.fetch_add(1, std::memory_order_relaxed);
+  return tid;
+}
+
+SpanContext CurrentSpanContext() { return t_ctx; }
+
+TraceRecorder::TraceRecorder(size_t capacity) {
+  const size_t cap = RoundUpPow2(capacity < 2 ? 2 : capacity);
+  ring_.resize(cap);
+  mask_ = cap - 1;
+}
+
+void TraceRecorder::Record(const TraceEvent& ev) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ring_[next_ & mask_] = ev;
+    ++next_;
+  }
+  if (ev.parent_span == 0) MaybeDumpSlowOp(ev);
+}
+
+uint64_t TraceRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_;
+}
+
+uint64_t TraceRecorder::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return next_ > ring_.size() ? next_ - ring_.size() : 0;
+}
+
+std::vector<TraceEvent> TraceRecorder::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TraceEvent> out;
+  const uint64_t n = std::min<uint64_t>(next_, ring_.size());
+  out.reserve(n);
+  for (uint64_t i = next_ - n; i < next_; ++i) {
+    out.push_back(ring_[i & mask_]);
+  }
+  return out;
+}
+
+void TraceRecorder::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  next_ = 0;
+}
+
+std::string TraceRecorder::ExportChromeJson() const {
+  std::vector<TraceEvent> events = Events();
+  std::string out = "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  char line[320];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(
+        line, sizeof(line),
+        "%s{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"X\",\"ts\":%.3f,"
+        "\"dur\":%.3f,\"pid\":1,\"tid\":%u,\"args\":{\"op\":%llu,"
+        "\"span\":%llu,\"parent\":%llu}}",
+        i == 0 ? "" : ",", e.name, e.cat,
+        static_cast<double>(e.start_ns) / 1e3,
+        static_cast<double>(e.dur_ns) / 1e3, e.tid,
+        static_cast<unsigned long long>(e.op_id),
+        static_cast<unsigned long long>(e.span_id),
+        static_cast<unsigned long long>(e.parent_span));
+    out += line;
+  }
+  out += "]}";
+  return out;
+}
+
+std::string TraceRecorder::DumpOpTree(uint64_t op_id) const {
+  std::vector<TraceEvent> events = Events();
+  std::vector<const TraceEvent*> ops;
+  for (const TraceEvent& e : events) {
+    if (e.op_id == op_id) ops.push_back(&e);
+  }
+  std::sort(ops.begin(), ops.end(),
+            [](const TraceEvent* a, const TraceEvent* b) {
+              return a->start_ns < b->start_ns;
+            });
+  // Depth = length of the parent chain still present in the ring.
+  auto depth_of = [&ops](const TraceEvent* e) {
+    int depth = 0;
+    uint64_t parent = e->parent_span;
+    while (parent != 0 && depth < 16) {
+      const TraceEvent* up = nullptr;
+      for (const TraceEvent* c : ops) {
+        if (c->span_id == parent) up = c;
+      }
+      if (up == nullptr) break;
+      ++depth;
+      parent = up->parent_span;
+    }
+    return depth;
+  };
+  std::string out;
+  char line[256];
+  for (const TraceEvent* e : ops) {
+    std::snprintf(line, sizeof(line), "%*s%s [%s] %.1f us (tid %u)\n",
+                  depth_of(e) * 2, "", e->name, e->cat,
+                  static_cast<double>(e->dur_ns) / 1e3, e->tid);
+    out += line;
+  }
+  return out;
+}
+
+void TraceRecorder::MaybeDumpSlowOp(const TraceEvent& root) {
+  const uint64_t thr = slow_ns_.load(std::memory_order_relaxed);
+  if (thr == 0 || root.dur_ns < thr) return;
+  std::string tree = DumpOpTree(root.op_id);
+  std::fprintf(stderr,
+               "stegtrace: slow op %llu (%s, %.1f us >= %.1f us):\n%s",
+               static_cast<unsigned long long>(root.op_id), root.name,
+               static_cast<double>(root.dur_ns) / 1e3,
+               static_cast<double>(thr) / 1e3, tree.c_str());
+}
+
+void Span::Open(TraceRecorder* rec, uint64_t op, uint64_t parent,
+                const char* name, const char* cat) {
+  rec_ = rec;
+  name_ = name;
+  cat_ = cat;
+  op_id_ = op;
+  span_id_ = rec->NextSpanId();
+  parent_span_ = parent;
+  t0_ = NowNanos();
+  prev_ = t_ctx;
+  t_ctx = SpanContext{rec_, op_id_, span_id_};
+}
+
+Span::Span(TraceRecorder* recorder, const char* name, const char* cat) {
+  if (recorder == nullptr || !recorder->enabled()) return;
+  // Nest if this thread is already inside an operation of the same
+  // recorder (a mutating op called from another traced op); root
+  // otherwise.
+  if (t_ctx.recorder == recorder) {
+    Open(recorder, t_ctx.op_id, t_ctx.span_id, name, cat);
+  } else {
+    Open(recorder, recorder->NextOpId(), 0, name, cat);
+  }
+}
+
+Span::Span(const char* name, const char* cat) {
+  if (t_ctx.recorder == nullptr || !t_ctx.recorder->enabled()) return;
+  Open(t_ctx.recorder, t_ctx.op_id, t_ctx.span_id, name, cat);
+}
+
+Span::Span(const SpanContext& parent, const char* name, const char* cat) {
+  if (parent.recorder == nullptr || !parent.recorder->enabled()) return;
+  Open(parent.recorder, parent.op_id, parent.span_id, name, cat);
+}
+
+Span::~Span() { Close(); }
+
+void Span::Close() {
+  if (rec_ == nullptr) return;
+  TraceEvent ev;
+  ev.name = name_;
+  ev.cat = cat_;
+  ev.op_id = op_id_;
+  ev.span_id = span_id_;
+  ev.parent_span = parent_span_;
+  ev.start_ns = t0_;
+  ev.dur_ns = NowNanos() - t0_;
+  ev.tid = CurrentTid();
+  t_ctx = prev_;
+  rec_->Record(ev);
+  rec_ = nullptr;
+}
+
+SpanContext Span::context() const {
+  if (rec_ == nullptr) return SpanContext{};
+  return SpanContext{rec_, op_id_, span_id_};
+}
+
+}  // namespace obs
+}  // namespace stegfs

@@ -1,0 +1,170 @@
+// stegtrace spans: per-operation trace contexts that survive async
+// completion hops, recorded into a fixed-size in-memory ring and
+// exportable as Chrome trace-event JSON (load in Perfetto / about:tracing).
+//
+// Model: one ROOT span per logical operation (a PlainFs mutating op, a
+// hidden read/write). The root owns an op_id; every nested Span on the
+// same thread becomes a child automatically (thread-local context), and
+// code that crosses threads — the async engines' completion callbacks,
+// the EncryptedBlockStore pipeline — captures CurrentSpanContext() at
+// submission and constructs the continuation Span from it explicitly, so
+// a completion running on an engine thread still lands in the right
+// operation's tree. That explicit hand-off is also what makes "exactly
+// one root span per op" hold under completion races: completions never
+// open roots, they only continue.
+//
+// The ring is fixed-size and wraps (newest events win; `dropped()` counts
+// what wrapping discarded). Recording takes a mutex — spans close once
+// per operation phase, not per block, so the lock is off every per-block
+// hot path — and nothing here ever reaches the block device: traces are
+// process memory only, same deniability rule as the metrics registry.
+//
+// Slow-op log: give the recorder a threshold and any ROOT span exceeding
+// it dumps its whole tree (indented, durations in µs) to stderr the
+// moment it closes — the "why was that one write 80ms" answer without
+// exporting anything.
+#ifndef STEGFS_OBS_TRACE_H_
+#define STEGFS_OBS_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace stegfs {
+namespace obs {
+
+// One closed span. name/cat must be string literals (never freed).
+struct TraceEvent {
+  const char* name = "";
+  const char* cat = "";
+  uint64_t op_id = 0;       // root operation this span belongs to
+  uint64_t span_id = 0;     // unique per span
+  uint64_t parent_span = 0; // 0 = root
+  uint64_t start_ns = 0;    // NowNanos() at open
+  uint64_t dur_ns = 0;
+  uint32_t tid = 0;         // small sequential thread id
+};
+
+class TraceRecorder {
+ public:
+  // Capacity is rounded up to a power of two; default 8192 events.
+  explicit TraceRecorder(size_t capacity = 8192);
+
+  // Arms/disarms recording. Span construction is inert while stopped, so
+  // the steady-state cost of an idle recorder is one relaxed load.
+  void Start() { enabled_.store(true, std::memory_order_release); }
+  void Stop() { enabled_.store(false, std::memory_order_release); }
+  bool enabled() const {
+    return enabled_.load(std::memory_order_acquire) && MetricsEnabled();
+  }
+
+  // Root spans longer than this dump their tree to stderr (0 = off).
+  void set_slow_op_threshold_ns(uint64_t ns) {
+    slow_ns_.store(ns, std::memory_order_relaxed);
+  }
+  uint64_t slow_op_threshold_ns() const {
+    return slow_ns_.load(std::memory_order_relaxed);
+  }
+
+  // Called by Span on close (and by tests directly).
+  void Record(const TraceEvent& ev);
+
+  uint64_t recorded() const;  // total events ever recorded
+  uint64_t dropped() const;   // events the ring wrap discarded
+  uint64_t NextOpId() { return next_op_.fetch_add(1, std::memory_order_relaxed); }
+  uint64_t NextSpanId() {
+    return next_span_.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // Events currently in the ring, oldest first.
+  std::vector<TraceEvent> Events() const;
+
+  // Chrome trace-event JSON ({"traceEvents": [...]}, "X" complete events,
+  // timestamps/durations in microseconds). Perfetto-loadable.
+  std::string ExportChromeJson() const;
+
+  // The span tree of one operation, indented, durations in µs. Used by
+  // the slow-op log and directly testable.
+  std::string DumpOpTree(uint64_t op_id) const;
+
+  // Drops all recorded events (counters too). Start/stop state unchanged.
+  void Clear();
+
+ private:
+  void MaybeDumpSlowOp(const TraceEvent& root);
+
+  mutable std::mutex mu_;
+  std::vector<TraceEvent> ring_;
+  uint64_t next_ = 0;  // total recorded; ring slot = next_ & mask
+  size_t mask_;
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> slow_ns_{0};
+  std::atomic<uint64_t> next_op_{1};
+  std::atomic<uint64_t> next_span_{1};
+};
+
+// The ambient span of the calling thread (what a child Span nests under,
+// and what async submitters capture to hand to their completions).
+struct SpanContext {
+  TraceRecorder* recorder = nullptr;
+  uint64_t op_id = 0;
+  uint64_t span_id = 0;
+  bool active() const { return recorder != nullptr; }
+};
+SpanContext CurrentSpanContext();
+
+// RAII span. Three forms:
+//   Span(recorder, name, cat)  - op entry point: roots a new operation on
+//                                `recorder` (or nests, if this thread is
+//                                already inside one of the same recorder).
+//   Span(name, cat)            - child of the thread's current span;
+//                                fully inert when there is none.
+//   Span(parent_ctx, name, cat)- cross-thread continuation (completion
+//                                callbacks): child of `parent_ctx`,
+//                                whatever thread it runs on.
+// While alive, the span is the thread's current context; destruction
+// records the event and restores the previous context.
+class Span {
+ public:
+  Span(TraceRecorder* recorder, const char* name, const char* cat);
+  Span(const char* name, const char* cat);
+  Span(const SpanContext& parent, const char* name, const char* cat);
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  // The context to hand to a completion callback (equals
+  // CurrentSpanContext() while this span is the newest on the thread).
+  SpanContext context() const;
+  bool active() const { return rec_ != nullptr; }
+
+  // Records the span now instead of at destruction (idempotent). Used
+  // when a phase ends mid-scope — the next sibling span must not nest
+  // under a phase that is already over.
+  void Close();
+
+ private:
+  void Open(TraceRecorder* rec, uint64_t op, uint64_t parent,
+            const char* name, const char* cat);
+
+  TraceRecorder* rec_ = nullptr;
+  SpanContext prev_;
+  const char* name_ = "";
+  const char* cat_ = "";
+  uint64_t op_id_ = 0;
+  uint64_t span_id_ = 0;
+  uint64_t parent_span_ = 0;
+  uint64_t t0_ = 0;
+};
+
+// Small sequential id of the calling thread (stable for its lifetime).
+uint32_t CurrentTid();
+
+}  // namespace obs
+}  // namespace stegfs
+
+#endif  // STEGFS_OBS_TRACE_H_

@@ -33,7 +33,7 @@ TEST(DiskModelTest, SequentialStreamStaysCheap) {
   // 100 sequential 1 KB reads: ~controller overhead + transfer each,
   // which is well under 1 ms per request.
   EXPECT_LT(total, 0.1);
-  EXPECT_EQ(model.stats().cache_hits, 100u);
+  EXPECT_EQ(model.stats().drive_cache_hits, 100u);
   EXPECT_EQ(model.stats().seeks, 1u);
 }
 
@@ -55,13 +55,13 @@ TEST(DiskModelTest, InterleavedStreamsWithinSegmentsStayCheap) {
     bases[s] = static_cast<uint64_t>(s) * 1000000;
     model.AccessSeconds({bases[s], 1, false});
   }
-  uint64_t hits_before = model.stats().cache_hits;
+  uint64_t hits_before = model.stats().drive_cache_hits;
   for (int round = 1; round <= 50; ++round) {
     for (int s = 0; s < kStreams; ++s) {
       model.AccessSeconds({bases[s] + static_cast<uint64_t>(round), 1, false});
     }
   }
-  EXPECT_EQ(model.stats().cache_hits - hits_before,
+  EXPECT_EQ(model.stats().drive_cache_hits - hits_before,
             static_cast<uint64_t>(50 * kStreams));
 }
 
@@ -77,7 +77,7 @@ TEST(DiskModelTest, TooManyStreamsThrashSegments) {
   }
   // With 32 round-robin streams and 12 segments, nearly every request
   // misses (the LRU segment list turns over completely each round).
-  double hit_rate = static_cast<double>(model.stats().cache_hits) /
+  double hit_rate = static_cast<double>(model.stats().drive_cache_hits) /
                     (model.stats().reads);
   EXPECT_LT(hit_rate, 0.05);
 }
@@ -99,7 +99,7 @@ TEST(DiskModelTest, WriteSegmentsScarcerThanReadSegments) {
       rd.AccessSeconds({lba, 1, false});
     }
   }
-  EXPECT_GT(rd.stats().cache_hits, wr.stats().cache_hits * 10);
+  EXPECT_GT(rd.stats().drive_cache_hits, wr.stats().drive_cache_hits * 10);
 }
 
 TEST(DiskModelTest, LargerRequestsCostMoreTransfer) {
