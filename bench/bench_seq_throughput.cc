@@ -520,6 +520,51 @@ int main(int argc, char** argv) {
       none_read_mbps > 0 ? ida_read_mbps / none_read_mbps : 0;
   bool ida_read_pass = ida_read_ratio >= kIdaReadTarget;
 
+  // --- Phase F: fault-tolerance layer, fault-free ----------------------
+  // The PR 8 retry decorator sits under the cache on every mount by
+  // default. With no faults armed its fast path is a tag check on the
+  // completion status — this phase bounds that tax at 1 MiB sequential
+  // hidden reads: the retry-wrapped mount must stay within 3% of a mount
+  // with the layer compiled out of the path (fault.enabled = false).
+  const double kFaultOverheadTarget = 0.03;
+  double fault_off_read_mbps = 0, fault_on_read_mbps = 0;
+  double fault_on_write_mbps = 0;  // reported, not gated (flush noise)
+  {
+    auto timed_leg = [&](bool enabled, double* read_out,
+                         double* write_out) -> bool {
+      StegFsOptions opts;
+      opts.mount.readahead_blocks = kDefaultReadahead;
+      opts.mount.cache_shards = 1;
+      opts.mount.durable_flush = false;
+      opts.mount.fault.enabled = enabled;
+      auto fs = StegFs::Mount(device->get(), opts);
+      if (!fs.ok()) return false;
+      if (!(*fs)->StegConnect(kUid, kObj, kUak).ok()) return false;
+      double r = TimedRead(fs->get(), 1024 << 10);
+      if (r < 0) return false;
+      *read_out = std::max(*read_out, r);
+      if (write_out != nullptr) {
+        *write_out = std::max(*write_out, TimedWrite(fs->get(), 1024 << 10));
+      }
+      return true;
+    };
+    // The 3% gate needs tighter noise bounds than the 2x/1.5x phases:
+    // alternate the two mounts across rounds (cancelling slow page-cache /
+    // frequency drift) and keep each leg's best.
+    for (int round = 0; round < 3; ++round) {
+      if (!timed_leg(false, &fault_off_read_mbps, nullptr) ||
+          !timed_leg(true, &fault_on_read_mbps, &fault_on_write_mbps)) {
+        std::fprintf(stderr, "fault overhead phase failed\n");
+        return 1;
+      }
+    }
+  }
+  double fault_overhead =
+      fault_off_read_mbps > 0
+          ? 1.0 - fault_on_read_mbps / fault_off_read_mbps
+          : 1.0;
+  bool fault_pass = fault_overhead <= kFaultOverheadTarget;
+
   std::printf("\n%-10s | %14s %8s %14s %8s | %14s %8s %14s %8s\n", "extent",
               "hid rd MB/s", "speedup", "hid wr MB/s", "speedup",
               "pln rd MB/s", "speedup", "pln wr MB/s", "speedup");
@@ -616,6 +661,15 @@ int main(int argc, char** argv) {
       ida_read_ratio, kIdaReadTarget, ida_read_pass ? "PASS" : "FAIL",
       static_cast<unsigned long long>(red_stripes_encoded),
       static_cast<unsigned long long>(red_shares_written));
+
+  std::printf(
+      "\nfault-tolerance layer (retry decorator, no faults armed):\n"
+      "  1 MiB hidden reads %.1f MB/s with retry layer vs %.1f MB/s "
+      "without -> %.1f%% overhead (target <= %.0f%%): %s\n"
+      "  1 MiB hidden writes with retry layer %.1f MB/s (advisory)\n",
+      fault_on_read_mbps, fault_off_read_mbps, fault_overhead * 100,
+      kFaultOverheadTarget * 100, fault_pass ? "PASS" : "FAIL",
+      fault_on_write_mbps);
 
   if (!lat_rows.empty()) {
     std::printf("\nper-phase latency percentiles (us):\n%-11s %-32s %9s %9s "
@@ -721,6 +775,17 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(fixed_ops),
                  journal_pass ? "true" : "false");
     std::fprintf(json,
+                 "  \"fault\": {\n"
+                 "    \"read_with_retry_mbps\": %.1f,\n"
+                 "    \"read_without_retry_mbps\": %.1f,\n"
+                 "    \"write_with_retry_mbps\": %.1f,\n"
+                 "    \"overhead\": %.3f,\n"
+                 "    \"target\": %.2f,\n"
+                 "    \"pass\": %s\n  },\n",
+                 fault_on_read_mbps, fault_off_read_mbps,
+                 fault_on_write_mbps, fault_overhead, kFaultOverheadTarget,
+                 fault_pass ? "true" : "false");
+    std::fprintf(json,
                  "  \"ida\": {\n    \"gf_tier\": \"%s\",\n"
                  "    \"gf_scalar_mbps\": %.1f,\n"
                  "    \"gf_simd_mbps\": %.1f,\n"
@@ -777,7 +842,8 @@ int main(int argc, char** argv) {
   }
   std::remove(image.c_str());
   bench::PrintFooter();
-  return (pass && async_pass && journal_pass && gf_pass && ida_read_pass)
+  return (pass && async_pass && journal_pass && gf_pass && ida_read_pass &&
+          fault_pass)
              ? 0
              : 1;
 }

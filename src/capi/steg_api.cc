@@ -12,12 +12,16 @@
 #include "crypto/aes.h"
 #include "crypto/gf256_simd.h"
 #include "crypto/rsa.h"
+#include "fault/fault_injection_device.h"
 
 using stegfs::Status;
 using stegfs::StatusCode;
 
 struct stegfs_volume {
   std::unique_ptr<stegfs::BlockDevice> device;
+  // steg_mount_faulty mounts only: the injection layer above `device`.
+  // Declared after it (destroyed first), before fs (destroyed after it).
+  std::unique_ptr<stegfs::fault::FaultInjectionBlockDevice> fault_device;
   std::unique_ptr<stegfs::StegFs> fs;
 };
 
@@ -102,13 +106,12 @@ int steg_mkfs(const char* image_path, uint32_t block_size,
   return CodeOf(s);
 }
 
-int steg_mount(const char* image_path, uint32_t block_size,
-               stegfs_volume** out) {
-  if (out == nullptr) return STEG_ERR_INVALID;
-  auto device = stegfs::FileBlockDevice::Open(image_path, block_size);
-  if (!device.ok()) return CodeOf(device.status());
-  auto vol = std::make_unique<stegfs_volume>();
-  vol->device = std::move(device).value();
+namespace {
+
+// The shared mount policy of every C API handle: async engine, readahead,
+// durable when the volume has a ring (falling back otherwise).
+stegfs::StatusOr<std::unique_ptr<stegfs::StegFs>> MountOn(
+    stegfs::BlockDevice* device) {
   stegfs::StegFsOptions options;
   // C API mounts sit on a real host file: attach the async engine
   // (io_uring when the kernel has it, thread-pool fallback otherwise) so
@@ -123,22 +126,72 @@ int steg_mount(const char* image_path, uint32_t block_size,
   // Durable by default; volumes formatted before the journal existed
   // carry no ring, so fall back to the historical non-durable mount.
   options.mount.durability = stegfs::Durability::kJournal;
-  auto fs = stegfs::StegFs::Mount(vol->device.get(), options);
+  auto fs = stegfs::StegFs::Mount(device, options);
   if (!fs.ok() && fs.status().IsFailedPrecondition()) {
     options.mount.durability = stegfs::Durability::kNone;
-    fs = stegfs::StegFs::Mount(vol->device.get(), options);
+    fs = stegfs::StegFs::Mount(device, options);
   }
+  return fs;
+}
+
+}  // namespace
+
+int steg_mount(const char* image_path, uint32_t block_size,
+               stegfs_volume** out) {
+  if (out == nullptr) return STEG_ERR_INVALID;
+  auto device = stegfs::FileBlockDevice::Open(image_path, block_size);
+  if (!device.ok()) return CodeOf(device.status());
+  auto vol = std::make_unique<stegfs_volume>();
+  vol->device = std::move(device).value();
+  auto fs = MountOn(vol->device.get());
   if (!fs.ok()) return CodeOf(fs.status());
   vol->fs = std::move(fs).value();
   *out = vol.release();
   return STEG_OK;
 }
 
+int steg_mount_faulty(const char* image_path, uint32_t block_size,
+                      const char* fault_spec, stegfs_volume** out) {
+  if (out == nullptr) return STEG_ERR_INVALID;
+  auto device = stegfs::FileBlockDevice::Open(image_path, block_size);
+  if (!device.ok()) return CodeOf(device.status());
+  auto vol = std::make_unique<stegfs_volume>();
+  vol->device = std::move(device).value();
+  vol->fault_device =
+      std::make_unique<stegfs::fault::FaultInjectionBlockDevice>(
+          vol->device.get());
+  if (fault_spec != nullptr && fault_spec[0] != '\0') {
+    Status s = vol->fault_device->LoadSchedule(fault_spec);
+    if (!s.ok()) {
+      t_last_error = s.ToString();
+      return CodeOf(s);
+    }
+  }
+  auto fs = MountOn(vol->fault_device.get());
+  if (!fs.ok()) return CodeOf(fs.status());
+  vol->fs = std::move(fs).value();
+  *out = vol.release();
+  return STEG_OK;
+}
+
+int steg_fault_inject(stegfs_volume* vol, const char* fault_spec) {
+  if (vol == nullptr || vol->fault_device == nullptr) return STEG_ERR_INVALID;
+  if (fault_spec == nullptr || fault_spec[0] == '\0') {
+    vol->fault_device->ClearRules();
+    return STEG_OK;
+  }
+  Status s = vol->fault_device->LoadSchedule(fault_spec);
+  if (!s.ok()) t_last_error = s.ToString();
+  return CodeOf(s);
+}
+
 int steg_unmount(stegfs_volume* vol) {
   if (vol == nullptr) return STEG_ERR_INVALID;
   Status s = vol->fs->Flush();
-  // fs must die before the device it points into.
+  // fs must die before the devices it points into, injection layer
+  // before the raw device underneath it.
   vol->fs.reset();
+  vol->fault_device.reset();
   vol->device.reset();
   delete vol;
   return CodeOf(s);
@@ -216,6 +269,12 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->red_shares_healed = snap.counter("stegfs_red_shares_healed_total");
   out->red_verify_failures =
       snap.counter("stegfs_red_verify_failures_total");
+  out->health = plain->health()->state_name();
+  out->fault_transient_errors =
+      snap.counter("stegfs_fault_transient_errors_total");
+  out->fault_retries = snap.counter("stegfs_fault_retries_total");
+  out->fault_retry_exhausted =
+      snap.counter("stegfs_fault_retry_exhausted_total");
   return STEG_OK;
 }
 
@@ -284,6 +343,34 @@ int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out) {
   out->hidden_healed_shares = report.hidden_healed_shares;
   out->hidden_unrecoverable_stripes = report.hidden_unrecoverable_stripes;
   out->clean = report.clean ? 1 : 0;
+  return STEG_OK;
+}
+
+int steg_health(stegfs_volume* vol, stegfs_health* out) {
+  if (vol == nullptr || out == nullptr) return STEG_ERR_INVALID;
+  stegfs::PlainFs* plain = vol->fs->plain();
+  stegfs::fault::HealthMonitor* health = plain->health();
+  stegfs::fault::FaultStats* fs = plain->fault_stats();
+  out->state = static_cast<int>(health->state());
+  out->state_name = health->state_name();
+  out->degraded_transitions = health->degraded_transitions();
+  out->readonly_transitions = health->readonly_transitions();
+  out->rejected_writes = health->rejected_writes();
+  out->transient_errors = fs->transient_errors.value();
+  out->persistent_errors = fs->persistent_errors.value();
+  out->corruption_errors = fs->corruption_errors.value();
+  out->timeout_errors = fs->timeout_errors.value();
+  out->retries = fs->retries.value();
+  out->retry_successes = fs->retry_successes.value();
+  out->retry_exhausted = fs->retry_exhausted.value();
+  out->faults_injected =
+      vol->fault_device != nullptr ? vol->fault_device->faults_injected() : 0;
+  return STEG_OK;
+}
+
+int steg_health_reset(stegfs_volume* vol) {
+  if (vol == nullptr) return STEG_ERR_INVALID;
+  vol->fs->plain()->health()->Reset();
   return STEG_OK;
 }
 

@@ -127,6 +127,12 @@ typedef struct stegfs_stats {
   uint64_t red_shares_healed;    /* shares re-dispersed onto fresh blocks */
   uint64_t red_verify_failures;  /* share checksum/bitmap verification
                                     failures */
+  /* fault tolerance (PR 8; static string + counters, see steg_health for
+   * the full surface) */
+  const char* health;            /* "healthy", "degraded" or "read-only" */
+  uint64_t fault_transient_errors; /* transient/timeout-classed I/O errors */
+  uint64_t fault_retries;          /* retry attempts issued */
+  uint64_t fault_retry_exhausted;  /* ops that failed every attempt */
 } stegfs_stats;
 
 /* Fills *out; safe to call concurrently with any other operation. All
@@ -195,6 +201,69 @@ typedef struct stegfs_fsck_report {
 /* Runs the online scrubber on a mounted volume; safe alongside other
  * operations (it takes the metadata lock internally). */
 int steg_fsck(stegfs_volume* vol, stegfs_fsck_report* out);
+
+/* --- fault tolerance & degraded mode ----------------------------------- */
+
+/* The mount's health state machine (monotonic until steg_health_reset):
+ * HEALTHY -> DEGRADED on retry exhaustion or detected corruption (reads
+ * and writes keep flowing, redundancy heals what it can), -> READONLY on
+ * a persistent write fault (every mutating call then fails with
+ * STEG_ERR_PRECONDITION until reset; reads keep working). */
+#define STEG_HEALTH_HEALTHY 0
+#define STEG_HEALTH_DEGRADED 1
+#define STEG_HEALTH_READONLY 2
+
+typedef struct stegfs_health {
+  int state;              /* STEG_HEALTH_* */
+  const char* state_name; /* "healthy" / "degraded" / "read-only" (static) */
+  uint64_t degraded_transitions;
+  uint64_t readonly_transitions;
+  uint64_t rejected_writes;  /* mutating calls refused while read-only */
+  /* error taxonomy counters (classified at the device boundary) */
+  uint64_t transient_errors;
+  uint64_t persistent_errors;
+  uint64_t corruption_errors;
+  uint64_t timeout_errors;
+  /* retry/backoff layer */
+  uint64_t retries;         /* retry attempts issued */
+  uint64_t retry_successes; /* ops that succeeded on a retry */
+  uint64_t retry_exhausted; /* ops that failed every attempt */
+  /* faults fired by this handle's injection layer (steg_mount_faulty
+   * mounts only; 0 otherwise) */
+  uint64_t faults_injected;
+} stegfs_health;
+
+/* Fills *out; safe concurrently with any other operation. */
+int steg_health(stegfs_volume* vol, stegfs_health* out);
+
+/* Administrative re-arm after the operator fixed the underlying device:
+ * returns the state machine to HEALTHY, re-enabling writes. Counters are
+ * cumulative and survive the reset. */
+int steg_health_reset(stegfs_volume* vol);
+
+/* steg_mount with a scriptable fault-injection layer between the file
+ * system and the image — the chaos-testing entry point. `fault_spec` is
+ * the schedule DSL (see src/fault/fault_injection_device.h):
+ *
+ *   spec := [ "seed=" N ";" ] rule { ";" rule }
+ *   rule := op ":" kind [ "@" after ] [ "x" count ] { ":" param }
+ *   op   := "read" | "write" | "sync" | "any"
+ *   kind := "eio" (transient) | "fail" (persistent) | "error" (untagged)
+ *           | "torn" | "flip" | "delay" | "timeout"
+ *   param:= "blocks=" LO "-" HI | "us=" N
+ *
+ * e.g. "seed=7;write:eio@3x2;sync:fail". NULL or "" arms no faults.
+ * Note: the injection layer hides the image's file descriptor, so these
+ * mounts use the thread-pool async engine, never io_uring. */
+int steg_mount_faulty(const char* image_path, uint32_t block_size,
+                      const char* fault_spec, stegfs_volume** out);
+
+/* Replaces the fault schedule on a live steg_mount_faulty volume (the
+ * mount-time spec is consumed by mount/recovery I/O too — inject after
+ * mount to aim faults at specific operations). NULL or "" clears all
+ * rules ("heal the device"). Returns STEG_ERR_INVALID on a volume not
+ * mounted via steg_mount_faulty or on a malformed spec. */
+int steg_fault_inject(stegfs_volume* vol, const char* fault_spec);
 
 /* --- the paper's nine calls ------------------------------------------- */
 

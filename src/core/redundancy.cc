@@ -208,7 +208,14 @@ Status RedundancyManager::GatherStripe(const RedundancyIoCtx& ctx, uint64_t s,
     g.device_backed = true;
     g.device_block = b;
     g.content.resize(block_size_);
-    STEGFS_RETURN_IF_ERROR(ctx.store->ReadBlock(b, g.content.data()));
+    if (Status rs = ctx.store->ReadBlock(b, g.content.data()); !rs.ok()) {
+      // A share the device cannot read (after the retry layer gave up) is
+      // a lost share, not a failed gather: decode-and-heal from the k
+      // survivors is exactly what this machinery is for.
+      g.valid = false;
+      if (stats_ != nullptr) stats_->verify_failures.Increment();
+      continue;
+    }
     if (BlockLost(b)) {
       g.valid = false;
     } else if ((st.present >> j) & 1) {
@@ -228,15 +235,20 @@ Status RedundancyManager::GatherStripe(const RedundancyIoCtx& ctx, uint64_t s,
     g.device_backed = true;
     g.device_block = pb;
     g.content.resize(block_size_);
-    STEGFS_RETURN_IF_ERROR(ctx.store->ReadBlock(pb, g.content.data()));
+    if (Status rs = ctx.store->ReadBlock(pb, g.content.data()); !rs.ok()) {
+      g.valid = false;
+      if (stats_ != nullptr) stats_->verify_failures.Increment();
+      continue;
+    }
     g.valid = !BlockLost(pb) &&
               BlockSum32(g.content.data(), block_size_) == st.sums[k + i];
   }
   return Status::OK();
 }
 
-Status RedundancyManager::EncodeStripe(const RedundancyIoCtx& ctx,
-                                       uint64_t s) {
+Status RedundancyManager::EncodeStripe(const RedundancyIoCtx& ctx, uint64_t s,
+                                       uint64_t touched_first,
+                                       uint64_t touched_last) {
   const uint32_t k = policy_.k;
   const uint32_t n = policy_.n;
   const uint32_t p = policy_.parity();
@@ -246,7 +258,9 @@ Status RedundancyManager::EncodeStripe(const RedundancyIoCtx& ctx,
 
   std::vector<std::vector<uint8_t>> data(k);
   std::vector<const uint8_t*> data_ptrs(k);
+  std::vector<uint8_t> is_hole(k, 0);
   uint32_t present = 0;
+  uint32_t stale = 0;  // untouched shares the old record disowns
   for (uint32_t j = 0; j < k; ++j) {
     const uint64_t idx = s * k + j;
     bool hole = idx >= file_blocks;
@@ -264,11 +278,81 @@ Status RedundancyManager::EncodeStripe(const RedundancyIoCtx& ctx,
     data[j].resize(block_size_);
     if (hole) {
       std::memset(data[j].data(), 0, block_size_);
+      is_hole[j] = 1;
     } else {
-      STEGFS_RETURN_IF_ERROR(ctx.store->ReadBlock(b, data[j].data()));
+      Status rs = ctx.store->ReadBlock(b, data[j].data());
+      const bool untouched = idx < touched_first || idx > touched_last;
+      if (!rs.ok()) {
+        // An unreadable sibling on a boundary write: treat like a stale
+        // one (recovered from the old codeword below) instead of failing
+        // the whole write.
+        if (!untouched) return rs;
+        stale |= 1u << j;
+      } else if (untouched && ((st.present >> j) & 1) &&
+                 (BlockLost(b) ||
+                  BlockSum32(data[j].data(), block_size_) != st.sums[j])) {
+        // The write hole: this share was NOT part of the write, and the
+        // old record says its content is gone (reclaimed or corrupted).
+        // Re-encoding parity over it would bless the corruption.
+        stale |= 1u << j;
+      }
       present |= 1u << j;
     }
     data_ptrs[j] = data[j].data();
+  }
+
+  if (stale != 0) {
+    if (stats_ != nullptr) {
+      for (uint32_t j = 0; j < k; ++j) {
+        if ((stale >> j) & 1) stats_->verify_failures.Increment();
+      }
+    }
+    // Recover the stale shares from the OLD codeword: every untouched
+    // share that still checks out, holes (zeros then and now — a middle
+    // hole only stops being one when written, which makes it touched),
+    // and parity validated against the OLD sums. Touched shares hold NEW
+    // content and can say nothing about the old codeword.
+    std::vector<std::pair<uint8_t, std::vector<uint8_t>>> intact;
+    for (uint32_t j = 0; j < k && intact.size() < k; ++j) {
+      const uint64_t idx = s * k + j;
+      if (idx >= touched_first && idx <= touched_last) continue;
+      if ((stale >> j) & 1) continue;
+      intact.emplace_back(static_cast<uint8_t>(j), data[j]);
+    }
+    std::vector<uint8_t> pbuf(block_size_);
+    for (uint32_t i = 0; i < p && intact.size() < k; ++i) {
+      const uint32_t pb = st.parity[i];
+      if (pb == 0 || BlockLost(pb)) continue;
+      if (!ctx.store->ReadBlock(pb, pbuf.data()).ok()) continue;
+      if (BlockSum32(pbuf.data(), block_size_) != st.sums[k + i]) continue;
+      intact.emplace_back(static_cast<uint8_t>(k + i), pbuf);
+    }
+    if (intact.size() < k) {
+      // Not enough of the old codeword survives. Keep the OLD record —
+      // the next read of the stale share must still flunk verification —
+      // and surface the loss instead of silently certifying it.
+      return Status::DataLoss(
+          "stale sibling share on partial-stripe write and too few old "
+          "shares survive to recover it");
+    }
+    obs::LatencyTimer decode_timer(
+        stats_ != nullptr ? &stats_->decode_ns : nullptr);
+    STEGFS_ASSIGN_OR_RETURN(std::vector<std::vector<uint8_t>> decoded,
+                            crypto::IdaDecodeStripe(intact, k));
+    decode_timer.Stop();
+    for (uint32_t j = 0; j < k; ++j) {
+      if (!((stale >> j) & 1)) continue;
+      const uint64_t idx = s * k + j;
+      data[j] = std::move(decoded[j]);
+      data_ptrs[j] = data[j].data();
+      // Same re-disperse rule as HealStripe: fresh block, old one
+      // abandoned (a plain file may own it now).
+      STEGFS_ASSIGN_OR_RETURN(uint64_t nb, ctx.alloc->AllocateBlock());
+      STEGFS_RETURN_IF_ERROR(ctx.store->WriteBlock(nb, data[j].data()));
+      STEGFS_RETURN_IF_ERROR(
+          ctx.mapper->Remap(ctx.inode, idx, nb, ctx.store, ctx.inode_dirty));
+      if (stats_ != nullptr) stats_->shares_healed.Increment();
+    }
   }
 
   std::vector<uint8_t> parity(static_cast<size_t>(p) * block_size_);
@@ -427,7 +511,10 @@ Status RedundancyManager::OnExtentWrite(const RedundancyIoCtx& ctx,
   const uint64_t first_s = first_idx / policy_.k;
   const uint64_t last_s = last_idx / policy_.k;
   for (uint64_t s = first_s; s <= last_s; ++s) {
-    STEGFS_RETURN_IF_ERROR(EncodeStripe(ctx, s));
+    // Boundary stripes re-encode with sibling verification: only
+    // [first_idx, last_idx] was actually written, anything else folded
+    // into the new parity is verified against the old record first.
+    STEGFS_RETURN_IF_ERROR(EncodeStripe(ctx, s, first_idx, last_idx));
   }
   return Status::OK();
 }
@@ -447,9 +534,12 @@ Status RedundancyManager::OnTruncate(const RedundancyIoCtx& ctx,
     dirty_ = true;
   }
   // Members of the boundary stripe became holes: its parity is stale.
+  // The shares below the new end were NOT touched by the truncate, so
+  // they get the same sibling verification as a partial-stripe write.
   if (needed > 0 && needed <= stripes_.size() &&
       new_file_blocks % policy_.k != 0) {
-    STEGFS_RETURN_IF_ERROR(EncodeStripe(ctx, needed - 1));
+    STEGFS_RETURN_IF_ERROR(
+        EncodeStripe(ctx, needed - 1, new_file_blocks, ~0ULL));
   }
   return Status::OK();
 }

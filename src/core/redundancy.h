@@ -176,8 +176,19 @@ class RedundancyManager : public ExtentRedundancy {
   Status GatherStripe(const RedundancyIoCtx& ctx, uint64_t s,
                       std::vector<GatheredShare>* out);
   // Recomputes parity for stripe `s` from its current data blocks,
-  // allocating parity blocks as needed.
-  Status EncodeStripe(const RedundancyIoCtx& ctx, uint64_t s);
+  // allocating parity blocks as needed. [touched_first, touched_last] is
+  // the file-block range the caller just (re)wrote: those shares are
+  // trusted as-is, while every OTHER share of the stripe is verified
+  // against the old stripe record first — a stale sibling folded into
+  // fresh parity would silently poison the whole stripe (the RAID-5
+  // write hole). A stale sibling is recovered from the OLD codeword
+  // (untouched shares + old parity) and re-dispersed before encoding;
+  // when fewer than k old shares survive, DataLoss returns and the old
+  // record is kept so detection is preserved. The defaults mark the
+  // whole stripe touched (full trust — scrub's coverage rebuild).
+  Status EncodeStripe(const RedundancyIoCtx& ctx, uint64_t s,
+                      uint64_t touched_first = 0,
+                      uint64_t touched_last = ~0ULL);
   // Reconstructs stripe `s` from any k intact shares and re-disperses the
   // lost ones onto fresh blocks. `healed` counts re-dispersed shares.
   // DataLoss when fewer than k shares survive.

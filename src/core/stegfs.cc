@@ -267,6 +267,7 @@ Status StegFs::RewriteContainer(const std::string& uid,
 Status StegFs::StegCreate(const std::string& uid, const std::string& objname,
                           const std::string& uak, HiddenType type,
                           RedundancyPolicy redundancy) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
@@ -398,6 +399,7 @@ Status StegFs::HiddenWriteAll(const std::string& uid,
                               const std::string& data) {
   obs::Span span(plain_->trace_recorder(), "hidden.write_all", "hidden");
   obs::LatencyTimer timer(&hidden_write_ns_);
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);
@@ -414,6 +416,7 @@ Status StegFs::HiddenWrite(const std::string& uid, const std::string& objname,
                            uint64_t offset, const std::string& data) {
   obs::Span span(plain_->trace_recorder(), "hidden.write", "hidden");
   obs::LatencyTimer timer(&hidden_write_ns_);
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);
@@ -430,6 +433,7 @@ Status StegFs::HiddenTruncate(const std::string& uid,
                               const std::string& objname, uint64_t new_size) {
   obs::Span span(plain_->trace_recorder(), "hidden.truncate", "hidden");
   obs::LatencyTimer timer(&hidden_truncate_ns_);
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   STEGFS_ASSIGN_OR_RETURN(auto so, AcquireConnected(uid, objname));
   {
     std::lock_guard<std::mutex> obj_lock(so->mu);
@@ -489,6 +493,7 @@ Status StegFs::RemoveTree(const std::string& uid, const HiddenDirEntry& entry,
 
 Status StegFs::HiddenRemove(const std::string& uid, const std::string& objname,
                             const std::string& uak) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
@@ -539,6 +544,7 @@ Status StegFs::HidePlainTree(const std::string& uid,
 
 Status StegFs::StegHide(const std::string& uid, const std::string& pathname,
                         const std::string& objname, const std::string& uak) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
@@ -590,6 +596,7 @@ Status StegFs::UnhideTree(const std::string& uid,
 
 Status StegFs::StegUnhide(const std::string& uid, const std::string& pathname,
                           const std::string& objname, const std::string& uak) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::unique_ptr<HiddenObject> uakdir,
@@ -626,6 +633,7 @@ Status StegFs::StegAddEntry(const std::string& uid,
                             const std::string& entryfile_path,
                             const crypto::RsaPrivateKey& private_key,
                             const std::string& uak) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(std::string ciphertext,
@@ -653,6 +661,7 @@ Status StegFs::RevokeSharing(const std::string& uid,
                              const std::string& objname,
                              const std::string& uak,
                              const std::string& new_objname) {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   auto session = sessions_.GetOrCreate(uid);
   std::lock_guard<std::mutex> ns_lock(session->ns_mu());
   STEGFS_ASSIGN_OR_RETURN(ResolvedEntry resolved,
@@ -688,6 +697,7 @@ Status StegFs::RevokeSharing(const std::string& uid,
 }
 
 Status StegFs::MaintenanceTick() {
+  STEGFS_RETURN_IF_ERROR(plain_->health()->CheckWritable());
   // One tick at a time; user I/O keeps flowing (the dummies are touched by
   // nobody else, and the shared rng draws below take the allocation lock
   // in short sections, never across an object operation).

@@ -1,0 +1,43 @@
+#include "fault/health.h"
+
+namespace stegfs {
+namespace fault {
+
+const char* MountHealthName(MountHealth h) {
+  switch (h) {
+    case MountHealth::kHealthy:
+      return "healthy";
+    case MountHealth::kDegraded:
+      return "degraded";
+    case MountHealth::kReadOnly:
+      return "read-only";
+  }
+  return "unknown";
+}
+
+void HealthMonitor::Worsen(MountHealth target) {
+  int cur = state_.load(std::memory_order_acquire);
+  const int want = static_cast<int>(target);
+  // Monotonic CAS-max: concurrent reporters never move the state back, and
+  // exactly one of them wins each forward transition (so the transition
+  // counters count transitions, not reports).
+  while (cur < want) {
+    if (state_.compare_exchange_weak(cur, want, std::memory_order_acq_rel)) {
+      if (target == MountHealth::kDegraded) {
+        degraded_transitions_.Increment();
+      } else {
+        readonly_transitions_.Increment();
+        // Jumping straight from healthy to read-only passes through
+        // degraded conceptually; count it so "was ever degraded" queries
+        // stay monotone.
+        if (cur == static_cast<int>(MountHealth::kHealthy)) {
+          degraded_transitions_.Increment();
+        }
+      }
+      return;
+    }
+  }
+}
+
+}  // namespace fault
+}  // namespace stegfs

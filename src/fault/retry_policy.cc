@@ -1,0 +1,35 @@
+#include "fault/retry_policy.h"
+
+namespace stegfs {
+namespace fault {
+
+namespace {
+// splitmix64: the standard 64-bit finalizer — enough mixing that
+// consecutive (op, attempt) pairs decorrelate, and fully deterministic.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+}  // namespace
+
+uint64_t BackoffNanos(const RetryPolicy& policy, uint64_t op_seq,
+                      uint32_t retry_number) {
+  if (retry_number == 0) return 0;
+  double backoff = static_cast<double>(policy.base_backoff_ns);
+  for (uint32_t i = 1; i < retry_number; ++i) {
+    backoff *= policy.backoff_multiplier;
+    if (backoff >= static_cast<double>(policy.max_backoff_ns)) break;
+  }
+  uint64_t ns = static_cast<uint64_t>(backoff);
+  if (ns > policy.max_backoff_ns) ns = policy.max_backoff_ns;
+  // Jitter into [ns/2, ns]: decorrelates ops without ever collapsing the
+  // backoff to zero (a zero sleep defeats the point of backing off).
+  const uint64_t h =
+      Mix64(policy.jitter_seed ^ Mix64(op_seq) ^ (retry_number * 0x9e37ull));
+  return ns / 2 + (ns > 1 ? h % (ns - ns / 2 + 1) : 0);
+}
+
+}  // namespace fault
+}  // namespace stegfs

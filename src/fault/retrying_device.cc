@@ -1,0 +1,104 @@
+#include "fault/retrying_device.h"
+
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "obs/trace.h"
+
+namespace stegfs {
+namespace fault {
+
+template <typename Fn>
+Status RetryingBlockDevice::RunWithRetry(bool is_write, Fn&& fn) {
+  Status s = fn();
+  if (s.ok()) return s;  // fault-free fast path: no seq, no clock
+
+  const uint64_t op = op_seq_.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t0 = obs::NowNanos();
+  uint32_t attempt = 1;
+  while (true) {
+    const IoErrorClass cls = Classify(s);
+    if (stats_ != nullptr) stats_->CountClass(cls);
+    if (!IsRetryable(s)) {
+      if (health_ != nullptr) {
+        if (cls == IoErrorClass::kPersistent) {
+          if (is_write) {
+            health_->ReportPersistentWriteFault();
+          } else {
+            health_->ReportPersistentReadFault();
+          }
+        } else if (cls == IoErrorClass::kCorruption) {
+          health_->ReportCorruption();
+        }
+      }
+      return s;
+    }
+    const uint64_t elapsed = obs::NowNanos() - t0;
+    if (attempt >= policy_.max_attempts ||
+        (policy_.op_deadline_ns != 0 && elapsed >= policy_.op_deadline_ns)) {
+      if (stats_ != nullptr) {
+        stats_->retry_exhausted.Increment();
+        stats_->retry_latency_ns.Record(elapsed);
+      }
+      if (health_ != nullptr) health_->ReportRetryExhausted();
+      return s;
+    }
+    const uint64_t backoff = BackoffNanos(policy_, op, attempt);
+    if (stats_ != nullptr) {
+      stats_->retries.Increment();
+      stats_->retry_backoff_ns.Record(backoff);
+    }
+    {
+      obs::Span retry_span("fault.retry", "fault");
+      std::this_thread::sleep_for(std::chrono::nanoseconds(backoff));
+      s = fn();
+    }
+    ++attempt;
+    if (s.ok()) {
+      if (stats_ != nullptr) {
+        stats_->retry_successes.Increment();
+        stats_->retry_latency_ns.Record(obs::NowNanos() - t0);
+      }
+      return s;
+    }
+  }
+}
+
+Status RetryingBlockDevice::ReadBlock(uint64_t block, uint8_t* buf) {
+  return RunWithRetry(/*is_write=*/false,
+                      [&] { return inner_->ReadBlock(block, buf); });
+}
+
+Status RetryingBlockDevice::WriteBlock(uint64_t block, const uint8_t* buf) {
+  return RunWithRetry(/*is_write=*/true,
+                      [&] { return inner_->WriteBlock(block, buf); });
+}
+
+Status RetryingBlockDevice::ReadBlocks(const BlockIoVec* iov, size_t n) {
+  // The whole vectored call is the retry unit: re-reading blocks that
+  // already transferred is idempotent, and a mid-batch error does not say
+  // which blocks moved, so per-block resumption has nothing to anchor on.
+  return RunWithRetry(/*is_write=*/false,
+                      [&] { return inner_->ReadBlocks(iov, n); });
+}
+
+Status RetryingBlockDevice::WriteBlocks(const ConstBlockIoVec* iov, size_t n) {
+  return RunWithRetry(/*is_write=*/true,
+                      [&] { return inner_->WriteBlocks(iov, n); });
+}
+
+Status RetryingBlockDevice::Flush() {
+  return RunWithRetry(/*is_write=*/true, [&] { return inner_->Flush(); });
+}
+
+Status RetryingBlockDevice::Sync() {
+  // Sync is the journal's write barrier: a retried Sync that eventually
+  // succeeds preserves the barrier contract (completed writes durable on
+  // return); one that exhausts surfaces the fault to the commit protocol,
+  // which aborts the txn.
+  return RunWithRetry(/*is_write=*/true, [&] { return inner_->Sync(); });
+}
+
+}  // namespace fault
+}  // namespace stegfs

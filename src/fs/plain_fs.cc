@@ -7,6 +7,7 @@
 
 #include "blockdev/thread_pool_async_device.h"
 #include "blockdev/uring_block_device.h"
+#include "fault/retrying_async_device.h"
 
 namespace stegfs {
 
@@ -86,9 +87,15 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
       super_(super),
       layout_(super.ComputeLayout()),
       options_(options),
-      cache_(std::make_unique<BufferCache>(device, options.cache_blocks,
-                                           options.write_policy,
-                                           options.cache_shards)),
+      retry_device_(options.fault.enabled
+                        ? std::make_unique<fault::RetryingBlockDevice>(
+                              device, options.fault.retry, &fault_stats_,
+                              &health_)
+                        : nullptr),
+      cache_(std::make_unique<BufferCache>(
+          retry_device_ ? static_cast<BlockDevice*>(retry_device_.get())
+                        : device,
+          options.cache_blocks, options.write_policy, options.cache_shards)),
       bitmap_(layout_),
       inodes_(cache_.get(), layout_),
       file_io_(layout_.block_size),
@@ -97,6 +104,14 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
       allocator_(this),
       rng_(options.rng_seed),
       io_engine_(std::move(engine)) {
+  // The async half of the retry layer wraps whatever engine Mount
+  // resolved. The thread-pool engine reaches the device directly (not
+  // through retry_device_), so each async fault is retried exactly once —
+  // by this wrapper, from its own worker thread.
+  if (options.fault.enabled && io_engine_ != nullptr) {
+    io_engine_ = std::make_unique<fault::RetryingAsyncDevice>(
+        std::move(io_engine_), options.fault.retry, &fault_stats_, &health_);
+  }
   if (io_engine_ != nullptr) cache_->SetAsyncEngine(io_engine_.get());
   // Readahead needs a second core: even with an async engine (a pure
   // submitter — no thread ever blocks on the background read) the
@@ -121,8 +136,18 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
 
 StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
                                                   const MountOptions& options) {
+  // Mount-time I/O (superblock probe, journal replay/scrub) runs before
+  // the fs's own retry decorator exists, but it deserves the same
+  // transient-fault absorption — a faulty-carrier mount shouldn't die on
+  // one EIO blip during recovery. Stats/health aren't constructed yet, so
+  // this throwaway wrapper retries silently.
+  fault::RetryingBlockDevice mount_retry(device, options.fault.retry,
+                                         /*stats=*/nullptr,
+                                         /*health=*/nullptr);
+  BlockDevice* mount_dev =
+      options.fault.enabled ? static_cast<BlockDevice*>(&mount_retry) : device;
   std::vector<uint8_t> buf(device->block_size());
-  STEGFS_RETURN_IF_ERROR(device->ReadBlock(0, buf.data()));
+  STEGFS_RETURN_IF_ERROR(mount_dev->ReadBlock(0, buf.data()));
   STEGFS_ASSIGN_OR_RETURN(Superblock sb,
                           Superblock::DecodeFrom(buf.data(), buf.size()));
   if (sb.block_size != device->block_size() ||
@@ -154,7 +179,7 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
   journal::RecoveryReport recovery_report;
   if (sb.journal_blocks != 0) {
     STEGFS_ASSIGN_OR_RETURN(recovery_report,
-                            journal::JournalRecovery::Run(device, sb));
+                            journal::JournalRecovery::Run(mount_dev, sb));
   }
   // Resolve the async engine before construction so an explicit kUring
   // request fails the mount loudly instead of degrading.
@@ -190,7 +215,8 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
   fs->recovery_report_ = recovery_report;
   if (options.durability == Durability::kJournal) {
     fs->journal_ = std::make_unique<journal::WriteAheadJournal>(
-        device, fs->cache_.get(), fs->io_engine_.get(), sb.journal_start,
+        fs->data_device(), fs->cache_.get(), fs->io_engine_.get(),
+        sb.journal_start,
         sb.journal_blocks,
         journal::ScrubSeed(sb.dummy_seed.data(), sb.dummy_seed.size()));
   }
@@ -206,6 +232,8 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
 
 void PlainFs::RegisterInstruments() {
   op_metrics_.RegisterWith(&registry_);
+  fault_stats_.RegisterWith(&registry_);
+  health_.RegisterWith(&registry_);
   cache_->RegisterMetrics(&registry_);
   obs::GlobalCryptoMetrics().RegisterWith(&registry_);
   if (const DeviceMetrics* dm = device_->device_metrics()) {
@@ -227,6 +255,16 @@ PlainFs::TxnGuard::~TxnGuard() {
 }
 
 Status PlainFs::TxnGuard::Commit() {
+  // A persistent write fault can trip read-only BETWEEN the operation's
+  // CheckWritable gate and here (the faulting write happened inside this
+  // very transaction). Committing on top of a device that just proved it
+  // cannot persist writes is how silent corruption happens — so don't:
+  // leave committed_ unset and let the destructor abort, which applies
+  // the deferred frees directly (the PR 5 machinery).
+  if (fs_->txn_active_ &&
+      fs_->health_.state() == fault::MountHealth::kReadOnly) {
+    return fs_->health_.CheckWritable();
+  }
   committed_ = true;
   return fs_->CommitTxnLocked();
 }
@@ -362,6 +400,7 @@ Status PlainFs::CreateFile(const std::string& path) {
   obs::Span span(&trace_, "fs.create", "fs");
   obs::LatencyTimer timer(&op_metrics_.create_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
   return txn.Commit();
@@ -390,6 +429,7 @@ Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
   obs::Span span(&trace_, "fs.write_file", "fs");
   obs::LatencyTimer timer(&op_metrics_.write_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   if (!ExistsLocked(path)) {
     STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
@@ -440,6 +480,7 @@ Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
   obs::Span span(&trace_, "fs.write_at", "fs");
   obs::LatencyTimer timer(&op_metrics_.write_at_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   Inode* node = inodes_.Get(ino);
@@ -457,6 +498,7 @@ Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
   obs::Span span(&trace_, "fs.truncate", "fs");
   obs::LatencyTimer timer(&op_metrics_.truncate_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
   Inode* node = inodes_.Get(ino);
@@ -474,6 +516,7 @@ Status PlainFs::Unlink(const std::string& path) {
   obs::Span span(&trace_, "fs.unlink", "fs");
   obs::LatencyTimer timer(&op_metrics_.unlink_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
@@ -497,6 +540,7 @@ Status PlainFs::MkDir(const std::string& path) {
   obs::Span span(&trace_, "fs.mkdir", "fs");
   obs::LatencyTimer timer(&op_metrics_.mkdir_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
@@ -520,6 +564,7 @@ Status PlainFs::RmDir(const std::string& path) {
   obs::Span span(&trace_, "fs.rmdir", "fs");
   obs::LatencyTimer timer(&op_metrics_.rmdir_ns);
   std::lock_guard<std::mutex> lock(mu_);
+  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
   TxnGuard txn(this);
   STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
   Inode* dir = inodes_.Get(parent.first);
@@ -663,7 +708,7 @@ Status PlainFs::Fsck(journal::FsckReport* out) {
       // provably redundant and safe to scrub without replay.
       STEGFS_RETURN_IF_ERROR(PersistMetaLocked());
       STEGFS_RETURN_IF_ERROR(cache_->WriteBackDirty());
-      STEGFS_RETURN_IF_ERROR(device_->Sync());
+      STEGFS_RETURN_IF_ERROR(data_device()->Sync());
       STEGFS_RETURN_IF_ERROR(journal_->ScrubStaleRecords(
           &out->journal_live_records, &out->journal_scrubbed_blocks));
     } else {

@@ -26,6 +26,9 @@
 #include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
+#include "fault/health.h"
+#include "fault/retry_policy.h"
+#include "fault/retrying_device.h"
 #include "concurrency/thread_pool.h"
 #include "fs/bitmap.h"
 #include "fs/directory.h"
@@ -114,6 +117,18 @@ struct MountOptions {
   // The throughput benches opt out so PR 4-comparable numbers don't pay
   // an fdatasync per flush; journal BARRIERS (Sync) are never affected.
   bool durable_flush = true;
+  // Fault tolerance (see src/fault/ and docs/ARCHITECTURE.md §11). When
+  // enabled — the default; the wrapper is byte-transparent and its
+  // fault-free fast path adds no clock reads or allocations — a
+  // RetryingBlockDevice sits between the cache/journal and the device,
+  // and a RetryingAsyncDevice wraps the async engine, re-issuing
+  // transient/timeout-classed I/O under `retry` before any fault
+  // surfaces. Persistent/corruption faults and retry exhaustion feed the
+  // mount's HealthMonitor (kHealthy -> kDegraded -> kReadOnly).
+  struct FaultToleranceOptions {
+    bool enabled = true;
+    fault::RetryPolicy retry;
+  } fault;
 };
 
 struct FileInfo {
@@ -202,6 +217,15 @@ class PlainFs {
 
   // --- Introspection & StegFS integration ------------------------------
   BlockDevice* device() { return device_; }
+  // The device the cache and journal actually write through: the retry
+  // decorator when fault tolerance is on, else the raw device.
+  BlockDevice* data_device() {
+    return retry_device_ ? static_cast<BlockDevice*>(retry_device_.get())
+                         : device_;
+  }
+  // The mount's degraded-mode state machine and fault/retry counters.
+  fault::HealthMonitor* health() { return &health_; }
+  fault::FaultStats* fault_stats() { return &fault_stats_; }
   const Superblock& superblock() const { return super_; }
   const Layout& layout() const { return layout_; }
   BlockBitmap* bitmap() { return &bitmap_; }
@@ -335,6 +359,10 @@ class PlainFs {
   obs::MetricsRegistry registry_;
   obs::TraceRecorder trace_;
   FsOpMetrics op_metrics_;
+  // Fault-tolerance state, declared before the retry decorators that hold
+  // pointers into it (and destroyed after them).
+  fault::FaultStats fault_stats_;
+  fault::HealthMonitor health_;
 
   // Guards the path/metadata machinery below (inodes_, dir_ops_, file_io_
   // state, rng_). The cache and bitmap carry their own locks.
@@ -343,6 +371,10 @@ class PlainFs {
   Superblock super_;
   Layout layout_;
   MountOptions options_;
+  // Declared before cache_ (and the journal built on it): both write
+  // through this decorator, so it must outlive them. nullptr when
+  // options_.fault.enabled is false.
+  std::unique_ptr<fault::RetryingBlockDevice> retry_device_;
   std::unique_ptr<BufferCache> cache_;
   BlockBitmap bitmap_;
   InodeTable inodes_;

@@ -12,6 +12,20 @@
 
 namespace stegfs {
 
+// Fault-taxonomy subcode carried by I/O statuses (see src/fault/). It
+// refines kIOError/kCorruption-style codes with how the failure should be
+// *handled*: transient and timeout faults are retryable, persistent ones
+// trip the mount's degraded-mode state machine, corruption routes to the
+// redundancy heal path. kNone means "untagged" — the producing device made
+// no claim and fault::Classify() applies its defaults.
+enum class IoErrorClass : uint8_t {
+  kNone = 0,
+  kTransient = 1,
+  kPersistent = 2,
+  kCorruption = 3,
+  kTimeout = 4,
+};
+
 // Error categories used across the file system stack.
 enum class StatusCode : int {
   kOk = 0,
@@ -66,6 +80,19 @@ class Status {
     return Status(StatusCode::kFailedPrecondition, msg);
   }
 
+  // Taxonomy-tagged I/O errors (src/fault/): same kIOError code — every
+  // existing IsIOError() check keeps working — plus a subcode telling the
+  // retry/degraded-mode machinery how to handle the fault.
+  static Status TransientIOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg, IoErrorClass::kTransient);
+  }
+  static Status PersistentIOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg, IoErrorClass::kPersistent);
+  }
+  static Status TimeoutIOError(std::string_view msg) {
+    return Status(StatusCode::kIOError, msg, IoErrorClass::kTimeout);
+  }
+
   bool ok() const { return code_ == StatusCode::kOk; }
   bool IsNotFound() const { return code_ == StatusCode::kNotFound; }
   bool IsCorruption() const { return code_ == StatusCode::kCorruption; }
@@ -87,16 +114,31 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
+  // The fault-taxonomy tag the producer attached (kNone when untagged).
+  // fault::Classify() turns this plus the code into an effective class.
+  IoErrorClass io_class() const { return io_class_; }
+  // Returns a copy of this status carrying `cls` (for decorators that
+  // classify an inner device's untagged errors).
+  Status WithIoClass(IoErrorClass cls) const {
+    Status s = *this;
+    s.io_class_ = cls;
+    return s;
+  }
+
   // "OK" or "<Category>: <message>".
   std::string ToString() const;
 
+  // Equality stays code-only: the taxonomy tag refines handling, it does
+  // not define a new error category.
   bool operator==(const Status& other) const { return code_ == other.code_; }
 
  private:
-  Status(StatusCode code, std::string_view msg)
-      : code_(code), message_(msg) {}
+  Status(StatusCode code, std::string_view msg,
+         IoErrorClass cls = IoErrorClass::kNone)
+      : code_(code), io_class_(cls), message_(msg) {}
 
   StatusCode code_;
+  IoErrorClass io_class_ = IoErrorClass::kNone;
   std::string message_;
 };
 

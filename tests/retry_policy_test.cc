@@ -1,0 +1,390 @@
+// Fault-tolerance layer unit coverage (PR 8): the error taxonomy, the
+// deterministic backoff function, the RetryingBlockDevice decorator's
+// absorb/exhaust/persistent behaviors and the health transitions they
+// cause, and the FaultInjectionBlockDevice schedule DSL.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "blockdev/mem_block_device.h"
+#include "fault/error_taxonomy.h"
+#include "fault/fault_injection_device.h"
+#include "fault/health.h"
+#include "fault/retry_policy.h"
+#include "fault/retrying_device.h"
+#include "util/status.h"
+
+namespace stegfs {
+namespace fault {
+namespace {
+
+constexpr uint32_t kBs = 512;
+constexpr uint64_t kBlocks = 64;
+
+// A policy with microscopic backoff so exhaustion tests run in microseconds.
+RetryPolicy FastPolicy() {
+  RetryPolicy p;
+  p.max_attempts = 4;
+  p.base_backoff_ns = 1000;  // 1 us
+  p.max_backoff_ns = 8000;
+  p.op_deadline_ns = 0;  // unbounded; deadline has its own test
+  return p;
+}
+
+FaultRule Rule(FaultRule::Op op, FaultRule::Kind kind,
+               uint64_t count = FaultRule::kForever, uint64_t after = 0) {
+  FaultRule r;
+  r.op = op;
+  r.kind = kind;
+  r.after = after;
+  r.count = count;
+  return r;
+}
+
+// --- taxonomy -------------------------------------------------------------
+
+TEST(ErrorTaxonomyTest, TaggedStatusesKeepTheirClass) {
+  EXPECT_EQ(Classify(Status::TransientIOError("x")), IoErrorClass::kTransient);
+  EXPECT_EQ(Classify(Status::PersistentIOError("x")),
+            IoErrorClass::kPersistent);
+  EXPECT_EQ(Classify(Status::TimeoutIOError("x")), IoErrorClass::kTimeout);
+  EXPECT_EQ(Classify(Status::OK()), IoErrorClass::kNone);
+}
+
+TEST(ErrorTaxonomyTest, UntaggedErrorsGetConservativeDefaults) {
+  // Legacy Status::IOError: retry is cheap, losing the op is not.
+  EXPECT_EQ(Classify(Status::IOError("legacy")), IoErrorClass::kTransient);
+  EXPECT_EQ(Classify(Status::Corruption("bad")), IoErrorClass::kCorruption);
+  EXPECT_EQ(Classify(Status::DataLoss("gone")), IoErrorClass::kCorruption);
+  // Non-I/O statuses are not the fault layer's business.
+  EXPECT_EQ(Classify(Status::NotFound("x")), IoErrorClass::kNone);
+  EXPECT_EQ(Classify(Status::InvalidArgument("x")), IoErrorClass::kNone);
+}
+
+TEST(ErrorTaxonomyTest, OnlyTransientAndTimeoutAreRetryable) {
+  EXPECT_TRUE(IsRetryable(Status::TransientIOError("x")));
+  EXPECT_TRUE(IsRetryable(Status::TimeoutIOError("x")));
+  EXPECT_TRUE(IsRetryable(Status::IOError("legacy")));
+  EXPECT_FALSE(IsRetryable(Status::PersistentIOError("x")));
+  EXPECT_FALSE(IsRetryable(Status::Corruption("x")));
+  EXPECT_FALSE(IsRetryable(Status::NotFound("x")));
+}
+
+// --- deterministic backoff ------------------------------------------------
+
+TEST(BackoffTest, DeterministicForIdenticalInputs) {
+  RetryPolicy p;
+  for (uint64_t op = 0; op < 8; ++op) {
+    for (uint32_t r = 1; r <= p.max_attempts; ++r) {
+      EXPECT_EQ(BackoffNanos(p, op, r), BackoffNanos(p, op, r));
+    }
+  }
+}
+
+TEST(BackoffTest, ExponentialEnvelopeWithJitterInLowerHalf) {
+  RetryPolicy p;
+  p.base_backoff_ns = 1000 * 1000;  // 1 ms
+  p.backoff_multiplier = 2.0;
+  p.max_backoff_ns = 100 * 1000 * 1000;
+  for (uint32_t r = 1; r <= 5; ++r) {
+    const uint64_t full = p.base_backoff_ns << (r - 1);
+    const uint64_t got = BackoffNanos(p, /*op_seq=*/42, r);
+    EXPECT_GE(got, full / 2) << "retry " << r;
+    EXPECT_LE(got, full) << "retry " << r;
+  }
+}
+
+TEST(BackoffTest, CappedAtMaxBackoff) {
+  RetryPolicy p;
+  p.base_backoff_ns = 1000 * 1000;
+  p.max_backoff_ns = 4 * 1000 * 1000;
+  // Retry 10 would be base * 2^9 = 512 ms uncapped.
+  EXPECT_LE(BackoffNanos(p, 7, 10), p.max_backoff_ns);
+  EXPECT_GE(BackoffNanos(p, 7, 10), p.max_backoff_ns / 2);
+}
+
+TEST(BackoffTest, DifferentOpsAndSeedsDecorrelate) {
+  RetryPolicy a, b;
+  b.jitter_seed = a.jitter_seed + 1;
+  // Not a strict requirement per pair, but across a window the sequences
+  // must not be identical — that would mean the seed/op never entered.
+  int op_diffs = 0, seed_diffs = 0;
+  for (uint64_t op = 0; op < 32; ++op) {
+    if (BackoffNanos(a, op, 1) != BackoffNanos(a, op + 1, 1)) ++op_diffs;
+    if (BackoffNanos(a, op, 1) != BackoffNanos(b, op, 1)) ++seed_diffs;
+  }
+  EXPECT_GT(op_diffs, 0);
+  EXPECT_GT(seed_diffs, 0);
+}
+
+// --- RetryingBlockDevice --------------------------------------------------
+
+struct RetryHarness {
+  FaultInjectionBlockDevice faulty{kBs, kBlocks};
+  FaultStats stats;
+  HealthMonitor health;
+  RetryingBlockDevice dev;
+  explicit RetryHarness(const RetryPolicy& policy = FastPolicy())
+      : dev(&faulty, policy, &stats, &health) {}
+};
+
+TEST(RetryingDeviceTest, AbsorbsTransientFaultsBelowTheCaller) {
+  RetryHarness h;
+  h.faulty.AddRule(Rule(FaultRule::Op::kWrite,
+                        FaultRule::Kind::kTransientError, /*count=*/2));
+  std::vector<uint8_t> buf(kBs, 0xab);
+  ASSERT_TRUE(h.dev.WriteBlock(3, buf.data()).ok());
+  EXPECT_EQ(h.stats.transient_errors.value(), 2u);
+  EXPECT_EQ(h.stats.retries.value(), 2u);
+  EXPECT_EQ(h.stats.retry_successes.value(), 1u);
+  EXPECT_EQ(h.stats.retry_exhausted.value(), 0u);
+  EXPECT_EQ(h.health.state(), MountHealth::kHealthy);
+  // The write really landed beneath the faults.
+  std::vector<uint8_t> back(kBs);
+  ASSERT_TRUE(h.dev.ReadBlock(3, back.data()).ok());
+  EXPECT_EQ(back, buf);
+}
+
+TEST(RetryingDeviceTest, ExhaustionSurfacesErrorAndDegradesMount) {
+  RetryHarness h;
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kRead, FaultRule::Kind::kTransientError));
+  std::vector<uint8_t> buf(kBs);
+  Status s = h.dev.ReadBlock(0, buf.data());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.io_class(), IoErrorClass::kTransient);
+  // max_attempts=4: one initial try + 3 retries, all failed.
+  EXPECT_EQ(h.stats.retries.value(), 3u);
+  EXPECT_EQ(h.stats.retry_exhausted.value(), 1u);
+  EXPECT_EQ(h.stats.retry_successes.value(), 0u);
+  EXPECT_EQ(h.health.state(), MountHealth::kDegraded);
+  // Degraded still writes: only persistent write faults trip read-only.
+  EXPECT_TRUE(h.health.CheckWritable().ok());
+}
+
+TEST(RetryingDeviceTest, PersistentWriteFaultTripsReadOnlyWithoutRetry) {
+  RetryHarness h;
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kWrite, FaultRule::Kind::kPersistentError));
+  std::vector<uint8_t> buf(kBs, 1);
+  Status s = h.dev.WriteBlock(0, buf.data());
+  ASSERT_FALSE(s.ok());
+  EXPECT_EQ(s.io_class(), IoErrorClass::kPersistent);
+  EXPECT_EQ(h.stats.retries.value(), 0u);  // never retried
+  EXPECT_EQ(h.stats.persistent_errors.value(), 1u);
+  EXPECT_EQ(h.health.state(), MountHealth::kReadOnly);
+  EXPECT_EQ(h.health.readonly_transitions(), 1u);
+
+  Status w = h.health.CheckWritable();
+  EXPECT_TRUE(w.IsFailedPrecondition()) << w.ToString();
+  EXPECT_GE(h.health.rejected_writes(), 1u);
+
+  // Administrative re-enable restores writes (the schedule healed too).
+  h.faulty.ClearRules();
+  h.health.Reset();
+  EXPECT_EQ(h.health.state(), MountHealth::kHealthy);
+  EXPECT_TRUE(h.health.CheckWritable().ok());
+  EXPECT_TRUE(h.dev.WriteBlock(0, buf.data()).ok());
+}
+
+TEST(RetryingDeviceTest, PersistentReadFaultDegradesButKeepsWrites) {
+  RetryHarness h;
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kRead, FaultRule::Kind::kPersistentError));
+  std::vector<uint8_t> buf(kBs);
+  ASSERT_FALSE(h.dev.ReadBlock(0, buf.data()).ok());
+  EXPECT_EQ(h.health.state(), MountHealth::kDegraded);
+  EXPECT_TRUE(h.health.CheckWritable().ok());
+}
+
+TEST(RetryingDeviceTest, TimeoutClassIsRetriedAndCountedSeparately) {
+  RetryHarness h;
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kSync, FaultRule::Kind::kTimeout, /*count=*/1));
+  ASSERT_TRUE(h.dev.Sync().ok());
+  EXPECT_EQ(h.stats.timeout_errors.value(), 1u);
+  EXPECT_EQ(h.stats.transient_errors.value(), 0u);
+  EXPECT_EQ(h.stats.retry_successes.value(), 1u);
+}
+
+TEST(RetryingDeviceTest, DeadlineStopsRetriesEvenWithAttemptsLeft) {
+  RetryPolicy p = FastPolicy();
+  p.max_attempts = 1000;
+  p.op_deadline_ns = 1;  // any elapsed time at all exceeds it
+  RetryHarness h(p);
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kRead, FaultRule::Kind::kTransientError));
+  std::vector<uint8_t> buf(kBs);
+  ASSERT_FALSE(h.dev.ReadBlock(0, buf.data()).ok());
+  EXPECT_EQ(h.stats.retry_exhausted.value(), 1u);
+  // Far fewer than 999 retries happened before the deadline cut in.
+  EXPECT_LT(h.stats.retries.value(), 4u);
+}
+
+// A device that reports validated-corruption statuses (bit flips from the
+// injector are SILENT; corruption-classed statuses come from layers that
+// checksum, so a stub stands in for one here).
+class CorruptingDevice : public MemBlockDevice {
+ public:
+  CorruptingDevice() : MemBlockDevice(kBs, kBlocks) {}
+  Status ReadBlock(uint64_t block, uint8_t* buf) override {
+    ++reads_;
+    return Status::Corruption("checksum mismatch");
+  }
+  int reads_ = 0;
+};
+
+TEST(RetryingDeviceTest, CorruptionIsNotRetriedAndDegrades) {
+  CorruptingDevice inner;
+  FaultStats stats;
+  HealthMonitor health;
+  RetryingBlockDevice dev(&inner, FastPolicy(), &stats, &health);
+  std::vector<uint8_t> buf(kBs);
+  Status s = dev.ReadBlock(0, buf.data());
+  ASSERT_FALSE(s.ok());
+  EXPECT_TRUE(s.IsCorruption());
+  EXPECT_EQ(inner.reads_, 1);  // retrying cannot un-corrupt: one attempt
+  EXPECT_EQ(stats.corruption_errors.value(), 1u);
+  EXPECT_EQ(stats.retries.value(), 0u);
+  EXPECT_EQ(health.state(), MountHealth::kDegraded);
+  EXPECT_TRUE(health.CheckWritable().ok());  // heal path owns corruption
+}
+
+// --- deterministic retry sequences ---------------------------------------
+
+// Two identical runs (same seed, same schedule, same workload) must see
+// the same fault firings and produce identical device images — the
+// property the chaos matrix depends on.
+TEST(RetryingDeviceTest, IdenticalSeededRunsProduceIdenticalImages) {
+  auto run = [](std::vector<uint8_t>* image, uint64_t* injected) {
+    FaultInjectionBlockDevice faulty(kBs, kBlocks, /*seed=*/99);
+    FaultRule torn = Rule(FaultRule::Op::kWrite, FaultRule::Kind::kTornWrite,
+                          /*count=*/3, /*after=*/2);
+    faulty.AddRule(torn);
+    faulty.AddRule(Rule(FaultRule::Op::kWrite,
+                        FaultRule::Kind::kTransientError, /*count=*/2,
+                        /*after=*/10));
+    FaultStats stats;
+    HealthMonitor health;
+    RetryingBlockDevice dev(&faulty, FastPolicy(), &stats, &health);
+    std::vector<uint8_t> buf(kBs);
+    for (uint64_t b = 0; b < 32; ++b) {
+      for (uint32_t i = 0; i < kBs; ++i) {
+        buf[i] = static_cast<uint8_t>(b * 131 + i * 17);
+      }
+      ASSERT_TRUE(dev.WriteBlock(b, buf.data()).ok()) << "block " << b;
+    }
+    ASSERT_TRUE(dev.Sync().ok());
+    *injected = faulty.faults_injected();
+    image->clear();
+    image->resize(kBs * kBlocks);
+    for (uint64_t b = 0; b < kBlocks; ++b) {
+      ASSERT_TRUE(
+          faulty.mem()->ReadBlock(b, image->data() + b * kBs).ok());
+    }
+  };
+  std::vector<uint8_t> img1, img2;
+  uint64_t inj1 = 0, inj2 = 0;
+  run(&img1, &inj1);
+  run(&img2, &inj2);
+  EXPECT_GT(inj1, 0u);
+  EXPECT_EQ(inj1, inj2);
+  EXPECT_EQ(img1, img2);
+}
+
+// A torn write leaves half-old half-new content and an error; the retry
+// layer's full-block rewrite repairs it transparently.
+TEST(RetryingDeviceTest, TornWriteRepairedByRetry) {
+  RetryHarness h;
+  std::vector<uint8_t> old_content(kBs, 0x11);
+  ASSERT_TRUE(h.dev.WriteBlock(5, old_content.data()).ok());
+  h.faulty.AddRule(
+      Rule(FaultRule::Op::kWrite, FaultRule::Kind::kTornWrite, /*count=*/1));
+  std::vector<uint8_t> new_content(kBs, 0x22);
+  ASSERT_TRUE(h.dev.WriteBlock(5, new_content.data()).ok());
+  std::vector<uint8_t> back(kBs);
+  ASSERT_TRUE(h.faulty.mem()->ReadBlock(5, back.data()).ok());
+  EXPECT_EQ(back, new_content);  // no half-torn residue survives the retry
+  EXPECT_EQ(h.stats.retry_successes.value(), 1u);
+}
+
+// Bit flips are deterministic per (seed, fire, block): two devices with
+// the same schedule corrupt the same bit.
+TEST(FaultInjectionTest, BitFlipsAreSeedDeterministic) {
+  auto flip_once = [](std::vector<uint8_t>* out) {
+    FaultInjectionBlockDevice dev(kBs, kBlocks, /*seed=*/7);
+    std::vector<uint8_t> content(kBs, 0x5a);
+    ASSERT_TRUE(dev.WriteBlock(9, content.data()).ok());
+    dev.AddRule(Rule(FaultRule::Op::kRead, FaultRule::Kind::kBitFlip,
+                     /*count=*/1));
+    out->resize(kBs);
+    ASSERT_TRUE(dev.ReadBlock(9, out->data()).ok());
+  };
+  std::vector<uint8_t> a, b;
+  flip_once(&a);
+  flip_once(&b);
+  EXPECT_EQ(a, b);
+  std::vector<uint8_t> clean(kBs, 0x5a);
+  EXPECT_NE(a, clean);
+  // Exactly one bit differs.
+  int bits = 0;
+  for (uint32_t i = 0; i < kBs; ++i) {
+    bits += __builtin_popcount(static_cast<uint8_t>(a[i] ^ clean[i]));
+  }
+  EXPECT_EQ(bits, 1);
+}
+
+// --- schedule DSL ---------------------------------------------------------
+
+TEST(FaultInjectionTest, ParsesFullSpec) {
+  uint64_t seed = 0;
+  auto rules = FaultInjectionBlockDevice::ParseSchedule(
+      "seed=7;write:eio@3x2;read:flip@10;sync:fail;any:delay:us=500;"
+      "read:timeout:blocks=4-8", &seed);
+  ASSERT_TRUE(rules.ok()) << rules.status().ToString();
+  EXPECT_EQ(seed, 7u);
+  ASSERT_EQ(rules->size(), 5u);
+  EXPECT_EQ((*rules)[0].op, FaultRule::Op::kWrite);
+  EXPECT_EQ((*rules)[0].kind, FaultRule::Kind::kTransientError);
+  EXPECT_EQ((*rules)[0].after, 3u);
+  EXPECT_EQ((*rules)[0].count, 2u);
+  EXPECT_EQ((*rules)[1].kind, FaultRule::Kind::kBitFlip);
+  EXPECT_EQ((*rules)[1].count, 1u);  // default
+  EXPECT_EQ((*rules)[2].op, FaultRule::Op::kSync);
+  EXPECT_EQ((*rules)[2].kind, FaultRule::Kind::kPersistentError);
+  EXPECT_EQ((*rules)[2].count, FaultRule::kForever);  // fail defaults forever
+  EXPECT_EQ((*rules)[3].kind, FaultRule::Kind::kLatencySpike);
+  EXPECT_EQ((*rules)[3].delay_us, 500u);
+  EXPECT_EQ((*rules)[4].kind, FaultRule::Kind::kTimeout);
+  EXPECT_EQ((*rules)[4].block_lo, 4u);
+  EXPECT_EQ((*rules)[4].block_hi, 8u);
+}
+
+TEST(FaultInjectionTest, RejectsMalformedSpecs) {
+  uint64_t seed = 0;
+  for (const char* bad :
+       {"write", "write:nope", "frobnicate:eio", "write:eio@x",
+        "read:flip:blocks=9", "seed=;write:eio", "write:eio:us=abc"}) {
+    auto r = FaultInjectionBlockDevice::ParseSchedule(bad, &seed);
+    EXPECT_FALSE(r.ok()) << "spec accepted: " << bad;
+    if (!r.ok()) {
+      EXPECT_TRUE(r.status().IsInvalidArgument()) << bad;
+    }
+  }
+}
+
+TEST(FaultInjectionTest, BlockRangeScopesTheRule) {
+  FaultInjectionBlockDevice dev(kBs, kBlocks);
+  ASSERT_TRUE(dev.LoadSchedule("read:eio:blocks=10-20").ok());
+  std::vector<uint8_t> buf(kBs);
+  EXPECT_TRUE(dev.ReadBlock(5, buf.data()).ok());    // outside range
+  EXPECT_FALSE(dev.ReadBlock(15, buf.data()).ok());  // inside fires
+  EXPECT_TRUE(dev.ReadBlock(15, buf.data()).ok());   // count=1 consumed
+}
+
+}  // namespace
+}  // namespace fault
+}  // namespace stegfs

@@ -1,94 +1,55 @@
 // Reusable test doubles for the BlockDevice interface, shared by the fault
 // injection suite and the concurrency stress tests.
+//
+// FaultyDevice is a thin compatibility shim over the first-class
+// fault::FaultInjectionBlockDevice (src/fault/) — the old switch-style API
+// (FailReads/FailWrites/FailSyncs + Heal) maps onto one scheduled rule of
+// the untagged-error kind, which preserves the legacy behavior exactly:
+// plain Status::IOError("injected <op> fault"), armed until healed, with
+// the countdown consumed only by operations of the armed kind.
 #ifndef STEGFS_TESTS_TEST_DEVICE_H_
 #define STEGFS_TESTS_TEST_DEVICE_H_
 
-#include <atomic>
 #include <cstdint>
 
-#include "blockdev/block_device.h"
 #include "blockdev/mem_block_device.h"
-#include "util/status.h"
+#include "fault/fault_injection_device.h"
 
 namespace stegfs {
 namespace test {
 
-// Fails reads/writes on command. Thread-safe: the fault switches and the
-// countdown are atomics, so faults can be armed, triggered and healed while
-// other threads are mid-I/O (the concurrency suite injects faults under
-// contention).
-class FaultyDevice : public BlockDevice {
+// Fails reads/writes/syncs on command. Thread-safe: rule state is guarded
+// inside FaultInjectionBlockDevice, so faults can be armed, triggered and
+// healed while other threads are mid-I/O (the concurrency suite injects
+// faults under contention).
+class FaultyDevice : public fault::FaultInjectionBlockDevice {
  public:
   FaultyDevice(uint32_t block_size, uint64_t num_blocks)
-      : inner_(block_size, num_blocks) {}
-
-  uint32_t block_size() const override { return inner_.block_size(); }
-  uint64_t num_blocks() const override { return inner_.num_blocks(); }
-
-  Status ReadBlock(uint64_t block, uint8_t* buf) override {
-    if (fail_reads_.load(std::memory_order_acquire) && CountDown()) {
-      return Status::IOError("injected read fault");
-    }
-    return inner_.ReadBlock(block, buf);
-  }
-  Status WriteBlock(uint64_t block, const uint8_t* buf) override {
-    if (fail_writes_.load(std::memory_order_acquire) && CountDown()) {
-      return Status::IOError("injected write fault");
-    }
-    return inner_.WriteBlock(block, buf);
-  }
-  Status Flush() override { return inner_.Flush(); }
-  Status Sync() override {
-    if (fail_syncs_.load(std::memory_order_acquire) && CountDown()) {
-      return Status::IOError("injected sync fault");
-    }
-    syncs_.fetch_add(1, std::memory_order_relaxed);
-    return inner_.Sync();
-  }
-  uint64_t sync_count() const override {
-    return syncs_.load(std::memory_order_relaxed);
-  }
+      : fault::FaultInjectionBlockDevice(block_size, num_blocks) {}
 
   // Fail every I/O of the chosen kind after `after` more operations.
   void FailReads(uint64_t after = 0) {
-    countdown_.store(after, std::memory_order_relaxed);
-    fail_reads_.store(true, std::memory_order_release);
+    Arm(fault::FaultRule::Op::kRead, after);
   }
   void FailWrites(uint64_t after = 0) {
-    countdown_.store(after, std::memory_order_relaxed);
-    fail_writes_.store(true, std::memory_order_release);
+    Arm(fault::FaultRule::Op::kWrite, after);
   }
   void FailSyncs(uint64_t after = 0) {
-    countdown_.store(after, std::memory_order_relaxed);
-    fail_syncs_.store(true, std::memory_order_release);
+    Arm(fault::FaultRule::Op::kSync, after);
   }
-  void Heal() {
-    fail_reads_.store(false, std::memory_order_release);
-    fail_writes_.store(false, std::memory_order_release);
-    fail_syncs_.store(false, std::memory_order_release);
-  }
+  void Heal() { ClearRules(); }
 
-  MemBlockDevice* inner() { return &inner_; }
+  MemBlockDevice* inner() { return mem(); }
 
  private:
-  // Atomically consumes one countdown charge; true once the fuse is spent.
-  bool CountDown() {
-    uint64_t c = countdown_.load(std::memory_order_relaxed);
-    while (c > 0) {
-      if (countdown_.compare_exchange_weak(c, c - 1,
-                                           std::memory_order_relaxed)) {
-        return false;
-      }
-    }
-    return true;
+  void Arm(fault::FaultRule::Op op, uint64_t after) {
+    fault::FaultRule rule;
+    rule.op = op;
+    rule.kind = fault::FaultRule::Kind::kUntaggedError;
+    rule.after = after;
+    rule.count = fault::FaultRule::kForever;
+    AddRule(rule);
   }
-
-  MemBlockDevice inner_;
-  std::atomic<bool> fail_reads_{false};
-  std::atomic<bool> fail_writes_{false};
-  std::atomic<bool> fail_syncs_{false};
-  std::atomic<uint64_t> countdown_{0};
-  std::atomic<uint64_t> syncs_{0};
 };
 
 }  // namespace test
