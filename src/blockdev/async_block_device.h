@@ -63,6 +63,9 @@ struct AsyncIoStats {
   // Ops that went through a kernel-registered buffer
   // (IORING_OP_*_FIXED); always 0 on the thread-pool engine.
   uint64_t fixed_buffer_ops = 0;
+  // The READ_FIXED subset of fixed_buffer_ops (cache-miss reads staged
+  // through the read pool); always 0 on the thread-pool engine.
+  uint64_t fixed_buffer_read_ops = 0;
 };
 
 // Runs when a batch completes; receives the batch status.
@@ -207,6 +210,19 @@ class AsyncBlockDevice {
   }
   virtual void ReleaseArenaSpan(uint8_t* span) { (void)span; }
   virtual size_t arena_span_blocks() const { return 0; }
+
+  // Read-side pinned pool, same contract as the staging arena but sized
+  // for cache-miss read batches (the buffer cache leases a span per miss
+  // group, receives the transfer via READ_FIXED, then copies into the
+  // caller's buffers and releases). nullptr / 0 mean "no pool" and the
+  // cache submits straight into caller memory — the pool, like the
+  // staging arena, is purely an optimization.
+  virtual uint8_t* AcquireReadSpan(size_t blocks) {
+    (void)blocks;
+    return nullptr;
+  }
+  virtual void ReleaseReadSpan(uint8_t* span) { (void)span; }
+  virtual size_t read_span_blocks() const { return 0; }
 
   virtual AsyncIoStats stats() const = 0;
 

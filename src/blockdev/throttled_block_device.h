@@ -27,10 +27,17 @@ namespace stegfs {
 class ThrottledBlockDevice : public BlockDevice {
  public:
   // `inner` must outlive the decorator. Latencies are per whole-block
-  // request; 0 disables the corresponding sleep.
-  ThrottledBlockDevice(BlockDevice* inner, std::chrono::microseconds read_lat,
-                       std::chrono::microseconds write_lat)
-      : inner_(inner), read_lat_(read_lat), write_lat_(write_lat) {}
+  // request; 0 disables the corresponding sleep. `sync_lat` charges every
+  // Sync() barrier (the fdatasync stand-in the durable-write benches
+  // need: group commit only pays off if barriers actually cost time).
+  ThrottledBlockDevice(
+      BlockDevice* inner, std::chrono::microseconds read_lat,
+      std::chrono::microseconds write_lat,
+      std::chrono::microseconds sync_lat = std::chrono::microseconds(0))
+      : inner_(inner),
+        read_lat_(read_lat),
+        write_lat_(write_lat),
+        sync_lat_(sync_lat) {}
 
   uint32_t block_size() const override { return inner_->block_size(); }
   uint64_t num_blocks() const override { return inner_->num_blocks(); }
@@ -49,6 +56,7 @@ class ThrottledBlockDevice : public BlockDevice {
 
   Status Flush() override { return inner_->Flush(); }
   Status Sync() override {
+    if (sync_lat_.count() > 0) std::this_thread::sleep_for(sync_lat_);
     syncs_.fetch_add(1, std::memory_order_relaxed);
     return inner_->Sync();
   }
@@ -74,6 +82,7 @@ class ThrottledBlockDevice : public BlockDevice {
   BlockDevice* inner_;
   std::chrono::microseconds read_lat_;
   std::chrono::microseconds write_lat_;
+  std::chrono::microseconds sync_lat_;
   std::atomic<uint64_t> reads_{0};
   std::atomic<uint64_t> writes_{0};
   std::atomic<uint64_t> syncs_{0};

@@ -190,26 +190,45 @@ UringBlockDevice::~UringBlockDevice() {
 }
 
 void UringBlockDevice::SetupArena() {
-  // One page-aligned allocation registered as a single kernel buffer; a
-  // refusal (RLIMIT_MEMLOCK, old kernel) just leaves the engine without
-  // fixed-buffer support.
-  const size_t bytes =
+  // One page-aligned allocation registered as a single kernel buffer:
+  // the write-staging spans first, then the read pool. Pinned pages are
+  // charged against RLIMIT_MEMLOCK, so if the kernel refuses the
+  // combined size we retry with the staging arena alone (writes keep
+  // their fixed path, reads fall back to caller buffers); a second
+  // refusal just leaves the engine without fixed-buffer support.
+  const size_t staging_bytes =
       kArenaSpans * kArenaSpanBlocks * static_cast<size_t>(block_size_);
-  void* base = nullptr;
-  if (posix_memalign(&base, 4096, bytes) != 0) return;
-  struct iovec reg;
-  reg.iov_base = base;
-  reg.iov_len = bytes;
-  if (UringRegister(ring_->fd, IORING_REGISTER_BUFFERS, &reg, 1) != 0) {
-    free(base);
+  const size_t combined_bytes =
+      staging_bytes +
+      kReadSpans * kReadSpanBlocks * static_cast<size_t>(block_size_);
+  for (const size_t bytes : {combined_bytes, staging_bytes}) {
+    void* base = nullptr;
+    if (posix_memalign(&base, 4096, bytes) != 0) return;
+    struct iovec reg;
+    reg.iov_base = base;
+    reg.iov_len = bytes;
+    if (UringRegister(ring_->fd, IORING_REGISTER_BUFFERS, &reg, 1) != 0) {
+      free(base);
+      continue;
+    }
+    arena_base_ = static_cast<uint8_t*>(base);
+    arena_bytes_ = bytes;
+    arena_free_.reserve(kArenaSpans);
+    const size_t span_bytes =
+        kArenaSpanBlocks * static_cast<size_t>(block_size_);
+    for (size_t i = 0; i < kArenaSpans; ++i) {
+      arena_free_.push_back(arena_base_ + i * span_bytes);
+    }
+    if (bytes == combined_bytes) {
+      read_pool_ = true;
+      read_free_.reserve(kReadSpans);
+      const size_t read_span_bytes =
+          kReadSpanBlocks * static_cast<size_t>(block_size_);
+      for (size_t i = 0; i < kReadSpans; ++i) {
+        read_free_.push_back(arena_base_ + staging_bytes + i * read_span_bytes);
+      }
+    }
     return;
-  }
-  arena_base_ = static_cast<uint8_t*>(base);
-  arena_bytes_ = bytes;
-  arena_free_.reserve(kArenaSpans);
-  const size_t span_bytes = kArenaSpanBlocks * static_cast<size_t>(block_size_);
-  for (size_t i = 0; i < kArenaSpans; ++i) {
-    arena_free_.push_back(arena_base_ + i * span_bytes);
   }
 }
 
@@ -226,6 +245,21 @@ void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) {
   if (span == nullptr) return;
   std::lock_guard<std::mutex> lock(arena_mu_);
   arena_free_.push_back(span);
+}
+
+uint8_t* UringBlockDevice::AcquireReadSpan(size_t blocks) {
+  if (!read_pool_ || blocks > kReadSpanBlocks) return nullptr;
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  if (read_free_.empty()) return nullptr;
+  uint8_t* span = read_free_.back();
+  read_free_.pop_back();
+  return span;
+}
+
+void UringBlockDevice::ReleaseReadSpan(uint8_t* span) {
+  if (span == nullptr) return;
+  std::lock_guard<std::mutex> lock(arena_mu_);
+  read_free_.push_back(span);
 }
 
 void UringBlockDevice::FinalizeBatch(Batch* batch, size_t blocks) {
@@ -313,6 +347,7 @@ IoTicket UringBlockDevice::Submit(std::vector<Vec> iov, IoCompletionFn done,
         sqe->opcode = write ? IORING_OP_WRITE_FIXED : IORING_OP_READ_FIXED;
         sqe->buf_index = 0;
         fixed_buffer_ops_.Increment();
+        if (!write) fixed_buffer_read_ops_.Increment();
       } else {
         sqe->opcode = write ? IORING_OP_WRITE : IORING_OP_READ;
       }
@@ -439,6 +474,7 @@ AsyncIoStats UringBlockDevice::stats() const {
   s.completed_batches = completed_batches_.value();
   s.failed_batches = failed_batches_.value();
   s.fixed_buffer_ops = fixed_buffer_ops_.value();
+  s.fixed_buffer_read_ops = fixed_buffer_read_ops_.value();
   std::lock_guard<std::mutex> lock(mu_);
   s.inflight_blocks = inflight_blocks_;
   return s;
@@ -500,6 +536,11 @@ uint8_t* UringBlockDevice::AcquireArenaSpan(size_t blocks) {
   return nullptr;
 }
 void UringBlockDevice::ReleaseArenaSpan(uint8_t* span) { (void)span; }
+uint8_t* UringBlockDevice::AcquireReadSpan(size_t blocks) {
+  (void)blocks;
+  return nullptr;
+}
+void UringBlockDevice::ReleaseReadSpan(uint8_t* span) { (void)span; }
 
 #endif  // STEGFS_HAS_URING
 
@@ -518,6 +559,9 @@ void UringBlockDevice::RegisterMetrics(obs::MetricsRegistry* reg) const {
   reg->RegisterCounter("stegfs_async_fixed_buffer_ops_total",
                        "io_uring ops that used a registered buffer",
                        &fixed_buffer_ops_);
+  reg->RegisterCounter("stegfs_async_fixed_buffer_read_ops_total",
+                       "io_uring READ_FIXED ops staged through the read pool",
+                       &fixed_buffer_read_ops_);
   reg->RegisterHistogram("stegfs_async_batch_seconds",
                          "Async batch submit-to-finalize latency",
                          &batch_ns_);

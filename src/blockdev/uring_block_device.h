@@ -86,6 +86,20 @@ class UringBlockDevice : public AsyncBlockDevice {
     return arena_base_ != nullptr ? kArenaSpanBlocks : 0;
   }
 
+  // Read pool: a second region of the same registered buffer, sized for
+  // the cache's miss batches (one span per cache shard with room to
+  // spare, so concurrent read batches rarely contend). If the kernel
+  // refuses the combined registration — pinned memory is charged against
+  // RLIMIT_MEMLOCK — Attach retries with the staging arena alone: writes
+  // keep their fixed path and reads fall back to caller buffers.
+  static constexpr size_t kReadSpanBlocks = 64;
+  static constexpr size_t kReadSpans = 48;
+  uint8_t* AcquireReadSpan(size_t blocks) override;
+  void ReleaseReadSpan(uint8_t* span) override;
+  size_t read_span_blocks() const override {
+    return read_pool_ ? kReadSpanBlocks : 0;
+  }
+
  private:
   struct Ring;   // mmap'd SQ/CQ state — defined in the .cc
   struct Batch;  // one in-flight batch's completion state
@@ -121,14 +135,17 @@ class UringBlockDevice : public AsyncBlockDevice {
   obs::Counter completed_batches_;
   obs::Counter failed_batches_;
   obs::Counter fixed_buffer_ops_;
+  obs::Counter fixed_buffer_read_ops_;
   obs::Histogram batch_ns_;  // submit -> finalize, per batch
 
   // Registered arena (null when registration failed or stub build).
   void SetupArena();
   uint8_t* arena_base_ = nullptr;
   size_t arena_bytes_ = 0;
-  std::mutex arena_mu_;
-  std::vector<uint8_t*> arena_free_;  // free span list
+  std::mutex arena_mu_;  // guards both free lists
+  std::vector<uint8_t*> arena_free_;  // free staging-span list
+  std::vector<uint8_t*> read_free_;   // free read-span list
+  bool read_pool_ = false;  // combined registration succeeded
 
   std::thread reaper_;  // started last, joined in the destructor
 };

@@ -363,7 +363,18 @@ CacheIoTicket BufferCache::ReadBatchAsync(const uint64_t* blocks, size_t n,
       }
     }
     if (iov.empty()) continue;
-    std::vector<BlockIoVec> engine_iov = iov;  // engine consumes its copy
+    // Lease a span from the engine's pinned read pool when one fits: the
+    // transfer then goes through READ_FIXED (no per-op page pin) and is
+    // copied out to the caller at completion. A null lease (no pool, pool
+    // exhausted, group too large) submits straight into caller buffers —
+    // the pool is purely an optimization, never a requirement.
+    uint8_t* lease = engine->AcquireReadSpan(iov.size());
+    std::vector<BlockIoVec> engine_iov;
+    engine_iov.reserve(iov.size());
+    for (size_t k = 0; k < iov.size(); ++k) {
+      engine_iov.push_back(
+          {iov[k].block, lease != nullptr ? lease + k * bs : iov[k].buf});
+    }
     // Submission-time capture: fill latency spans submit→completion, and
     // the caller's trace context rides along so the completion (an engine
     // thread) lands in the submitting operation's span tree.
@@ -371,10 +382,19 @@ CacheIoTicket BufferCache::ReadBatchAsync(const uint64_t* blocks, size_t n,
     const obs::SpanContext span_ctx = obs::CurrentSpanContext();
     result.tickets_.push_back(engine->SubmitRead(
         std::move(engine_iov),
-        [this, idx, iov = std::move(iov), dups = std::move(dups), gen, out,
-         bs, fill_t0, span_ctx](const Status& s) {
+        [this, engine, lease, idx, iov = std::move(iov),
+         dups = std::move(dups), gen, out, bs, fill_t0,
+         span_ctx](const Status& s) {
           obs::Span span(span_ctx, "cache.fill", "cache");
           if (fill_t0 != 0) fill_ns_.Record(obs::NowNanos() - fill_t0);
+          if (lease != nullptr) {
+            if (s.ok()) {
+              for (size_t k = 0; k < iov.size(); ++k) {
+                std::memcpy(iov[k].buf, lease + k * bs, bs);
+              }
+            }
+            engine->ReleaseReadSpan(lease);  // always, even on error
+          }
           if (!s.ok()) return;  // nothing inserted; Wait() reports the error
           for (const auto& [pos, first] : dups) {
             std::memcpy(out + pos * bs, out + first * bs, bs);
@@ -526,6 +546,24 @@ void BufferCache::CompleteAsyncWrite(size_t idx,
     shard->lru.push_front(std::move(e));
     shard->map[e.block] = shard->lru.begin();
   }
+}
+
+Status BufferCache::CheckpointBlock(uint64_t block, const uint8_t* data) {
+  const size_t bs = device_->block_size();
+  size_t idx = ShardOf(block);
+  Shard* shard = &shards_[idx];
+  std::lock_guard<std::shared_mutex> lock(locks_.stripe(idx));
+  // The device bytes change under the lock: invalidate in-flight async
+  // read snapshots so they cannot insert the pre-checkpoint bytes.
+  shard->gen++;
+  STEGFS_RETURN_IF_ERROR(device_->WriteBlock(block, data));
+  writebacks_.Increment();
+  auto found = shard->map.find(block);
+  if (found != shard->map.end() && found->second->dirty &&
+      std::memcmp(found->second->data.data(), data, bs) == 0) {
+    found->second->dirty = false;
+  }
+  return Status::OK();
 }
 
 void BufferCache::SetPrefetchPool(concurrency::ThreadPool* pool) {

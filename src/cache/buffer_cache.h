@@ -213,6 +213,20 @@ class BufferCache {
   Status WriteBackDirty(const std::unordered_set<uint64_t>* hold_back =
                             nullptr);
 
+  // Journal checkpoint primitive: writes `data` (block_size() bytes)
+  // straight to the device under the block's shard lock — the same lock
+  // every write-back path holds across ITS device write, which makes this
+  // atomic against concurrent flushers without parking the block. The
+  // cached entry is then reconciled: bytes identical -> dirty cleared
+  // (the device now holds them); bytes differ -> the entry is STRICTLY
+  // NEWER (every metadata writer snapshots monotone in-memory state, and
+  // anything older was cleaned by the committing transaction's own
+  // ordered flush) and keeps its dirty flag; absent -> nothing is
+  // inserted. Unlike a Write() this can never regress the cache or the
+  // device to an older image, which is what lets group commit checkpoint
+  // bitmap/inode images while other sessions keep mutating them.
+  Status CheckpointBlock(uint64_t block, const uint8_t* data);
+
   // Parks a set of blocks: EVERY write-back path — Flush, FlushExcept,
   // WriteBackDirty, eviction victims — skips them until unparked
   // (nullptr). This is how a journal transaction's held-back metadata

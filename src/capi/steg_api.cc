@@ -244,6 +244,8 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
       snap.counter("stegfs_async_completed_batches_total");
   out->io_fixed_buffer_ops =
       snap.counter("stegfs_async_fixed_buffer_ops_total");
+  out->io_fixed_buffer_read_ops =
+      snap.counter("stegfs_async_fixed_buffer_read_ops_total");
   out->io_inflight_blocks =
       plain->io_engine() != nullptr
           ? plain->io_engine()->stats().inflight_blocks
@@ -260,6 +262,11 @@ int steg_stats(stegfs_volume* vol, stegfs_stats* out) {
   out->journal_overflows =
       snap.counter("stegfs_journal_overflow_fallbacks_total");
   out->journal_recovered_records = plain->recovery_report().records_replayed;
+  out->journal_group_txns = snap.counter("stegfs_journal_group_txns_total");
+  out->journal_group_batches =
+      snap.counter("stegfs_journal_group_batches_total");
+  out->journal_group_merged_blocks =
+      snap.counter("stegfs_journal_group_merged_blocks_total");
   out->cache_dirty_epoch = plain->cache()->dirty_epoch();
   out->cache_dirty_blocks = plain->cache()->dirty_count();
   out->gf_tier = stegfs::crypto::GfTierName();

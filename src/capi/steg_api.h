@@ -107,14 +107,27 @@ typedef struct stegfs_stats {
   uint32_t readahead_window; /* effective window in blocks (0 when off) */
   /* crash-consistency subsystem (all zero when the volume mounted without
    * a journal): the write-ahead journal's commit counters plus what
-   * mount-time recovery replayed */
+   * mount-time recovery replayed. Journaled durability composes only
+   * with a write-back cache: the journal's ordered protocol holds dirty
+   * metadata images back until their record commits, which a
+   * write-through cache (every write pushed to the device immediately)
+   * cannot honor — such a mount is refused up front with
+   * STEG_ERR_INVALID rather than silently downgraded. */
   const char* durability;          /* "journal" or "none" (static string) */
   uint64_t journal_records;        /* committed journal records */
   uint64_t journal_blocks_logged;  /* metadata after-images written */
   uint64_t journal_barrier_syncs;  /* write barriers issued by commits */
   uint64_t journal_overflows;      /* txns too big for the ring */
   uint64_t journal_recovered_records; /* replayed by this mount's recovery */
+  /* group commit (PR 9): concurrent sessions' transactions batched into
+   * one merged journal record under one barrier sequence */
+  uint64_t journal_group_txns;     /* txns committed via batches */
+  uint64_t journal_group_batches;  /* merged batch records written */
+  uint64_t journal_group_merged_blocks; /* after-images saved by merging
+                                           (same-block images coalesced) */
   uint64_t io_fixed_buffer_ops;    /* registered-buffer (FIXED) uring ops */
+  uint64_t io_fixed_buffer_read_ops; /* READ_FIXED subset: cache-miss
+                                        reads via the pinned read pool */
   uint64_t cache_dirty_epoch;      /* ordered-writeback epoch counter */
   uint64_t cache_dirty_blocks;     /* dirty blocks parked in the cache */
   /* redundancy / self-healing (all zero when no object carries a policy).

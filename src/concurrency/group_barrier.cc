@@ -1,0 +1,34 @@
+#include "concurrency/group_barrier.h"
+
+namespace stegfs {
+namespace concurrency {
+
+Status GroupBarrier::Arrive() {
+  arrivals_.Increment();
+  std::unique_lock<std::mutex> lock(mu_);
+  if (!pending_) pending_ = std::make_shared<Gen>();
+  std::shared_ptr<Gen> my = pending_;
+  for (;;) {
+    if (my->done) return my->status;
+    if (!running_ && pending_ == my) {
+      // Claim the round. Resetting pending_ makes arrivals during the
+      // sync attach to a FRESH generation — their writes may postdate
+      // the sync we are about to issue.
+      running_ = true;
+      pending_.reset();
+      lock.unlock();
+      Status s = fn_();
+      rounds_.Increment();
+      lock.lock();
+      running_ = false;
+      my->done = true;
+      my->status = s;
+      cv_.notify_all();
+      return s;
+    }
+    cv_.wait(lock);
+  }
+}
+
+}  // namespace concurrency
+}  // namespace stegfs

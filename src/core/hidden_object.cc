@@ -44,7 +44,10 @@ Status HiddenObject::CommitBarrier() {
   // "completed" until Drain returns, and Sync() only orders completed
   // writes. Both engines implement Drain; the sync mount has none.
   // WriteBackDirty (not Flush) so the barrier costs exactly ONE device
-  // sync.
+  // sync. When the volume has a barrier coalescer, arrive there instead:
+  // it runs the same drain/write-back/sync sequence, shared with every
+  // concurrent barrier (other hidden commits, journal batch commits).
+  if (vol_.barrier != nullptr) return vol_.barrier->Arrive();
   if (vol_.engine != nullptr) vol_.engine->Drain();
   STEGFS_RETURN_IF_ERROR(vol_.cache->WriteBackDirty());
   return vol_.device->Sync();

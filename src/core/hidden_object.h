@@ -28,6 +28,7 @@
 #include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
+#include "concurrency/group_barrier.h"
 #include "core/hidden_header.h"
 #include "core/locator.h"
 #include "core/redundancy.h"
@@ -70,6 +71,10 @@ struct HiddenVolume {
   BlockDevice* device = nullptr;
   AsyncBlockDevice* engine = nullptr;
   bool durable = false;
+  // When set, commit barriers route through this volume-wide coalescer
+  // instead of issuing their own drain/write-back/sync — concurrent
+  // hidden commits and plain journal batches then share device syncs.
+  concurrency::GroupBarrier* barrier = nullptr;
   // Volume-wide share accounting for redundant objects (may stay null:
   // counters are then simply not kept).
   RedundancyStats* red_stats = nullptr;

@@ -79,6 +79,7 @@ HiddenVolume StegFs::VolumeCtx() {
   vol.device = device_;
   vol.engine = plain_->io_engine();
   vol.durable = plain_->durable();
+  vol.barrier = plain_->commit_barrier();
   vol.red_stats = &red_stats_;
   return vol;
 }

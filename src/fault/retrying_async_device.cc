@@ -209,6 +209,7 @@ AsyncIoStats RetryingAsyncDevice::stats() const {
   s.failed_batches = failed_batches_.load(std::memory_order_relaxed);
   s.inflight_blocks = inner_stats.inflight_blocks;
   s.fixed_buffer_ops = inner_stats.fixed_buffer_ops;
+  s.fixed_buffer_read_ops = inner_stats.fixed_buffer_read_ops;
   return s;
 }
 

@@ -70,6 +70,15 @@ class RetryingAsyncDevice : public AsyncBlockDevice {
   size_t arena_span_blocks() const override {
     return inner_->arena_span_blocks();
   }
+  uint8_t* AcquireReadSpan(size_t blocks) override {
+    return inner_->AcquireReadSpan(blocks);
+  }
+  void ReleaseReadSpan(uint8_t* span) override {
+    inner_->ReleaseReadSpan(span);
+  }
+  size_t read_span_blocks() const override {
+    return inner_->read_span_blocks();
+  }
 
   AsyncIoStats stats() const override;
   void RegisterMetrics(obs::MetricsRegistry* reg) const override {

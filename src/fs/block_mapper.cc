@@ -23,7 +23,7 @@ Status BlockMapper::WritePointerBlock(BlockStore* store, uint64_t block,
   for (uint32_t i = 0; i < ptrs_per_block_ && i < ptrs.size(); ++i) {
     EncodeFixed32(buf.data() + i * 4, ptrs[i]);
   }
-  if (meta_recorder_ != nullptr) meta_recorder_->push_back(block);
+  if (meta_recorder_ != nullptr) meta_recorder_->Record(block);
   return store->WriteBlock(block, buf.data());
 }
 
@@ -31,7 +31,7 @@ StatusOr<uint64_t> BlockMapper::AllocateZeroedPointerBlock(
     BlockStore* store, BlockAllocator* alloc) const {
   STEGFS_ASSIGN_OR_RETURN(uint64_t block, alloc->AllocateBlock());
   std::vector<uint8_t> zero(block_size_, 0);
-  if (meta_recorder_ != nullptr) meta_recorder_->push_back(block);
+  if (meta_recorder_ != nullptr) meta_recorder_->Record(block);
   STEGFS_RETURN_IF_ERROR(store->WriteBlock(block, zero.data()));
   return block;
 }

@@ -55,15 +55,15 @@ class BlockMapper {
 
   // Metadata-write recorder: while non-null, every indirect pointer block
   // this mapper writes (allocation, pointer update, truncate zeroing) is
-  // appended to *sink. PlainFs's journal transactions use it to capture
-  // the pointer blocks an operation touched — in-place pointer rewrites
-  // are exactly the tear ordered-data writeback cannot protect, so they
-  // must ride the journal record. The recorder is txn-scoped: set before
-  // the operation, cleared after; the mapper stays single-owner per
-  // thread (PlainFs's metadata lock / the per-object lock).
-  void set_meta_recorder(std::vector<uint64_t>* sink) {
-    meta_recorder_ = sink;
-  }
+  // recorded into *sink BEFORE the write reaches the store. PlainFs's
+  // journal transactions use it to capture the pointer blocks an operation
+  // touched — in-place pointer rewrites are exactly the tear ordered-data
+  // writeback cannot protect, so they must ride the journal record — and
+  // the log's on_record hook parks the block against concurrent flushers.
+  // The recorder is txn-scoped: set before the operation, cleared after;
+  // the mapper stays single-owner per thread (PlainFs's metadata lock /
+  // the per-object lock).
+  void set_meta_recorder(MetaWriteLog* sink) { meta_recorder_ = sink; }
 
  private:
   Status ReadPointerBlock(BlockStore* store, uint64_t block,
@@ -75,7 +75,7 @@ class BlockMapper {
 
   uint32_t block_size_;
   uint32_t ptrs_per_block_;
-  std::vector<uint64_t>* meta_recorder_ = nullptr;
+  MetaWriteLog* meta_recorder_ = nullptr;
 };
 
 }  // namespace stegfs

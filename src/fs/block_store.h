@@ -15,6 +15,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <cstring>
+#include <functional>
 #include <map>
 #include <vector>
 
@@ -224,14 +225,32 @@ class EncryptedBlockStore : public BlockStore {
   const crypto::BlockCrypter* crypter_;
 };
 
-// Forwards to an inner store, appending the block number of every write
-// to a caller-owned sink. PlainFs wraps its directory mutations with one
-// so the journal transaction can capture directory data blocks (their
-// in-place rewrites must commit atomically with the bitmap and inode
-// images; see src/journal/journal.h). Reads pass straight through.
+// Transaction-scoped log of the metadata blocks an operation writes
+// in place (directory data blocks, indirect pointer blocks). `blocks`
+// accumulates the touched block numbers for journal capture; `on_record`
+// — when set — fires BEFORE the write reaches the store, so PlainFs can
+// park the block in the journal's refcounted parked set before any
+// concurrent flusher could push the uncommitted bytes to the device
+// (record-before-write is what makes the park race-free).
+struct MetaWriteLog {
+  std::vector<uint64_t> blocks;
+  std::function<void(uint64_t)> on_record;
+
+  void Record(uint64_t block) {
+    if (on_record) on_record(block);
+    blocks.push_back(block);
+  }
+  void clear() { blocks.clear(); }
+};
+
+// Forwards to an inner store, recording the block number of every write
+// into a caller-owned MetaWriteLog. PlainFs wraps its directory mutations
+// with one so the journal transaction can capture directory data blocks
+// (their in-place rewrites must commit atomically with the bitmap and
+// inode images; see src/journal/journal.h). Reads pass straight through.
 class RecordingStore : public BlockStore {
  public:
-  RecordingStore(BlockStore* inner, std::vector<uint64_t>* sink)
+  RecordingStore(BlockStore* inner, MetaWriteLog* sink)
       : inner_(inner), sink_(sink) {}
 
   uint32_t block_size() const override { return inner_->block_size(); }
@@ -239,7 +258,7 @@ class RecordingStore : public BlockStore {
     return inner_->ReadBlock(block, buf);
   }
   Status WriteBlock(uint64_t block, const uint8_t* buf) override {
-    sink_->push_back(block);
+    sink_->Record(block);
     return inner_->WriteBlock(block, buf);
   }
   Status ReadBlocks(const uint64_t* blocks, size_t n,
@@ -248,7 +267,7 @@ class RecordingStore : public BlockStore {
   }
   Status WriteBlocks(const uint64_t* blocks, size_t n,
                      const uint8_t* data) override {
-    sink_->insert(sink_->end(), blocks, blocks + n);
+    for (size_t i = 0; i < n; ++i) sink_->Record(blocks[i]);
     return inner_->WriteBlocks(blocks, n, data);
   }
   void Prefetch(const uint64_t* blocks, size_t n) override {
@@ -257,7 +276,7 @@ class RecordingStore : public BlockStore {
 
  private:
   BlockStore* inner_;
-  std::vector<uint64_t>* sink_;
+  MetaWriteLog* sink_;
 };
 
 class BlockAllocator {

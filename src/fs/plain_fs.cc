@@ -132,6 +132,16 @@ PlainFs::PlainFs(BlockDevice* device, const Superblock& super,
   } else {
     options_.readahead_blocks = 0;
   }
+  // Park-at-record: the moment a transaction writes a directory data or
+  // indirect pointer block (the recorder fires BEFORE the bytes reach the
+  // cache), the block joins the journal's parked set — no concurrent
+  // flusher (another batch's ordered flush, a hidden commit barrier) can
+  // push the uncommitted image to the device before this transaction's
+  // record commits. The batch releases the refs when the txn resolves.
+  txn_meta_blocks_.on_record = [this](uint64_t block) {
+    if (!txn_active_ || journal_ == nullptr) return;
+    if (txn_parked_.insert(block).second) journal_->AddParked(block);
+  };
 }
 
 StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
@@ -162,8 +172,11 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
     }
     if (options.write_policy != WritePolicy::kWriteBack) {
       return Status::InvalidArgument(
-          "journaling requires the write-back cache policy (write-through "
-          "defeats the ordered hold-back)");
+          "incompatible write policy: Durability::kJournal requires "
+          "WritePolicy::kWriteBack — write-through pushes every metadata "
+          "write to the device immediately, defeating the ordered "
+          "hold-back that keeps uncommitted images off disk until their "
+          "journal record commits");
     }
   }
   // Set, not set-if-false: a device is shared across sequential mounts
@@ -214,11 +227,24 @@ StatusOr<std::unique_ptr<PlainFs>> PlainFs::Mount(BlockDevice* device,
       new PlainFs(device, sb, options, std::move(engine)));
   fs->recovery_report_ = recovery_report;
   if (options.durability == Durability::kJournal) {
+    // One volume-wide write barrier, shared by journal batch commits and
+    // hidden-object commit barriers: concurrent arrivals coalesce into a
+    // single drain + write-back + sync round.
+    PlainFs* raw = fs.get();
+    fs->commit_barrier_ =
+        std::make_unique<concurrency::GroupBarrier>([raw]() -> Status {
+          if (raw->io_engine_ != nullptr) raw->io_engine_->Drain();
+          STEGFS_RETURN_IF_ERROR(raw->cache_->WriteBackDirty());
+          return raw->data_device()->Sync();
+        });
     fs->journal_ = std::make_unique<journal::WriteAheadJournal>(
         fs->data_device(), fs->cache_.get(), fs->io_engine_.get(),
         sb.journal_start,
         sb.journal_blocks,
-        journal::ScrubSeed(sb.dummy_seed.data(), sb.dummy_seed.size()));
+        journal::ScrubSeed(sb.dummy_seed.data(), sb.dummy_seed.size()),
+        fs->commit_barrier_.get());
+    fs->journal_->set_group_window(
+        std::chrono::microseconds(options.group_commit_window_us));
   }
   STEGFS_ASSIGN_OR_RETURN(fs->bitmap_,
                           BlockBitmap::Load(fs->cache_.get(), fs->layout_));
@@ -241,6 +267,7 @@ void PlainFs::RegisterInstruments() {
   }
   if (io_engine_ != nullptr) io_engine_->RegisterMetrics(&registry_);
   if (journal_ != nullptr) journal_->RegisterMetrics(&registry_);
+  if (commit_barrier_ != nullptr) commit_barrier_->RegisterMetrics(&registry_);
 }
 
 PlainFs::~PlainFs() { (void)Flush(); }
@@ -254,7 +281,7 @@ PlainFs::TxnGuard::~TxnGuard() {
   if (!committed_) fs_->AbortTxnLocked();
 }
 
-Status PlainFs::TxnGuard::Commit() {
+Status PlainFs::TxnGuard::Commit(PendingCommit* pc) {
   // A persistent write fault can trip read-only BETWEEN the operation's
   // CheckWritable gate and here (the faulting write happened inside this
   // very transaction). Committing on top of a device that just proved it
@@ -266,7 +293,7 @@ Status PlainFs::TxnGuard::Commit() {
     return fs_->health_.CheckWritable();
   }
   committed_ = true;
-  return fs_->CommitTxnLocked();
+  return fs_->CommitTxnLocked(pc);
 }
 
 BlockStore* PlainFs::TxnGuard::dir_store() {
@@ -278,6 +305,7 @@ void PlainFs::BeginTxnLocked() {
   if (journal_ == nullptr) return;
   txn_active_ = true;
   txn_meta_blocks_.clear();
+  txn_parked_.clear();
   txn_pending_frees_.clear();
   file_io_.mapper()->set_meta_recorder(&txn_meta_blocks_);
 }
@@ -287,30 +315,67 @@ void PlainFs::AbortTxnLocked() {
   file_io_.mapper()->set_meta_recorder(nullptr);
   txn_active_ = false;
   // The operation failed mid-flight: apply its deferred frees directly
-  // (legacy semantics — in-memory state is already best-effort here).
+  // (legacy semantics — in-memory state is already best-effort here) and
+  // hand back the park refs the record hook took.
   for (uint64_t b : txn_pending_frees_) (void)bitmap_.Free(b);
   txn_pending_frees_.clear();
+  if (journal_ != nullptr) journal_->ReleaseParked(txn_parked_);
+  txn_parked_.clear();
   txn_meta_blocks_.clear();
 }
 
-Status PlainFs::CommitTxnLocked() {
+Status PlainFs::CommitTxnLocked(PendingCommit* pc) {
   if (!txn_active_) return Status::OK();
   file_io_.mapper()->set_meta_recorder(nullptr);
   txn_active_ = false;
-  // Deferred frees land in the in-memory bitmap NOW, so the record below
-  // carries the transaction's final allocation state.
-  for (uint64_t b : txn_pending_frees_) {
-    STEGFS_RETURN_IF_ERROR(bitmap_.Free(b));
-  }
+  // Deferred frees move to the PendingCommit — they apply only after the
+  // batch resolves (FinishCommit), so the record carries the PRE-free
+  // bitmap. A crash inside the commit window then leaks the blocks as
+  // permanently-abandoned (fsck counts them; the paper's abandoned-block
+  // concept absorbs them) instead of risking a replayed record freeing a
+  // block a later transaction already reallocated and wrote.
+  pc->frees = std::move(txn_pending_frees_);
   txn_pending_frees_.clear();
 
-  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> images;
-  bitmap_.CollectDirty(&images);
-  inodes_.CollectDirty(&images);
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> bitmap_images;
+  std::vector<std::pair<uint64_t, std::vector<uint8_t>>> inode_images;
+  bitmap_.CollectDirty(&bitmap_images);
+  inodes_.CollectDirty(&inode_images);
+
+  // The parked set this transaction hands to the batch: the dir/pointer
+  // blocks the record hook parked plus the inode-table images captured
+  // below. Inode images must be parked from stage until the batch's
+  // record commits — a concurrent flusher pushing them home early would
+  // make an UNCOMMITTED operation partially visible after a crash. Bitmap
+  // images are deliberately NOT parked: the hidden commit protocol needs
+  // bitmap bytes flushable at any moment (data + bitmap durable before
+  // the anchor references them), and flushing an uncommitted allocation
+  // early is harmless — frees are deferred, so a crash turns it into an
+  // abandoned block at worst.
+  std::unordered_set<uint64_t> parked = std::move(txn_parked_);
+  txn_parked_.clear();
+
+  auto fail = [&](const Status& s) {
+    journal_->ReleaseParked(parked);
+    // CollectDirty consumed the dirty flags; nothing was staged, so the
+    // in-memory state must still reach disk through the ordinary
+    // Store/PersistAll path. Coarse re-marking is fine on an error path.
+    bitmap_.MarkAllDirty();
+    inodes_.MarkAllDirty();
+    return s;
+  };
 
   std::vector<journal::JournalEntry> entries;
-  entries.reserve(images.size() + txn_meta_blocks_.size());
-  for (auto& [block, image] : images) {
+  entries.reserve(bitmap_images.size() + inode_images.size() +
+                  txn_meta_blocks_.blocks.size());
+  for (auto& [block, image] : bitmap_images) {
+    journal::JournalEntry e;
+    e.block = block;
+    e.image = std::move(image);
+    entries.push_back(std::move(e));
+  }
+  for (auto& [block, image] : inode_images) {
+    if (parked.insert(block).second) journal_->AddParked(block);
     journal::JournalEntry e;
     e.block = block;
     e.image = std::move(image);
@@ -318,27 +383,48 @@ Status PlainFs::CommitTxnLocked() {
   }
   // Directory data + pointer blocks: their post-op bytes are sitting in
   // the cache (every dir/pointer write goes through it); read them back
-  // as the after-images and hold them out of the ordered data flush.
-  std::unordered_set<uint64_t> hold_back;
-  for (uint64_t b : txn_meta_blocks_) {
-    if (!hold_back.insert(b).second) continue;  // dedup
+  // as the after-images.
+  std::unordered_set<uint64_t> seen;
+  for (uint64_t b : txn_meta_blocks_.blocks) {
+    if (!seen.insert(b).second) continue;  // dedup
     journal::JournalEntry e;
     e.block = b;
     e.image.resize(layout_.block_size);
-    STEGFS_RETURN_IF_ERROR(cache_->Read(b, e.image.data()));
+    Status s = cache_->Read(b, e.image.data());
+    if (!s.ok()) return fail(s);
     entries.push_back(std::move(e));
   }
   txn_meta_blocks_.clear();
-  Status s = journal_->Commit(entries, hold_back);
+  // Stage and return; the operation waits the batch out via FinishCommit
+  // AFTER dropping mu_ — the batch leader must never need the metadata
+  // lock (Fsck holds it while waiting for batch quiescence). Park refs
+  // transfer to the journal with the stage.
+  pc->ticket = journal_->Stage(std::move(entries), std::move(parked));
+  return Status::OK();
+}
+
+Status PlainFs::FinishCommit(PendingCommit pc) {
+  if (!pc.ticket.valid() && pc.frees.empty()) return Status::OK();
+  Status s = pc.ticket.Wait();
+  std::lock_guard<std::mutex> lock(mu_);
+  // Frees apply on success AND failure: the in-memory inode state already
+  // dropped these blocks (operations do not roll back in-memory effects
+  // on a failed commit), so keeping the bits set would leak them from the
+  // live allocator too.
+  Status free_status;
+  for (uint64_t b : pc.frees) {
+    Status freed = bitmap_.Free(b);
+    if (!freed.ok() && free_status.ok()) free_status = freed;
+  }
   if (!s.ok()) {
-    // CollectDirty consumed the dirty flags; if the record never
-    // committed, the in-memory state must still reach disk through the
-    // ordinary Store/PersistAll path or a later clean unmount silently
-    // loses it. Coarse re-marking is fine on an error path.
+    // The batch failed after the images' dirty flags were consumed at
+    // capture; re-mark so the state still reaches the device through
+    // ordinary write-back / the next clean unmount.
     bitmap_.MarkAllDirty();
     inodes_.MarkAllDirty();
+    return s;
   }
-  return s;
+  return free_status;
 }
 
 StatusOr<std::vector<std::string>> PlainFs::SplitPath(
@@ -399,11 +485,15 @@ StatusOr<std::pair<uint32_t, std::string>> PlainFs::ResolveParent(
 Status PlainFs::CreateFile(const std::string& path) {
   obs::Span span(&trace_, "fs.create", "fs");
   obs::LatencyTimer timer(&op_metrics_.create_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
-  return txn.Commit();
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
+  }
+  return FinishCommit(std::move(pc));
 }
 
 Status PlainFs::CreateFileLocked(const std::string& path,
@@ -428,24 +518,28 @@ Status PlainFs::CreateFileLocked(const std::string& path,
 Status PlainFs::WriteFile(const std::string& path, const std::string& data) {
   obs::Span span(&trace_, "fs.write_file", "fs");
   obs::LatencyTimer timer(&op_metrics_.write_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  if (!ExistsLocked(path)) {
-    STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    if (!ExistsLocked(path)) {
+      STEGFS_RETURN_IF_ERROR(CreateFileLocked(path, txn.dir_store()));
+    }
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kFile) {
+      return Status::InvalidArgument("not a regular file: " + path);
+    }
+    bool dirty = false;
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Write(node, 0, data, &store_, &allocator_, &dirty));
+    inodes_.MarkDirty(ino);
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
-  Inode* node = inodes_.Get(ino);
-  if (node->type != InodeType::kFile) {
-    return Status::InvalidArgument("not a regular file: " + path);
-  }
-  bool dirty = false;
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Write(node, 0, data, &store_, &allocator_, &dirty));
-  inodes_.MarkDirty(ino);
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 StatusOr<std::string> PlainFs::ReadFile(const std::string& path) {
@@ -479,113 +573,135 @@ Status PlainFs::WriteAt(const std::string& path, uint64_t offset,
                         const std::string& data) {
   obs::Span span(&trace_, "fs.write_at", "fs");
   obs::LatencyTimer timer(&op_metrics_.write_at_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
-  Inode* node = inodes_.Get(ino);
-  if (node->type != InodeType::kFile) {
-    return Status::InvalidArgument("not a regular file: " + path);
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kFile) {
+      return Status::InvalidArgument("not a regular file: " + path);
+    }
+    bool dirty = false;
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Write(node, offset, data, &store_, &allocator_, &dirty));
+    inodes_.MarkDirty(ino);
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  bool dirty = false;
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Write(node, offset, data, &store_, &allocator_, &dirty));
-  inodes_.MarkDirty(ino);
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 Status PlainFs::TruncateFile(const std::string& path, uint64_t new_size) {
   obs::Span span(&trace_, "fs.truncate", "fs");
   obs::LatencyTimer timer(&op_metrics_.truncate_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
-  Inode* node = inodes_.Get(ino);
-  if (node->type != InodeType::kFile) {
-    return Status::InvalidArgument("not a regular file: " + path);
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino, ResolvePath(path));
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kFile) {
+      return Status::InvalidArgument("not a regular file: " + path);
+    }
+    bool dirty = false;
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Truncate(node, new_size, &store_, &allocator_, &dirty));
+    inodes_.MarkDirty(ino);
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  bool dirty = false;
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Truncate(node, new_size, &store_, &allocator_, &dirty));
-  inodes_.MarkDirty(ino);
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 Status PlainFs::Unlink(const std::string& path) {
   obs::Span span(&trace_, "fs.unlink", "fs");
   obs::LatencyTimer timer(&op_metrics_.unlink_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  Inode* dir = inodes_.Get(parent.first);
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
-                          dir_ops_.Lookup(*dir, parent.second, &store_));
-  Inode* node = inodes_.Get(ino);
-  if (node->type != InodeType::kFile) {
-    return Status::InvalidArgument("not a regular file: " + path);
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+    Inode* dir = inodes_.Get(parent.first);
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                            dir_ops_.Lookup(*dir, parent.second, &store_));
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kFile) {
+      return Status::InvalidArgument("not a regular file: " + path);
+    }
+    bool dirty = false;
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+    STEGFS_RETURN_IF_ERROR(dir_ops_.Remove(dir, parent.second,
+                                           txn.dir_store(), &allocator_,
+                                           &dirty));
+    inodes_.MarkDirty(parent.first);
+    STEGFS_RETURN_IF_ERROR(inodes_.FreeInode(ino));
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  bool dirty = false;
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
-  STEGFS_RETURN_IF_ERROR(dir_ops_.Remove(dir, parent.second, txn.dir_store(),
-                                         &allocator_, &dirty));
-  inodes_.MarkDirty(parent.first);
-  STEGFS_RETURN_IF_ERROR(inodes_.FreeInode(ino));
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 Status PlainFs::MkDir(const std::string& path) {
   obs::Span span(&trace_, "fs.mkdir", "fs");
   obs::LatencyTimer timer(&op_metrics_.mkdir_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  Inode* dir = inodes_.Get(parent.first);
-  if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
-    return Status::AlreadyExists("entry exists: " + path);
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+    Inode* dir = inodes_.Get(parent.first);
+    if (dir_ops_.Lookup(*dir, parent.second, &store_).ok()) {
+      return Status::AlreadyExists("entry exists: " + path);
+    }
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                            inodes_.Allocate(InodeType::kDirectory));
+    bool dirty = false;
+    Status s = dir_ops_.Add(dir, parent.second, ino, txn.dir_store(),
+                            &allocator_, &dirty);
+    if (!s.ok()) {
+      (void)inodes_.FreeInode(ino);
+      return s;
+    }
+    inodes_.MarkDirty(parent.first);
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
-                          inodes_.Allocate(InodeType::kDirectory));
-  bool dirty = false;
-  Status s = dir_ops_.Add(dir, parent.second, ino, txn.dir_store(),
-                          &allocator_, &dirty);
-  if (!s.ok()) {
-    (void)inodes_.FreeInode(ino);
-    return s;
-  }
-  inodes_.MarkDirty(parent.first);
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 Status PlainFs::RmDir(const std::string& path) {
   obs::Span span(&trace_, "fs.rmdir", "fs");
   obs::LatencyTimer timer(&op_metrics_.rmdir_ns);
-  std::lock_guard<std::mutex> lock(mu_);
-  STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
-  TxnGuard txn(this);
-  STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
-  Inode* dir = inodes_.Get(parent.first);
-  STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
-                          dir_ops_.Lookup(*dir, parent.second, &store_));
-  Inode* node = inodes_.Get(ino);
-  if (node->type != InodeType::kDirectory) {
-    return Status::InvalidArgument("not a directory: " + path);
+  PendingCommit pc;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    STEGFS_RETURN_IF_ERROR(health_.CheckWritable());
+    TxnGuard txn(this);
+    STEGFS_ASSIGN_OR_RETURN(auto parent, ResolveParent(path));
+    Inode* dir = inodes_.Get(parent.first);
+    STEGFS_ASSIGN_OR_RETURN(uint32_t ino,
+                            dir_ops_.Lookup(*dir, parent.second, &store_));
+    Inode* node = inodes_.Get(ino);
+    if (node->type != InodeType::kDirectory) {
+      return Status::InvalidArgument("not a directory: " + path);
+    }
+    STEGFS_ASSIGN_OR_RETURN(bool empty, dir_ops_.Empty(*node, &store_));
+    if (!empty) {
+      return Status::FailedPrecondition("directory not empty: " + path);
+    }
+    bool dirty = false;
+    STEGFS_RETURN_IF_ERROR(
+        file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
+    STEGFS_RETURN_IF_ERROR(dir_ops_.Remove(dir, parent.second,
+                                           txn.dir_store(), &allocator_,
+                                           &dirty));
+    inodes_.MarkDirty(parent.first);
+    STEGFS_RETURN_IF_ERROR(inodes_.FreeInode(ino));
+    STEGFS_RETURN_IF_ERROR(txn.Commit(&pc));
   }
-  STEGFS_ASSIGN_OR_RETURN(bool empty, dir_ops_.Empty(*node, &store_));
-  if (!empty) {
-    return Status::FailedPrecondition("directory not empty: " + path);
-  }
-  bool dirty = false;
-  STEGFS_RETURN_IF_ERROR(
-      file_io_.Truncate(node, 0, &store_, &allocator_, &dirty));
-  STEGFS_RETURN_IF_ERROR(dir_ops_.Remove(dir, parent.second, txn.dir_store(),
-                                         &allocator_, &dirty));
-  inodes_.MarkDirty(parent.first);
-  STEGFS_RETURN_IF_ERROR(inodes_.FreeInode(ino));
-  return txn.Commit();
+  return FinishCommit(std::move(pc));
 }
 
 StatusOr<std::vector<DirEntry>> PlainFs::List(const std::string& path) {

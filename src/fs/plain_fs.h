@@ -21,6 +21,7 @@
 #include <memory>
 #include <mutex>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "blockdev/async_block_device.h"
@@ -29,6 +30,7 @@
 #include "fault/health.h"
 #include "fault/retry_policy.h"
 #include "fault/retrying_device.h"
+#include "concurrency/group_barrier.h"
 #include "concurrency/thread_pool.h"
 #include "fs/bitmap.h"
 #include "fs/directory.h"
@@ -112,6 +114,14 @@ struct MountOptions {
   IoEngine io_engine = IoEngine::kSync;
   // Crash-consistency level (see Durability).
   Durability durability = Durability::kNone;
+  // Group-commit linger window (kJournal mounts): how long a transaction
+  // that reaches an IDLE journal waits for other sessions' transactions
+  // before leading its own batch, in microseconds. 0 (the default) means
+  // lead immediately — single-threaded workloads keep PR 5's exact event
+  // sequence and latency. Concurrent sessions batch even at 0 (followers
+  // accumulate while a batch runs); the window only widens the very first
+  // batch of a burst. See src/journal/journal.h.
+  uint32_t group_commit_window_us = 0;
   // When false, downgrades the device's Flush() from fdatasync to
   // page-cache-only (FileBlockDevice only; in-memory devices ignore it).
   // The throughput benches opt out so PR 4-comparable numbers don't pay
@@ -258,6 +268,10 @@ class PlainFs {
   // The mount's journal (nullptr on Durability::kNone mounts) and what
   // mount-time recovery found/replayed.
   journal::WriteAheadJournal* journal() { return journal_.get(); }
+  // The volume-wide write-barrier coalescer (nullptr on kNone mounts):
+  // journal batch barriers and hidden commit barriers share device syncs
+  // through it.
+  concurrency::GroupBarrier* commit_barrier() { return commit_barrier_.get(); }
   bool durable() const { return journal_ != nullptr; }
   const journal::RecoveryReport& recovery_report() const {
     return recovery_report_;
@@ -310,17 +324,30 @@ class PlainFs {
           const MountOptions& options,
           std::unique_ptr<AsyncBlockDevice> engine);
 
+  // Everything an operation hands to FinishCommit after dropping the
+  // metadata lock: the staged transaction's ticket (invalid on kNone
+  // mounts and metadata-free operations) and the operation's deferred
+  // block frees. Frees apply only after the commit RESOLVES — the record
+  // must carry the pre-free bitmap, or a crash in the commit window could
+  // let a replay hand a still-referenced block to the next allocation.
+  struct PendingCommit {
+    journal::WriteAheadJournal::CommitTicket ticket;
+    std::vector<uint64_t> frees;
+  };
+
   // RAII journal transaction for one metadata-mutating operation (no-op
   // on kNone mounts). Construction arms the mapper's meta recorder and
   // the deferred-free list; Commit() captures the after-images (bitmap +
-  // inode-table dirty blocks, recorded directory/pointer blocks) and runs
-  // the journal's ordered commit; destruction without Commit aborts,
-  // applying deferred frees directly (legacy semantics for failed ops).
+  // inode-table dirty blocks, recorded directory/pointer blocks) and
+  // STAGES them for group commit, filling *pc — the operation then calls
+  // FinishCommit(pc) after releasing the metadata lock to wait out the
+  // batch. Destruction without Commit aborts, applying deferred frees
+  // directly (legacy semantics for failed ops).
   class TxnGuard {
    public:
     explicit TxnGuard(PlainFs* fs);
     ~TxnGuard();
-    Status Commit();
+    Status Commit(PendingCommit* pc);
     // Directory mutations route their store through this so directory
     // data blocks land in the record (plain store when not journaling).
     BlockStore* dir_store();
@@ -333,8 +360,14 @@ class PlainFs {
   friend class TxnGuard;
 
   void BeginTxnLocked();
-  Status CommitTxnLocked();
+  Status CommitTxnLocked(PendingCommit* pc);
   void AbortTxnLocked();
+  // Second half of every mutating operation, called WITHOUT mu_: waits
+  // for the staged transaction's batch to resolve (possibly leading it),
+  // then applies the deferred frees under mu_. On a failed commit the
+  // captured images are re-marked dirty so the in-memory state still
+  // reaches the device through ordinary write-back.
+  Status FinishCommit(PendingCommit pc);
 
   // Splits "/a/b/c" into components; rejects empty/relative paths.
   static StatusOr<std::vector<std::string>> SplitPath(const std::string& path);
@@ -384,12 +417,20 @@ class PlainFs {
   PolicyAllocator allocator_;
   Xoshiro rng_;
   // Journal state (kJournal mounts only). Txn fields are guarded by mu_
-  // (every transaction runs under the metadata lock).
+  // (every transaction runs under the metadata lock). The commit barrier
+  // is declared before the journal (which holds a raw pointer to it) so
+  // it is destroyed after; it coalesces the volume's write barriers —
+  // journal batch barriers and hidden-object commit barriers share
+  // device syncs through it.
+  std::unique_ptr<concurrency::GroupBarrier> commit_barrier_;
   std::unique_ptr<journal::WriteAheadJournal> journal_;
   journal::RecoveryReport recovery_report_;
   bool txn_active_ = false;
-  std::vector<uint64_t> txn_meta_blocks_;     // dir data + pointer blocks
-  std::vector<uint64_t> txn_pending_frees_;   // deferred until commit
+  MetaWriteLog txn_meta_blocks_;  // dir data + pointer blocks; its
+                                  // on_record hook parks each block in the
+                                  // journal before the write lands
+  std::unordered_set<uint64_t> txn_parked_;  // blocks THIS txn parked
+  std::vector<uint64_t> txn_pending_frees_;  // deferred until commit
   // Declared last: the pool's tasks touch cache_, so it must be drained
   // and joined (destroyed) before the cache goes away.
   std::unique_ptr<concurrency::ThreadPool> prefetch_pool_;

@@ -4,6 +4,7 @@
 
 #include <cassert>
 #include <cstring>
+#include <map>
 
 #include "crypto/sha256.h"
 #include "journal/recovery.h"
@@ -11,6 +12,16 @@
 
 namespace stegfs {
 namespace journal {
+
+// One transaction parked in the stage queue. `entries` / `parked` are
+// immutable after Stage; `done` / `result` are written by the resolving
+// batch leader and read by the owner, both under stage_mu_.
+struct StagedTxn {
+  std::vector<JournalEntry> entries;
+  std::unordered_set<uint64_t> parked;
+  bool done = false;
+  Status result;
+};
 
 uint64_t ScrubSeed(const uint8_t* dummy_seed, size_t len) {
   crypto::Sha256 h;
@@ -33,10 +44,12 @@ WriteAheadJournal::WriteAheadJournal(BlockDevice* device, BufferCache* cache,
                                      AsyncBlockDevice* engine,
                                      uint64_t journal_start,
                                      uint32_t journal_blocks,
-                                     uint64_t scrub_seed)
+                                     uint64_t scrub_seed,
+                                     concurrency::GroupBarrier* barrier)
     : device_(device),
       cache_(cache),
       engine_(engine),
+      barrier_(barrier),
       journal_start_(journal_start),
       journal_blocks_(journal_blocks),
       scrub_seed_(scrub_seed) {
@@ -53,8 +66,9 @@ size_t WriteAheadJournal::MaxPayloadBlocks() const {
 Status WriteAheadJournal::Barrier() {
   obs::Span span("journal.barrier", "journal");
   obs::LatencyTimer timer(&barrier_ns_);
-  if (engine_ != nullptr) engine_->Drain();
   barrier_syncs_.Increment();
+  if (barrier_ != nullptr) return barrier_->Arrive();
+  if (engine_ != nullptr) engine_->Drain();
   return device_->Sync();
 }
 
@@ -62,66 +76,223 @@ Status WriteAheadJournal::WriteRing(uint64_t pos, const uint8_t* buf) {
   return device_->WriteBlock(journal_start_ + (pos % journal_blocks_), buf);
 }
 
+void WriteAheadJournal::AddParked(uint64_t block) {
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  parked_counts_[block]++;
+  RepublishParkedLocked();
+}
+
+void WriteAheadJournal::ReleaseParked(
+    const std::unordered_set<uint64_t>& blocks) {
+  if (blocks.empty()) return;
+  std::lock_guard<std::mutex> lock(parked_mu_);
+  for (uint64_t b : blocks) {
+    auto it = parked_counts_.find(b);
+    if (it == parked_counts_.end()) continue;
+    if (--it->second == 0) parked_counts_.erase(it);
+  }
+  RepublishParkedLocked();
+}
+
+void WriteAheadJournal::RepublishParkedLocked() {
+  if (parked_counts_.empty()) {
+    cache_->ParkBlocks(nullptr);
+    return;
+  }
+  auto snap = std::make_shared<std::unordered_set<uint64_t>>();
+  snap->reserve(parked_counts_.size());
+  for (const auto& kv : parked_counts_) snap->insert(kv.first);
+  cache_->ParkBlocks(std::move(snap));
+}
+
+WriteAheadJournal::CommitTicket WriteAheadJournal::Stage(
+    std::vector<JournalEntry> entries, std::unordered_set<uint64_t> parked) {
+  if (entries.empty()) {
+    // Nothing to commit; hand back the park refcounts we were given.
+    ReleaseParked(parked);
+    return CommitTicket();
+  }
+  auto txn = std::make_shared<StagedTxn>();
+  txn->entries = std::move(entries);
+  txn->parked = std::move(parked);
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    queue_.push_back(txn);
+  }
+  // Wake a lingering solo leader so it picks us up in its batch.
+  stage_cv_.notify_all();
+  CommitTicket ticket;
+  ticket.journal_ = this;
+  ticket.txn_ = txn;
+  return ticket;
+}
+
+Status WriteAheadJournal::CommitTicket::Wait() {
+  if (journal_ == nullptr) return Status::OK();
+  WriteAheadJournal* j = journal_;
+  std::shared_ptr<StagedTxn> txn = std::move(txn_);
+  journal_ = nullptr;
+  return j->Await(txn);
+}
+
 Status WriteAheadJournal::Commit(
     const std::vector<JournalEntry>& entries,
     const std::unordered_set<uint64_t>& hold_back) {
   if (entries.empty()) return Status::OK();
-  const uint32_t bs = device_->block_size();
+  for (uint64_t b : hold_back) AddParked(b);
+  CommitTicket ticket = Stage(entries, hold_back);
+  return ticket.Wait();
+}
+
+Status WriteAheadJournal::Await(const std::shared_ptr<StagedTxn>& txn) {
   obs::Span commit_span("journal.commit", "journal");
   obs::LatencyTimer commit_timer(&commit_ns_);
-  std::lock_guard<std::mutex> lock(mu_);
+  std::unique_lock<std::mutex> lock(stage_mu_);
+  bool lingered = (group_window_.count() == 0);
+  for (;;) {
+    if (txn->done) return txn->result;
+    if (!executing_) {
+      if (!lingered && queue_.size() == 1 && queue_.front() == txn) {
+        // Alone at an idle journal: linger once for followers. Under real
+        // concurrency followers pile up while a batch runs, so this only
+        // matters at the front of a burst.
+        lingered = true;
+        stage_cv_.wait_for(lock, group_window_);
+        continue;
+      }
+      executing_ = true;
+      std::vector<std::shared_ptr<StagedTxn>> batch = PopBatchLocked();
+      lock.unlock();
+      Status s = RunBatch(batch);
+      lock.lock();
+      executing_ = false;
+      for (const std::shared_ptr<StagedTxn>& member : batch) {
+        member->done = true;
+        member->result = s;
+      }
+      stage_cv_.notify_all();
+      // Our transaction need not have been in the batch we just led (it
+      // can sit behind an oversized one); loop until it resolves.
+      continue;
+    }
+    stage_cv_.wait(lock);
+  }
+}
+
+std::vector<std::shared_ptr<StagedTxn>> WriteAheadJournal::PopBatchLocked() {
+  std::vector<std::shared_ptr<StagedTxn>> batch;
+  const size_t cap = MaxPayloadBlocks();
+  std::unordered_set<uint64_t> blocks;
+  while (!queue_.empty()) {
+    const std::shared_ptr<StagedTxn>& head = queue_.front();
+    if (head->entries.size() > cap) {
+      // Oversized transactions take the overflow path and run alone.
+      if (batch.empty()) {
+        batch.push_back(head);
+        queue_.pop_front();
+      }
+      break;
+    }
+    // Admit while the batch's DISTINCT blocks still fit one record.
+    // Transactions share bitmap / inode-table / directory blocks heavily,
+    // so the merged count grows far slower than the transaction count.
+    size_t added = 0;
+    for (const JournalEntry& e : head->entries) {
+      if (blocks.count(e.block) == 0) ++added;
+    }
+    if (!batch.empty() && blocks.size() + added > cap) break;
+    for (const JournalEntry& e : head->entries) blocks.insert(e.block);
+    batch.push_back(head);
+    queue_.pop_front();
+  }
+  return batch;
+}
+
+Status WriteAheadJournal::RunOverflow(const StagedTxn& txn) {
+  // Transaction larger than the ring: waive atomicity (per-block writes
+  // stay atomic at the device level) but keep durability ordering — data
+  // first, then metadata, each behind a barrier. CheckpointBlock keeps
+  // each home write atomic against concurrent flushers.
+  overflow_fallbacks_.Increment();
+  std::unordered_set<uint64_t> hold_back;
+  hold_back.reserve(txn.entries.size());
+  for (const JournalEntry& e : txn.entries) hold_back.insert(e.block);
+  Status s = cache_->WriteBackDirty(&hold_back);
+  if (s.ok()) s = Barrier();
+  STEGFS_RETURN_IF_ERROR(s);
+  std::map<uint64_t, const std::vector<uint8_t>*> merged;
+  for (const JournalEntry& e : txn.entries) merged[e.block] = &e.image;
+  for (const auto& kv : merged) {
+    STEGFS_RETURN_IF_ERROR(cache_->CheckpointBlock(kv.first, kv.second->data()));
+  }
+  return Barrier();
+}
+
+Status WriteAheadJournal::RunBatch(
+    const std::vector<std::shared_ptr<StagedTxn>>& batch) {
+  const uint32_t bs = device_->block_size();
+  bool parks_released = false;
+  auto release_parks = [&] {
+    if (parks_released) return;
+    parks_released = true;
+    for (const std::shared_ptr<StagedTxn>& t : batch) {
+      ReleaseParked(t->parked);
+    }
+  };
+
   if (failed_) {
+    release_parks();
     return Status::FailedPrecondition(
         "journal poisoned by an unscrubbable record; remount to recover");
   }
 
-  if (entries.size() > MaxPayloadBlocks()) {
-    // Transaction larger than the ring: waive atomicity (per-block writes
-    // stay atomic at the device level) but keep durability ordering —
-    // data first, then metadata, each behind a barrier.
-    overflow_fallbacks_.Increment();
-    if (!hold_back.empty()) {
-      cache_->ParkBlocks(
-          std::make_shared<const std::unordered_set<uint64_t>>(hold_back));
+  group_batches_.Increment();
+  group_txns_.Add(batch.size());
+
+  // Merge the batch into one record image set: the NEWEST image per block
+  // wins. Stage order is capture order (transactions capture under the FS
+  // metadata lock), and every capture snapshots monotone in-memory state,
+  // so a later image of a shared block already contains every earlier
+  // transaction's effect on it.
+  std::map<uint64_t, const std::vector<uint8_t>*> merged;
+  size_t images = 0;
+  for (const std::shared_ptr<StagedTxn>& t : batch) {
+    for (const JournalEntry& e : t->entries) {
+      assert(e.image.size() == bs);
+      ++images;
+      merged[e.block] = &e.image;
     }
-    Status s = cache_->WriteBackDirty(hold_back.empty() ? nullptr
-                                                        : &hold_back);
-    if (s.ok()) s = Barrier();
-    if (!hold_back.empty()) cache_->ParkBlocks(nullptr);
-    STEGFS_RETURN_IF_ERROR(s);
-    for (const JournalEntry& e : entries) {
-      STEGFS_RETURN_IF_ERROR(cache_->Write(e.block, e.image.data()));
-    }
-    STEGFS_RETURN_IF_ERROR(cache_->WriteBackDirty());
-    return Barrier();
+  }
+  group_merged_blocks_.Add(images - merged.size());
+
+  if (merged.size() > MaxPayloadBlocks()) {
+    assert(batch.size() == 1);
+    Status s = RunOverflow(*batch.front());
+    release_parks();
+    return s;
   }
 
-  // 1. Ordered data: everything dirty EXCEPT the metadata images we are
-  //    about to journal must be durable before the record can commit —
-  //    otherwise a committed operation could reference garbage data.
-  //    PARK the held-back blocks too: the hold_back argument only guards
-  //    this call, while a concurrent session's flush (a hidden commit
-  //    barrier, PlainFs::Flush) would otherwise push the parked images
-  //    to their home blocks before the record exists.
-  const bool parked = !hold_back.empty();
-  if (parked) {
-    cache_->ParkBlocks(
-        std::make_shared<const std::unordered_set<uint64_t>>(hold_back));
-  }
-  auto unpark = [&] {
-    if (parked) cache_->ParkBlocks(nullptr);
-  };
-  Status ordered =
-      cache_->WriteBackDirty(hold_back.empty() ? nullptr : &hold_back);
+  // 1. Ordered data: everything dirty EXCEPT the batch's metadata images
+  //    must be durable before the record can commit — otherwise a
+  //    committed operation could reference garbage data. The members'
+  //    dir/pointer/inode images are additionally PARKED (since stage), so
+  //    no concurrent flusher can push them home before the record exists;
+  //    the hold_back list covers the rest (bitmap images) for this flush.
+  std::unordered_set<uint64_t> hold_back;
+  hold_back.reserve(merged.size());
+  for (const auto& kv : merged) hold_back.insert(kv.first);
+  Status ordered = cache_->WriteBackDirty(&hold_back);
   if (ordered.ok()) ordered = Barrier();
   if (!ordered.ok()) {
-    unpark();
+    release_parks();
     return ordered;
   }
 
   // 2. The record. Checksum over (seq, targets, payload) makes the record
   //    self-authenticating: valid-after-crash iff every byte landed, so
-  //    the barrier below is the commit point.
+  //    the barrier below is the commit point — for the WHOLE batch at
+  //    once, which is the atomicity argument for merging instead of
+  //    writing one record per transaction.
   obs::Span record_span("journal.record", "journal");
   obs::LatencyTimer record_timer(&record_ns_);
   const uint64_t seq = next_seq_++;
@@ -129,14 +300,13 @@ Status WriteAheadJournal::Commit(
   uint8_t tmp[8];
   EncodeFixed64(tmp, seq);
   h.Update(tmp, 8);
-  EncodeFixed32(tmp, static_cast<uint32_t>(entries.size()));
+  EncodeFixed32(tmp, static_cast<uint32_t>(merged.size()));
   h.Update(tmp, 4);
-  for (const JournalEntry& e : entries) {
-    assert(e.image.size() == bs);
-    EncodeFixed64(tmp, e.block);
+  for (const auto& kv : merged) {
+    EncodeFixed64(tmp, kv.first);
     h.Update(tmp, 8);
   }
-  for (const JournalEntry& e : entries) h.Update(e.image.data(), bs);
+  for (const auto& kv : merged) h.Update(kv.second->data(), bs);
   crypto::Sha256Digest digest = h.Finish();
 
   std::vector<uint8_t> descriptor(bs, 0);
@@ -144,28 +314,36 @@ Status WriteAheadJournal::Commit(
   EncodeFixed32(p, kRecordMagic);
   EncodeFixed32(p + 4, kRecordVersion);
   EncodeFixed64(p + 8, seq);
-  EncodeFixed32(p + 16, static_cast<uint32_t>(entries.size()));
+  EncodeFixed32(p + 16, static_cast<uint32_t>(merged.size()));
   std::memcpy(p + 24, digest.data(), digest.size());
-  for (size_t i = 0; i < entries.size(); ++i) {
-    EncodeFixed64(p + kDescriptorHeaderBytes + i * 8, entries[i].block);
+  {
+    size_t i = 0;
+    for (const auto& kv : merged) {
+      EncodeFixed64(p + kDescriptorHeaderBytes + i * 8, kv.first);
+      ++i;
+    }
   }
   // Unused descriptor tail: noise, so a live descriptor's entropy profile
   // stays close to the resting ring (only the structured header differs).
-  if (kDescriptorHeaderBytes + entries.size() * 8 < bs) {
-    const size_t used = kDescriptorHeaderBytes + entries.size() * 8;
+  if (kDescriptorHeaderBytes + merged.size() * 8 < bs) {
+    const size_t used = kDescriptorHeaderBytes + merged.size() * 8;
     Xoshiro filler(scrub_seed_ ^ seq);
     filler.FillBytes(descriptor.data() + used, bs - used);
   }
 
   const uint64_t base = head_;
-  const size_t used_blocks = entries.size() + 1;
+  const size_t used_blocks = merged.size() + 1;
   std::vector<ConstBlockIoVec> iov;
   iov.reserve(used_blocks);
   iov.push_back(
       {journal_start_ + (base % journal_blocks_), descriptor.data()});
-  for (size_t i = 0; i < entries.size(); ++i) {
-    iov.push_back({journal_start_ + ((base + 1 + i) % journal_blocks_),
-                   entries[i].image.data()});
+  {
+    size_t i = 0;
+    for (const auto& kv : merged) {
+      iov.push_back({journal_start_ + ((base + 1 + i) % journal_blocks_),
+                     kv.second->data()});
+      ++i;
+    }
   }
   // The record leaves through the async engine when one is attached —
   // staged in its registered arena, these become IORING_OP_WRITE_FIXED
@@ -197,44 +375,40 @@ Status WriteAheadJournal::Commit(
     // leaving it could replay stale images over whatever later
     // transactions do. Scrub it away — or poison the journal.
     ScrubRecordOrPoison(base, used_blocks);
-    unpark();
+    release_parks();
     return wrote;
   }
   records_committed_.Increment();
-  blocks_journaled_.Add(entries.size());
-  unpark();  // committed: concurrent flushers may now write the images
+  blocks_journaled_.Add(merged.size());
+  // Committed: concurrent flushers may now write the images home.
+  release_parks();
 
-  // 3. Checkpoint the images to their home locations through the cache
-  //    (the held-back blocks are already in the cache with these bytes;
-  //    rewriting is idempotent) and make them durable.
+  // 3. Checkpoint the images to their home locations and make them
+  //    durable. CheckpointBlock writes under the block's cache-shard lock
+  //    and can never regress a strictly newer cached image, so it is safe
+  //    against whatever concurrent sessions stage next.
   obs::Span checkpoint_span("journal.checkpoint", "journal");
   obs::LatencyTimer checkpoint_timer(&checkpoint_ns_);
   Status checkpoint;
-  {
-    std::vector<uint64_t> blocks(entries.size());
-    std::vector<uint8_t> data(entries.size() * bs);
-    for (size_t i = 0; i < entries.size(); ++i) {
-      blocks[i] = entries[i].block;
-      std::memcpy(data.data() + i * bs, entries[i].image.data(), bs);
-    }
-    checkpoint =
-        cache_->WriteBatch(blocks.data(), blocks.size(), data.data());
+  for (const auto& kv : merged) {
+    checkpoint = cache_->CheckpointBlock(kv.first, kv.second->data());
+    if (!checkpoint.ok()) break;
   }
-  if (checkpoint.ok()) checkpoint = cache_->WriteBackDirty();
   if (checkpoint.ok()) checkpoint = Barrier();
   if (!checkpoint.ok()) {
     // Committed but not checkpointed. The record MUST NOT outlive this
-    // transaction's status as the newest state, so scrub it here too; a
-    // remount would otherwise need revoke-style tracking to replay it
-    // safely after later commits. The images are still in the cache and
-    // reach the device through ordinary write-back.
+    // batch's status as the newest state, so scrub it here too; a remount
+    // would otherwise need revoke-style tracking to replay it safely
+    // after later commits. The images are re-marked dirty by the members'
+    // failure handling (PlainFs::FinishCommit) and reach the device
+    // through ordinary write-back.
     ScrubRecordOrPoison(base, used_blocks);
     return checkpoint;
   }
 
   // 4. Scrub: with the checkpoint durable the record is dead weight — and
   //    a deniability liability. Re-noise its blocks (no barrier needed:
-  //    the next commit's first barrier orders the scrub before any newer
+  //    the next batch's first barrier orders the scrub before any newer
   //    record exists, and until then the record replays idempotently).
   //    A scrub WRITE failure, though, must poison the journal and
   //    surface: a record we cannot kill would replay stale images over
@@ -277,37 +451,52 @@ Status WriteAheadJournal::ScrubStaleRecords(uint64_t* live_records,
                                             uint64_t* scrubbed_blocks) {
   *live_records = 0;
   *scrubbed_blocks = 0;
-  std::lock_guard<std::mutex> lock(mu_);
-  uint64_t torn = 0;
-  STEGFS_ASSIGN_OR_RETURN(
-      std::vector<JournalRecord> live,
-      JournalRecovery::ScanRing(device_, journal_start_, journal_blocks_,
-                                &torn));
-  *live_records = live.size();
-  if (live.empty()) return Status::OK();
-  // A live record can only exist mid-session because a commit's own
-  // scrub failed and poisoned the journal. In every path that gets
-  // there, the record's content is REDUNDANT with the live in-memory
-  // state (the checkpoint either completed, or the failure re-marked the
-  // metadata dirty so it flows through ordinary write-back — the caller
-  // flushes current state durably before invoking this, see
-  // PlainFs::Fsck). Replaying here would write STALE images beneath the
-  // live cache; scrubbing is the correct and sufficient move.
-  std::vector<uint8_t> noise(device_->block_size());
-  for (const JournalRecord& rec : live) {
-    const size_t used = rec.entries.size() + 1;
-    for (size_t i = 0; i < used; ++i) {
-      const uint64_t pos = (rec.ring_pos + i) % journal_blocks_;
-      ScrubNoise(scrub_seed_, pos, noise.data(), noise.size());
-      STEGFS_RETURN_IF_ERROR(WriteRing(pos, noise.data()));
-      ++*scrubbed_blocks;
-    }
+  // Take the executing claim: no batch is mid-record while we scan, and
+  // none can start until we release. Queued transactions simply commit
+  // after us — their records are not in the ring yet.
+  {
+    std::unique_lock<std::mutex> lock(stage_mu_);
+    stage_cv_.wait(lock, [&] { return !executing_; });
+    executing_ = true;
   }
-  scrubbed_blocks_.Add(*scrubbed_blocks);
-  STEGFS_RETURN_IF_ERROR(device_->Sync());
-  // The ring is at rest again; lift the poison so commits can resume.
-  failed_ = false;
-  return Status::OK();
+  Status result = [&]() -> Status {
+    uint64_t torn = 0;
+    STEGFS_ASSIGN_OR_RETURN(
+        std::vector<JournalRecord> live,
+        JournalRecovery::ScanRing(device_, journal_start_, journal_blocks_,
+                                  &torn));
+    *live_records = live.size();
+    if (live.empty()) return Status::OK();
+    // A live record can only exist mid-session because a commit's own
+    // scrub failed and poisoned the journal. In every path that gets
+    // there, the record's content is REDUNDANT with the live in-memory
+    // state (the checkpoint either completed, or the failure re-marked
+    // the metadata dirty so it flows through ordinary write-back — the
+    // caller flushes current state durably before invoking this, see
+    // PlainFs::Fsck). Replaying here would write STALE images beneath the
+    // live cache; scrubbing is the correct and sufficient move.
+    std::vector<uint8_t> noise(device_->block_size());
+    for (const JournalRecord& rec : live) {
+      const size_t used = rec.entries.size() + 1;
+      for (size_t i = 0; i < used; ++i) {
+        const uint64_t pos = (rec.ring_pos + i) % journal_blocks_;
+        ScrubNoise(scrub_seed_, pos, noise.data(), noise.size());
+        STEGFS_RETURN_IF_ERROR(WriteRing(pos, noise.data()));
+        ++*scrubbed_blocks;
+      }
+    }
+    scrubbed_blocks_.Add(*scrubbed_blocks);
+    STEGFS_RETURN_IF_ERROR(device_->Sync());
+    // The ring is at rest again; lift the poison so commits can resume.
+    failed_ = false;
+    return Status::OK();
+  }();
+  {
+    std::lock_guard<std::mutex> lock(stage_mu_);
+    executing_ = false;
+  }
+  stage_cv_.notify_all();
+  return result;
 }
 
 JournalStats WriteAheadJournal::stats() const {
@@ -317,6 +506,9 @@ JournalStats WriteAheadJournal::stats() const {
   s.barrier_syncs = barrier_syncs_.value();
   s.overflow_fallbacks = overflow_fallbacks_.value();
   s.scrubbed_blocks = scrubbed_blocks_.value();
+  s.group_txns = group_txns_.value();
+  s.group_batches = group_batches_.value();
+  s.group_merged_blocks = group_merged_blocks_.value();
   return s;
 }
 
@@ -334,8 +526,17 @@ void WriteAheadJournal::RegisterMetrics(obs::MetricsRegistry* reg) const {
   reg->RegisterCounter("stegfs_journal_scrubbed_blocks_total",
                        "Ring blocks re-noised after checkpoint",
                        &scrubbed_blocks_);
+  reg->RegisterCounter("stegfs_journal_group_txns_total",
+                       "Transactions committed through group-commit batches",
+                       &group_txns_);
+  reg->RegisterCounter("stegfs_journal_group_batches_total",
+                       "Group-commit batch rounds executed", &group_batches_);
+  reg->RegisterCounter(
+      "stegfs_journal_group_merged_blocks_total",
+      "Duplicate after-images merged away across batches",
+      &group_merged_blocks_);
   reg->RegisterHistogram("stegfs_journal_commit_seconds",
-                         "Full commit latency (ordered data to scrub)",
+                         "Full commit latency (stage to batch resolution)",
                          &commit_ns_);
   reg->RegisterHistogram("stegfs_journal_record_seconds",
                          "Record write latency up to the commit barrier",

@@ -4,24 +4,38 @@
 // claims, unlisted random-placed blocks); a crash that tears a multi-step
 // metadata update can silently destroy both plain and hidden data. The
 // journal makes every plain metadata mutation atomic with physical redo
-// logging:
+// logging. Since PR 9 commits are GROUP-COMMITTED: concurrent sessions
+// stage their transactions into a shared queue, and the first waiter to
+// find the journal idle becomes the batch leader — it drains the queue
+// (bounded by the ring), merges the transactions' after-images into ONE
+// record, and runs the ordered protocol once for everyone:
 //
-//   1. ORDERED DATA  - file data (everything except the held-back
+//   1. ORDERED DATA  - file data (everything except the batch's held-back
 //                      metadata images) is flushed and a write barrier
 //                      (engine Drain + device Sync) makes it durable, so
 //                      a committed record never references garbage data.
-//   2. RECORD        - the after-images of every metadata block the
-//                      operation touched (bitmap blocks, inode-table
+//   2. RECORD        - the merged after-images of every metadata block
+//                      the batch touched (bitmap blocks, inode-table
 //                      blocks, directory data blocks, indirect pointer
-//                      blocks) are written into the journal ring as ONE
-//                      self-authenticating record (descriptor + payload,
-//                      SHA-256 over the whole thing), then a barrier.
-//                      A record is committed iff it checksums — a torn
-//                      record is indistinguishable from noise and simply
-//                      never replays. This makes the barrier the commit
-//                      point with no separate commit block.
-//   3. CHECKPOINT    - the images are written to their home locations
-//                      through the cache, flushed, barrier.
+//                      blocks; a block multiple transactions touched
+//                      contributes only its NEWEST image — later images
+//                      contain the earlier transactions' effects, because
+//                      every metadata writer snapshots monotone in-memory
+//                      state under the FS lock) are written into the
+//                      journal ring as ONE self-authenticating record
+//                      (descriptor + payload, SHA-256 over the whole
+//                      thing), then a barrier. A record is committed iff
+//                      it checksums — a torn record is indistinguishable
+//                      from noise and simply never replays, so the WHOLE
+//                      BATCH commits atomically (no cross-record torn
+//                      subsets, which is why the batch is one record and
+//                      not one record per transaction) and the barrier is
+//                      the commit point with no separate commit block.
+//   3. CHECKPOINT    - each image is written to its home location with
+//                      BufferCache::CheckpointBlock — atomic against
+//                      concurrent flushers under the block's shard lock,
+//                      and unable to regress a strictly newer cached
+//                      image — then a barrier.
 //   4. SCRUB         - the record's journal blocks are overwritten with
 //                      keyed noise. This bounds replay (at most the
 //                      newest record is ever live, so redo can never
@@ -36,22 +50,47 @@
 //                      object's header, so an unopened level's journal
 //                      entries look like any other random block.
 //
-// Lock hierarchy: the journal mutex sits BELOW the PlainFs metadata lock
-// and the per-object/alloc locks, and ABOVE the bitmap rw-lock and the
-// cache shard stripes (commit flushes the cache while holding it). It is
-// the volume's commit serialization point.
+// The payoff: N concurrent transactions pay ~3 barriers TOTAL instead of
+// 3 each — fdatasync, the dominant durable-write cost, is amortized
+// across the batch. A single-threaded mount stages and immediately leads
+// a one-transaction batch, which runs byte-for-byte the PR 5 protocol.
+//
+// Parked blocks: a staged transaction's uncommitted metadata images
+// (directory data, indirect pointer and inode-table blocks) sit dirty in
+// the cache until its batch commits; the park refcounts here keep every
+// write-back path (including other batches' ordered flushes and the
+// hidden commit barrier) off them for exactly that window. Bitmap blocks
+// are deliberately NOT parked: flushing an uncommitted allocation early
+// is harmless (a crash turns it into an abandoned block, absorbed by the
+// paper's own abandoned-block concept), frees are deferred until AFTER
+// the commit resolves (PlainFs::FinishCommit), and the hidden commit
+// protocol ("bitmap durable before the anchor references it") must be
+// able to flush bitmap bytes at any moment.
+//
+// Lock hierarchy: the stage lock sits BELOW the PlainFs metadata lock
+// (Stage is called under it) and is never held across I/O; the executing
+// flag is the commit serialization point, claimed by batch leaders and
+// the fsck scrubber. The leader runs WITHOUT the PlainFs metadata lock —
+// waiters park on the stage lock only, so fsck (which holds the metadata
+// lock) can always wait out a running batch without deadlock.
 #ifndef STEGFS_JOURNAL_JOURNAL_H_
 #define STEGFS_JOURNAL_JOURNAL_H_
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <memory>
 #include <mutex>
+#include <unordered_map>
 #include <unordered_set>
 #include <vector>
 
 #include "blockdev/async_block_device.h"
 #include "blockdev/block_device.h"
 #include "cache/buffer_cache.h"
+#include "concurrency/group_barrier.h"
 #include "obs/metrics.h"
 #include "util/random.h"
 #include "util/status.h"
@@ -84,11 +123,20 @@ struct JournalRecord {
 struct JournalStats {
   uint64_t records_committed = 0;
   uint64_t blocks_journaled = 0;   // payload blocks written to the ring
-  uint64_t barrier_syncs = 0;      // device Sync calls issued by commits
+  uint64_t barrier_syncs = 0;      // write barriers issued by commits
   uint64_t overflow_fallbacks = 0; // txns too big for the ring (direct
                                    // checkpoint, atomicity waived)
   uint64_t scrubbed_blocks = 0;    // ring blocks re-noised after checkpoint
+  // Group commit: transactions committed through batches, batch rounds
+  // executed (txns / batches = measured batching factor), and duplicate
+  // after-images merged away across a batch.
+  uint64_t group_txns = 0;
+  uint64_t group_batches = 0;
+  uint64_t group_merged_blocks = 0;
 };
+
+// One staged-but-unresolved transaction (defined in journal.cc).
+struct StagedTxn;
 
 // Derives the deterministic scrub-noise seed for a volume. Keyed by the
 // superblock's dummy seed so two volumes formatted with the same entropy
@@ -104,75 +152,156 @@ void ScrubNoise(uint64_t seed, uint64_t pos, uint8_t* buf, size_t len);
 class WriteAheadJournal {
  public:
   // `device`, `cache` outlive the journal; `engine` may be null (the
-  // sync mount). `scrub_seed` comes from ScrubSeed over the superblock's
-  // dummy seed. Recovery must have already run (the ring is assumed
-  // scrubbed; head starts at 0).
+  // sync mount); `barrier` may be null (barriers then run inline:
+  // engine Drain + device Sync — the direct-construction test path).
+  // `scrub_seed` comes from ScrubSeed over the superblock's dummy seed.
+  // Recovery must have already run (the ring is assumed scrubbed; head
+  // starts at 0).
   WriteAheadJournal(BlockDevice* device, BufferCache* cache,
                     AsyncBlockDevice* engine, uint64_t journal_start,
-                    uint32_t journal_blocks, uint64_t scrub_seed);
+                    uint32_t journal_blocks, uint64_t scrub_seed,
+                    concurrency::GroupBarrier* barrier = nullptr);
 
-  // Commits one atomic metadata transaction and checkpoints it:
-  // ordered-data flush (everything dirty except `hold_back`), barrier,
-  // record write, barrier (commit point), checkpoint through the cache,
-  // barrier, scrub. On an overflowing transaction (record larger than
-  // the ring) falls back to a direct synchronous checkpoint — atomic
-  // per-block but not per-transaction — and counts it.
+  // Waitable handle for one staged transaction. Wait() participates in
+  // the leader/follower protocol: the first waiter to find the journal
+  // idle executes the batch at the head of the queue (possibly including
+  // other transactions) on its own thread; everyone else sleeps until a
+  // leader resolves their transaction. Must be called WITHOUT the PlainFs
+  // metadata lock (the leader's barrier work must never wait on it).
+  class CommitTicket {
+   public:
+    CommitTicket() = default;
+    bool valid() const { return journal_ != nullptr; }
+    Status Wait();
+
+   private:
+    friend class WriteAheadJournal;
+    WriteAheadJournal* journal_ = nullptr;
+    std::shared_ptr<StagedTxn> txn_;
+  };
+
+  // Stages one atomic metadata transaction for group commit and returns
+  // immediately. The caller must already hold park refcounts (AddParked)
+  // on `parked` — the transaction's uncommitted dir/pointer/inode images
+  // — and ownership transfers here: the batch releases them when the
+  // transaction resolves, success or failure. Call under the lock that
+  // serializes metadata capture (PlainFs's): stage order is seq order.
+  CommitTicket Stage(std::vector<JournalEntry> entries,
+                     std::unordered_set<uint64_t> parked);
+
+  // Commits one transaction synchronously: parks `hold_back`, stages and
+  // waits. Equivalent to the PR 5 call-and-wait protocol when
+  // single-threaded; concurrent callers batch.
   Status Commit(const std::vector<JournalEntry>& entries,
                 const std::unordered_set<uint64_t>& hold_back);
 
+  // Park refcounting over the cache's parked set. A block stays parked —
+  // skipped by EVERY write-back path — while any staged transaction holds
+  // a count on it; the journal republishes the merged set to the cache on
+  // every change. AddParked is the incremental hook PlainFs fires when a
+  // transaction first touches a dir/pointer block (record-before-write,
+  // so the uncommitted bytes are parked before any flusher can see them).
+  void AddParked(uint64_t block);
+  void ReleaseParked(const std::unordered_set<uint64_t>& blocks);
+
   // Capacity of one record's payload given the ring and block size (the
   // descriptor consumes one ring block; its target list must also fit).
+  // Also the batch merge bound: a batch's DISTINCT blocks fit one record.
   size_t MaxPayloadBlocks() const;
 
-  // Fsck hook: with the commit lock held (so no record is in flight),
-  // scans the ring for live records and scrubs any found — they can only
-  // be left behind by a scrub that failed mid-commit (which poisoned the
-  // journal). The caller must have flushed current metadata durably
-  // first (the record's content is redundant with live state by then —
-  // see PlainFs::Fsck); on success the poison is lifted. Reports how
-  // many records were live and how many ring blocks were re-noised.
+  // Fsck hook: waits out any running batch, then — with the executing
+  // claim held, so no record is in flight — scans the ring for live
+  // records and scrubs any found (they can only be left behind by a
+  // scrub that failed mid-commit, which poisoned the journal). The caller
+  // must have flushed current metadata durably first (the record's
+  // content is redundant with live state by then — see PlainFs::Fsck);
+  // on success the poison is lifted. Reports how many records were live
+  // and how many ring blocks were re-noised.
   Status ScrubStaleRecords(uint64_t* live_records, uint64_t* scrubbed_blocks);
 
   JournalStats stats() const;
   uint32_t ring_blocks() const { return journal_blocks_; }
   uint64_t ring_start() const { return journal_start_; }
 
+  // How long a solo leader lingers for followers before running its
+  // batch. 0 (the default) means "lead immediately" — single-threaded
+  // mounts then behave exactly like PR 5; under concurrency followers
+  // pile up naturally while a batch runs, so the window is rarely needed.
+  void set_group_window(std::chrono::microseconds window) {
+    group_window_ = window;
+  }
+
   // Registers the journal's instruments with `reg` under stegfs_journal_*
   // names (the journal keeps ownership; PlainFs calls this at mount).
   void RegisterMetrics(obs::MetricsRegistry* reg) const;
 
  private:
-  // Full write barrier: drain the async engine (both engines honor the
-  // contract via Drain), then device Sync.
+  friend class CommitTicket;
+
+  // Leader/follower rendezvous; returns txn's resolution.
+  Status Await(const std::shared_ptr<StagedTxn>& txn);
+  // Pops the next batch: either one oversized transaction alone, or a
+  // FIFO run of transactions whose merged distinct blocks fit one record.
+  // Requires stage_mu_.
+  std::vector<std::shared_ptr<StagedTxn>> PopBatchLocked();
+  // Executes one batch end to end (ordered -> record -> checkpoint ->
+  // scrub). Runs with the executing claim held and NO locks; the shared
+  // Status resolves every member. Releases the batch's park refcounts.
+  Status RunBatch(const std::vector<std::shared_ptr<StagedTxn>>& batch);
+  // The oversized fallback: per-block-atomic direct checkpoint.
+  Status RunOverflow(const StagedTxn& txn);
+
+  // Full write barrier. Coalesced through the volume's GroupBarrier when
+  // one is attached (concurrent hidden commits and batches then share
+  // device syncs); inline (engine Drain + device Sync) otherwise.
   Status Barrier();
   // Writes one block directly to the device at ring offset pos (mod ring).
   Status WriteRing(uint64_t pos, const uint8_t* buf);
   // Failure path after a record reached the ring: scrub it so it can
   // never replay over state that later transactions move past. If even
-  // the scrub fails, poison the journal — every further Commit refuses,
+  // the scrub fails, poison the journal — every further batch refuses,
   // which keeps the invariant "a live record is always the newest state"
   // that both mount recovery and the fsck scrubber rely on.
   void ScrubRecordOrPoison(uint64_t base, size_t used_blocks);
+  // Rebuilds the cache's parked-set snapshot from parked_counts_.
+  // Requires parked_mu_.
+  void RepublishParkedLocked();
 
   BlockDevice* device_;
   BufferCache* cache_;
   AsyncBlockDevice* engine_;
+  concurrency::GroupBarrier* barrier_;
   uint64_t journal_start_;
   uint32_t journal_blocks_;
   uint64_t scrub_seed_;
+  std::chrono::microseconds group_window_{0};
 
-  std::mutex mu_;  // the commit lock (see lock hierarchy above)
+  // Stage state: the queue and the leader handoff. Never held across I/O.
+  std::mutex stage_mu_;
+  std::condition_variable stage_cv_;
+  std::deque<std::shared_ptr<StagedTxn>> queue_;
+  bool executing_ = false;  // a batch (or the fsck scrubber) owns the ring
+
+  // Ring state: touched only with the executing claim held.
   uint64_t next_seq_ = 1;
-  uint64_t head_ = 0;   // next ring offset to write
+  uint64_t head_ = 0;    // next ring offset to write
   bool failed_ = false;  // poisoned: a record could not be scrubbed
+
+  // Park refcounts (see AddParked); republished to the cache on change.
+  mutable std::mutex parked_mu_;
+  std::unordered_map<uint64_t, uint32_t> parked_counts_;
 
   obs::Counter records_committed_;
   obs::Counter blocks_journaled_;
   obs::Counter barrier_syncs_;
   obs::Counter overflow_fallbacks_;
   obs::Counter scrubbed_blocks_;
-  // Commit-phase latency: the full Commit, the record write up to its
-  // commit-point barrier, each barrier, and the checkpoint phase.
+  obs::Counter group_txns_;
+  obs::Counter group_batches_;
+  obs::Counter group_merged_blocks_;
+  // Commit-phase latency: the full per-transaction commit (stage to
+  // resolution), the record write up to its commit-point barrier, each
+  // barrier, and the checkpoint phase.
   obs::Histogram commit_ns_;
   obs::Histogram record_ns_;
   obs::Histogram barrier_ns_;

@@ -222,7 +222,12 @@ TEST(DurableMountTest, RequiresJournalRegionAndWriteBack) {
   MountOptions wt;
   wt.durability = Durability::kJournal;
   wt.write_policy = WritePolicy::kWriteThrough;
-  EXPECT_TRUE(PlainFs::Mount(&dev2, wt).status().IsInvalidArgument());
+  Status refusal = PlainFs::Mount(&dev2, wt).status();
+  EXPECT_TRUE(refusal.IsInvalidArgument());
+  // The refusal must name the policy the caller needs, not just reject.
+  EXPECT_NE(refusal.message().find("WritePolicy::kWriteBack"),
+            std::string::npos)
+      << refusal.ToString();
 
   MountOptions ok;
   ok.durability = Durability::kJournal;
